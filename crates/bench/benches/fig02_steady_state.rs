@@ -1,0 +1,14 @@
+//! Figure 2 — steady-state vs bursty performance (Pitfall 1, §4.1):
+//! KV and device throughput, WA-A and WA-D over time for both engines
+//! on a trimmed drive.
+
+use ptsbench_bench::{banner, bench_options};
+use ptsbench_core::pitfalls::p1_short_tests;
+
+fn main() {
+    banner("Figure 2 (a-d)", "Pitfall 1: running short tests");
+    let results = p1_short_tests::evaluate(&bench_options());
+    let report = results.report();
+    println!("{}", report.to_text());
+    assert!(report.passed(), "Figure 2 phenomena did not reproduce");
+}

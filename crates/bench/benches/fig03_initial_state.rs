@@ -1,0 +1,14 @@
+//! Figure 3 — trimmed vs preconditioned drive state (Pitfall 3, §4.3):
+//! throughput and WA-D over time for both engines and both initial
+//! states.
+
+use ptsbench_bench::{banner, bench_options};
+use ptsbench_core::pitfalls::p3_initial_state;
+
+fn main() {
+    banner("Figure 3 (a-d)", "Pitfall 3: overlooking the internal state of the SSD");
+    let results = p3_initial_state::evaluate(&bench_options());
+    let report = results.report();
+    println!("{}", report.to_text());
+    assert!(report.passed(), "Figure 3 phenomena did not reproduce");
+}

@@ -1,0 +1,213 @@
+//! Criterion micro-benchmarks of the core data structures: the FTL
+//! write path, extent allocator, memtable, bloom filter, SSTable
+//! build/lookup, B+Tree operations and the k-way merge.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ptsbench_btree::{BTreeDb, BTreeOptions};
+use ptsbench_lsm::bloom::BloomFilter;
+use ptsbench_lsm::iter::{EntryStream, KWayMerge};
+use ptsbench_lsm::memtable::Memtable;
+use ptsbench_lsm::sstable::{SstableBuilder, SstableReader};
+use ptsbench_lsm::{LsmDb, LsmOptions};
+use ptsbench_ssd::{DeviceConfig, DeviceProfile, LpnRange, Ssd};
+use ptsbench_vfs::{AllocPolicy, ExtentAllocator, Vfs, VfsOptions};
+
+fn fresh_vfs(mb: u64) -> Vfs {
+    let ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), mb << 20));
+    Vfs::whole_device(ssd.into_shared(), VfsOptions::default())
+}
+
+fn bench_ftl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftl");
+    group.bench_function("random_overwrite_with_gc", |b| {
+        b.iter_batched(
+            || {
+                let mut ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 64 << 20));
+                let pages = ssd.logical_pages();
+                for lpn in 0..pages {
+                    ssd.write_page(lpn);
+                }
+                (ssd, SmallRng::seed_from_u64(7))
+            },
+            |(mut ssd, mut rng)| {
+                let pages = ssd.logical_pages();
+                for _ in 0..1000 {
+                    ssd.write_page(rng.gen_range(0..pages));
+                }
+                black_box(ssd.smart().wa_d())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("trim_range", |b| {
+        b.iter_batched(
+            || {
+                let mut ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 64 << 20));
+                for lpn in 0..ssd.logical_pages() {
+                    ssd.write_page(lpn);
+                }
+                ssd
+            },
+            |mut ssd| {
+                let pages = ssd.logical_pages();
+                black_box(ssd.trim_range(LpnRange::new(0, pages / 2)))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("allocator/churn", |b| {
+        b.iter_batched(
+            || ExtentAllocator::new(LpnRange::new(0, 1 << 20), AllocPolicy::NextFit),
+            |mut a| {
+                let mut live = Vec::new();
+                for i in 0..500 {
+                    let got = a.alloc(64 + (i % 7) * 16).expect("space");
+                    live.extend(got);
+                    if i % 3 == 0 && !live.is_empty() {
+                        let e = live.swap_remove((i as usize) % live.len());
+                        a.release(e);
+                    }
+                }
+                black_box(a.free_pages())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_memtable(c: &mut Criterion) {
+    c.bench_function("memtable/insert_10k", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let keys: Vec<Vec<u8>> =
+            (0..10_000).map(|_| rng.gen::<u64>().to_be_bytes().to_vec()).collect();
+        b.iter(|| {
+            let mut m = Memtable::new();
+            for k in &keys {
+                m.put(k, &[0u8; 100]);
+            }
+            black_box(m.len())
+        })
+    });
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let keys: Vec<Vec<u8>> = (0..100_000u32).map(|i| i.to_le_bytes().to_vec()).collect();
+    c.bench_function("bloom/build_100k", |b| {
+        b.iter(|| black_box(BloomFilter::build(&keys, 10)))
+    });
+    let filter = BloomFilter::build(&keys, 10);
+    c.bench_function("bloom/query", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(filter.may_contain(&i.to_le_bytes()))
+        })
+    });
+}
+
+fn bench_sstable(c: &mut Criterion) {
+    c.bench_function("sstable/build_5k_entries", |b| {
+        let mut n = 0u64;
+        b.iter(|| {
+            let vfs = fresh_vfs(64);
+            n += 1;
+            let mut builder = SstableBuilder::create(vfs, "t", 4096, 10).expect("create");
+            for i in 0..5000u32 {
+                let key = format!("key{i:08}");
+                builder.add(key.as_bytes(), Some(&[0u8; 64])).expect("add");
+            }
+            black_box(builder.finish().expect("finish"))
+        })
+    });
+    c.bench_function("sstable/point_get", |b| {
+        let vfs = fresh_vfs(64);
+        let mut builder = SstableBuilder::create(vfs.clone(), "t", 4096, 10).expect("create");
+        for i in 0..50_000u32 {
+            let key = format!("key{i:08}");
+            builder.add(key.as_bytes(), Some(&[0u8; 64])).expect("add");
+        }
+        builder.finish().expect("finish");
+        let reader = SstableReader::open(vfs, "t").expect("open");
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7919) % 50_000;
+            let key = format!("key{i:08}");
+            black_box(reader.get(key.as_bytes()).expect("get"))
+        })
+    });
+}
+
+fn bench_kway_merge(c: &mut Criterion) {
+    c.bench_function("kway_merge/8x1k", |b| {
+        b.iter_batched(
+            || {
+                (0..8usize)
+                    .map(|s| {
+                        let items: Vec<(Vec<u8>, Option<Vec<u8>>)> = (0..1000u32)
+                            .map(|i| {
+                                let k = format!("key{:08}", i * 8 + s as u32);
+                                (k.into_bytes(), Some(vec![0u8; 32]))
+                            })
+                            .collect();
+                        Box::new(items.into_iter()) as EntryStream<'static>
+                    })
+                    .collect::<Vec<_>>()
+            },
+            |sources| black_box(KWayMerge::new(sources).count()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    group.bench_function("lsm/put_2k_ops", |b| {
+        b.iter_batched(
+            || LsmDb::open(fresh_vfs(64), LsmOptions::small()).expect("open"),
+            |mut db| {
+                let mut rng = SmallRng::seed_from_u64(3);
+                for _ in 0..2000 {
+                    let i: u32 = rng.gen_range(0..500);
+                    db.put(format!("key{i:08}").as_bytes(), &[0u8; 256]).expect("put");
+                }
+                black_box(db.stats().flushes)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("btree/put_2k_ops", |b| {
+        b.iter_batched(
+            || BTreeDb::open(fresh_vfs(64), BTreeOptions::small()).expect("open"),
+            |mut db| {
+                let mut rng = SmallRng::seed_from_u64(3);
+                for _ in 0..2000 {
+                    let i: u32 = rng.gen_range(0..500);
+                    db.put(format!("key{i:08}").as_bytes(), &[0u8; 256]).expect("put");
+                }
+                black_box(db.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ftl,
+    bench_allocator,
+    bench_memtable,
+    bench_bloom,
+    bench_sstable,
+    bench_kway_merge,
+    bench_engines
+);
+criterion_main!(benches);

@@ -1,0 +1,317 @@
+//! Tree pages: leaves and internal routing nodes, with their binary
+//! encodings.
+//!
+//! Leaf layout: `[1u8][u32 n]` then `n` entries of
+//! `[u16 klen][u32 vlen][key][value]`, keys strictly increasing.
+//!
+//! Internal layout: `[2u8][u32 n_children][u64 child]*n` then
+//! `(n_children - 1)` separators of `[u16 klen][key]`. Child `i` holds
+//! keys `k` with `sep[i-1] <= k < sep[i]` (first child: `k < sep[0]`).
+
+use crate::{BTreeError, PageNo, Result};
+
+/// A decoded tree page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Key-value storage page.
+    Leaf {
+        /// Sorted `(key, value)` entries.
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    /// Routing page.
+    Internal {
+        /// Child page numbers (`separators.len() + 1` of them).
+        children: Vec<PageNo>,
+        /// Separator keys between children.
+        separators: Vec<Vec<u8>>,
+    },
+}
+
+const TAG_LEAF: u8 = 1;
+const TAG_INTERNAL: u8 = 2;
+
+impl Node {
+    /// An empty leaf.
+    pub fn empty_leaf() -> Self {
+        Node::Leaf { entries: Vec::new() }
+    }
+
+    /// Whether this is a leaf page.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Node::Leaf { entries } => {
+                5 + entries.iter().map(|(k, v)| 6 + k.len() + v.len()).sum::<usize>()
+            }
+            Node::Internal { children, separators } => {
+                5 + children.len() * 8 + separators.iter().map(|k| 2 + k.len()).sum::<usize>()
+            }
+        }
+    }
+
+    /// Encodes into `buf` (cleared first).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        match self {
+            Node::Leaf { entries } => {
+                buf.push(TAG_LEAF);
+                buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for (k, v) in entries {
+                    buf.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                    buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(k);
+                    buf.extend_from_slice(v);
+                }
+            }
+            Node::Internal { children, separators } => {
+                debug_assert_eq!(children.len(), separators.len() + 1);
+                buf.push(TAG_INTERNAL);
+                buf.extend_from_slice(&(children.len() as u32).to_le_bytes());
+                for c in children {
+                    buf.extend_from_slice(&c.to_le_bytes());
+                }
+                for k in separators {
+                    buf.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                    buf.extend_from_slice(k);
+                }
+            }
+        }
+    }
+
+    /// Decodes a page image.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let corrupt = |m: &str| BTreeError::Corruption(m.to_string());
+        if buf.len() < 5 {
+            return Err(corrupt("page too small"));
+        }
+        let tag = buf[0];
+        let n = u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes")) as usize;
+        let mut pos = 5;
+        match tag {
+            TAG_LEAF => {
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if pos + 6 > buf.len() {
+                        return Err(corrupt("truncated leaf entry"));
+                    }
+                    let klen =
+                        u16::from_le_bytes(buf[pos..pos + 2].try_into().expect("2")) as usize;
+                    let vlen =
+                        u32::from_le_bytes(buf[pos + 2..pos + 6].try_into().expect("4")) as usize;
+                    pos += 6;
+                    if pos + klen + vlen > buf.len() {
+                        return Err(corrupt("truncated leaf payload"));
+                    }
+                    let key = buf[pos..pos + klen].to_vec();
+                    pos += klen;
+                    let value = buf[pos..pos + vlen].to_vec();
+                    pos += vlen;
+                    entries.push((key, value));
+                }
+                Ok(Node::Leaf { entries })
+            }
+            TAG_INTERNAL => {
+                if n == 0 {
+                    return Err(corrupt("internal node without children"));
+                }
+                if pos + n * 8 > buf.len() {
+                    return Err(corrupt("truncated children"));
+                }
+                let mut children = Vec::with_capacity(n);
+                for _ in 0..n {
+                    children
+                        .push(u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("8")));
+                    pos += 8;
+                }
+                let mut separators = Vec::with_capacity(n - 1);
+                for _ in 0..n - 1 {
+                    if pos + 2 > buf.len() {
+                        return Err(corrupt("truncated separator"));
+                    }
+                    let klen =
+                        u16::from_le_bytes(buf[pos..pos + 2].try_into().expect("2")) as usize;
+                    pos += 2;
+                    if pos + klen > buf.len() {
+                        return Err(corrupt("truncated separator key"));
+                    }
+                    separators.push(buf[pos..pos + klen].to_vec());
+                    pos += klen;
+                }
+                Ok(Node::Internal { children, separators })
+            }
+            _ => Err(corrupt("unknown page tag")),
+        }
+    }
+
+    /// For an internal node: index of the child that covers `key`.
+    pub fn route(&self, key: &[u8]) -> usize {
+        match self {
+            Node::Internal { separators, .. } => {
+                separators.partition_point(|s| s.as_slice() <= key)
+            }
+            Node::Leaf { .. } => panic!("route() on a leaf"),
+        }
+    }
+
+    /// Append-optimized leaf split: moves only the final entry to the
+    /// right node. Used when the overflowing insertion was at the end of
+    /// the leaf (the sequential-load pattern), leaving the left leaf
+    /// ~full — this is why B+Trees bulk-loaded in key order reach the
+    /// ~1.12 space amplification the paper measures for WiredTiger,
+    /// instead of the ~1.5 a half-split would produce.
+    pub fn split_append(&mut self) -> (Vec<u8>, Node) {
+        match self {
+            Node::Leaf { entries } => {
+                debug_assert!(entries.len() >= 2, "split of a 1-entry leaf");
+                let last = entries.pop().expect("non-empty leaf");
+                let sep = last.0.clone();
+                (sep, Node::Leaf { entries: vec![last] })
+            }
+            Node::Internal { .. } => self.split(),
+        }
+    }
+
+    /// Splits a too-large node in half; returns `(separator, right node)`.
+    /// `self` keeps the left half. The separator is the first key of the
+    /// right half (for leaves) or the promoted middle key (internal).
+    pub fn split(&mut self) -> (Vec<u8>, Node) {
+        match self {
+            Node::Leaf { entries } => {
+                // Split by bytes, not count, so jagged value sizes still
+                // halve evenly.
+                let total: usize = entries.iter().map(|(k, v)| 6 + k.len() + v.len()).sum();
+                let mut acc = 0;
+                let mut cut = entries.len() / 2;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    acc += 6 + k.len() + v.len();
+                    if acc * 2 >= total {
+                        cut = (i + 1).min(entries.len() - 1).max(1);
+                        break;
+                    }
+                }
+                let right: Vec<_> = entries.split_off(cut);
+                let sep = right[0].0.clone();
+                (sep, Node::Leaf { entries: right })
+            }
+            Node::Internal { children, separators } => {
+                let mid = separators.len() / 2;
+                let promoted = separators[mid].clone();
+                let right_seps: Vec<_> = separators.split_off(mid + 1);
+                separators.pop(); // remove promoted key from the left
+                let right_children: Vec<_> = children.split_off(mid + 1);
+                (promoted, Node::Internal { children: right_children, separators: right_seps })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(pairs: &[(&str, &str)]) -> Node {
+        Node::Leaf {
+            entries: pairs
+                .iter()
+                .map(|(k, v)| (k.as_bytes().to_vec(), v.as_bytes().to_vec()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn leaf_round_trip() {
+        let n = leaf(&[("a", "1"), ("b", "22"), ("c", "")]);
+        let mut buf = Vec::new();
+        n.encode(&mut buf);
+        assert_eq!(buf.len(), n.encoded_len());
+        assert_eq!(Node::decode(&buf).expect("decode"), n);
+    }
+
+    #[test]
+    fn internal_round_trip() {
+        let n = Node::Internal {
+            children: vec![10, 20, 30],
+            separators: vec![b"g".to_vec(), b"p".to_vec()],
+        };
+        let mut buf = Vec::new();
+        n.encode(&mut buf);
+        assert_eq!(buf.len(), n.encoded_len());
+        assert_eq!(Node::decode(&buf).expect("decode"), n);
+    }
+
+    #[test]
+    fn corrupt_pages_rejected() {
+        assert!(Node::decode(&[]).is_err());
+        assert!(Node::decode(&[9, 0, 0, 0, 0]).is_err(), "unknown tag");
+        let n = leaf(&[("abc", "def")]);
+        let mut buf = Vec::new();
+        n.encode(&mut buf);
+        assert!(Node::decode(&buf[..buf.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn routing() {
+        let n = Node::Internal {
+            children: vec![1, 2, 3],
+            separators: vec![b"g".to_vec(), b"p".to_vec()],
+        };
+        assert_eq!(n.route(b"a"), 0);
+        assert_eq!(n.route(b"g"), 1, "separator key routes right");
+        assert_eq!(n.route(b"m"), 1);
+        assert_eq!(n.route(b"p"), 2);
+        assert_eq!(n.route(b"z"), 2);
+    }
+
+    #[test]
+    fn leaf_split_halves_by_bytes() {
+        let mut n = Node::Leaf {
+            entries: (0..10u8)
+                .map(|i| (vec![b'a' + i], vec![0u8; if i < 2 { 400 } else { 10 }]))
+                .collect(),
+        };
+        let before = n.encoded_len();
+        let (sep, right) = n.split();
+        // Separator is the first right key and ordering is preserved.
+        if let (Node::Leaf { entries: left }, Node::Leaf { entries: right_e }) = (&n, &right) {
+            assert_eq!(right_e[0].0, sep);
+            assert!(left.last().expect("left non-empty").0 < sep);
+            assert_eq!(left.len() + right_e.len(), 10);
+            // Byte-based split: the two big entries keep the left side small.
+            assert!(left.len() < right_e.len());
+        } else {
+            panic!("expected leaves");
+        }
+        assert!(n.encoded_len() < before);
+    }
+
+    #[test]
+    fn internal_split_promotes_middle() {
+        let mut n = Node::Internal {
+            children: vec![1, 2, 3, 4, 5],
+            separators: vec![b"b".to_vec(), b"d".to_vec(), b"f".to_vec(), b"h".to_vec()],
+        };
+        let (sep, right) = n.split();
+        assert_eq!(sep, b"f".to_vec());
+        if let (Node::Internal { children: lc, separators: ls }, Node::Internal { children: rc, separators: rs }) =
+            (&n, &right)
+        {
+            assert_eq!(lc.len(), ls.len() + 1);
+            assert_eq!(rc.len(), rs.len() + 1);
+            assert_eq!(lc.len() + rc.len(), 5);
+            assert!(ls.iter().all(|s| s.as_slice() < sep.as_slice()));
+            assert!(rs.iter().all(|s| s.as_slice() > sep.as_slice()));
+        } else {
+            panic!("expected internals");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "route() on a leaf")]
+    fn routing_on_leaf_panics() {
+        leaf(&[("a", "1")]).route(b"a");
+    }
+}

@@ -1,0 +1,84 @@
+//! Engine tuning knobs.
+
+/// Configuration of a [`crate::BTreeDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BTreeOptions {
+    /// Tree page size in bytes (WiredTiger leaf default: 32 KiB).
+    /// Should be a multiple of the device page size.
+    pub page_bytes: usize,
+    /// Page-cache capacity in bytes (the paper configures 10 MB, §3.1).
+    pub cache_bytes: u64,
+    /// Whether updates are logged before being applied in cache.
+    pub wal_enabled: bool,
+    /// Whether each commit fsyncs the log.
+    pub wal_fsync: bool,
+    /// A checkpoint (write-back of all dirty pages + meta) runs after
+    /// this many application bytes have been written since the last one.
+    pub checkpoint_app_bytes: u64,
+    /// Merge threshold: a page smaller than `page_bytes / merge_divisor`
+    /// tries to merge with a sibling.
+    pub merge_divisor: usize,
+}
+
+impl Default for BTreeOptions {
+    fn default() -> Self {
+        Self {
+            page_bytes: 32 << 10,
+            cache_bytes: 10 << 20,
+            wal_enabled: true,
+            wal_fsync: false,
+            checkpoint_app_bytes: 8 << 20,
+            merge_divisor: 4,
+        }
+    }
+}
+
+impl BTreeOptions {
+    /// A small configuration for unit tests (tiny pages and cache so
+    /// splits, merges and evictions happen after a handful of writes).
+    pub fn small() -> Self {
+        Self {
+            page_bytes: 4 << 10,
+            cache_bytes: 64 << 10,
+            wal_enabled: true,
+            wal_fsync: false,
+            checkpoint_app_bytes: 256 << 10,
+            merge_divisor: 4,
+        }
+    }
+
+    /// Validates option consistency; panics with a description on error.
+    pub fn validate(&self) {
+        assert!(self.page_bytes >= 1024, "pages must hold at least a few entries");
+        assert!(self.page_bytes <= 1 << 24);
+        assert!(
+            self.cache_bytes >= 4 * self.page_bytes as u64,
+            "cache must hold at least four pages"
+        );
+        assert!(self.merge_divisor >= 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        BTreeOptions::default().validate();
+        BTreeOptions::small().validate();
+    }
+
+    #[test]
+    fn default_matches_wiredtiger_shape() {
+        let o = BTreeOptions::default();
+        assert_eq!(o.page_bytes, 32 << 10, "WiredTiger leaf pages are 32 KiB");
+        assert_eq!(o.cache_bytes, 10 << 20, "paper configures a 10 MB cache");
+    }
+
+    #[test]
+    #[should_panic(expected = "cache must hold")]
+    fn tiny_cache_rejected() {
+        BTreeOptions { cache_bytes: 1024, ..BTreeOptions::small() }.validate();
+    }
+}

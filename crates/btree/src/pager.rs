@@ -1,0 +1,358 @@
+//! The page cache: fixed-budget caching of decoded pages with in-place
+//! dirty write-back.
+//!
+//! This is the layer that gives the B+Tree its device-level signature:
+//! page `n` always lives at file offset `n * page_bytes`, so every
+//! write-back targets the same LBAs (Fig 4's confined footprint), and
+//! the small cache (10 MB in the paper's setup) means nearly every
+//! update eventually causes one full-page write.
+
+use std::collections::HashMap;
+
+use ptsbench_vfs::{FileId, Vfs};
+
+use crate::node::Node;
+use crate::{BTreeError, PageNo, Result};
+
+/// Cumulative pager statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses (page reads from the filesystem).
+    pub misses: u64,
+    /// Dirty pages written back (evictions + checkpoints).
+    pub writebacks: u64,
+    /// Pages allocated.
+    pub allocations: u64,
+    /// Checkpoints completed.
+    pub checkpoints: u64,
+}
+
+struct CachedPage {
+    node: Node,
+    dirty: bool,
+    last_access: u64,
+}
+
+/// Page cache over the tree file.
+pub struct Pager {
+    vfs: Vfs,
+    file: FileId,
+    page_bytes: usize,
+    cache_bytes: u64,
+    cache: HashMap<PageNo, CachedPage>,
+    cached_bytes: u64,
+    access_clock: u64,
+    /// Next page number to materialize (page 0 is the meta page).
+    next_page: PageNo,
+    free_list: Vec<PageNo>,
+    stats: PagerStats,
+    encode_buf: Vec<u8>,
+}
+
+impl std::fmt::Debug for Pager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pager")
+            .field("pages", &self.next_page)
+            .field("cached", &self.cache.len())
+            .field("free", &self.free_list.len())
+            .finish()
+    }
+}
+
+impl Pager {
+    /// Creates the tree file with a zeroed meta page.
+    pub fn create(vfs: Vfs, file_name: &str, page_bytes: usize, cache_bytes: u64) -> Result<Self> {
+        let file = vfs.create(file_name)?;
+        // Materialize the meta page.
+        vfs.write_at(file, 0, &vec![0u8; page_bytes])?;
+        Ok(Self {
+            vfs,
+            file,
+            page_bytes,
+            cache_bytes,
+            cache: HashMap::new(),
+            cached_bytes: 0,
+            access_clock: 0,
+            next_page: 1,
+            free_list: Vec::new(),
+            stats: PagerStats::default(),
+            encode_buf: Vec::new(),
+        })
+    }
+
+    /// Opens an existing tree file (recovery path). The page count comes
+    /// from the file size; the free list starts empty — the caller
+    /// rebuilds it from tree reachability via [`Pager::set_free_list`].
+    pub fn open_existing(
+        vfs: Vfs,
+        file_name: &str,
+        page_bytes: usize,
+        cache_bytes: u64,
+    ) -> Result<Self> {
+        let file = vfs.open(file_name)?;
+        let size = vfs.size(file)?;
+        if size == 0 || size % page_bytes as u64 != 0 {
+            return Err(BTreeError::Corruption(format!(
+                "tree file size {size} is not a multiple of the {page_bytes}-byte page size"
+            )));
+        }
+        Ok(Self {
+            vfs,
+            file,
+            page_bytes,
+            cache_bytes,
+            cache: HashMap::new(),
+            cached_bytes: 0,
+            access_clock: 0,
+            next_page: size / page_bytes as u64,
+            free_list: Vec::new(),
+            stats: PagerStats::default(),
+            encode_buf: Vec::new(),
+        })
+    }
+
+    /// Installs a rebuilt free list (recovery path).
+    pub fn set_free_list(&mut self, pages: Vec<PageNo>) {
+        debug_assert!(pages.iter().all(|&p| p >= 1 && p < self.next_page));
+        self.free_list = pages;
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    /// Number of pages ever materialized (including freed ones).
+    pub fn page_count(&self) -> PageNo {
+        self.next_page
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> PagerStats {
+        self.stats
+    }
+
+    /// Allocates a page, reusing freed pages first (keeping the file's
+    /// LBA footprint stable) and extending the file otherwise.
+    pub fn allocate(&mut self, node: Node) -> Result<PageNo> {
+        self.stats.allocations += 1;
+        let page = match self.free_list.pop() {
+            Some(p) => p,
+            None => {
+                let p = self.next_page;
+                // Materialize the new page at EOF so the file never has
+                // holes (an append at the device level).
+                self.vfs.write_at(self.file, p * self.page_bytes as u64, &vec![0u8; self.page_bytes])?;
+                self.next_page += 1;
+                p
+            }
+        };
+        self.insert_cached(page, node, true)?;
+        Ok(page)
+    }
+
+    /// Returns a page to the free list (contents become garbage).
+    pub fn free(&mut self, page: PageNo) {
+        if let Some(c) = self.cache.remove(&page) {
+            self.cached_bytes -= c.node.encoded_len() as u64;
+        }
+        debug_assert!(!self.free_list.contains(&page), "double free of page {page}");
+        self.free_list.push(page);
+    }
+
+    /// Reads a page (through the cache), returning a clone of the node.
+    pub fn read(&mut self, page: PageNo) -> Result<Node> {
+        self.access_clock += 1;
+        let clock = self.access_clock;
+        if let Some(c) = self.cache.get_mut(&page) {
+            c.last_access = clock;
+            self.stats.hits += 1;
+            return Ok(c.node.clone());
+        }
+        self.stats.misses += 1;
+        let buf = self.vfs.read_at(self.file, page * self.page_bytes as u64, self.page_bytes)?;
+        if buf.len() < self.page_bytes {
+            return Err(BTreeError::Corruption(format!("short read of page {page}")));
+        }
+        let node = Node::decode(&buf)?;
+        self.insert_cached(page, node.clone(), false)?;
+        Ok(node)
+    }
+
+    /// Replaces a page's contents in cache and marks it dirty; the write
+    /// reaches the file on eviction or checkpoint.
+    pub fn write(&mut self, page: PageNo, node: Node) -> Result<()> {
+        assert!(
+            node.encoded_len() <= self.page_bytes,
+            "node of {} bytes exceeds page size {}",
+            node.encoded_len(),
+            self.page_bytes
+        );
+        if let Some(c) = self.cache.get_mut(&page) {
+            self.cached_bytes = self.cached_bytes - c.node.encoded_len() as u64 + node.encoded_len() as u64;
+            c.node = node;
+            c.dirty = true;
+            self.access_clock += 1;
+            c.last_access = self.access_clock;
+            self.evict_as_needed()?;
+            return Ok(());
+        }
+        self.insert_cached(page, node, true)
+    }
+
+    fn insert_cached(&mut self, page: PageNo, node: Node, dirty: bool) -> Result<()> {
+        self.access_clock += 1;
+        self.cached_bytes += node.encoded_len() as u64;
+        self.cache.insert(page, CachedPage { node, dirty, last_access: self.access_clock });
+        self.evict_as_needed()
+    }
+
+    fn evict_as_needed(&mut self) -> Result<()> {
+        while self.cached_bytes > self.cache_bytes && self.cache.len() > 1 {
+            let victim = self
+                .cache
+                .iter()
+                .min_by_key(|(_, c)| c.last_access)
+                .map(|(&p, _)| p)
+                .expect("cache non-empty");
+            self.flush_page(victim)?;
+            let c = self.cache.remove(&victim).expect("victim cached");
+            self.cached_bytes -= c.node.encoded_len() as u64;
+        }
+        Ok(())
+    }
+
+    fn flush_page(&mut self, page: PageNo) -> Result<()> {
+        let c = self.cache.get(&page).expect("page cached");
+        if !c.dirty {
+            return Ok(());
+        }
+        c.node.encode(&mut self.encode_buf);
+        self.encode_buf.resize(self.page_bytes, 0);
+        let buf = std::mem::take(&mut self.encode_buf);
+        self.vfs.write_at(self.file, page * self.page_bytes as u64, &buf)?;
+        self.encode_buf = buf;
+        self.stats.writebacks += 1;
+        self.cache.get_mut(&page).expect("page cached").dirty = false;
+        Ok(())
+    }
+
+    /// Writes every dirty page plus the metadata page, then fsyncs —
+    /// the checkpoint operation.
+    pub fn checkpoint(&mut self, meta: &[u8]) -> Result<()> {
+        assert!(meta.len() <= self.page_bytes);
+        let mut dirty: Vec<PageNo> =
+            self.cache.iter().filter(|(_, c)| c.dirty).map(|(&p, _)| p).collect();
+        dirty.sort_unstable();
+        for page in dirty {
+            self.flush_page(page)?;
+        }
+        let mut meta_buf = meta.to_vec();
+        meta_buf.resize(self.page_bytes, 0);
+        self.vfs.write_at(self.file, 0, &meta_buf)?;
+        self.vfs.fsync(self.file)?;
+        self.stats.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Reads the metadata page (bypassing the node cache).
+    pub fn read_meta(&mut self) -> Result<Vec<u8>> {
+        Ok(self.vfs.read_at(self.file, 0, self.page_bytes)?)
+    }
+
+    /// Current number of dirty pages in cache.
+    pub fn dirty_pages(&self) -> usize {
+        self.cache.values().filter(|c| c.dirty).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbench_ssd::{DeviceConfig, DeviceProfile, Ssd};
+    use ptsbench_vfs::VfsOptions;
+
+    fn vfs() -> Vfs {
+        let ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 32 << 20));
+        Vfs::whole_device(ssd.into_shared(), VfsOptions::default())
+    }
+
+    fn leaf(tag: u8, bytes: usize) -> Node {
+        Node::Leaf { entries: vec![(vec![tag], vec![tag; bytes])] }
+    }
+
+    #[test]
+    fn allocate_read_write_round_trip() {
+        let mut p = Pager::create(vfs(), "t.db", 4096, 64 << 10).expect("create");
+        let page = p.allocate(leaf(1, 10)).expect("alloc");
+        assert_eq!(p.read(page).expect("read"), leaf(1, 10));
+        p.write(page, leaf(2, 20)).expect("write");
+        assert_eq!(p.read(page).expect("read"), leaf(2, 20));
+    }
+
+    #[test]
+    fn eviction_writes_back_and_reload_works() {
+        // Cache of 16 KiB with ~3 KiB nodes: ~5 fit.
+        let mut p = Pager::create(vfs(), "t.db", 4096, 16 << 10).expect("create");
+        let pages: Vec<PageNo> =
+            (0..10).map(|i| p.allocate(leaf(i, 3000)).expect("alloc")).collect();
+        assert!(p.stats().writebacks > 0, "evictions must write dirty pages");
+        // Everything still readable (from disk where evicted).
+        for (i, &page) in pages.iter().enumerate() {
+            assert_eq!(p.read(page).expect("read"), leaf(i as u8, 3000));
+        }
+        assert!(p.stats().misses > 0);
+    }
+
+    #[test]
+    fn in_place_writeback_hits_same_lbas() {
+        let v = vfs();
+        let mut p = Pager::create(v.clone(), "t.db", 4096, 16 << 10).expect("create");
+        let page = p.allocate(leaf(1, 3000)).expect("alloc");
+        p.checkpoint(b"m1").expect("ckpt");
+        let mapped_before = v.ssd().lock().mapped_pages();
+        for i in 0..20 {
+            p.write(page, leaf(i, 3000)).expect("write");
+            p.checkpoint(b"m1").expect("ckpt");
+        }
+        assert_eq!(
+            v.ssd().lock().mapped_pages(),
+            mapped_before,
+            "rewrites must not grow the LBA footprint"
+        );
+    }
+
+    #[test]
+    fn checkpoint_flushes_all_dirty() {
+        let mut p = Pager::create(vfs(), "t.db", 4096, 64 << 10).expect("create");
+        for i in 0..5 {
+            p.allocate(leaf(i, 100)).expect("alloc");
+        }
+        assert!(p.dirty_pages() > 0);
+        p.checkpoint(b"meta-bytes").expect("ckpt");
+        assert_eq!(p.dirty_pages(), 0);
+        let meta = p.read_meta().expect("meta");
+        assert_eq!(&meta[..10], b"meta-bytes");
+    }
+
+    #[test]
+    fn free_list_reuses_pages() {
+        let mut p = Pager::create(vfs(), "t.db", 4096, 64 << 10).expect("create");
+        let a = p.allocate(leaf(1, 10)).expect("alloc");
+        let count = p.page_count();
+        p.free(a);
+        let b = p.allocate(leaf(2, 10)).expect("alloc");
+        assert_eq!(a, b, "freed page must be reused");
+        assert_eq!(p.page_count(), count, "file must not grow");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page size")]
+    fn oversized_node_panics() {
+        let mut p = Pager::create(vfs(), "t.db", 4096, 64 << 10).expect("create");
+        let page = p.allocate(leaf(1, 10)).expect("alloc");
+        p.write(page, leaf(2, 8000)).expect("write");
+    }
+}

@@ -1,0 +1,130 @@
+//! Storage-cost comparisons from measured runs (Fig 6c, Fig 8).
+//!
+//! The paper's heatmaps take each configuration's *measured*
+//! steady-state throughput and space amplification and ask how many
+//! drives a deployment needs for a given (dataset size, target
+//! throughput) point. This module bridges [`crate::RunResult`]s to
+//! `ptsbench_metrics::cost`.
+
+use ptsbench_metrics::cost::{CostModel, Heatmap};
+
+use crate::runner::RunResult;
+
+/// Terabyte in bytes.
+pub const TB: u64 = 1 << 40;
+
+/// Builds a cost model from a measured run: per-instance throughput is
+/// the steady-state measurement, per-instance indexable data is the
+/// reference-scale usable capacity (partition fraction of the reference
+/// drive) divided by the measured space amplification.
+pub fn model_from_run(name: &str, r: &RunResult, reference_capacity: u64) -> CostModel {
+    assert!(!r.failed_during_load, "cannot build a cost model from a failed run");
+    let partition_fraction = r.partition_bytes as f64 / r.device_bytes as f64;
+    let usable =
+        (reference_capacity as f64 * partition_fraction / r.space_amplification()) as u64;
+    CostModel {
+        name: name.to_string(),
+        per_instance_ops: (r.steady.steady_kops * 1_000.0).max(1.0),
+        per_instance_data_bytes: usable.max(1),
+    }
+}
+
+/// The Fig 6c comparison: LSM vs B+Tree over the paper's grid
+/// (1–5 TB total dataset, 5–25 Kops/s target throughput).
+pub fn fig6c_heatmap(lsm: &RunResult, btree: &RunResult, reference_capacity: u64) -> Heatmap {
+    let a = model_from_run("RocksDB-like LSM", lsm, reference_capacity);
+    let b = model_from_run("WiredTiger-like B+Tree", btree, reference_capacity);
+    Heatmap::compare(&a, &b, dataset_axis(), throughput_axis())
+}
+
+/// The Fig 8 comparison: LSM without vs with extra over-provisioning.
+pub fn fig8_heatmap(no_op: &RunResult, extra_op: &RunResult, reference_capacity: u64) -> Heatmap {
+    let a = model_from_run("LSM no extra OP", no_op, reference_capacity);
+    let b = model_from_run("LSM extra OP", extra_op, reference_capacity);
+    Heatmap::compare(&a, &b, dataset_axis(), throughput_axis())
+}
+
+/// The paper's x axis: 1–5 TB.
+pub fn dataset_axis() -> Vec<u64> {
+    (1..=5).map(|t| t * TB).collect()
+}
+
+/// The paper's y axis: 5–25 Kops/s.
+pub fn throughput_axis() -> Vec<f64> {
+    (1..=5).map(|k| k as f64 * 5_000.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{RunResult, SteadySummary};
+    use ptsbench_metrics::cost::DeploymentPlan;
+    use ptsbench_metrics::histogram::LatencyHistogram;
+
+    const GB: u64 = 1 << 30;
+
+    fn fake_run(steady_kops: f64, space_amp: f64, partition_fraction: f64) -> RunResult {
+        let device_bytes = 256 << 20;
+        let dataset_bytes = 128 << 20;
+        RunResult {
+            label: "fake".into(),
+            samples: Vec::new(),
+            out_of_space: false,
+            failed_during_load: false,
+            ops_executed: 1,
+            latency: LatencyHistogram::new(),
+            lba_cdf: None,
+            untouched_lba_fraction: None,
+            disk_used_bytes: (dataset_bytes as f64 * space_amp) as u64,
+            dataset_bytes,
+            partition_bytes: (device_bytes as f64 * partition_fraction) as u64,
+            device_bytes,
+            steady: SteadySummary {
+                steady_from: Some(0),
+                early_kops: steady_kops * 2.0,
+                steady_kops,
+                wa_a: 10.0,
+                wa_d: 2.0,
+                end_to_end_wa: 20.0,
+                three_times_capacity: true,
+            },
+        }
+    }
+
+    #[test]
+    fn model_reflects_measurements() {
+        let r = fake_run(3.0, 1.6, 1.0);
+        let m = model_from_run("m", &r, 400 * GB);
+        assert!((m.per_instance_ops - 3_000.0).abs() < 1e-6);
+        let expect = 400.0 * GB as f64 / 1.6;
+        assert!((m.per_instance_data_bytes as f64 - expect).abs() / expect < 1e-6);
+    }
+
+    #[test]
+    fn partition_fraction_shrinks_capacity() {
+        let full = model_from_run("f", &fake_run(3.0, 1.6, 1.0), 400 * GB);
+        let op = model_from_run("o", &fake_run(5.0, 1.6, 0.75), 400 * GB);
+        assert!(op.per_instance_data_bytes < full.per_instance_data_bytes);
+        assert!(op.per_instance_ops > full.per_instance_ops);
+    }
+
+    #[test]
+    fn fig6c_shape() {
+        // LSM: fast but space-hungry. B+Tree: slow but dense.
+        let lsm = fake_run(3.0, 1.86, 1.0);
+        let bt = fake_run(1.0, 1.15, 1.0);
+        let h = fig6c_heatmap(&lsm, &bt, 400 * GB);
+        // Big dataset, low throughput: B+Tree cheaper.
+        assert_eq!(h.at(4, 0), DeploymentPlan::SecondCheaper);
+        // Small dataset, high throughput: LSM cheaper.
+        assert_eq!(h.at(0, 4), DeploymentPlan::FirstCheaper);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed run")]
+    fn failed_run_rejected() {
+        let mut r = fake_run(1.0, 1.0, 1.0);
+        r.failed_during_load = true;
+        model_from_run("x", &r, 400 * GB);
+    }
+}

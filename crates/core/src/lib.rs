@@ -1,0 +1,38 @@
+//! # ptsbench-core — the benchmarking methodology
+//!
+//! This crate is the reproduction of the paper's primary contribution:
+//! a rigorous methodology for evaluating persistent tree structures
+//! (PTSes) on flash SSDs, organized around its seven benchmarking
+//! pitfalls.
+//!
+//! * [`system`] — a uniform façade ([`PtsSystem`]) over the two engines
+//!   (`ptsbench-lsm`, `ptsbench-btree`) mounted on a simulated flash
+//!   stack.
+//! * [`state`] — drive-state control: trimmed vs preconditioned (§3.4).
+//! * [`runner`] — the experiment runner: sequential load phase, timed
+//!   update/read phase on the simulated clock, per-window sampling of
+//!   every §3.3 metric (KV throughput, device throughput, WA-A, WA-D,
+//!   space amplification), CUSUM steady-state summary.
+//! * [`pitfalls`] — one module per pitfall; each reproduces the
+//!   corresponding figures and returns a programmatic verdict that the
+//!   pitfall's phenomenon manifested.
+//! * [`costmodel`] — measured-throughput + space-amplification inputs to
+//!   the storage-cost heatmaps (Fig 6c, Fig 8).
+//!
+//! All results are reported in *reference-scale* units: the simulated
+//! device is a time-dilated replica of a paper-scale drive (see
+//! `ptsbench_ssd::DeviceProfile::scaled_to`), so Kops/s and MB/s numbers
+//! are directly comparable to the figures in the paper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod costmodel;
+pub mod pitfalls;
+pub mod runner;
+pub mod state;
+pub mod system;
+
+pub use runner::{run, RunConfig, RunResult, Sample, SteadySummary};
+pub use state::DriveState;
+pub use system::{EngineKind, PtsError, PtsSystem};

@@ -1,0 +1,126 @@
+//! Pitfall 1 — *Running short tests* (paper §4.1, Figure 2).
+//!
+//! Both the PTS and the SSD evolve over time: the LSM's write
+//! amplification grows as its levels fill, the drive's WA-D grows once
+//! free blocks run out and garbage collection starts. Measuring
+//! throughput in the first minutes over-reports the sustainable rate —
+//! by 2.6–3.6x for RocksDB in the paper.
+
+use ptsbench_metrics::report::render_series_table;
+
+use crate::pitfalls::{PitfallOptions, PitfallReport, Verdict};
+use crate::runner::{run, RunConfig, RunResult};
+use crate::state::DriveState;
+use crate::system::EngineKind;
+
+/// The Figure 2 experiment: both engines on a trimmed drive, default
+/// workload, observed over time.
+#[derive(Debug, Clone)]
+pub struct Pitfall1 {
+    /// RocksDB-like run (Fig 2a/2c).
+    pub lsm: RunResult,
+    /// WiredTiger-like run (Fig 2b/2d).
+    pub btree: RunResult,
+}
+
+/// Runs the Figure 2 experiment.
+pub fn evaluate(opts: &PitfallOptions) -> Pitfall1 {
+    let base = RunConfig {
+        device_bytes: opts.device_bytes,
+        duration: opts.duration,
+        sample_window: opts.sample_window,
+        drive_state: DriveState::Trimmed,
+        seed: opts.seed,
+        ..RunConfig::default()
+    };
+    let lsm = run(&RunConfig { engine: EngineKind::Lsm, ..base.clone() });
+    let btree = run(&RunConfig { engine: EngineKind::BTree, ..base });
+    Pitfall1 { lsm, btree }
+}
+
+impl Pitfall1 {
+    /// Builds the report with the paper's claims as verdicts.
+    pub fn report(&self) -> PitfallReport {
+        let mut rendered = String::from("-- Fig 2a/2c: LSM throughput, WA-A, WA-D over time --\n");
+        rendered.push_str(&render_series_table(&[
+            &self.lsm.throughput_series(),
+            &self.lsm.device_write_series(),
+            &self.lsm.wa_a_series(),
+            &self.lsm.wa_d_series(),
+        ]));
+        rendered.push_str("-- Fig 2b/2d: B+Tree throughput, WA-A, WA-D over time --\n");
+        rendered.push_str(&render_series_table(&[
+            &self.btree.throughput_series(),
+            &self.btree.device_write_series(),
+            &self.btree.wa_a_series(),
+            &self.btree.wa_d_series(),
+        ]));
+
+        let lsm_ratio = self.lsm.steady.early_kops / self.lsm.steady.steady_kops.max(1e-9);
+        let bt_ratio = self.btree.steady.early_kops / self.btree.steady.steady_kops.max(1e-9);
+
+        let lsm_wa_a = self.lsm.wa_a_series();
+        let wa_a_first = lsm_wa_a.early_mean(1).unwrap_or(1.0);
+        let wa_a_last = lsm_wa_a.last().unwrap_or(1.0);
+
+        let lsm_wa_d_last = self.lsm.wa_d_series().last().unwrap_or(1.0);
+
+        let verdicts = vec![
+            Verdict::new(
+                "LSM early throughput overestimates steady state by >=1.5x",
+                lsm_ratio >= 1.5,
+                format!(
+                    "early {:.2} Kops vs steady {:.2} Kops ({lsm_ratio:.2}x; paper: 2.6-3.6x)",
+                    self.lsm.steady.early_kops, self.lsm.steady.steady_kops
+                ),
+            ),
+            Verdict::new(
+                "B+Tree degrades less than the LSM (flat-to-mild decline)",
+                bt_ratio >= 0.9 && bt_ratio <= lsm_ratio,
+                format!("B+Tree early/steady {bt_ratio:.2}x vs LSM {lsm_ratio:.2}x"),
+            ),
+            Verdict::new(
+                "LSM WA-A grows as levels fill, then flattens",
+                wa_a_last > wa_a_first * 1.15,
+                format!("WA-A first window {wa_a_first:.2} -> final {wa_a_last:.2}"),
+            ),
+            Verdict::new(
+                "WA-D rises above 1 once free blocks are exhausted",
+                lsm_wa_d_last > 1.2,
+                format!("LSM final WA-D {lsm_wa_d_last:.2} (paper: ~2.1)"),
+            ),
+            Verdict::new(
+                "B+Tree WA-A is stable over time",
+                {
+                    let s = self.btree.wa_a_series();
+                    let early = s.early_mean(2).unwrap_or(1.0);
+                    let late = s.tail_mean(2).unwrap_or(1.0);
+                    (late - early).abs() / early.max(1e-9) < 0.35
+                },
+                format!(
+                    "B+Tree WA-A early {:.2} vs late {:.2}",
+                    self.btree.wa_a_series().early_mean(2).unwrap_or(1.0),
+                    self.btree.wa_a_series().tail_mean(2).unwrap_or(1.0)
+                ),
+            ),
+        ];
+        PitfallReport { id: 1, title: "Running short tests", rendered, verdicts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pitfall1_manifests_on_quick_config() {
+        let p = evaluate(&PitfallOptions::quick());
+        let report = p.report();
+        assert!(
+            report.passed(),
+            "pitfall 1 verdicts failed:\n{}",
+            report.to_text()
+        );
+        assert!(report.rendered.contains("Fig 2a"));
+    }
+}

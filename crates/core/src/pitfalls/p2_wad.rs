@@ -1,0 +1,105 @@
+//! Pitfall 2 — *Not analyzing WA-D* (paper §4.2).
+//!
+//! The paper's central counter-intuitive measurement: judged by WA-A
+//! alone the LSM looks only modestly worse than the B+Tree (12 vs 10),
+//! but multiplying in device-level amplification the end-to-end gap
+//! roughly doubles (25 vs 12) — and, on a trimmed half-utilized drive,
+//! the "flash-friendly sequential" LSM actually has the *higher* WA-D,
+//! capsizing conventional wisdom.
+
+use ptsbench_metrics::report::render_sweep_table;
+use ptsbench_metrics::wa::WaBreakdown;
+
+use crate::pitfalls::{p1_short_tests::Pitfall1, PitfallOptions, PitfallReport, Verdict};
+use crate::runner::RunResult;
+
+/// End-to-end WA analysis of a pair of comparable runs.
+#[derive(Debug, Clone)]
+pub struct Pitfall2 {
+    /// LSM run on a trimmed drive.
+    pub lsm: RunResult,
+    /// B+Tree run on a trimmed drive.
+    pub btree: RunResult,
+}
+
+/// Runs the experiment (same configuration as Pitfall 1).
+pub fn evaluate(opts: &PitfallOptions) -> Pitfall2 {
+    let p1 = crate::pitfalls::p1_short_tests::evaluate(opts);
+    from_pitfall1(p1)
+}
+
+/// Reuses Pitfall 1's runs (they are the same experiment).
+pub fn from_pitfall1(p1: Pitfall1) -> Pitfall2 {
+    Pitfall2 { lsm: p1.lsm, btree: p1.btree }
+}
+
+impl Pitfall2 {
+    /// WA decomposition for one run (arbitrary app-byte base).
+    fn breakdown(r: &RunResult) -> WaBreakdown {
+        // Reconstruct byte counters from the cumulative ratios.
+        let app = 1_000_000u64;
+        let host = (app as f64 * r.steady.wa_a) as u64;
+        let nand = (host as f64 * r.steady.wa_d) as u64;
+        WaBreakdown { app_bytes: app, host_bytes: host, nand_bytes: nand }
+    }
+
+    /// Builds the report.
+    pub fn report(&self) -> PitfallReport {
+        let lsm = Self::breakdown(&self.lsm);
+        let bt = Self::breakdown(&self.btree);
+        let rendered = render_sweep_table(
+            "WA decomposition (trimmed drive, default workload)",
+            &["WA-A", "WA-D", "end-to-end"],
+            &[
+                ("LSM".to_string(), vec![lsm.wa_a(), lsm.wa_d(), lsm.end_to_end()]),
+                ("B+Tree".to_string(), vec![bt.wa_a(), bt.wa_d(), bt.end_to_end()]),
+            ],
+        );
+
+        let wa_a_gap = lsm.wa_a() / bt.wa_a().max(1e-9);
+        let e2e_gap = lsm.end_to_end() / bt.end_to_end().max(1e-9);
+
+        let verdicts = vec![
+            Verdict::new(
+                "LSM WA-A exceeds B+Tree WA-A (the conventional comparison)",
+                lsm.wa_a() > bt.wa_a(),
+                format!("{:.1} vs {:.1} (paper: 12 vs 10)", lsm.wa_a(), bt.wa_a()),
+            ),
+            Verdict::new(
+                "on a trimmed half-utilized drive the LSM's WA-D exceeds the B+Tree's \
+                 (capsizing the sequential-writes-are-flash-friendly intuition)",
+                lsm.wa_d() > bt.wa_d(),
+                format!("{:.2} vs {:.2} (paper: ~2.1 vs ~1.5)", lsm.wa_d(), bt.wa_d()),
+            ),
+            Verdict::new(
+                "the end-to-end gap is materially larger than the WA-A gap",
+                e2e_gap > wa_a_gap * 1.10,
+                format!(
+                    "WA-A gap {wa_a_gap:.2}x vs end-to-end gap {e2e_gap:.2}x (paper: 1.2x -> 2.1x)"
+                ),
+            ),
+        ];
+        PitfallReport { id: 2, title: "Not analyzing WA-D", rendered, verdicts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pitfall2_manifests_on_quick_config() {
+        // WA-D comparisons are steady-state claims: run long enough for
+        // cumulative host writes to reach ~3x the device capacity.
+        let p = evaluate(&PitfallOptions {
+            duration: 150 * ptsbench_ssd::MINUTE,
+            ..PitfallOptions::quick()
+        });
+        let report = p.report();
+        assert!(
+            report.passed(),
+            "pitfall 2 verdicts failed:\n{}",
+            report.to_text()
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Pitfall 7 — *Testing on a single SSD type*
+//! (paper §4.7, Figures 9 and 10).
+//!
+//! Swapping only the drive changes both the absolute numbers and the
+//! *ranking* of the engines: RocksDB is an order of magnitude faster on
+//! Optane than on the consumer QLC drive (whose large cache its bursty
+//! compactions overwhelm), while WiredTiger — small uniform writes the
+//! cache absorbs — actually prefers the consumer drive over the
+//! enterprise one. The drive also dictates throughput *variability*
+//! (Fig 10).
+
+use ptsbench_metrics::report::{render_series_table, render_sweep_table};
+use ptsbench_ssd::{DeviceProfile, MINUTE};
+
+use crate::pitfalls::{PitfallOptions, PitfallReport, Verdict};
+use crate::runner::{run, RunConfig, RunResult};
+use crate::state::DriveState;
+use crate::system::EngineKind;
+
+/// The Figure 9/10 experiment: engine x {SSD1, SSD2, SSD3}, small
+/// dataset (10x smaller than default, §4.7), trimmed drives,
+/// 1-minute sampling for the variability plot.
+#[derive(Debug, Clone)]
+pub struct Pitfall7 {
+    /// Results keyed by (engine, profile index 0..3).
+    pub runs: Vec<(EngineKind, usize, RunResult)>,
+}
+
+/// The three drives.
+pub fn profiles() -> [DeviceProfile; 3] {
+    [DeviceProfile::ssd1(), DeviceProfile::ssd2(), DeviceProfile::ssd3()]
+}
+
+/// Runs the experiment.
+pub fn evaluate(opts: &PitfallOptions) -> Pitfall7 {
+    let mut runs = Vec::new();
+    for engine in [EngineKind::Lsm, EngineKind::BTree] {
+        for (idx, profile) in profiles().into_iter().enumerate() {
+            let cfg = RunConfig {
+                engine,
+                profile,
+                // "a dataset that is 10x smaller than the default one".
+                dataset_fraction: 0.05,
+                drive_state: DriveState::Trimmed,
+                device_bytes: opts.device_bytes,
+                duration: opts.duration,
+                // Fig 10 uses 1-minute averages.
+                sample_window: (opts.sample_window / 10).max(MINUTE),
+                seed: opts.seed,
+                ..RunConfig::default()
+            };
+            runs.push((engine, idx, run(&cfg)));
+        }
+    }
+    Pitfall7 { runs }
+}
+
+impl Pitfall7 {
+    /// Looks up one run (profile 0 = SSD1, 1 = SSD2, 2 = SSD3).
+    pub fn get(&self, engine: EngineKind, profile_idx: usize) -> &RunResult {
+        &self
+            .runs
+            .iter()
+            .find(|(e, p, _)| *e == engine && *p == profile_idx)
+            .expect("run exists")
+            .2
+    }
+
+    /// Builds the report.
+    pub fn report(&self) -> PitfallReport {
+        let kops = |e, p| self.get(e, p).steady.steady_kops;
+        let mut rendered = render_sweep_table(
+            "Fig 9: steady throughput by SSD type (Kops/s)",
+            &["SSD1", "SSD2", "SSD3"],
+            &[
+                (
+                    "lsm".to_string(),
+                    vec![kops(EngineKind::Lsm, 0), kops(EngineKind::Lsm, 1), kops(EngineKind::Lsm, 2)],
+                ),
+                (
+                    "btree".to_string(),
+                    vec![
+                        kops(EngineKind::BTree, 0),
+                        kops(EngineKind::BTree, 1),
+                        kops(EngineKind::BTree, 2),
+                    ],
+                ),
+            ],
+        );
+        rendered.push_str("-- Fig 10a: LSM throughput over time (1-min averages) --\n");
+        rendered.push_str(&render_series_table(&[
+            &self.get(EngineKind::Lsm, 0).series("SSD1", |s| s.kv_kops),
+            &self.get(EngineKind::Lsm, 1).series("SSD2", |s| s.kv_kops),
+            &self.get(EngineKind::Lsm, 2).series("SSD3", |s| s.kv_kops),
+        ]));
+        rendered.push_str("-- Fig 10b: B+Tree throughput over time (1-min averages) --\n");
+        rendered.push_str(&render_series_table(&[
+            &self.get(EngineKind::BTree, 0).series("SSD1", |s| s.kv_kops),
+            &self.get(EngineKind::BTree, 1).series("SSD2", |s| s.kv_kops),
+            &self.get(EngineKind::BTree, 2).series("SSD3", |s| s.kv_kops),
+        ]));
+
+        let tail = 10;
+        let lsm_swing_ssd1 =
+            self.get(EngineKind::Lsm, 0).throughput_series().tail_relative_swing(tail).unwrap_or(0.0);
+        let bt_swing_ssd1 =
+            self.get(EngineKind::BTree, 0).throughput_series().tail_relative_swing(tail).unwrap_or(0.0);
+        let lsm_range = kops(EngineKind::Lsm, 2) / kops(EngineKind::Lsm, 1).max(1e-9);
+        let bt_range = {
+            let v = [
+                kops(EngineKind::BTree, 0),
+                kops(EngineKind::BTree, 1),
+                kops(EngineKind::BTree, 2),
+            ];
+            let max = v.iter().cloned().fold(f64::MIN, f64::max);
+            let min = v.iter().cloned().fold(f64::MAX, f64::min);
+            max / min.max(1e-9)
+        };
+
+        let verdicts = vec![
+            Verdict::new(
+                "both engines are fastest on SSD3 (the performance upper bound)",
+                kops(EngineKind::Lsm, 2) >= kops(EngineKind::Lsm, 0)
+                    && kops(EngineKind::Lsm, 2) >= kops(EngineKind::Lsm, 1)
+                    && kops(EngineKind::BTree, 2) >= kops(EngineKind::BTree, 0)
+                    && kops(EngineKind::BTree, 2) >= kops(EngineKind::BTree, 1),
+                format!(
+                    "LSM {:.1}/{:.1}/{:.1}, B+Tree {:.2}/{:.2}/{:.2} Kops on SSD1/2/3",
+                    kops(EngineKind::Lsm, 0),
+                    kops(EngineKind::Lsm, 1),
+                    kops(EngineKind::Lsm, 2),
+                    kops(EngineKind::BTree, 0),
+                    kops(EngineKind::BTree, 1),
+                    kops(EngineKind::BTree, 2)
+                ),
+            ),
+            Verdict::new(
+                "the engines rank the flash drives oppositely: LSM prefers SSD1, \
+                 B+Tree prefers SSD2 (the cache-absorption surprise)",
+                kops(EngineKind::Lsm, 0) > kops(EngineKind::Lsm, 1)
+                    && kops(EngineKind::BTree, 1) > kops(EngineKind::BTree, 0),
+                format!(
+                    "LSM SSD1 {:.1} vs SSD2 {:.1}; B+Tree SSD1 {:.2} vs SSD2 {:.2}",
+                    kops(EngineKind::Lsm, 0),
+                    kops(EngineKind::Lsm, 1),
+                    kops(EngineKind::BTree, 0),
+                    kops(EngineKind::BTree, 1)
+                ),
+            ),
+            Verdict::new(
+                "the LSM's best/worst spread across drives far exceeds the B+Tree's",
+                lsm_range > bt_range,
+                format!(
+                    "LSM SSD3/SSD2 spread {lsm_range:.1}x vs B+Tree max/min {bt_range:.1}x \
+                     (paper: ~20x vs 2.4x)"
+                ),
+            ),
+            Verdict::new(
+                "the LSM's throughput is more variable than the B+Tree's (Fig 10)",
+                lsm_swing_ssd1 > bt_swing_ssd1,
+                format!(
+                    "relative swing on SSD1: LSM {lsm_swing_ssd1:.2} vs B+Tree {bt_swing_ssd1:.2}"
+                ),
+            ),
+        ];
+        PitfallReport { id: 7, title: "Testing on a single SSD type", rendered, verdicts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pitfall7_manifests_on_quick_config() {
+        let opts = PitfallOptions {
+            device_bytes: 48 << 20,
+            duration: 30 * MINUTE,
+            sample_window: 10 * MINUTE, // -> 1-minute windows internally
+            seed: 42,
+        };
+        let p = evaluate(&opts);
+        assert_eq!(p.runs.len(), 6);
+        let report = p.report();
+        assert!(
+            report.passed(),
+            "pitfall 7 verdicts failed:\n{}",
+            report.to_text()
+        );
+    }
+}

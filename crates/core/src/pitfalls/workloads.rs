@@ -1,0 +1,156 @@
+//! Additional workloads (paper §4.8, Figure 11).
+//!
+//! The pitfalls are not artifacts of the default workload: a 50:50
+//! read:write mix and a small-value (128 B) variant both show the same
+//! transient-vs-steady behaviour, the same WA-D dynamics and the same
+//! sensitivity to the drive's initial state.
+
+use ptsbench_metrics::report::render_series_table;
+
+use crate::pitfalls::{PitfallOptions, PitfallReport, Verdict};
+use crate::runner::{run, RunConfig, RunResult};
+use crate::state::DriveState;
+use crate::system::EngineKind;
+
+/// Which Fig 11 variant a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// 50:50 read:write ratio, 4000 B values (Fig 11a/11b).
+    MixedReads,
+    /// Write-only, 128 B values, proportionally more keys (Fig 11c/11d).
+    SmallValues,
+}
+
+impl Variant {
+    fn apply(&self, cfg: &mut RunConfig) {
+        match self {
+            Variant::MixedReads => cfg.read_fraction = 0.5,
+            Variant::SmallValues => cfg.value_size = 128,
+        }
+    }
+
+    /// Label for report rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::MixedReads => "50:50 r:w",
+            Variant::SmallValues => "128B values",
+        }
+    }
+}
+
+/// The Figure 11 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig11 {
+    /// Results keyed by (variant, engine, state).
+    pub runs: Vec<(Variant, EngineKind, DriveState, RunResult)>,
+}
+
+/// Runs all eight configurations.
+pub fn evaluate(opts: &PitfallOptions) -> Fig11 {
+    let mut runs = Vec::new();
+    for variant in [Variant::MixedReads, Variant::SmallValues] {
+        for engine in [EngineKind::Lsm, EngineKind::BTree] {
+            for state in [DriveState::Trimmed, DriveState::Preconditioned] {
+                let mut cfg = RunConfig {
+                    engine,
+                    drive_state: state,
+                    device_bytes: opts.device_bytes,
+                    duration: opts.duration,
+                    sample_window: opts.sample_window,
+                    seed: opts.seed,
+                    ..RunConfig::default()
+                };
+                variant.apply(&mut cfg);
+                runs.push((variant, engine, state, run(&cfg)));
+            }
+        }
+    }
+    Fig11 { runs }
+}
+
+impl Fig11 {
+    /// Looks up one run.
+    pub fn get(&self, variant: Variant, engine: EngineKind, state: DriveState) -> &RunResult {
+        &self
+            .runs
+            .iter()
+            .find(|(v, e, s, _)| *v == variant && *e == engine && *s == state)
+            .expect("run exists")
+            .3
+    }
+
+    /// Builds the report.
+    pub fn report(&self) -> PitfallReport {
+        let mut rendered = String::new();
+        for variant in [Variant::MixedReads, Variant::SmallValues] {
+            for engine in [EngineKind::Lsm, EngineKind::BTree] {
+                rendered.push_str(&format!("-- Fig 11 ({}, {}) --\n", variant.label(), engine.label()));
+                let trim = self.get(variant, engine, DriveState::Trimmed);
+                let prec = self.get(variant, engine, DriveState::Preconditioned);
+                rendered.push_str(&render_series_table(&[
+                    &trim.series("kops(trim)", |s| s.kv_kops),
+                    &prec.series("kops(prec)", |s| s.kv_kops),
+                    &trim.series("wa_d(trim)", |s| s.wa_d),
+                    &prec.series("wa_d(prec)", |s| s.wa_d),
+                ]));
+            }
+        }
+
+        let mut verdicts = Vec::new();
+        for variant in [Variant::MixedReads, Variant::SmallValues] {
+            let lsm_trim = self.get(variant, EngineKind::Lsm, DriveState::Trimmed).steady;
+            verdicts.push(Verdict::new(
+                format!("[{}] pitfall 1 holds: LSM early > steady throughput", variant.label()),
+                lsm_trim.early_kops > lsm_trim.steady_kops,
+                format!("early {:.2} vs steady {:.2} Kops", lsm_trim.early_kops, lsm_trim.steady_kops),
+            ));
+            let bt_trim = self.get(variant, EngineKind::BTree, DriveState::Trimmed).steady;
+            let bt_prec = self.get(variant, EngineKind::BTree, DriveState::Preconditioned).steady;
+            verdicts.push(Verdict::new(
+                format!("[{}] pitfall 3 holds: B+Tree WA-D higher when preconditioned", variant.label()),
+                bt_prec.wa_d > bt_trim.wa_d,
+                format!("WA-D trim {:.2} vs prec {:.2}", bt_trim.wa_d, bt_prec.wa_d),
+            ));
+            verdicts.push(Verdict::new(
+                format!("[{}] pitfall 2 holds: WA-D exceeds 1 under sustained writes", variant.label()),
+                bt_prec.wa_d > 1.05 && lsm_trim.wa_d > 1.05,
+                format!("LSM(trim) {:.2}, B+Tree(prec) {:.2}", lsm_trim.wa_d, bt_prec.wa_d),
+            ));
+        }
+        // The 128 B workload drives far more ops/s (paper Fig 11c's axis
+        // is two orders of magnitude above 11a's).
+        let small = self.get(Variant::SmallValues, EngineKind::Lsm, DriveState::Trimmed).steady;
+        let mixed = self.get(Variant::MixedReads, EngineKind::Lsm, DriveState::Trimmed).steady;
+        verdicts.push(Verdict::new(
+            "small values yield a much higher op rate than the mixed 4000B workload",
+            small.steady_kops > 3.0 * mixed.steady_kops,
+            format!("{:.1} vs {:.2} Kops", small.steady_kops, mixed.steady_kops),
+        ));
+
+        PitfallReport { id: 0, title: "Additional workloads (Fig 11)", rendered, verdicts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbench_ssd::MINUTE;
+
+    #[test]
+    fn fig11_manifests_on_quick_config() {
+        let opts = PitfallOptions {
+            device_bytes: 48 << 20,
+            duration: 60 * MINUTE,
+            sample_window: 5 * MINUTE,
+            seed: 42,
+        };
+        let f = evaluate(&opts);
+        assert_eq!(f.runs.len(), 8);
+        let report = f.report();
+        assert!(
+            report.passed(),
+            "fig 11 verdicts failed:\n{}",
+            report.to_text()
+        );
+    }
+}

@@ -1,0 +1,548 @@
+//! The experiment runner.
+//!
+//! One [`run`] reproduces the paper's measurement procedure end to end:
+//!
+//! 1. build a simulated drive in a controlled initial state (§3.4);
+//! 2. mount a filesystem on a partition (whole drive, or less when
+//!    testing software over-provisioning, §4.6);
+//! 3. bulk-load the dataset in sequential key order (§3.2);
+//! 4. reset observability (SMART baseline, traces) and run the
+//!    single-threaded update/read phase for a fixed simulated duration,
+//!    charging per-op CPU cost on the same clock as the device;
+//! 5. sample every §3.3 metric once per window (default: 10 simulated
+//!    minutes) and summarize steady state with CUSUM (§4.1).
+//!
+//! All reported rates are *reference-scale*: simulated ops/s multiplied
+//! by the capacity ratio, directly comparable to the paper's figures.
+
+use ptsbench_metrics::cusum::CusumDetector;
+use ptsbench_metrics::histogram::LatencyHistogram;
+use ptsbench_metrics::timeseries::TimeSeries;
+use ptsbench_ssd::{DeviceProfile, LpnRange, Ns, SmartCounters, Ssd, MINUTE};
+use ptsbench_vfs::{Vfs, VfsOptions};
+use ptsbench_workload::{KeyDistribution, Loader, OpGenerator, OpKind, WorkloadSpec};
+
+use crate::state::DriveState;
+use crate::system::{build_system, EngineKind, PtsError};
+
+/// Full description of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Engine under test.
+    pub engine: EngineKind,
+    /// Device profile (SSD1/SSD2/SSD3 or custom).
+    pub profile: DeviceProfile,
+    /// Simulated device capacity in bytes.
+    pub device_bytes: u64,
+    /// Dataset size as a fraction of device capacity (paper default 0.5).
+    pub dataset_fraction: f64,
+    /// Initial drive state.
+    pub drive_state: DriveState,
+    /// Fraction of the device given to the PTS partition; the remainder
+    /// is trimmed, acting as software over-provisioning (1.0 = all).
+    pub partition_fraction: f64,
+    /// Value size in bytes (paper default 4000; Fig 11 uses 128).
+    pub value_size: usize,
+    /// Fraction of read operations (0.0 = write-only; Fig 11 uses 0.5).
+    pub read_fraction: f64,
+    /// Key distribution for the update phase.
+    pub distribution: KeyDistribution,
+    /// Simulated duration of the measured phase.
+    pub duration: Ns,
+    /// Sampling window (paper reports 10-minute averages).
+    pub sample_window: Ns,
+    /// Per-op CPU cost at reference scale (ns); `None` = engine default.
+    pub cpu_cost_ns: Option<u64>,
+    /// End the measured phase early once CUSUM declares throughput
+    /// steady *and* cumulative host writes reach 3x device capacity —
+    /// the paper's §4.1 steady-state criteria, used adaptively.
+    pub stop_when_steady: bool,
+    /// Record the per-LBA write trace (Fig 4).
+    pub trace_lba: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            engine: EngineKind::Lsm,
+            profile: DeviceProfile::ssd1(),
+            device_bytes: 64 << 20,
+            dataset_fraction: 0.5,
+            drive_state: DriveState::Trimmed,
+            partition_fraction: 1.0,
+            value_size: 4000,
+            read_fraction: 0.0,
+            distribution: KeyDistribution::Uniform,
+            duration: 210 * MINUTE,
+            sample_window: 10 * MINUTE,
+            cpu_cost_ns: None,
+            stop_when_steady: false,
+            trace_lba: false,
+            seed: 42,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Capacity ratio between the reference device and the simulated
+    /// one; multiplying simulated rates by this yields reference-scale
+    /// numbers.
+    pub fn scale(&self) -> f64 {
+        self.profile.reference_capacity as f64 / self.device_bytes as f64
+    }
+
+    /// The derived workload specification.
+    pub fn workload(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            key_size: 16,
+            value_size: self.value_size,
+            read_fraction: self.read_fraction,
+            distribution: self.distribution,
+            seed: self.seed,
+            ..WorkloadSpec::default()
+        }
+        .sized_to(self.device_bytes, self.dataset_fraction)
+    }
+
+    /// Human-readable label for report rows.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/ds{:.2}{}",
+            self.engine.label(),
+            self.profile.name,
+            self.drive_state.label(),
+            self.dataset_fraction,
+            if self.partition_fraction < 1.0 {
+                format!("/op{:.2}", 1.0 - self.partition_fraction)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+/// One sampling window's metrics (all rates reference-scale).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Window end, relative to the start of the measured phase.
+    pub t: Ns,
+    /// KV-store throughput, Kops/s.
+    pub kv_kops: f64,
+    /// Device write throughput, MB/s (the `iostat` view).
+    pub device_write_mbps: f64,
+    /// Device read throughput, MB/s.
+    pub device_read_mbps: f64,
+    /// Cumulative application-level write amplification since t0.
+    pub wa_a: f64,
+    /// Cumulative device-level write amplification since t0.
+    pub wa_d: f64,
+    /// WA-D over this window alone.
+    pub wa_d_window: f64,
+    /// Space amplification (disk used / dataset bytes).
+    pub space_amp: f64,
+    /// Fraction of logical device space holding data.
+    pub device_utilization: f64,
+}
+
+/// Steady-state summary (§4.1 guidelines).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadySummary {
+    /// First window index from which CUSUM declares throughput steady.
+    pub steady_from: Option<usize>,
+    /// Mean throughput of the first two windows (the "short test"
+    /// measurement), Kops/s.
+    pub early_kops: f64,
+    /// Mean throughput over the last half of the run, Kops/s (windowed
+    /// means are noisy under compaction cycles; the paper's bar charts
+    /// likewise average long steady periods).
+    pub steady_kops: f64,
+    /// WA-A at the end of the run (cumulative).
+    pub wa_a: f64,
+    /// WA-D at the end of the run (cumulative).
+    pub wa_d: f64,
+    /// End-to-end write amplification (WA-A x WA-D, §4.2).
+    pub end_to_end_wa: f64,
+    /// Whether cumulative host writes reached 3x device capacity (the
+    /// §4.1 rule of thumb for device steady state).
+    pub three_times_capacity: bool,
+}
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Label of the generating configuration.
+    pub label: String,
+    /// Windowed samples.
+    pub samples: Vec<Sample>,
+    /// Whether the run ended early because the partition filled up.
+    pub out_of_space: bool,
+    /// Whether out-of-space happened during the load phase.
+    pub failed_during_load: bool,
+    /// Operations executed in the measured phase.
+    pub ops_executed: u64,
+    /// Per-op latency distribution (simulated ns, reference-scale after
+    /// dividing by the capacity ratio — see [`RunConfig::scale`]).
+    pub latency: LatencyHistogram,
+    /// Fig 4 curve: CDF of write probability over LBAs sorted by
+    /// decreasing write count (when tracing was enabled).
+    pub lba_cdf: Option<Vec<(f64, f64)>>,
+    /// Fraction of the LBA space never written (when tracing).
+    pub untouched_lba_fraction: Option<f64>,
+    /// Disk bytes used by the PTS at the end of the run.
+    pub disk_used_bytes: u64,
+    /// Logical dataset bytes.
+    pub dataset_bytes: u64,
+    /// PTS partition size in bytes.
+    pub partition_bytes: u64,
+    /// Simulated device capacity in bytes.
+    pub device_bytes: u64,
+    /// Steady-state summary.
+    pub steady: SteadySummary,
+}
+
+impl RunResult {
+    /// Extracts a named time series from the samples.
+    pub fn series(&self, name: &str, f: impl Fn(&Sample) -> f64) -> TimeSeries {
+        let mut s = TimeSeries::new(name);
+        for sample in &self.samples {
+            s.push(sample.t, f(sample));
+        }
+        s
+    }
+
+    /// Throughput series (Kops/s).
+    pub fn throughput_series(&self) -> TimeSeries {
+        self.series("kv_kops", |s| s.kv_kops)
+    }
+
+    /// Device write throughput series (MB/s).
+    pub fn device_write_series(&self) -> TimeSeries {
+        self.series("dev_w_mbps", |s| s.device_write_mbps)
+    }
+
+    /// Cumulative WA-A series.
+    pub fn wa_a_series(&self) -> TimeSeries {
+        self.series("wa_a", |s| s.wa_a)
+    }
+
+    /// Cumulative WA-D series.
+    pub fn wa_d_series(&self) -> TimeSeries {
+        self.series("wa_d", |s| s.wa_d)
+    }
+
+    /// Final space amplification.
+    pub fn space_amplification(&self) -> f64 {
+        if self.dataset_bytes == 0 {
+            1.0
+        } else {
+            self.disk_used_bytes as f64 / self.dataset_bytes as f64
+        }
+    }
+}
+
+/// Executes one experiment.
+pub fn run(cfg: &RunConfig) -> RunResult {
+    let workload = cfg.workload();
+    let scale = cfg.scale();
+    let dataset_bytes = workload.dataset_bytes();
+
+    // 1. Device in its initial state.
+    let mut device_cfg = cfg.profile.scaled_to(cfg.device_bytes);
+    device_cfg.trace_writes = cfg.trace_lba;
+    let mut device = Ssd::new(device_cfg);
+    if cfg.drive_state == DriveState::Preconditioned {
+        device.precondition(cfg.seed);
+    }
+
+    // 2. Partition + software OP (the reserved tail is trimmed, making
+    //    it invisible garbage-collection headroom).
+    let logical = device.logical_pages();
+    let partition_pages = ((logical as f64 * cfg.partition_fraction) as u64).max(1);
+    if partition_pages < logical {
+        device.trim_range(LpnRange::new(partition_pages, logical));
+    }
+    let clock = std::sync::Arc::clone(device.clock());
+    let page_size = device.page_size() as u64;
+    let shared = device.into_shared();
+    let vfs = Vfs::new(
+        std::sync::Arc::clone(&shared),
+        LpnRange::new(0, partition_pages),
+        VfsOptions::default(),
+    );
+    let partition_bytes = partition_pages * page_size;
+
+    let mut result = RunResult {
+        label: cfg.label(),
+        samples: Vec::new(),
+        out_of_space: false,
+        failed_during_load: false,
+        ops_executed: 0,
+        latency: LatencyHistogram::new(),
+        lba_cdf: None,
+        untouched_lba_fraction: None,
+        disk_used_bytes: 0,
+        dataset_bytes,
+        partition_bytes,
+        device_bytes: cfg.device_bytes,
+        steady: SteadySummary {
+            steady_from: None,
+            early_kops: 0.0,
+            steady_kops: 0.0,
+            wa_a: 1.0,
+            wa_d: 1.0,
+            end_to_end_wa: 1.0,
+            three_times_capacity: false,
+        },
+    };
+
+    // 3. Build the engine and bulk-load sequentially.
+    let mut system = match build_system(cfg.engine, vfs.clone(), cfg.device_bytes) {
+        Ok(s) => s,
+        Err(PtsError::OutOfSpace) => {
+            result.out_of_space = true;
+            result.failed_during_load = true;
+            return result;
+        }
+        Err(e) => panic!("engine construction failed: {e}"),
+    };
+    let mut loader = Loader::new(workload.clone());
+    while let Some((key, value)) = loader.next_pair() {
+        match system.put(key, value) {
+            Ok(()) => {}
+            Err(PtsError::OutOfSpace) => {
+                result.out_of_space = true;
+                result.failed_during_load = true;
+                result.disk_used_bytes = vfs.stats().used_bytes;
+                return result;
+            }
+            Err(e) => panic!("load failed: {e}"),
+        }
+    }
+    if let Err(PtsError::OutOfSpace) = system.flush() {
+        result.out_of_space = true;
+        result.failed_during_load = true;
+        result.disk_used_bytes = vfs.stats().used_bytes;
+        return result;
+    }
+
+    // 4. Reset observability; the measured phase starts at t0.
+    shared.lock().reset_observability();
+    vfs.reset_peak_usage();
+    let t0 = clock.now();
+    let app_bytes_t0 = system.app_bytes_written();
+    let cpu_cost_sim = ((cfg.cpu_cost_ns.unwrap_or(cfg.engine.default_cpu_cost_ns()) as f64)
+        * scale)
+        .round() as Ns;
+
+    let mut gen = OpGenerator::new(workload.clone());
+    let window_secs = cfg.sample_window as f64 / 1e9;
+    let mut next_sample = t0 + cfg.sample_window;
+    let mut prev_smart = SmartCounters::default();
+    let mut prev_ops: u64 = 0;
+    let mut max_disk_used = vfs.stats().used_bytes;
+    // (updated from the filesystem's high-water mark at each sample)
+
+    // Sampling closure state is threaded manually (no captures of
+    // `system` to keep borrows simple).
+    macro_rules! emit_sample {
+        ($now:expr) => {{
+            let smart = shared.lock().smart();
+            let delta = smart.delta_since(&prev_smart);
+            let ops_window = result.ops_executed - prev_ops;
+            let host_bytes_cum = smart.host_pages_written * page_size;
+            let app_bytes_cum = system.app_bytes_written() - app_bytes_t0;
+            let fs = vfs.stats();
+            max_disk_used = max_disk_used.max(fs.peak_used_pages * page_size);
+            result.samples.push(Sample {
+                t: $now - t0,
+                kv_kops: ops_window as f64 / window_secs * scale / 1_000.0,
+                device_write_mbps: delta.host_pages_written as f64 * page_size as f64
+                    / window_secs
+                    * scale
+                    / 1e6,
+                device_read_mbps: delta.host_pages_read as f64 * page_size as f64 / window_secs
+                    * scale
+                    / 1e6,
+                wa_a: if app_bytes_cum == 0 {
+                    1.0
+                } else {
+                    host_bytes_cum as f64 / app_bytes_cum as f64
+                },
+                wa_d: smart.wa_d(),
+                wa_d_window: delta.wa_d(),
+                space_amp: if dataset_bytes == 0 {
+                    1.0
+                } else {
+                    max_disk_used as f64 / dataset_bytes as f64
+                },
+                device_utilization: shared.lock().utilization(),
+            });
+            prev_smart = smart;
+            prev_ops = result.ops_executed;
+        }};
+    }
+
+    // 5. The measured phase.
+    let deadline = t0 + cfg.duration;
+    let steady_detector = CusumDetector::default();
+    let mut stopped_steady = false;
+    loop {
+        let now = clock.now();
+        if now >= deadline {
+            break;
+        }
+        while next_sample <= now {
+            emit_sample!(next_sample);
+            next_sample += cfg.sample_window;
+        }
+        if cfg.stop_when_steady && result.samples.len() >= 6 {
+            let host_bytes =
+                shared.lock().smart().host_pages_written * page_size;
+            if host_bytes >= 3 * cfg.device_bytes {
+                let tput: Vec<f64> = result.samples.iter().map(|s| s.kv_kops).collect();
+                if steady_detector.is_steady(&tput) {
+                    stopped_steady = true;
+                    break;
+                }
+            }
+        }
+        let op_start = clock.now();
+        let op = gen.next_op();
+        let outcome = match op.kind {
+            OpKind::Update => system.put(op.key, op.value),
+            OpKind::Read => system.get(op.key).map(|_| ()),
+        };
+        match outcome {
+            Ok(()) => {}
+            Err(PtsError::OutOfSpace) => {
+                result.out_of_space = true;
+                break;
+            }
+            Err(e) => panic!("operation failed: {e}"),
+        }
+        clock.advance(cpu_cost_sim);
+        result.ops_executed += 1;
+        result.latency.record(clock.now() - op_start);
+    }
+    // Final partial/boundary samples up to the deadline (skipped when
+    // the run ended early on out-of-space or steady-state detection).
+    while next_sample <= deadline && !result.out_of_space && !stopped_steady {
+        emit_sample!(next_sample);
+        next_sample += cfg.sample_window;
+    }
+
+    // 6. Summaries.
+    result.disk_used_bytes =
+        max_disk_used.max(vfs.stats().peak_used_pages * page_size);
+    {
+        let dev = shared.lock();
+        if let Some(trace) = dev.write_trace() {
+            result.lba_cdf = Some(trace.cdf_by_descending_frequency(100));
+            result.untouched_lba_fraction = Some(trace.untouched_fraction());
+        }
+        let smart = dev.smart();
+        let host_bytes = smart.host_pages_written * page_size;
+        let app_bytes = system.app_bytes_written() - app_bytes_t0;
+        result.steady.wa_a =
+            if app_bytes == 0 { 1.0 } else { host_bytes as f64 / app_bytes as f64 };
+        result.steady.wa_d = smart.wa_d();
+        result.steady.end_to_end_wa = result.steady.wa_a * result.steady.wa_d;
+        result.steady.three_times_capacity = host_bytes >= 3 * cfg.device_bytes;
+    }
+    let tput = result.throughput_series();
+    result.steady.early_kops = tput.early_mean(2).unwrap_or(0.0);
+    let tail_n = (tput.len() / 2).max(3);
+    result.steady.steady_kops = tput.tail_mean(tail_n).unwrap_or(0.0);
+    result.steady.steady_from = CusumDetector::default().steady_from(&tput.values());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A configuration small enough for debug-mode unit tests.
+    fn quick(engine: EngineKind) -> RunConfig {
+        RunConfig {
+            engine,
+            device_bytes: 48 << 20,
+            duration: 40 * MINUTE,
+            sample_window: 5 * MINUTE,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn lsm_run_produces_samples_and_metrics() {
+        let r = run(&quick(EngineKind::Lsm));
+        assert!(!r.out_of_space, "default dataset must fit");
+        assert_eq!(r.samples.len(), 8, "40 min / 5 min windows");
+        assert!(r.ops_executed > 100, "ops: {}", r.ops_executed);
+        assert!(r.steady.wa_a > 1.5, "LSM WA-A must show amplification: {}", r.steady.wa_a);
+        assert!(r.steady.early_kops > 0.0);
+        let last = r.samples.last().expect("samples");
+        assert!(last.space_amp >= 1.0);
+        assert!(last.device_utilization > 0.3);
+    }
+
+    #[test]
+    fn btree_run_produces_samples_and_metrics() {
+        let r = run(&quick(EngineKind::BTree));
+        assert!(!r.out_of_space);
+        assert!(r.ops_executed > 50, "ops: {}", r.ops_executed);
+        assert!(r.steady.wa_a > 2.0, "B+Tree leaf writes amplify: {}", r.steady.wa_a);
+        // Space amplification near 1 (the Fig 6b signature).
+        assert!(
+            r.space_amplification() < 1.6,
+            "B+Tree space amp too high: {}",
+            r.space_amplification()
+        );
+    }
+
+    #[test]
+    fn trace_produces_cdf() {
+        let cfg = RunConfig { trace_lba: true, ..quick(EngineKind::BTree) };
+        let r = run(&cfg);
+        let cdf = r.lba_cdf.expect("trace enabled");
+        assert!(cdf.len() > 10);
+        let untouched = r.untouched_lba_fraction.expect("trace enabled");
+        assert!(
+            untouched > 0.2,
+            "B+Tree must leave a large LBA fraction untouched, got {untouched}"
+        );
+    }
+
+    #[test]
+    fn oversized_dataset_reports_out_of_space() {
+        let cfg = RunConfig {
+            dataset_fraction: 0.95,
+            ..quick(EngineKind::Lsm)
+        };
+        let r = run(&cfg);
+        assert!(r.out_of_space, "a 95% dataset cannot fit an LSM's space amplification");
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        let cfg = RunConfig { partition_fraction: 0.75, ..quick(EngineKind::Lsm) };
+        let label = cfg.label();
+        assert!(label.contains("lsm"));
+        assert!(label.contains("SSD1"));
+        assert!(label.contains("trim"));
+        assert!(label.contains("op0.25"));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(&quick(EngineKind::Lsm));
+        let b = run(&quick(EngineKind::Lsm));
+        assert_eq!(a.ops_executed, b.ops_executed);
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.kv_kops, y.kv_kops);
+            assert_eq!(x.wa_d, y.wa_d);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Drive-state control (paper §3.4, Pitfall 3).
+
+/// The initial condition of the SSD before an experiment.
+///
+/// The paper's §3.4 defines these as the two endpoints of the spectrum
+/// of possible drive states; real deployments sit in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DriveState {
+    /// All blocks erased (`blkdiscard`): behaves like a factory-fresh
+    /// drive. Representative of bare-metal stand-alone deployments.
+    #[default]
+    Trimmed,
+    /// Sequentially filled then randomly overwritten twice over: every
+    /// LBA holds data and garbage collection is warmed up.
+    /// Representative of consolidated/cloud deployments and aged
+    /// filesystems.
+    Preconditioned,
+}
+
+impl DriveState {
+    /// Short label for report rows ("trim" / "prec", as in Fig 5).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DriveState::Trimmed => "trim",
+            DriveState::Preconditioned => "prec",
+        }
+    }
+}
+
+impl std::fmt::Display for DriveState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(DriveState::Trimmed.label(), "trim");
+        assert_eq!(DriveState::Preconditioned.to_string(), "prec");
+        assert_eq!(DriveState::default(), DriveState::Trimmed);
+    }
+}

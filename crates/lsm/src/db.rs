@@ -1,0 +1,752 @@
+//! The LSM database: public API and the write/flush/compact machinery.
+
+use std::sync::Arc;
+
+use ptsbench_vfs::Vfs;
+
+use crate::compaction::{pick, CompactionTask};
+use crate::iter::{EntryStream, KWayMerge};
+use crate::manifest::Manifest;
+use crate::memtable::Memtable;
+use crate::options::LsmOptions;
+use crate::sstable::{SstableBuilder, SstableReader};
+use crate::version::{TableHandle, Version};
+use crate::wal::{Wal, WalRecord};
+use crate::{LsmError, Result};
+
+/// Cumulative engine statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Put operations accepted.
+    pub puts: u64,
+    /// Get operations served.
+    pub gets: u64,
+    /// Delete operations accepted.
+    pub deletes: u64,
+    /// Application payload bytes written (keys + values of puts/deletes).
+    pub app_bytes_written: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Bytes written by flushes.
+    pub flush_bytes: u64,
+    /// Compactions performed (merging ones; excludes trivial moves).
+    pub compactions: u64,
+    /// Bytes read by compactions.
+    pub compaction_bytes_read: u64,
+    /// Bytes written by compactions.
+    pub compaction_bytes_written: u64,
+    /// Trivial moves: non-overlapping tables relocated down a level
+    /// without any I/O (the RocksDB fast path that makes sequential
+    /// ingestion cheap).
+    pub trivial_moves: u64,
+}
+
+/// A leveled LSM-tree key-value store on a simulated flash stack.
+pub struct LsmDb {
+    vfs: Vfs,
+    opts: LsmOptions,
+    memtable: Memtable,
+    wal: Option<Wal>,
+    manifest: Manifest,
+    version: Version,
+    cursors: Vec<usize>,
+    next_file: u64,
+    stats: DbStats,
+}
+
+impl std::fmt::Debug for LsmDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LsmDb")
+            .field("levels", &self.version.summary())
+            .field("memtable_bytes", &self.memtable.approx_bytes())
+            .finish()
+    }
+}
+
+impl LsmDb {
+    /// Opens a fresh database on the filesystem.
+    pub fn open(vfs: Vfs, opts: LsmOptions) -> Result<Self> {
+        opts.validate();
+        let wal = if opts.wal_enabled { Some(Wal::create(vfs.clone(), opts.recycle_wal)?) } else { None };
+        let manifest = Manifest::create(vfs.clone())?;
+        Ok(Self {
+            memtable: Memtable::new(),
+            wal,
+            manifest,
+            version: Version::new(opts.max_levels),
+            cursors: vec![0; opts.max_levels],
+            next_file: 0,
+            stats: DbStats::default(),
+            vfs,
+            opts,
+        })
+    }
+
+    /// Recovers a database from an existing filesystem: replays the
+    /// MANIFEST into the level structure, reopens every live SSTable,
+    /// replays the write-ahead log into the memtable, then flushes it
+    /// (the RocksDB default `avoid_flush_during_recovery=false`
+    /// behaviour) so the recovered state is durable.
+    pub fn recover(vfs: Vfs, opts: LsmOptions) -> Result<Self> {
+        opts.validate();
+        if !Manifest::exists(&vfs) {
+            return Err(LsmError::Corruption("no MANIFEST to recover from".into()));
+        }
+        let (tables, next_file) = Manifest::replay(&vfs)?;
+        let mut version = Version::new(opts.max_levels);
+        for (level, name) in tables {
+            if level >= opts.max_levels {
+                return Err(LsmError::Corruption(format!(
+                    "manifest places {name} at level {level}, beyond max {}",
+                    opts.max_levels
+                )));
+            }
+            // Recover the key range from the table's own index (the
+            // manifest intentionally stores only placement).
+            let reader = SstableReader::open(vfs.clone(), &name)?;
+            let min_key = reader
+                .first_key()
+                .ok_or_else(|| LsmError::Corruption(format!("{name}: empty table")))?;
+            let max_key = reader
+                .last_key()?
+                .ok_or_else(|| LsmError::Corruption(format!("{name}: empty table")))?;
+            let meta = crate::sstable::SstableMeta {
+                name: name.clone(),
+                min_key,
+                max_key,
+                entries: reader.entries(),
+                file_bytes: reader.file_bytes(),
+            };
+            let handle = Arc::new(TableHandle { meta, reader });
+            if level == 0 {
+                version.push_l0(handle);
+            } else {
+                version.apply_compaction(level, level, &[], vec![handle]);
+            }
+        }
+        version.check_invariants();
+
+        let records = if opts.wal_enabled { Wal::replay(&vfs)? } else { Vec::new() };
+        let wal = if opts.wal_enabled {
+            Some(Wal::open_or_create(vfs.clone(), opts.recycle_wal)?)
+        } else {
+            None
+        };
+        let manifest = Manifest::open(vfs.clone())?;
+        let mut db = Self {
+            memtable: Memtable::new(),
+            wal,
+            manifest,
+            version,
+            cursors: vec![0; opts.max_levels],
+            next_file,
+            stats: DbStats::default(),
+            vfs,
+            opts,
+        };
+        for record in records {
+            match record {
+                WalRecord::Put(k, v) => db.memtable.put(&k, &v),
+                WalRecord::Delete(k) => db.memtable.delete(&k),
+            }
+        }
+        db.flush()?;
+        Ok(db)
+    }
+
+    /// The engine options.
+    pub fn options(&self) -> &LsmOptions {
+        &self.opts
+    }
+
+    /// The underlying filesystem (for disk-utilization observation).
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> DbStats {
+        self.stats
+    }
+
+    /// Per-level `(level, tables, bytes)` summary.
+    pub fn level_summary(&self) -> Vec<(usize, usize, u64)> {
+        self.version.summary()
+    }
+
+    /// Inserts or overwrites a key.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.stats.puts += 1;
+        self.stats.app_bytes_written += (key.len() + value.len()) as u64;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.log_put(key, value)?;
+            if self.opts.wal_fsync {
+                wal.sync(true)?;
+            }
+        }
+        self.memtable.put(key, value);
+        self.maybe_flush()
+    }
+
+    /// Deletes a key (writes a tombstone).
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.stats.deletes += 1;
+        self.stats.app_bytes_written += key.len() as u64;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.log_delete(key)?;
+            if self.opts.wal_fsync {
+                wal.sync(true)?;
+            }
+        }
+        self.memtable.delete(key);
+        self.maybe_flush()
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.stats.gets += 1;
+        if let Some(entry) = self.memtable.get(key) {
+            return Ok(entry.clone());
+        }
+        // L0: newest to oldest, any table may contain the key.
+        for handle in self.version.tables(0).iter().rev() {
+            if handle.meta.overlaps(key, key) {
+                if let Some(entry) = handle.reader.get(key)? {
+                    return Ok(entry);
+                }
+            }
+        }
+        // L1+: at most one candidate per level.
+        for level in 1..self.version.level_count() {
+            if let Some(handle) = self.version.table_for_key(level, key) {
+                if let Some(entry) = handle.reader.get(key)? {
+                    return Ok(entry);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Range scan: live entries with `start <= key < end` (`end` `None` =
+    /// unbounded), up to `limit` results.
+    pub fn scan(
+        &mut self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut sources: Vec<EntryStream<'_>> = Vec::new();
+        sources.push(Box::new(
+            self.memtable.range(start, end).map(|(k, v)| (k.to_vec(), v.clone())),
+        ));
+        for handle in self.version.tables(0).iter().rev() {
+            sources.push(Box::new(handle.reader.iter_from(start)));
+        }
+        for level in 1..self.version.level_count() {
+            let tables = self.version.tables(level);
+            let mut chained: EntryStream<'_> = Box::new(std::iter::empty());
+            for handle in tables {
+                if handle.meta.max_key.as_slice() < start {
+                    continue;
+                }
+                chained = Box::new(chained.chain(handle.reader.iter_from(start)));
+            }
+            sources.push(chained);
+        }
+        let merge = KWayMerge::new(sources);
+        let mut out = Vec::new();
+        for (k, v) in merge {
+            if let Some(e) = end {
+                if k.as_slice() >= e {
+                    break;
+                }
+            }
+            if let Some(v) = v {
+                out.push((k, v));
+                if out.len() >= limit {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Forces buffered write-ahead-log records onto the device and
+    /// waits for durability (the `SyncWAL` API). Data synced here
+    /// survives a crash even without a flush.
+    pub fn sync_wal(&mut self) -> Result<()> {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.sync(true)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the memtable (if non-empty) and runs any due compactions.
+    pub fn flush(&mut self) -> Result<()> {
+        self.flush_memtable()?;
+        self.maybe_compact()
+    }
+
+    /// Manual full compaction (RocksDB's `CompactRange` over everything):
+    /// flushes the memtable and merges every level down into the deepest
+    /// populated level, leaving a single sorted run with no shadowed
+    /// versions or tombstones. Useful before space-sensitive
+    /// measurements and read-heavy phases.
+    pub fn compact_all(&mut self) -> Result<()> {
+        self.flush_memtable()?;
+        loop {
+            let Some(bottom) = self.version.deepest_nonempty() else {
+                return Ok(()); // empty database
+            };
+            // Shallowest level holding data.
+            let top = (0..self.version.level_count())
+                .find(|&l| !self.version.tables(l).is_empty())
+                .expect("deepest_nonempty implies some level is populated");
+            if top == bottom && (top != 0 || self.version.tables(0).len() <= 1) {
+                return Ok(());
+            }
+            let mut inputs: Vec<Arc<TableHandle>> = self.version.tables(top).to_vec();
+            if top == 0 {
+                inputs.reverse(); // newest first
+            }
+            let min = inputs.iter().map(|h| h.meta.min_key.clone()).min().expect("non-empty");
+            let max = inputs.iter().map(|h| h.meta.max_key.clone()).max().expect("non-empty");
+            let overlaps = self.version.overlapping(top + 1, &min, &max);
+            let task = CompactionTask { source_level: top, target_level: top + 1, inputs, overlaps };
+            if self.is_trivial_move(&task) {
+                self.apply_trivial_move(task)?;
+            } else {
+                self.run_compaction(task)?;
+            }
+        }
+    }
+
+    fn maybe_flush(&mut self) -> Result<()> {
+        if self.memtable.approx_bytes() >= self.opts.memtable_bytes {
+            self.flush_memtable()?;
+            self.maybe_compact()?;
+        }
+        Ok(())
+    }
+
+    fn next_table_name(&mut self) -> String {
+        let n = self.next_file;
+        self.next_file += 1;
+        format!("sst-{n:08}")
+    }
+
+    fn flush_memtable(&mut self) -> Result<()> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            wal.sync(false)?;
+        }
+        let entries = self.memtable.drain();
+        let name = self.next_table_name();
+        let vfs = self.vfs.clone();
+        let (block_bytes, bloom_bits) = (self.opts.block_bytes, self.opts.bloom_bits_per_key);
+        let build = || -> Result<crate::sstable::SstableMeta> {
+            let mut b = SstableBuilder::create_bg(vfs, &name, block_bytes, bloom_bits)?;
+            for (k, v) in &entries {
+                if let Err(e) = b.add(k, v.as_deref()) {
+                    b.abandon();
+                    return Err(e);
+                }
+            }
+            b.finish()
+        };
+        let meta = match build() {
+            Ok(m) => m,
+            Err(e) => {
+                // Undo: keep the data in memory so the DB stays readable.
+                for (k, v) in entries {
+                    match v {
+                        Some(v) => self.memtable.put(&k, &v),
+                        None => self.memtable.delete(&k),
+                    }
+                }
+                return Err(e);
+            }
+        };
+        self.stats.flushes += 1;
+        self.stats.flush_bytes += meta.file_bytes;
+        self.manifest.log_add(0, &meta.name);
+        self.manifest.commit()?;
+        let reader = SstableReader::open_bg(self.vfs.clone(), &meta.name)?;
+        self.version.push_l0(Arc::new(TableHandle { meta, reader }));
+        if let Some(wal) = self.wal.as_mut() {
+            wal.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Runs due compactions within the per-flush work budget. Trivial
+    /// moves are free; merging compactions consume budget by input
+    /// bytes. When L0 backs up to twice the trigger the budget is
+    /// ignored (hard write-stall backpressure, as in RocksDB).
+    fn maybe_compact(&mut self) -> Result<()> {
+        let budget = self.opts.compaction_budget_factor * self.opts.memtable_bytes;
+        let mut spent: u64 = 0;
+        while let Some(task) = pick(&self.version, &self.opts, &mut self.cursors) {
+            let l0_backed_up =
+                self.version.tables(0).len() >= 2 * self.opts.l0_compaction_trigger;
+            if spent >= budget && !l0_backed_up {
+                break;
+            }
+            if self.is_trivial_move(&task) {
+                self.apply_trivial_move(task)?;
+                continue;
+            }
+            spent += task.input_bytes();
+            self.run_compaction(task)?;
+        }
+        Ok(())
+    }
+
+    /// A compaction is a trivial move when nothing overlaps in the
+    /// target level and the source tables do not overlap each other:
+    /// the files can simply change levels.
+    fn is_trivial_move(&self, task: &CompactionTask) -> bool {
+        if !task.overlaps.is_empty() {
+            return false;
+        }
+        let mut sorted: Vec<_> = task.inputs.iter().map(|h| &h.meta).collect();
+        sorted.sort_by(|a, b| a.min_key.cmp(&b.min_key));
+        sorted.windows(2).all(|w| w[0].max_key < w[1].min_key)
+    }
+
+    fn apply_trivial_move(&mut self, task: CompactionTask) -> Result<()> {
+        let names = task.input_names();
+        let moved = task.inputs.clone();
+        // Descend to the deepest level the files do not overlap (RocksDB
+        // moves to the bottom-most possible level, which is why a
+        // sequential fill ends with empty upper levels).
+        let min = moved.iter().map(|h| h.meta.min_key.clone()).min().expect("non-empty inputs");
+        let max = moved.iter().map(|h| h.meta.max_key.clone()).max().expect("non-empty inputs");
+        let mut target = task.target_level;
+        while target + 1 < self.version.level_count()
+            && self.version.overlapping(target + 1, &min, &max).is_empty()
+        {
+            target += 1;
+        }
+        for name in &names {
+            self.manifest.log_del(name);
+            self.manifest.log_add(target, name);
+        }
+        self.manifest.commit()?;
+        self.version.apply_compaction(task.source_level, target, &names, moved);
+        self.stats.trivial_moves += names.len() as u64;
+        Ok(())
+    }
+
+    fn run_compaction(&mut self, task: CompactionTask) -> Result<()> {
+        let drop_tombstones = !self.version.has_data_below(task.target_level);
+        let input_bytes = task.input_bytes();
+        let input_names = task.input_names();
+
+        // Recency-ordered sources: source-level tables (already newest
+        // first), then target-level overlaps (older).
+        let mut sources: Vec<EntryStream<'_>> = Vec::new();
+        for h in &task.inputs {
+            sources.push(Box::new(h.reader.iter_bg()));
+        }
+        for h in &task.overlaps {
+            sources.push(Box::new(h.reader.iter_bg()));
+        }
+        let merge = KWayMerge::new(sources);
+
+        // Write merged output, splitting at the table size target.
+        let mut outputs: Vec<crate::sstable::SstableMeta> = Vec::new();
+        let mut names: Vec<String> = Vec::new();
+        // Pre-reserve names (can't mutate self.next_file while borrowing
+        // version through `task`): the task holds Arcs, not borrows, so
+        // this is fine — but names are generated up front for clarity.
+        let mut builder: Option<SstableBuilder> = None;
+        let mut failure: Option<LsmError> = None;
+
+        for (key, value) in merge {
+            if value.is_none() && drop_tombstones {
+                continue;
+            }
+            if builder.is_none() {
+                let n = self.next_file;
+                self.next_file += 1;
+                let name = format!("sst-{n:08}");
+                match SstableBuilder::create_bg(
+                    self.vfs.clone(),
+                    &name,
+                    self.opts.block_bytes,
+                    self.opts.bloom_bits_per_key,
+                ) {
+                    Ok(b) => {
+                        names.push(name);
+                        builder = Some(b);
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            let b = builder.as_mut().expect("just ensured");
+            if let Err(e) = b.add(&key, value.as_deref()) {
+                failure = Some(e);
+                break;
+            }
+            if b.estimated_bytes() >= self.opts.sstable_target_bytes {
+                match builder.take().expect("present").finish() {
+                    Ok(meta) => outputs.push(meta),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        if failure.is_none() {
+            if let Some(b) = builder.take() {
+                match b.finish() {
+                    Ok(meta) => outputs.push(meta),
+                    Err(e) => failure = Some(e),
+                }
+            }
+        } else if let Some(b) = builder.take() {
+            b.abandon();
+        }
+
+        if let Some(e) = failure {
+            // Roll back: remove any finished outputs; inputs stay live.
+            for meta in outputs {
+                let _ = self.vfs.delete(&meta.name);
+            }
+            return Err(e);
+        }
+
+        // Install the edit, then delete input files (nodiscard churn).
+        let mut added = Vec::with_capacity(outputs.len());
+        let output_bytes: u64 = outputs.iter().map(|m| m.file_bytes).sum();
+        for name in &input_names {
+            self.manifest.log_del(name);
+        }
+        for meta in outputs {
+            self.manifest.log_add(task.target_level, &meta.name);
+            let reader = SstableReader::open_bg(self.vfs.clone(), &meta.name)?;
+            added.push(Arc::new(TableHandle { meta, reader }));
+        }
+        self.manifest.commit()?;
+        self.version.apply_compaction(task.source_level, task.target_level, &input_names, added);
+        for name in &input_names {
+            self.vfs.delete(name)?;
+        }
+        self.stats.compactions += 1;
+        self.stats.compaction_bytes_read += input_bytes;
+        self.stats.compaction_bytes_written += output_bytes;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbench_ssd::{DeviceConfig, DeviceProfile, Ssd};
+    use ptsbench_vfs::VfsOptions;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn db_on(bytes: u64) -> LsmDb {
+        let ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), bytes));
+        let vfs = Vfs::whole_device(ssd.into_shared(), VfsOptions::default());
+        LsmDb::open(vfs, LsmOptions::small()).expect("open")
+    }
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("key{i:08}").into_bytes()
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut db = db_on(32 << 20);
+        db.put(b"a", b"1").expect("put");
+        db.put(b"b", b"2").expect("put");
+        assert_eq!(db.get(b"a").expect("get"), Some(b"1".to_vec()));
+        assert_eq!(db.get(b"missing").expect("get"), None);
+        db.put(b"a", b"updated").expect("put");
+        assert_eq!(db.get(b"a").expect("get"), Some(b"updated".to_vec()));
+    }
+
+    #[test]
+    fn reads_hit_disk_after_flush() {
+        let mut db = db_on(32 << 20);
+        for i in 0..100u32 {
+            db.put(&key(i), &[i as u8; 200]).expect("put");
+        }
+        db.flush().expect("flush");
+        assert!(db.memtable.is_empty());
+        assert!(db.version.table_count() > 0);
+        for i in (0..100).step_by(7) {
+            assert_eq!(db.get(&key(i)).expect("get"), Some(vec![i as u8; 200]), "key {i}");
+        }
+    }
+
+    #[test]
+    fn deletes_shadow_flushed_values() {
+        let mut db = db_on(32 << 20);
+        db.put(b"k", b"v").expect("put");
+        db.flush().expect("flush");
+        db.delete(b"k").expect("delete");
+        assert_eq!(db.get(b"k").expect("get"), None, "memtable tombstone");
+        db.flush().expect("flush");
+        assert_eq!(db.get(b"k").expect("get"), None, "flushed tombstone");
+    }
+
+    #[test]
+    fn sustained_writes_trigger_flushes_and_compactions() {
+        let mut db = db_on(64 << 20);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..3000 {
+            let i: u32 = rng.gen_range(0..500);
+            db.put(&key(i), &[0u8; 256]).expect("put");
+        }
+        let stats = db.stats();
+        assert!(stats.flushes > 5, "flushes: {}", stats.flushes);
+        assert!(stats.compactions > 0, "compactions: {}", stats.compactions);
+        // Everything still readable.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut latest = std::collections::HashMap::new();
+        for _ in 0..3000 {
+            let i: u32 = rng.gen_range(0..500);
+            latest.insert(i, ());
+        }
+        for (&i, _) in latest.iter().take(50) {
+            assert!(db.get(&key(i)).expect("get").is_some(), "key {i} lost");
+        }
+        db.version.check_invariants();
+    }
+
+    #[test]
+    fn model_check_against_btreemap() {
+        use std::collections::BTreeMap;
+        let mut db = db_on(64 << 20);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut rng = SmallRng::seed_from_u64(99);
+        for step in 0..4000 {
+            let i: u32 = rng.gen_range(0..300);
+            let k = key(i);
+            match rng.gen_range(0..10) {
+                0..=6 => {
+                    let v = format!("v{step}").into_bytes();
+                    db.put(&k, &v).expect("put");
+                    model.insert(k, v);
+                }
+                7..=8 => {
+                    db.delete(&k).expect("delete");
+                    model.remove(&k);
+                }
+                _ => {
+                    assert_eq!(db.get(&k).expect("get"), model.get(&k).cloned(), "step {step}");
+                }
+            }
+        }
+        // Final sweep.
+        for i in 0..300u32 {
+            let k = key(i);
+            assert_eq!(db.get(&k).expect("get"), model.get(&k).cloned(), "final key {i}");
+        }
+    }
+
+    #[test]
+    fn scan_merges_all_levels() {
+        let mut db = db_on(64 << 20);
+        for i in (0..100u32).step_by(2) {
+            db.put(&key(i), b"even").expect("put");
+        }
+        db.flush().expect("flush");
+        for i in (1..100u32).step_by(2) {
+            db.put(&key(i), b"odd").expect("put");
+        }
+        db.delete(&key(10)).expect("delete");
+        let items = db.scan(&key(5), Some(&key(15)), 100).expect("scan");
+        let keys: Vec<u32> = items
+            .iter()
+            .map(|(k, _)| String::from_utf8_lossy(&k[3..]).parse::<u32>().expect("numeric"))
+            .collect();
+        assert_eq!(keys, vec![5, 6, 7, 8, 9, 11, 12, 13, 14], "sorted, no deleted key 10");
+        // Limit respected.
+        assert_eq!(db.scan(b"key", None, 7).expect("scan").len(), 7);
+    }
+
+    #[test]
+    fn out_of_space_is_reported_and_survivable() {
+        // Tiny device: updates eventually exceed capacity.
+        let mut db = db_on(16 << 20);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut saw_enospc = false;
+        for _ in 0..80_000 {
+            let i: u32 = rng.gen_range(0..18_000);
+            match db.put(&key(i), &[7u8; 800]) {
+                Ok(()) => {}
+                Err(e) if e.is_out_of_space() => {
+                    saw_enospc = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(saw_enospc, "small device must eventually fill (the paper's RocksDB OOS)");
+        // Reads still work after ENOSPC.
+        let _ = db.get(&key(1)).expect("get after enospc");
+    }
+
+    #[test]
+    fn compact_all_collapses_to_one_sorted_run() {
+        let mut db = db_on(64 << 20);
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..3000 {
+            let i: u32 = rng.gen_range(0..400);
+            db.put(&key(i), &[0u8; 300]).expect("put");
+        }
+        for i in (0..400u32).step_by(2) {
+            db.delete(&key(i)).expect("delete");
+        }
+        db.compact_all().expect("compact");
+        let summary = db.level_summary();
+        let populated: Vec<_> = summary.iter().filter(|(_, n, _)| *n > 0).collect();
+        assert_eq!(populated.len(), 1, "one populated level, got {summary:?}");
+        // Tombstones were dropped and reads are exact.
+        for i in 0..400u32 {
+            let expect = (i % 2 == 1).then_some(()); // odd keys survive
+            assert_eq!(db.get(&key(i)).expect("get").is_some(), expect.is_some(), "key {i}");
+        }
+        let scanned = db.scan(b"", None, usize::MAX).expect("scan");
+        assert_eq!(scanned.len(), 200);
+        db.version.check_invariants();
+        // Space collapsed to ~one copy of the live data.
+        let live: u64 = scanned.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
+        let on_disk: u64 = db.level_summary().iter().map(|(_, _, b)| b).sum();
+        assert!(on_disk < live * 2, "on-disk {on_disk} vs live {live}");
+    }
+
+    #[test]
+    fn wal_disabled_mode() {
+        let ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 32 << 20));
+        let vfs = Vfs::whole_device(ssd.into_shared(), VfsOptions::default());
+        let mut db =
+            LsmDb::open(vfs, LsmOptions { wal_enabled: false, ..LsmOptions::small() }).expect("open");
+        db.put(b"k", b"v").expect("put");
+        assert_eq!(db.get(b"k").expect("get"), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut db = db_on(32 << 20);
+        db.put(b"abc", b"defg").expect("put");
+        db.get(b"abc").expect("get");
+        db.delete(b"abc").expect("delete");
+        let s = db.stats();
+        assert_eq!(s.puts, 1);
+        assert_eq!(s.gets, 1);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.app_bytes_written, 7 + 3);
+    }
+}

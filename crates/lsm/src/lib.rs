@@ -1,0 +1,84 @@
+//! # ptsbench-lsm — a leveled LSM-tree key-value store
+//!
+//! A from-scratch LSM-tree in the architecture of RocksDB (the paper's
+//! LSM representative, §2.1.1): writes land in a write-ahead log and a
+//! sorted in-memory *memtable*; full memtables are flushed as sorted
+//! string tables (SSTables) into level 0; background *compaction* merges
+//! overlapping tables down a hierarchy of exponentially growing levels,
+//! discarding shadowed versions and tombstones.
+//!
+//! Everything below the API is real: SSTables have a binary on-"disk"
+//! format with data blocks, a block index and a bloom filter
+//! ([`sstable`]); compaction does k-way heap merges through the
+//! filesystem ([`compaction`], [`iter`]); and all I/O flows through
+//! `ptsbench-vfs` onto the simulated flash device, which is what lets the
+//! harness observe the paper's phenomena (bursty compaction writes,
+//! whole-LBA-space churn, WA-A that grows as levels fill, space
+//! amplification from multi-level residency, out-of-space on large
+//! datasets).
+//!
+//! ```
+//! use ptsbench_lsm::{LsmDb, LsmOptions};
+//! use ptsbench_ssd::{DeviceConfig, DeviceProfile, Ssd};
+//! use ptsbench_vfs::{Vfs, VfsOptions};
+//!
+//! let ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 64 << 20));
+//! let vfs = Vfs::whole_device(ssd.into_shared(), VfsOptions::default());
+//! let mut db = LsmDb::open(vfs, LsmOptions::small()).unwrap();
+//! db.put(b"hello", b"world").unwrap();
+//! assert_eq!(db.get(b"hello").unwrap().as_deref(), Some(&b"world"[..]));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bloom;
+pub mod compaction;
+pub mod db;
+pub mod iter;
+pub mod manifest;
+pub mod memtable;
+pub mod options;
+pub mod sstable;
+pub mod version;
+pub mod wal;
+
+pub use db::{DbStats, LsmDb};
+pub use options::LsmOptions;
+
+/// Errors surfaced by the LSM engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LsmError {
+    /// Underlying filesystem/device error (`NoSpace` is the one the
+    /// paper's large-dataset runs hit).
+    Vfs(ptsbench_vfs::VfsError),
+    /// On-disk data failed validation.
+    Corruption(String),
+}
+
+impl From<ptsbench_vfs::VfsError> for LsmError {
+    fn from(e: ptsbench_vfs::VfsError) -> Self {
+        LsmError::Vfs(e)
+    }
+}
+
+impl LsmError {
+    /// Whether this is the out-of-space condition.
+    pub fn is_out_of_space(&self) -> bool {
+        matches!(self, LsmError::Vfs(ptsbench_vfs::VfsError::NoSpace { .. }))
+    }
+}
+
+impl std::fmt::Display for LsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LsmError::Vfs(e) => write!(f, "filesystem error: {e}"),
+            LsmError::Corruption(msg) => write!(f, "corruption: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LsmError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, LsmError>;

@@ -1,0 +1,288 @@
+//! SSTable construction.
+//!
+//! The builder streams sorted entries into data blocks, accumulating
+//! page-aligned chunks that are appended to the filesystem as they fill
+//! (large sequential writes — the LSM write pattern the paper calls
+//! "flash friendly" before measuring otherwise). `finish` writes the
+//! index, bloom filter and footer.
+
+use ptsbench_vfs::{FileId, Vfs};
+
+use crate::bloom::BloomFilter;
+use crate::sstable::format::{
+    encode_entry, encode_index, entry_encoded_len, Footer, IndexEntry, SstableMeta,
+};
+use crate::{LsmError, Result};
+
+/// Streaming SSTable writer.
+pub struct SstableBuilder {
+    vfs: Vfs,
+    name: String,
+    file: FileId,
+    /// Background mode: writes are queued on the device without
+    /// advancing the simulated clock (flush/compaction threads).
+    background: bool,
+    block_bytes: usize,
+    bloom_bits_per_key: u32,
+    /// Current data block under construction.
+    block: Vec<u8>,
+    block_entries: u32,
+    block_first_key: Option<Vec<u8>>,
+    /// Page-aligned staging buffer awaiting append.
+    pending: Vec<u8>,
+    flushed_bytes: u64,
+    index: Vec<IndexEntry>,
+    keys: Vec<Vec<u8>>,
+    min_key: Option<Vec<u8>>,
+    max_key: Option<Vec<u8>>,
+    entries: u64,
+    last_key: Option<Vec<u8>>,
+    page_size: usize,
+}
+
+impl SstableBuilder {
+    /// Creates the output file and an empty builder (foreground I/O).
+    pub fn create(vfs: Vfs, name: &str, block_bytes: usize, bloom_bits_per_key: u32) -> Result<Self> {
+        Self::create_opts(vfs, name, block_bytes, bloom_bits_per_key, false)
+    }
+
+    /// Creates a builder whose writes are issued by a background thread
+    /// (device-queued, non-blocking).
+    pub fn create_bg(vfs: Vfs, name: &str, block_bytes: usize, bloom_bits_per_key: u32) -> Result<Self> {
+        Self::create_opts(vfs, name, block_bytes, bloom_bits_per_key, true)
+    }
+
+    fn create_opts(
+        vfs: Vfs,
+        name: &str,
+        block_bytes: usize,
+        bloom_bits_per_key: u32,
+        background: bool,
+    ) -> Result<Self> {
+        let file = vfs.create(name)?;
+        let page_size = vfs.page_size() as usize;
+        Ok(Self {
+            vfs,
+            name: name.to_string(),
+            file,
+            background,
+            block_bytes,
+            bloom_bits_per_key,
+            block: Vec::with_capacity(block_bytes * 2),
+            block_entries: 0,
+            block_first_key: None,
+            pending: Vec::with_capacity(256 << 10),
+            flushed_bytes: 0,
+            index: Vec::new(),
+            keys: Vec::new(),
+            min_key: None,
+            max_key: None,
+            entries: 0,
+            last_key: None,
+            page_size,
+        })
+    }
+
+    /// Appends an entry; keys must arrive in strictly increasing order.
+    pub fn add(&mut self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+        if let Some(last) = &self.last_key {
+            assert!(
+                key > last.as_slice(),
+                "SSTable keys must be strictly increasing"
+            );
+        }
+        self.last_key = Some(key.to_vec());
+        if self.min_key.is_none() {
+            self.min_key = Some(key.to_vec());
+        }
+        self.max_key = Some(key.to_vec());
+        if self.block_first_key.is_none() {
+            self.block_first_key = Some(key.to_vec());
+        }
+        encode_entry(&mut self.block, key, value);
+        self.block_entries += 1;
+        self.entries += 1;
+        if self.bloom_bits_per_key > 0 {
+            self.keys.push(key.to_vec());
+        }
+        if self.block.len() >= self.block_bytes {
+            self.seal_block()?;
+        }
+        Ok(())
+    }
+
+    /// Approximate file size if finished now (compaction output split
+    /// decisions).
+    pub fn estimated_bytes(&self) -> u64 {
+        self.flushed_bytes + self.pending.len() as u64 + self.block.len() as u64
+    }
+
+    /// Number of entries added so far.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Cost in bytes an entry would add.
+    pub fn entry_cost(key: &[u8], value: Option<&[u8]>) -> usize {
+        entry_encoded_len(key, value)
+    }
+
+    fn seal_block(&mut self) -> Result<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        let offset = self.flushed_bytes + self.pending.len() as u64;
+        self.index.push(IndexEntry {
+            first_key: self.block_first_key.take().expect("non-empty block has a first key"),
+            offset,
+            len: self.block.len() as u32,
+            entries: self.block_entries,
+        });
+        self.pending.extend_from_slice(&self.block);
+        self.block.clear();
+        self.block_entries = 0;
+        // Stream out whole pages to keep appends aligned.
+        let aligned = (self.pending.len() / self.page_size) * self.page_size;
+        if aligned >= 256 << 10 {
+            let chunk: Vec<u8> = self.pending.drain(..aligned).collect();
+            if self.background {
+                self.vfs.append_bg(self.file, &chunk)?;
+            } else {
+                self.vfs.append(self.file, &chunk)?;
+            }
+            self.flushed_bytes += aligned as u64;
+        }
+        Ok(())
+    }
+
+    /// Finalizes the table: writes remaining data, index, bloom and
+    /// footer, fsyncs, and returns the metadata.
+    pub fn finish(mut self) -> Result<SstableMeta> {
+        if self.entries == 0 {
+            // An empty table is a caller bug upstream; fail cleanly.
+            self.vfs.delete(&self.name)?;
+            return Err(LsmError::Corruption("refusing to write empty SSTable".into()));
+        }
+        self.seal_block()?;
+        let mut tail = std::mem::take(&mut self.pending);
+        let index_off = self.flushed_bytes + tail.len() as u64;
+        let index_start = tail.len();
+        encode_index(&self.index, &mut tail);
+        let index_len = (tail.len() - index_start) as u32;
+
+        let bloom_off = self.flushed_bytes + tail.len() as u64;
+        let bloom_len = if self.bloom_bits_per_key > 0 {
+            let start = tail.len();
+            BloomFilter::build(&self.keys, self.bloom_bits_per_key).encode(&mut tail);
+            (tail.len() - start) as u32
+        } else {
+            0
+        };
+
+        Footer {
+            index_off,
+            index_len,
+            bloom_off,
+            bloom_len,
+            entries: self.entries,
+            reserved: 0,
+        }
+        .encode(&mut tail);
+
+        let appended = if self.background {
+            self.vfs.append_bg(self.file, &tail)
+        } else {
+            self.vfs.append(self.file, &tail)
+        };
+        if let Err(e) = appended {
+            // Out of space mid-finish: remove the partial file.
+            let _ = self.vfs.delete(&self.name);
+            return Err(e.into());
+        }
+        // Background builds install without waiting for durability (the
+        // version edit is logical; durability arrives when the destage
+        // completes). Foreground builds fsync.
+        if !self.background {
+            self.vfs.fsync(self.file)?;
+        }
+        let file_bytes = self.vfs.size(self.file)?;
+        Ok(SstableMeta {
+            name: self.name,
+            min_key: self.min_key.expect("non-empty"),
+            max_key: self.max_key.expect("non-empty"),
+            entries: self.entries,
+            file_bytes,
+        })
+    }
+
+    /// Abandons the build, deleting the partial file.
+    pub fn abandon(self) {
+        let _ = self.vfs.delete(&self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbench_ssd::{DeviceConfig, DeviceProfile, Ssd};
+    use ptsbench_vfs::VfsOptions;
+
+    fn vfs() -> Vfs {
+        let ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 32 << 20));
+        Vfs::whole_device(ssd.into_shared(), VfsOptions::default())
+    }
+
+    #[test]
+    fn build_produces_valid_meta() {
+        let v = vfs();
+        let mut b = SstableBuilder::create(v.clone(), "sst-1", 4096, 10).expect("create");
+        for i in 0..100u32 {
+            let key = format!("key{:05}", i);
+            b.add(key.as_bytes(), Some(&[i as u8; 50])).expect("add");
+        }
+        let meta = b.finish().expect("finish");
+        assert_eq!(meta.entries, 100);
+        assert_eq!(meta.min_key, b"key00000");
+        assert_eq!(meta.max_key, b"key00099");
+        assert_eq!(meta.file_bytes, v.size(v.open("sst-1").expect("open")).expect("size"));
+        assert!(meta.file_bytes > 100 * 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_keys_panic() {
+        let v = vfs();
+        let mut b = SstableBuilder::create(v, "sst-1", 4096, 10).expect("create");
+        b.add(b"b", Some(b"1")).expect("add");
+        b.add(b"a", Some(b"2")).expect("add");
+    }
+
+    #[test]
+    fn empty_build_fails_cleanly() {
+        let v = vfs();
+        let b = SstableBuilder::create(v.clone(), "sst-1", 4096, 10).expect("create");
+        assert!(b.finish().is_err());
+        assert!(!v.exists("sst-1"), "partial file removed");
+    }
+
+    #[test]
+    fn abandon_removes_file() {
+        let v = vfs();
+        let mut b = SstableBuilder::create(v.clone(), "sst-1", 4096, 10).expect("create");
+        b.add(b"a", Some(b"1")).expect("add");
+        b.abandon();
+        assert!(!v.exists("sst-1"));
+    }
+
+    #[test]
+    fn large_values_span_blocks() {
+        let v = vfs();
+        let mut b = SstableBuilder::create(v.clone(), "sst-1", 4096, 10).expect("create");
+        for i in 0..20u32 {
+            let key = format!("k{:03}", i);
+            b.add(key.as_bytes(), Some(&vec![7u8; 4000])).expect("add");
+        }
+        let meta = b.finish().expect("finish");
+        assert!(meta.file_bytes > 20 * 4000);
+    }
+}

@@ -1,0 +1,261 @@
+//! Binary encoding of SSTable entries, index and footer.
+
+use crate::LsmError;
+
+/// Value tag marking a tombstone (no value bytes follow).
+pub const TOMBSTONE_TAG: u32 = u32::MAX;
+
+/// Magic bytes terminating a valid SSTable.
+pub const MAGIC: &[u8; 4] = b"PTSS";
+
+/// Footer size in bytes.
+pub const FOOTER_LEN: usize = 8 + 4 + 8 + 4 + 8 + 4 + 4;
+
+/// Summary of a finished SSTable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SstableMeta {
+    /// File name within the VFS.
+    pub name: String,
+    /// Smallest key in the table.
+    pub min_key: Vec<u8>,
+    /// Largest key in the table.
+    pub max_key: Vec<u8>,
+    /// Number of entries (including tombstones).
+    pub entries: u64,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+}
+
+impl SstableMeta {
+    /// Whether the table's key range overlaps `[min, max]` (inclusive).
+    pub fn overlaps(&self, min: &[u8], max: &[u8]) -> bool {
+        self.min_key.as_slice() <= max && self.max_key.as_slice() >= min
+    }
+}
+
+/// One index entry: a data block's location and first key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// First key stored in the block.
+    pub first_key: Vec<u8>,
+    /// Byte offset of the block in the file.
+    pub offset: u64,
+    /// Byte length of the block.
+    pub len: u32,
+    /// Number of entries in the block.
+    pub entries: u32,
+}
+
+/// Appends an entry encoding to `out`.
+pub fn encode_entry(out: &mut Vec<u8>, key: &[u8], value: Option<&[u8]>) {
+    debug_assert!(key.len() <= u16::MAX as usize, "key too long");
+    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    match value {
+        Some(v) => {
+            debug_assert!((v.len() as u32) != TOMBSTONE_TAG);
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(key);
+            out.extend_from_slice(v);
+        }
+        None => {
+            out.extend_from_slice(&TOMBSTONE_TAG.to_le_bytes());
+            out.extend_from_slice(key);
+        }
+    }
+}
+
+/// Size of an entry's encoding.
+pub fn entry_encoded_len(key: &[u8], value: Option<&[u8]>) -> usize {
+    2 + 4 + key.len() + value.map_or(0, |v| v.len())
+}
+
+/// A decoded entry: `(key, value-or-tombstone, next_position)`.
+pub type DecodedEntry<'a> = (&'a [u8], Option<&'a [u8]>, usize);
+
+/// Decodes the entry at `buf[pos..]`; returns `(key, value, next_pos)`.
+pub fn decode_entry(buf: &[u8], pos: usize) -> Result<DecodedEntry<'_>, LsmError> {
+    let need = |ok: bool| {
+        if ok {
+            Ok(())
+        } else {
+            Err(LsmError::Corruption("truncated entry".into()))
+        }
+    };
+    need(pos + 6 <= buf.len())?;
+    let klen = u16::from_le_bytes(buf[pos..pos + 2].try_into().expect("2 bytes")) as usize;
+    let vtag = u32::from_le_bytes(buf[pos + 2..pos + 6].try_into().expect("4 bytes"));
+    let kstart = pos + 6;
+    need(kstart + klen <= buf.len())?;
+    let key = &buf[kstart..kstart + klen];
+    if vtag == TOMBSTONE_TAG {
+        return Ok((key, None, kstart + klen));
+    }
+    let vstart = kstart + klen;
+    let vlen = vtag as usize;
+    need(vstart + vlen <= buf.len())?;
+    Ok((key, Some(&buf[vstart..vstart + vlen]), vstart + vlen))
+}
+
+/// Encodes the index block.
+pub fn encode_index(entries: &[IndexEntry], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        out.extend_from_slice(&(e.first_key.len() as u16).to_le_bytes());
+        out.extend_from_slice(&e.first_key);
+        out.extend_from_slice(&e.offset.to_le_bytes());
+        out.extend_from_slice(&e.len.to_le_bytes());
+        out.extend_from_slice(&e.entries.to_le_bytes());
+    }
+}
+
+/// Decodes the index block.
+pub fn decode_index(buf: &[u8]) -> Result<Vec<IndexEntry>, LsmError> {
+    let corrupt = || LsmError::Corruption("truncated index".into());
+    if buf.len() < 4 {
+        return Err(corrupt());
+    }
+    let n = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    let mut pos = 4;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if pos + 2 > buf.len() {
+            return Err(corrupt());
+        }
+        let klen = u16::from_le_bytes(buf[pos..pos + 2].try_into().expect("2 bytes")) as usize;
+        pos += 2;
+        if pos + klen + 16 > buf.len() {
+            return Err(corrupt());
+        }
+        let first_key = buf[pos..pos + klen].to_vec();
+        pos += klen;
+        let offset = u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("8 bytes"));
+        pos += 8;
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes"));
+        pos += 4;
+        let entries = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes"));
+        pos += 4;
+        out.push(IndexEntry { first_key, offset, len, entries });
+    }
+    Ok(out)
+}
+
+/// The fixed-size footer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footer {
+    /// Offset of the index block.
+    pub index_off: u64,
+    /// Length of the index block.
+    pub index_len: u32,
+    /// Offset of the bloom block.
+    pub bloom_off: u64,
+    /// Length of the bloom block (0 = no bloom).
+    pub bloom_len: u32,
+    /// Total entries in the table.
+    pub entries: u64,
+    /// Total data-block entries per block checksum surrogate (reserved).
+    pub reserved: u32,
+}
+
+impl Footer {
+    /// Encodes the footer (always [`FOOTER_LEN`] bytes).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.index_off.to_le_bytes());
+        out.extend_from_slice(&self.index_len.to_le_bytes());
+        out.extend_from_slice(&self.bloom_off.to_le_bytes());
+        out.extend_from_slice(&self.bloom_len.to_le_bytes());
+        out.extend_from_slice(&self.entries.to_le_bytes());
+        out.extend_from_slice(&self.reserved.to_le_bytes());
+        out.extend_from_slice(MAGIC);
+    }
+
+    /// Decodes and validates a footer.
+    pub fn decode(buf: &[u8]) -> Result<Self, LsmError> {
+        if buf.len() != FOOTER_LEN {
+            return Err(LsmError::Corruption(format!("footer length {}", buf.len())));
+        }
+        if &buf[FOOTER_LEN - 4..] != MAGIC {
+            return Err(LsmError::Corruption("bad magic".into()));
+        }
+        Ok(Self {
+            index_off: u64::from_le_bytes(buf[0..8].try_into().expect("8")),
+            index_len: u32::from_le_bytes(buf[8..12].try_into().expect("4")),
+            bloom_off: u64::from_le_bytes(buf[12..20].try_into().expect("8")),
+            bloom_len: u32::from_le_bytes(buf[20..24].try_into().expect("4")),
+            entries: u64::from_le_bytes(buf[24..32].try_into().expect("8")),
+            reserved: u32::from_le_bytes(buf[32..36].try_into().expect("4")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_round_trip() {
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, b"key1", Some(b"value1"));
+        encode_entry(&mut buf, b"key2", None);
+        encode_entry(&mut buf, b"key3", Some(b""));
+        let (k, v, p) = decode_entry(&buf, 0).expect("decode");
+        assert_eq!((k, v), (&b"key1"[..], Some(&b"value1"[..])));
+        let (k, v, p) = decode_entry(&buf, p).expect("decode");
+        assert_eq!((k, v), (&b"key2"[..], None));
+        let (k, v, p) = decode_entry(&buf, p).expect("decode");
+        assert_eq!((k, v), (&b"key3"[..], Some(&b""[..])));
+        assert_eq!(p, buf.len());
+        assert_eq!(
+            buf.len(),
+            entry_encoded_len(b"key1", Some(b"value1"))
+                + entry_encoded_len(b"key2", None)
+                + entry_encoded_len(b"key3", Some(b""))
+        );
+    }
+
+    #[test]
+    fn truncated_entry_is_corruption() {
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, b"key1", Some(b"value1"));
+        assert!(decode_entry(&buf[..buf.len() - 1], 0).is_err());
+        assert!(decode_entry(&buf[..3], 0).is_err());
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let entries = vec![
+            IndexEntry { first_key: b"aaa".to_vec(), offset: 0, len: 4096, entries: 10 },
+            IndexEntry { first_key: b"mmm".to_vec(), offset: 4096, len: 2048, entries: 5 },
+        ];
+        let mut buf = Vec::new();
+        encode_index(&entries, &mut buf);
+        assert_eq!(decode_index(&buf).expect("decode"), entries);
+        assert!(decode_index(&buf[..buf.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn footer_round_trip() {
+        let f = Footer { index_off: 1000, index_len: 64, bloom_off: 1064, bloom_len: 32, entries: 77, reserved: 0 };
+        let mut buf = Vec::new();
+        f.encode(&mut buf);
+        assert_eq!(buf.len(), FOOTER_LEN);
+        assert_eq!(Footer::decode(&buf).expect("decode"), f);
+        buf[FOOTER_LEN - 1] = b'X';
+        assert!(Footer::decode(&buf).is_err(), "bad magic rejected");
+    }
+
+    #[test]
+    fn meta_overlap() {
+        let m = SstableMeta {
+            name: "t".into(),
+            min_key: b"c".to_vec(),
+            max_key: b"f".to_vec(),
+            entries: 1,
+            file_bytes: 10,
+        };
+        assert!(m.overlaps(b"a", b"c"));
+        assert!(m.overlaps(b"d", b"e"));
+        assert!(m.overlaps(b"f", b"z"));
+        assert!(!m.overlaps(b"a", b"b"));
+        assert!(!m.overlaps(b"g", b"z"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF over `f64` samples, or a pre-computed `(x, y)` curve
+/// (e.g. the LBA write-frequency CDF from the device trace, Fig 4).
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    /// Sorted samples (empirical mode) — empty when curve-backed.
+    samples: Vec<f64>,
+    /// Pre-computed curve points (curve mode).
+    curve: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Builds an empirical CDF from samples (sorted internally).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in CDF samples"));
+        Self { samples, curve: Vec::new() }
+    }
+
+    /// Wraps a pre-computed non-decreasing `(x, y)` curve.
+    pub fn from_curve(curve: Vec<(f64, f64)>) -> Self {
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0, "curve x must be non-decreasing");
+            assert!(w[1].1 >= w[0].1 - 1e-12, "curve y must be non-decreasing");
+        }
+        Self { samples: Vec::new(), curve }
+    }
+
+    /// P(X <= x).
+    pub fn probability_at(&self, x: f64) -> f64 {
+        if !self.curve.is_empty() {
+            // Linear interpolation on the curve.
+            if self.curve.is_empty() {
+                return 0.0;
+            }
+            if x <= self.curve[0].0 {
+                return self.curve[0].1;
+            }
+            for w in self.curve.windows(2) {
+                let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+                if x <= x1 {
+                    if x1 == x0 {
+                        return y1;
+                    }
+                    return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+                }
+            }
+            return self.curve.last().expect("non-empty").1;
+        }
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let idx = self.samples.partition_point(|&s| s <= x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (q in [0,1]) of an empirical CDF.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q));
+        if self.samples.is_empty() {
+            return None;
+        }
+        let idx = ((self.samples.len() - 1) as f64 * q).round() as usize;
+        Some(self.samples[idx])
+    }
+
+    /// Smallest x with P(X <= x) >= `y` on a curve-backed CDF (e.g.
+    /// "what fraction of LBAs receives all the writes").
+    pub fn x_at_probability(&self, y: f64) -> Option<f64> {
+        if self.curve.is_empty() {
+            return self.quantile(y);
+        }
+        for w in self.curve.windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            if y1 >= y {
+                if (y1 - y0).abs() < 1e-15 {
+                    return Some(x1);
+                }
+                return Some(x0 + (x1 - x0) * (y - y0) / (y1 - y0));
+            }
+        }
+        self.curve.last().map(|&(x, _)| x)
+    }
+
+    /// The raw curve (curve-backed), or `None` for empirical CDFs.
+    pub fn curve(&self) -> Option<&[(f64, f64)]> {
+        if self.curve.is_empty() {
+            None
+        } else {
+            Some(&self.curve)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_probabilities() {
+        let c = Cdf::from_samples(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(c.probability_at(0.5), 0.0);
+        assert_eq!(c.probability_at(1.0), 0.25);
+        assert_eq!(c.probability_at(2.5), 0.5);
+        assert_eq!(c.probability_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn empirical_quantiles() {
+        let c = Cdf::from_samples((1..=100).map(|i| i as f64).collect());
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.quantile(1.0), Some(100.0));
+        let median = c.quantile(0.5).expect("median");
+        assert!((median - 50.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn curve_interpolation() {
+        let c = Cdf::from_curve(vec![(0.0, 0.0), (0.5, 1.0), (1.0, 1.0)]);
+        assert!((c.probability_at(0.25) - 0.5).abs() < 1e-9);
+        assert!((c.probability_at(0.75) - 1.0).abs() < 1e-9);
+        // Where does the CDF first reach 1.0? At x=0.5 — the WiredTiger
+        // signature of Fig 4.
+        let x = c.x_at_probability(1.0).expect("x");
+        assert!((x - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_curve_rejected() {
+        Cdf::from_curve(vec![(0.0, 0.5), (1.0, 0.1)]);
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let c = Cdf::from_samples(vec![]);
+        assert_eq!(c.probability_at(1.0), 0.0);
+        assert_eq!(c.quantile(0.5), None);
+    }
+}

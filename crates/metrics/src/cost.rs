@@ -1,0 +1,190 @@
+//! Storage deployment cost model (paper §4.5 / §4.6).
+//!
+//! The paper's Fig 6c and Fig 8 heatmaps answer: *given a total dataset
+//! size and a target aggregate throughput, which configuration needs
+//! fewer drives?* Assumptions (same as the paper's back-of-the-envelope
+//! computation): one PTS instance per drive, aggregate throughput is the
+//! sum of per-instance throughputs, and each drive can index
+//! `usable_capacity / space_amplification` of application data.
+
+/// Measured characteristics of one (system, drive, configuration) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Label used in reports ("RocksDB", "WiredTiger", "RocksDB+OP", ...).
+    pub name: String,
+    /// Steady-state throughput of one instance, ops/second.
+    pub per_instance_ops: f64,
+    /// Application bytes one drive can index: partition capacity divided
+    /// by the measured space amplification.
+    pub per_instance_data_bytes: u64,
+}
+
+impl CostModel {
+    /// Number of drives needed for `dataset_bytes` of application data at
+    /// `target_ops` aggregate throughput: the max of the capacity-bound
+    /// and throughput-bound instance counts.
+    pub fn drives_needed(&self, dataset_bytes: u64, target_ops: f64) -> u64 {
+        assert!(self.per_instance_ops > 0.0);
+        assert!(self.per_instance_data_bytes > 0);
+        let by_capacity = dataset_bytes.div_ceil(self.per_instance_data_bytes);
+        let by_throughput = (target_ops / self.per_instance_ops).ceil() as u64;
+        by_capacity.max(by_throughput).max(1)
+    }
+}
+
+/// Outcome of comparing two configurations at one grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentPlan {
+    /// The first configuration needs fewer drives.
+    FirstCheaper,
+    /// Both need the same number of drives.
+    SameCost,
+    /// The second configuration needs fewer drives.
+    SecondCheaper,
+}
+
+impl DeploymentPlan {
+    /// Single-character cell for heatmap rendering.
+    pub fn cell(&self) -> char {
+        match self {
+            DeploymentPlan::FirstCheaper => 'A',
+            DeploymentPlan::SameCost => '=',
+            DeploymentPlan::SecondCheaper => 'B',
+        }
+    }
+}
+
+/// A 2-D comparison grid over (dataset size, target throughput) — the
+/// paper's heatmap figure.
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    /// Name of configuration A.
+    pub first: String,
+    /// Name of configuration B.
+    pub second: String,
+    /// Dataset sizes (bytes) along the x axis.
+    pub dataset_axis: Vec<u64>,
+    /// Target throughputs (ops/s) along the y axis.
+    pub throughput_axis: Vec<f64>,
+    /// `cells[y][x]` — who wins at (dataset_axis[x], throughput_axis[y]).
+    pub cells: Vec<Vec<DeploymentPlan>>,
+    /// `drives[y][x]` — (drives_A, drives_B) at each grid point.
+    pub drives: Vec<Vec<(u64, u64)>>,
+}
+
+impl Heatmap {
+    /// Builds the comparison grid.
+    pub fn compare(
+        a: &CostModel,
+        b: &CostModel,
+        dataset_axis: Vec<u64>,
+        throughput_axis: Vec<f64>,
+    ) -> Self {
+        let mut cells = Vec::with_capacity(throughput_axis.len());
+        let mut drives = Vec::with_capacity(throughput_axis.len());
+        for &t in &throughput_axis {
+            let mut row = Vec::with_capacity(dataset_axis.len());
+            let mut drow = Vec::with_capacity(dataset_axis.len());
+            for &d in &dataset_axis {
+                let na = a.drives_needed(d, t);
+                let nb = b.drives_needed(d, t);
+                row.push(match na.cmp(&nb) {
+                    std::cmp::Ordering::Less => DeploymentPlan::FirstCheaper,
+                    std::cmp::Ordering::Equal => DeploymentPlan::SameCost,
+                    std::cmp::Ordering::Greater => DeploymentPlan::SecondCheaper,
+                });
+                drow.push((na, nb));
+            }
+            cells.push(row);
+            drives.push(drow);
+        }
+        Self { first: a.name.clone(), second: b.name.clone(), dataset_axis, throughput_axis, cells, drives }
+    }
+
+    /// Fraction of grid points where A wins outright.
+    pub fn first_win_fraction(&self) -> f64 {
+        let total: usize = self.cells.iter().map(|r| r.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let wins: usize = self
+            .cells
+            .iter()
+            .flatten()
+            .filter(|c| matches!(c, DeploymentPlan::FirstCheaper))
+            .count();
+        wins as f64 / total as f64
+    }
+
+    /// The winner at a specific grid cell.
+    pub fn at(&self, dataset_idx: usize, throughput_idx: usize) -> DeploymentPlan {
+        self.cells[throughput_idx][dataset_idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1 << 30;
+    const TB: u64 = 1 << 40;
+
+    fn rocks() -> CostModel {
+        // Fast but space-hungry: the RocksDB shape.
+        CostModel {
+            name: "RocksDB".into(),
+            per_instance_ops: 3_000.0,
+            per_instance_data_bytes: 215 * GB, // 400GB / 1.86 space amp
+        }
+    }
+
+    fn tiger() -> CostModel {
+        // Slower but space-efficient: the WiredTiger shape.
+        CostModel {
+            name: "WiredTiger".into(),
+            per_instance_ops: 1_000.0,
+            per_instance_data_bytes: 348 * GB, // 400GB / 1.15
+        }
+    }
+
+    #[test]
+    fn drives_needed_bounds() {
+        let m = rocks();
+        // Capacity-bound: tiny throughput, big data.
+        assert_eq!(m.drives_needed(2 * TB, 100.0), 10);
+        // Throughput-bound: small data, big throughput.
+        assert_eq!(m.drives_needed(GB, 30_000.0), 10);
+        // Minimum one drive.
+        assert_eq!(m.drives_needed(1, 1.0), 1);
+    }
+
+    #[test]
+    fn heatmap_reproduces_fig6c_shape() {
+        // Paper Fig 6c: WiredTiger is cheaper for large datasets with low
+        // target throughput; RocksDB for high throughput.
+        let axis_d: Vec<u64> = (1..=5).map(|t| t * TB).collect();
+        let axis_t: Vec<f64> = (1..=5).map(|k| k as f64 * 5_000.0).collect();
+        let h = Heatmap::compare(&rocks(), &tiger(), axis_d, axis_t);
+        // Low throughput (5 Kops), large dataset (5 TB): WiredTiger wins.
+        assert_eq!(h.at(4, 0), DeploymentPlan::SecondCheaper);
+        // High throughput (25 Kops), small dataset (1 TB): RocksDB wins.
+        assert_eq!(h.at(0, 4), DeploymentPlan::FirstCheaper);
+        // Both regions must be non-trivial.
+        let f = h.first_win_fraction();
+        assert!(f > 0.1 && f < 0.9, "win fraction {f} degenerate");
+    }
+
+    #[test]
+    fn identical_models_tie_everywhere() {
+        let h = Heatmap::compare(&rocks(), &rocks(), vec![TB, 2 * TB], vec![1_000.0, 9_000.0]);
+        assert!(h.cells.iter().flatten().all(|c| matches!(c, DeploymentPlan::SameCost)));
+        assert_eq!(h.first_win_fraction(), 0.0);
+    }
+
+    #[test]
+    fn plan_cells() {
+        assert_eq!(DeploymentPlan::FirstCheaper.cell(), 'A');
+        assert_eq!(DeploymentPlan::SameCost.cell(), '=');
+        assert_eq!(DeploymentPlan::SecondCheaper.cell(), 'B');
+    }
+}

@@ -1,0 +1,145 @@
+//! Steady-state detection via Page's CUSUM (paper §4.1 guideline:
+//! "Techniques such as CUSUM can be used to detect that the values of
+//! these metrics do not change significantly for a long enough period of
+//! time").
+//!
+//! The detector runs a standardized two-sided CUSUM over a window-averaged
+//! series (throughput, WA-A, WA-D). A *change* is signalled when the
+//! cumulative standardized drift exceeds the decision threshold `h`;
+//! steady state is declared at the last change signal, provided at least
+//! `min_stable` subsequent windows pass without another signal.
+
+/// Two-sided CUSUM change detector.
+#[derive(Debug, Clone, Copy)]
+pub struct CusumDetector {
+    /// Slack parameter `k` in standard deviations (drift allowance);
+    /// typical 0.5.
+    pub k: f64,
+    /// Decision threshold `h` in standard deviations; typical 4–5.
+    pub h: f64,
+    /// Number of trailing change-free windows required to declare
+    /// steady state.
+    pub min_stable: usize,
+}
+
+impl Default for CusumDetector {
+    fn default() -> Self {
+        Self { k: 0.5, h: 5.0, min_stable: 3 }
+    }
+}
+
+impl CusumDetector {
+    /// Indices at which the series signals a change.
+    ///
+    /// The reference mean/σ are estimated incrementally from the samples
+    /// seen since the last detected change (self-tuning restart CUSUM).
+    pub fn change_points(&self, values: &[f64]) -> Vec<usize> {
+        let mut changes = Vec::new();
+        let mut start = 0usize;
+        while start < values.len() {
+            let mut mean = values[start];
+            let mut m2 = 0.0f64;
+            let mut count = 1.0f64;
+            let mut s_hi = 0.0f64;
+            let mut s_lo = 0.0f64;
+            let mut signalled = None;
+            for (i, &v) in values.iter().enumerate().skip(start + 1) {
+                // Update running stats (Welford).
+                count += 1.0;
+                let delta = v - mean;
+                mean += delta / count;
+                m2 += delta * (v - mean);
+                let sigma = (m2 / count).sqrt().max(mean.abs() * 0.01).max(1e-12);
+                let z = (v - mean) / sigma;
+                s_hi = (s_hi + z - self.k).max(0.0);
+                s_lo = (s_lo - z - self.k).max(0.0);
+                if s_hi > self.h || s_lo > self.h {
+                    signalled = Some(i);
+                    break;
+                }
+            }
+            match signalled {
+                Some(i) => {
+                    changes.push(i);
+                    start = i;
+                }
+                None => break,
+            }
+        }
+        changes
+    }
+
+    /// Index of the first window from which the series is steady
+    /// (no further change detected and at least `min_stable` stable
+    /// windows follow), or `None` if the series never settles.
+    pub fn steady_from(&self, values: &[f64]) -> Option<usize> {
+        if values.len() < self.min_stable {
+            return None;
+        }
+        let changes = self.change_points(values);
+        let from = changes.last().map_or(0, |&c| c + 1);
+        if values.len() - from >= self.min_stable {
+            Some(from)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the tail of the series is steady.
+    pub fn is_steady(&self, values: &[f64]) -> bool {
+        self.steady_from(values).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_series_is_steady_from_start() {
+        let d = CusumDetector::default();
+        let vals: Vec<f64> = (0..20).map(|i| 5.0 + 0.01 * ((i % 3) as f64)).collect();
+        assert_eq!(d.steady_from(&vals), Some(0));
+        assert!(d.is_steady(&vals));
+    }
+
+    #[test]
+    fn step_change_is_detected() {
+        let d = CusumDetector::default();
+        let mut vals = vec![10.0; 15];
+        vals.extend(vec![3.0; 15]);
+        let changes = d.change_points(&vals);
+        assert!(!changes.is_empty(), "step change must be detected");
+        let first = changes[0];
+        assert!((14..=18).contains(&first), "change near the step, got {first}");
+        // Steady state begins after the last change.
+        let steady = d.steady_from(&vals).expect("settles after the step");
+        assert!(steady >= 15);
+    }
+
+    #[test]
+    fn decaying_throughput_settles_late() {
+        // The Pitfall-1 shape: fast decay then flat tail.
+        let d = CusumDetector::default();
+        let mut vals: Vec<f64> = (0..15).map(|i| 11.0 * (0.8f64).powi(i)).collect();
+        vals.extend(vec![0.45, 0.5, 0.48, 0.5, 0.49, 0.5, 0.51, 0.5]);
+        let steady = d.steady_from(&vals).expect("eventually steady");
+        assert!(steady >= 5, "must not declare steady during the decay, got {steady}");
+    }
+
+    #[test]
+    fn too_short_series_is_not_steady() {
+        let d = CusumDetector::default();
+        assert_eq!(d.steady_from(&[1.0]), None);
+        assert!(!d.is_steady(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn noise_does_not_trigger() {
+        let d = CusumDetector::default();
+        // +-2% noise around a constant.
+        let vals: Vec<f64> =
+            (0..40).map(|i| 100.0 * (1.0 + 0.02 * (((i * 37) % 7) as f64 - 3.0) / 3.0)).collect();
+        assert_eq!(d.change_points(&vals), vec![], "small noise must not signal");
+    }
+}

@@ -1,0 +1,183 @@
+//! Log-bucketed latency histogram.
+//!
+//! Operation latencies span five orders of magnitude (cache-hit writes at
+//! tens of microseconds to GC-stalled writes at hundreds of
+//! milliseconds), so buckets grow geometrically. Memory is constant;
+//! recording is O(1); quantiles are approximate to one bucket width
+//! (~4%).
+
+/// A latency histogram with geometric buckets (4% resolution).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// bucket i covers [BASE * GROWTH^i, BASE * GROWTH^(i+1)).
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+const BASE_NS: f64 = 100.0; // 100 ns floor
+const GROWTH: f64 = 1.04;
+const BUCKETS: usize = 512; // covers up to ~53 minutes
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { counts: vec![0; BUCKETS], total: 0, sum_ns: 0, max_ns: 0, min_ns: u64::MAX }
+    }
+
+    /// Records one latency observation in nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        let idx = Self::bucket_of(ns);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if (ns as f64) <= BASE_NS {
+            return 0;
+        }
+        let idx = ((ns as f64 / BASE_NS).ln() / GROWTH.ln()) as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency (ns), or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.total as f64
+        }
+    }
+
+    /// Maximum observed latency (exact).
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max_ns
+        }
+    }
+
+    /// Minimum observed latency (exact).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Approximate `q`-quantile in nanoseconds (upper bucket edge).
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return (BASE_NS * GROWTH.powi(i as i32 + 1)) as u64;
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+    }
+
+    /// Clears all observations.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.sum_ns = 0;
+        self.max_ns = 0;
+        self.min_ns = u64::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = LatencyHistogram::new();
+        for ns in [1_000u64, 2_000, 3_000, 4_000, 100_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 100_000);
+        assert_eq!(h.min(), 1_000);
+        assert!((h.mean() - 22_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_accurate() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 1_000); // 1us .. 1ms uniform
+        }
+        let p50 = h.quantile(0.5) as f64;
+        assert!((p50 / 500_000.0 - 1.0).abs() < 0.10, "p50 {p50} off by >10%");
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p99 / 990_000.0 - 1.0).abs() < 0.10, "p99 {p99} off by >10%");
+        assert!(h.quantile(1.0) >= 990_000);
+    }
+
+    #[test]
+    fn extremes_clamp() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.1) >= 100);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(1_000);
+        b.record(9_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 9_000);
+        assert_eq!(a.min(), 1_000);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = LatencyHistogram::new();
+        h.record(5_000);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+}

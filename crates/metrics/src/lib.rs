@@ -1,0 +1,39 @@
+//! # ptsbench-metrics — the measurement toolkit
+//!
+//! Implements the metrics and analyses of the paper's §3.3 and the
+//! guidelines of §4:
+//!
+//! * [`timeseries`] — windowed time series (the paper reports 10-minute
+//!   averages) with steady-state tail statistics;
+//! * [`wa`] — the write-amplification algebra: application-level WA-A,
+//!   user-level WA, device-level WA-D, and the end-to-end product that
+//!   §4.2 argues must be reported;
+//! * [`cusum`] — Page's CUSUM change detector, the §4.1 guideline for
+//!   declaring steady state "when application throughput, WA-A and WA-D
+//!   stop changing for long enough";
+//! * [`cdf`] / [`histogram`] — distribution summaries (Fig 4, latency
+//!   percentiles);
+//! * [`cost`] — the storage-cost model behind the Fig 6c and Fig 8
+//!   heatmaps (#drives = max(capacity-bound, throughput-bound));
+//! * [`report`] — plain-text rendering of series, sweeps and heatmaps in
+//!   the shape of the paper's figures.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cdf;
+pub mod cost;
+pub mod cusum;
+pub mod histogram;
+pub mod lifetime;
+pub mod report;
+pub mod timeseries;
+pub mod wa;
+
+pub use cdf::Cdf;
+pub use cost::{CostModel, DeploymentPlan, Heatmap};
+pub use cusum::CusumDetector;
+pub use histogram::LatencyHistogram;
+pub use lifetime::EnduranceModel;
+pub use timeseries::TimeSeries;
+pub use wa::WaBreakdown;

@@ -1,0 +1,113 @@
+//! SSD lifetime implications of write amplification (paper §4.2(ii):
+//! end-to-end WA "should be used to quantify the I/O efficiency of a PTS
+//! on flash, and its implications on the lifetime of an SSD").
+//!
+//! Flash endurance is rated in program/erase cycles per cell. The bytes
+//! of *application* data a drive can absorb before wearing out is the
+//! rated NAND volume divided by the end-to-end write amplification —
+//! so a PTS with WA 25 consumes the drive twice as fast as one with
+//! WA 12 at equal application throughput.
+
+/// Endurance model of a drive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceModel {
+    /// Advertised capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Rated program/erase cycles per cell (e.g. ~3000 for enterprise
+    /// MLC/TLC of the paper's era, ~1000 for consumer QLC).
+    pub pe_cycles: u32,
+}
+
+impl EnduranceModel {
+    /// Total NAND bytes the medium can absorb (capacity x PE cycles).
+    pub fn rated_nand_bytes(&self) -> u128 {
+        self.capacity_bytes as u128 * self.pe_cycles as u128
+    }
+
+    /// Application bytes writable over the drive's life at the given
+    /// end-to-end write amplification.
+    pub fn application_bytes(&self, end_to_end_wa: f64) -> u128 {
+        assert!(end_to_end_wa >= 1.0, "write amplification below 1 is impossible");
+        (self.rated_nand_bytes() as f64 / end_to_end_wa) as u128
+    }
+
+    /// Drive lifetime in days at a sustained application write rate
+    /// (bytes/second) and end-to-end WA.
+    pub fn lifetime_days(&self, app_bytes_per_sec: f64, end_to_end_wa: f64) -> f64 {
+        assert!(app_bytes_per_sec > 0.0);
+        self.application_bytes(end_to_end_wa) as f64 / app_bytes_per_sec / 86_400.0
+    }
+
+    /// Drive-writes-per-day the application may sustain for a target
+    /// lifetime (the DWPD spec figure), given end-to-end WA.
+    pub fn sustainable_dwpd(&self, end_to_end_wa: f64, lifetime_days: f64) -> f64 {
+        assert!(lifetime_days > 0.0);
+        self.application_bytes(end_to_end_wa) as f64
+            / self.capacity_bytes as f64
+            / lifetime_days
+    }
+}
+
+/// Lifetime ratio between two systems at equal application write rates:
+/// how much longer the drive lasts under system B than under system A.
+pub fn lifetime_ratio(wa_a_end_to_end: f64, wa_b_end_to_end: f64) -> f64 {
+    assert!(wa_a_end_to_end >= 1.0 && wa_b_end_to_end >= 1.0);
+    wa_a_end_to_end / wa_b_end_to_end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p3600ish() -> EnduranceModel {
+        EnduranceModel { capacity_bytes: 400_000_000_000, pe_cycles: 3000 }
+    }
+
+    #[test]
+    fn rated_volume() {
+        let m = p3600ish();
+        assert_eq!(m.rated_nand_bytes(), 400_000_000_000u128 * 3000);
+    }
+
+    #[test]
+    fn wa_divides_application_volume() {
+        let m = p3600ish();
+        let at_1 = m.application_bytes(1.0);
+        let at_25 = m.application_bytes(25.0);
+        assert!((at_1 as f64 / at_25 as f64 - 25.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn papers_headline_lifetime_gap() {
+        // RocksDB end-to-end WA 25 vs WiredTiger 12 (paper §4.2): the
+        // same drive lasts ~2.1x longer under WiredTiger.
+        let ratio = lifetime_ratio(25.0, 12.0);
+        assert!((ratio - 25.0 / 12.0).abs() < 1e-9);
+        assert!(ratio > 2.0);
+    }
+
+    #[test]
+    fn lifetime_days_at_sustained_rate() {
+        let m = p3600ish();
+        // 12 MB/s of application writes at WA 25.
+        let days = m.lifetime_days(12e6, 25.0);
+        let expect = (400e9 * 3000.0 / 25.0) / 12e6 / 86_400.0;
+        assert!((days - expect).abs() / expect < 1e-9);
+        // Same rate at WA 12 lasts proportionally longer.
+        assert!(m.lifetime_days(12e6, 12.0) > days * 2.0);
+    }
+
+    #[test]
+    fn dwpd_round_trip() {
+        let m = p3600ish();
+        // At WA 1 over 5 years, DWPD equals PE cycles / days.
+        let dwpd = m.sustainable_dwpd(1.0, 5.0 * 365.0);
+        assert!((dwpd - 3000.0 / (5.0 * 365.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible")]
+    fn sub_unit_wa_rejected() {
+        p3600ish().application_bytes(0.5);
+    }
+}

@@ -1,0 +1,136 @@
+//! Service-time model.
+//!
+//! The simulator does not model individual channels and dies; instead the
+//! whole NAND array is a single *backend timeline* with aggregate
+//! throughput. Every media operation (page read, page program, block
+//! erase) reserves an *occupancy* on that timeline; the timeline's
+//! backlog relative to the current simulated time is the device's queue.
+//!
+//! This is the standard fluid approximation used by analytic SSD models
+//! (e.g. Desnoyers, *Analytic Models of SSD Write Performance*): it
+//! reproduces the first-order phenomena the paper relies on — garbage
+//! collection stealing host bandwidth (WA-D directly scales service
+//! demand), bursty writes overwhelming a write cache, and read/write
+//! interference — without a per-die event simulation.
+
+use crate::clock::Ns;
+
+/// Timing parameters of the simulated device (already scaled to the
+/// simulated capacity; see [`crate::DeviceProfile::scaled_to`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// Backend occupancy of one page program (ns). The reciprocal is the
+    /// device's sustained write bandwidth in pages/second.
+    pub program_occupancy_ns: Ns,
+    /// Backend occupancy of one page read (ns).
+    pub read_occupancy_ns: Ns,
+    /// Backend occupancy of one block erase (ns).
+    pub erase_occupancy_ns: Ns,
+    /// Host-visible latency of a write accepted into the cache (ns).
+    pub cache_write_latency_ns: Ns,
+    /// Host-visible base latency of a read (added on top of queueing, ns).
+    pub read_base_latency_ns: Ns,
+}
+
+impl LatencyConfig {
+    /// Sustained write bandwidth implied by the occupancy, bytes/second.
+    pub fn write_bandwidth_bps(&self, page_size: u32) -> f64 {
+        page_size as f64 * 1e9 / self.program_occupancy_ns as f64
+    }
+
+    /// Sustained read bandwidth implied by the occupancy, bytes/second.
+    pub fn read_bandwidth_bps(&self, page_size: u32) -> f64 {
+        page_size as f64 * 1e9 / self.read_occupancy_ns as f64
+    }
+}
+
+/// The shared backend timeline: a single-server fluid queue.
+#[derive(Debug, Clone, Default)]
+pub struct Backend {
+    busy_until: Ns,
+    /// Total busy time ever reserved (for utilization accounting).
+    total_busy: Ns,
+}
+
+impl Backend {
+    /// Creates an idle backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves `cost` nanoseconds of backend time starting no earlier
+    /// than `now`; returns the completion time of this reservation.
+    pub fn reserve(&mut self, now: Ns, cost: Ns) -> Ns {
+        let start = self.busy_until.max(now);
+        self.busy_until = start + cost;
+        self.total_busy += cost;
+        self.busy_until
+    }
+
+    /// Time at which all currently queued work completes.
+    pub fn busy_until(&self) -> Ns {
+        self.busy_until
+    }
+
+    /// Backlog (queued work) relative to `now`, in nanoseconds.
+    pub fn backlog(&self, now: Ns) -> Ns {
+        self.busy_until.saturating_sub(now)
+    }
+
+    /// Cumulative busy time reserved since construction/reset.
+    pub fn total_busy(&self) -> Ns {
+        self.total_busy
+    }
+
+    /// Clears backlog and accounting (used when resetting drive state
+    /// between experiment phases).
+    pub fn reset(&mut self, now: Ns) {
+        self.busy_until = now;
+        self.total_busy = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservations_serialize() {
+        let mut b = Backend::new();
+        assert_eq!(b.reserve(0, 10), 10);
+        assert_eq!(b.reserve(0, 10), 20, "second op queues behind the first");
+        assert_eq!(b.reserve(100, 10), 110, "idle gap is not carried over");
+        assert_eq!(b.total_busy(), 30);
+    }
+
+    #[test]
+    fn backlog_reflects_queue() {
+        let mut b = Backend::new();
+        b.reserve(0, 50);
+        assert_eq!(b.backlog(20), 30);
+        assert_eq!(b.backlog(60), 0);
+    }
+
+    #[test]
+    fn bandwidth_round_trip() {
+        let lat = LatencyConfig {
+            program_occupancy_ns: 4_096,
+            read_occupancy_ns: 1_024,
+            erase_occupancy_ns: 8_192,
+            cache_write_latency_ns: 20_000,
+            read_base_latency_ns: 90_000,
+        };
+        // 4096-byte page each 4096 ns => 1 byte/ns => 1e9 B/s.
+        assert!((lat.write_bandwidth_bps(4096) - 1e9).abs() < 1.0);
+        assert!((lat.read_bandwidth_bps(4096) - 4e9).abs() < 4.0);
+    }
+
+    #[test]
+    fn reset_clears_backlog() {
+        let mut b = Backend::new();
+        b.reserve(0, 1000);
+        b.reset(500);
+        assert_eq!(b.backlog(500), 0);
+        assert_eq!(b.reserve(500, 10), 510);
+    }
+}

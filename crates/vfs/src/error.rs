@@ -1,0 +1,54 @@
+//! Filesystem error type.
+
+/// Errors returned by [`crate::Vfs`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// No file with the given name exists.
+    NotFound(String),
+    /// A file with the given name already exists.
+    AlreadyExists(String),
+    /// The partition has no free space for the requested allocation.
+    /// Mirrors `ENOSPC` — the error RocksDB hits on the paper's two
+    /// largest datasets (§4.5).
+    NoSpace {
+        /// Pages requested.
+        requested_pages: u64,
+        /// Pages available.
+        available_pages: u64,
+    },
+    /// A stale file handle (file was deleted).
+    StaleHandle,
+    /// An invalid argument, e.g. writing past EOF leaving a hole.
+    InvalidArgument(String),
+}
+
+impl std::fmt::Display for VfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VfsError::NotFound(name) => write!(f, "file not found: {name}"),
+            VfsError::AlreadyExists(name) => write!(f, "file already exists: {name}"),
+            VfsError::NoSpace { requested_pages, available_pages } => write!(
+                f,
+                "no space left on device (requested {requested_pages} pages, \
+                 {available_pages} free)"
+            ),
+            VfsError::StaleHandle => write!(f, "stale file handle"),
+            VfsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(VfsError::NotFound("x".into()).to_string().contains("x"));
+        let e = VfsError::NoSpace { requested_pages: 10, available_pages: 3 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("3"));
+    }
+}

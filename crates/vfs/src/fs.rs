@@ -1,0 +1,593 @@
+//! The filesystem: named files on a partition of the simulated drive.
+//!
+//! [`Vfs`] is cheaply cloneable (shared interior); the key-value engines
+//! hold one clone, the measurement harness another, mirroring how a real
+//! benchmark observes `df`/`iostat` next to the system under test.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use ptsbench_ssd::{LpnRange, Ns, SharedSsd, SimClock};
+
+use crate::alloc::{AllocPolicy, ExtentAllocator};
+use crate::error::VfsError;
+use crate::file::{FileId, FileNode};
+use crate::Result;
+
+/// Mount options.
+#[derive(Debug, Clone, Copy)]
+pub struct VfsOptions {
+    /// Extent placement policy.
+    pub policy: AllocPolicy,
+    /// If true, deleting a file TRIMs its extents (ext4 `-o discard`);
+    /// if false (default, matching the paper's `nodiscard` mount) the
+    /// device keeps the pages as live data until they are overwritten.
+    pub discard_on_delete: bool,
+}
+
+impl Default for VfsOptions {
+    fn default() -> Self {
+        Self { policy: AllocPolicy::NextFit, discard_on_delete: false }
+    }
+}
+
+/// Filesystem-level usage statistics (the `df` view, used for the
+/// paper's disk-utilization and space-amplification figures).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FsStats {
+    /// Pages in the partition.
+    pub partition_pages: u64,
+    /// Pages allocated to live files.
+    pub used_pages: u64,
+    /// Pages free.
+    pub free_pages: u64,
+    /// Live file count.
+    pub live_files: usize,
+    /// High-water mark of `used_pages` since mount (or the last
+    /// [`Vfs::reset_peak_usage`] call). The paper reports the *maximum*
+    /// utilization for the LSM because compaction transiently holds both
+    /// inputs and outputs on disk.
+    pub peak_used_pages: u64,
+    /// Sum of file sizes in bytes (logical data).
+    pub data_bytes: u64,
+    /// `used_pages * page_size` — bytes of the partition consumed,
+    /// including allocation padding.
+    pub used_bytes: u64,
+}
+
+struct Inner {
+    ssd: SharedSsd,
+    clock: Arc<SimClock>,
+    page_size: u64,
+    opts: VfsOptions,
+    allocator: ExtentAllocator,
+    peak_used_pages: u64,
+    files: HashMap<FileId, FileNode>,
+    names: HashMap<String, FileId>,
+    next_id: u64,
+}
+
+/// A filesystem mounted on a partition of a simulated drive.
+#[derive(Clone)]
+pub struct Vfs {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for Vfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.inner.lock();
+        f.debug_struct("Vfs")
+            .field("partition", &g.allocator.partition())
+            .field("files", &g.files.len())
+            .field("used_pages", &g.allocator.used_pages())
+            .finish()
+    }
+}
+
+impl Vfs {
+    /// Mounts a filesystem on `partition` of the shared device.
+    pub fn new(ssd: SharedSsd, partition: LpnRange, opts: VfsOptions) -> Self {
+        let (clock, page_size, logical) = {
+            let dev = ssd.lock();
+            (Arc::clone(dev.clock()), dev.page_size() as u64, dev.logical_pages())
+        };
+        assert!(partition.end <= logical, "partition beyond device capacity");
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                ssd,
+                clock,
+                page_size,
+                opts,
+                allocator: ExtentAllocator::new(partition, opts.policy),
+                peak_used_pages: 0,
+                files: HashMap::new(),
+                names: HashMap::new(),
+                next_id: 1,
+            })),
+        }
+    }
+
+    /// Mounts a filesystem covering the whole device.
+    pub fn whole_device(ssd: SharedSsd, opts: VfsOptions) -> Self {
+        let pages = ssd.lock().logical_pages();
+        Self::new(ssd, LpnRange::new(0, pages), opts)
+    }
+
+    /// The shared device (for SMART observation by a harness).
+    pub fn ssd(&self) -> SharedSsd {
+        Arc::clone(&self.inner.lock().ssd)
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> Arc<SimClock> {
+        Arc::clone(&self.inner.lock().clock)
+    }
+
+    /// Device page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.inner.lock().page_size
+    }
+
+    /// Creates an empty file. Fails if the name exists.
+    pub fn create(&self, name: &str) -> Result<FileId> {
+        let mut g = self.inner.lock();
+        if g.names.contains_key(name) {
+            return Err(VfsError::AlreadyExists(name.to_string()));
+        }
+        let id = FileId(g.next_id);
+        g.next_id += 1;
+        g.files.insert(id, FileNode::new(name.to_string()));
+        g.names.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Opens an existing file by name.
+    pub fn open(&self, name: &str) -> Result<FileId> {
+        let g = self.inner.lock();
+        g.names.get(name).copied().ok_or_else(|| VfsError::NotFound(name.to_string()))
+    }
+
+    /// Whether a file with this name exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.inner.lock().names.contains_key(name)
+    }
+
+    /// Names of all live files (unordered).
+    pub fn list(&self) -> Vec<String> {
+        self.inner.lock().names.keys().cloned().collect()
+    }
+
+    /// Deletes a file, releasing its extents. Under `nodiscard` (the
+    /// default) the device is *not* informed: its pages stay live until
+    /// overwritten — the aged-filesystem behaviour of the paper.
+    pub fn delete(&self, name: &str) -> Result<()> {
+        let mut g = self.inner.lock();
+        let id = g.names.remove(name).ok_or_else(|| VfsError::NotFound(name.to_string()))?;
+        let node = g.files.remove(&id).expect("name table points to live file");
+        let discard = g.opts.discard_on_delete;
+        for e in node.extents {
+            g.allocator.release(e);
+            if discard {
+                g.ssd.lock().trim_range(e.range());
+            }
+        }
+        Ok(())
+    }
+
+    /// Renames a file (atomic; target must not exist).
+    pub fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let mut g = self.inner.lock();
+        if g.names.contains_key(to) {
+            return Err(VfsError::AlreadyExists(to.to_string()));
+        }
+        let id = g.names.remove(from).ok_or_else(|| VfsError::NotFound(from.to_string()))?;
+        g.names.insert(to.to_string(), id);
+        g.files.get_mut(&id).expect("live file").name = to.to_string();
+        Ok(())
+    }
+
+    /// File size in bytes.
+    pub fn size(&self, id: FileId) -> Result<u64> {
+        let g = self.inner.lock();
+        g.files.get(&id).map(|f| f.data.len() as u64).ok_or(VfsError::StaleHandle)
+    }
+
+    /// Appends `buf` to the end of the file (blocks the simulated clock
+    /// with direct-I/O semantics).
+    pub fn append(&self, id: FileId, buf: &[u8]) -> Result<()> {
+        let offset = self.size(id)?;
+        self.write_at(id, offset, buf)
+    }
+
+    /// Appends `buf` with background semantics (see [`Vfs::write_at_bg`]).
+    pub fn append_bg(&self, id: FileId, buf: &[u8]) -> Result<()> {
+        let offset = self.size(id)?;
+        self.write_at_bg(id, offset, buf)
+    }
+
+    /// Writes `buf` at `offset`. The write may extend the file but must
+    /// not leave a hole (`offset <= size`). Page-aligned overwrites reuse
+    /// the existing LBAs (in-place at the device level).
+    pub fn write_at(&self, id: FileId, offset: u64, buf: &[u8]) -> Result<()> {
+        self.write_at_opts(id, offset, buf, true)
+    }
+
+    /// Background (asynchronous) write: the device work is queued — it
+    /// consumes media bandwidth and delays later destages — but the
+    /// simulated clock does not advance. This models I/O issued by
+    /// background threads (LSM flush/compaction, B+Tree eviction
+    /// writers): the foreground only feels it through device congestion.
+    pub fn write_at_bg(&self, id: FileId, offset: u64, buf: &[u8]) -> Result<()> {
+        self.write_at_opts(id, offset, buf, false)
+    }
+
+    fn write_at_opts(&self, id: FileId, offset: u64, buf: &[u8], blocking: bool) -> Result<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let mut g = self.inner.lock();
+        let Inner { ssd, clock, page_size, allocator, files, .. } = &mut *g;
+        let ps = *page_size;
+        let mut g_peak_update = 0u64;
+        let node = files.get_mut(&id).ok_or(VfsError::StaleHandle)?;
+        let old_size = node.data.len() as u64;
+        if offset > old_size {
+            return Err(VfsError::InvalidArgument(format!(
+                "write at {offset} past EOF {old_size} would leave a hole"
+            )));
+        }
+        let new_size = old_size.max(offset + buf.len() as u64);
+        let needed_pages = new_size.div_ceil(ps);
+        let have_pages = node.total_pages();
+        if needed_pages > have_pages {
+            let fresh = allocator.alloc(needed_pages - have_pages)?;
+            node.push_extents(fresh);
+            g_peak_update = allocator.used_pages();
+        }
+
+        // Contents.
+        if new_size > old_size {
+            node.data.resize(new_size as usize, 0);
+        }
+        node.data[offset as usize..offset as usize + buf.len()].copy_from_slice(buf);
+
+        // Device traffic. Partial first/last pages that already existed
+        // require read-modify-write under direct I/O.
+        let first_page = offset / ps;
+        let last_page = (offset + buf.len() as u64 - 1) / ps;
+        let old_pages = old_size.div_ceil(ps);
+        {
+            let mut dev = ssd.lock();
+            if !offset.is_multiple_of(ps) && first_page < old_pages {
+                let done = dev.read_page(node.page_to_lpn(first_page));
+                if blocking {
+                    clock.advance_to(done);
+                }
+            }
+            let end = offset + buf.len() as u64;
+            if !end.is_multiple_of(ps) && last_page < old_pages && last_page != first_page {
+                let done = dev.read_page(node.page_to_lpn(last_page));
+                if blocking {
+                    clock.advance_to(done);
+                }
+            }
+            for run in node.runs(first_page, last_page - first_page + 1) {
+                let c = dev.write_range(run);
+                if blocking {
+                    clock.advance_to(c.host_done);
+                }
+                node.durable_at = node.durable_at.max(c.durable_at);
+            }
+        }
+        if g_peak_update > g.peak_used_pages {
+            g.peak_used_pages = g_peak_update;
+        }
+        Ok(())
+    }
+
+    /// Resets the peak-usage high-water mark to current usage.
+    pub fn reset_peak_usage(&self) {
+        let mut g = self.inner.lock();
+        g.peak_used_pages = g.allocator.used_pages();
+    }
+
+    /// Reads up to `len` bytes at `offset`; short reads happen at EOF.
+    /// Charges device reads for every page touched (the engines above
+    /// maintain their own caches; a call here is a cache miss).
+    pub fn read_at(&self, id: FileId, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.read_at_opts(id, offset, len, true)
+    }
+
+    /// Background read: consumes media bandwidth without advancing the
+    /// simulated clock (I/O by background threads, e.g. compaction input
+    /// scans).
+    pub fn read_at_bg(&self, id: FileId, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.read_at_opts(id, offset, len, false)
+    }
+
+    fn read_at_opts(&self, id: FileId, offset: u64, len: usize, blocking: bool) -> Result<Vec<u8>> {
+        let mut g = self.inner.lock();
+        let Inner { ssd, clock, page_size, files, .. } = &mut *g;
+        let ps = *page_size;
+        let node = files.get(&id).ok_or(VfsError::StaleHandle)?;
+        let size = node.data.len() as u64;
+        if offset >= size || len == 0 {
+            return Ok(Vec::new());
+        }
+        let len = len.min((size - offset) as usize);
+        let first_page = offset / ps;
+        let last_page = (offset + len as u64 - 1) / ps;
+        {
+            let mut dev = ssd.lock();
+            for run in node.runs(first_page, last_page - first_page + 1) {
+                let done = dev.read_pages(run);
+                if blocking {
+                    clock.advance_to(done);
+                }
+            }
+        }
+        Ok(node.data[offset as usize..offset as usize + len].to_vec())
+    }
+
+    /// Truncates a file to `new_len` bytes **keeping its allocated
+    /// extents** (the `fallocate`-style log-recycling pattern: RocksDB's
+    /// `recycle_log_file_num` and WiredTiger's journal preallocation both
+    /// reuse the same LBAs for successive logs). No device traffic.
+    pub fn truncate(&self, id: FileId, new_len: u64) -> Result<()> {
+        let mut g = self.inner.lock();
+        let node = g.files.get_mut(&id).ok_or(VfsError::StaleHandle)?;
+        if new_len > node.data.len() as u64 {
+            return Err(VfsError::InvalidArgument(format!(
+                "truncate to {new_len} beyond EOF {}",
+                node.data.len()
+            )));
+        }
+        node.data.truncate(new_len as usize);
+        Ok(())
+    }
+
+    /// Blocks until every write to this file is durable on media.
+    pub fn fsync(&self, id: FileId) -> Result<()> {
+        let g = self.inner.lock();
+        let node = g.files.get(&id).ok_or(VfsError::StaleHandle)?;
+        g.clock.advance_to(node.durable_at);
+        Ok(())
+    }
+
+    /// Durability horizon of the file (diagnostics).
+    pub fn durable_at(&self, id: FileId) -> Result<Ns> {
+        let g = self.inner.lock();
+        g.files.get(&id).map(|f| f.durable_at).ok_or(VfsError::StaleHandle)
+    }
+
+    /// Pending device work in nanoseconds (backend backlog) — lets an
+    /// engine throttle its background I/O like RocksDB's
+    /// pending-compaction-bytes stall.
+    pub fn device_backlog_ns(&self) -> Ns {
+        let g = self.inner.lock();
+        let dev = g.ssd.lock();
+        dev.backend_backlog()
+    }
+
+    /// TRIMs all free space (the `fstrim` maintenance command).
+    /// Returns pages trimmed on the device.
+    pub fn trim_free_space(&self) -> u64 {
+        let g = self.inner.lock();
+        let mut total = 0;
+        let mut dev = g.ssd.lock();
+        for run in g.allocator.free_runs() {
+            total += dev.trim_range(run.range());
+        }
+        total
+    }
+
+    /// Filesystem usage statistics.
+    pub fn stats(&self) -> FsStats {
+        let g = self.inner.lock();
+        let data_bytes: u64 = g.files.values().map(|f| f.data.len() as u64).sum();
+        let used = g.allocator.used_pages();
+        FsStats {
+            partition_pages: g.allocator.partition().len(),
+            used_pages: used,
+            free_pages: g.allocator.free_pages(),
+            live_files: g.files.len(),
+            peak_used_pages: g.peak_used_pages.max(used),
+            data_bytes,
+            used_bytes: used * g.page_size,
+        }
+    }
+
+    /// Validates allocator invariants plus extent/file accounting (tests).
+    pub fn check_invariants(&self) {
+        let g = self.inner.lock();
+        g.allocator.check_invariants();
+        let file_pages: u64 = g.files.values().map(|f| f.total_pages()).sum();
+        assert_eq!(file_pages, g.allocator.used_pages(), "extent accounting drifted");
+        for (name, id) in &g.names {
+            assert_eq!(&g.files[id].name, name, "name table out of sync");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbench_ssd::{DeviceConfig, DeviceProfile, Ssd};
+
+    const MB: u64 = 1024 * 1024;
+
+    fn fs() -> Vfs {
+        fs_with(VfsOptions::default())
+    }
+
+    fn fs_with(opts: VfsOptions) -> Vfs {
+        let ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 16 * MB));
+        Vfs::whole_device(ssd.into_shared(), opts)
+    }
+
+    #[test]
+    fn create_write_read_round_trip() {
+        let v = fs();
+        let f = v.create("a").expect("create");
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        v.write_at(f, 0, &payload).expect("write");
+        assert_eq!(v.size(f).expect("size"), 10_000);
+        let got = v.read_at(f, 0, 10_000).expect("read");
+        assert_eq!(got, payload);
+        // Sub-range read.
+        assert_eq!(v.read_at(f, 5_000, 100).expect("read"), payload[5_000..5_100]);
+        v.check_invariants();
+    }
+
+    #[test]
+    fn aligned_overwrite_is_in_place() {
+        let v = fs();
+        let f = v.create("a").expect("create");
+        v.write_at(f, 0, &vec![1u8; 8 * 4096]).expect("write");
+        let writes_before = v.ssd().lock().smart().host_pages_written;
+        let mapped_before = v.ssd().lock().mapped_pages();
+        v.write_at(f, 4096, &vec![2u8; 4096]).expect("overwrite");
+        let dev = v.ssd();
+        let dev = dev.lock();
+        assert_eq!(dev.smart().host_pages_written, writes_before + 1);
+        assert_eq!(dev.mapped_pages(), mapped_before, "no new LBAs for in-place write");
+        drop(dev);
+        let got = v.read_at(f, 0, 3 * 4096).expect("read");
+        assert!(got[..4096].iter().all(|&b| b == 1));
+        assert!(got[4096..8192].iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn unaligned_write_charges_rmw_read() {
+        let v = fs();
+        let f = v.create("a").expect("create");
+        v.write_at(f, 0, &vec![7u8; 2 * 4096]).expect("write");
+        let reads_before = v.ssd().lock().smart().host_pages_read;
+        v.write_at(f, 100, &[9u8; 8]).expect("partial overwrite");
+        assert!(v.ssd().lock().smart().host_pages_read > reads_before, "RMW must read");
+        let got = v.read_at(f, 0, 4096).expect("read");
+        assert_eq!(&got[100..108], &[9u8; 8]);
+        assert_eq!(got[99], 7);
+        assert_eq!(got[108], 7);
+    }
+
+    #[test]
+    fn hole_writes_rejected() {
+        let v = fs();
+        let f = v.create("a").expect("create");
+        assert!(matches!(v.write_at(f, 10, &[1]), Err(VfsError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn delete_nodiscard_keeps_device_pages_live() {
+        let v = fs(); // nodiscard default
+        let f = v.create("a").expect("create");
+        v.write_at(f, 0, &vec![1u8; 64 * 4096]).expect("write");
+        let mapped = v.ssd().lock().mapped_pages();
+        v.delete("a").expect("delete");
+        assert_eq!(
+            v.ssd().lock().mapped_pages(),
+            mapped,
+            "nodiscard delete must not trim device pages"
+        );
+        assert_eq!(v.stats().used_pages, 0, "fs space is reclaimed");
+        v.check_invariants();
+    }
+
+    #[test]
+    fn delete_with_discard_trims() {
+        let v = fs_with(VfsOptions { discard_on_delete: true, ..Default::default() });
+        let f = v.create("a").expect("create");
+        v.write_at(f, 0, &vec![1u8; 64 * 4096]).expect("write");
+        v.delete("a").expect("delete");
+        assert_eq!(v.ssd().lock().mapped_pages(), 0, "discard delete must trim");
+    }
+
+    #[test]
+    fn trim_free_space_is_fstrim() {
+        let v = fs();
+        let f = v.create("a").expect("create");
+        v.write_at(f, 0, &vec![1u8; 64 * 4096]).expect("write");
+        v.delete("a").expect("delete");
+        let trimmed = v.trim_free_space();
+        assert_eq!(trimmed, 64);
+        assert_eq!(v.ssd().lock().mapped_pages(), 0);
+    }
+
+    #[test]
+    fn enospc_propagates() {
+        let v = fs();
+        let f = v.create("a").expect("create");
+        let big = vec![0u8; 20 * MB as usize];
+        assert!(matches!(v.write_at(f, 0, &big), Err(VfsError::NoSpace { .. })));
+        v.check_invariants();
+    }
+
+    #[test]
+    fn rename_and_listing() {
+        let v = fs();
+        v.create("a").expect("create");
+        v.rename("a", "b").expect("rename");
+        assert!(!v.exists("a"));
+        assert!(v.exists("b"));
+        assert_eq!(v.list(), vec!["b".to_string()]);
+        assert!(matches!(v.rename("missing", "c"), Err(VfsError::NotFound(_))));
+        v.create("c").expect("create");
+        assert!(matches!(v.rename("b", "c"), Err(VfsError::AlreadyExists(_))));
+        v.check_invariants();
+    }
+
+    #[test]
+    fn fsync_blocks_until_durable() {
+        let v = fs();
+        let f = v.create("a").expect("create");
+        v.write_at(f, 0, &vec![1u8; 256 * 4096]).expect("write");
+        let clock = v.clock();
+        let before = clock.now();
+        let durable = v.durable_at(f).expect("durable");
+        v.fsync(f).expect("fsync");
+        assert!(clock.now() >= durable);
+        assert!(clock.now() >= before);
+    }
+
+    #[test]
+    fn writes_advance_the_clock() {
+        let v = fs();
+        let f = v.create("a").expect("create");
+        let clock = v.clock();
+        let t0 = clock.now();
+        v.write_at(f, 0, &vec![1u8; 4096]).expect("write");
+        assert!(clock.now() > t0, "direct-I/O write must consume simulated time");
+    }
+
+    #[test]
+    fn partition_confines_lbas() {
+        let ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 16 * MB));
+        let shared = ssd.into_shared();
+        let pages = shared.lock().logical_pages();
+        shared.lock().enable_trace();
+        let v = Vfs::new(Arc::clone(&shared), LpnRange::new(0, pages / 2), VfsOptions::default());
+        let f = v.create("a").expect("create");
+        v.write_at(f, 0, &vec![1u8; (pages / 2 * 4096) as usize]).expect("fill partition");
+        let dev = shared.lock();
+        let trace = dev.write_trace().expect("trace");
+        assert!(
+            (trace.untouched_fraction() - 0.5).abs() < 0.01,
+            "half the device must stay untouched, got {}",
+            trace.untouched_fraction()
+        );
+    }
+
+    #[test]
+    fn stats_track_usage() {
+        let v = fs();
+        let f = v.create("a").expect("create");
+        v.write_at(f, 0, &vec![1u8; 4096 * 3 + 10]).expect("write");
+        let s = v.stats();
+        assert_eq!(s.live_files, 1);
+        assert_eq!(s.used_pages, 4);
+        assert_eq!(s.data_bytes, 4096 * 3 + 10);
+        assert_eq!(s.used_bytes, 4 * 4096);
+    }
+}

@@ -1,0 +1,41 @@
+//! # ptsbench-vfs — a filesystem substrate over the simulated SSD
+//!
+//! The paper runs RocksDB and WiredTiger on an ext4 filesystem mounted
+//! with `nodiscard` (§3.5): deleting a file frees its blocks for reuse by
+//! the allocator but sends **no TRIM** to the drive, so the device keeps
+//! treating those LBAs as live data. This crate reproduces that layer:
+//!
+//! * **Extent-based files** ([`file`]) — a file is a byte vector plus an
+//!   ordered list of LBA extents; page-aligned overwrites hit the *same*
+//!   LBAs (the in-place behaviour a B+Tree relies on), appends allocate
+//!   new extents.
+//! * **Allocation policies** ([`alloc`]) — `NextFit` (default; cycles the
+//!   partition like an aged filesystem, which is why LSM file churn
+//!   touches the whole LBA space in the paper's Figure 4), `FirstFit`,
+//!   and `BestFit`.
+//! * **`nodiscard` semantics** — deletes return extents to the allocator
+//!   without trimming; an explicit [`Vfs::trim_free_space`] models
+//!   `fstrim`, and discard-on-delete can be enabled to model `-o discard`.
+//! * **Partitions** ([`Vfs::new`] takes an LPN range) — reserving part of
+//!   the device as an untouched partition is exactly the paper's software
+//!   over-provisioning knob (Pitfall 6).
+//!
+//! All I/O has direct-I/O semantics: writes block the simulated clock
+//! until cache admission, reads until media completion, and
+//! [`Vfs::fsync`] until the file's data is durable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alloc;
+pub mod error;
+pub mod file;
+pub mod fs;
+
+pub use alloc::{AllocPolicy, Extent, ExtentAllocator};
+pub use error::VfsError;
+pub use file::FileId;
+pub use fs::{FsStats, Vfs, VfsOptions};
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, VfsError>;

@@ -1,0 +1,207 @@
+//! Key-access distributions.
+//!
+//! [`Sampler`] turns a [`KeyDistribution`] plus an RNG into a stream of
+//! key indices in `[0, num_keys)`. The Zipfian implementation follows the
+//! YCSB generator (Gray et al.'s rejection method with precomputed zeta),
+//! giving the familiar skew where `theta = 0.99` sends ~90% of accesses
+//! to ~10% of keys.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which keys a workload touches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Every key equally likely (the paper's default update workload).
+    Uniform,
+    /// YCSB-style Zipfian with parameter `theta` in (0, 1).
+    Zipfian {
+        /// Skew parameter; 0.99 is the YCSB default.
+        theta: f64,
+    },
+    /// Skewed towards the most recently inserted keys.
+    Latest,
+    /// Round-robin over the key space (sequential re-writes).
+    Sequential,
+}
+
+/// Stateful sampler of key indices.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    dist: KeyDistribution,
+    num_keys: u64,
+    rng: SmallRng,
+    next_seq: u64,
+    // Zipfian precomputed state.
+    zeta_n: f64,
+    zeta_theta: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl Sampler {
+    /// Builds a sampler over `[0, num_keys)`.
+    pub fn new(dist: KeyDistribution, num_keys: u64, seed: u64) -> Self {
+        assert!(num_keys > 0, "empty key space");
+        let (zeta_n, zeta_theta, alpha, eta) = match dist {
+            KeyDistribution::Zipfian { theta } => {
+                assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+                zipf_params(num_keys, theta)
+            }
+            KeyDistribution::Latest => zipf_params(num_keys, 0.99),
+            KeyDistribution::Uniform | KeyDistribution::Sequential => (0.0, 0.0, 0.0, 0.0),
+        };
+        Self {
+            dist,
+            num_keys,
+            rng: SmallRng::seed_from_u64(seed),
+            next_seq: 0,
+            zeta_n,
+            zeta_theta,
+            alpha,
+            eta,
+        }
+    }
+
+    /// The distribution this sampler draws from.
+    pub fn distribution(&self) -> KeyDistribution {
+        self.dist
+    }
+
+    /// Next key index.
+    pub fn sample(&mut self) -> u64 {
+        match self.dist {
+            KeyDistribution::Uniform => self.rng.gen_range(0..self.num_keys),
+            KeyDistribution::Sequential => {
+                let k = self.next_seq;
+                self.next_seq = (self.next_seq + 1) % self.num_keys;
+                k
+            }
+            KeyDistribution::Zipfian { .. } => self.zipf_rank(),
+            KeyDistribution::Latest => {
+                // Rank 0 = newest key (highest index).
+                let rank = self.zipf_rank();
+                self.num_keys - 1 - rank
+            }
+        }
+    }
+
+    fn zipf_rank(&mut self) -> u64 {
+        let u: f64 = self.rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.zeta_theta) {
+            return 1;
+        }
+        let rank = (self.num_keys as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.num_keys - 1)
+    }
+}
+
+fn zipf_params(num_keys: u64, theta: f64) -> (f64, f64, f64, f64) {
+    let zeta_n = zeta(num_keys, theta);
+    let zeta2 = zeta(2, theta);
+    let alpha = 1.0 / (1.0 - theta);
+    let eta = (1.0 - (2.0 / num_keys as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zeta_n);
+    (zeta_n, theta, alpha, eta)
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Exact for small n, Euler–Maclaurin tail approximation for large n
+    // (keeps construction O(1)-ish for the multi-million key spaces).
+    const EXACT_LIMIT: u64 = 1_000_000;
+    if n <= EXACT_LIMIT {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    } else {
+        let head: f64 = (1..=EXACT_LIMIT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        // Integral approximation of the tail.
+        let a = EXACT_LIMIT as f64;
+        let b = n as f64;
+        head + (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_space() {
+        let mut s = Sampler::new(KeyDistribution::Uniform, 100, 1);
+        let mut seen = [false; 100];
+        for _ in 0..10_000 {
+            seen[s.sample() as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&b| b).count() > 95, "uniform must cover the space");
+    }
+
+    #[test]
+    fn sequential_round_robins() {
+        let mut s = Sampler::new(KeyDistribution::Sequential, 3, 1);
+        let got: Vec<u64> = (0..7).map(|_| s.sample()).collect();
+        assert_eq!(got, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let n = 10_000;
+        let mut s = Sampler::new(KeyDistribution::Zipfian { theta: 0.99 }, n, 1);
+        let mut counts = vec![0u32; n as usize];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[s.sample() as usize] += 1;
+        }
+        // Hot 10% of ranks should receive the majority of accesses.
+        let hot: u32 = counts[..(n as usize / 10)].iter().sum();
+        assert!(
+            hot as f64 / draws as f64 > 0.6,
+            "zipfian skew too weak: {}",
+            hot as f64 / draws as f64
+        );
+        // And it must still touch a long tail.
+        assert!(counts[(n as usize / 2)..].iter().any(|&c| c > 0));
+    }
+
+    #[test]
+    fn latest_prefers_high_indices() {
+        let n = 1_000;
+        let mut s = Sampler::new(KeyDistribution::Latest, n, 1);
+        let draws = 20_000;
+        let high = (0..draws).filter(|_| s.sample() > n * 9 / 10).count();
+        assert!(high as f64 / draws as f64 > 0.5, "latest skew too weak");
+    }
+
+    #[test]
+    fn samples_always_in_range() {
+        for dist in [
+            KeyDistribution::Uniform,
+            KeyDistribution::Zipfian { theta: 0.5 },
+            KeyDistribution::Latest,
+            KeyDistribution::Sequential,
+        ] {
+            let mut s = Sampler::new(dist, 17, 99);
+            for _ in 0..5_000 {
+                assert!(s.sample() < 17);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = Sampler::new(KeyDistribution::Zipfian { theta: 0.9 }, 1000, 7);
+        let mut b = Sampler::new(KeyDistribution::Zipfian { theta: 0.9 }, 1000, 7);
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn zeta_tail_approximation_is_close() {
+        // Compare approximation vs exact slightly above the limit.
+        let exact: f64 = (1..=1_100_000u64).map(|i| 1.0 / (i as f64).powf(0.99)).sum();
+        let approx = zeta(1_100_000, 0.99);
+        assert!((exact - approx).abs() / exact < 1e-3);
+    }
+}

@@ -1,0 +1,223 @@
+//! Operation stream and bulk-load generation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::Sampler;
+use crate::spec::WorkloadSpec;
+use crate::{encode_key, fill_value};
+
+/// The kind of a generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Point lookup.
+    Read,
+    /// Update (overwrite) of an existing key.
+    Update,
+}
+
+/// One generated operation, borrowing the generator's internal buffers.
+#[derive(Debug)]
+pub struct Op<'a> {
+    /// Read or update.
+    pub kind: OpKind,
+    /// Encoded key.
+    pub key: &'a [u8],
+    /// Value payload (empty for reads).
+    pub value: &'a [u8],
+    /// The key's index (for model checking in tests).
+    pub key_index: u64,
+}
+
+/// Generates the update/read phase of a workload.
+#[derive(Debug)]
+pub struct OpGenerator {
+    spec: WorkloadSpec,
+    sampler: Sampler,
+    rng: SmallRng,
+    versions: Vec<u32>,
+    key_buf: Vec<u8>,
+    value_buf: Vec<u8>,
+    ops_generated: u64,
+}
+
+impl OpGenerator {
+    /// Builds a generator for `spec`'s update phase. Key versions start
+    /// at 1 (version 0 is the bulk-loaded value).
+    pub fn new(spec: WorkloadSpec) -> Self {
+        spec.validate();
+        let sampler = Sampler::new(spec.distribution, spec.num_keys, spec.seed);
+        let rng = SmallRng::seed_from_u64(spec.seed ^ 0xDEAD_BEEF);
+        Self {
+            versions: vec![0; spec.num_keys as usize],
+            sampler,
+            rng,
+            key_buf: Vec::with_capacity(spec.key_size),
+            value_buf: Vec::with_capacity(spec.value_size),
+            spec,
+            ops_generated: 0,
+        }
+    }
+
+    /// The workload specification.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Operations generated so far.
+    pub fn ops_generated(&self) -> u64 {
+        self.ops_generated
+    }
+
+    /// Current version of a key (0 = as bulk-loaded).
+    pub fn version_of(&self, key_index: u64) -> u32 {
+        self.versions[key_index as usize]
+    }
+
+    /// Produces the next operation. The returned [`Op`] borrows internal
+    /// buffers and must be consumed before the next call.
+    pub fn next_op(&mut self) -> Op<'_> {
+        self.ops_generated += 1;
+        let key_index = self.sampler.sample();
+        encode_key(key_index, self.spec.key_size, &mut self.key_buf);
+        let is_read = self.spec.read_fraction > 0.0 && self.rng.gen::<f64>() < self.spec.read_fraction;
+        if is_read {
+            self.value_buf.clear();
+            Op { kind: OpKind::Read, key: &self.key_buf, value: &self.value_buf, key_index }
+        } else {
+            let version = self.versions[key_index as usize] + 1;
+            self.versions[key_index as usize] = version;
+            fill_value(key_index, version as u64, self.spec.value_size, &mut self.value_buf);
+            Op { kind: OpKind::Update, key: &self.key_buf, value: &self.value_buf, key_index }
+        }
+    }
+}
+
+/// Sequential bulk loader: yields every key once, in sorted order, with
+/// its version-0 value (paper §3.2: "we ingest all KV pairs in
+/// sequential order").
+#[derive(Debug)]
+pub struct Loader {
+    spec: WorkloadSpec,
+    next: u64,
+    key_buf: Vec<u8>,
+    value_buf: Vec<u8>,
+}
+
+impl Loader {
+    /// A loader over the spec's key space.
+    pub fn new(spec: WorkloadSpec) -> Self {
+        spec.validate();
+        Self {
+            next: 0,
+            key_buf: Vec::with_capacity(spec.key_size),
+            value_buf: Vec::with_capacity(spec.value_size),
+            spec,
+        }
+    }
+
+    /// Next `(key, value)` pair, or `None` when the dataset is loaded.
+    pub fn next_pair(&mut self) -> Option<(&[u8], &[u8])> {
+        if self.next >= self.spec.num_keys {
+            return None;
+        }
+        let idx = self.next;
+        self.next += 1;
+        encode_key(idx, self.spec.key_size, &mut self.key_buf);
+        fill_value(idx, 0, self.spec.value_size, &mut self.value_buf);
+        Some((&self.key_buf, &self.value_buf))
+    }
+
+    /// Number of pairs already produced.
+    pub fn loaded(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::KeyDistribution;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec { num_keys: 100, key_size: 16, value_size: 64, ..Default::default() }
+    }
+
+    #[test]
+    fn write_only_stream_is_all_updates() {
+        let mut g = OpGenerator::new(spec());
+        for _ in 0..1000 {
+            let op = g.next_op();
+            assert_eq!(op.kind, OpKind::Update);
+            assert_eq!(op.key.len(), 16);
+            assert_eq!(op.value.len(), 64);
+        }
+        assert_eq!(g.ops_generated(), 1000);
+    }
+
+    #[test]
+    fn mixed_stream_respects_ratio() {
+        let mut g = OpGenerator::new(WorkloadSpec { read_fraction: 0.5, ..spec() });
+        let reads = (0..10_000).filter(|_| g.next_op().kind == OpKind::Read).count();
+        let frac = reads as f64 / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.03, "read fraction {frac}");
+    }
+
+    #[test]
+    fn updates_bump_versions_and_values_verify() {
+        let mut g = OpGenerator::new(spec());
+        let (idx, value) = loop {
+            let op = g.next_op();
+            if op.kind == OpKind::Update {
+                break (op.key_index, op.value.to_vec());
+            }
+        };
+        let version = g.version_of(idx);
+        assert!(version >= 1);
+        let mut expect = Vec::new();
+        crate::fill_value(idx, version as u64, 64, &mut expect);
+        assert_eq!(value, expect, "op value must match (key, version) derivation");
+    }
+
+    #[test]
+    fn loader_yields_sorted_unique_keys() {
+        let mut l = Loader::new(spec());
+        let mut prev: Option<Vec<u8>> = None;
+        let mut count = 0;
+        while let Some((k, v)) = l.next_pair() {
+            if let Some(p) = &prev {
+                assert!(p.as_slice() < k, "keys must be strictly increasing");
+            }
+            assert_eq!(v.len(), 64);
+            prev = Some(k.to_vec());
+            count += 1;
+        }
+        assert_eq!(count, 100);
+        assert_eq!(l.loaded(), 100);
+        assert!(l.next_pair().is_none(), "loader stays exhausted");
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = OpGenerator::new(WorkloadSpec {
+            read_fraction: 0.3,
+            distribution: KeyDistribution::Zipfian { theta: 0.9 },
+            ..spec()
+        });
+        let mut b = OpGenerator::new(WorkloadSpec {
+            read_fraction: 0.3,
+            distribution: KeyDistribution::Zipfian { theta: 0.9 },
+            ..spec()
+        });
+        for _ in 0..500 {
+            let (ka, va, kia) = {
+                let op = a.next_op();
+                (op.key.to_vec(), op.value.to_vec(), op.key_index)
+            };
+            let op = b.next_op();
+            assert_eq!(ka, op.key);
+            assert_eq!(va, op.value);
+            assert_eq!(kia, op.key_index);
+        }
+    }
+}

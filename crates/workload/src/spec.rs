@@ -1,0 +1,126 @@
+//! Workload specifications.
+
+use crate::dist::KeyDistribution;
+
+/// A complete description of a benchmark workload (paper §3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of distinct keys in the dataset.
+    pub num_keys: u64,
+    /// Key size in bytes (paper default: 16).
+    pub key_size: usize,
+    /// Value size in bytes (paper default: 4000).
+    pub value_size: usize,
+    /// Fraction of operations that are reads (paper default: 0 — a
+    /// write-only update workload; Fig 11a/b uses 0.5).
+    pub read_fraction: f64,
+    /// Which keys updates/reads target.
+    pub distribution: KeyDistribution,
+    /// RNG seed; identical specs with identical seeds produce identical
+    /// op streams.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    /// The paper's default: write-only uniform updates over 16 B keys and
+    /// 4000 B values. `num_keys` defaults to a small smoke-test size; the
+    /// harness sets it from the target dataset/capacity ratio.
+    fn default() -> Self {
+        Self {
+            num_keys: 10_000,
+            key_size: 16,
+            value_size: 4000,
+            read_fraction: 0.0,
+            distribution: KeyDistribution::Uniform,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Bytes of one key-value pair.
+    pub fn kv_pair_bytes(&self) -> u64 {
+        (self.key_size + self.value_size) as u64
+    }
+
+    /// Logical dataset size in bytes.
+    pub fn dataset_bytes(&self) -> u64 {
+        self.num_keys * self.kv_pair_bytes()
+    }
+
+    /// Derives `num_keys` so the dataset occupies `fraction` of
+    /// `capacity_bytes` (the paper's dataset-size sweeps are expressed as
+    /// dataset/capacity ratios).
+    pub fn sized_to(mut self, capacity_bytes: u64, fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+        self.num_keys =
+            ((capacity_bytes as f64 * fraction) / self.kv_pair_bytes() as f64).round() as u64;
+        assert!(self.num_keys > 0, "capacity too small for one KV pair");
+        self
+    }
+
+    /// The Fig 11 small-value variant: 128 B values with the key count
+    /// scaled up to keep the dataset size constant.
+    pub fn with_value_size(mut self, value_size: usize) -> Self {
+        let dataset = self.dataset_bytes();
+        self.value_size = value_size;
+        self.num_keys = dataset / self.kv_pair_bytes();
+        self
+    }
+
+    /// Sets the read fraction (Fig 11 mixed variant).
+    pub fn with_read_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f));
+        self.read_fraction = f;
+        self
+    }
+
+    /// Basic sanity checks; panics with a description on error.
+    pub fn validate(&self) {
+        assert!(self.num_keys > 0);
+        assert!(self.key_size >= 4 && self.key_size <= 1024);
+        assert!(self.value_size <= 1 << 24);
+        assert!((0.0..=1.0).contains(&self.read_fraction));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_math() {
+        let s = WorkloadSpec { num_keys: 1000, key_size: 16, value_size: 4000, ..Default::default() };
+        assert_eq!(s.kv_pair_bytes(), 4016);
+        assert_eq!(s.dataset_bytes(), 4_016_000);
+    }
+
+    #[test]
+    fn sized_to_hits_fraction() {
+        let cap = 1_000_000_000u64;
+        let s = WorkloadSpec::default().sized_to(cap, 0.5);
+        let ratio = s.dataset_bytes() as f64 / cap as f64;
+        assert!((ratio - 0.5).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_value_variant_keeps_dataset_size() {
+        let base = WorkloadSpec { num_keys: 100_000, ..Default::default() };
+        let small = base.clone().with_value_size(128);
+        assert_eq!(small.value_size, 128);
+        let rel = (small.dataset_bytes() as f64 - base.dataset_bytes() as f64).abs()
+            / base.dataset_bytes() as f64;
+        assert!(rel < 0.01, "dataset size drifted by {rel}");
+        assert!(small.num_keys > base.num_keys * 20);
+    }
+
+    #[test]
+    fn default_is_papers_workload() {
+        let s = WorkloadSpec::default();
+        assert_eq!(s.key_size, 16);
+        assert_eq!(s.value_size, 4000);
+        assert_eq!(s.read_fraction, 0.0);
+        assert_eq!(s.distribution, KeyDistribution::Uniform);
+        s.validate();
+    }
+}

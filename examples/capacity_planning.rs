@@ -1,0 +1,71 @@
+//! Capacity planning with measured numbers (paper §4.5/§4.6): measure
+//! both engines' steady-state throughput and space amplification, then
+//! answer "how many drives does my deployment need?" across a grid of
+//! dataset sizes and throughput targets — the Fig 6c / Fig 8 heatmaps.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use ptsbench::core::costmodel::{fig6c_heatmap, fig8_heatmap, model_from_run, TB};
+use ptsbench::core::runner::{run, RunConfig};
+use ptsbench::core::state::DriveState;
+use ptsbench::core::system::EngineKind;
+use ptsbench::metrics::report::render_heatmap;
+use ptsbench::ssd::MINUTE;
+
+fn main() {
+    let base = RunConfig {
+        device_bytes: 48 << 20,
+        duration: 120 * MINUTE,
+        sample_window: 10 * MINUTE,
+        drive_state: DriveState::Preconditioned,
+        ..RunConfig::default()
+    };
+    let reference = base.profile.reference_capacity;
+
+    println!("Measuring steady-state behaviour of both engines (preconditioned drive)...");
+    let lsm = run(&RunConfig { engine: EngineKind::Lsm, ..base.clone() });
+    let btree = run(&RunConfig { engine: EngineKind::BTree, ..base.clone() });
+    println!(
+        "  LSM:    {:.2} Kops/s steady, space amplification {:.2}",
+        lsm.steady.steady_kops,
+        lsm.space_amplification()
+    );
+    println!(
+        "  B+Tree: {:.2} Kops/s steady, space amplification {:.2}",
+        btree.steady.steady_kops,
+        btree.space_amplification()
+    );
+
+    let lsm_model = model_from_run("LSM", &lsm, reference);
+    let bt_model = model_from_run("B+Tree", &btree, reference);
+    println!("\nPer 400 GB drive: LSM indexes {:.0} GB at {:.0} ops/s; B+Tree {:.0} GB at {:.0} ops/s",
+        lsm_model.per_instance_data_bytes as f64 / 1e9, lsm_model.per_instance_ops,
+        bt_model.per_instance_data_bytes as f64 / 1e9, bt_model.per_instance_ops);
+
+    // Fig 6c: which engine needs fewer drives?
+    println!("\n{}", render_heatmap(&fig6c_heatmap(&lsm, &btree, reference)));
+
+    // Fig 8: is reserving 25% of each drive as over-provisioning worth it?
+    println!("Measuring the LSM with a 25% over-provisioning partition...");
+    let lsm_op = run(&RunConfig {
+        engine: EngineKind::Lsm,
+        partition_fraction: 0.75,
+        ..base
+    });
+    println!(
+        "  LSM+OP: {:.2} Kops/s steady (WA-D {:.2} vs {:.2} without OP)",
+        lsm_op.steady.steady_kops, lsm_op.steady.wa_d, lsm.steady.wa_d
+    );
+    println!("\n{}", render_heatmap(&fig8_heatmap(&lsm, &lsm_op, reference)));
+
+    // A worked example.
+    let dataset = 3 * TB;
+    let target = 12_000.0;
+    let op_model = model_from_run("LSM+OP", &lsm_op, reference);
+    println!("Worked example — 3 TB dataset at 12 Kops/s target:");
+    for m in [&lsm_model, &bt_model, &op_model] {
+        println!("  {:10} needs {} drives", m.name, m.drives_needed(dataset, target));
+    }
+}

@@ -1,0 +1,27 @@
+//! # ptsbench — umbrella crate
+//!
+//! Re-exports the whole `ptsbench` workspace behind one dependency, for
+//! examples, integration tests, and downstream users who want the full
+//! stack:
+//!
+//! * [`ssd`] — flash SSD simulator (FTL, GC, over-provisioning, TRIM,
+//!   write cache, latency model, SMART counters, LBA traces).
+//! * [`vfs`] — extent filesystem and partitioning over the simulated drive.
+//! * [`lsm`] — leveled LSM-tree key-value store (RocksDB stand-in).
+//! * [`btree`] — paged B+Tree key-value store (WiredTiger stand-in).
+//! * [`workload`] — key/value workload generators.
+//! * [`metrics`] — time series, write-amplification math, CUSUM
+//!   steady-state detection, CDFs, storage-cost models.
+//! * [`core`] — the paper's methodology: the seven benchmarking pitfalls,
+//!   experiment runners and figure drivers.
+//!
+//! See the repository `README.md` for a guided tour and `DESIGN.md` for
+//! the system inventory.
+
+pub use ptsbench_btree as btree;
+pub use ptsbench_core as core;
+pub use ptsbench_lsm as lsm;
+pub use ptsbench_metrics as metrics;
+pub use ptsbench_ssd as ssd;
+pub use ptsbench_vfs as vfs;
+pub use ptsbench_workload as workload;

@@ -1,0 +1,141 @@
+//! The experiment runner's contract: well-formed samples, determinism,
+//! correct failure reporting, and metrics that cross-check against the
+//! raw device counters.
+
+use ptsbench::core::runner::{run, RunConfig};
+use ptsbench::core::system::EngineKind;
+use ptsbench::metrics::CusumDetector;
+use ptsbench::ssd::MINUTE;
+use ptsbench::workload::KeyDistribution;
+
+fn quick(engine: EngineKind) -> RunConfig {
+    RunConfig {
+        engine,
+        device_bytes: 48 << 20,
+        duration: 50 * MINUTE,
+        sample_window: 5 * MINUTE,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn samples_are_well_formed() {
+    for engine in [EngineKind::Lsm, EngineKind::BTree] {
+        let r = run(&quick(engine));
+        assert_eq!(r.samples.len(), 10, "{engine:?}: 50 min / 5 min windows");
+        let mut prev_t = 0;
+        for s in &r.samples {
+            assert!(s.t > prev_t, "window times must increase");
+            prev_t = s.t;
+            assert!(s.kv_kops >= 0.0);
+            assert!(s.device_write_mbps >= 0.0);
+            assert!(s.wa_a >= 1.0, "WA-A below 1 is impossible: {}", s.wa_a);
+            assert!(s.wa_d >= 1.0 - 1e-9, "WA-D below 1 is impossible: {}", s.wa_d);
+            assert!(s.space_amp >= 0.9, "space amp {} nonsensical", s.space_amp);
+            assert!((0.0..=1.0).contains(&s.device_utilization));
+        }
+        assert!(r.ops_executed > 0);
+        assert_eq!(r.latency.count(), r.ops_executed);
+        assert!(r.dataset_bytes > 0);
+        assert!(r.steady.end_to_end_wa >= r.steady.wa_a, "e2e includes WA-D");
+    }
+}
+
+#[test]
+fn identical_configs_reproduce_identical_results() {
+    let cfg = quick(EngineKind::Lsm);
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert_eq!(a.ops_executed, b.ops_executed);
+    assert_eq!(a.disk_used_bytes, b.disk_used_bytes);
+    for (x, y) in a.samples.iter().zip(&b.samples) {
+        assert_eq!(x, y, "samples must be bit-identical");
+    }
+}
+
+#[test]
+fn different_seeds_change_the_op_stream_not_the_shape() {
+    let a = run(&RunConfig { seed: 1, ..quick(EngineKind::Lsm) });
+    let b = run(&RunConfig { seed: 2, ..quick(EngineKind::Lsm) });
+    // Different ops, same macroscopic behaviour (within 30%).
+    assert_ne!(a.ops_executed, b.ops_executed);
+    let rel = (a.steady.wa_a - b.steady.wa_a).abs() / a.steady.wa_a;
+    assert!(rel < 0.3, "WA-A should be seed-insensitive, differs by {rel}");
+}
+
+#[test]
+fn oversized_dataset_fails_cleanly() {
+    // A 97% dataset cannot survive LSM space amplification: the run must
+    // end in out-of-space, either during load or in the update phase,
+    // without panicking.
+    let r = run(&RunConfig { dataset_fraction: 0.97, ..quick(EngineKind::Lsm) });
+    assert!(r.out_of_space);
+    if r.failed_during_load {
+        assert!(r.samples.is_empty(), "no measured phase after a failed load");
+    } else {
+        assert!(r.disk_used_bytes > 0, "usage recorded up to the failure");
+    }
+}
+
+#[test]
+fn zipfian_workload_runs_and_skews_the_trace() {
+    let uniform = run(&RunConfig { trace_lba: true, ..quick(EngineKind::BTree) });
+    let zipf = run(&RunConfig {
+        distribution: KeyDistribution::Zipfian { theta: 0.99 },
+        trace_lba: true,
+        ..quick(EngineKind::BTree)
+    });
+    // Skewed updates concentrate leaf rewrites: the hottest LBAs absorb
+    // a larger share of writes than under uniform access.
+    let hot_share = |r: &ptsbench::core::runner::RunResult| {
+        let cdf = r.lba_cdf.as_ref().expect("traced");
+        cdf.iter().find(|(x, _)| *x >= 0.05).expect("x=0.05 sample").1
+    };
+    assert!(
+        hot_share(&zipf) > hot_share(&uniform),
+        "zipfian hot-5% share {} must exceed uniform {}",
+        hot_share(&zipf),
+        hot_share(&uniform)
+    );
+}
+
+#[test]
+fn cusum_declares_steady_state_on_runner_output() {
+    // A long B+Tree run is the steadiest system we have: CUSUM must find
+    // a steady region.
+    let r = run(&RunConfig { duration: 100 * MINUTE, ..quick(EngineKind::BTree) });
+    let tput = r.throughput_series();
+    let detector = CusumDetector::default();
+    assert!(
+        detector.steady_from(&tput.values()).is_some(),
+        "B+Tree throughput should reach steady state: {:?}",
+        tput.values()
+    );
+}
+
+#[test]
+fn adaptive_runs_stop_early_once_steady() {
+    // The §4.1 guideline as an executable policy: with
+    // `stop_when_steady`, a long-budget B+Tree run ends as soon as CUSUM
+    // declares throughput steady and host writes pass 3x capacity.
+    let budget = RunConfig {
+        duration: 600 * MINUTE,
+        stop_when_steady: true,
+        ..quick(EngineKind::BTree)
+    };
+    let adaptive = run(&budget);
+    assert!(
+        adaptive.samples.len() < 120,
+        "adaptive run should stop well before the 600-minute budget, ran {} windows",
+        adaptive.samples.len()
+    );
+    assert!(adaptive.samples.len() >= 6, "needs enough windows to judge steadiness");
+    assert!(adaptive.steady.three_times_capacity, "must not stop before the 3x rule");
+}
+
+#[test]
+fn mixed_workload_reads_hit_the_device() {
+    let r = run(&RunConfig { read_fraction: 0.5, ..quick(EngineKind::BTree) });
+    let reads: f64 = r.samples.iter().map(|s| s.device_read_mbps).sum();
+    assert!(reads > 0.0, "a 50:50 workload must generate device reads");
+}
