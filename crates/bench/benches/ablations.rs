@@ -35,7 +35,8 @@ fn lsm_workout(
     let mut db = LsmDb::open(vfs, lsm_opts).expect("open");
     let keys = 7_000u32;
     for i in 0..keys {
-        db.put(format!("key{i:08}").as_bytes(), &[0u8; 3400]).expect("load");
+        db.put(format!("key{i:08}").as_bytes(), &[0u8; 3400])
+            .expect("load");
     }
     db.flush().expect("flush");
     ssd.lock().reset_observability();
@@ -44,14 +45,21 @@ fn lsm_workout(
     for _ in 0..updates {
         let u: f64 = rng.gen();
         let i = (u.powf(1.0 + skew) * keys as f64) as u32;
-        db.put(format!("key{:08}", i.min(keys - 1)).as_bytes(), &[1u8; 3400])
-            .expect("update");
+        db.put(
+            format!("key{:08}", i.min(keys - 1)).as_bytes(),
+            &[1u8; 3400],
+        )
+        .expect("update");
     }
     db.flush().expect("flush");
     let smart = ssd.lock().smart();
     let app = (db.stats().app_bytes_written - app0) as f64;
     let host = smart.host_pages_written as f64 * 4096.0;
-    (smart.wa_d(), host / app, smart.host_pages_read as f64 / updates as f64)
+    (
+        smart.wa_d(),
+        host / app,
+        smart.host_pages_read as f64 / updates as f64,
+    )
 }
 
 fn ablate_gc_policy() {
@@ -63,8 +71,13 @@ fn ablate_gc_policy() {
         let (ssd, vfs) = device(profile);
         ssd.lock().precondition(3);
         // Skewed updates create hot/cold separation work for the cleaner.
-        let (wa_d, wa_a, _) =
-            lsm_workout(&ssd, vfs, LsmOptions::scaled_to_partition(DEVICE_BYTES), 40_000, 2.0);
+        let (wa_d, wa_a, _) = lsm_workout(
+            &ssd,
+            vfs,
+            LsmOptions::scaled_to_partition(DEVICE_BYTES),
+            40_000,
+            2.0,
+        );
         println!("{policy:>14?} {wa_d:>8.2} {wa_a:>8.2}");
     }
 }
@@ -72,15 +85,31 @@ fn ablate_gc_policy() {
 fn ablate_alloc_policy() {
     println!("\n-- ablation: filesystem allocation policy (trimmed LSM) --");
     println!("{:>14} {:>8} {:>10}", "policy", "WA-D", "untouched");
-    for policy in [AllocPolicy::NextFit, AllocPolicy::FirstFit, AllocPolicy::BestFit] {
+    for policy in [
+        AllocPolicy::NextFit,
+        AllocPolicy::FirstFit,
+        AllocPolicy::BestFit,
+    ] {
         let (ssd, vfs) = device_with(
             DeviceProfile::ssd1(),
-            VfsOptions { policy, ..VfsOptions::default() },
+            VfsOptions {
+                policy,
+                ..VfsOptions::default()
+            },
         );
         ssd.lock().enable_trace();
-        let (wa_d, _, _) =
-            lsm_workout(&ssd, vfs, LsmOptions::scaled_to_partition(DEVICE_BYTES), 40_000, 0.0);
-        let untouched = ssd.lock().write_trace().expect("traced").untouched_fraction();
+        let (wa_d, _, _) = lsm_workout(
+            &ssd,
+            vfs,
+            LsmOptions::scaled_to_partition(DEVICE_BYTES),
+            40_000,
+            0.0,
+        );
+        let untouched = ssd
+            .lock()
+            .write_trace()
+            .expect("traced")
+            .untouched_fraction();
         println!("{policy:>14?} {wa_d:>8.2} {untouched:>10.2}");
     }
     println!("(NextFit roves the LBA space; FirstFit concentrates — the paper's");
@@ -116,7 +145,8 @@ fn ablate_bloom_filters() {
         // Load only even keys; odd keys are absent but inside every
         // table's key range (so blooms, not range checks, must filter).
         for i in (0..12_000u32).step_by(2) {
-            db.put(format!("key{i:08}").as_bytes(), &[0u8; 1000]).expect("put");
+            db.put(format!("key{i:08}").as_bytes(), &[0u8; 1000])
+                .expect("put");
         }
         db.flush().expect("flush");
         ssd.lock().reset_observability();
@@ -137,8 +167,13 @@ fn ablate_superblock_size() {
         let mut profile = DeviceProfile::ssd1();
         profile.pages_per_block = ppb;
         let (ssd, vfs) = device(profile);
-        let (wa_d, _, _) =
-            lsm_workout(&ssd, vfs, LsmOptions::scaled_to_partition(DEVICE_BYTES), 40_000, 0.0);
+        let (wa_d, _, _) = lsm_workout(
+            &ssd,
+            vfs,
+            LsmOptions::scaled_to_partition(DEVICE_BYTES),
+            40_000,
+            0.0,
+        );
         println!("{ppb:>14} {wa_d:>8.2}");
     }
     println!("(larger superblocks mix more file streams per erase unit -> higher WA-D;");
@@ -147,7 +182,10 @@ fn ablate_superblock_size() {
 
 fn main() {
     println!("================================================================");
-    println!("ptsbench — ablation studies ({} MiB simulated SSD1)", DEVICE_BYTES >> 20);
+    println!(
+        "ptsbench — ablation studies ({} MiB simulated SSD1)",
+        DEVICE_BYTES >> 20
+    );
     println!("================================================================");
     ablate_gc_policy();
     ablate_alloc_policy();

@@ -6,7 +6,10 @@ use ptsbench_bench::{banner, bench_options};
 use ptsbench_core::pitfalls::p3_initial_state;
 
 fn main() {
-    banner("Figure 3 (a-d)", "Pitfall 3: overlooking the internal state of the SSD");
+    banner(
+        "Figure 3 (a-d)",
+        "Pitfall 3: overlooking the internal state of the SSD",
+    );
     let results = p3_initial_state::evaluate(&bench_options());
     let report = results.report();
     println!("{}", report.to_text());

@@ -13,7 +13,10 @@ fn main() {
 
     println!("{:>6}  {:>10}  {:>10}", "x", "LSM", "B+Tree");
     for i in (0..lsm.len()).step_by(5) {
-        println!("{:>6.2}  {:>10.4}  {:>10.4}", lsm[i].0, lsm[i].1, btree[i].1);
+        println!(
+            "{:>6.2}  {:>10.4}  {:>10.4}",
+            lsm[i].0, lsm[i].1, btree[i].1
+        );
     }
     let lsm_untouched = results.lsm_trim.untouched_lba_fraction.expect("traced");
     let bt_untouched = results.btree_trim.untouched_lba_fraction.expect("traced");

@@ -6,7 +6,10 @@ use ptsbench_bench::{banner, bench_options};
 use ptsbench_core::pitfalls::p4_dataset_size;
 
 fn main() {
-    banner("Figure 5 (a-c)", "Pitfall 4: testing with a single dataset size");
+    banner(
+        "Figure 5 (a-c)",
+        "Pitfall 4: testing with a single dataset size",
+    );
     let results = p4_dataset_size::evaluate(&bench_options());
     let report = results.report();
     println!("{}", report.to_text());

@@ -6,7 +6,10 @@ use ptsbench_bench::{banner, bench_options};
 use ptsbench_core::pitfalls::p5_space_amp;
 
 fn main() {
-    banner("Figure 6 (a-c)", "Pitfall 5: not accounting for space amplification");
+    banner(
+        "Figure 6 (a-c)",
+        "Pitfall 5: not accounting for space amplification",
+    );
     let results = p5_space_amp::evaluate(&bench_options());
     let report = results.report();
     println!("{}", report.to_text());

@@ -6,7 +6,10 @@ use ptsbench_bench::{banner, bench_options};
 use ptsbench_core::pitfalls::p6_overprovisioning;
 
 fn main() {
-    banner("Figures 7-8", "Pitfall 6: overlooking SSD software over-provisioning");
+    banner(
+        "Figures 7-8",
+        "Pitfall 6: overlooking SSD software over-provisioning",
+    );
     let results = p6_overprovisioning::evaluate(&bench_options());
     let report = results.report();
     println!("{}", report.to_text());

@@ -6,7 +6,10 @@ use ptsbench_bench::{banner, bench_options};
 use ptsbench_core::pitfalls::workloads;
 
 fn main() {
-    banner("Figure 11 (a-d)", "additional workloads: pitfalls generalize");
+    banner(
+        "Figure 11 (a-d)",
+        "additional workloads: pitfalls generalize",
+    );
     let results = workloads::evaluate(&bench_options());
     let report = results.report();
     println!("{}", report.to_text());

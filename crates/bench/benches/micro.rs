@@ -85,8 +85,9 @@ fn bench_allocator(c: &mut Criterion) {
 fn bench_memtable(c: &mut Criterion) {
     c.bench_function("memtable/insert_10k", |b| {
         let mut rng = SmallRng::seed_from_u64(1);
-        let keys: Vec<Vec<u8>> =
-            (0..10_000).map(|_| rng.gen::<u64>().to_be_bytes().to_vec()).collect();
+        let keys: Vec<Vec<u8>> = (0..10_000)
+            .map(|_| rng.gen::<u64>().to_be_bytes().to_vec())
+            .collect();
         b.iter(|| {
             let mut m = Memtable::new();
             for k in &keys {
@@ -176,7 +177,8 @@ fn bench_engines(c: &mut Criterion) {
                 let mut rng = SmallRng::seed_from_u64(3);
                 for _ in 0..2000 {
                     let i: u32 = rng.gen_range(0..500);
-                    db.put(format!("key{i:08}").as_bytes(), &[0u8; 256]).expect("put");
+                    db.put(format!("key{i:08}").as_bytes(), &[0u8; 256])
+                        .expect("put");
                 }
                 black_box(db.stats().flushes)
             },
@@ -190,7 +192,8 @@ fn bench_engines(c: &mut Criterion) {
                 let mut rng = SmallRng::seed_from_u64(3);
                 for _ in 0..2000 {
                     let i: u32 = rng.gen_range(0..500);
-                    db.put(format!("key{i:08}").as_bytes(), &[0u8; 256]).expect("put");
+                    db.put(format!("key{i:08}").as_bytes(), &[0u8; 256])
+                        .expect("put");
                 }
                 black_box(db.len())
             },

@@ -27,7 +27,6 @@
 use ptsbench_core::pitfalls::PitfallOptions;
 use ptsbench_ssd::MINUTE;
 
-
 /// Sizing used by the figure benches: full paper-shaped runs by
 /// default, a smoke configuration under `PTSBENCH_QUICK=1`.
 pub fn bench_options() -> PitfallOptions {

@@ -56,7 +56,11 @@ impl BTreeDb {
     pub fn open(vfs: Vfs, opts: BTreeOptions) -> Result<Self> {
         opts.validate();
         let pager = Pager::create(vfs.clone(), "btree.db", opts.page_bytes, opts.cache_bytes)?;
-        let journal = if opts.wal_enabled { Some(Journal::create(vfs.clone())?) } else { None };
+        let journal = if opts.wal_enabled {
+            Some(Journal::create(vfs.clone())?)
+        } else {
+            None
+        };
         Ok(Self {
             pager,
             journal,
@@ -110,11 +114,17 @@ impl BTreeDb {
         if root != 0 {
             db.mark_reachable(root, &mut reachable)?;
         }
-        let free: Vec<PageNo> = (1..db.pager.page_count()).filter(|&p| !reachable[p as usize]).collect();
+        let free: Vec<PageNo> = (1..db.pager.page_count())
+            .filter(|&p| !reachable[p as usize])
+            .collect();
         db.pager.set_free_list(free);
 
         // Replay the journal (records since the last checkpoint).
-        let records = if db.opts.wal_enabled { Journal::replay(&vfs)? } else { Vec::new() };
+        let records = if db.opts.wal_enabled {
+            Journal::replay(&vfs)?
+        } else {
+            Vec::new()
+        };
         for record in records {
             match record {
                 crate::log::JournalRecord::Put(k, v) => db.insert_entry(&k, &v)?,
@@ -133,7 +143,9 @@ impl BTreeDb {
 
     fn mark_reachable(&mut self, page: PageNo, seen: &mut [bool]) -> Result<()> {
         if seen[page as usize] {
-            return Err(BTreeError::Corruption(format!("page {page} reachable twice")));
+            return Err(BTreeError::Corruption(format!(
+                "page {page} reachable twice"
+            )));
         }
         seen[page as usize] = true;
         if let Node::Internal { children, .. } = self.pager.read(page)? {
@@ -181,7 +193,10 @@ impl BTreeDb {
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
         let pair_bytes = 6 + key.len() + value.len();
         if pair_bytes + 5 > self.opts.page_bytes {
-            return Err(BTreeError::PairTooLarge { pair_bytes, page_bytes: self.opts.page_bytes });
+            return Err(BTreeError::PairTooLarge {
+                pair_bytes,
+                page_bytes: self.opts.page_bytes,
+            });
         }
         self.stats.puts += 1;
         self.stats.app_bytes_written += (key.len() + value.len()) as u64;
@@ -240,64 +255,34 @@ impl BTreeDb {
         }
     }
 
-    /// Range scan: entries with `start <= key < end` (`end` `None` =
-    /// unbounded), up to `limit` results.
+    /// Streaming range scan: entries with `start <= key < end` (`end`
+    /// `None` = unbounded), up to `limit` results, loading one page at a
+    /// time. Memory stays proportional to tree height plus one leaf.
+    pub fn scan_iter(&mut self, start: &[u8], end: Option<&[u8]>, limit: usize) -> BTreeScan<'_> {
+        BTreeScan {
+            pager: &mut self.pager,
+            descend_from: if self.root != 0 && limit > 0 {
+                Some(self.root)
+            } else {
+                None
+            },
+            first_descent: true,
+            stack: Vec::new(),
+            leaf: Vec::new().into_iter(),
+            start: start.to_vec(),
+            end: end.map(|e| e.to_vec()),
+            remaining: limit,
+        }
+    }
+
+    /// Range scan materialized into a vector (see [`BTreeDb::scan_iter`]).
     pub fn scan(
         &mut self,
         start: &[u8],
         end: Option<&[u8]>,
         limit: usize,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let mut out = Vec::new();
-        if self.root != 0 && limit > 0 {
-            self.scan_node(self.root, start, end, limit, &mut out)?;
-        }
-        Ok(out)
-    }
-
-    fn scan_node(
-        &mut self,
-        page: PageNo,
-        start: &[u8],
-        end: Option<&[u8]>,
-        limit: usize,
-        out: &mut Vec<(Vec<u8>, Vec<u8>)>,
-    ) -> Result<()> {
-        let node = self.pager.read(page)?;
-        match node {
-            Node::Leaf { entries } => {
-                let from = entries.partition_point(|(k, _)| k.as_slice() < start);
-                for (k, v) in &entries[from..] {
-                    if let Some(e) = end {
-                        if k.as_slice() >= e {
-                            return Ok(());
-                        }
-                    }
-                    out.push((k.clone(), v.clone()));
-                    if out.len() >= limit {
-                        return Ok(());
-                    }
-                }
-            }
-            Node::Internal { children, separators } => {
-                let first = separators.partition_point(|s| s.as_slice() <= start);
-                for idx in first..children.len() {
-                    // Prune subtrees entirely past `end`.
-                    if idx > 0 {
-                        if let Some(e) = end {
-                            if separators[idx - 1].as_slice() >= e {
-                                return Ok(());
-                            }
-                        }
-                    }
-                    self.scan_node(children[idx], start, end, limit, out)?;
-                    if out.len() >= limit {
-                        return Ok(());
-                    }
-                }
-            }
-        }
-        Ok(())
+        self.scan_iter(start, end, limit).collect()
     }
 
     /// Forces buffered journal records onto the device and waits for
@@ -358,7 +343,9 @@ impl BTreeDb {
             page = child;
             node = self.pager.read(page)?;
         }
-        let Node::Leaf { ref mut entries } = node else { unreachable!("descent ends at a leaf") };
+        let Node::Leaf { ref mut entries } = node else {
+            unreachable!("descent ends at a leaf")
+        };
         let mut appended_last = false;
         match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
             Ok(i) => entries[i].1 = value.to_vec(),
@@ -375,8 +362,11 @@ impl BTreeDb {
         // Split, propagating up the path. Inserts at the tail of a leaf
         // (sequential loads) use the append-optimized split to keep
         // leaves ~full.
-        let (mut sep, right) =
-            if appended_last { node.split_append() } else { node.split() };
+        let (mut sep, right) = if appended_last {
+            node.split_append()
+        } else {
+            node.split()
+        };
         self.stats.splits += 1;
         self.pager.write(page, node)?;
         let mut left_page = page;
@@ -385,7 +375,11 @@ impl BTreeDb {
             match path.pop() {
                 Some((ppage, idx)) => {
                     let mut pnode = self.pager.read(ppage)?;
-                    let Node::Internal { ref mut children, ref mut separators } = pnode else {
+                    let Node::Internal {
+                        ref mut children,
+                        ref mut separators,
+                    } = pnode
+                    else {
                         unreachable!("path holds internal nodes")
                     };
                     separators.insert(idx, sep);
@@ -428,7 +422,9 @@ impl BTreeDb {
             page = child;
             node = self.pager.read(page)?;
         }
-        let Node::Leaf { ref mut entries } = node else { unreachable!("descent ends at a leaf") };
+        let Node::Leaf { ref mut entries } = node else {
+            unreachable!("descent ends at a leaf")
+        };
         let Ok(i) = entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) else {
             return Ok(false);
         };
@@ -447,12 +443,19 @@ impl BTreeDb {
                 break;
             };
             let parent = self.pager.read(ppage)?;
-            let Node::Internal { children, separators } = parent else {
+            let Node::Internal {
+                children,
+                separators,
+            } = parent
+            else {
                 unreachable!("path holds internal nodes")
             };
             // Pick a sibling: prefer the right one.
-            let (left_idx, right_idx) =
-                if idx + 1 < children.len() { (idx, idx + 1) } else { (idx - 1, idx) };
+            let (left_idx, right_idx) = if idx + 1 < children.len() {
+                (idx, idx + 1)
+            } else {
+                (idx - 1, idx)
+            };
             let left_page = children[left_idx];
             let right_page = children[right_idx];
             let left = self.pager.read(left_page)?;
@@ -463,13 +466,22 @@ impl BTreeDb {
                     Node::Leaf { entries: le }
                 }
                 (
-                    Node::Internal { children: mut lc, separators: mut ls },
-                    Node::Internal { children: rc, separators: rs },
+                    Node::Internal {
+                        children: mut lc,
+                        separators: mut ls,
+                    },
+                    Node::Internal {
+                        children: rc,
+                        separators: rs,
+                    },
                 ) => {
                     ls.push(separators[left_idx].clone());
                     ls.extend(rs);
                     lc.extend(rc);
-                    Node::Internal { children: lc, separators: ls }
+                    Node::Internal {
+                        children: lc,
+                        separators: ls,
+                    }
                 }
                 _ => unreachable!("siblings have equal height"),
             };
@@ -489,7 +501,10 @@ impl BTreeDb {
                 self.root = new_children[0];
                 break;
             }
-            let pnode = Node::Internal { children: new_children, separators: new_separators };
+            let pnode = Node::Internal {
+                children: new_children,
+                separators: new_separators,
+            };
             cur_len = pnode.encoded_len();
             self.pager.write(ppage, pnode)?;
             cur_page = ppage;
@@ -544,7 +559,10 @@ impl BTreeDb {
                 }
                 (1, entries.len() as u64)
             }
-            Node::Internal { children, separators } => {
+            Node::Internal {
+                children,
+                separators,
+            } => {
                 assert_eq!(children.len(), separators.len() + 1);
                 for w in separators.windows(2) {
                     assert!(w[0] < w[1], "separators out of order");
@@ -552,7 +570,11 @@ impl BTreeDb {
                 let mut depth = None;
                 let mut total = 0;
                 for (i, &child) in children.iter().enumerate() {
-                    let clow = if i == 0 { low.clone() } else { Some(separators[i - 1].clone()) };
+                    let clow = if i == 0 {
+                        low.clone()
+                    } else {
+                        Some(separators[i - 1].clone())
+                    };
                     let chigh = if i == separators.len() {
                         high.clone()
                     } else {
@@ -566,6 +588,113 @@ impl BTreeDb {
                     total += c;
                 }
                 (depth.expect("internal node has children") + 1, total)
+            }
+        }
+    }
+}
+
+/// Streaming cursor returned by [`BTreeDb::scan_iter`]: an in-order
+/// walk holding only the internal-node path (child page numbers) and
+/// the current leaf, reading pages through the cache as it advances.
+pub struct BTreeScan<'a> {
+    pager: &'a mut Pager,
+    /// Page to descend into before yielding anything (`None` once the
+    /// walk has started, or for an empty/zero-limit scan).
+    descend_from: Option<PageNo>,
+    /// Whether the next descent routes by `start` (first leaf only).
+    first_descent: bool,
+    /// `(children, next child index)` for each internal node on the path.
+    stack: Vec<(Vec<PageNo>, usize)>,
+    /// Remaining entries of the current leaf.
+    leaf: std::vec::IntoIter<(Vec<u8>, Vec<u8>)>,
+    start: Vec<u8>,
+    end: Option<Vec<u8>>,
+    remaining: usize,
+}
+
+impl BTreeScan<'_> {
+    /// Walks from `page` down to a leaf, routing by `start` on the
+    /// first descent and leftmost thereafter, and buffers the leaf's
+    /// in-range entries.
+    fn descend(&mut self, mut page: PageNo) -> Result<()> {
+        loop {
+            match self.pager.read(page)? {
+                Node::Leaf { mut entries } => {
+                    if self.first_descent {
+                        let from =
+                            entries.partition_point(|(k, _)| k.as_slice() < self.start.as_slice());
+                        entries.drain(..from);
+                    }
+                    self.first_descent = false;
+                    self.leaf = entries.into_iter();
+                    return Ok(());
+                }
+                Node::Internal {
+                    children,
+                    separators,
+                } => {
+                    let idx = if self.first_descent {
+                        separators.partition_point(|s| s.as_slice() <= self.start.as_slice())
+                    } else {
+                        0
+                    };
+                    page = children[idx];
+                    self.stack.push((children, idx + 1));
+                }
+            }
+        }
+    }
+
+    /// Advances to the next leaf via the saved path; `Ok(false)` when
+    /// the walk is exhausted.
+    fn next_leaf(&mut self) -> Result<bool> {
+        while let Some((children, idx)) = self.stack.last_mut() {
+            if *idx < children.len() {
+                let page = children[*idx];
+                *idx += 1;
+                self.descend(page)?;
+                return Ok(true);
+            }
+            self.stack.pop();
+        }
+        Ok(false)
+    }
+}
+
+impl Iterator for BTreeScan<'_> {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if let Some(root) = self.descend_from.take() {
+            if let Err(e) = self.descend(root) {
+                self.remaining = 0;
+                return Some(Err(e));
+            }
+        }
+        loop {
+            if let Some((key, value)) = self.leaf.next() {
+                if let Some(end) = &self.end {
+                    if key.as_slice() >= end.as_slice() {
+                        self.remaining = 0;
+                        return None;
+                    }
+                }
+                self.remaining -= 1;
+                return Some(Ok((key, value)));
+            }
+            match self.next_leaf() {
+                Ok(true) => {}
+                Ok(false) => {
+                    self.remaining = 0;
+                    return None;
+                }
+                Err(e) => {
+                    self.remaining = 0;
+                    return Some(Err(e));
+                }
             }
         }
     }
@@ -608,11 +737,18 @@ mod tests {
             db.put(&key(i), &[i as u8; 64]).expect("put");
         }
         let (height, count) = db.verify();
-        assert!(height >= 2, "2000 entries in 4K pages must split, height {height}");
+        assert!(
+            height >= 2,
+            "2000 entries in 4K pages must split, height {height}"
+        );
         assert_eq!(count, 2000);
         assert!(db.stats().splits > 0);
         for i in (0..2000).step_by(37) {
-            assert_eq!(db.get(&key(i)).expect("get"), Some(vec![i as u8; 64]), "key {i}");
+            assert_eq!(
+                db.get(&key(i)).expect("get"),
+                Some(vec![i as u8; 64]),
+                "key {i}"
+            );
         }
     }
 
@@ -630,7 +766,10 @@ mod tests {
         }
         db.verify();
         for i in (0..1500).step_by(13) {
-            assert_eq!(db.get(&key(i)).expect("get"), Some(format!("v{i}").into_bytes()));
+            assert_eq!(
+                db.get(&key(i)).expect("get"),
+                Some(format!("v{i}").into_bytes())
+            );
         }
     }
 
@@ -643,7 +782,10 @@ mod tests {
         for i in 0..1900u32 {
             assert!(db.delete(&key(i)).expect("delete"), "key {i} existed");
         }
-        assert!(!db.delete(&key(0)).expect("delete"), "double delete is false");
+        assert!(
+            !db.delete(&key(0)).expect("delete"),
+            "double delete is false"
+        );
         assert_eq!(db.len(), 100);
         assert!(db.stats().merges > 0, "mass deletion must merge pages");
         db.verify();
@@ -689,14 +831,22 @@ mod tests {
                     assert_eq!(got, expect, "step {step}");
                 }
                 _ => {
-                    assert_eq!(db.get(&k).expect("get"), model.get(&k).cloned(), "step {step}");
+                    assert_eq!(
+                        db.get(&k).expect("get"),
+                        model.get(&k).cloned(),
+                        "step {step}"
+                    );
                 }
             }
         }
         db.verify();
         for i in 0..400u32 {
             let k = key(i);
-            assert_eq!(db.get(&k).expect("get"), model.get(&k).cloned(), "final {i}");
+            assert_eq!(
+                db.get(&k).expect("get"),
+                model.get(&k).cloned(),
+                "final {i}"
+            );
         }
         assert_eq!(db.len(), model.len() as u64);
     }
@@ -726,7 +876,10 @@ mod tests {
         for i in 0..3000u32 {
             db.put(&key(i), &[0u8; 128]).expect("put");
         }
-        assert!(db.stats().checkpoints > 0, "byte threshold must trigger checkpoints");
+        assert!(
+            db.stats().checkpoints > 0,
+            "byte threshold must trigger checkpoints"
+        );
     }
 
     #[test]

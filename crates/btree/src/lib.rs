@@ -39,7 +39,7 @@ pub mod node;
 pub mod options;
 pub mod pager;
 
-pub use db::{BTreeDb, BTreeStats};
+pub use db::{BTreeDb, BTreeScan, BTreeStats};
 pub use options::BTreeOptions;
 
 /// Errors surfaced by the B+Tree engine.
@@ -67,7 +67,10 @@ impl From<ptsbench_vfs::VfsError> for BTreeError {
 impl BTreeError {
     /// Whether this is the out-of-space condition.
     pub fn is_out_of_space(&self) -> bool {
-        matches!(self, BTreeError::Vfs(ptsbench_vfs::VfsError::NoSpace { .. }))
+        matches!(
+            self,
+            BTreeError::Vfs(ptsbench_vfs::VfsError::NoSpace { .. })
+        )
     }
 }
 
@@ -76,8 +79,14 @@ impl std::fmt::Display for BTreeError {
         match self {
             BTreeError::Vfs(e) => write!(f, "filesystem error: {e}"),
             BTreeError::Corruption(msg) => write!(f, "corruption: {msg}"),
-            BTreeError::PairTooLarge { pair_bytes, page_bytes } => {
-                write!(f, "key-value pair of {pair_bytes} bytes exceeds page capacity {page_bytes}")
+            BTreeError::PairTooLarge {
+                pair_bytes,
+                page_bytes,
+            } => {
+                write!(
+                    f,
+                    "key-value pair of {pair_bytes} bytes exceeds page capacity {page_bytes}"
+                )
             }
         }
     }

@@ -37,7 +37,14 @@ impl Journal {
     pub fn create(vfs: Vfs) -> Result<Self> {
         let page_size = vfs.page_size() as usize;
         let file = vfs.create("journal-0")?;
-        Ok(Self { vfs, file, seq: 0, buffer: Vec::new(), page_size, bytes_written: 0 })
+        Ok(Self {
+            vfs,
+            file,
+            seq: 0,
+            buffer: Vec::new(),
+            page_size,
+            bytes_written: 0,
+        })
     }
 
     /// Logs an update.
@@ -52,8 +59,10 @@ impl Journal {
 
     fn append(&mut self, tag: u8, key: &[u8], value: Option<&[u8]>) -> Result<()> {
         self.buffer.push(tag);
-        self.buffer.extend_from_slice(&(key.len() as u32).to_le_bytes());
-        self.buffer.extend_from_slice(&(value.map_or(0, |v| v.len()) as u32).to_le_bytes());
+        self.buffer
+            .extend_from_slice(&(key.len() as u32).to_le_bytes());
+        self.buffer
+            .extend_from_slice(&(value.map_or(0, |v| v.len()) as u32).to_le_bytes());
         self.buffer.extend_from_slice(key);
         if let Some(v) = value {
             self.buffer.extend_from_slice(v);
@@ -103,7 +112,14 @@ impl Journal {
         }
         let page_size = vfs.page_size() as usize;
         let file = vfs.open("journal-0")?;
-        Ok(Self { vfs, file, seq: 0, buffer: Vec::new(), page_size, bytes_written: 0 })
+        Ok(Self {
+            vfs,
+            file,
+            seq: 0,
+            buffer: Vec::new(),
+            page_size,
+            bytes_written: 0,
+        })
     }
 
     /// Replays every record persisted in the journal since the last

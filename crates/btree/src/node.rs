@@ -33,7 +33,9 @@ const TAG_INTERNAL: u8 = 2;
 impl Node {
     /// An empty leaf.
     pub fn empty_leaf() -> Self {
-        Node::Leaf { entries: Vec::new() }
+        Node::Leaf {
+            entries: Vec::new(),
+        }
     }
 
     /// Whether this is a leaf page.
@@ -45,11 +47,15 @@ impl Node {
     pub fn encoded_len(&self) -> usize {
         match self {
             Node::Leaf { entries } => {
-                5 + entries.iter().map(|(k, v)| 6 + k.len() + v.len()).sum::<usize>()
+                5 + entries
+                    .iter()
+                    .map(|(k, v)| 6 + k.len() + v.len())
+                    .sum::<usize>()
             }
-            Node::Internal { children, separators } => {
-                5 + children.len() * 8 + separators.iter().map(|k| 2 + k.len()).sum::<usize>()
-            }
+            Node::Internal {
+                children,
+                separators,
+            } => 5 + children.len() * 8 + separators.iter().map(|k| 2 + k.len()).sum::<usize>(),
         }
     }
 
@@ -67,7 +73,10 @@ impl Node {
                     buf.extend_from_slice(v);
                 }
             }
-            Node::Internal { children, separators } => {
+            Node::Internal {
+                children,
+                separators,
+            } => {
                 debug_assert_eq!(children.len(), separators.len() + 1);
                 buf.push(TAG_INTERNAL);
                 buf.extend_from_slice(&(children.len() as u32).to_le_bytes());
@@ -123,8 +132,7 @@ impl Node {
                 }
                 let mut children = Vec::with_capacity(n);
                 for _ in 0..n {
-                    children
-                        .push(u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("8")));
+                    children.push(u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("8")));
                     pos += 8;
                 }
                 let mut separators = Vec::with_capacity(n - 1);
@@ -141,7 +149,10 @@ impl Node {
                     separators.push(buf[pos..pos + klen].to_vec());
                     pos += klen;
                 }
-                Ok(Node::Internal { children, separators })
+                Ok(Node::Internal {
+                    children,
+                    separators,
+                })
             }
             _ => Err(corrupt("unknown page tag")),
         }
@@ -169,7 +180,12 @@ impl Node {
                 debug_assert!(entries.len() >= 2, "split of a 1-entry leaf");
                 let last = entries.pop().expect("non-empty leaf");
                 let sep = last.0.clone();
-                (sep, Node::Leaf { entries: vec![last] })
+                (
+                    sep,
+                    Node::Leaf {
+                        entries: vec![last],
+                    },
+                )
             }
             Node::Internal { .. } => self.split(),
         }
@@ -197,13 +213,22 @@ impl Node {
                 let sep = right[0].0.clone();
                 (sep, Node::Leaf { entries: right })
             }
-            Node::Internal { children, separators } => {
+            Node::Internal {
+                children,
+                separators,
+            } => {
                 let mid = separators.len() / 2;
                 let promoted = separators[mid].clone();
                 let right_seps: Vec<_> = separators.split_off(mid + 1);
                 separators.pop(); // remove promoted key from the left
                 let right_children: Vec<_> = children.split_off(mid + 1);
-                (promoted, Node::Internal { children: right_children, separators: right_seps })
+                (
+                    promoted,
+                    Node::Internal {
+                        children: right_children,
+                        separators: right_seps,
+                    },
+                )
             }
         }
     }
@@ -296,8 +321,16 @@ mod tests {
         };
         let (sep, right) = n.split();
         assert_eq!(sep, b"f".to_vec());
-        if let (Node::Internal { children: lc, separators: ls }, Node::Internal { children: rc, separators: rs }) =
-            (&n, &right)
+        if let (
+            Node::Internal {
+                children: lc,
+                separators: ls,
+            },
+            Node::Internal {
+                children: rc,
+                separators: rs,
+            },
+        ) = (&n, &right)
         {
             assert_eq!(lc.len(), ls.len() + 1);
             assert_eq!(rc.len(), rs.len() + 1);

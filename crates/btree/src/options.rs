@@ -47,9 +47,32 @@ impl BTreeOptions {
         }
     }
 
+    /// Scales the configuration to a drive of `device_bytes` capacity:
+    /// WiredTiger-shaped 32 KiB pages, the paper's 10 MB cache : 400 GB
+    /// drive proportion (§3.1, never below the pager's four-page
+    /// minimum), and a checkpoint every 1/64th of the drive's worth of
+    /// application writes. Symmetric with
+    /// `LsmOptions::scaled_to_partition`: sizing follows the *drive*
+    /// capacity, not the partition, so software over-provisioning does
+    /// not change engine structure (§4.6).
+    pub fn scaled_to_partition(device_bytes: u64) -> Self {
+        let page_bytes: usize = 32 << 10;
+        let proportional = (10u64 << 20).saturating_mul(device_bytes) / (400 << 30);
+        let cache_bytes = proportional.max(4 * page_bytes as u64 + 1);
+        Self {
+            page_bytes,
+            cache_bytes,
+            checkpoint_app_bytes: (device_bytes / 64).max(1 << 20),
+            ..Self::default()
+        }
+    }
+
     /// Validates option consistency; panics with a description on error.
     pub fn validate(&self) {
-        assert!(self.page_bytes >= 1024, "pages must hold at least a few entries");
+        assert!(
+            self.page_bytes >= 1024,
+            "pages must hold at least a few entries"
+        );
         assert!(self.page_bytes <= 1 << 24);
         assert!(
             self.cache_bytes >= 4 * self.page_bytes as u64,
@@ -79,6 +102,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "cache must hold")]
     fn tiny_cache_rejected() {
-        BTreeOptions { cache_bytes: 1024, ..BTreeOptions::small() }.validate();
+        BTreeOptions {
+            cache_bytes: 1024,
+            ..BTreeOptions::small()
+        }
+        .validate();
     }
 }

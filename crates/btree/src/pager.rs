@@ -144,7 +144,11 @@ impl Pager {
                 let p = self.next_page;
                 // Materialize the new page at EOF so the file never has
                 // holes (an append at the device level).
-                self.vfs.write_at(self.file, p * self.page_bytes as u64, &vec![0u8; self.page_bytes])?;
+                self.vfs.write_at(
+                    self.file,
+                    p * self.page_bytes as u64,
+                    &vec![0u8; self.page_bytes],
+                )?;
                 self.next_page += 1;
                 p
             }
@@ -158,7 +162,10 @@ impl Pager {
         if let Some(c) = self.cache.remove(&page) {
             self.cached_bytes -= c.node.encoded_len() as u64;
         }
-        debug_assert!(!self.free_list.contains(&page), "double free of page {page}");
+        debug_assert!(
+            !self.free_list.contains(&page),
+            "double free of page {page}"
+        );
         self.free_list.push(page);
     }
 
@@ -172,7 +179,9 @@ impl Pager {
             return Ok(c.node.clone());
         }
         self.stats.misses += 1;
-        let buf = self.vfs.read_at(self.file, page * self.page_bytes as u64, self.page_bytes)?;
+        let buf = self
+            .vfs
+            .read_at(self.file, page * self.page_bytes as u64, self.page_bytes)?;
         if buf.len() < self.page_bytes {
             return Err(BTreeError::Corruption(format!("short read of page {page}")));
         }
@@ -191,7 +200,8 @@ impl Pager {
             self.page_bytes
         );
         if let Some(c) = self.cache.get_mut(&page) {
-            self.cached_bytes = self.cached_bytes - c.node.encoded_len() as u64 + node.encoded_len() as u64;
+            self.cached_bytes =
+                self.cached_bytes - c.node.encoded_len() as u64 + node.encoded_len() as u64;
             c.node = node;
             c.dirty = true;
             self.access_clock += 1;
@@ -205,7 +215,14 @@ impl Pager {
     fn insert_cached(&mut self, page: PageNo, node: Node, dirty: bool) -> Result<()> {
         self.access_clock += 1;
         self.cached_bytes += node.encoded_len() as u64;
-        self.cache.insert(page, CachedPage { node, dirty, last_access: self.access_clock });
+        self.cache.insert(
+            page,
+            CachedPage {
+                node,
+                dirty,
+                last_access: self.access_clock,
+            },
+        );
         self.evict_as_needed()
     }
 
@@ -232,7 +249,8 @@ impl Pager {
         c.node.encode(&mut self.encode_buf);
         self.encode_buf.resize(self.page_bytes, 0);
         let buf = std::mem::take(&mut self.encode_buf);
-        self.vfs.write_at(self.file, page * self.page_bytes as u64, &buf)?;
+        self.vfs
+            .write_at(self.file, page * self.page_bytes as u64, &buf)?;
         self.encode_buf = buf;
         self.stats.writebacks += 1;
         self.cache.get_mut(&page).expect("page cached").dirty = false;
@@ -243,8 +261,12 @@ impl Pager {
     /// the checkpoint operation.
     pub fn checkpoint(&mut self, meta: &[u8]) -> Result<()> {
         assert!(meta.len() <= self.page_bytes);
-        let mut dirty: Vec<PageNo> =
-            self.cache.iter().filter(|(_, c)| c.dirty).map(|(&p, _)| p).collect();
+        let mut dirty: Vec<PageNo> = self
+            .cache
+            .iter()
+            .filter(|(_, c)| c.dirty)
+            .map(|(&p, _)| p)
+            .collect();
         dirty.sort_unstable();
         for page in dirty {
             self.flush_page(page)?;
@@ -280,7 +302,9 @@ mod tests {
     }
 
     fn leaf(tag: u8, bytes: usize) -> Node {
-        Node::Leaf { entries: vec![(vec![tag], vec![tag; bytes])] }
+        Node::Leaf {
+            entries: vec![(vec![tag], vec![tag; bytes])],
+        }
     }
 
     #[test]
@@ -296,8 +320,9 @@ mod tests {
     fn eviction_writes_back_and_reload_works() {
         // Cache of 16 KiB with ~3 KiB nodes: ~5 fit.
         let mut p = Pager::create(vfs(), "t.db", 4096, 16 << 10).expect("create");
-        let pages: Vec<PageNo> =
-            (0..10).map(|i| p.allocate(leaf(i, 3000)).expect("alloc")).collect();
+        let pages: Vec<PageNo> = (0..10)
+            .map(|i| p.allocate(leaf(i, 3000)).expect("alloc"))
+            .collect();
         assert!(p.stats().writebacks > 0, "evictions must write dirty pages");
         // Everything still readable (from disk where evicted).
         for (i, &page) in pages.iter().enumerate() {

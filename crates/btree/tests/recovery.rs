@@ -65,13 +65,20 @@ fn journal_tail_survives_past_checkpoint() {
         db.sync_journal().expect("sync");
     }
     let mut recovered = BTreeDb::recover(v, BTreeOptions::small()).expect("recover");
-    assert_eq!(recovered.get(&key(0)).expect("get"), Some(b"checkpointed".to_vec()));
+    assert_eq!(
+        recovered.get(&key(0)).expect("get"),
+        Some(b"checkpointed".to_vec())
+    );
     assert_eq!(
         recovered.get(&key(350)).expect("get"),
         Some(b"journal-only".to_vec()),
         "journal tail must survive"
     );
-    assert_eq!(recovered.get(&key(7)).expect("get"), None, "journaled delete survives");
+    assert_eq!(
+        recovered.get(&key(7)).expect("get"),
+        None,
+        "journaled delete survives"
+    );
     recovered.verify();
 }
 

@@ -1,29 +1,47 @@
 //! Internal calibration aid: dumps the sample series of a few runs.
 use ptsbench_core::runner::{run, RunConfig};
 use ptsbench_core::state::DriveState;
-use ptsbench_core::system::EngineKind;
+use ptsbench_core::EngineKind;
 use ptsbench_ssd::MINUTE;
 
 fn dump(label: &str, cfg: &RunConfig) {
     let r = run(cfg);
-    println!("== {label} ops={} oos={} ==", r.ops_executed, r.out_of_space);
+    println!(
+        "== {label} ops={} oos={} ==",
+        r.ops_executed, r.out_of_space
+    );
     println!("t_min  kops  dev_w  wa_a  wa_d  wa_d_w  samp  util");
     for s in &r.samples {
         println!(
             "{:5.0} {:6.2} {:6.1} {:5.2} {:5.2} {:6.2} {:5.2} {:5.2}",
-            s.t as f64 / 6e10, s.kv_kops, s.device_write_mbps, s.wa_a, s.wa_d, s.wa_d_window,
-            s.space_amp, s.device_utilization
+            s.t as f64 / 6e10,
+            s.kv_kops,
+            s.device_write_mbps,
+            s.wa_a,
+            s.wa_d,
+            s.wa_d_window,
+            s.space_amp,
+            s.device_utilization
         );
     }
-    println!("steady: early={:.2} steady={:.2} wa_a={:.2} wa_d={:.2} 3xcap={}",
-        r.steady.early_kops, r.steady.steady_kops, r.steady.wa_a, r.steady.wa_d,
-        r.steady.three_times_capacity);
+    println!(
+        "steady: early={:.2} steady={:.2} wa_a={:.2} wa_d={:.2} 3xcap={}",
+        r.steady.early_kops,
+        r.steady.steady_kops,
+        r.steady.wa_a,
+        r.steady.wa_d,
+        r.steady.three_times_capacity
+    );
     let total_lat = r.latency.mean() * r.ops_executed as f64 / 1e9;
     println!("sum(latency)={total_lat:.0}s of duration");
-    println!("latency(sim s): mean={:.2} p50={:.2} p90={:.2} p99={:.2} max={:.2}",
-        r.latency.mean()/1e9, r.latency.quantile(0.5) as f64/1e9,
-        r.latency.quantile(0.9) as f64/1e9, r.latency.quantile(0.99) as f64/1e9,
-        r.latency.max() as f64/1e9);
+    println!(
+        "latency(sim s): mean={:.2} p50={:.2} p90={:.2} p99={:.2} max={:.2}",
+        r.latency.mean() / 1e9,
+        r.latency.quantile(0.5) as f64 / 1e9,
+        r.latency.quantile(0.9) as f64 / 1e9,
+        r.latency.quantile(0.99) as f64 / 1e9,
+        r.latency.max() as f64 / 1e9
+    );
 }
 
 fn main() {
@@ -33,12 +51,28 @@ fn main() {
         sample_window: 5 * MINUTE,
         ..RunConfig::default()
     };
-    dump("lsm trim", &RunConfig { engine: EngineKind::Lsm, ..base.clone() });
-    dump("lsm prec", &RunConfig { engine: EngineKind::Lsm, drive_state: DriveState::Preconditioned, ..base.clone() });
-    dump("lsm prec +OP", &RunConfig {
-        engine: EngineKind::Lsm,
-        drive_state: DriveState::Preconditioned,
-        partition_fraction: 0.75,
-        ..base.clone()
-    });
+    dump(
+        "lsm trim",
+        &RunConfig {
+            engine: EngineKind::lsm(),
+            ..base.clone()
+        },
+    );
+    dump(
+        "lsm prec",
+        &RunConfig {
+            engine: EngineKind::lsm(),
+            drive_state: DriveState::Preconditioned,
+            ..base.clone()
+        },
+    );
+    dump(
+        "lsm prec +OP",
+        &RunConfig {
+            engine: EngineKind::lsm(),
+            drive_state: DriveState::Preconditioned,
+            partition_fraction: 0.75,
+            ..base.clone()
+        },
+    );
 }

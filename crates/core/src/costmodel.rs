@@ -18,10 +18,12 @@ pub const TB: u64 = 1 << 40;
 /// reference-scale usable capacity (partition fraction of the reference
 /// drive) divided by the measured space amplification.
 pub fn model_from_run(name: &str, r: &RunResult, reference_capacity: u64) -> CostModel {
-    assert!(!r.failed_during_load, "cannot build a cost model from a failed run");
+    assert!(
+        !r.failed_during_load,
+        "cannot build a cost model from a failed run"
+    );
     let partition_fraction = r.partition_bytes as f64 / r.device_bytes as f64;
-    let usable =
-        (reference_capacity as f64 * partition_fraction / r.space_amplification()) as u64;
+    let usable = (reference_capacity as f64 * partition_fraction / r.space_amplification()) as u64;
     CostModel {
         name: name.to_string(),
         per_instance_ops: (r.steady.steady_kops * 1_000.0).max(1.0),

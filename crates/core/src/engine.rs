@@ -1,0 +1,575 @@
+//! The open engine API: the [`PtsEngine`] trait and its support types.
+//!
+//! This is the uniform surface the runner, the pitfall modules, the
+//! cost model and the conformance suite drive. It is deliberately
+//! engine-shaped, not tree-shaped: the paper's methodology (§3) applies
+//! to *any* persistent key-value structure on flash, and §4.1's KVell
+//! discussion shows why contrasting sorted trees with unsorted
+//! log-structured designs matters. Engines implement this trait and
+//! register a descriptor with [`crate::registry::EngineRegistry`];
+//! nothing else in the harness names a concrete engine type.
+//!
+//! Design points:
+//!
+//! * **Batched writes** — [`WriteBatch`] groups puts/deletes so bulk
+//!   load and replication-style ingest can amortize per-call overhead;
+//!   engines may override [`PtsEngine::apply_batch`] with a native
+//!   group commit.
+//! * **Streaming scans** — [`PtsEngine::scan`] returns a
+//!   [`ScanCursor`], an iterator that pulls entries on demand instead
+//!   of materializing `Vec<(Vec<u8>, Vec<u8>)>` for the whole range.
+//! * **Uniform statistics** — [`EngineStats`] carries the metrics the
+//!   methodology needs (application bytes written for WA-A, cache
+//!   traffic) plus an engine-specific structural summary.
+//! * **Explicit lifecycle** — engines are built through the registry
+//!   with [`crate::registry::Lifecycle`] `Open` (fresh) or `Recover`
+//!   (rebuild from the filesystem after a crash).
+
+use std::sync::Arc;
+
+use ptsbench_btree::{BTreeDb, BTreeError};
+use ptsbench_lsm::{LsmDb, LsmError};
+use ptsbench_vfs::Vfs;
+
+use crate::registry::EngineKind;
+
+/// Errors surfaced by a [`PtsEngine`].
+///
+/// The enum is `#[non_exhaustive]`: match with a wildcard arm so new
+/// uniform failure classes can be added without breaking engines.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum PtsError {
+    /// The underlying partition filled up (the paper's RocksDB
+    /// out-of-space condition on large datasets). Every engine must map
+    /// its native no-space failure to this variant so the runner's
+    /// capacity experiments treat engines uniformly.
+    OutOfSpace,
+    /// Any other engine failure, with the native error retained for
+    /// [`std::error::Error::source`] inspection.
+    Engine {
+        /// Short label of the engine that failed (registry label).
+        engine: &'static str,
+        /// The engine's native error.
+        source: Arc<dyn std::error::Error + Send + Sync + 'static>,
+    },
+}
+
+impl PtsError {
+    /// Wraps a native engine error, preserving it as the source chain.
+    pub fn engine(
+        engine: &'static str,
+        source: impl std::error::Error + Send + Sync + 'static,
+    ) -> Self {
+        PtsError::Engine {
+            engine,
+            source: Arc::new(source),
+        }
+    }
+}
+
+impl std::fmt::Display for PtsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PtsError::OutOfSpace => write!(f, "out of space"),
+            PtsError::Engine { engine, source } => {
+                write!(f, "engine error ({engine}): {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PtsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PtsError::OutOfSpace => None,
+            PtsError::Engine { source, .. } => Some(source.as_ref()),
+        }
+    }
+}
+
+impl PartialEq for PtsError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (PtsError::OutOfSpace, PtsError::OutOfSpace) => true,
+            (
+                PtsError::Engine {
+                    engine: a,
+                    source: sa,
+                },
+                PtsError::Engine {
+                    engine: b,
+                    source: sb,
+                },
+            ) => a == b && sa.to_string() == sb.to_string(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for PtsError {}
+
+impl From<LsmError> for PtsError {
+    fn from(e: LsmError) -> Self {
+        if e.is_out_of_space() {
+            PtsError::OutOfSpace
+        } else {
+            PtsError::engine("lsm", e)
+        }
+    }
+}
+
+impl From<BTreeError> for PtsError {
+    fn from(e: BTreeError) -> Self {
+        if e.is_out_of_space() {
+            PtsError::OutOfSpace
+        } else {
+            PtsError::engine("btree", e)
+        }
+    }
+}
+
+/// One operation inside a [`WriteBatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Insert or overwrite a key.
+    Put {
+        /// The key.
+        key: Vec<u8>,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Delete a key.
+    Delete {
+        /// The key.
+        key: Vec<u8>,
+    },
+}
+
+/// An ordered group of puts/deletes applied through
+/// [`PtsEngine::apply_batch`].
+///
+/// The loader uses batches for bulk load; engines with a native group
+/// write path (e.g. a single log append covering the whole batch) can
+/// override `apply_batch` to exploit it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteBatch {
+    ops: Vec<BatchOp>,
+    bytes: u64,
+}
+
+impl WriteBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a put.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> &mut Self {
+        self.bytes += (key.len() + value.len()) as u64;
+        self.ops.push(BatchOp::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        });
+        self
+    }
+
+    /// Appends a delete.
+    pub fn delete(&mut self, key: &[u8]) -> &mut Self {
+        self.bytes += key.len() as u64;
+        self.ops.push(BatchOp::Delete { key: key.to_vec() });
+        self
+    }
+
+    /// The operations, in application order.
+    pub fn ops(&self) -> &[BatchOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Application payload bytes across all operations.
+    pub fn payload_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Removes all operations, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.bytes = 0;
+    }
+}
+
+/// A `(key, value)` pair yielded by a scan.
+pub type ScanItem = (Vec<u8>, Vec<u8>);
+
+/// A batch of `(key, value)` pairs from a materialized scan.
+pub type ScanItems = Vec<ScanItem>;
+
+/// A streaming scan cursor: yields live entries in ascending key order,
+/// pulling from the engine on demand.
+///
+/// Entries are `Result`s because reads can fail mid-scan (corruption,
+/// I/O); after the first error the cursor is exhausted.
+pub struct ScanCursor<'a> {
+    inner: Box<dyn Iterator<Item = Result<ScanItem, PtsError>> + 'a>,
+}
+
+impl<'a> ScanCursor<'a> {
+    /// Wraps any entry iterator as a cursor.
+    pub fn new(inner: impl Iterator<Item = Result<ScanItem, PtsError>> + 'a) -> Self {
+        Self {
+            inner: Box::new(inner),
+        }
+    }
+
+    /// A cursor over infallible pairs.
+    pub fn from_pairs(pairs: impl Iterator<Item = ScanItem> + 'a) -> Self {
+        Self::new(pairs.map(Ok))
+    }
+
+    /// An empty cursor.
+    pub fn empty() -> Self {
+        Self::new(std::iter::empty())
+    }
+
+    /// Drains the cursor into a vector, stopping at the first error.
+    pub fn collect_items(self) -> Result<ScanItems, PtsError> {
+        self.collect()
+    }
+}
+
+impl Iterator for ScanCursor<'_> {
+    type Item = Result<ScanItem, PtsError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
+/// A uniform statistics snapshot every engine can produce.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Put operations accepted.
+    pub puts: u64,
+    /// Get operations served.
+    pub gets: u64,
+    /// Delete operations accepted.
+    pub deletes: u64,
+    /// Application payload bytes written (keys + values of puts and
+    /// deletes) — the WA-A numerator's denominator (§3.3).
+    pub app_bytes_written: u64,
+    /// In-memory cache hits (0 for engines without a page cache).
+    pub cache_hits: u64,
+    /// Cache misses, i.e. reads that went to the filesystem.
+    pub cache_misses: u64,
+    /// Engine-specific structural counters (flushes, compactions,
+    /// splits, segment rewrites, ...), as labelled values so reports can
+    /// render any engine without knowing its internals.
+    pub structural: Vec<(&'static str, u64)>,
+}
+
+impl EngineStats {
+    /// One-line rendering of the structural counters.
+    pub fn structural_summary(&self) -> String {
+        self.structural
+            .iter()
+            .map(|(name, value)| format!("{name}={value}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// The uniform key-value interface the methodology drives.
+///
+/// Implementations register an `EngineDescriptor` with the
+/// [`crate::registry::EngineRegistry`]; see the repository README for a
+/// worked "add an engine" example.
+pub trait PtsEngine {
+    /// Inserts or overwrites a key.
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), PtsError>;
+
+    /// Point lookup.
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, PtsError>;
+
+    /// Deletes a key (idempotent).
+    fn delete(&mut self, key: &[u8]) -> Result<(), PtsError>;
+
+    /// Applies a batch in order. The default loops over the individual
+    /// operations; engines with a native group write path should
+    /// override it.
+    fn apply_batch(&mut self, batch: &WriteBatch) -> Result<(), PtsError> {
+        for op in batch.ops() {
+            match op {
+                BatchOp::Put { key, value } => self.put(key, value)?,
+                BatchOp::Delete { key } => self.delete(key)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Streaming range scan: live entries with `start <= key < end`
+    /// (`end` `None` = unbounded), up to `limit` results, in ascending
+    /// key order.
+    fn scan(
+        &mut self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<ScanCursor<'_>, PtsError>;
+
+    /// Range scan materialized into a vector (convenience over
+    /// [`PtsEngine::scan`]).
+    fn scan_to_vec(
+        &mut self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<ScanItems, PtsError> {
+        self.scan(start, end, limit)?.collect_items()
+    }
+
+    /// Flushes buffered state to storage (memtable flush, checkpoint,
+    /// or log sync — whatever makes the current state durable).
+    fn flush(&mut self) -> Result<(), PtsError>;
+
+    /// Uniform statistics snapshot.
+    fn stats(&self) -> EngineStats;
+
+    /// Application payload bytes written so far (for WA-A).
+    fn app_bytes_written(&self) -> u64 {
+        self.stats().app_bytes_written
+    }
+
+    /// The filesystem the engine runs on.
+    fn vfs(&self) -> &Vfs;
+
+    /// The registry handle of this engine.
+    fn kind(&self) -> EngineKind;
+}
+
+// ----------------------------------------------------------- builtins
+
+/// The LSM engine (RocksDB stand-in) behind the uniform API.
+pub struct LsmEngine(pub LsmDb);
+
+impl PtsEngine for LsmEngine {
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), PtsError> {
+        Ok(self.0.put(key, value)?)
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, PtsError> {
+        Ok(self.0.get(key)?)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<(), PtsError> {
+        Ok(self.0.delete(key)?)
+    }
+
+    fn scan(
+        &mut self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<ScanCursor<'_>, PtsError> {
+        Ok(ScanCursor::from_pairs(self.0.scan_iter(start, end, limit)))
+    }
+
+    fn flush(&mut self) -> Result<(), PtsError> {
+        Ok(self.0.flush()?)
+    }
+
+    fn stats(&self) -> EngineStats {
+        let s = self.0.stats();
+        EngineStats {
+            puts: s.puts,
+            gets: s.gets,
+            deletes: s.deletes,
+            app_bytes_written: s.app_bytes_written,
+            cache_hits: 0,
+            cache_misses: 0,
+            structural: vec![
+                ("flushes", s.flushes),
+                ("flush_bytes", s.flush_bytes),
+                ("compactions", s.compactions),
+                ("compaction_bytes_written", s.compaction_bytes_written),
+                ("trivial_moves", s.trivial_moves),
+                (
+                    "tables",
+                    self.0
+                        .level_summary()
+                        .iter()
+                        .map(|(_, n, _)| *n as u64)
+                        .sum(),
+                ),
+            ],
+        }
+    }
+
+    fn vfs(&self) -> &Vfs {
+        self.0.vfs()
+    }
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::lsm()
+    }
+}
+
+/// The B+Tree engine (WiredTiger stand-in) behind the uniform API.
+pub struct BTreeEngine(pub BTreeDb);
+
+impl PtsEngine for BTreeEngine {
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), PtsError> {
+        Ok(self.0.put(key, value)?)
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, PtsError> {
+        Ok(self.0.get(key)?)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<(), PtsError> {
+        self.0.delete(key)?;
+        Ok(())
+    }
+
+    fn scan(
+        &mut self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<ScanCursor<'_>, PtsError> {
+        Ok(ScanCursor::new(
+            self.0
+                .scan_iter(start, end, limit)
+                .map(|item| item.map_err(PtsError::from)),
+        ))
+    }
+
+    fn flush(&mut self) -> Result<(), PtsError> {
+        Ok(self.0.checkpoint()?)
+    }
+
+    fn stats(&self) -> EngineStats {
+        let s = self.0.stats();
+        let cache = self.0.pager_stats();
+        EngineStats {
+            puts: s.puts,
+            gets: s.gets,
+            deletes: s.deletes,
+            app_bytes_written: s.app_bytes_written,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            structural: vec![
+                ("splits", s.splits),
+                ("merges", s.merges),
+                ("checkpoints", s.checkpoints),
+                ("entries", self.0.len()),
+            ],
+        }
+    }
+
+    fn vfs(&self) -> &Vfs {
+        self.0.vfs()
+    }
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::btree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{EngineKind, EngineTuning};
+    use ptsbench_ssd::{DeviceConfig, DeviceProfile, Ssd};
+    use ptsbench_vfs::VfsOptions;
+
+    fn vfs() -> Vfs {
+        let ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 64 << 20));
+        Vfs::whole_device(ssd.into_shared(), VfsOptions::default())
+    }
+
+    #[test]
+    fn builtin_engines_work_behind_the_trait() {
+        for kind in [EngineKind::lsm(), EngineKind::btree()] {
+            let tuning = EngineTuning::for_device(64 << 20);
+            let mut sys = kind.open(vfs(), &tuning).expect("build");
+            sys.put(b"key1", b"value1").expect("put");
+            sys.put(b"key2", b"value2").expect("put");
+            assert_eq!(sys.get(b"key1").expect("get"), Some(b"value1".to_vec()));
+            sys.delete(b"key1").expect("delete");
+            assert_eq!(sys.get(b"key1").expect("get"), None, "{kind:?}");
+            let items = sys.scan_to_vec(b"key", None, 10).expect("scan");
+            assert_eq!(items.len(), 1);
+            sys.flush().expect("flush");
+            let stats = sys.stats();
+            assert!(stats.app_bytes_written > 0);
+            assert!(
+                !stats.structural.is_empty(),
+                "{kind:?} must report structure"
+            );
+            assert_eq!(sys.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual_ops() {
+        let tuning = EngineTuning::for_device(64 << 20);
+        for kind in [EngineKind::lsm(), EngineKind::btree()] {
+            let mut a = kind.open(vfs(), &tuning).expect("build a");
+            let mut b = kind.open(vfs(), &tuning).expect("build b");
+            let mut batch = WriteBatch::new();
+            for i in 0..50u32 {
+                let k = format!("k{i:04}");
+                batch.put(k.as_bytes(), b"v1");
+                a.put(k.as_bytes(), b"v1").expect("put");
+            }
+            batch.delete(b"k0010");
+            a.delete(b"k0010").expect("delete");
+            assert_eq!(batch.len(), 51);
+            assert!(batch.payload_bytes() > 0);
+            b.apply_batch(&batch).expect("batch");
+            assert_eq!(
+                a.scan_to_vec(b"", None, 100).expect("scan a"),
+                b.scan_to_vec(b"", None, 100).expect("scan b"),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_cursor_streams_lazily() {
+        let tuning = EngineTuning::for_device(64 << 20);
+        let mut sys = EngineKind::lsm().open(vfs(), &tuning).expect("build");
+        for i in 0..100u32 {
+            sys.put(format!("k{i:04}").as_bytes(), b"v").expect("put");
+        }
+        let mut cursor = sys.scan(b"k", None, usize::MAX).expect("scan");
+        let first = cursor.next().expect("has item").expect("ok");
+        assert_eq!(first.0, b"k0000");
+        // Taking three more does not require draining the range.
+        assert_eq!(cursor.take(3).count(), 3);
+    }
+
+    #[test]
+    fn out_of_space_maps_uniformly_and_chains_sources() {
+        let e: PtsError = LsmError::Vfs(ptsbench_vfs::VfsError::NoSpace {
+            requested_pages: 1,
+            available_pages: 0,
+        })
+        .into();
+        assert_eq!(e, PtsError::OutOfSpace);
+        let e: PtsError = BTreeError::Corruption("x".into()).into();
+        assert!(matches!(e, PtsError::Engine { .. }));
+        let source = std::error::Error::source(&e).expect("chained source");
+        assert!(source.to_string().contains("corruption"));
+    }
+}

@@ -5,14 +5,19 @@
 //! (PTSes) on flash SSDs, organized around its seven benchmarking
 //! pitfalls.
 //!
-//! * [`system`] — a uniform façade ([`PtsSystem`]) over the two engines
-//!   (`ptsbench-lsm`, `ptsbench-btree`) mounted on a simulated flash
-//!   stack.
+//! * [`engine`] — the open engine API: the [`PtsEngine`] trait with
+//!   batched writes ([`WriteBatch`]), streaming scans ([`ScanCursor`]),
+//!   and uniform statistics ([`EngineStats`]).
+//! * [`registry`] — the engine registry: engines register an
+//!   [`EngineDescriptor`](registry::EngineDescriptor) and the harness
+//!   resolves them through opaque [`EngineKind`] handles. The built-in
+//!   engines are `ptsbench-lsm` and `ptsbench-btree`; `ptsbench-hashlog`
+//!   registers a third from outside this crate.
 //! * [`state`] — drive-state control: trimmed vs preconditioned (§3.4).
-//! * [`runner`] — the experiment runner: sequential load phase, timed
-//!   update/read phase on the simulated clock, per-window sampling of
-//!   every §3.3 metric (KV throughput, device throughput, WA-A, WA-D,
-//!   space amplification), CUSUM steady-state summary.
+//! * [`runner`] — the experiment runner: batched sequential load phase,
+//!   timed update/read phase on the simulated clock, per-window sampling
+//!   of every §3.3 metric (KV throughput, device throughput, WA-A,
+//!   WA-D, space amplification), CUSUM steady-state summary.
 //! * [`pitfalls`] — one module per pitfall; each reproduces the
 //!   corresponding figures and returns a programmatic verdict that the
 //!   pitfall's phenomenon manifested.
@@ -28,11 +33,15 @@
 #![forbid(unsafe_code)]
 
 pub mod costmodel;
+pub mod engine;
 pub mod pitfalls;
+pub mod registry;
 pub mod runner;
 pub mod state;
-pub mod system;
 
+pub use engine::{
+    BatchOp, EngineStats, PtsEngine, PtsError, ScanCursor, ScanItem, ScanItems, WriteBatch,
+};
+pub use registry::{EngineKind, EngineRegistry, EngineTuning, Lifecycle};
 pub use runner::{run, RunConfig, RunResult, Sample, SteadySummary};
 pub use state::DriveState;
-pub use system::{EngineKind, PtsError, PtsSystem};

@@ -49,14 +49,24 @@ impl Default for PitfallOptions {
     /// paper's device-level write amplification (WA-D ~2 for the LSM on
     /// a full-LBA-footprint drive). See DESIGN.md, "Scaling".
     fn default() -> Self {
-        Self { device_bytes: 64 << 20, duration: 210 * MINUTE, sample_window: 10 * MINUTE, seed: 42 }
+        Self {
+            device_bytes: 64 << 20,
+            duration: 210 * MINUTE,
+            sample_window: 10 * MINUTE,
+            seed: 42,
+        }
     }
 }
 
 impl PitfallOptions {
     /// A fast configuration for unit/integration tests.
     pub fn quick() -> Self {
-        Self { device_bytes: 48 << 20, duration: 40 * MINUTE, sample_window: 5 * MINUTE, seed: 42 }
+        Self {
+            device_bytes: 48 << 20,
+            duration: 40 * MINUTE,
+            sample_window: 5 * MINUTE,
+            seed: 42,
+        }
     }
 }
 
@@ -74,7 +84,11 @@ pub struct Verdict {
 impl Verdict {
     /// Builds a verdict.
     pub fn new(claim: impl Into<String>, pass: bool, detail: impl Into<String>) -> Self {
-        Self { claim: claim.into(), pass, detail: detail.into() }
+        Self {
+            claim: claim.into(),
+            pass,
+            detail: detail.into(),
+        }
     }
 }
 
@@ -104,7 +118,10 @@ impl PitfallReport {
 
     /// Renders the report with verdict summary.
     pub fn to_text(&self) -> String {
-        let mut out = format!("=== Pitfall {}: {} ===\n{}\n", self.id, self.title, self.rendered);
+        let mut out = format!(
+            "=== Pitfall {}: {} ===\n{}\n",
+            self.id, self.title, self.rendered
+        );
         for v in &self.verdicts {
             out.push_str(&format!(
                 "[{}] {} — {}\n",

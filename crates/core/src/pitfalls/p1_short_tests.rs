@@ -9,9 +9,9 @@
 use ptsbench_metrics::report::render_series_table;
 
 use crate::pitfalls::{PitfallOptions, PitfallReport, Verdict};
+use crate::registry::EngineKind;
 use crate::runner::{run, RunConfig, RunResult};
 use crate::state::DriveState;
-use crate::system::EngineKind;
 
 /// The Figure 2 experiment: both engines on a trimmed drive, default
 /// workload, observed over time.
@@ -33,8 +33,14 @@ pub fn evaluate(opts: &PitfallOptions) -> Pitfall1 {
         seed: opts.seed,
         ..RunConfig::default()
     };
-    let lsm = run(&RunConfig { engine: EngineKind::Lsm, ..base.clone() });
-    let btree = run(&RunConfig { engine: EngineKind::BTree, ..base });
+    let lsm = run(&RunConfig {
+        engine: EngineKind::lsm(),
+        ..base.clone()
+    });
+    let btree = run(&RunConfig {
+        engine: EngineKind::btree(),
+        ..base
+    });
     Pitfall1 { lsm, btree }
 }
 
@@ -104,7 +110,12 @@ impl Pitfall1 {
                 ),
             ),
         ];
-        PitfallReport { id: 1, title: "Running short tests", rendered, verdicts }
+        PitfallReport {
+            id: 1,
+            title: "Running short tests",
+            rendered,
+            verdicts,
+        }
     }
 }
 

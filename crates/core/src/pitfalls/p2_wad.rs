@@ -30,7 +30,10 @@ pub fn evaluate(opts: &PitfallOptions) -> Pitfall2 {
 
 /// Reuses Pitfall 1's runs (they are the same experiment).
 pub fn from_pitfall1(p1: Pitfall1) -> Pitfall2 {
-    Pitfall2 { lsm: p1.lsm, btree: p1.btree }
+    Pitfall2 {
+        lsm: p1.lsm,
+        btree: p1.btree,
+    }
 }
 
 impl Pitfall2 {
@@ -40,7 +43,11 @@ impl Pitfall2 {
         let app = 1_000_000u64;
         let host = (app as f64 * r.steady.wa_a) as u64;
         let nand = (host as f64 * r.steady.wa_d) as u64;
-        WaBreakdown { app_bytes: app, host_bytes: host, nand_bytes: nand }
+        WaBreakdown {
+            app_bytes: app,
+            host_bytes: host,
+            nand_bytes: nand,
+        }
     }
 
     /// Builds the report.
@@ -51,8 +58,14 @@ impl Pitfall2 {
             "WA decomposition (trimmed drive, default workload)",
             &["WA-A", "WA-D", "end-to-end"],
             &[
-                ("LSM".to_string(), vec![lsm.wa_a(), lsm.wa_d(), lsm.end_to_end()]),
-                ("B+Tree".to_string(), vec![bt.wa_a(), bt.wa_d(), bt.end_to_end()]),
+                (
+                    "LSM".to_string(),
+                    vec![lsm.wa_a(), lsm.wa_d(), lsm.end_to_end()],
+                ),
+                (
+                    "B+Tree".to_string(),
+                    vec![bt.wa_a(), bt.wa_d(), bt.end_to_end()],
+                ),
             ],
         );
 
@@ -69,7 +82,11 @@ impl Pitfall2 {
                 "on a trimmed half-utilized drive the LSM's WA-D exceeds the B+Tree's \
                  (capsizing the sequential-writes-are-flash-friendly intuition)",
                 lsm.wa_d() > bt.wa_d(),
-                format!("{:.2} vs {:.2} (paper: ~2.1 vs ~1.5)", lsm.wa_d(), bt.wa_d()),
+                format!(
+                    "{:.2} vs {:.2} (paper: ~2.1 vs ~1.5)",
+                    lsm.wa_d(),
+                    bt.wa_d()
+                ),
             ),
             Verdict::new(
                 "the end-to-end gap is materially larger than the WA-A gap",
@@ -79,7 +96,12 @@ impl Pitfall2 {
                 ),
             ),
         ];
-        PitfallReport { id: 2, title: "Not analyzing WA-D", rendered, verdicts }
+        PitfallReport {
+            id: 2,
+            title: "Not analyzing WA-D",
+            rendered,
+            verdicts,
+        }
     }
 }
 

@@ -12,9 +12,9 @@
 use ptsbench_metrics::report::render_series_table;
 
 use crate::pitfalls::{PitfallOptions, PitfallReport, Verdict};
+use crate::registry::EngineKind;
 use crate::runner::{run, RunConfig, RunResult};
 use crate::state::DriveState;
-use crate::system::EngineKind;
 
 /// The Figure 3 + Figure 4 experiment.
 #[derive(Debug, Clone)]
@@ -39,13 +39,18 @@ pub fn evaluate(opts: &PitfallOptions) -> Pitfall3 {
         ..RunConfig::default()
     };
     let mk = |engine, state, trace| {
-        run(&RunConfig { engine, drive_state: state, trace_lba: trace, ..base.clone() })
+        run(&RunConfig {
+            engine,
+            drive_state: state,
+            trace_lba: trace,
+            ..base.clone()
+        })
     };
     Pitfall3 {
-        lsm_trim: mk(EngineKind::Lsm, DriveState::Trimmed, true),
-        lsm_prec: mk(EngineKind::Lsm, DriveState::Preconditioned, false),
-        btree_trim: mk(EngineKind::BTree, DriveState::Trimmed, true),
-        btree_prec: mk(EngineKind::BTree, DriveState::Preconditioned, false),
+        lsm_trim: mk(EngineKind::lsm(), DriveState::Trimmed, true),
+        lsm_prec: mk(EngineKind::lsm(), DriveState::Preconditioned, false),
+        btree_trim: mk(EngineKind::btree(), DriveState::Trimmed, true),
+        btree_prec: mk(EngineKind::btree(), DriveState::Preconditioned, false),
     }
 }
 
@@ -77,7 +82,9 @@ impl Pitfall3 {
         // the trailing windows, not the cumulative ratio (which carries
         // the preconditioned transient forever).
         let tail_wad = |r: &RunResult| {
-            r.series("wa_d_w", |s| s.wa_d_window).tail_mean(3).unwrap_or(1.0)
+            r.series("wa_d_w", |s| s.wa_d_window)
+                .tail_mean(3)
+                .unwrap_or(1.0)
         };
         let lsm_trim_tail = tail_wad(&self.lsm_trim);
         let lsm_prec_tail = tail_wad(&self.lsm_prec);
@@ -123,7 +130,12 @@ impl Pitfall3 {
                 format!("untouched: B+Tree {bt_untouched:.2}, LSM {lsm_untouched:.2}"),
             ),
         ];
-        PitfallReport { id: 3, title: "Overlooking the internal state of the SSD", rendered, verdicts }
+        PitfallReport {
+            id: 3,
+            title: "Overlooking the internal state of the SSD",
+            rendered,
+            verdicts,
+        }
     }
 }
 

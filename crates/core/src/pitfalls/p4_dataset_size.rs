@@ -9,9 +9,9 @@
 use ptsbench_metrics::report::render_sweep_table;
 
 use crate::pitfalls::{PitfallOptions, PitfallReport, Verdict};
+use crate::registry::EngineKind;
 use crate::runner::{run, RunConfig, RunResult};
 use crate::state::DriveState;
-use crate::system::EngineKind;
 
 /// The dataset/capacity fractions of Figure 5.
 pub const FRACTIONS: [f64; 4] = [0.25, 0.37, 0.5, 0.62];
@@ -40,7 +40,7 @@ pub struct Pitfall4 {
 pub fn evaluate(opts: &PitfallOptions) -> Pitfall4 {
     let mut points = Vec::new();
     for &fraction in &FRACTIONS {
-        for engine in [EngineKind::Lsm, EngineKind::BTree] {
+        for engine in [EngineKind::lsm(), EngineKind::btree()] {
             for state in [DriveState::Trimmed, DriveState::Preconditioned] {
                 let cfg = RunConfig {
                     engine,
@@ -52,7 +52,12 @@ pub fn evaluate(opts: &PitfallOptions) -> Pitfall4 {
                     seed: opts.seed,
                     ..RunConfig::default()
                 };
-                points.push(SweepPoint { fraction, engine, state, result: run(&cfg) });
+                points.push(SweepPoint {
+                    fraction,
+                    engine,
+                    state,
+                    result: run(&cfg),
+                });
             }
         }
     }
@@ -65,7 +70,9 @@ impl Pitfall4 {
         &self
             .points
             .iter()
-            .find(|p| p.engine == engine && p.state == state && (p.fraction - fraction).abs() < 1e-9)
+            .find(|p| {
+                p.engine == engine && p.state == state && (p.fraction - fraction).abs() < 1e-9
+            })
             .expect("sweep point exists")
             .result
     }
@@ -80,7 +87,12 @@ impl Pitfall4 {
             wad.push(r.steady.wa_d);
             waa.push(r.steady.wa_a);
         }
-        (format!("{}/{}", engine.label(), state.label()), kops, wad, waa)
+        (
+            format!("{}/{}", engine.label(), state.label()),
+            kops,
+            wad,
+            waa,
+        )
     }
 
     /// Builds the report.
@@ -89,7 +101,7 @@ impl Pitfall4 {
         let mut tput_rows = Vec::new();
         let mut wad_rows = Vec::new();
         let mut waa_rows = Vec::new();
-        for engine in [EngineKind::Lsm, EngineKind::BTree] {
+        for engine in [EngineKind::lsm(), EngineKind::btree()] {
             for state in [DriveState::Trimmed, DriveState::Preconditioned] {
                 let (label, kops, wad, waa) = self.row(engine, state);
                 tput_rows.push((label.clone(), kops));
@@ -99,25 +111,39 @@ impl Pitfall4 {
         }
         let cols: Vec<String> = FRACTIONS.iter().map(|f| format!("ds={f}")).collect();
         let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
-        rendered.push_str(&render_sweep_table("Fig 5a: steady throughput (Kops/s)", &col_refs, &tput_rows));
+        rendered.push_str(&render_sweep_table(
+            "Fig 5a: steady throughput (Kops/s)",
+            &col_refs,
+            &tput_rows,
+        ));
         rendered.push_str(&render_sweep_table("Fig 5b: WA-D", &col_refs, &wad_rows));
         rendered.push_str(&render_sweep_table("Fig 5c: WA-A", &col_refs, &waa_rows));
 
         // Verdict data.
-        let lsm_small = self.get(EngineKind::Lsm, DriveState::Trimmed, 0.25).steady;
-        let lsm_large = self.get(EngineKind::Lsm, DriveState::Trimmed, 0.62).steady;
-        let bt_small = self.get(EngineKind::BTree, DriveState::Trimmed, 0.25).steady;
-        let bt_large = self.get(EngineKind::BTree, DriveState::Trimmed, 0.62).steady;
+        let lsm_small = self
+            .get(EngineKind::lsm(), DriveState::Trimmed, 0.25)
+            .steady;
+        let lsm_large = self
+            .get(EngineKind::lsm(), DriveState::Trimmed, 0.62)
+            .steady;
+        let bt_small = self
+            .get(EngineKind::btree(), DriveState::Trimmed, 0.25)
+            .steady;
+        let bt_large = self
+            .get(EngineKind::btree(), DriveState::Trimmed, 0.62)
+            .steady;
         let speedup_small = lsm_small.steady_kops / bt_small.steady_kops.max(1e-9);
         let speedup_large = lsm_large.steady_kops / bt_large.steady_kops.max(1e-9);
 
         let tail_wad = |r: &RunResult| {
-            r.series("wa_d_w", |s| s.wa_d_window).tail_mean(3).unwrap_or(1.0)
+            r.series("wa_d_w", |s| s.wa_d_window)
+                .tail_mean(3)
+                .unwrap_or(1.0)
         };
         let prec_wad_monotone = {
             let w: Vec<f64> = FRACTIONS
                 .iter()
-                .map(|&f| tail_wad(self.get(EngineKind::Lsm, DriveState::Preconditioned, f)))
+                .map(|&f| tail_wad(self.get(EngineKind::lsm(), DriveState::Preconditioned, f)))
                 .collect();
             w.last().expect("non-empty") > w.first().expect("non-empty")
         };
@@ -136,8 +162,8 @@ impl Pitfall4 {
                 prec_wad_monotone,
                 format!(
                     "tail WA-D at 0.25: {:.2} -> at 0.62: {:.2}",
-                    tail_wad(self.get(EngineKind::Lsm, DriveState::Preconditioned, 0.25)),
-                    tail_wad(self.get(EngineKind::Lsm, DriveState::Preconditioned, 0.62))
+                    tail_wad(self.get(EngineKind::lsm(), DriveState::Preconditioned, 0.25)),
+                    tail_wad(self.get(EngineKind::lsm(), DriveState::Preconditioned, 0.62))
                 ),
             ),
             Verdict::new(
@@ -158,7 +184,12 @@ impl Pitfall4 {
                 ),
             ),
         ];
-        PitfallReport { id: 4, title: "Testing with a single dataset size", rendered, verdicts }
+        PitfallReport {
+            id: 4,
+            title: "Testing with a single dataset size",
+            rendered,
+            verdicts,
+        }
     }
 }
 

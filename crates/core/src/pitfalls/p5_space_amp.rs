@@ -13,9 +13,9 @@ use ptsbench_metrics::report::{render_heatmap, render_sweep_table};
 
 use crate::costmodel::fig6c_heatmap;
 use crate::pitfalls::{PitfallOptions, PitfallReport, Verdict};
+use crate::registry::EngineKind;
 use crate::runner::{run, RunConfig, RunResult};
 use crate::state::DriveState;
-use crate::system::EngineKind;
 
 /// The dataset fractions of Figure 6 (including the two where RocksDB
 /// runs out of space).
@@ -46,7 +46,7 @@ pub struct Pitfall5 {
 pub fn evaluate(opts: &PitfallOptions) -> Pitfall5 {
     let mut points = Vec::new();
     for &fraction in &FRACTIONS {
-        for engine in [EngineKind::Lsm, EngineKind::BTree] {
+        for engine in [EngineKind::lsm(), EngineKind::btree()] {
             let cfg = RunConfig {
                 engine,
                 dataset_fraction: fraction,
@@ -57,16 +57,20 @@ pub fn evaluate(opts: &PitfallOptions) -> Pitfall5 {
                 seed: opts.seed,
                 ..RunConfig::default()
             };
-            points.push(SpacePoint { fraction, engine, result: run(&cfg) });
+            points.push(SpacePoint {
+                fraction,
+                engine,
+                result: run(&cfg),
+            });
         }
     }
     let lsm_mid = points
         .iter()
-        .find(|p| p.engine == EngineKind::Lsm && (p.fraction - 0.5).abs() < 1e-9)
+        .find(|p| p.engine == EngineKind::lsm() && (p.fraction - 0.5).abs() < 1e-9)
         .expect("ds=0.5 point");
     let bt_mid = points
         .iter()
-        .find(|p| p.engine == EngineKind::BTree && (p.fraction - 0.5).abs() < 1e-9)
+        .find(|p| p.engine == EngineKind::btree() && (p.fraction - 0.5).abs() < 1e-9)
         .expect("ds=0.5 point");
     let reference = RunConfig::default().profile.reference_capacity;
     let heatmap = fig6c_heatmap(&lsm_mid.result, &bt_mid.result, reference);
@@ -89,7 +93,10 @@ impl Pitfall5 {
         let cols: Vec<String> = FRACTIONS.iter().map(|f| format!("ds={f}")).collect();
         let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
         let row = |engine: EngineKind, metric: &dyn Fn(&RunResult) -> f64| -> Vec<f64> {
-            FRACTIONS.iter().map(|&f| metric(self.get(engine, f))).collect()
+            FRACTIONS
+                .iter()
+                .map(|&f| metric(self.get(engine, f)))
+                .collect()
         };
         let util = |r: &RunResult| {
             if r.failed_during_load {
@@ -98,33 +105,39 @@ impl Pitfall5 {
                 100.0 * r.disk_used_bytes as f64 / r.device_bytes as f64
             }
         };
-        let samp = |r: &RunResult| if r.failed_during_load { f64::NAN } else { r.space_amplification() };
+        let samp = |r: &RunResult| {
+            if r.failed_during_load {
+                f64::NAN
+            } else {
+                r.space_amplification()
+            }
+        };
         let mut rendered = render_sweep_table(
             "Fig 6a: disk utilization (%) — NaN marks out-of-space",
             &col_refs,
             &[
-                ("lsm".to_string(), row(EngineKind::Lsm, &util)),
-                ("btree".to_string(), row(EngineKind::BTree, &util)),
+                ("lsm".to_string(), row(EngineKind::lsm(), &util)),
+                ("btree".to_string(), row(EngineKind::btree(), &util)),
             ],
         );
         rendered.push_str(&render_sweep_table(
             "Fig 6b: space amplification",
             &col_refs,
             &[
-                ("lsm".to_string(), row(EngineKind::Lsm, &samp)),
-                ("btree".to_string(), row(EngineKind::BTree, &samp)),
+                ("lsm".to_string(), row(EngineKind::lsm(), &samp)),
+                ("btree".to_string(), row(EngineKind::btree(), &samp)),
             ],
         ));
         rendered.push_str("-- Fig 6c --\n");
         rendered.push_str(&render_heatmap(&self.heatmap));
 
-        let lsm_mid = self.get(EngineKind::Lsm, 0.5);
-        let bt_mid = self.get(EngineKind::BTree, 0.5);
+        let lsm_mid = self.get(EngineKind::lsm(), 0.5);
+        let bt_mid = self.get(EngineKind::btree(), 0.5);
         let lsm_oos = FRACTIONS
             .iter()
-            .filter(|&&f| self.get(EngineKind::Lsm, f).out_of_space)
+            .filter(|&&f| self.get(EngineKind::lsm(), f).out_of_space)
             .count();
-        let bt_largest = self.get(EngineKind::BTree, 0.88);
+        let bt_largest = self.get(EngineKind::btree(), 0.88);
 
         let verdicts = vec![
             Verdict::new(
@@ -153,10 +166,18 @@ impl Pitfall5 {
                     let f = self.heatmap.first_win_fraction();
                     f > 0.05 && f < 0.95
                 },
-                format!("LSM-cheaper fraction of grid: {:.2}", self.heatmap.first_win_fraction()),
+                format!(
+                    "LSM-cheaper fraction of grid: {:.2}",
+                    self.heatmap.first_win_fraction()
+                ),
             ),
         ];
-        PitfallReport { id: 5, title: "Not accounting for space amplification", rendered, verdicts }
+        PitfallReport {
+            id: 5,
+            title: "Not accounting for space amplification",
+            rendered,
+            verdicts,
+        }
     }
 }
 

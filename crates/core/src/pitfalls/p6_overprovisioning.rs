@@ -13,9 +13,9 @@ use ptsbench_metrics::report::{render_heatmap, render_sweep_table};
 
 use crate::costmodel::fig8_heatmap;
 use crate::pitfalls::{PitfallOptions, PitfallReport, Verdict};
+use crate::registry::EngineKind;
 use crate::runner::{run, RunConfig, RunResult};
 use crate::state::DriveState;
-use crate::system::EngineKind;
 
 /// Partition fraction used for the extra-OP configuration (the paper
 /// reserves 100 GB of a 400 GB drive).
@@ -33,7 +33,7 @@ pub struct Pitfall6 {
 /// Runs the experiment.
 pub fn evaluate(opts: &PitfallOptions) -> Pitfall6 {
     let mut runs = Vec::new();
-    for engine in [EngineKind::Lsm, EngineKind::BTree] {
+    for engine in [EngineKind::lsm(), EngineKind::btree()] {
         for extra_op in [false, true] {
             for state in [DriveState::Trimmed, DriveState::Preconditioned] {
                 let cfg = RunConfig {
@@ -53,12 +53,12 @@ pub fn evaluate(opts: &PitfallOptions) -> Pitfall6 {
     let reference = RunConfig::default().profile.reference_capacity;
     let no_op = &runs
         .iter()
-        .find(|(e, op, s, _)| *e == EngineKind::Lsm && !op && *s == DriveState::Preconditioned)
+        .find(|(e, op, s, _)| *e == EngineKind::lsm() && !op && *s == DriveState::Preconditioned)
         .expect("run exists")
         .3;
     let with_op = &runs
         .iter()
-        .find(|(e, op, s, _)| *e == EngineKind::Lsm && *op && *s == DriveState::Preconditioned)
+        .find(|(e, op, s, _)| *e == EngineKind::lsm() && *op && *s == DriveState::Preconditioned)
         .expect("run exists")
         .3;
     let heatmap = fig8_heatmap(no_op, with_op, reference);
@@ -80,13 +80,15 @@ impl Pitfall6 {
     pub fn report(&self) -> PitfallReport {
         let mut tput_rows = Vec::new();
         let mut wad_rows = Vec::new();
-        for engine in [EngineKind::Lsm, EngineKind::BTree] {
+        for engine in [EngineKind::lsm(), EngineKind::btree()] {
             for state in [DriveState::Trimmed, DriveState::Preconditioned] {
                 let label = format!("{}/{}", engine.label(), state.label());
                 let no = self.get(engine, false, state);
                 let yes = self.get(engine, true, state);
-                tput_rows
-                    .push((label.clone(), vec![no.steady.steady_kops, yes.steady.steady_kops]));
+                tput_rows.push((
+                    label.clone(),
+                    vec![no.steady.steady_kops, yes.steady.steady_kops],
+                ));
                 wad_rows.push((label, vec![no.steady.wa_d, yes.steady.wa_d]));
             }
         }
@@ -95,19 +97,35 @@ impl Pitfall6 {
             &["No OP", "Extra OP"],
             &tput_rows,
         );
-        rendered.push_str(&render_sweep_table("Fig 7b: WA-D", &["No OP", "Extra OP"], &wad_rows));
+        rendered.push_str(&render_sweep_table(
+            "Fig 7b: WA-D",
+            &["No OP", "Extra OP"],
+            &wad_rows,
+        ));
         rendered.push_str("-- Fig 8 --\n");
         rendered.push_str(&render_heatmap(&self.heatmap));
 
-        let lsm_prec_no = self.get(EngineKind::Lsm, false, DriveState::Preconditioned).steady;
-        let lsm_prec_op = self.get(EngineKind::Lsm, true, DriveState::Preconditioned).steady;
+        let lsm_prec_no = self
+            .get(EngineKind::lsm(), false, DriveState::Preconditioned)
+            .steady;
+        let lsm_prec_op = self
+            .get(EngineKind::lsm(), true, DriveState::Preconditioned)
+            .steady;
         let lsm_speedup = lsm_prec_op.steady_kops / lsm_prec_no.steady_kops.max(1e-9);
-        let bt_trim_no = self.get(EngineKind::BTree, false, DriveState::Trimmed).steady;
-        let bt_trim_op = self.get(EngineKind::BTree, true, DriveState::Trimmed).steady;
-        let bt_trim_change =
-            (bt_trim_op.steady_kops - bt_trim_no.steady_kops).abs() / bt_trim_no.steady_kops.max(1e-9);
-        let bt_prec_no = self.get(EngineKind::BTree, false, DriveState::Preconditioned).steady;
-        let bt_prec_op = self.get(EngineKind::BTree, true, DriveState::Preconditioned).steady;
+        let bt_trim_no = self
+            .get(EngineKind::btree(), false, DriveState::Trimmed)
+            .steady;
+        let bt_trim_op = self
+            .get(EngineKind::btree(), true, DriveState::Trimmed)
+            .steady;
+        let bt_trim_change = (bt_trim_op.steady_kops - bt_trim_no.steady_kops).abs()
+            / bt_trim_no.steady_kops.max(1e-9);
+        let bt_prec_no = self
+            .get(EngineKind::btree(), false, DriveState::Preconditioned)
+            .steady;
+        let bt_prec_op = self
+            .get(EngineKind::btree(), true, DriveState::Preconditioned)
+            .steady;
 
         let verdicts = vec![
             Verdict::new(
@@ -142,7 +160,10 @@ impl Pitfall6 {
                     && bt_prec_op.wa_d < bt_prec_no.wa_d,
                 format!(
                     "Kops {:.2} -> {:.2}, WA-D {:.2} -> {:.2} (paper: 1.14x, 1.7 -> 1.3)",
-                    bt_prec_no.steady_kops, bt_prec_op.steady_kops, bt_prec_no.wa_d, bt_prec_op.wa_d
+                    bt_prec_no.steady_kops,
+                    bt_prec_op.steady_kops,
+                    bt_prec_no.wa_d,
+                    bt_prec_op.wa_d
                 ),
             ),
             Verdict::new(
@@ -152,7 +173,10 @@ impl Pitfall6 {
                     let f = self.heatmap.first_win_fraction(); // first = no OP
                     f > 0.05 && f < 0.95
                 },
-                format!("no-OP-cheaper fraction of grid: {:.2}", self.heatmap.first_win_fraction()),
+                format!(
+                    "no-OP-cheaper fraction of grid: {:.2}",
+                    self.heatmap.first_win_fraction()
+                ),
             ),
         ];
         PitfallReport {

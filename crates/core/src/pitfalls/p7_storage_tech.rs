@@ -13,9 +13,9 @@ use ptsbench_metrics::report::{render_series_table, render_sweep_table};
 use ptsbench_ssd::{DeviceProfile, MINUTE};
 
 use crate::pitfalls::{PitfallOptions, PitfallReport, Verdict};
+use crate::registry::EngineKind;
 use crate::runner::{run, RunConfig, RunResult};
 use crate::state::DriveState;
-use crate::system::EngineKind;
 
 /// The Figure 9/10 experiment: engine x {SSD1, SSD2, SSD3}, small
 /// dataset (10x smaller than default, §4.7), trimmed drives,
@@ -28,13 +28,17 @@ pub struct Pitfall7 {
 
 /// The three drives.
 pub fn profiles() -> [DeviceProfile; 3] {
-    [DeviceProfile::ssd1(), DeviceProfile::ssd2(), DeviceProfile::ssd3()]
+    [
+        DeviceProfile::ssd1(),
+        DeviceProfile::ssd2(),
+        DeviceProfile::ssd3(),
+    ]
 }
 
 /// Runs the experiment.
 pub fn evaluate(opts: &PitfallOptions) -> Pitfall7 {
     let mut runs = Vec::new();
-    for engine in [EngineKind::Lsm, EngineKind::BTree] {
+    for engine in [EngineKind::lsm(), EngineKind::btree()] {
         for (idx, profile) in profiles().into_iter().enumerate() {
             let cfg = RunConfig {
                 engine,
@@ -75,42 +79,58 @@ impl Pitfall7 {
             &[
                 (
                     "lsm".to_string(),
-                    vec![kops(EngineKind::Lsm, 0), kops(EngineKind::Lsm, 1), kops(EngineKind::Lsm, 2)],
+                    vec![
+                        kops(EngineKind::lsm(), 0),
+                        kops(EngineKind::lsm(), 1),
+                        kops(EngineKind::lsm(), 2),
+                    ],
                 ),
                 (
                     "btree".to_string(),
                     vec![
-                        kops(EngineKind::BTree, 0),
-                        kops(EngineKind::BTree, 1),
-                        kops(EngineKind::BTree, 2),
+                        kops(EngineKind::btree(), 0),
+                        kops(EngineKind::btree(), 1),
+                        kops(EngineKind::btree(), 2),
                     ],
                 ),
             ],
         );
         rendered.push_str("-- Fig 10a: LSM throughput over time (1-min averages) --\n");
         rendered.push_str(&render_series_table(&[
-            &self.get(EngineKind::Lsm, 0).series("SSD1", |s| s.kv_kops),
-            &self.get(EngineKind::Lsm, 1).series("SSD2", |s| s.kv_kops),
-            &self.get(EngineKind::Lsm, 2).series("SSD3", |s| s.kv_kops),
+            &self.get(EngineKind::lsm(), 0).series("SSD1", |s| s.kv_kops),
+            &self.get(EngineKind::lsm(), 1).series("SSD2", |s| s.kv_kops),
+            &self.get(EngineKind::lsm(), 2).series("SSD3", |s| s.kv_kops),
         ]));
         rendered.push_str("-- Fig 10b: B+Tree throughput over time (1-min averages) --\n");
         rendered.push_str(&render_series_table(&[
-            &self.get(EngineKind::BTree, 0).series("SSD1", |s| s.kv_kops),
-            &self.get(EngineKind::BTree, 1).series("SSD2", |s| s.kv_kops),
-            &self.get(EngineKind::BTree, 2).series("SSD3", |s| s.kv_kops),
+            &self
+                .get(EngineKind::btree(), 0)
+                .series("SSD1", |s| s.kv_kops),
+            &self
+                .get(EngineKind::btree(), 1)
+                .series("SSD2", |s| s.kv_kops),
+            &self
+                .get(EngineKind::btree(), 2)
+                .series("SSD3", |s| s.kv_kops),
         ]));
 
         let tail = 10;
-        let lsm_swing_ssd1 =
-            self.get(EngineKind::Lsm, 0).throughput_series().tail_relative_swing(tail).unwrap_or(0.0);
-        let bt_swing_ssd1 =
-            self.get(EngineKind::BTree, 0).throughput_series().tail_relative_swing(tail).unwrap_or(0.0);
-        let lsm_range = kops(EngineKind::Lsm, 2) / kops(EngineKind::Lsm, 1).max(1e-9);
+        let lsm_swing_ssd1 = self
+            .get(EngineKind::lsm(), 0)
+            .throughput_series()
+            .tail_relative_swing(tail)
+            .unwrap_or(0.0);
+        let bt_swing_ssd1 = self
+            .get(EngineKind::btree(), 0)
+            .throughput_series()
+            .tail_relative_swing(tail)
+            .unwrap_or(0.0);
+        let lsm_range = kops(EngineKind::lsm(), 2) / kops(EngineKind::lsm(), 1).max(1e-9);
         let bt_range = {
             let v = [
-                kops(EngineKind::BTree, 0),
-                kops(EngineKind::BTree, 1),
-                kops(EngineKind::BTree, 2),
+                kops(EngineKind::btree(), 0),
+                kops(EngineKind::btree(), 1),
+                kops(EngineKind::btree(), 2),
             ];
             let max = v.iter().cloned().fold(f64::MIN, f64::max);
             let min = v.iter().cloned().fold(f64::MAX, f64::min);
@@ -120,31 +140,31 @@ impl Pitfall7 {
         let verdicts = vec![
             Verdict::new(
                 "both engines are fastest on SSD3 (the performance upper bound)",
-                kops(EngineKind::Lsm, 2) >= kops(EngineKind::Lsm, 0)
-                    && kops(EngineKind::Lsm, 2) >= kops(EngineKind::Lsm, 1)
-                    && kops(EngineKind::BTree, 2) >= kops(EngineKind::BTree, 0)
-                    && kops(EngineKind::BTree, 2) >= kops(EngineKind::BTree, 1),
+                kops(EngineKind::lsm(), 2) >= kops(EngineKind::lsm(), 0)
+                    && kops(EngineKind::lsm(), 2) >= kops(EngineKind::lsm(), 1)
+                    && kops(EngineKind::btree(), 2) >= kops(EngineKind::btree(), 0)
+                    && kops(EngineKind::btree(), 2) >= kops(EngineKind::btree(), 1),
                 format!(
                     "LSM {:.1}/{:.1}/{:.1}, B+Tree {:.2}/{:.2}/{:.2} Kops on SSD1/2/3",
-                    kops(EngineKind::Lsm, 0),
-                    kops(EngineKind::Lsm, 1),
-                    kops(EngineKind::Lsm, 2),
-                    kops(EngineKind::BTree, 0),
-                    kops(EngineKind::BTree, 1),
-                    kops(EngineKind::BTree, 2)
+                    kops(EngineKind::lsm(), 0),
+                    kops(EngineKind::lsm(), 1),
+                    kops(EngineKind::lsm(), 2),
+                    kops(EngineKind::btree(), 0),
+                    kops(EngineKind::btree(), 1),
+                    kops(EngineKind::btree(), 2)
                 ),
             ),
             Verdict::new(
                 "the engines rank the flash drives oppositely: LSM prefers SSD1, \
                  B+Tree prefers SSD2 (the cache-absorption surprise)",
-                kops(EngineKind::Lsm, 0) > kops(EngineKind::Lsm, 1)
-                    && kops(EngineKind::BTree, 1) > kops(EngineKind::BTree, 0),
+                kops(EngineKind::lsm(), 0) > kops(EngineKind::lsm(), 1)
+                    && kops(EngineKind::btree(), 1) > kops(EngineKind::btree(), 0),
                 format!(
                     "LSM SSD1 {:.1} vs SSD2 {:.1}; B+Tree SSD1 {:.2} vs SSD2 {:.2}",
-                    kops(EngineKind::Lsm, 0),
-                    kops(EngineKind::Lsm, 1),
-                    kops(EngineKind::BTree, 0),
-                    kops(EngineKind::BTree, 1)
+                    kops(EngineKind::lsm(), 0),
+                    kops(EngineKind::lsm(), 1),
+                    kops(EngineKind::btree(), 0),
+                    kops(EngineKind::btree(), 1)
                 ),
             ),
             Verdict::new(
@@ -163,7 +183,12 @@ impl Pitfall7 {
                 ),
             ),
         ];
-        PitfallReport { id: 7, title: "Testing on a single SSD type", rendered, verdicts }
+        PitfallReport {
+            id: 7,
+            title: "Testing on a single SSD type",
+            rendered,
+            verdicts,
+        }
     }
 }
 

@@ -8,9 +8,9 @@
 use ptsbench_metrics::report::render_series_table;
 
 use crate::pitfalls::{PitfallOptions, PitfallReport, Verdict};
+use crate::registry::EngineKind;
 use crate::runner::{run, RunConfig, RunResult};
 use crate::state::DriveState;
-use crate::system::EngineKind;
 
 /// Which Fig 11 variant a run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,7 +49,7 @@ pub struct Fig11 {
 pub fn evaluate(opts: &PitfallOptions) -> Fig11 {
     let mut runs = Vec::new();
     for variant in [Variant::MixedReads, Variant::SmallValues] {
-        for engine in [EngineKind::Lsm, EngineKind::BTree] {
+        for engine in [EngineKind::lsm(), EngineKind::btree()] {
             for state in [DriveState::Trimmed, DriveState::Preconditioned] {
                 let mut cfg = RunConfig {
                     engine,
@@ -83,8 +83,12 @@ impl Fig11 {
     pub fn report(&self) -> PitfallReport {
         let mut rendered = String::new();
         for variant in [Variant::MixedReads, Variant::SmallValues] {
-            for engine in [EngineKind::Lsm, EngineKind::BTree] {
-                rendered.push_str(&format!("-- Fig 11 ({}, {}) --\n", variant.label(), engine.label()));
+            for engine in [EngineKind::lsm(), EngineKind::btree()] {
+                rendered.push_str(&format!(
+                    "-- Fig 11 ({}, {}) --\n",
+                    variant.label(),
+                    engine.label()
+                ));
                 let trim = self.get(variant, engine, DriveState::Trimmed);
                 let prec = self.get(variant, engine, DriveState::Preconditioned);
                 rendered.push_str(&render_series_table(&[
@@ -98,36 +102,66 @@ impl Fig11 {
 
         let mut verdicts = Vec::new();
         for variant in [Variant::MixedReads, Variant::SmallValues] {
-            let lsm_trim = self.get(variant, EngineKind::Lsm, DriveState::Trimmed).steady;
+            let lsm_trim = self
+                .get(variant, EngineKind::lsm(), DriveState::Trimmed)
+                .steady;
             verdicts.push(Verdict::new(
-                format!("[{}] pitfall 1 holds: LSM early > steady throughput", variant.label()),
+                format!(
+                    "[{}] pitfall 1 holds: LSM early > steady throughput",
+                    variant.label()
+                ),
                 lsm_trim.early_kops > lsm_trim.steady_kops,
-                format!("early {:.2} vs steady {:.2} Kops", lsm_trim.early_kops, lsm_trim.steady_kops),
+                format!(
+                    "early {:.2} vs steady {:.2} Kops",
+                    lsm_trim.early_kops, lsm_trim.steady_kops
+                ),
             ));
-            let bt_trim = self.get(variant, EngineKind::BTree, DriveState::Trimmed).steady;
-            let bt_prec = self.get(variant, EngineKind::BTree, DriveState::Preconditioned).steady;
+            let bt_trim = self
+                .get(variant, EngineKind::btree(), DriveState::Trimmed)
+                .steady;
+            let bt_prec = self
+                .get(variant, EngineKind::btree(), DriveState::Preconditioned)
+                .steady;
             verdicts.push(Verdict::new(
-                format!("[{}] pitfall 3 holds: B+Tree WA-D higher when preconditioned", variant.label()),
+                format!(
+                    "[{}] pitfall 3 holds: B+Tree WA-D higher when preconditioned",
+                    variant.label()
+                ),
                 bt_prec.wa_d > bt_trim.wa_d,
                 format!("WA-D trim {:.2} vs prec {:.2}", bt_trim.wa_d, bt_prec.wa_d),
             ));
             verdicts.push(Verdict::new(
-                format!("[{}] pitfall 2 holds: WA-D exceeds 1 under sustained writes", variant.label()),
+                format!(
+                    "[{}] pitfall 2 holds: WA-D exceeds 1 under sustained writes",
+                    variant.label()
+                ),
                 bt_prec.wa_d > 1.05 && lsm_trim.wa_d > 1.05,
-                format!("LSM(trim) {:.2}, B+Tree(prec) {:.2}", lsm_trim.wa_d, bt_prec.wa_d),
+                format!(
+                    "LSM(trim) {:.2}, B+Tree(prec) {:.2}",
+                    lsm_trim.wa_d, bt_prec.wa_d
+                ),
             ));
         }
         // The 128 B workload drives far more ops/s (paper Fig 11c's axis
         // is two orders of magnitude above 11a's).
-        let small = self.get(Variant::SmallValues, EngineKind::Lsm, DriveState::Trimmed).steady;
-        let mixed = self.get(Variant::MixedReads, EngineKind::Lsm, DriveState::Trimmed).steady;
+        let small = self
+            .get(Variant::SmallValues, EngineKind::lsm(), DriveState::Trimmed)
+            .steady;
+        let mixed = self
+            .get(Variant::MixedReads, EngineKind::lsm(), DriveState::Trimmed)
+            .steady;
         verdicts.push(Verdict::new(
             "small values yield a much higher op rate than the mixed 4000B workload",
             small.steady_kops > 3.0 * mixed.steady_kops,
             format!("{:.1} vs {:.2} Kops", small.steady_kops, mixed.steady_kops),
         ));
 
-        PitfallReport { id: 0, title: "Additional workloads (Fig 11)", rendered, verdicts }
+        PitfallReport {
+            id: 0,
+            title: "Additional workloads (Fig 11)",
+            rendered,
+            verdicts,
+        }
     }
 }
 

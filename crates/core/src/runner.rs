@@ -22,8 +22,12 @@ use ptsbench_ssd::{DeviceProfile, LpnRange, Ns, SmartCounters, Ssd, MINUTE};
 use ptsbench_vfs::{Vfs, VfsOptions};
 use ptsbench_workload::{KeyDistribution, Loader, OpGenerator, OpKind, WorkloadSpec};
 
+use crate::engine::{PtsError, WriteBatch};
+use crate::registry::{EngineKind, EngineTuning};
 use crate::state::DriveState;
-use crate::system::{build_system, EngineKind, PtsError};
+
+/// Operations per [`WriteBatch`] during the bulk-load phase.
+const LOAD_BATCH_OPS: usize = 128;
 
 /// Full description of one experiment run.
 #[derive(Debug, Clone)]
@@ -66,7 +70,7 @@ pub struct RunConfig {
 impl Default for RunConfig {
     fn default() -> Self {
         Self {
-            engine: EngineKind::Lsm,
+            engine: EngineKind::lsm(),
             profile: DeviceProfile::ssd1(),
             device_bytes: 64 << 20,
             dataset_fraction: 0.5,
@@ -297,8 +301,10 @@ pub fn run(cfg: &RunConfig) -> RunResult {
         },
     };
 
-    // 3. Build the engine and bulk-load sequentially.
-    let mut system = match build_system(cfg.engine, vfs.clone(), cfg.device_bytes) {
+    // 3. Build the engine through the registry and bulk-load the
+    //    dataset sequentially in write batches.
+    let tuning = EngineTuning::for_device(cfg.device_bytes);
+    let mut system = match cfg.engine.open(vfs.clone(), &tuning) {
         Ok(s) => s,
         Err(PtsError::OutOfSpace) => {
             result.out_of_space = true;
@@ -308,23 +314,29 @@ pub fn run(cfg: &RunConfig) -> RunResult {
         Err(e) => panic!("engine construction failed: {e}"),
     };
     let mut loader = Loader::new(workload.clone());
-    while let Some((key, value)) = loader.next_pair() {
-        match system.put(key, value) {
-            Ok(()) => {}
-            Err(PtsError::OutOfSpace) => {
-                result.out_of_space = true;
-                result.failed_during_load = true;
-                result.disk_used_bytes = vfs.stats().used_bytes;
-                return result;
+    let mut batch = WriteBatch::new();
+    let load_outcome = (|| -> Result<(), PtsError> {
+        while let Some((key, value)) = loader.next_pair() {
+            batch.put(key, value);
+            if batch.len() >= LOAD_BATCH_OPS {
+                system.apply_batch(&batch)?;
+                batch.clear();
             }
-            Err(e) => panic!("load failed: {e}"),
         }
-    }
-    if let Err(PtsError::OutOfSpace) = system.flush() {
-        result.out_of_space = true;
-        result.failed_during_load = true;
-        result.disk_used_bytes = vfs.stats().used_bytes;
-        return result;
+        if !batch.is_empty() {
+            system.apply_batch(&batch)?;
+        }
+        system.flush()
+    })();
+    match load_outcome {
+        Ok(()) => {}
+        Err(PtsError::OutOfSpace) => {
+            result.out_of_space = true;
+            result.failed_during_load = true;
+            result.disk_used_bytes = vfs.stats().used_bytes;
+            return result;
+        }
+        Err(e) => panic!("load failed: {e}"),
     }
 
     // 4. Reset observability; the measured phase starts at t0.
@@ -358,8 +370,7 @@ pub fn run(cfg: &RunConfig) -> RunResult {
             result.samples.push(Sample {
                 t: $now - t0,
                 kv_kops: ops_window as f64 / window_secs * scale / 1_000.0,
-                device_write_mbps: delta.host_pages_written as f64 * page_size as f64
-                    / window_secs
+                device_write_mbps: delta.host_pages_written as f64 * page_size as f64 / window_secs
                     * scale
                     / 1e6,
                 device_read_mbps: delta.host_pages_read as f64 * page_size as f64 / window_secs
@@ -398,8 +409,7 @@ pub fn run(cfg: &RunConfig) -> RunResult {
             next_sample += cfg.sample_window;
         }
         if cfg.stop_when_steady && result.samples.len() >= 6 {
-            let host_bytes =
-                shared.lock().smart().host_pages_written * page_size;
+            let host_bytes = shared.lock().smart().host_pages_written * page_size;
             if host_bytes >= 3 * cfg.device_bytes {
                 let tput: Vec<f64> = result.samples.iter().map(|s| s.kv_kops).collect();
                 if steady_detector.is_steady(&tput) {
@@ -434,8 +444,7 @@ pub fn run(cfg: &RunConfig) -> RunResult {
     }
 
     // 6. Summaries.
-    result.disk_used_bytes =
-        max_disk_used.max(vfs.stats().peak_used_pages * page_size);
+    result.disk_used_bytes = max_disk_used.max(vfs.stats().peak_used_pages * page_size);
     {
         let dev = shared.lock();
         if let Some(trace) = dev.write_trace() {
@@ -445,8 +454,11 @@ pub fn run(cfg: &RunConfig) -> RunResult {
         let smart = dev.smart();
         let host_bytes = smart.host_pages_written * page_size;
         let app_bytes = system.app_bytes_written() - app_bytes_t0;
-        result.steady.wa_a =
-            if app_bytes == 0 { 1.0 } else { host_bytes as f64 / app_bytes as f64 };
+        result.steady.wa_a = if app_bytes == 0 {
+            1.0
+        } else {
+            host_bytes as f64 / app_bytes as f64
+        };
         result.steady.wa_d = smart.wa_d();
         result.steady.end_to_end_wa = result.steady.wa_a * result.steady.wa_d;
         result.steady.three_times_capacity = host_bytes >= 3 * cfg.device_bytes;
@@ -476,11 +488,15 @@ mod tests {
 
     #[test]
     fn lsm_run_produces_samples_and_metrics() {
-        let r = run(&quick(EngineKind::Lsm));
+        let r = run(&quick(EngineKind::lsm()));
         assert!(!r.out_of_space, "default dataset must fit");
         assert_eq!(r.samples.len(), 8, "40 min / 5 min windows");
         assert!(r.ops_executed > 100, "ops: {}", r.ops_executed);
-        assert!(r.steady.wa_a > 1.5, "LSM WA-A must show amplification: {}", r.steady.wa_a);
+        assert!(
+            r.steady.wa_a > 1.5,
+            "LSM WA-A must show amplification: {}",
+            r.steady.wa_a
+        );
         assert!(r.steady.early_kops > 0.0);
         let last = r.samples.last().expect("samples");
         assert!(last.space_amp >= 1.0);
@@ -489,10 +505,14 @@ mod tests {
 
     #[test]
     fn btree_run_produces_samples_and_metrics() {
-        let r = run(&quick(EngineKind::BTree));
+        let r = run(&quick(EngineKind::btree()));
         assert!(!r.out_of_space);
         assert!(r.ops_executed > 50, "ops: {}", r.ops_executed);
-        assert!(r.steady.wa_a > 2.0, "B+Tree leaf writes amplify: {}", r.steady.wa_a);
+        assert!(
+            r.steady.wa_a > 2.0,
+            "B+Tree leaf writes amplify: {}",
+            r.steady.wa_a
+        );
         // Space amplification near 1 (the Fig 6b signature).
         assert!(
             r.space_amplification() < 1.6,
@@ -503,7 +523,10 @@ mod tests {
 
     #[test]
     fn trace_produces_cdf() {
-        let cfg = RunConfig { trace_lba: true, ..quick(EngineKind::BTree) };
+        let cfg = RunConfig {
+            trace_lba: true,
+            ..quick(EngineKind::btree())
+        };
         let r = run(&cfg);
         let cdf = r.lba_cdf.expect("trace enabled");
         assert!(cdf.len() > 10);
@@ -518,15 +541,21 @@ mod tests {
     fn oversized_dataset_reports_out_of_space() {
         let cfg = RunConfig {
             dataset_fraction: 0.95,
-            ..quick(EngineKind::Lsm)
+            ..quick(EngineKind::lsm())
         };
         let r = run(&cfg);
-        assert!(r.out_of_space, "a 95% dataset cannot fit an LSM's space amplification");
+        assert!(
+            r.out_of_space,
+            "a 95% dataset cannot fit an LSM's space amplification"
+        );
     }
 
     #[test]
     fn labels_are_descriptive() {
-        let cfg = RunConfig { partition_fraction: 0.75, ..quick(EngineKind::Lsm) };
+        let cfg = RunConfig {
+            partition_fraction: 0.75,
+            ..quick(EngineKind::lsm())
+        };
         let label = cfg.label();
         assert!(label.contains("lsm"));
         assert!(label.contains("SSD1"));
@@ -536,8 +565,8 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let a = run(&quick(EngineKind::Lsm));
-        let b = run(&quick(EngineKind::Lsm));
+        let a = run(&quick(EngineKind::lsm()));
+        let b = run(&quick(EngineKind::lsm()));
         assert_eq!(a.ops_executed, b.ops_executed);
         assert_eq!(a.samples.len(), b.samples.len());
         for (x, y) in a.samples.iter().zip(&b.samples) {

@@ -1,0 +1,837 @@
+//! The hash-log database: value-log segments, in-memory index, GC.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use ptsbench_core::engine::{BatchOp, EngineStats, PtsEngine, PtsError, ScanCursor, WriteBatch};
+use ptsbench_core::registry::EngineKind;
+use ptsbench_vfs::{FileId, Vfs};
+
+use crate::options::HashLogOptions;
+use crate::record::Record;
+use crate::{HashLogError, Result};
+
+/// Cumulative engine statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HashLogStats {
+    /// Put operations accepted.
+    pub puts: u64,
+    /// Get operations served.
+    pub gets: u64,
+    /// Delete operations accepted.
+    pub deletes: u64,
+    /// Application payload bytes written (keys + values of puts/deletes).
+    pub app_bytes_written: u64,
+    /// Log segments created (including the initial one).
+    pub segments_created: u64,
+    /// Garbage-collection rewrites performed.
+    pub gc_runs: u64,
+    /// Live bytes relocated by garbage collection.
+    pub gc_bytes_rewritten: u64,
+}
+
+/// Where the newest record of a key lives.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    segment: u64,
+    record_offset: u64,
+    record_bytes: u64,
+    value_offset: u64,
+    value_len: u32,
+    tombstone: bool,
+}
+
+/// One log segment file.
+#[derive(Debug)]
+struct Segment {
+    file: FileId,
+    name: String,
+    /// Total bytes appended.
+    bytes: u64,
+    /// Bytes of records that are still the newest version of their key.
+    live_bytes: u64,
+    /// Smallest sequence number stored here (`u64::MAX` while empty).
+    min_seq: u64,
+}
+
+/// A record staged for one log append (offsets relative to the append
+/// base).
+struct Pending {
+    key: Vec<u8>,
+    seq: u64,
+    tombstone: bool,
+    rel_record_offset: u64,
+    record_bytes: u64,
+    rel_value_offset: u64,
+    value_len: u32,
+}
+
+const SEGMENT_PREFIX: &str = "hlog-";
+
+fn segment_name(id: u64) -> String {
+    format!("{SEGMENT_PREFIX}{id:08}.log")
+}
+
+fn segment_id(name: &str) -> Option<u64> {
+    name.strip_prefix(SEGMENT_PREFIX)?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+/// A KVell-style log-structured hash KV store on a simulated flash
+/// stack: append-only value-log segments plus an in-memory key index.
+pub struct HashLogDb {
+    vfs: Vfs,
+    opts: HashLogOptions,
+    index: BTreeMap<Vec<u8>, IndexEntry>,
+    /// Segments by id; ids grow monotonically, so iteration order is
+    /// creation (age) order.
+    segments: BTreeMap<u64, Segment>,
+    active: u64,
+    next_seq: u64,
+    next_segment_id: u64,
+    live_entries: u64,
+    stats: HashLogStats,
+}
+
+impl std::fmt::Debug for HashLogDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HashLogDb")
+            .field("segments", &self.segments.len())
+            .field("entries", &self.live_entries)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl HashLogDb {
+    /// Opens a fresh database on the filesystem.
+    pub fn open(vfs: Vfs, opts: HashLogOptions) -> Result<Self> {
+        opts.validate();
+        let mut db = Self {
+            vfs,
+            opts,
+            index: BTreeMap::new(),
+            segments: BTreeMap::new(),
+            active: 0,
+            next_seq: 1,
+            next_segment_id: 0,
+            live_entries: 0,
+            stats: HashLogStats::default(),
+        };
+        db.new_segment()?;
+        Ok(db)
+    }
+
+    /// Rebuilds the database from the segments on the filesystem,
+    /// replaying records in global sequence order.
+    pub fn recover(vfs: Vfs, opts: HashLogOptions) -> Result<Self> {
+        opts.validate();
+        let mut ids: Vec<u64> = vfs
+            .list()
+            .iter()
+            .filter_map(|name| segment_id(name))
+            .collect();
+        ids.sort_unstable();
+        if ids.is_empty() {
+            return Err(HashLogError::Corruption(
+                "no log segments to recover from".into(),
+            ));
+        }
+        let mut db = Self {
+            vfs,
+            opts,
+            index: BTreeMap::new(),
+            segments: BTreeMap::new(),
+            active: *ids.last().expect("non-empty"),
+            next_seq: 1,
+            next_segment_id: ids.last().expect("non-empty") + 1,
+            live_entries: 0,
+            stats: HashLogStats::default(),
+        };
+
+        // Decode every record of every segment, then apply in sequence
+        // order so GC-relocated records land correctly.
+        let mut records: Vec<(u64, Record, u64, u64)> = Vec::new(); // (segment, record, offset, bytes)
+        for &id in &ids {
+            let name = segment_name(id);
+            let file = db.vfs.open(&name)?;
+            let size = db.vfs.size(file)?;
+            let buf = db.vfs.read_at(file, 0, size as usize)?;
+            let mut offset = 0usize;
+            let mut min_seq = u64::MAX;
+            while offset < buf.len() {
+                let (record, end) = Record::decode(&buf, offset)?;
+                min_seq = min_seq.min(record.seq);
+                records.push((id, record, offset as u64, (end - offset) as u64));
+                offset = end;
+            }
+            db.segments.insert(
+                id,
+                Segment {
+                    file,
+                    name,
+                    bytes: size,
+                    live_bytes: 0,
+                    min_seq,
+                },
+            );
+        }
+        records.sort_by_key(|(_, record, _, _)| record.seq);
+        for (segment, record, record_offset, record_bytes) in records {
+            db.next_seq = db.next_seq.max(record.seq + 1);
+            let value_offset = record_offset + Record::encoded_len(record.key.len(), 0);
+            let entry = IndexEntry {
+                segment,
+                record_offset,
+                record_bytes,
+                value_offset,
+                value_len: record.value_len,
+                tombstone: record.tombstone,
+            };
+            db.apply_index_entry(record.key, entry);
+        }
+        // Live-byte accounting from the final index.
+        for entry in db.index.values() {
+            let seg = db
+                .segments
+                .get_mut(&entry.segment)
+                .expect("segment of entry");
+            seg.live_bytes += entry.record_bytes;
+        }
+        Ok(db)
+    }
+
+    /// Inserts `entry` for `key`, maintaining garbage accounting of the
+    /// displaced entry (used on both the write path and recovery).
+    fn apply_index_entry(&mut self, key: Vec<u8>, entry: IndexEntry) {
+        let was_live = match self.index.insert(key, entry) {
+            Some(old) => {
+                if let Some(seg) = self.segments.get_mut(&old.segment) {
+                    seg.live_bytes = seg.live_bytes.saturating_sub(old.record_bytes);
+                }
+                !old.tombstone
+            }
+            None => false,
+        };
+        match (was_live, entry.tombstone) {
+            (false, false) => self.live_entries += 1,
+            (true, true) => self.live_entries -= 1,
+            _ => {}
+        }
+    }
+
+    fn new_segment(&mut self) -> Result<()> {
+        let id = self.next_segment_id;
+        self.next_segment_id += 1;
+        let name = segment_name(id);
+        let file = self.vfs.create(&name)?;
+        self.segments.insert(
+            id,
+            Segment {
+                file,
+                name,
+                bytes: 0,
+                live_bytes: 0,
+                min_seq: u64::MAX,
+            },
+        );
+        self.active = id;
+        self.stats.segments_created += 1;
+        Ok(())
+    }
+
+    /// Appends an encoded run of records to the active segment and
+    /// indexes them, then rotates/collects as needed.
+    fn log_append(&mut self, buf: &[u8], pendings: Vec<Pending>) -> Result<()> {
+        let active = self.active;
+        let (base, file) = {
+            let seg = self.segments.get_mut(&active).expect("active segment");
+            (seg.bytes, seg.file)
+        };
+        self.vfs.append(file, buf)?;
+        {
+            let seg = self.segments.get_mut(&active).expect("active segment");
+            seg.bytes += buf.len() as u64;
+        }
+        for p in pendings {
+            {
+                let seg = self.segments.get_mut(&active).expect("active segment");
+                seg.min_seq = seg.min_seq.min(p.seq);
+                seg.live_bytes += p.record_bytes;
+            }
+            let entry = IndexEntry {
+                segment: active,
+                record_offset: base + p.rel_record_offset,
+                record_bytes: p.record_bytes,
+                value_offset: base + p.rel_value_offset,
+                value_len: p.value_len,
+                tombstone: p.tombstone,
+            };
+            self.apply_index_entry(p.key, entry);
+        }
+        if self.segments[&active].bytes >= self.opts.segment_bytes {
+            // Seal: make the finished segment durable, open a new one.
+            self.vfs.fsync(file)?;
+            self.new_segment()?;
+        }
+        self.maybe_gc()
+    }
+
+    /// Inserts or overwrites a key.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.stats.puts += 1;
+        self.stats.app_bytes_written += (key.len() + value.len()) as u64;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut buf = Vec::with_capacity(Record::encoded_len(key.len(), value.len()) as usize);
+        Record::encode_put(&mut buf, seq, key, value);
+        let pending = Pending {
+            key: key.to_vec(),
+            seq,
+            tombstone: false,
+            rel_record_offset: 0,
+            record_bytes: buf.len() as u64,
+            rel_value_offset: Record::encoded_len(key.len(), 0),
+            value_len: value.len() as u32,
+        };
+        self.log_append(&buf, vec![pending])
+    }
+
+    /// Deletes a key (a no-op when the key is not live).
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.stats.deletes += 1;
+        self.stats.app_bytes_written += key.len() as u64;
+        if self.index.get(key).is_none_or(|e| e.tombstone) {
+            return Ok(());
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut buf = Vec::with_capacity(Record::encoded_len(key.len(), 0) as usize);
+        Record::encode_tombstone(&mut buf, seq, key);
+        let pending = Pending {
+            key: key.to_vec(),
+            seq,
+            tombstone: true,
+            rel_record_offset: 0,
+            record_bytes: buf.len() as u64,
+            rel_value_offset: Record::encoded_len(key.len(), 0),
+            value_len: 0,
+        };
+        self.log_append(&buf, vec![pending])
+    }
+
+    /// Applies a whole batch as a single log append (the native group
+    /// write path: one `append` call, one rotation/GC check).
+    pub fn apply_batch(&mut self, batch: &WriteBatch) -> Result<()> {
+        let mut buf = Vec::new();
+        let mut pendings = Vec::with_capacity(batch.len());
+        for op in batch.ops() {
+            match op {
+                BatchOp::Put { key, value } => {
+                    self.stats.puts += 1;
+                    self.stats.app_bytes_written += (key.len() + value.len()) as u64;
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    let rel_record_offset = buf.len() as u64;
+                    Record::encode_put(&mut buf, seq, key, value);
+                    pendings.push(Pending {
+                        key: key.clone(),
+                        seq,
+                        tombstone: false,
+                        rel_record_offset,
+                        record_bytes: buf.len() as u64 - rel_record_offset,
+                        rel_value_offset: rel_record_offset + Record::encoded_len(key.len(), 0),
+                        value_len: value.len() as u32,
+                    });
+                }
+                BatchOp::Delete { key } => {
+                    self.stats.deletes += 1;
+                    self.stats.app_bytes_written += key.len() as u64;
+                    // A delete is live if the key is currently visible,
+                    // either in the index or earlier in this batch.
+                    let visible_in_batch = pendings
+                        .iter()
+                        .rev()
+                        .find(|p| p.key == *key)
+                        .map(|p| !p.tombstone);
+                    let visible = visible_in_batch
+                        .unwrap_or_else(|| self.index.get(key).is_some_and(|e| !e.tombstone));
+                    if !visible {
+                        continue;
+                    }
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    let rel_record_offset = buf.len() as u64;
+                    Record::encode_tombstone(&mut buf, seq, key);
+                    pendings.push(Pending {
+                        key: key.clone(),
+                        seq,
+                        tombstone: true,
+                        rel_record_offset,
+                        record_bytes: buf.len() as u64 - rel_record_offset,
+                        rel_value_offset: rel_record_offset + Record::encoded_len(key.len(), 0),
+                        value_len: 0,
+                    });
+                }
+            }
+        }
+        if buf.is_empty() {
+            return Ok(());
+        }
+        self.log_append(&buf, pendings)
+    }
+
+    /// Point lookup: index probe plus (at most) one device read.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.stats.gets += 1;
+        let Some(entry) = self.index.get(key) else {
+            return Ok(None);
+        };
+        if entry.tombstone {
+            return Ok(None);
+        }
+        let file = self.segments[&entry.segment].file;
+        let value = self
+            .vfs
+            .read_at(file, entry.value_offset, entry.value_len as usize)?;
+        Ok(Some(value))
+    }
+
+    /// Streaming range scan: the index walks in key order, but every
+    /// entry costs one random device read — the KVell scan trade-off.
+    pub fn scan_iter(&self, start: &[u8], end: Option<&[u8]>, limit: usize) -> IndexScan<'_> {
+        let range = self.index.range::<[u8], _>((
+            Bound::Included(start),
+            end.map_or(Bound::Unbounded, Bound::Excluded),
+        ));
+        IndexScan {
+            db: self,
+            range,
+            remaining: limit,
+        }
+    }
+
+    /// Range scan materialized into a vector (see [`HashLogDb::scan_iter`]).
+    pub fn scan(
+        &mut self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan_iter(start, end, limit).collect()
+    }
+
+    /// Makes the active segment durable.
+    pub fn flush(&mut self) -> Result<()> {
+        let file = self.segments[&self.active].file;
+        self.vfs.fsync(file)?;
+        Ok(())
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> HashLogStats {
+        self.stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> u64 {
+        self.live_entries
+    }
+
+    /// Whether the store holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.live_entries == 0
+    }
+
+    /// Number of log segments currently on the filesystem.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Bytes held by records that are no longer the newest version of
+    /// their key.
+    pub fn garbage_bytes(&self) -> u64 {
+        self.segments.values().map(|s| s.bytes - s.live_bytes).sum()
+    }
+
+    /// The underlying filesystem.
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Collects the worst sealed segment when total garbage crosses the
+    /// configured fraction.
+    fn maybe_gc(&mut self) -> Result<()> {
+        let total: u64 = self.segments.values().map(|s| s.bytes).sum();
+        if total == 0
+            || (self.garbage_bytes() as f64) < self.opts.gc_garbage_fraction * total as f64
+        {
+            return Ok(());
+        }
+        let victim = self
+            .segments
+            .iter()
+            .filter(|(id, _)| **id != self.active)
+            .max_by(|(_, a), (_, b)| {
+                let ga = (a.bytes - a.live_bytes) as f64 / a.bytes.max(1) as f64;
+                let gb = (b.bytes - b.live_bytes) as f64 / b.bytes.max(1) as f64;
+                ga.total_cmp(&gb)
+            })
+            .map(|(id, s)| (*id, (s.bytes - s.live_bytes) as f64 / s.bytes.max(1) as f64));
+        match victim {
+            Some((id, ratio)) if ratio >= self.opts.min_victim_garbage => self.rewrite_segment(id),
+            _ => Ok(()),
+        }
+    }
+
+    /// Relocates a segment's live records into the active segment and
+    /// deletes the file.
+    fn rewrite_segment(&mut self, victim: u64) -> Result<()> {
+        let (file, size, name) = {
+            let seg = &self.segments[&victim];
+            (seg.file, seg.bytes, seg.name.clone())
+        };
+        let buf = self.vfs.read_at(file, 0, size as usize)?;
+        let mut out = Vec::new();
+        let mut pendings = Vec::new();
+        let mut offset = 0usize;
+        while offset < buf.len() {
+            let (record, end) = Record::decode(&buf, offset)?;
+            let record_bytes = (end - offset) as u64;
+            let current = self
+                .index
+                .get(&record.key)
+                .is_some_and(|e| e.segment == victim && e.record_offset == offset as u64);
+            if current {
+                if record.tombstone {
+                    // A tombstone can be dropped once no other segment
+                    // holds records older than it (nothing left to
+                    // shadow on recovery).
+                    let blocked = self
+                        .segments
+                        .iter()
+                        .any(|(id, s)| *id != victim && s.min_seq < record.seq);
+                    if !blocked {
+                        self.index.remove(&record.key);
+                        offset = end;
+                        continue;
+                    }
+                }
+                let rel_record_offset = out.len() as u64;
+                out.extend_from_slice(&buf[offset..end]);
+                pendings.push(Pending {
+                    rel_value_offset: rel_record_offset + Record::encoded_len(record.key.len(), 0),
+                    key: record.key,
+                    seq: record.seq,
+                    tombstone: record.tombstone,
+                    rel_record_offset,
+                    record_bytes,
+                    value_len: record.value_len,
+                });
+            }
+            offset = end;
+        }
+        self.stats.gc_runs += 1;
+        self.stats.gc_bytes_rewritten += out.len() as u64;
+        self.segments.remove(&victim);
+        self.vfs.delete(&name)?;
+        if !out.is_empty() {
+            // Relocation must not recurse into GC while the victim's
+            // accounting is mid-flight; append directly.
+            let active = self.active;
+            let (base, afile) = {
+                let seg = self.segments.get_mut(&active).expect("active segment");
+                (seg.bytes, seg.file)
+            };
+            self.vfs.append(afile, &out)?;
+            {
+                let seg = self.segments.get_mut(&active).expect("active segment");
+                seg.bytes += out.len() as u64;
+            }
+            for p in pendings {
+                {
+                    let seg = self.segments.get_mut(&active).expect("active segment");
+                    seg.min_seq = seg.min_seq.min(p.seq);
+                    seg.live_bytes += p.record_bytes;
+                }
+                let entry = IndexEntry {
+                    segment: active,
+                    record_offset: base + p.rel_record_offset,
+                    record_bytes: p.record_bytes,
+                    value_offset: base + p.rel_value_offset,
+                    value_len: p.value_len,
+                    tombstone: p.tombstone,
+                };
+                // Relocated records are the current version by
+                // construction; plain insert keeps accounting intact.
+                self.index.insert(p.key, entry);
+            }
+            if self.segments[&active].bytes >= self.opts.segment_bytes {
+                self.vfs.fsync(afile)?;
+                self.new_segment()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Streaming cursor returned by [`HashLogDb::scan_iter`].
+pub struct IndexScan<'a> {
+    db: &'a HashLogDb,
+    range: std::collections::btree_map::Range<'a, Vec<u8>, IndexEntry>,
+    remaining: usize,
+}
+
+impl Iterator for IndexScan<'_> {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        for (key, entry) in self.range.by_ref() {
+            if entry.tombstone {
+                continue;
+            }
+            let file = self.db.segments[&entry.segment].file;
+            let read = self
+                .db
+                .vfs
+                .read_at(file, entry.value_offset, entry.value_len as usize);
+            self.remaining -= 1;
+            return match read {
+                Ok(value) => Some(Ok((key.clone(), value))),
+                Err(e) => {
+                    self.remaining = 0;
+                    Some(Err(e.into()))
+                }
+            };
+        }
+        self.remaining = 0;
+        None
+    }
+}
+
+/// The hash-log engine behind the uniform [`PtsEngine`] API.
+pub struct HashLogEngine(pub HashLogDb);
+
+impl PtsEngine for HashLogEngine {
+    fn put(&mut self, key: &[u8], value: &[u8]) -> std::result::Result<(), PtsError> {
+        Ok(self.0.put(key, value)?)
+    }
+
+    fn get(&mut self, key: &[u8]) -> std::result::Result<Option<Vec<u8>>, PtsError> {
+        Ok(self.0.get(key)?)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> std::result::Result<(), PtsError> {
+        Ok(self.0.delete(key)?)
+    }
+
+    fn apply_batch(&mut self, batch: &WriteBatch) -> std::result::Result<(), PtsError> {
+        Ok(self.0.apply_batch(batch)?)
+    }
+
+    fn scan(
+        &mut self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> std::result::Result<ScanCursor<'_>, PtsError> {
+        Ok(ScanCursor::new(
+            self.0
+                .scan_iter(start, end, limit)
+                .map(|item| item.map_err(PtsError::from)),
+        ))
+    }
+
+    fn flush(&mut self) -> std::result::Result<(), PtsError> {
+        Ok(self.0.flush()?)
+    }
+
+    fn stats(&self) -> EngineStats {
+        let s = self.0.stats();
+        EngineStats {
+            puts: s.puts,
+            gets: s.gets,
+            deletes: s.deletes,
+            app_bytes_written: s.app_bytes_written,
+            cache_hits: 0,
+            cache_misses: 0,
+            structural: vec![
+                ("segments", self.0.segment_count() as u64),
+                ("entries", self.0.len()),
+                ("garbage_bytes", self.0.garbage_bytes()),
+                ("gc_runs", s.gc_runs),
+                ("gc_bytes_rewritten", s.gc_bytes_rewritten),
+            ],
+        }
+    }
+
+    fn vfs(&self) -> &Vfs {
+        self.0.vfs()
+    }
+
+    fn kind(&self) -> EngineKind {
+        crate::register()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbench_ssd::{DeviceConfig, DeviceProfile, Ssd};
+    use ptsbench_vfs::VfsOptions;
+
+    fn vfs() -> Vfs {
+        let ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 64 << 20));
+        Vfs::whole_device(ssd.into_shared(), VfsOptions::default())
+    }
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("key{i:06}").into_bytes()
+    }
+
+    #[test]
+    fn basic_ops_round_trip() {
+        let mut db = HashLogDb::open(vfs(), HashLogOptions::small()).expect("open");
+        db.put(b"a", b"1").expect("put");
+        db.put(b"b", b"2").expect("put");
+        db.put(b"a", b"1'").expect("overwrite");
+        assert_eq!(db.get(b"a").expect("get"), Some(b"1'".to_vec()));
+        assert_eq!(db.get(b"b").expect("get"), Some(b"2".to_vec()));
+        assert_eq!(db.get(b"c").expect("get"), None);
+        assert_eq!(db.len(), 2);
+        db.delete(b"a").expect("delete");
+        assert_eq!(db.get(b"a").expect("get"), None);
+        assert_eq!(db.len(), 1);
+        db.delete(b"a").expect("idempotent delete");
+        assert_eq!(db.len(), 1);
+        assert!(
+            db.garbage_bytes() > 0,
+            "overwrite + delete must leave garbage"
+        );
+    }
+
+    #[test]
+    fn scan_streams_in_key_order() {
+        let mut db = HashLogDb::open(vfs(), HashLogOptions::small()).expect("open");
+        for i in (0..50u32).rev() {
+            db.put(&key(i), format!("v{i}").as_bytes()).expect("put");
+        }
+        db.delete(&key(7)).expect("delete");
+        let all: Vec<_> = db.scan(&key(5), Some(&key(10)), 100).expect("scan");
+        let keys: Vec<Vec<u8>> = all.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![key(5), key(6), key(8), key(9)]);
+        let limited = db.scan(b"", None, 3).expect("scan");
+        assert_eq!(limited.len(), 3);
+        // Streaming: pulling two items does not drain the cursor.
+        let mut cursor = db.scan_iter(b"", None, usize::MAX);
+        assert!(cursor.next().is_some());
+        assert!(cursor.next().is_some());
+    }
+
+    #[test]
+    fn rotation_and_gc_bound_the_log() {
+        let mut db = HashLogDb::open(vfs(), HashLogOptions::small()).expect("open");
+        // Overwrite a small key set far beyond a segment's capacity:
+        // without GC the log would hold every version.
+        for round in 0..40u32 {
+            for i in 0..32u32 {
+                db.put(&key(i), &vec![round as u8; 512]).expect("put");
+            }
+        }
+        assert!(db.stats().segments_created > 2, "log must have rotated");
+        assert!(db.stats().gc_runs > 0, "churn must trigger GC");
+        let total: u64 = db.segments.values().map(|s| s.bytes).sum();
+        let live: u64 = db.segments.values().map(|s| s.live_bytes).sum();
+        assert!(
+            total < 4 * live.max(1),
+            "GC must bound garbage: total {total} vs live {live}"
+        );
+        for i in 0..32u32 {
+            assert_eq!(
+                db.get(&key(i)).expect("get"),
+                Some(vec![39u8; 512]),
+                "key {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_replays_in_sequence_order() {
+        let v = vfs();
+        {
+            let mut db = HashLogDb::open(v.clone(), HashLogOptions::small()).expect("open");
+            for round in 0..20u32 {
+                for i in 0..24u32 {
+                    db.put(&key(i), format!("r{round}-{i}").as_bytes())
+                        .expect("put");
+                }
+            }
+            db.delete(&key(3)).expect("delete");
+            db.flush().expect("flush");
+        }
+        let mut db = HashLogDb::recover(v, HashLogOptions::small()).expect("recover");
+        assert_eq!(
+            db.get(&key(3)).expect("get"),
+            None,
+            "tombstone survives recovery"
+        );
+        for i in (0..24u32).filter(|i| *i != 3) {
+            assert_eq!(
+                db.get(&key(i)).expect("get"),
+                Some(format!("r19-{i}").into_bytes()),
+                "newest version of key {i} must win"
+            );
+        }
+        assert_eq!(db.len(), 23);
+        db.put(b"post-crash", b"ok").expect("put after recovery");
+        assert_eq!(db.get(b"post-crash").expect("get"), Some(b"ok".to_vec()));
+    }
+
+    #[test]
+    fn batch_is_one_append_and_matches_individual_ops() {
+        let mut a = HashLogDb::open(vfs(), HashLogOptions::small()).expect("open a");
+        let mut b = HashLogDb::open(vfs(), HashLogOptions::small()).expect("open b");
+        let mut batch = WriteBatch::new();
+        for i in 0..20u32 {
+            batch.put(&key(i), b"v");
+            a.put(&key(i), b"v").expect("put");
+        }
+        batch.delete(&key(5));
+        batch.delete(b"never-existed");
+        a.delete(&key(5)).expect("delete");
+        a.delete(b"never-existed").expect("delete");
+        b.apply_batch(&batch).expect("batch");
+        assert_eq!(
+            a.scan(b"", None, 100).expect("scan a"),
+            b.scan(b"", None, 100).expect("scan b")
+        );
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn out_of_space_surfaces() {
+        let ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 16 << 20));
+        let v = Vfs::whole_device(ssd.into_shared(), VfsOptions::default());
+        let mut db = HashLogDb::open(v, HashLogOptions::small()).expect("open");
+        let mut hit = false;
+        for i in 0..10_000u32 {
+            match db.put(&key(i), &[0u8; 4096]) {
+                Ok(()) => {}
+                Err(e) => {
+                    assert!(e.is_out_of_space(), "unexpected error: {e}");
+                    hit = true;
+                    break;
+                }
+            }
+        }
+        assert!(
+            hit,
+            "a 16 MiB partition cannot absorb 40 MB of distinct puts"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! # ptsbench-hashlog — a KVell-style log-structured hash KV engine
+//!
+//! The third engine of the workspace, and the proof that the
+//! `ptsbench-core` engine API is open: a design from a *different
+//! family* than the two built-in tree structures, wired into the
+//! methodology purely through [`register`] — no change to the runner or
+//! any pitfall module.
+//!
+//! The architecture follows KVell (SOSP'19), the system the paper's
+//! §4.1 cites when discussing CPU-bound vs device-bound engines:
+//!
+//! * **Unsorted persistent layout** — values live in append-only log
+//!   segments in arrival order; nothing on disk is sorted, so there is
+//!   no compaction-style rewriting to keep order (writes are cheap and
+//!   sequential, and the FTL sees a single hot append stream).
+//! * **In-memory index** — a `BTreeMap` from key to (segment, offset)
+//!   resolves every lookup with at most one device read. KVell keeps
+//!   its index in RAM and accepts the memory cost; so do we.
+//! * **Fast random puts/gets, expensive scans** — a range scan walks
+//!   the index in order but pays one *random* device read per entry,
+//!   the exact trade-off KVell documents for scan-heavy workloads.
+//! * **Garbage collection by segment rewrite** — overwritten and
+//!   deleted records make a segment's garbage ratio grow; the engine
+//!   rewrites the victim's live records into the active segment and
+//!   deletes the file (space reclamation without global sorting).
+//!
+//! Durability: records carry a global sequence number, and
+//! [`HashLogDb::recover`] replays every segment applying records in
+//! sequence order, so the newest version of each key wins regardless of
+//! GC-induced relocation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod db;
+mod options;
+mod record;
+
+pub use db::{HashLogDb, HashLogEngine, HashLogStats, IndexScan};
+pub use options::HashLogOptions;
+
+use ptsbench_core::engine::PtsError;
+use ptsbench_core::registry::{
+    EngineDescriptor, EngineKind, EngineRegistry, EngineTuning, Lifecycle,
+};
+use ptsbench_core::PtsEngine;
+use ptsbench_vfs::Vfs;
+
+/// Registry label of this engine.
+pub const LABEL: &str = "hashlog";
+
+/// Errors surfaced by the hash-log engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HashLogError {
+    /// Underlying filesystem/device error (`NoSpace` maps to the
+    /// uniform out-of-space condition).
+    Vfs(ptsbench_vfs::VfsError),
+    /// An on-disk record failed validation.
+    Corruption(String),
+}
+
+impl From<ptsbench_vfs::VfsError> for HashLogError {
+    fn from(e: ptsbench_vfs::VfsError) -> Self {
+        HashLogError::Vfs(e)
+    }
+}
+
+impl HashLogError {
+    /// Whether this is the out-of-space condition.
+    pub fn is_out_of_space(&self) -> bool {
+        matches!(
+            self,
+            HashLogError::Vfs(ptsbench_vfs::VfsError::NoSpace { .. })
+        )
+    }
+}
+
+impl std::fmt::Display for HashLogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HashLogError::Vfs(e) => write!(f, "filesystem error: {e}"),
+            HashLogError::Corruption(msg) => write!(f, "corruption: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HashLogError {}
+
+impl From<HashLogError> for PtsError {
+    fn from(e: HashLogError) -> Self {
+        if e.is_out_of_space() {
+            PtsError::OutOfSpace
+        } else {
+            PtsError::engine(LABEL, e)
+        }
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, HashLogError>;
+
+/// Registers the hash-log engine with the global engine registry and
+/// returns its handle. Idempotent; call it once before resolving the
+/// engine by label.
+pub fn register() -> EngineKind {
+    EngineRegistry::register(EngineDescriptor {
+        name: "Hash log (KVell-like)",
+        label: LABEL,
+        // KVell's shared-nothing design is far less CPU- and
+        // synchronization-bound than either tree (§4.1): no memtable
+        // sorting, no page latching — an index update plus one append.
+        default_cpu_cost_ns: 5_000,
+        build: build_hashlog,
+    })
+}
+
+fn build_hashlog(
+    vfs: Vfs,
+    tuning: &EngineTuning,
+    lifecycle: Lifecycle,
+) -> std::result::Result<Box<dyn PtsEngine>, PtsError> {
+    let opts = HashLogOptions::scaled_to_partition(tuning.device_bytes);
+    let db = match lifecycle {
+        Lifecycle::Open => HashLogDb::open(vfs, opts),
+        Lifecycle::Recover => HashLogDb::recover(vfs, opts),
+    }?;
+    Ok(Box::new(HashLogEngine(db)))
+}

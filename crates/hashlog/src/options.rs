@@ -1,0 +1,84 @@
+//! Engine tuning knobs.
+
+/// Configuration of a [`crate::HashLogDb`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HashLogOptions {
+    /// Target size of one log segment; the active segment seals and a
+    /// new one opens once it grows past this.
+    pub segment_bytes: u64,
+    /// Garbage collection starts when garbage across sealed segments
+    /// exceeds this fraction of total log bytes.
+    pub gc_garbage_fraction: f64,
+    /// A sealed segment is only a GC victim once at least this fraction
+    /// of it is garbage (avoids rewriting mostly-live segments).
+    pub min_victim_garbage: f64,
+}
+
+impl Default for HashLogOptions {
+    fn default() -> Self {
+        Self {
+            segment_bytes: 4 << 20,
+            gc_garbage_fraction: 0.30,
+            min_victim_garbage: 0.25,
+        }
+    }
+}
+
+impl HashLogOptions {
+    /// A small configuration for unit tests (tiny segments so sealing
+    /// and GC happen after a handful of writes).
+    pub fn small() -> Self {
+        Self {
+            segment_bytes: 32 << 10,
+            ..Self::default()
+        }
+    }
+
+    /// Scales the segment size to the drive capacity (1/64th of the
+    /// drive, clamped), symmetric with the other engines'
+    /// `scaled_to_partition` constructors: sizing follows the *drive*
+    /// capacity, not the partition, so software over-provisioning does
+    /// not change engine structure (§4.6).
+    pub fn scaled_to_partition(device_bytes: u64) -> Self {
+        Self {
+            segment_bytes: (device_bytes / 64).clamp(64 << 10, 16 << 20),
+            ..Self::default()
+        }
+    }
+
+    /// Validates option consistency; panics with a description on error.
+    pub fn validate(&self) {
+        assert!(
+            self.segment_bytes >= 4 << 10,
+            "segments unrealistically small"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.gc_garbage_fraction),
+            "gc trigger must be a fraction"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.min_victim_garbage),
+            "victim threshold must be a fraction"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        HashLogOptions::default().validate();
+        HashLogOptions::small().validate();
+    }
+
+    #[test]
+    fn scaling_tracks_device() {
+        let o = HashLogOptions::scaled_to_partition(256 << 20);
+        assert_eq!(o.segment_bytes, 4 << 20);
+        o.validate();
+        let tiny = HashLogOptions::scaled_to_partition(1 << 20);
+        assert_eq!(tiny.segment_bytes, 64 << 10, "clamped at the floor");
+    }
+}

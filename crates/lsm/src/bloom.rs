@@ -18,8 +18,11 @@ impl BloomFilter {
         let n = keys.len().max(1) as u64;
         let num_bits = (n * bits_per_key as u64).max(64);
         let num_probes = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
-        let mut filter =
-            Self { bits: vec![0; num_bits.div_ceil(64) as usize], num_bits, num_probes };
+        let mut filter = Self {
+            bits: vec![0; num_bits.div_ceil(64) as usize],
+            num_bits,
+            num_probes,
+        };
         for k in keys {
             filter.insert(k.as_ref());
         }
@@ -76,7 +79,11 @@ impl BloomFilter {
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
             .collect();
-        Some(Self { bits, num_bits, num_probes })
+        Some(Self {
+            bits,
+            num_bits,
+            num_probes,
+        })
     }
 }
 
@@ -115,7 +122,10 @@ mod tests {
             .filter(|i| f.may_contain(&i.to_le_bytes()))
             .count();
         let rate = fp as f64 / 10_000.0;
-        assert!(rate < 0.03, "false-positive rate {rate} too high for 10 bits/key");
+        assert!(
+            rate < 0.03,
+            "false-positive rate {rate} too high for 10 bits/key"
+        );
     }
 
     #[test]
@@ -127,7 +137,10 @@ mod tests {
         assert_eq!(buf.len(), f.encoded_len());
         let g = BloomFilter::decode(&buf).expect("decode");
         assert_eq!(f, g);
-        assert!(BloomFilter::decode(&buf[..5]).is_none(), "truncated input rejected");
+        assert!(
+            BloomFilter::decode(&buf[..5]).is_none(),
+            "truncated input rejected"
+        );
     }
 
     #[test]

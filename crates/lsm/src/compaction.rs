@@ -35,12 +35,20 @@ pub struct CompactionTask {
 impl CompactionTask {
     /// Total input bytes (both levels).
     pub fn input_bytes(&self) -> u64 {
-        self.inputs.iter().chain(&self.overlaps).map(|h| h.meta.file_bytes).sum()
+        self.inputs
+            .iter()
+            .chain(&self.overlaps)
+            .map(|h| h.meta.file_bytes)
+            .sum()
     }
 
     /// Names of every input table (for the manifest edit).
     pub fn input_names(&self) -> Vec<String> {
-        self.inputs.iter().chain(&self.overlaps).map(|h| h.meta.name.clone()).collect()
+        self.inputs
+            .iter()
+            .chain(&self.overlaps)
+            .map(|h| h.meta.name.clone())
+            .collect()
     }
 }
 
@@ -78,10 +86,23 @@ pub fn pick(version: &Version, opts: &LsmOptions, cursors: &mut [usize]) -> Opti
     if l0.len() >= opts.l0_compaction_trigger {
         let mut inputs: Vec<Arc<TableHandle>> = l0.to_vec();
         inputs.reverse(); // newest first
-        let min = inputs.iter().map(|h| h.meta.min_key.clone()).min().expect("non-empty L0");
-        let max = inputs.iter().map(|h| h.meta.max_key.clone()).max().expect("non-empty L0");
+        let min = inputs
+            .iter()
+            .map(|h| h.meta.min_key.clone())
+            .min()
+            .expect("non-empty L0");
+        let max = inputs
+            .iter()
+            .map(|h| h.meta.max_key.clone())
+            .max()
+            .expect("non-empty L0");
         let overlaps = version.overlapping(1, &min, &max);
-        return Some(CompactionTask { source_level: 0, target_level: 1, inputs, overlaps });
+        return Some(CompactionTask {
+            source_level: 0,
+            target_level: 1,
+            inputs,
+            overlaps,
+        });
     }
 
     // Priority 2: level size targets (dynamic; the deepest non-empty
@@ -134,7 +155,12 @@ mod tests {
     }
 
     fn opts() -> LsmOptions {
-        LsmOptions { l0_compaction_trigger: 3, l1_target_bytes: 8 << 10, level_size_multiplier: 4, ..LsmOptions::small() }
+        LsmOptions {
+            l0_compaction_trigger: 3,
+            l1_target_bytes: 8 << 10,
+            level_size_multiplier: 4,
+            ..LsmOptions::small()
+        }
     }
 
     #[test]
@@ -165,7 +191,15 @@ mod tests {
     fn l0_picks_up_overlapping_l1() {
         let fs = vfs();
         let mut v = Version::new(4);
-        v.apply_compaction(0, 1, &[], vec![table(&fs, "l1a", "a", "f", 10), table(&fs, "l1b", "x", "z", 10)]);
+        v.apply_compaction(
+            0,
+            1,
+            &[],
+            vec![
+                table(&fs, "l1a", "a", "f", 10),
+                table(&fs, "l1b", "x", "z", 10),
+            ],
+        );
         v.push_l0(table(&fs, "t1", "a", "c", 10));
         v.push_l0(table(&fs, "t2", "b", "d", 10));
         v.push_l0(table(&fs, "t3", "a", "e", 10));
@@ -209,7 +243,10 @@ mod tests {
         let mut v = Version::new(3); // L0, L1, L2
         v.apply_compaction(0, 2, &[], vec![table(&fs, "deep", "a", "z", 200_000)]);
         let mut cursors = vec![0; 3];
-        assert!(pick(&v, &opts(), &mut cursors).is_none(), "deepest level is exempt");
+        assert!(
+            pick(&v, &opts(), &mut cursors).is_none(),
+            "deepest level is exempt"
+        );
     }
 
     #[test]

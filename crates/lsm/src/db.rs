@@ -67,7 +67,11 @@ impl LsmDb {
     /// Opens a fresh database on the filesystem.
     pub fn open(vfs: Vfs, opts: LsmOptions) -> Result<Self> {
         opts.validate();
-        let wal = if opts.wal_enabled { Some(Wal::create(vfs.clone(), opts.recycle_wal)?) } else { None };
+        let wal = if opts.wal_enabled {
+            Some(Wal::create(vfs.clone(), opts.recycle_wal)?)
+        } else {
+            None
+        };
         let manifest = Manifest::create(vfs.clone())?;
         Ok(Self {
             memtable: Memtable::new(),
@@ -126,7 +130,11 @@ impl LsmDb {
         }
         version.check_invariants();
 
-        let records = if opts.wal_enabled { Wal::replay(&vfs)? } else { Vec::new() };
+        let records = if opts.wal_enabled {
+            Wal::replay(&vfs)?
+        } else {
+            Vec::new()
+        };
         let wal = if opts.wal_enabled {
             Some(Wal::open_or_create(vfs.clone(), opts.recycle_wal)?)
         } else {
@@ -227,17 +235,17 @@ impl LsmDb {
         Ok(None)
     }
 
-    /// Range scan: live entries with `start <= key < end` (`end` `None` =
-    /// unbounded), up to `limit` results.
-    pub fn scan(
-        &mut self,
-        start: &[u8],
-        end: Option<&[u8]>,
-        limit: usize,
-    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    /// Streaming range scan: live entries with `start <= key < end`
+    /// (`end` `None` = unbounded), up to `limit` results, yielded in key
+    /// order without materializing the result set. Each step pulls at
+    /// most one entry per source through the k-way merge, so memory
+    /// stays proportional to the number of sources, not the range.
+    pub fn scan_iter(&self, start: &[u8], end: Option<&[u8]>, limit: usize) -> RangeScan<'_> {
         let mut sources: Vec<EntryStream<'_>> = Vec::new();
         sources.push(Box::new(
-            self.memtable.range(start, end).map(|(k, v)| (k.to_vec(), v.clone())),
+            self.memtable
+                .range(start, end)
+                .map(|(k, v)| (k.to_vec(), v.clone())),
         ));
         for handle in self.version.tables(0).iter().rev() {
             sources.push(Box::new(handle.reader.iter_from(start)));
@@ -253,22 +261,21 @@ impl LsmDb {
             }
             sources.push(chained);
         }
-        let merge = KWayMerge::new(sources);
-        let mut out = Vec::new();
-        for (k, v) in merge {
-            if let Some(e) = end {
-                if k.as_slice() >= e {
-                    break;
-                }
-            }
-            if let Some(v) = v {
-                out.push((k, v));
-                if out.len() >= limit {
-                    break;
-                }
-            }
+        RangeScan {
+            merge: KWayMerge::new(sources),
+            end: end.map(|e| e.to_vec()),
+            remaining: limit,
         }
-        Ok(out)
+    }
+
+    /// Range scan materialized into a vector (see [`LsmDb::scan_iter`]).
+    pub fn scan(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        Ok(self.scan_iter(start, end, limit).collect())
     }
 
     /// Forces buffered write-ahead-log records onto the device and
@@ -309,10 +316,23 @@ impl LsmDb {
             if top == 0 {
                 inputs.reverse(); // newest first
             }
-            let min = inputs.iter().map(|h| h.meta.min_key.clone()).min().expect("non-empty");
-            let max = inputs.iter().map(|h| h.meta.max_key.clone()).max().expect("non-empty");
+            let min = inputs
+                .iter()
+                .map(|h| h.meta.min_key.clone())
+                .min()
+                .expect("non-empty");
+            let max = inputs
+                .iter()
+                .map(|h| h.meta.max_key.clone())
+                .max()
+                .expect("non-empty");
             let overlaps = self.version.overlapping(top + 1, &min, &max);
-            let task = CompactionTask { source_level: top, target_level: top + 1, inputs, overlaps };
+            let task = CompactionTask {
+                source_level: top,
+                target_level: top + 1,
+                inputs,
+                overlaps,
+            };
             if self.is_trivial_move(&task) {
                 self.apply_trivial_move(task)?;
             } else {
@@ -389,8 +409,7 @@ impl LsmDb {
         let budget = self.opts.compaction_budget_factor * self.opts.memtable_bytes;
         let mut spent: u64 = 0;
         while let Some(task) = pick(&self.version, &self.opts, &mut self.cursors) {
-            let l0_backed_up =
-                self.version.tables(0).len() >= 2 * self.opts.l0_compaction_trigger;
+            let l0_backed_up = self.version.tables(0).len() >= 2 * self.opts.l0_compaction_trigger;
             if spent >= budget && !l0_backed_up {
                 break;
             }
@@ -422,8 +441,16 @@ impl LsmDb {
         // Descend to the deepest level the files do not overlap (RocksDB
         // moves to the bottom-most possible level, which is why a
         // sequential fill ends with empty upper levels).
-        let min = moved.iter().map(|h| h.meta.min_key.clone()).min().expect("non-empty inputs");
-        let max = moved.iter().map(|h| h.meta.max_key.clone()).max().expect("non-empty inputs");
+        let min = moved
+            .iter()
+            .map(|h| h.meta.min_key.clone())
+            .min()
+            .expect("non-empty inputs");
+        let max = moved
+            .iter()
+            .map(|h| h.meta.max_key.clone())
+            .max()
+            .expect("non-empty inputs");
         let mut target = task.target_level;
         while target + 1 < self.version.level_count()
             && self.version.overlapping(target + 1, &min, &max).is_empty()
@@ -435,7 +462,8 @@ impl LsmDb {
             self.manifest.log_add(target, name);
         }
         self.manifest.commit()?;
-        self.version.apply_compaction(task.source_level, target, &names, moved);
+        self.version
+            .apply_compaction(task.source_level, target, &names, moved);
         self.stats.trivial_moves += names.len() as u64;
         Ok(())
     }
@@ -535,7 +563,8 @@ impl LsmDb {
             added.push(Arc::new(TableHandle { meta, reader }));
         }
         self.manifest.commit()?;
-        self.version.apply_compaction(task.source_level, task.target_level, &input_names, added);
+        self.version
+            .apply_compaction(task.source_level, task.target_level, &input_names, added);
         for name in &input_names {
             self.vfs.delete(name)?;
         }
@@ -543,6 +572,39 @@ impl LsmDb {
         self.stats.compaction_bytes_read += input_bytes;
         self.stats.compaction_bytes_written += output_bytes;
         Ok(())
+    }
+}
+
+/// Streaming cursor returned by [`LsmDb::scan_iter`]: merges the
+/// memtable and all table levels lazily, filtering tombstones and
+/// shadowed versions, and stops at the end bound or the limit.
+pub struct RangeScan<'a> {
+    merge: KWayMerge<'a>,
+    end: Option<Vec<u8>>,
+    remaining: usize,
+}
+
+impl Iterator for RangeScan<'_> {
+    type Item = (Vec<u8>, Vec<u8>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        for (key, value) in self.merge.by_ref() {
+            if let Some(end) = &self.end {
+                if key.as_slice() >= end.as_slice() {
+                    self.remaining = 0;
+                    return None;
+                }
+            }
+            if let Some(value) = value {
+                self.remaining -= 1;
+                return Some((key, value));
+            }
+        }
+        self.remaining = 0;
+        None
     }
 }
 
@@ -585,7 +647,11 @@ mod tests {
         assert!(db.memtable.is_empty());
         assert!(db.version.table_count() > 0);
         for i in (0..100).step_by(7) {
-            assert_eq!(db.get(&key(i)).expect("get"), Some(vec![i as u8; 200]), "key {i}");
+            assert_eq!(
+                db.get(&key(i)).expect("get"),
+                Some(vec![i as u8; 200]),
+                "key {i}"
+            );
         }
     }
 
@@ -644,14 +710,22 @@ mod tests {
                     model.remove(&k);
                 }
                 _ => {
-                    assert_eq!(db.get(&k).expect("get"), model.get(&k).cloned(), "step {step}");
+                    assert_eq!(
+                        db.get(&k).expect("get"),
+                        model.get(&k).cloned(),
+                        "step {step}"
+                    );
                 }
             }
         }
         // Final sweep.
         for i in 0..300u32 {
             let k = key(i);
-            assert_eq!(db.get(&k).expect("get"), model.get(&k).cloned(), "final key {i}");
+            assert_eq!(
+                db.get(&k).expect("get"),
+                model.get(&k).cloned(),
+                "final key {i}"
+            );
         }
     }
 
@@ -669,9 +743,17 @@ mod tests {
         let items = db.scan(&key(5), Some(&key(15)), 100).expect("scan");
         let keys: Vec<u32> = items
             .iter()
-            .map(|(k, _)| String::from_utf8_lossy(&k[3..]).parse::<u32>().expect("numeric"))
+            .map(|(k, _)| {
+                String::from_utf8_lossy(&k[3..])
+                    .parse::<u32>()
+                    .expect("numeric")
+            })
             .collect();
-        assert_eq!(keys, vec![5, 6, 7, 8, 9, 11, 12, 13, 14], "sorted, no deleted key 10");
+        assert_eq!(
+            keys,
+            vec![5, 6, 7, 8, 9, 11, 12, 13, 14],
+            "sorted, no deleted key 10"
+        );
         // Limit respected.
         assert_eq!(db.scan(b"key", None, 7).expect("scan").len(), 7);
     }
@@ -693,7 +775,10 @@ mod tests {
                 Err(e) => panic!("unexpected error: {e}"),
             }
         }
-        assert!(saw_enospc, "small device must eventually fill (the paper's RocksDB OOS)");
+        assert!(
+            saw_enospc,
+            "small device must eventually fill (the paper's RocksDB OOS)"
+        );
         // Reads still work after ENOSPC.
         let _ = db.get(&key(1)).expect("get after enospc");
     }
@@ -716,13 +801,20 @@ mod tests {
         // Tombstones were dropped and reads are exact.
         for i in 0..400u32 {
             let expect = (i % 2 == 1).then_some(()); // odd keys survive
-            assert_eq!(db.get(&key(i)).expect("get").is_some(), expect.is_some(), "key {i}");
+            assert_eq!(
+                db.get(&key(i)).expect("get").is_some(),
+                expect.is_some(),
+                "key {i}"
+            );
         }
         let scanned = db.scan(b"", None, usize::MAX).expect("scan");
         assert_eq!(scanned.len(), 200);
         db.version.check_invariants();
         // Space collapsed to ~one copy of the live data.
-        let live: u64 = scanned.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
+        let live: u64 = scanned
+            .iter()
+            .map(|(k, v)| (k.len() + v.len()) as u64)
+            .sum();
         let on_disk: u64 = db.level_summary().iter().map(|(_, _, b)| b).sum();
         assert!(on_disk < live * 2, "on-disk {on_disk} vs live {live}");
     }
@@ -731,8 +823,14 @@ mod tests {
     fn wal_disabled_mode() {
         let ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 32 << 20));
         let vfs = Vfs::whole_device(ssd.into_shared(), VfsOptions::default());
-        let mut db =
-            LsmDb::open(vfs, LsmOptions { wal_enabled: false, ..LsmOptions::small() }).expect("open");
+        let mut db = LsmDb::open(
+            vfs,
+            LsmOptions {
+                wal_enabled: false,
+                ..LsmOptions::small()
+            },
+        )
+        .expect("open");
         db.put(b"k", b"v").expect("put");
         assert_eq!(db.get(b"k").expect("get"), Some(b"v".to_vec()));
     }

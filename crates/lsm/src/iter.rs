@@ -32,7 +32,10 @@ impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for min-ordering by
         // (key, source): smaller key first, then newer source.
-        other.key.cmp(&self.key).then(other.source.cmp(&self.source))
+        other
+            .key
+            .cmp(&self.key)
+            .then(other.source.cmp(&self.source))
     }
 }
 
@@ -45,7 +48,10 @@ pub struct KWayMerge<'a> {
 impl<'a> KWayMerge<'a> {
     /// Builds a merge over `sources` (index 0 = newest).
     pub fn new(sources: Vec<EntryStream<'a>>) -> Self {
-        let mut merge = Self { sources, heap: BinaryHeap::new() };
+        let mut merge = Self {
+            sources,
+            heap: BinaryHeap::new(),
+        };
         for i in 0..merge.sources.len() {
             merge.refill(i);
         }
@@ -100,7 +106,10 @@ mod tests {
             stream(vec![("a", Some("3")), ("c", Some("4"))]),
         ]);
         let keys: Vec<Vec<u8>> = m.map(|(k, _)| k).collect();
-        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+        assert_eq!(
+            keys,
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]
+        );
     }
 
     #[test]
@@ -127,11 +136,25 @@ mod tests {
     fn three_way_with_interleaved_duplicates() {
         let m = KWayMerge::new(vec![
             stream(vec![("b", Some("B0")), ("e", None)]),
-            stream(vec![("a", Some("A1")), ("b", Some("B1")), ("d", Some("D1"))]),
-            stream(vec![("b", Some("B2")), ("c", Some("C2")), ("e", Some("E2"))]),
+            stream(vec![
+                ("a", Some("A1")),
+                ("b", Some("B1")),
+                ("d", Some("D1")),
+            ]),
+            stream(vec![
+                ("b", Some("B2")),
+                ("c", Some("C2")),
+                ("e", Some("E2")),
+            ]),
         ]);
-        let items: Vec<_> =
-            m.map(|(k, v)| (String::from_utf8(k).expect("utf8"), v.map(|v| String::from_utf8(v).expect("utf8")))).collect();
+        let items: Vec<_> = m
+            .map(|(k, v)| {
+                (
+                    String::from_utf8(k).expect("utf8"),
+                    v.map(|v| String::from_utf8(v).expect("utf8")),
+                )
+            })
+            .collect();
         assert_eq!(
             items,
             vec![
@@ -146,7 +169,11 @@ mod tests {
 
     #[test]
     fn empty_sources() {
-        let m = KWayMerge::new(vec![stream(vec![]), stream(vec![("a", Some("1"))]), stream(vec![])]);
+        let m = KWayMerge::new(vec![
+            stream(vec![]),
+            stream(vec![("a", Some("1"))]),
+            stream(vec![]),
+        ]);
         assert_eq!(m.count(), 1);
         let m = KWayMerge::new(vec![]);
         assert_eq!(m.count(), 0);

@@ -43,7 +43,7 @@ pub mod sstable;
 pub mod version;
 pub mod wal;
 
-pub use db::{DbStats, LsmDb};
+pub use db::{DbStats, LsmDb, RangeScan};
 pub use options::LsmOptions;
 
 /// Errors surfaced by the LSM engine.

@@ -31,13 +31,21 @@ impl Manifest {
     /// Creates a fresh manifest (fails if one exists).
     pub fn create(vfs: Vfs) -> Result<Self> {
         let file = vfs.create(MANIFEST_NAME)?;
-        Ok(Self { vfs, file, buffer: String::new() })
+        Ok(Self {
+            vfs,
+            file,
+            buffer: String::new(),
+        })
     }
 
     /// Opens the existing manifest for appending.
     pub fn open(vfs: Vfs) -> Result<Self> {
         let file = vfs.open(MANIFEST_NAME)?;
-        Ok(Self { vfs, file, buffer: String::new() })
+        Ok(Self {
+            vfs,
+            file,
+            buffer: String::new(),
+        })
     }
 
     /// Whether a manifest exists on this filesystem.
@@ -88,8 +96,11 @@ impl Manifest {
             let mut parts = line.split(' ');
             match parts.next() {
                 Some("add") => {
-                    let level: usize =
-                        parts.next().ok_or_else(corrupt)?.parse().map_err(|_| corrupt())?;
+                    let level: usize = parts
+                        .next()
+                        .ok_or_else(corrupt)?
+                        .parse()
+                        .map_err(|_| corrupt())?;
                     let name = parts.next().ok_or_else(corrupt)?.to_string();
                     if let Some(n) = name.strip_prefix("sst-") {
                         if let Ok(n) = n.parse::<u64>() {
@@ -145,7 +156,13 @@ mod tests {
         m.commit().expect("commit");
 
         let (live, next) = Manifest::replay(&v).expect("replay");
-        assert_eq!(live, vec![(0, "sst-00000001".to_string()), (1, "sst-00000002".to_string())]);
+        assert_eq!(
+            live,
+            vec![
+                (0, "sst-00000001".to_string()),
+                (1, "sst-00000002".to_string())
+            ]
+        );
         assert_eq!(next, 3);
     }
 

@@ -109,13 +109,19 @@ impl LsmOptions {
 
     /// Validates option consistency; panics with a description on error.
     pub fn validate(&self) {
-        assert!(self.memtable_bytes >= 4 << 10, "memtable unrealistically small");
+        assert!(
+            self.memtable_bytes >= 4 << 10,
+            "memtable unrealistically small"
+        );
         assert!(self.l0_compaction_trigger >= 2);
         assert!(self.l1_target_bytes >= self.memtable_bytes);
         assert!(self.level_size_multiplier >= 2);
         assert!((1..=8).contains(&self.max_levels));
         assert!(self.block_bytes >= 512);
-        assert!(self.compaction_budget_factor >= 2, "budget must cover at least an L0 merge");
+        assert!(
+            self.compaction_budget_factor >= 2,
+            "budget must cover at least an L0 merge"
+        );
     }
 }
 
@@ -131,7 +137,11 @@ mod tests {
 
     #[test]
     fn level_targets_grow_geometrically() {
-        let o = LsmOptions { l1_target_bytes: 100, level_size_multiplier: 10, ..Default::default() };
+        let o = LsmOptions {
+            l1_target_bytes: 100,
+            level_size_multiplier: 10,
+            ..Default::default()
+        };
         assert_eq!(o.level_target_bytes(1), 100);
         assert_eq!(o.level_target_bytes(2), 1_000);
         assert_eq!(o.level_target_bytes(4), 100_000);

@@ -42,13 +42,23 @@ pub struct SstableBuilder {
 
 impl SstableBuilder {
     /// Creates the output file and an empty builder (foreground I/O).
-    pub fn create(vfs: Vfs, name: &str, block_bytes: usize, bloom_bits_per_key: u32) -> Result<Self> {
+    pub fn create(
+        vfs: Vfs,
+        name: &str,
+        block_bytes: usize,
+        bloom_bits_per_key: u32,
+    ) -> Result<Self> {
         Self::create_opts(vfs, name, block_bytes, bloom_bits_per_key, false)
     }
 
     /// Creates a builder whose writes are issued by a background thread
     /// (device-queued, non-blocking).
-    pub fn create_bg(vfs: Vfs, name: &str, block_bytes: usize, bloom_bits_per_key: u32) -> Result<Self> {
+    pub fn create_bg(
+        vfs: Vfs,
+        name: &str,
+        block_bytes: usize,
+        bloom_bits_per_key: u32,
+    ) -> Result<Self> {
         Self::create_opts(vfs, name, block_bytes, bloom_bits_per_key, true)
     }
 
@@ -133,7 +143,10 @@ impl SstableBuilder {
         }
         let offset = self.flushed_bytes + self.pending.len() as u64;
         self.index.push(IndexEntry {
-            first_key: self.block_first_key.take().expect("non-empty block has a first key"),
+            first_key: self
+                .block_first_key
+                .take()
+                .expect("non-empty block has a first key"),
             offset,
             len: self.block.len() as u32,
             entries: self.block_entries,
@@ -161,7 +174,9 @@ impl SstableBuilder {
         if self.entries == 0 {
             // An empty table is a caller bug upstream; fail cleanly.
             self.vfs.delete(&self.name)?;
-            return Err(LsmError::Corruption("refusing to write empty SSTable".into()));
+            return Err(LsmError::Corruption(
+                "refusing to write empty SSTable".into(),
+            ));
         }
         self.seal_block()?;
         let mut tail = std::mem::take(&mut self.pending);
@@ -244,7 +259,10 @@ mod tests {
         assert_eq!(meta.entries, 100);
         assert_eq!(meta.min_key, b"key00000");
         assert_eq!(meta.max_key, b"key00099");
-        assert_eq!(meta.file_bytes, v.size(v.open("sst-1").expect("open")).expect("size"));
+        assert_eq!(
+            meta.file_bytes,
+            v.size(v.open("sst-1").expect("open")).expect("size")
+        );
         assert!(meta.file_bytes > 100 * 50);
     }
 

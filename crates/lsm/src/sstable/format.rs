@@ -134,7 +134,12 @@ pub fn decode_index(buf: &[u8]) -> Result<Vec<IndexEntry>, LsmError> {
         pos += 4;
         let entries = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes"));
         pos += 4;
-        out.push(IndexEntry { first_key, offset, len, entries });
+        out.push(IndexEntry {
+            first_key,
+            offset,
+            len,
+            entries,
+        });
     }
     Ok(out)
 }
@@ -223,8 +228,18 @@ mod tests {
     #[test]
     fn index_round_trip() {
         let entries = vec![
-            IndexEntry { first_key: b"aaa".to_vec(), offset: 0, len: 4096, entries: 10 },
-            IndexEntry { first_key: b"mmm".to_vec(), offset: 4096, len: 2048, entries: 5 },
+            IndexEntry {
+                first_key: b"aaa".to_vec(),
+                offset: 0,
+                len: 4096,
+                entries: 10,
+            },
+            IndexEntry {
+                first_key: b"mmm".to_vec(),
+                offset: 4096,
+                len: 2048,
+                entries: 5,
+            },
         ];
         let mut buf = Vec::new();
         encode_index(&entries, &mut buf);
@@ -234,7 +249,14 @@ mod tests {
 
     #[test]
     fn footer_round_trip() {
-        let f = Footer { index_off: 1000, index_len: 64, bloom_off: 1064, bloom_len: 32, entries: 77, reserved: 0 };
+        let f = Footer {
+            index_off: 1000,
+            index_len: 64,
+            bloom_off: 1064,
+            bloom_len: 32,
+            entries: 77,
+            reserved: 0,
+        };
         let mut buf = Vec::new();
         f.encode(&mut buf);
         assert_eq!(buf.len(), FOOTER_LEN);

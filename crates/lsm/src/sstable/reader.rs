@@ -55,7 +55,9 @@ impl SstableReader {
         let file = vfs.open(name)?;
         let file_bytes = vfs.size(file)?;
         if (file_bytes as usize) < FOOTER_LEN {
-            return Err(LsmError::Corruption(format!("{name}: too small ({file_bytes} bytes)")));
+            return Err(LsmError::Corruption(format!(
+                "{name}: too small ({file_bytes} bytes)"
+            )));
         }
         let footer_buf = read(file_bytes - FOOTER_LEN as u64, FOOTER_LEN)?;
         let footer = Footer::decode(&footer_buf)?;
@@ -70,7 +72,15 @@ impl SstableReader {
         } else {
             None
         };
-        Ok(Self { vfs, file, name: name.to_string(), index, bloom, entries: footer.entries, file_bytes })
+        Ok(Self {
+            vfs,
+            file,
+            name: name.to_string(),
+            index,
+            bloom,
+            entries: footer.entries,
+            file_bytes,
+        })
     }
 
     /// Table name.
@@ -98,7 +108,9 @@ impl SstableReader {
         let Some(block) = self.index.last() else {
             return Ok(None);
         };
-        let buf = self.vfs.read_at(self.file, block.offset, block.len as usize)?;
+        let buf = self
+            .vfs
+            .read_at(self.file, block.offset, block.len as usize)?;
         let mut pos = 0;
         let mut last = None;
         for _ in 0..block.entries {
@@ -118,12 +130,16 @@ impl SstableReader {
             }
         }
         // Last block whose first key <= key.
-        let idx = self.index.partition_point(|e| e.first_key.as_slice() <= key);
+        let idx = self
+            .index
+            .partition_point(|e| e.first_key.as_slice() <= key);
         if idx == 0 {
             return Ok(None);
         }
         let block = &self.index[idx - 1];
-        let buf = self.vfs.read_at(self.file, block.offset, block.len as usize)?;
+        let buf = self
+            .vfs
+            .read_at(self.file, block.offset, block.len as usize)?;
         let mut pos = 0;
         for _ in 0..block.entries {
             let (k, v, next) = decode_entry(&buf, pos)?;
@@ -143,18 +159,34 @@ impl SstableReader {
     /// readahead), paying the per-command latency once per chunk rather
     /// than once per 4 KiB block.
     pub fn iter(&self) -> SstIter<'_> {
-        SstIter { reader: self, next_block: 0, buf: Vec::new(), pos: 0, remaining: 0, background: false }
+        SstIter {
+            reader: self,
+            next_block: 0,
+            buf: Vec::new(),
+            pos: 0,
+            remaining: 0,
+            background: false,
+        }
     }
 
     /// Full scan with background I/O (compaction threads): reads consume
     /// media bandwidth without advancing the simulated clock.
     pub fn iter_bg(&self) -> SstIter<'_> {
-        SstIter { reader: self, next_block: 0, buf: Vec::new(), pos: 0, remaining: 0, background: true }
+        SstIter {
+            reader: self,
+            next_block: 0,
+            buf: Vec::new(),
+            pos: 0,
+            remaining: 0,
+            background: true,
+        }
     }
 
     /// Scan starting at the first key >= `start`.
     pub fn iter_from(&self, start: &[u8]) -> SstIter<'_> {
-        let idx = self.index.partition_point(|e| e.first_key.as_slice() <= start);
+        let idx = self
+            .index
+            .partition_point(|e| e.first_key.as_slice() <= start);
         let next_block = idx.saturating_sub(1);
         let mut it = SstIter {
             reader: self,
@@ -285,7 +317,8 @@ mod tests {
             if i % 10 == 3 {
                 b.add(key.as_bytes(), None).expect("add tombstone");
             } else {
-                b.add(key.as_bytes(), Some(format!("value{}", i).as_bytes())).expect("add");
+                b.add(key.as_bytes(), Some(format!("value{}", i).as_bytes()))
+                    .expect("add");
             }
         }
         b.finish().expect("finish");
@@ -358,7 +391,11 @@ mod tests {
         }
         let after = v.ssd().lock().smart().host_pages_read;
         // ~1% fp rate: at most a couple of the 100 lookups may read.
-        assert!(after - before <= 10, "bloom should stop absent-key reads, got {}", after - before);
+        assert!(
+            after - before <= 10,
+            "bloom should stop absent-key reads, got {}",
+            after - before
+        );
     }
 
     #[test]
@@ -366,6 +403,9 @@ mod tests {
         let v = vfs();
         let f = v.create("sst-bad").expect("create");
         v.write_at(f, 0, &[0u8; 100]).expect("write");
-        assert!(matches!(SstableReader::open(v, "sst-bad"), Err(LsmError::Corruption(_))));
+        assert!(matches!(
+            SstableReader::open(v, "sst-bad"),
+            Err(LsmError::Corruption(_))
+        ));
     }
 }

@@ -29,7 +29,9 @@ impl Version {
     /// An empty manifest with `max_levels` levels (including L0).
     pub fn new(max_levels: usize) -> Self {
         assert!(max_levels >= 2, "need at least L0 and L1");
-        Self { levels: vec![Vec::new(); max_levels] }
+        Self {
+            levels: vec![Vec::new(); max_levels],
+        }
     }
 
     /// Number of levels (including L0).
@@ -64,7 +66,9 @@ impl Version {
 
     /// Deepest level index holding any table, or `None` when empty.
     pub fn deepest_nonempty(&self) -> Option<usize> {
-        (0..self.levels.len()).rev().find(|&l| !self.levels[l].is_empty())
+        (0..self.levels.len())
+            .rev()
+            .find(|&l| !self.levels[l].is_empty())
     }
 
     /// Whether any level deeper than `level` holds data.
@@ -75,7 +79,11 @@ impl Version {
     /// Tables at `level >= 1` overlapping `[min, max]`, in key order.
     pub fn overlapping(&self, level: usize, min: &[u8], max: &[u8]) -> Vec<Arc<TableHandle>> {
         assert!(level >= 1, "L0 requires scanning all tables");
-        self.levels[level].iter().filter(|h| h.meta.overlaps(min, max)).cloned().collect()
+        self.levels[level]
+            .iter()
+            .filter(|h| h.meta.overlaps(min, max))
+            .cloned()
+            .collect()
     }
 
     /// The single table at `level >= 1` that may contain `key`, if any.
@@ -127,7 +135,9 @@ impl Version {
 
     /// Per-level summary: `(level, table count, bytes)`.
     pub fn summary(&self) -> Vec<(usize, usize, u64)> {
-        (0..self.levels.len()).map(|l| (l, self.levels[l].len(), self.bytes_at(l))).collect()
+        (0..self.levels.len())
+            .map(|l| (l, self.levels[l].len(), self.bytes_at(l)))
+            .collect()
     }
 }
 
@@ -193,7 +203,11 @@ mod tests {
             0,
             1,
             &[],
-            vec![handle("g1", b"a", b"f", 5), handle("g2", b"h", b"m", 5), handle("g3", b"p", b"z", 5)],
+            vec![
+                handle("g1", b"a", b"f", 5),
+                handle("g2", b"h", b"m", 5),
+                handle("g3", b"p", b"z", 5),
+            ],
         );
         let o = v.overlapping(1, b"e", b"i");
         assert_eq!(o.len(), 2);

@@ -72,7 +72,8 @@ impl Wal {
 
     fn append_record(&mut self, tag: u8, key: &[u8], value: Option<&[u8]>) -> Result<()> {
         self.buffer.push(tag);
-        self.buffer.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        self.buffer
+            .extend_from_slice(&(key.len() as u32).to_le_bytes());
         let vlen = value.map_or(0, |v| v.len());
         self.buffer.extend_from_slice(&(vlen as u32).to_le_bytes());
         self.buffer.extend_from_slice(key);
@@ -210,7 +211,11 @@ impl Wal {
 fn newest_log(vfs: &Vfs) -> Option<(u64, String)> {
     vfs.list()
         .into_iter()
-        .filter_map(|n| n.strip_prefix("wal-").and_then(|s| s.parse::<u64>().ok()).map(|q| (q, n)))
+        .filter_map(|n| {
+            n.strip_prefix("wal-")
+                .and_then(|s| s.parse::<u64>().ok())
+                .map(|q| (q, n))
+        })
         .max()
 }
 
@@ -257,7 +262,10 @@ mod tests {
         w.sync(false).expect("sync");
         assert!(v.exists("wal-0"));
         w.rotate().expect("rotate");
-        assert!(!v.exists("wal-0"), "non-recycled rotation deletes the old log");
+        assert!(
+            !v.exists("wal-0"),
+            "non-recycled rotation deletes the old log"
+        );
         assert!(v.exists("wal-1"));
         w.rotate().expect("rotate");
         assert!(v.exists("wal-2"));
@@ -277,7 +285,11 @@ mod tests {
         // Refilling the log reuses the same LBAs.
         w.log_put(b"k", &[2u8; 5000]).expect("log");
         w.sync(false).expect("sync");
-        assert_eq!(v.ssd().lock().mapped_pages(), mapped, "recycled log reuses LBAs");
+        assert_eq!(
+            v.ssd().lock().mapped_pages(),
+            mapped,
+            "recycled log reuses LBAs"
+        );
     }
 
     #[test]

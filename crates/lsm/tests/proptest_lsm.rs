@@ -35,7 +35,9 @@ fn key(i: u16) -> Vec<u8> {
 }
 
 fn value(tag: u16, step: usize) -> Vec<u8> {
-    format!("value-{tag}-{step}").into_bytes().repeat(1 + tag as usize % 4)
+    format!("value-{tag}-{step}")
+        .into_bytes()
+        .repeat(1 + tag as usize % 4)
 }
 
 fn fresh_db() -> LsmDb {

@@ -67,13 +67,20 @@ fn recovers_wal_tail_beyond_last_flush() {
         // Crash: drop without flushing the memtable.
     }
     let mut recovered = LsmDb::recover(v, LsmOptions::small()).expect("recover");
-    assert_eq!(recovered.get(&key(0)).expect("get"), Some(b"flushed".to_vec()));
+    assert_eq!(
+        recovered.get(&key(0)).expect("get"),
+        Some(b"flushed".to_vec())
+    );
     assert_eq!(
         recovered.get(&key(250)).expect("get"),
         Some(b"wal-only".to_vec()),
         "WAL tail must survive"
     );
-    assert_eq!(recovered.get(&key(5)).expect("get"), None, "WAL delete must survive");
+    assert_eq!(
+        recovered.get(&key(5)).expect("get"),
+        None,
+        "WAL delete must survive"
+    );
 }
 
 #[test]
@@ -89,11 +96,21 @@ fn unsynced_tail_is_lost_but_db_recovers() {
         db.put(&key(9999), b"doomed").expect("put");
     }
     let mut recovered = LsmDb::recover(v, LsmOptions::small()).expect("recover");
-    assert_eq!(recovered.get(&key(0)).expect("get"), Some(b"durable".to_vec()));
-    assert_eq!(recovered.get(&key(9999)).expect("get"), None, "unsynced write is gone");
+    assert_eq!(
+        recovered.get(&key(0)).expect("get"),
+        Some(b"durable".to_vec())
+    );
+    assert_eq!(
+        recovered.get(&key(9999)).expect("get"),
+        None,
+        "unsynced write is gone"
+    );
     // And the recovered database accepts new work.
     recovered.put(&key(12345), b"post-recovery").expect("put");
-    assert_eq!(recovered.get(&key(12345)).expect("get"), Some(b"post-recovery".to_vec()));
+    assert_eq!(
+        recovered.get(&key(12345)).expect("get"),
+        Some(b"post-recovery".to_vec())
+    );
 }
 
 #[test]

@@ -14,7 +14,10 @@ impl Cdf {
     /// Builds an empirical CDF from samples (sorted internally).
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in CDF samples"));
-        Self { samples, curve: Vec::new() }
+        Self {
+            samples,
+            curve: Vec::new(),
+        }
     }
 
     /// Wraps a pre-computed non-decreasing `(x, y)` curve.
@@ -23,7 +26,10 @@ impl Cdf {
             assert!(w[1].0 >= w[0].0, "curve x must be non-decreasing");
             assert!(w[1].1 >= w[0].1 - 1e-12, "curve y must be non-decreasing");
         }
-        Self { samples: Vec::new(), curve }
+        Self {
+            samples: Vec::new(),
+            curve,
+        }
     }
 
     /// P(X <= x).

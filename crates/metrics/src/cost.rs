@@ -98,7 +98,14 @@ impl Heatmap {
             cells.push(row);
             drives.push(drow);
         }
-        Self { first: a.name.clone(), second: b.name.clone(), dataset_axis, throughput_axis, cells, drives }
+        Self {
+            first: a.name.clone(),
+            second: b.name.clone(),
+            dataset_axis,
+            throughput_axis,
+            cells,
+            drives,
+        }
     }
 
     /// Fraction of grid points where A wins outright.
@@ -177,7 +184,11 @@ mod tests {
     #[test]
     fn identical_models_tie_everywhere() {
         let h = Heatmap::compare(&rocks(), &rocks(), vec![TB, 2 * TB], vec![1_000.0, 9_000.0]);
-        assert!(h.cells.iter().flatten().all(|c| matches!(c, DeploymentPlan::SameCost)));
+        assert!(h
+            .cells
+            .iter()
+            .flatten()
+            .all(|c| matches!(c, DeploymentPlan::SameCost)));
         assert_eq!(h.first_win_fraction(), 0.0);
     }
 

@@ -24,7 +24,11 @@ pub struct CusumDetector {
 
 impl Default for CusumDetector {
     fn default() -> Self {
-        Self { k: 0.5, h: 5.0, min_stable: 3 }
+        Self {
+            k: 0.5,
+            h: 5.0,
+            min_stable: 3,
+        }
     }
 }
 
@@ -111,7 +115,10 @@ mod tests {
         let changes = d.change_points(&vals);
         assert!(!changes.is_empty(), "step change must be detected");
         let first = changes[0];
-        assert!((14..=18).contains(&first), "change near the step, got {first}");
+        assert!(
+            (14..=18).contains(&first),
+            "change near the step, got {first}"
+        );
         // Steady state begins after the last change.
         let steady = d.steady_from(&vals).expect("settles after the step");
         assert!(steady >= 15);
@@ -124,7 +131,10 @@ mod tests {
         let mut vals: Vec<f64> = (0..15).map(|i| 11.0 * (0.8f64).powi(i)).collect();
         vals.extend(vec![0.45, 0.5, 0.48, 0.5, 0.49, 0.5, 0.51, 0.5]);
         let steady = d.steady_from(&vals).expect("eventually steady");
-        assert!(steady >= 5, "must not declare steady during the decay, got {steady}");
+        assert!(
+            steady >= 5,
+            "must not declare steady during the decay, got {steady}"
+        );
     }
 
     #[test]
@@ -138,8 +148,13 @@ mod tests {
     fn noise_does_not_trigger() {
         let d = CusumDetector::default();
         // +-2% noise around a constant.
-        let vals: Vec<f64> =
-            (0..40).map(|i| 100.0 * (1.0 + 0.02 * (((i * 37) % 7) as f64 - 3.0) / 3.0)).collect();
-        assert_eq!(d.change_points(&vals), vec![], "small noise must not signal");
+        let vals: Vec<f64> = (0..40)
+            .map(|i| 100.0 * (1.0 + 0.02 * (((i * 37) % 7) as f64 - 3.0) / 3.0))
+            .collect();
+        assert_eq!(
+            d.change_points(&vals),
+            vec![],
+            "small noise must not signal"
+        );
     }
 }

@@ -30,7 +30,13 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        Self { counts: vec![0; BUCKETS], total: 0, sum_ns: 0, max_ns: 0, min_ns: u64::MAX }
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
     }
 
     /// Records one latency observation in nanoseconds.
@@ -144,9 +150,15 @@ mod tests {
             h.record(i * 1_000); // 1us .. 1ms uniform
         }
         let p50 = h.quantile(0.5) as f64;
-        assert!((p50 / 500_000.0 - 1.0).abs() < 0.10, "p50 {p50} off by >10%");
+        assert!(
+            (p50 / 500_000.0 - 1.0).abs() < 0.10,
+            "p50 {p50} off by >10%"
+        );
         let p99 = h.quantile(0.99) as f64;
-        assert!((p99 / 990_000.0 - 1.0).abs() < 0.10, "p99 {p99} off by >10%");
+        assert!(
+            (p99 / 990_000.0 - 1.0).abs() < 0.10,
+            "p99 {p99} off by >10%"
+        );
         assert!(h.quantile(1.0) >= 990_000);
     }
 

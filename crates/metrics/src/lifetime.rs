@@ -27,7 +27,10 @@ impl EnduranceModel {
     /// Application bytes writable over the drive's life at the given
     /// end-to-end write amplification.
     pub fn application_bytes(&self, end_to_end_wa: f64) -> u128 {
-        assert!(end_to_end_wa >= 1.0, "write amplification below 1 is impossible");
+        assert!(
+            end_to_end_wa >= 1.0,
+            "write amplification below 1 is impossible"
+        );
         (self.rated_nand_bytes() as f64 / end_to_end_wa) as u128
     }
 
@@ -42,9 +45,7 @@ impl EnduranceModel {
     /// lifetime (the DWPD spec figure), given end-to-end WA.
     pub fn sustainable_dwpd(&self, end_to_end_wa: f64, lifetime_days: f64) -> f64 {
         assert!(lifetime_days > 0.0);
-        self.application_bytes(end_to_end_wa) as f64
-            / self.capacity_bytes as f64
-            / lifetime_days
+        self.application_bytes(end_to_end_wa) as f64 / self.capacity_bytes as f64 / lifetime_days
     }
 }
 
@@ -60,7 +61,10 @@ mod tests {
     use super::*;
 
     fn p3600ish() -> EnduranceModel {
-        EnduranceModel { capacity_bytes: 400_000_000_000, pe_cycles: 3000 }
+        EnduranceModel {
+            capacity_bytes: 400_000_000_000,
+            pe_cycles: 3000,
+        }
     }
 
     #[test]

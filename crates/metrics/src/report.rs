@@ -66,7 +66,10 @@ pub fn render_sweep_table(
 /// cheaper, `B` = second, `=` = tie. Throughput grows upward, dataset
 /// size rightward, as in the paper.
 pub fn render_heatmap(h: &Heatmap) -> String {
-    let mut out = format!("== {} (A) vs {} (B): fewer drives wins ==\n", h.first, h.second);
+    let mut out = format!(
+        "== {} (A) vs {} (B): fewer drives wins ==\n",
+        h.first, h.second
+    );
     for (y, row) in h.cells.iter().enumerate().rev() {
         out.push_str(&format!("{:>9.1} Kops |", h.throughput_axis[y] / 1_000.0));
         for cell in row {
@@ -133,7 +136,10 @@ mod tests {
         let t = render_sweep_table(
             "Fig 5a",
             &["tput", "wa_d"],
-            &[("rocks/0.25".to_string(), vec![3.3, 1.7]), ("tiger/0.25".to_string(), vec![1.0, 1.1])],
+            &[
+                ("rocks/0.25".to_string(), vec![3.3, 1.7]),
+                ("tiger/0.25".to_string(), vec![1.0, 1.1]),
+            ],
         );
         assert!(t.contains("Fig 5a"));
         assert!(t.contains("rocks/0.25"));
@@ -143,8 +149,16 @@ mod tests {
     #[test]
     fn heatmap_renders() {
         const TB: u64 = 1 << 40;
-        let a = CostModel { name: "A".into(), per_instance_ops: 3000.0, per_instance_data_bytes: TB };
-        let b = CostModel { name: "B".into(), per_instance_ops: 1000.0, per_instance_data_bytes: 2 * TB };
+        let a = CostModel {
+            name: "A".into(),
+            per_instance_ops: 3000.0,
+            per_instance_data_bytes: TB,
+        };
+        let b = CostModel {
+            name: "B".into(),
+            per_instance_ops: 1000.0,
+            per_instance_data_bytes: 2 * TB,
+        };
         let h = Heatmap::compare(&a, &b, vec![TB, 4 * TB], vec![1000.0, 20_000.0]);
         let t = render_heatmap(&h);
         assert!(t.contains("fewer drives"));

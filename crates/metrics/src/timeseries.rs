@@ -19,7 +19,10 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// An empty series.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), points: Vec::new() }
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// The series name.
@@ -97,12 +100,18 @@ impl TimeSeries {
 
     /// Max/min over the whole series.
     pub fn max(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, v)| v).fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
     }
 
     /// Minimum value.
     pub fn min(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, v)| v).fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v))))
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v))))
     }
 
     /// Relative variability of the last `n` samples:
@@ -112,8 +121,10 @@ impl TimeSeries {
             return None;
         }
         let n = n.min(self.points.len());
-        let tail: Vec<f64> =
-            self.points[self.points.len() - n..].iter().map(|&(_, v)| v).collect();
+        let tail: Vec<f64> = self.points[self.points.len() - n..]
+            .iter()
+            .map(|&(_, v)| v)
+            .collect();
         let mean = tail.iter().sum::<f64>() / tail.len() as f64;
         if mean == 0.0 {
             return Some(0.0);

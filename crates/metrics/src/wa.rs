@@ -65,11 +65,7 @@ fn ratio(num: u64, den: u64) -> f64 {
 /// The paper's *user-level write amplification* (§3.3(iii)): device write
 /// throughput divided by (KV-store throughput × KV pair size). Computed
 /// from windowed rates instead of cumulative counters.
-pub fn user_level_wa(
-    device_write_bytes_per_s: f64,
-    kv_ops_per_s: f64,
-    kv_pair_bytes: u64,
-) -> f64 {
+pub fn user_level_wa(device_write_bytes_per_s: f64, kv_ops_per_s: f64, kv_pair_bytes: u64) -> f64 {
     let app_rate = kv_ops_per_s * kv_pair_bytes as f64;
     if app_rate <= 0.0 {
         return 0.0;
@@ -101,12 +97,20 @@ mod tests {
     #[test]
     fn breakdown_matches_paper_example() {
         // RocksDB steady state: WA-A 12, WA-D ~2.1 => end-to-end ~25.
-        let rocks = WaBreakdown { app_bytes: 100, host_bytes: 1200, nand_bytes: 2520 };
+        let rocks = WaBreakdown {
+            app_bytes: 100,
+            host_bytes: 1200,
+            nand_bytes: 2520,
+        };
         assert!((rocks.wa_a() - 12.0).abs() < 1e-9);
         assert!((rocks.wa_d() - 2.1).abs() < 1e-9);
         assert!((rocks.end_to_end() - 25.2).abs() < 1e-9);
         // WiredTiger: WA-A 10, WA-D 1.2 => 12.
-        let wt = WaBreakdown { app_bytes: 100, host_bytes: 1000, nand_bytes: 1200 };
+        let wt = WaBreakdown {
+            app_bytes: 100,
+            host_bytes: 1000,
+            nand_bytes: 1200,
+        };
         assert!((wt.end_to_end() - 12.0).abs() < 1e-9);
         // The paper's point: 1.2x WA-A gap becomes a 2.1x end-to-end gap.
         let gap_a = rocks.wa_a() / wt.wa_a();
@@ -117,7 +121,11 @@ mod tests {
 
     #[test]
     fn zero_denominators_are_benign() {
-        let w = WaBreakdown { app_bytes: 0, host_bytes: 0, nand_bytes: 0 };
+        let w = WaBreakdown {
+            app_bytes: 0,
+            host_bytes: 0,
+            nand_bytes: 0,
+        };
         assert_eq!(w.wa_a(), 1.0);
         assert_eq!(w.wa_d(), 1.0);
         assert_eq!(w.end_to_end(), 1.0);
@@ -125,10 +133,25 @@ mod tests {
 
     #[test]
     fn delta_since_windows() {
-        let a = WaBreakdown { app_bytes: 100, host_bytes: 200, nand_bytes: 250 };
-        let b = WaBreakdown { app_bytes: 200, host_bytes: 600, nand_bytes: 1050 };
+        let a = WaBreakdown {
+            app_bytes: 100,
+            host_bytes: 200,
+            nand_bytes: 250,
+        };
+        let b = WaBreakdown {
+            app_bytes: 200,
+            host_bytes: 600,
+            nand_bytes: 1050,
+        };
         let d = b.delta_since(&a);
-        assert_eq!(d, WaBreakdown { app_bytes: 100, host_bytes: 400, nand_bytes: 800 });
+        assert_eq!(
+            d,
+            WaBreakdown {
+                app_bytes: 100,
+                host_bytes: 400,
+                nand_bytes: 800
+            }
+        );
         assert!((d.wa_a() - 4.0).abs() < 1e-9);
         assert!((d.wa_d() - 2.0).abs() < 1e-9);
     }

@@ -1,0 +1,178 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the criterion API subset its micro-benchmarks use:
+//! `Criterion`, `benchmark_group`, `Bencher::{iter, iter_batched}`,
+//! `black_box`, `BatchSize`, and the `criterion_group!`/
+//! `criterion_main!` macros. Measurement is a simple
+//! warmup-plus-median-of-samples wall-clock timer — adequate for
+//! regression eyeballing, not statistically rigorous.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: u64,
+    /// Mean nanoseconds per iteration of the last `iter*` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+
+    /// Runs `routine` over fresh inputs from `setup`, timing only the
+    /// routine.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.last_ns = total.as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+fn report(name: &str, ns: f64) {
+    if ns >= 1e6 {
+        println!("{name:<40} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{name:<40} {:>12.3} us/iter", ns / 1e3);
+    } else {
+        println!("{name:<40} {:>12.0} ns/iter", ns);
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        report(name, b.last_ns);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.c.sample_size);
+        let mut b = Bencher {
+            samples,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.last_ns);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_nothing(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, bench_nothing);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -27,7 +27,10 @@ impl DestageQueue {
     /// "no cache": [`DestageQueue::admit`] always returns `now` and the
     /// caller must treat the media completion as the host completion.
     pub fn new(capacity: u32) -> Self {
-        Self { capacity: capacity as usize, inflight: VecDeque::new() }
+        Self {
+            capacity: capacity as usize,
+            inflight: VecDeque::new(),
+        }
     }
 
     /// Whether the device has a cache at all.

@@ -34,7 +34,9 @@ pub struct SimClock {
 impl SimClock {
     /// A new clock at time zero, wrapped for sharing.
     pub fn new() -> Arc<Self> {
-        Arc::new(Self { now_ns: AtomicU64::new(0) })
+        Arc::new(Self {
+            now_ns: AtomicU64::new(0),
+        })
     }
 
     /// Current simulated time.

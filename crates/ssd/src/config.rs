@@ -64,7 +64,10 @@ impl Geometry {
 
     /// Validates internal consistency; panics with a description on error.
     pub fn validate(&self) {
-        assert!(self.page_size.is_power_of_two(), "page_size must be a power of two");
+        assert!(
+            self.page_size.is_power_of_two(),
+            "page_size must be a power of two"
+        );
         assert!(self.pages_per_block > 0, "pages_per_block must be positive");
         assert!(self.logical_pages > 0, "logical_pages must be positive");
         assert!(
@@ -132,7 +135,10 @@ impl DeviceConfig {
     /// Validates the configuration; panics with a description on error.
     pub fn validate(&self) {
         self.geometry.validate();
-        assert!(self.gc.reserve_blocks >= 2, "need at least 2 reserve blocks for GC");
+        assert!(
+            self.gc.reserve_blocks >= 2,
+            "need at least 2 reserve blocks for GC"
+        );
         assert!(
             (self.gc.reserve_blocks as u64) < self.geometry.physical_blocks as u64 / 2,
             "reserve blocks must be a small fraction of the device"
@@ -263,8 +269,7 @@ impl DeviceProfile {
 
         let page_size = self.page_size;
         let logical_pages = logical_bytes / page_size as u64;
-        let physical_pages_target =
-            (logical_pages as f64 * (1.0 + self.hardware_op)).ceil() as u64;
+        let physical_pages_target = (logical_pages as f64 * (1.0 + self.hardware_op)).ceil() as u64;
         let reserve_blocks = GcConfig::default().reserve_blocks;
         // Round up to whole blocks, and guarantee the GC reserve plus
         // write-stream headroom exists on top of the advertised space
@@ -297,7 +302,9 @@ impl DeviceProfile {
             geometry,
             gc: GcConfig { reserve_blocks },
             gc_policy: self.gc_policy,
-            cache: CacheConfig { capacity_pages: cache_pages },
+            cache: CacheConfig {
+                capacity_pages: cache_pages,
+            },
             latency: LatencyConfig {
                 program_occupancy_ns: program_occupancy,
                 read_occupancy_ns: read_occupancy,
@@ -338,7 +345,10 @@ mod tests {
     fn profile_scaling_preserves_op_fraction() {
         let cfg = DeviceProfile::ssd1().scaled_to(512 * MB);
         let op = cfg.geometry.hardware_op_fraction();
-        assert!((0.27..=0.30).contains(&op), "OP fraction {op} strayed from profile");
+        assert!(
+            (0.27..=0.30).contains(&op),
+            "OP fraction {op} strayed from profile"
+        );
     }
 
     #[test]
@@ -349,9 +359,8 @@ mod tests {
         let ref_fill_secs = p.reference_capacity as f64 / p.write_bandwidth as f64;
         for size in [64 * MB, 512 * MB, 2 * GB] {
             let cfg = p.scaled_to(size);
-            let fill_secs = cfg.geometry.logical_pages as f64
-                * cfg.latency.program_occupancy_ns as f64
-                / 1e9;
+            let fill_secs =
+                cfg.geometry.logical_pages as f64 * cfg.latency.program_occupancy_ns as f64 / 1e9;
             let rel = (fill_secs - ref_fill_secs).abs() / ref_fill_secs;
             assert!(rel < 0.01, "fill time off by {rel} at size {size}");
         }

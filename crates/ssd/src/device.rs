@@ -69,7 +69,9 @@ impl Ssd {
         cfg.validate();
         let ftl = Ftl::new(cfg.geometry, cfg.gc, cfg.gc_policy);
         let cache = DestageQueue::new(cfg.cache.capacity_pages);
-        let trace = cfg.trace_writes.then(|| WriteTrace::new(cfg.geometry.logical_pages));
+        let trace = cfg
+            .trace_writes
+            .then(|| WriteTrace::new(cfg.geometry.logical_pages));
         let inplace = matches!(cfg.media, MediaKind::InPlace);
         Self {
             ftl,
@@ -156,19 +158,25 @@ impl Ssd {
                 // Charge GC work to the backend, then the host page itself;
                 // the host page's program completion is the durability point.
                 if ops.reads > 0 {
-                    self.backend.reserve(start, ops.reads as Ns * lat.read_occupancy_ns);
+                    self.backend
+                        .reserve(start, ops.reads as Ns * lat.read_occupancy_ns);
                 }
                 if ops.relocated > 0 {
-                    self.backend.reserve(start, ops.relocated as Ns * lat.program_occupancy_ns);
+                    self.backend
+                        .reserve(start, ops.relocated as Ns * lat.program_occupancy_ns);
                 }
                 if ops.erases > 0 {
-                    self.backend.reserve(start, ops.erases as Ns * lat.erase_occupancy_ns);
+                    self.backend
+                        .reserve(start, ops.erases as Ns * lat.erase_occupancy_ns);
                 }
                 let durable = self.backend.reserve(start, lat.program_occupancy_ns);
 
                 if self.cache.enabled() {
                     self.cache.push(durable);
-                    WriteCompletion { host_done: start + lat.cache_write_latency_ns, durable_at: durable }
+                    WriteCompletion {
+                        host_done: start + lat.cache_write_latency_ns,
+                        durable_at: durable,
+                    }
                 } else {
                     WriteCompletion {
                         host_done: durable.max(start + lat.cache_write_latency_ns),
@@ -182,7 +190,10 @@ impl Ssd {
     /// Writes `range` sequentially; returns the completion of the final
     /// page with `durable_at` covering the whole range.
     pub fn write_range(&mut self, range: LpnRange) -> WriteCompletion {
-        let mut done = WriteCompletion { host_done: self.clock.now(), durable_at: self.clock.now() };
+        let mut done = WriteCompletion {
+            host_done: self.clock.now(),
+            durable_at: self.clock.now(),
+        };
         for lpn in range.iter() {
             let c = self.write_page(lpn);
             done.host_done = c.host_done;
@@ -247,7 +258,8 @@ impl Ssd {
         }
         self.smart.nand_pages_read += media_pages;
         if media_pages > 0 {
-            self.backend.reserve(now, media_pages * lat.read_occupancy_ns);
+            self.backend
+                .reserve(now, media_pages * lat.read_occupancy_ns);
         }
         now + lat.read_base_latency_ns + media_pages * lat.read_occupancy_ns
     }
@@ -436,7 +448,11 @@ mod tests {
             d.write_page(rng.gen_range(0..pages));
         }
         let delta = d.smart().delta_since(&baseline);
-        assert!(delta.wa_d() > 1.3, "random overwrite WA-D {} too low", delta.wa_d());
+        assert!(
+            delta.wa_d() > 1.3,
+            "random overwrite WA-D {} too low",
+            delta.wa_d()
+        );
         d.check_invariants();
     }
 
@@ -447,12 +463,18 @@ mod tests {
         let mut trimmed = ssd1(16 * MB);
         let mut prec = ssd1(16 * MB);
         prec.precondition(7);
-        assert_eq!(prec.smart().host_pages_written, 0, "precondition resets SMART");
+        assert_eq!(
+            prec.smart().host_pages_written,
+            0,
+            "precondition resets SMART"
+        );
         assert!((prec.utilization() - 1.0).abs() < 1e-9);
 
         let pages = trimmed.logical_pages();
         let mut rng = SmallRng::seed_from_u64(9);
-        let lpns: Vec<u64> = (0..pages / 2).map(|_| rng.gen_range(0..pages / 2)).collect();
+        let lpns: Vec<u64> = (0..pages / 2)
+            .map(|_| rng.gen_range(0..pages / 2))
+            .collect();
         for &lpn in &lpns {
             trimmed.write_page(lpn);
             prec.write_page(lpn);
@@ -542,7 +564,8 @@ mod tests {
         let done = d.read_page(0);
         let lat = done - now;
         assert!(
-            lat < 2 * d.config().latency.read_base_latency_ns + d.config().latency.read_occupancy_ns,
+            lat < 2 * d.config().latency.read_base_latency_ns
+                + d.config().latency.read_occupancy_ns,
             "read latency {lat} queued behind the write backlog"
         );
     }
@@ -557,7 +580,10 @@ mod tests {
         for lpn in 0..pages {
             d.write_page(lpn);
         }
-        assert!((d.smart().wa_d() - 1.0).abs() < 1e-9, "discarded drive must behave fresh");
+        assert!(
+            (d.smart().wa_d() - 1.0).abs() < 1e-9,
+            "discarded drive must behave fresh"
+        );
     }
 
     #[test]

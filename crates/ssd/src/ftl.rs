@@ -117,8 +117,14 @@ impl Ftl {
     /// hardware over-provisioning).
     pub fn new(geom: Geometry, gc_cfg: GcConfig, policy: GcPolicy) -> Self {
         geom.validate();
-        assert!(geom.logical_pages < UNMAPPED as u64, "logical space too large for u32 maps");
-        assert!(geom.physical_pages() < UNMAPPED as u64, "physical space too large for u32 maps");
+        assert!(
+            geom.logical_pages < UNMAPPED as u64,
+            "logical space too large for u32 maps"
+        );
+        assert!(
+            geom.physical_pages() < UNMAPPED as u64,
+            "physical space too large for u32 maps"
+        );
         let logical_blocks = geom.logical_pages.div_ceil(geom.pages_per_block as u64);
         let min_spare = gc_cfg.reserve_blocks as u64 + STREAMS as u64 + 2;
         assert!(
@@ -134,7 +140,12 @@ impl Ftl {
             l2p: vec![UNMAPPED; geom.logical_pages as usize],
             p2l: vec![UNMAPPED; geom.physical_pages() as usize],
             blocks: vec![
-                BlockMeta { state: BlockState::Free, stream: 0, valid: 0, erase_count: 0 };
+                BlockMeta {
+                    state: BlockState::Free,
+                    stream: 0,
+                    valid: 0,
+                    erase_count: 0
+                };
                 blocks as usize
             ],
             free: (0..blocks).collect(),
@@ -230,7 +241,10 @@ impl Ftl {
 
     fn check_lpn(&self, lpn: Lpn) -> Result<(), SsdError> {
         if lpn >= self.geom.logical_pages {
-            Err(SsdError::LpnOutOfRange { lpn, logical_pages: self.geom.logical_pages })
+            Err(SsdError::LpnOutOfRange {
+                lpn,
+                logical_pages: self.geom.logical_pages,
+            })
         } else {
             Ok(())
         }
@@ -368,8 +382,9 @@ impl Ftl {
         let mut free_count = 0usize;
         for (id, meta) in self.blocks.iter().enumerate() {
             let base = id as u64 * ppb;
-            let actual =
-                (0..ppb).filter(|off| self.p2l[(base + off) as usize] != UNMAPPED).count() as u32;
+            let actual = (0..ppb)
+                .filter(|off| self.p2l[(base + off) as usize] != UNMAPPED)
+                .count() as u32;
             assert_eq!(actual, meta.valid, "block {id} valid count drifted");
             match meta.state {
                 BlockState::Free => {
@@ -387,7 +402,11 @@ impl Ftl {
         }
         assert_eq!(free_count, self.free.len(), "free list length drifted");
         // 3. Candidate set contains exactly the closed blocks.
-        let closed = self.blocks.iter().filter(|b| b.state == BlockState::Closed).count();
+        let closed = self
+            .blocks
+            .iter()
+            .filter(|b| b.state == BlockState::Closed)
+            .count();
         assert_eq!(closed, self.candidates.len(), "candidate set size drifted");
     }
 }
@@ -400,11 +419,20 @@ mod tests {
     fn small_geom() -> Geometry {
         // 64 logical pages (8 blocks of 8 pages), 16 physical blocks:
         // 8 spare blocks cover the GC reserve plus the write streams.
-        Geometry { page_size: 4096, pages_per_block: 8, logical_pages: 64, physical_blocks: 16 }
+        Geometry {
+            page_size: 4096,
+            pages_per_block: 8,
+            logical_pages: 64,
+            physical_blocks: 16,
+        }
     }
 
     fn ftl() -> Ftl {
-        Ftl::new(small_geom(), GcConfig { reserve_blocks: 2 }, GcPolicy::Greedy)
+        Ftl::new(
+            small_geom(),
+            GcConfig { reserve_blocks: 2 },
+            GcPolicy::Greedy,
+        )
     }
 
     #[test]
@@ -435,7 +463,10 @@ mod tests {
             total.merge(f.write(lpn).expect("write"));
         }
         assert_eq!(total.programs, 64);
-        assert_eq!(total.relocated, 0, "filling a fresh drive must not trigger relocation");
+        assert_eq!(
+            total.relocated, 0,
+            "filling a fresh drive must not trigger relocation"
+        );
         assert_eq!(f.mapped_pages(), 64);
         f.check_invariants();
     }
@@ -455,7 +486,10 @@ mod tests {
         assert!(total.erases > 0, "GC must have erased blocks");
         // Sequential overwrites invalidate whole blocks: WA stays near 1.
         let wa = total.programs as f64 / (6.0 * 64.0);
-        assert!(wa < 1.3, "sequential overwrite WA should be near 1, got {wa}");
+        assert!(
+            wa < 1.3,
+            "sequential overwrite WA should be near 1, got {wa}"
+        );
         assert_eq!(f.mapped_pages(), 64);
     }
 
@@ -564,7 +598,11 @@ mod tests {
     #[test]
     fn cost_benefit_policy_also_maintains_invariants() {
         use rand::{rngs::SmallRng, Rng, SeedableRng};
-        let mut f = Ftl::new(small_geom(), GcConfig { reserve_blocks: 2 }, GcPolicy::CostBenefit);
+        let mut f = Ftl::new(
+            small_geom(),
+            GcConfig { reserve_blocks: 2 },
+            GcPolicy::CostBenefit,
+        );
         let mut rng = SmallRng::seed_from_u64(11);
         for lpn in 0..64 {
             f.write(lpn).expect("fill");

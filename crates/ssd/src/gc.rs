@@ -42,7 +42,10 @@ pub struct CandidateSet {
 impl CandidateSet {
     /// A candidate set able to track `blocks` block ids.
     pub fn new(blocks: u32) -> Self {
-        Self { by_valid: BTreeSet::new(), closed_seq: vec![0; blocks as usize] }
+        Self {
+            by_valid: BTreeSet::new(),
+            closed_seq: vec![0; blocks as usize],
+        }
     }
 
     /// Number of candidate blocks.
@@ -79,7 +82,12 @@ impl CandidateSet {
     /// Picks a victim under `policy`; returns `(block, valid_count)`.
     /// `now_seq` is the current logical sequence (for age computation).
     /// Returns `None` when there are no candidates.
-    pub fn pick(&self, policy: GcPolicy, pages_per_block: u32, now_seq: u64) -> Option<(BlockId, u32)> {
+    pub fn pick(
+        &self,
+        policy: GcPolicy,
+        pages_per_block: u32,
+        now_seq: u64,
+    ) -> Option<(BlockId, u32)> {
         match policy {
             GcPolicy::Greedy => self.by_valid.iter().next().map(|&(v, b)| (b, v)),
             GcPolicy::CostBenefit => {
@@ -93,7 +101,8 @@ impl CandidateSet {
                         return Some((block, 0));
                     }
                     let u = valid as f64 / pages_per_block as f64;
-                    let age = (now_seq.saturating_sub(self.closed_seq[block as usize])) as f64 + 1.0;
+                    let age =
+                        (now_seq.saturating_sub(self.closed_seq[block as usize])) as f64 + 1.0;
                     let score = (1.0 - u) * age / (1.0 + u);
                     match best {
                         Some((s, _, _)) if s >= score => {}
@@ -156,7 +165,11 @@ mod tests {
         // Block 1: just closed (seq 1000), slightly fewer valid pages.
         c.insert(1, 120, 1000);
         let pick = c.pick(GcPolicy::CostBenefit, 256, 1001).map(|(b, _)| b);
-        assert_eq!(pick, Some(0), "age should outweigh a small valid-count edge");
+        assert_eq!(
+            pick,
+            Some(0),
+            "age should outweigh a small valid-count edge"
+        );
         // Greedy would pick block 1.
         let greedy = c.pick(GcPolicy::Greedy, 256, 1001).map(|(b, _)| b);
         assert_eq!(greedy, Some(1));
@@ -175,6 +188,10 @@ mod tests {
         let mut c = CandidateSet::new(8);
         c.insert(4, 10, 1);
         c.insert(2, 10, 1);
-        assert_eq!(c.pick(GcPolicy::Greedy, 256, 2), Some((2, 10)), "lowest id wins ties");
+        assert_eq!(
+            c.pick(GcPolicy::Greedy, 256, 2),
+            Some((2, 10)),
+            "lowest id wins ties"
+        );
     }
 }

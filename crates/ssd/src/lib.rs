@@ -65,13 +65,13 @@ pub mod types;
 
 pub use clock::{Ns, SimClock, MICROSECOND, MILLISECOND, MINUTE, SECOND};
 pub use config::{CacheConfig, DeviceConfig, DeviceProfile, GcConfig, Geometry, MediaKind};
+pub use device::SharedSsd;
 pub use device::{Ssd, WriteCompletion};
 pub use ftl::{Ftl, NandOps};
 pub use gc::GcPolicy;
 pub use latency::LatencyConfig;
 pub use stats::SmartCounters;
 pub use trace::WriteTrace;
-pub use device::SharedSsd;
 pub use types::{BlockId, Lpn, LpnRange, Ppn};
 
 /// Errors surfaced by the SSD simulator.
@@ -98,7 +98,10 @@ impl std::fmt::Display for SsdError {
                 "logical page {lpn} out of range (device has {logical_pages} logical pages)"
             ),
             SsdError::NoFreeBlocks => {
-                write!(f, "no free physical blocks (geometry has no over-provisioning)")
+                write!(
+                    f,
+                    "no free physical blocks (geometry has no over-provisioning)"
+                )
             }
         }
     }

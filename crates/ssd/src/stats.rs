@@ -46,12 +46,18 @@ impl SmartCounters {
     /// Saturates at zero so a reset between snapshots cannot underflow.
     pub fn delta_since(&self, earlier: &SmartCounters) -> SmartCounters {
         SmartCounters {
-            host_pages_written: self.host_pages_written.saturating_sub(earlier.host_pages_written),
+            host_pages_written: self
+                .host_pages_written
+                .saturating_sub(earlier.host_pages_written),
             host_pages_read: self.host_pages_read.saturating_sub(earlier.host_pages_read),
-            nand_pages_written: self.nand_pages_written.saturating_sub(earlier.nand_pages_written),
+            nand_pages_written: self
+                .nand_pages_written
+                .saturating_sub(earlier.nand_pages_written),
             nand_pages_read: self.nand_pages_read.saturating_sub(earlier.nand_pages_read),
             blocks_erased: self.blocks_erased.saturating_sub(earlier.blocks_erased),
-            gc_pages_relocated: self.gc_pages_relocated.saturating_sub(earlier.gc_pages_relocated),
+            gc_pages_relocated: self
+                .gc_pages_relocated
+                .saturating_sub(earlier.gc_pages_relocated),
             pages_trimmed: self.pages_trimmed.saturating_sub(earlier.pages_trimmed),
             gc_invocations: self.gc_invocations.saturating_sub(earlier.gc_invocations),
         }
@@ -84,7 +90,11 @@ impl WearStats {
         let min = *counts.iter().min().expect("non-empty");
         let max = *counts.iter().max().expect("non-empty");
         let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / counts.len() as f64;
-        Self { min_erases: min, max_erases: max, mean_erases: mean }
+        Self {
+            min_erases: min,
+            max_erases: max,
+            mean_erases: mean,
+        }
     }
 }
 
@@ -109,8 +119,16 @@ mod tests {
 
     #[test]
     fn delta_since_differences() {
-        let a = SmartCounters { host_pages_written: 10, nand_pages_written: 15, ..Default::default() };
-        let b = SmartCounters { host_pages_written: 30, nand_pages_written: 75, ..Default::default() };
+        let a = SmartCounters {
+            host_pages_written: 10,
+            nand_pages_written: 15,
+            ..Default::default()
+        };
+        let b = SmartCounters {
+            host_pages_written: 30,
+            nand_pages_written: 75,
+            ..Default::default()
+        };
         let d = b.delta_since(&a);
         assert_eq!(d.host_pages_written, 20);
         assert_eq!(d.nand_pages_written, 60);
@@ -119,7 +137,10 @@ mod tests {
 
     #[test]
     fn delta_since_saturates_after_reset() {
-        let before = SmartCounters { host_pages_written: 50, ..Default::default() };
+        let before = SmartCounters {
+            host_pages_written: 50,
+            ..Default::default()
+        };
         let after_reset = SmartCounters::default();
         let d = after_reset.delta_since(&before);
         assert_eq!(d.host_pages_written, 0);

@@ -19,7 +19,10 @@ pub struct WriteTrace {
 impl WriteTrace {
     /// A trace covering `logical_pages` LPNs, all counts zero.
     pub fn new(logical_pages: u64) -> Self {
-        Self { counts: vec![0; logical_pages as usize], total: 0 }
+        Self {
+            counts: vec![0; logical_pages as usize],
+            total: 0,
+        }
     }
 
     /// Records one write to `lpn`.
@@ -124,7 +127,10 @@ mod tests {
             t.record(lpn);
         }
         let cdf = t.cdf_by_descending_frequency(10);
-        let at_half = cdf.iter().find(|(x, _)| (*x - 0.5).abs() < 1e-9).expect("x=0.5 sample");
+        let at_half = cdf
+            .iter()
+            .find(|(x, _)| (*x - 0.5).abs() < 1e-9)
+            .expect("x=0.5 sample");
         assert!((at_half.1 - 1.0).abs() < 1e-9);
     }
 

@@ -38,7 +38,10 @@ fn reading_unwritten_space_does_no_media_work() {
     d.read_pages(LpnRange::new(0, 128));
     let after = d.smart();
     assert_eq!(after.host_pages_read - before.host_pages_read, 128);
-    assert_eq!(after.nand_pages_read, before.nand_pages_read, "zeros come for free");
+    assert_eq!(
+        after.nand_pages_read, before.nand_pages_read,
+        "zeros come for free"
+    );
 }
 
 #[test]
@@ -61,7 +64,7 @@ fn cold_data_segregates_and_wa_declines() {
     let early = window(&mut d, pages);
     // Churn enough for segregation (it converges slowly: cold pages must
     // be relocated twice to reach the cold stream).
-    for _ in 0..8 {
+    for _ in 0..16 {
         window(&mut d, pages);
     }
     let late = window(&mut d, pages);
@@ -128,7 +131,11 @@ fn wear_spreads_across_blocks_under_sustained_churn() {
         d.write_page(rng.gen_range(0..pages));
     }
     let wear = d.wear();
-    assert!(wear.mean_erases >= 2.0, "sustained churn must erase, mean {}", wear.mean_erases);
+    assert!(
+        wear.mean_erases >= 2.0,
+        "sustained churn must erase, mean {}",
+        wear.mean_erases
+    );
     assert!(
         wear.max_erases as f64 <= wear.mean_erases * 6.0 + 4.0,
         "no block should be grossly over-erased: max {} vs mean {:.1}",
@@ -157,5 +164,8 @@ fn time_dilation_keeps_fill_time_constant_across_scales() {
     // And the fill time matches the reference device's capacity/bandwidth.
     let expect = 400.0 * 1024.0 * 1024.0 * 1024.0 / (500.0 * 1024.0 * 1024.0); // ~819 s
     assert!((t128 as f64 / 1e9 - expect).abs() / expect < 0.05);
-    assert!(t128 / MINUTE >= 13, "a full-drive write is ~14 simulated minutes");
+    assert!(
+        t128 / MINUTE >= 13,
+        "a full-drive write is ~14 simulated minutes"
+    );
 }

@@ -26,7 +26,12 @@ fn op_strategy(logical: u64) -> impl Strategy<Value = Op> {
 
 fn small_geometry() -> Geometry {
     // 12 logical blocks + 8 spare (GC reserve + write streams + margin).
-    Geometry { page_size: 4096, pages_per_block: 8, logical_pages: 96, physical_blocks: 20 }
+    Geometry {
+        page_size: 4096,
+        pages_per_block: 8,
+        logical_pages: 96,
+        physical_blocks: 20,
+    }
 }
 
 proptest! {

@@ -70,7 +70,13 @@ impl ExtentAllocator {
         if !range.is_empty() {
             free.insert(range.start, range.len());
         }
-        Self { free, free_pages: range.len(), policy, cursor: range.start, range }
+        Self {
+            free,
+            free_pages: range.len(),
+            policy,
+            cursor: range.start,
+            range,
+        }
     }
 
     /// The partition this allocator manages.
@@ -90,7 +96,10 @@ impl ExtentAllocator {
 
     /// Snapshot of the free runs (for `fstrim` and tests).
     pub fn free_runs(&self) -> Vec<Extent> {
-        self.free.iter().map(|(&start, &pages)| Extent { start, pages }).collect()
+        self.free
+            .iter()
+            .map(|(&start, &pages)| Extent { start, pages })
+            .collect()
     }
 
     /// Allocates `pages` pages, possibly split across several extents.
@@ -100,13 +109,17 @@ impl ExtentAllocator {
             return Ok(Vec::new());
         }
         if pages > self.free_pages {
-            return Err(VfsError::NoSpace { requested_pages: pages, available_pages: self.free_pages });
+            return Err(VfsError::NoSpace {
+                requested_pages: pages,
+                available_pages: self.free_pages,
+            });
         }
         let mut out = Vec::new();
         let mut remaining = pages;
         while remaining > 0 {
-            let (run_start, run_len, alloc_start) =
-                self.pick_run(remaining).expect("free_pages accounting guarantees a run");
+            let (run_start, run_len, alloc_start) = self
+                .pick_run(remaining)
+                .expect("free_pages accounting guarantees a run");
             let head = alloc_start - run_start;
             let take = remaining.min(run_len - head);
             self.free.remove(&run_start);
@@ -118,7 +131,10 @@ impl ExtentAllocator {
             }
             self.free_pages -= take;
             self.cursor = alloc_start + take;
-            out.push(Extent { start: alloc_start, pages: take });
+            out.push(Extent {
+                start: alloc_start,
+                pages: take,
+            });
             remaining -= take;
         }
         Ok(out)
@@ -213,7 +229,10 @@ impl ExtentAllocator {
         let mut prev_end: Option<Lpn> = None;
         for (&start, &len) in &self.free {
             assert!(len > 0, "empty free run at {start}");
-            assert!(start >= self.range.start && start + len <= self.range.end, "run out of range");
+            assert!(
+                start >= self.range.start && start + len <= self.range.end,
+                "run out of range"
+            );
             if let Some(pe) = prev_end {
                 assert!(start > pe, "overlapping free runs");
                 assert!(start != pe, "uncoalesced adjacent runs");
@@ -237,11 +256,21 @@ mod tests {
     fn alloc_and_release_round_trip() {
         let mut a = alloc(AllocPolicy::FirstFit);
         let e = a.alloc(10).expect("alloc");
-        assert_eq!(e, vec![Extent { start: 0, pages: 10 }]);
+        assert_eq!(
+            e,
+            vec![Extent {
+                start: 0,
+                pages: 10
+            }]
+        );
         assert_eq!(a.free_pages(), 90);
         a.release(e[0]);
         assert_eq!(a.free_pages(), 100);
-        assert_eq!(a.free_runs().len(), 1, "release must coalesce back to one run");
+        assert_eq!(
+            a.free_runs().len(),
+            1,
+            "release must coalesce back to one run"
+        );
         a.check_invariants();
     }
 
@@ -274,8 +303,14 @@ mod tests {
         // Carve free space into runs of 30 (at 0) and 10 (at 90) by
         // allocating the middle.
         let all = a.alloc(100).expect("alloc");
-        a.release(Extent { start: 0, pages: 30 });
-        a.release(Extent { start: 90, pages: 10 });
+        a.release(Extent {
+            start: 0,
+            pages: 30,
+        });
+        a.release(Extent {
+            start: 90,
+            pages: 10,
+        });
         let got = a.alloc(8).expect("alloc");
         assert_eq!(got[0].start, 90, "BestFit should pick the 10-page run");
         let _ = all;
@@ -286,8 +321,14 @@ mod tests {
     fn fragmented_alloc_spans_runs() {
         let mut a = alloc(AllocPolicy::FirstFit);
         let _hold = a.alloc(100).expect("alloc");
-        a.release(Extent { start: 10, pages: 5 });
-        a.release(Extent { start: 50, pages: 5 });
+        a.release(Extent {
+            start: 10,
+            pages: 5,
+        });
+        a.release(Extent {
+            start: 50,
+            pages: 5,
+        });
         let got = a.alloc(8).expect("alloc");
         assert_eq!(got.len(), 2, "must split across free runs");
         assert_eq!(got.iter().map(|e| e.pages).sum::<u64>(), 8);
@@ -299,7 +340,13 @@ mod tests {
         let mut a = alloc(AllocPolicy::FirstFit);
         let _e = a.alloc(95).expect("alloc");
         let err = a.alloc(10).expect_err("must fail");
-        assert_eq!(err, VfsError::NoSpace { requested_pages: 10, available_pages: 5 });
+        assert_eq!(
+            err,
+            VfsError::NoSpace {
+                requested_pages: 10,
+                available_pages: 5
+            }
+        );
         // Nothing leaked.
         assert_eq!(a.free_pages(), 5);
         a.check_invariants();

@@ -27,7 +27,10 @@ impl std::fmt::Display for VfsError {
         match self {
             VfsError::NotFound(name) => write!(f, "file not found: {name}"),
             VfsError::AlreadyExists(name) => write!(f, "file already exists: {name}"),
-            VfsError::NoSpace { requested_pages, available_pages } => write!(
+            VfsError::NoSpace {
+                requested_pages,
+                available_pages,
+            } => write!(
                 f,
                 "no space left on device (requested {requested_pages} pages, \
                  {available_pages} free)"
@@ -47,7 +50,10 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(VfsError::NotFound("x".into()).to_string().contains("x"));
-        let e = VfsError::NoSpace { requested_pages: 10, available_pages: 3 };
+        let e = VfsError::NoSpace {
+            requested_pages: 10,
+            available_pages: 3,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("3"));
     }

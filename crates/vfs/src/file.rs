@@ -28,7 +28,13 @@ pub(crate) struct FileNode {
 
 impl FileNode {
     pub fn new(name: String) -> Self {
-        Self { name, data: Vec::new(), extents: Vec::new(), cum_pages: Vec::new(), durable_at: 0 }
+        Self {
+            name,
+            data: Vec::new(),
+            extents: Vec::new(),
+            cum_pages: Vec::new(),
+            durable_at: 0,
+        }
     }
 
     /// Total pages currently allocated to the file.
@@ -51,7 +57,10 @@ impl FileNode {
     /// Panics if the page is beyond the allocated extents.
     pub fn page_to_lpn(&self, file_page: u64) -> Lpn {
         let idx = self.cum_pages.partition_point(|&c| c <= file_page);
-        assert!(idx < self.extents.len(), "file page {file_page} beyond allocation");
+        assert!(
+            idx < self.extents.len(),
+            "file page {file_page} beyond allocation"
+        );
         let prior = if idx == 0 { 0 } else { self.cum_pages[idx - 1] };
         self.extents[idx].start + (file_page - prior)
     }
@@ -67,7 +76,10 @@ impl FileNode {
         let end = first_page + count;
         while page < end {
             let idx = self.cum_pages.partition_point(|&c| c <= page);
-            assert!(idx < self.extents.len(), "file page {page} beyond allocation");
+            assert!(
+                idx < self.extents.len(),
+                "file page {page} beyond allocation"
+            );
             let prior = if idx == 0 { 0 } else { self.cum_pages[idx - 1] };
             let offset_in_extent = page - prior;
             let extent = self.extents[idx];
@@ -87,7 +99,12 @@ mod tests {
 
     fn node_with(extents: &[(u64, u64)]) -> FileNode {
         let mut n = FileNode::new("t".into());
-        n.push_extents(extents.iter().map(|&(start, pages)| Extent { start, pages }).collect());
+        n.push_extents(
+            extents
+                .iter()
+                .map(|&(start, pages)| Extent { start, pages })
+                .collect(),
+        );
         n
     }
 

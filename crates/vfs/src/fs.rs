@@ -28,7 +28,10 @@ pub struct VfsOptions {
 
 impl Default for VfsOptions {
     fn default() -> Self {
-        Self { policy: AllocPolicy::NextFit, discard_on_delete: false }
+        Self {
+            policy: AllocPolicy::NextFit,
+            discard_on_delete: false,
+        }
     }
 }
 
@@ -90,7 +93,11 @@ impl Vfs {
     pub fn new(ssd: SharedSsd, partition: LpnRange, opts: VfsOptions) -> Self {
         let (clock, page_size, logical) = {
             let dev = ssd.lock();
-            (Arc::clone(dev.clock()), dev.page_size() as u64, dev.logical_pages())
+            (
+                Arc::clone(dev.clock()),
+                dev.page_size() as u64,
+                dev.logical_pages(),
+            )
         };
         assert!(partition.end <= logical, "partition beyond device capacity");
         Self {
@@ -145,7 +152,10 @@ impl Vfs {
     /// Opens an existing file by name.
     pub fn open(&self, name: &str) -> Result<FileId> {
         let g = self.inner.lock();
-        g.names.get(name).copied().ok_or_else(|| VfsError::NotFound(name.to_string()))
+        g.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| VfsError::NotFound(name.to_string()))
     }
 
     /// Whether a file with this name exists.
@@ -163,7 +173,10 @@ impl Vfs {
     /// overwritten — the aged-filesystem behaviour of the paper.
     pub fn delete(&self, name: &str) -> Result<()> {
         let mut g = self.inner.lock();
-        let id = g.names.remove(name).ok_or_else(|| VfsError::NotFound(name.to_string()))?;
+        let id = g
+            .names
+            .remove(name)
+            .ok_or_else(|| VfsError::NotFound(name.to_string()))?;
         let node = g.files.remove(&id).expect("name table points to live file");
         let discard = g.opts.discard_on_delete;
         for e in node.extents {
@@ -181,7 +194,10 @@ impl Vfs {
         if g.names.contains_key(to) {
             return Err(VfsError::AlreadyExists(to.to_string()));
         }
-        let id = g.names.remove(from).ok_or_else(|| VfsError::NotFound(from.to_string()))?;
+        let id = g
+            .names
+            .remove(from)
+            .ok_or_else(|| VfsError::NotFound(from.to_string()))?;
         g.names.insert(to.to_string(), id);
         g.files.get_mut(&id).expect("live file").name = to.to_string();
         Ok(())
@@ -190,7 +206,10 @@ impl Vfs {
     /// File size in bytes.
     pub fn size(&self, id: FileId) -> Result<u64> {
         let g = self.inner.lock();
-        g.files.get(&id).map(|f| f.data.len() as u64).ok_or(VfsError::StaleHandle)
+        g.files
+            .get(&id)
+            .map(|f| f.data.len() as u64)
+            .ok_or(VfsError::StaleHandle)
     }
 
     /// Appends `buf` to the end of the file (blocks the simulated clock
@@ -227,7 +246,14 @@ impl Vfs {
             return Ok(());
         }
         let mut g = self.inner.lock();
-        let Inner { ssd, clock, page_size, allocator, files, .. } = &mut *g;
+        let Inner {
+            ssd,
+            clock,
+            page_size,
+            allocator,
+            files,
+            ..
+        } = &mut *g;
         let ps = *page_size;
         let mut g_peak_update = 0u64;
         let node = files.get_mut(&id).ok_or(VfsError::StaleHandle)?;
@@ -308,7 +334,13 @@ impl Vfs {
 
     fn read_at_opts(&self, id: FileId, offset: u64, len: usize, blocking: bool) -> Result<Vec<u8>> {
         let mut g = self.inner.lock();
-        let Inner { ssd, clock, page_size, files, .. } = &mut *g;
+        let Inner {
+            ssd,
+            clock,
+            page_size,
+            files,
+            ..
+        } = &mut *g;
         let ps = *page_size;
         let node = files.get(&id).ok_or(VfsError::StaleHandle)?;
         let size = node.data.len() as u64;
@@ -358,7 +390,10 @@ impl Vfs {
     /// Durability horizon of the file (diagnostics).
     pub fn durable_at(&self, id: FileId) -> Result<Ns> {
         let g = self.inner.lock();
-        g.files.get(&id).map(|f| f.durable_at).ok_or(VfsError::StaleHandle)
+        g.files
+            .get(&id)
+            .map(|f| f.durable_at)
+            .ok_or(VfsError::StaleHandle)
     }
 
     /// Pending device work in nanoseconds (backend backlog) — lets an
@@ -403,7 +438,11 @@ impl Vfs {
         let g = self.inner.lock();
         g.allocator.check_invariants();
         let file_pages: u64 = g.files.values().map(|f| f.total_pages()).sum();
-        assert_eq!(file_pages, g.allocator.used_pages(), "extent accounting drifted");
+        assert_eq!(
+            file_pages,
+            g.allocator.used_pages(),
+            "extent accounting drifted"
+        );
         for (name, id) in &g.names {
             assert_eq!(&g.files[id].name, name, "name table out of sync");
         }
@@ -436,7 +475,10 @@ mod tests {
         let got = v.read_at(f, 0, 10_000).expect("read");
         assert_eq!(got, payload);
         // Sub-range read.
-        assert_eq!(v.read_at(f, 5_000, 100).expect("read"), payload[5_000..5_100]);
+        assert_eq!(
+            v.read_at(f, 5_000, 100).expect("read"),
+            payload[5_000..5_100]
+        );
         v.check_invariants();
     }
 
@@ -451,7 +493,11 @@ mod tests {
         let dev = v.ssd();
         let dev = dev.lock();
         assert_eq!(dev.smart().host_pages_written, writes_before + 1);
-        assert_eq!(dev.mapped_pages(), mapped_before, "no new LBAs for in-place write");
+        assert_eq!(
+            dev.mapped_pages(),
+            mapped_before,
+            "no new LBAs for in-place write"
+        );
         drop(dev);
         let got = v.read_at(f, 0, 3 * 4096).expect("read");
         assert!(got[..4096].iter().all(|&b| b == 1));
@@ -465,7 +511,10 @@ mod tests {
         v.write_at(f, 0, &vec![7u8; 2 * 4096]).expect("write");
         let reads_before = v.ssd().lock().smart().host_pages_read;
         v.write_at(f, 100, &[9u8; 8]).expect("partial overwrite");
-        assert!(v.ssd().lock().smart().host_pages_read > reads_before, "RMW must read");
+        assert!(
+            v.ssd().lock().smart().host_pages_read > reads_before,
+            "RMW must read"
+        );
         let got = v.read_at(f, 0, 4096).expect("read");
         assert_eq!(&got[100..108], &[9u8; 8]);
         assert_eq!(got[99], 7);
@@ -476,7 +525,10 @@ mod tests {
     fn hole_writes_rejected() {
         let v = fs();
         let f = v.create("a").expect("create");
-        assert!(matches!(v.write_at(f, 10, &[1]), Err(VfsError::InvalidArgument(_))));
+        assert!(matches!(
+            v.write_at(f, 10, &[1]),
+            Err(VfsError::InvalidArgument(_))
+        ));
     }
 
     #[test]
@@ -497,7 +549,10 @@ mod tests {
 
     #[test]
     fn delete_with_discard_trims() {
-        let v = fs_with(VfsOptions { discard_on_delete: true, ..Default::default() });
+        let v = fs_with(VfsOptions {
+            discard_on_delete: true,
+            ..Default::default()
+        });
         let f = v.create("a").expect("create");
         v.write_at(f, 0, &vec![1u8; 64 * 4096]).expect("write");
         v.delete("a").expect("delete");
@@ -520,7 +575,10 @@ mod tests {
         let v = fs();
         let f = v.create("a").expect("create");
         let big = vec![0u8; 20 * MB as usize];
-        assert!(matches!(v.write_at(f, 0, &big), Err(VfsError::NoSpace { .. })));
+        assert!(matches!(
+            v.write_at(f, 0, &big),
+            Err(VfsError::NoSpace { .. })
+        ));
         v.check_invariants();
     }
 
@@ -532,9 +590,15 @@ mod tests {
         assert!(!v.exists("a"));
         assert!(v.exists("b"));
         assert_eq!(v.list(), vec!["b".to_string()]);
-        assert!(matches!(v.rename("missing", "c"), Err(VfsError::NotFound(_))));
+        assert!(matches!(
+            v.rename("missing", "c"),
+            Err(VfsError::NotFound(_))
+        ));
         v.create("c").expect("create");
-        assert!(matches!(v.rename("b", "c"), Err(VfsError::AlreadyExists(_))));
+        assert!(matches!(
+            v.rename("b", "c"),
+            Err(VfsError::AlreadyExists(_))
+        ));
         v.check_invariants();
     }
 
@@ -558,7 +622,10 @@ mod tests {
         let clock = v.clock();
         let t0 = clock.now();
         v.write_at(f, 0, &vec![1u8; 4096]).expect("write");
-        assert!(clock.now() > t0, "direct-I/O write must consume simulated time");
+        assert!(
+            clock.now() > t0,
+            "direct-I/O write must consume simulated time"
+        );
     }
 
     #[test]
@@ -567,9 +634,14 @@ mod tests {
         let shared = ssd.into_shared();
         let pages = shared.lock().logical_pages();
         shared.lock().enable_trace();
-        let v = Vfs::new(Arc::clone(&shared), LpnRange::new(0, pages / 2), VfsOptions::default());
+        let v = Vfs::new(
+            Arc::clone(&shared),
+            LpnRange::new(0, pages / 2),
+            VfsOptions::default(),
+        );
         let f = v.create("a").expect("create");
-        v.write_at(f, 0, &vec![1u8; (pages / 2 * 4096) as usize]).expect("fill partition");
+        v.write_at(f, 0, &vec![1u8; (pages / 2 * 4096) as usize])
+            .expect("fill partition");
         let dev = shared.lock();
         let trace = dev.write_trace().expect("trace");
         assert!(

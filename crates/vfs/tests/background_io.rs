@@ -69,11 +69,15 @@ fn durability_is_tracked_across_bg_writes() {
     let v = stack();
     let clock = v.clock();
     let f = v.create("bg").expect("create");
-    v.write_at_bg(f, 0, &vec![1u8; 256 << 10]).expect("bg write");
+    v.write_at_bg(f, 0, &vec![1u8; 256 << 10])
+        .expect("bg write");
     let durable = v.durable_at(f).expect("durable");
     assert!(durable > clock.now(), "destage completes in the future");
     v.fsync(f).expect("fsync");
-    assert!(clock.now() >= durable, "fsync must wait for background destage");
+    assert!(
+        clock.now() >= durable,
+        "fsync must wait for background destage"
+    );
 }
 
 #[test]
@@ -97,7 +101,8 @@ fn bg_and_fg_data_views_are_identical() {
     let v = stack();
     let f = v.create("mix").expect("create");
     v.write_at_bg(f, 0, &vec![9u8; 64 << 10]).expect("bg");
-    v.write_at(f, 32 << 10, &vec![4u8; 16 << 10]).expect("fg overwrite");
+    v.write_at(f, 32 << 10, &vec![4u8; 16 << 10])
+        .expect("fg overwrite");
     let via_fg = v.read_at(f, 0, 64 << 10).expect("read");
     let via_bg = v.read_at_bg(f, 0, 64 << 10).expect("read");
     assert_eq!(via_fg, via_bg);

@@ -115,7 +115,9 @@ fn zeta(n: u64, theta: f64) -> f64 {
     if n <= EXACT_LIMIT {
         (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
     } else {
-        let head: f64 = (1..=EXACT_LIMIT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let head: f64 = (1..=EXACT_LIMIT)
+            .map(|i| 1.0 / (i as f64).powf(theta))
+            .sum();
         // Integral approximation of the tail.
         let a = EXACT_LIMIT as f64;
         let b = n as f64;
@@ -134,7 +136,10 @@ mod tests {
         for _ in 0..10_000 {
             seen[s.sample() as usize] = true;
         }
-        assert!(seen.iter().filter(|&&b| b).count() > 95, "uniform must cover the space");
+        assert!(
+            seen.iter().filter(|&&b| b).count() > 95,
+            "uniform must cover the space"
+        );
     }
 
     #[test]
@@ -200,7 +205,9 @@ mod tests {
     #[test]
     fn zeta_tail_approximation_is_close() {
         // Compare approximation vs exact slightly above the limit.
-        let exact: f64 = (1..=1_100_000u64).map(|i| 1.0 / (i as f64).powf(0.99)).sum();
+        let exact: f64 = (1..=1_100_000u64)
+            .map(|i| 1.0 / (i as f64).powf(0.99))
+            .sum();
         let approx = zeta(1_100_000, 0.99);
         assert!((exact - approx).abs() / exact < 1e-3);
     }

@@ -80,15 +80,31 @@ impl OpGenerator {
         self.ops_generated += 1;
         let key_index = self.sampler.sample();
         encode_key(key_index, self.spec.key_size, &mut self.key_buf);
-        let is_read = self.spec.read_fraction > 0.0 && self.rng.gen::<f64>() < self.spec.read_fraction;
+        let is_read =
+            self.spec.read_fraction > 0.0 && self.rng.gen::<f64>() < self.spec.read_fraction;
         if is_read {
             self.value_buf.clear();
-            Op { kind: OpKind::Read, key: &self.key_buf, value: &self.value_buf, key_index }
+            Op {
+                kind: OpKind::Read,
+                key: &self.key_buf,
+                value: &self.value_buf,
+                key_index,
+            }
         } else {
             let version = self.versions[key_index as usize] + 1;
             self.versions[key_index as usize] = version;
-            fill_value(key_index, version as u64, self.spec.value_size, &mut self.value_buf);
-            Op { kind: OpKind::Update, key: &self.key_buf, value: &self.value_buf, key_index }
+            fill_value(
+                key_index,
+                version as u64,
+                self.spec.value_size,
+                &mut self.value_buf,
+            );
+            Op {
+                kind: OpKind::Update,
+                key: &self.key_buf,
+                value: &self.value_buf,
+                key_index,
+            }
         }
     }
 }
@@ -140,7 +156,12 @@ mod tests {
     use crate::dist::KeyDistribution;
 
     fn spec() -> WorkloadSpec {
-        WorkloadSpec { num_keys: 100, key_size: 16, value_size: 64, ..Default::default() }
+        WorkloadSpec {
+            num_keys: 100,
+            key_size: 16,
+            value_size: 64,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -157,8 +178,13 @@ mod tests {
 
     #[test]
     fn mixed_stream_respects_ratio() {
-        let mut g = OpGenerator::new(WorkloadSpec { read_fraction: 0.5, ..spec() });
-        let reads = (0..10_000).filter(|_| g.next_op().kind == OpKind::Read).count();
+        let mut g = OpGenerator::new(WorkloadSpec {
+            read_fraction: 0.5,
+            ..spec()
+        });
+        let reads = (0..10_000)
+            .filter(|_| g.next_op().kind == OpKind::Read)
+            .count();
         let frac = reads as f64 / 10_000.0;
         assert!((frac - 0.5).abs() < 0.03, "read fraction {frac}");
     }
@@ -176,7 +202,10 @@ mod tests {
         assert!(version >= 1);
         let mut expect = Vec::new();
         crate::fill_value(idx, version as u64, 64, &mut expect);
-        assert_eq!(value, expect, "op value must match (key, version) derivation");
+        assert_eq!(
+            value, expect,
+            "op value must match (key, version) derivation"
+        );
     }
 
     #[test]

@@ -46,10 +46,7 @@ pub fn encode_key(idx: u64, key_size: usize, buf: &mut Vec<u8>) {
 
 /// Decodes a key produced by [`encode_key`] back to its index.
 pub fn decode_key(key: &[u8]) -> u64 {
-    let digits: String = key[1..]
-        .iter()
-        .map(|&b| b as char)
-        .collect();
+    let digits: String = key[1..].iter().map(|&b| b as char).collect();
     digits.trim_start_matches('0').parse().unwrap_or(0)
 }
 
@@ -70,7 +67,9 @@ pub fn fill_value(key_idx: u64, version: u64, value_size: usize, buf: &mut Vec<u
         buf.extend_from_slice(&state.to_le_bytes());
     }
     while buf.len() < value_size {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         buf.push((state >> 56) as u8);
     }
 }

@@ -52,7 +52,10 @@ impl WorkloadSpec {
     /// `capacity_bytes` (the paper's dataset-size sweeps are expressed as
     /// dataset/capacity ratios).
     pub fn sized_to(mut self, capacity_bytes: u64, fraction: f64) -> Self {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0,1)"
+        );
         self.num_keys =
             ((capacity_bytes as f64 * fraction) / self.kv_pair_bytes() as f64).round() as u64;
         assert!(self.num_keys > 0, "capacity too small for one KV pair");
@@ -90,7 +93,12 @@ mod tests {
 
     #[test]
     fn dataset_math() {
-        let s = WorkloadSpec { num_keys: 1000, key_size: 16, value_size: 4000, ..Default::default() };
+        let s = WorkloadSpec {
+            num_keys: 1000,
+            key_size: 16,
+            value_size: 4000,
+            ..Default::default()
+        };
         assert_eq!(s.kv_pair_bytes(), 4016);
         assert_eq!(s.dataset_bytes(), 4_016_000);
     }
@@ -105,7 +113,10 @@ mod tests {
 
     #[test]
     fn small_value_variant_keeps_dataset_size() {
-        let base = WorkloadSpec { num_keys: 100_000, ..Default::default() };
+        let base = WorkloadSpec {
+            num_keys: 100_000,
+            ..Default::default()
+        };
         let small = base.clone().with_value_size(128);
         assert_eq!(small.value_size, 128);
         let rel = (small.dataset_bytes() as f64 - base.dataset_bytes() as f64).abs()

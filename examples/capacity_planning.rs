@@ -10,7 +10,7 @@
 use ptsbench::core::costmodel::{fig6c_heatmap, fig8_heatmap, model_from_run, TB};
 use ptsbench::core::runner::{run, RunConfig};
 use ptsbench::core::state::DriveState;
-use ptsbench::core::system::EngineKind;
+use ptsbench::core::EngineKind;
 use ptsbench::metrics::report::render_heatmap;
 use ptsbench::ssd::MINUTE;
 
@@ -25,8 +25,14 @@ fn main() {
     let reference = base.profile.reference_capacity;
 
     println!("Measuring steady-state behaviour of both engines (preconditioned drive)...");
-    let lsm = run(&RunConfig { engine: EngineKind::Lsm, ..base.clone() });
-    let btree = run(&RunConfig { engine: EngineKind::BTree, ..base.clone() });
+    let lsm = run(&RunConfig {
+        engine: EngineKind::lsm(),
+        ..base.clone()
+    });
+    let btree = run(&RunConfig {
+        engine: EngineKind::btree(),
+        ..base.clone()
+    });
     println!(
         "  LSM:    {:.2} Kops/s steady, space amplification {:.2}",
         lsm.steady.steady_kops,
@@ -40,17 +46,24 @@ fn main() {
 
     let lsm_model = model_from_run("LSM", &lsm, reference);
     let bt_model = model_from_run("B+Tree", &btree, reference);
-    println!("\nPer 400 GB drive: LSM indexes {:.0} GB at {:.0} ops/s; B+Tree {:.0} GB at {:.0} ops/s",
-        lsm_model.per_instance_data_bytes as f64 / 1e9, lsm_model.per_instance_ops,
-        bt_model.per_instance_data_bytes as f64 / 1e9, bt_model.per_instance_ops);
+    println!(
+        "\nPer 400 GB drive: LSM indexes {:.0} GB at {:.0} ops/s; B+Tree {:.0} GB at {:.0} ops/s",
+        lsm_model.per_instance_data_bytes as f64 / 1e9,
+        lsm_model.per_instance_ops,
+        bt_model.per_instance_data_bytes as f64 / 1e9,
+        bt_model.per_instance_ops
+    );
 
     // Fig 6c: which engine needs fewer drives?
-    println!("\n{}", render_heatmap(&fig6c_heatmap(&lsm, &btree, reference)));
+    println!(
+        "\n{}",
+        render_heatmap(&fig6c_heatmap(&lsm, &btree, reference))
+    );
 
     // Fig 8: is reserving 25% of each drive as over-provisioning worth it?
     println!("Measuring the LSM with a 25% over-provisioning partition...");
     let lsm_op = run(&RunConfig {
-        engine: EngineKind::Lsm,
+        engine: EngineKind::lsm(),
         partition_fraction: 0.75,
         ..base
     });
@@ -58,7 +71,10 @@ fn main() {
         "  LSM+OP: {:.2} Kops/s steady (WA-D {:.2} vs {:.2} without OP)",
         lsm_op.steady.steady_kops, lsm_op.steady.wa_d, lsm.steady.wa_d
     );
-    println!("\n{}", render_heatmap(&fig8_heatmap(&lsm, &lsm_op, reference)));
+    println!(
+        "\n{}",
+        render_heatmap(&fig8_heatmap(&lsm, &lsm_op, reference))
+    );
 
     // A worked example.
     let dataset = 3 * TB;
@@ -66,6 +82,10 @@ fn main() {
     let op_model = model_from_run("LSM+OP", &lsm_op, reference);
     println!("Worked example — 3 TB dataset at 12 Kops/s target:");
     for m in [&lsm_model, &bt_model, &op_model] {
-        println!("  {:10} needs {} drives", m.name, m.drives_needed(dataset, target));
+        println!(
+            "  {:10} needs {} drives",
+            m.name,
+            m.drives_needed(dataset, target)
+        );
     }
 }

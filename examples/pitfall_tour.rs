@@ -8,8 +8,8 @@
 //! ```
 
 use ptsbench::core::pitfalls::{
-    p1_short_tests, p2_wad, p3_initial_state, p4_dataset_size, p5_space_amp,
-    p6_overprovisioning, p7_storage_tech, workloads, PitfallOptions,
+    p1_short_tests, p2_wad, p3_initial_state, p4_dataset_size, p5_space_amp, p6_overprovisioning,
+    p7_storage_tech, workloads, PitfallOptions,
 };
 use ptsbench::ssd::MINUTE;
 
@@ -19,14 +19,20 @@ fn options() -> PitfallOptions {
     } else {
         // Long enough for steady-state claims, small enough to finish
         // the whole tour in well under a minute.
-        PitfallOptions { duration: 120 * MINUTE, ..PitfallOptions::quick() }
+        PitfallOptions {
+            duration: 120 * MINUTE,
+            ..PitfallOptions::quick()
+        }
     }
 }
 
 fn main() {
     let opts = options();
-    println!("ptsbench pitfall tour — device {} MiB, {} simulated minutes per run\n",
-        opts.device_bytes >> 20, opts.duration / MINUTE);
+    println!(
+        "ptsbench pitfall tour — device {} MiB, {} simulated minutes per run\n",
+        opts.device_bytes >> 20,
+        opts.duration / MINUTE
+    );
 
     let mut passed = 0;
     let mut total = 0;
@@ -54,7 +60,10 @@ fn main() {
 
     println!("================ summary ================");
     for (id, title, ok) in summary {
-        println!("  pitfall {id}: {title:55} [{}]", if ok { "ok" } else { "FAILED" });
+        println!(
+            "  pitfall {id}: {title:55} [{}]",
+            if ok { "ok" } else { "FAILED" }
+        );
     }
     println!("{passed}/{total} verdicts passed");
 }

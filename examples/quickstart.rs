@@ -6,6 +6,7 @@
 //! ```
 
 use ptsbench::btree::{BTreeDb, BTreeOptions};
+use ptsbench::core::EngineTuning;
 use ptsbench::lsm::{LsmDb, LsmOptions};
 use ptsbench::ssd::{DeviceConfig, DeviceProfile, Ssd};
 use ptsbench::vfs::{Vfs, VfsOptions};
@@ -23,8 +24,8 @@ fn main() {
     let vfs = Vfs::whole_device(ssd.clone(), VfsOptions::default());
 
     // 3. An LSM-tree (RocksDB-like) on top.
-    let mut db = LsmDb::open(vfs.clone(), LsmOptions::scaled_to_partition(64 << 20))
-        .expect("open LSM");
+    let mut db =
+        LsmDb::open(vfs.clone(), LsmOptions::scaled_to_partition(64 << 20)).expect("open LSM");
 
     println!("Writing 5000 key-value pairs through the LSM-tree...");
     for i in 0..5000u32 {
@@ -38,20 +39,36 @@ fn main() {
     // simulated device reads on misses.
     let got = db.get(b"user00001234").expect("get").expect("present");
     assert_eq!(got.len(), 512);
-    let range = db.scan(b"user00000100", Some(b"user00000110"), 100).expect("scan");
+    let range = db
+        .scan(b"user00000100", Some(b"user00000110"), 100)
+        .expect("scan");
     assert_eq!(range.len(), 10);
 
     // 4. The paper's observability surface: SMART counters on the
     //    simulated drive.
     let smart = ssd.lock().smart();
     let stats = db.stats();
-    println!("LSM engine:     {} flushes, {} compactions, {} trivial moves",
-        stats.flushes, stats.compactions, stats.trivial_moves);
-    println!("host writes:    {:.1} MiB", smart.host_pages_written as f64 * 4096.0 / 1048576.0);
-    println!("NAND writes:    {:.1} MiB", smart.nand_pages_written as f64 * 4096.0 / 1048576.0);
-    println!("WA-D:           {:.2} (device-level write amplification)", smart.wa_d());
+    println!(
+        "LSM engine:     {} flushes, {} compactions, {} trivial moves",
+        stats.flushes, stats.compactions, stats.trivial_moves
+    );
+    println!(
+        "host writes:    {:.1} MiB",
+        smart.host_pages_written as f64 * 4096.0 / 1048576.0
+    );
+    println!(
+        "NAND writes:    {:.1} MiB",
+        smart.nand_pages_written as f64 * 4096.0 / 1048576.0
+    );
+    println!(
+        "WA-D:           {:.2} (device-level write amplification)",
+        smart.wa_d()
+    );
     println!("level summary:  {:?}", db.level_summary());
-    println!("disk used:      {:.1} MiB", vfs.stats().used_bytes as f64 / 1048576.0);
+    println!(
+        "disk used:      {:.1} MiB",
+        vfs.stats().used_bytes as f64 / 1048576.0
+    );
 
     // 5. The same stack works with the B+Tree (WiredTiger-like) engine.
     let ssd2 = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 64 << 20)).into_shared();
@@ -60,13 +77,39 @@ fn main() {
     println!("\nWriting the same data through the B+Tree...");
     for i in 0..5000u32 {
         let key = format!("user{i:08}");
-        bt.put(key.as_bytes(), &vec![(i % 251) as u8; 512]).expect("put");
+        bt.put(key.as_bytes(), &vec![(i % 251) as u8; 512])
+            .expect("put");
     }
     bt.checkpoint().expect("checkpoint");
     let smart2 = ssd2.lock().smart();
-    println!("B+Tree engine:  {} splits, {} checkpoints, height/entries {:?}",
-        bt.stats().splits, bt.stats().checkpoints, bt.verify());
+    println!(
+        "B+Tree engine:  {} splits, {} checkpoints, height/entries {:?}",
+        bt.stats().splits,
+        bt.stats().checkpoints,
+        bt.verify()
+    );
     println!("WA-D:           {:.2}", smart2.wa_d());
-    println!("\nBoth engines ran on fully simulated flash: every number above");
+
+    // 6. The engine API is open: any engine that registered a
+    //    descriptor — here the KVell-style hash log, which lives in its
+    //    own crate — is resolvable through the registry without naming
+    //    its concrete type, and drives the same uniform interface.
+    let hashlog = ptsbench::hashlog::register();
+    let ssd3 = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 64 << 20)).into_shared();
+    let vfs3 = Vfs::whole_device(ssd3.clone(), VfsOptions::default());
+    let mut hl = hashlog
+        .open(vfs3, &EngineTuning::for_device(64 << 20))
+        .expect("open hash log");
+    println!("\nWriting the same data through {}...", hashlog.name());
+    for i in 0..5000u32 {
+        let key = format!("user{i:08}");
+        hl.put(key.as_bytes(), &vec![(i % 251) as u8; 512])
+            .expect("put");
+    }
+    hl.flush().expect("flush");
+    println!("hashlog engine: {}", hl.stats().structural_summary());
+    println!("WA-D:           {:.2}", ssd3.lock().smart().wa_d());
+
+    println!("\nAll three engines ran on fully simulated flash: every number above");
     println!("came from the FTL, not from your machine's disk.");
 }

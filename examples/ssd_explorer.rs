@@ -34,7 +34,10 @@ fn main() {
     for lpn in 0..pages {
         ssd.write_page(lpn);
     }
-    println!("sequential fill:                    WA-D = {:.2}", ssd.smart().wa_d());
+    println!(
+        "sequential fill:                    WA-D = {:.2}",
+        ssd.smart().wa_d()
+    );
 
     // 2. Random overwrites of the full LBA space: the worst case.
     let wa = random_writes(&mut ssd, pages, 3 * pages, &mut rng);

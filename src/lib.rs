@@ -9,6 +9,9 @@
 //! * [`vfs`] — extent filesystem and partitioning over the simulated drive.
 //! * [`lsm`] — leveled LSM-tree key-value store (RocksDB stand-in).
 //! * [`btree`] — paged B+Tree key-value store (WiredTiger stand-in).
+//! * [`hashlog`] — KVell-style log-structured hash KV store, registered
+//!   with the engine registry from outside `ptsbench-core` (the proof
+//!   that the engine API is open).
 //! * [`workload`] — key/value workload generators.
 //! * [`metrics`] — time series, write-amplification math, CUSUM
 //!   steady-state detection, CDFs, storage-cost models.
@@ -20,6 +23,7 @@
 
 pub use ptsbench_btree as btree;
 pub use ptsbench_core as core;
+pub use ptsbench_hashlog as hashlog;
 pub use ptsbench_lsm as lsm;
 pub use ptsbench_metrics as metrics;
 pub use ptsbench_ssd as ssd;

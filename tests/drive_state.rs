@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 
 use ptsbench::core::runner::{run, RunConfig};
 use ptsbench::core::state::DriveState;
-use ptsbench::core::system::EngineKind;
+use ptsbench::core::EngineKind;
 use ptsbench::ssd::{DeviceConfig, DeviceProfile, LpnRange, Ssd, MINUTE};
 
 fn quick(engine: EngineKind, state: DriveState) -> RunConfig {
@@ -22,8 +22,8 @@ fn quick(engine: EngineKind, state: DriveState) -> RunConfig {
 
 #[test]
 fn preconditioning_hurts_the_btree_more_than_trimming() {
-    let trim = run(&quick(EngineKind::BTree, DriveState::Trimmed));
-    let prec = run(&quick(EngineKind::BTree, DriveState::Preconditioned));
+    let trim = run(&quick(EngineKind::btree(), DriveState::Trimmed));
+    let prec = run(&quick(EngineKind::btree(), DriveState::Preconditioned));
     assert!(
         prec.steady.wa_d > trim.steady.wa_d * 1.1,
         "preconditioned B+Tree WA-D {} must exceed trimmed {}",
@@ -40,11 +40,11 @@ fn preconditioning_hurts_the_btree_more_than_trimming() {
 fn software_overprovisioning_reduces_wa_d_end_to_end() {
     let no_op = run(&RunConfig {
         partition_fraction: 1.0,
-        ..quick(EngineKind::Lsm, DriveState::Preconditioned)
+        ..quick(EngineKind::lsm(), DriveState::Preconditioned)
     });
     let with_op = run(&RunConfig {
         partition_fraction: 0.75,
-        ..quick(EngineKind::Lsm, DriveState::Preconditioned)
+        ..quick(EngineKind::lsm(), DriveState::Preconditioned)
     });
     assert!(
         with_op.steady.wa_d < no_op.steady.wa_d,
@@ -52,7 +52,10 @@ fn software_overprovisioning_reduces_wa_d_end_to_end() {
         with_op.steady.wa_d,
         no_op.steady.wa_d
     );
-    assert!(with_op.ops_executed > no_op.ops_executed, "OP must speed the LSM up");
+    assert!(
+        with_op.ops_executed > no_op.ops_executed,
+        "OP must speed the LSM up"
+    );
 }
 
 #[test]
@@ -71,7 +74,11 @@ fn preconditioned_device_state_is_reproducible() {
         a.write_page(lpn);
         b.write_page(lpn);
     }
-    assert_eq!(a.smart(), b.smart(), "identical seeds must give identical dynamics");
+    assert_eq!(
+        a.smart(),
+        b.smart(),
+        "identical seeds must give identical dynamics"
+    );
 }
 
 #[test]
@@ -100,7 +107,7 @@ fn trimmed_op_partition_is_never_touched() {
     let cfg = RunConfig {
         partition_fraction: 0.75,
         trace_lba: true,
-        ..quick(EngineKind::Lsm, DriveState::Trimmed)
+        ..quick(EngineKind::lsm(), DriveState::Trimmed)
     };
     let r = run(&cfg);
     let untouched = r.untouched_lba_fraction.expect("traced");

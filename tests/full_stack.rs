@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use ptsbench::core::system::{build_system, EngineKind};
+use ptsbench::core::{EngineKind, EngineTuning};
 use ptsbench::ssd::{DeviceConfig, DeviceProfile, SharedSsd, Ssd};
 use ptsbench::vfs::{Vfs, VfsOptions};
 
@@ -19,9 +19,11 @@ fn stack(bytes: u64) -> (SharedSsd, Vfs) {
 
 #[test]
 fn engines_agree_with_model_on_shared_stack() {
-    for kind in [EngineKind::Lsm, EngineKind::BTree] {
+    for kind in [EngineKind::lsm(), EngineKind::btree()] {
         let (ssd, vfs) = stack(64 << 20);
-        let mut sys = build_system(kind, vfs.clone(), 64 << 20).expect("build");
+        let mut sys = kind
+            .open(vfs.clone(), &EngineTuning::for_device(64 << 20))
+            .expect("build");
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         let mut rng = SmallRng::seed_from_u64(123);
 
@@ -29,7 +31,9 @@ fn engines_agree_with_model_on_shared_stack() {
             let k = format!("key{:07}", rng.gen_range(0..800u32)).into_bytes();
             match rng.gen_range(0..10) {
                 0..=5 => {
-                    let v = format!("val-{step}").into_bytes().repeat(1 + (step % 5) as usize);
+                    let v = format!("val-{step}")
+                        .into_bytes()
+                        .repeat(1 + (step % 5) as usize);
                     sys.put(&k, &v).expect("put");
                     model.insert(k, v);
                 }
@@ -38,19 +42,30 @@ fn engines_agree_with_model_on_shared_stack() {
                     model.remove(&k);
                 }
                 8 => {
-                    assert_eq!(sys.get(&k).expect("get"), model.get(&k).cloned(), "{kind:?}");
+                    assert_eq!(
+                        sys.get(&k).expect("get"),
+                        model.get(&k).cloned(),
+                        "{kind:?}"
+                    );
                 }
                 _ => {
-                    let got = sys.scan(&k, None, 5).expect("scan");
-                    let expect: Vec<_> =
-                        model.range(k.clone()..).take(5).map(|(a, b)| (a.clone(), b.clone())).collect();
+                    let got = sys.scan_to_vec(&k, None, 5).expect("scan");
+                    let expect: Vec<_> = model
+                        .range(k.clone()..)
+                        .take(5)
+                        .map(|(a, b)| (a.clone(), b.clone()))
+                        .collect();
                     assert_eq!(got, expect, "{kind:?} scan at step {step}");
                 }
             }
         }
         sys.flush().expect("flush");
         for (k, v) in &model {
-            assert_eq!(sys.get(k).expect("get").as_ref(), Some(v), "{kind:?} final audit");
+            assert_eq!(
+                sys.get(k).expect("get").as_ref(),
+                Some(v),
+                "{kind:?} final audit"
+            );
         }
 
         // Cross-layer accounting: the device saw at least as many NAND
@@ -72,10 +87,13 @@ fn engines_agree_with_model_on_shared_stack() {
 fn simulated_time_advances_monotonically_through_the_stack() {
     let (ssd, vfs) = stack(32 << 20);
     let clock = vfs.clock();
-    let mut sys = build_system(EngineKind::Lsm, vfs, 32 << 20).expect("build");
+    let mut sys = EngineKind::lsm()
+        .open(vfs, &EngineTuning::for_device(32 << 20))
+        .expect("build");
     let mut last = clock.now();
     for i in 0..2_000u32 {
-        sys.put(format!("k{i:06}").as_bytes(), &[0u8; 512]).expect("put");
+        sys.put(format!("k{i:06}").as_bytes(), &[0u8; 512])
+            .expect("put");
         let now = clock.now();
         assert!(now >= last, "clock went backwards at op {i}");
         last = now;
@@ -91,7 +109,9 @@ fn nodiscard_semantics_survive_engine_churn() {
     // the filesystem's live usage (dead file pages are still "valid" in
     // the FTL) — the aged-filesystem behaviour Pitfall 3 depends on.
     let (ssd, vfs) = stack(48 << 20);
-    let mut sys = build_system(EngineKind::Lsm, vfs.clone(), 48 << 20).expect("build");
+    let mut sys = EngineKind::lsm()
+        .open(vfs.clone(), &EngineTuning::for_device(48 << 20))
+        .expect("build");
     let mut rng = SmallRng::seed_from_u64(5);
     for _ in 0..4_000 {
         let k = format!("key{:07}", rng.gen_range(0..2_000u32));
@@ -122,8 +142,12 @@ fn two_engines_side_by_side_on_partitions() {
         ptsbench::ssd::LpnRange::new(pages / 2, pages),
         VfsOptions::default(),
     );
-    let mut lsm = build_system(EngineKind::Lsm, vfs_a, 32 << 20).expect("lsm");
-    let mut btree = build_system(EngineKind::BTree, vfs_b, 32 << 20).expect("btree");
+    let mut lsm = EngineKind::lsm()
+        .open(vfs_a, &EngineTuning::for_device(32 << 20))
+        .expect("lsm");
+    let mut btree = EngineKind::btree()
+        .open(vfs_b, &EngineTuning::for_device(32 << 20))
+        .expect("btree");
     for i in 0..1_000u32 {
         let k = format!("k{i:06}");
         lsm.put(k.as_bytes(), b"from-lsm").expect("lsm put");
@@ -131,8 +155,14 @@ fn two_engines_side_by_side_on_partitions() {
     }
     for i in (0..1_000u32).step_by(97) {
         let k = format!("k{i:06}");
-        assert_eq!(lsm.get(k.as_bytes()).expect("get"), Some(b"from-lsm".to_vec()));
-        assert_eq!(btree.get(k.as_bytes()).expect("get"), Some(b"from-btree".to_vec()));
+        assert_eq!(
+            lsm.get(k.as_bytes()).expect("get"),
+            Some(b"from-lsm".to_vec())
+        );
+        assert_eq!(
+            btree.get(k.as_bytes()).expect("get"),
+            Some(b"from-btree".to_vec())
+        );
     }
     assert!(ssd.lock().smart().host_pages_written > 0);
 }

@@ -7,7 +7,7 @@ use ptsbench::core::costmodel::{fig6c_heatmap, model_from_run};
 use ptsbench::core::pitfalls::{p1_short_tests, p2_wad, PitfallOptions};
 use ptsbench::core::runner::{run, RunConfig};
 use ptsbench::core::state::DriveState;
-use ptsbench::core::system::EngineKind;
+use ptsbench::core::EngineKind;
 use ptsbench::metrics::wa::{space_amplification, steady_state_by_host_writes};
 use ptsbench::ssd::MINUTE;
 
@@ -32,8 +32,10 @@ fn pitfall_reports_are_well_formed() {
 fn end_to_end_wa_relationship_holds() {
     // The §4.2 argument: end-to-end WA = WA-A x WA-D, and ranking by
     // WA-A alone understates the LSM/B+Tree efficiency gap.
-    let opts =
-        PitfallOptions { duration: 120 * MINUTE, ..PitfallOptions::quick() };
+    let opts = PitfallOptions {
+        duration: 120 * MINUTE,
+        ..PitfallOptions::quick()
+    };
     let p = p2_wad::evaluate(&opts);
     let lsm = p.lsm.steady;
     let bt = p.btree.steady;
@@ -41,7 +43,10 @@ fn end_to_end_wa_relationship_holds() {
     assert!(lsm.wa_a > bt.wa_a, "LSM must have higher WA-A");
     let e2e_gap = lsm.end_to_end_wa / bt.end_to_end_wa;
     let waa_gap = lsm.wa_a / bt.wa_a;
-    assert!(e2e_gap > waa_gap, "WA-D must widen the gap: {e2e_gap} vs {waa_gap}");
+    assert!(
+        e2e_gap > waa_gap,
+        "WA-D must widen the gap: {e2e_gap} vs {waa_gap}"
+    );
 }
 
 #[test]
@@ -53,8 +58,14 @@ fn cost_model_composes_with_measured_runs() {
         drive_state: DriveState::Trimmed,
         ..RunConfig::default()
     };
-    let lsm = run(&RunConfig { engine: EngineKind::Lsm, ..base.clone() });
-    let btree = run(&RunConfig { engine: EngineKind::BTree, ..base });
+    let lsm = run(&RunConfig {
+        engine: EngineKind::lsm(),
+        ..base.clone()
+    });
+    let btree = run(&RunConfig {
+        engine: EngineKind::btree(),
+        ..base
+    });
     let reference = 400u64 << 30;
 
     let m_lsm = model_from_run("lsm", &lsm, reference);
@@ -75,7 +86,7 @@ fn cost_model_composes_with_measured_runs() {
 #[test]
 fn space_amp_and_steady_state_helpers_match_runs() {
     let r = run(&RunConfig {
-        engine: EngineKind::Lsm,
+        engine: EngineKind::lsm(),
         device_bytes: 48 << 20,
         duration: 100 * MINUTE,
         sample_window: 10 * MINUTE,
@@ -91,7 +102,11 @@ fn space_amp_and_steady_state_helpers_match_runs() {
     assert_eq!(
         r.steady.three_times_capacity,
         steady_state_by_host_writes(
-            if r.steady.three_times_capacity { 3 * (48 << 20) } else { 0 },
+            if r.steady.three_times_capacity {
+                3 * (48 << 20)
+            } else {
+                0
+            },
             48 << 20,
             3.0
         )
@@ -100,8 +115,8 @@ fn space_amp_and_steady_state_helpers_match_runs() {
 
 #[test]
 fn engine_labels_and_names_are_stable() {
-    assert_eq!(EngineKind::Lsm.label(), "lsm");
-    assert_eq!(EngineKind::BTree.label(), "btree");
-    assert!(EngineKind::Lsm.name().contains("RocksDB"));
-    assert!(EngineKind::BTree.name().contains("WiredTiger"));
+    assert_eq!(EngineKind::lsm().label(), "lsm");
+    assert_eq!(EngineKind::btree().label(), "btree");
+    assert!(EngineKind::lsm().name().contains("RocksDB"));
+    assert!(EngineKind::btree().name().contains("WiredTiger"));
 }

@@ -3,7 +3,7 @@
 //! raw device counters.
 
 use ptsbench::core::runner::{run, RunConfig};
-use ptsbench::core::system::EngineKind;
+use ptsbench::core::EngineKind;
 use ptsbench::metrics::CusumDetector;
 use ptsbench::ssd::MINUTE;
 use ptsbench::workload::KeyDistribution;
@@ -20,7 +20,7 @@ fn quick(engine: EngineKind) -> RunConfig {
 
 #[test]
 fn samples_are_well_formed() {
-    for engine in [EngineKind::Lsm, EngineKind::BTree] {
+    for engine in [EngineKind::lsm(), EngineKind::btree()] {
         let r = run(&quick(engine));
         assert_eq!(r.samples.len(), 10, "{engine:?}: 50 min / 5 min windows");
         let mut prev_t = 0;
@@ -30,7 +30,11 @@ fn samples_are_well_formed() {
             assert!(s.kv_kops >= 0.0);
             assert!(s.device_write_mbps >= 0.0);
             assert!(s.wa_a >= 1.0, "WA-A below 1 is impossible: {}", s.wa_a);
-            assert!(s.wa_d >= 1.0 - 1e-9, "WA-D below 1 is impossible: {}", s.wa_d);
+            assert!(
+                s.wa_d >= 1.0 - 1e-9,
+                "WA-D below 1 is impossible: {}",
+                s.wa_d
+            );
             assert!(s.space_amp >= 0.9, "space amp {} nonsensical", s.space_amp);
             assert!((0.0..=1.0).contains(&s.device_utilization));
         }
@@ -43,7 +47,7 @@ fn samples_are_well_formed() {
 
 #[test]
 fn identical_configs_reproduce_identical_results() {
-    let cfg = quick(EngineKind::Lsm);
+    let cfg = quick(EngineKind::lsm());
     let a = run(&cfg);
     let b = run(&cfg);
     assert_eq!(a.ops_executed, b.ops_executed);
@@ -55,12 +59,21 @@ fn identical_configs_reproduce_identical_results() {
 
 #[test]
 fn different_seeds_change_the_op_stream_not_the_shape() {
-    let a = run(&RunConfig { seed: 1, ..quick(EngineKind::Lsm) });
-    let b = run(&RunConfig { seed: 2, ..quick(EngineKind::Lsm) });
+    let a = run(&RunConfig {
+        seed: 1,
+        ..quick(EngineKind::lsm())
+    });
+    let b = run(&RunConfig {
+        seed: 2,
+        ..quick(EngineKind::lsm())
+    });
     // Different ops, same macroscopic behaviour (within 30%).
     assert_ne!(a.ops_executed, b.ops_executed);
     let rel = (a.steady.wa_a - b.steady.wa_a).abs() / a.steady.wa_a;
-    assert!(rel < 0.3, "WA-A should be seed-insensitive, differs by {rel}");
+    assert!(
+        rel < 0.3,
+        "WA-A should be seed-insensitive, differs by {rel}"
+    );
 }
 
 #[test]
@@ -68,10 +81,16 @@ fn oversized_dataset_fails_cleanly() {
     // A 97% dataset cannot survive LSM space amplification: the run must
     // end in out-of-space, either during load or in the update phase,
     // without panicking.
-    let r = run(&RunConfig { dataset_fraction: 0.97, ..quick(EngineKind::Lsm) });
+    let r = run(&RunConfig {
+        dataset_fraction: 0.97,
+        ..quick(EngineKind::lsm())
+    });
     assert!(r.out_of_space);
     if r.failed_during_load {
-        assert!(r.samples.is_empty(), "no measured phase after a failed load");
+        assert!(
+            r.samples.is_empty(),
+            "no measured phase after a failed load"
+        );
     } else {
         assert!(r.disk_used_bytes > 0, "usage recorded up to the failure");
     }
@@ -79,17 +98,23 @@ fn oversized_dataset_fails_cleanly() {
 
 #[test]
 fn zipfian_workload_runs_and_skews_the_trace() {
-    let uniform = run(&RunConfig { trace_lba: true, ..quick(EngineKind::BTree) });
+    let uniform = run(&RunConfig {
+        trace_lba: true,
+        ..quick(EngineKind::btree())
+    });
     let zipf = run(&RunConfig {
         distribution: KeyDistribution::Zipfian { theta: 0.99 },
         trace_lba: true,
-        ..quick(EngineKind::BTree)
+        ..quick(EngineKind::btree())
     });
     // Skewed updates concentrate leaf rewrites: the hottest LBAs absorb
     // a larger share of writes than under uniform access.
     let hot_share = |r: &ptsbench::core::runner::RunResult| {
         let cdf = r.lba_cdf.as_ref().expect("traced");
-        cdf.iter().find(|(x, _)| *x >= 0.05).expect("x=0.05 sample").1
+        cdf.iter()
+            .find(|(x, _)| *x >= 0.05)
+            .expect("x=0.05 sample")
+            .1
     };
     assert!(
         hot_share(&zipf) > hot_share(&uniform),
@@ -103,7 +128,10 @@ fn zipfian_workload_runs_and_skews_the_trace() {
 fn cusum_declares_steady_state_on_runner_output() {
     // A long B+Tree run is the steadiest system we have: CUSUM must find
     // a steady region.
-    let r = run(&RunConfig { duration: 100 * MINUTE, ..quick(EngineKind::BTree) });
+    let r = run(&RunConfig {
+        duration: 100 * MINUTE,
+        ..quick(EngineKind::btree())
+    });
     let tput = r.throughput_series();
     let detector = CusumDetector::default();
     assert!(
@@ -121,7 +149,7 @@ fn adaptive_runs_stop_early_once_steady() {
     let budget = RunConfig {
         duration: 600 * MINUTE,
         stop_when_steady: true,
-        ..quick(EngineKind::BTree)
+        ..quick(EngineKind::btree())
     };
     let adaptive = run(&budget);
     assert!(
@@ -129,13 +157,22 @@ fn adaptive_runs_stop_early_once_steady() {
         "adaptive run should stop well before the 600-minute budget, ran {} windows",
         adaptive.samples.len()
     );
-    assert!(adaptive.samples.len() >= 6, "needs enough windows to judge steadiness");
-    assert!(adaptive.steady.three_times_capacity, "must not stop before the 3x rule");
+    assert!(
+        adaptive.samples.len() >= 6,
+        "needs enough windows to judge steadiness"
+    );
+    assert!(
+        adaptive.steady.three_times_capacity,
+        "must not stop before the 3x rule"
+    );
 }
 
 #[test]
 fn mixed_workload_reads_hit_the_device() {
-    let r = run(&RunConfig { read_fraction: 0.5, ..quick(EngineKind::BTree) });
+    let r = run(&RunConfig {
+        read_fraction: 0.5,
+        ..quick(EngineKind::btree())
+    });
     let reads: f64 = r.samples.iter().map(|s| s.device_read_mbps).sum();
     assert!(reads > 0.0, "a 50:50 workload must generate device reads");
 }
