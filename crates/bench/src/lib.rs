@@ -15,6 +15,7 @@
 //! | `fig07_overprovisioning` | Fig 7a/7b + Fig 8 (Pitfall 6) |
 //! | `fig09_ssd_types` | Fig 9 + Fig 10a/10b (Pitfall 7) |
 //! | `fig11_workloads` | Fig 11a–11d |
+//! | `fig_scaling` | beyond the paper: 1→8 client scaling, all engines |
 //! | `micro` | criterion micro-benchmarks |
 //!
 //! Sizing: benches default to a 128 MiB simulated stand-in for the

@@ -5,7 +5,7 @@ use ptsbench_core::EngineKind;
 use ptsbench_ssd::MINUTE;
 
 fn dump(label: &str, cfg: &RunConfig) {
-    let r = run(cfg);
+    let r = run(cfg).expect("run");
     println!(
         "== {label} ops={} oos={} ==",
         r.ops_executed, r.out_of_space

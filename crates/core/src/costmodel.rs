@@ -81,6 +81,8 @@ mod tests {
             dataset_bytes,
             partition_bytes: (device_bytes as f64 * partition_fraction) as u64,
             device_bytes,
+            app_bytes_written: 0,
+            host_bytes_written: 0,
             steady: SteadySummary {
                 steady_from: Some(0),
                 early_kops: steady_kops * 2.0,

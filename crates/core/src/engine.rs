@@ -293,7 +293,11 @@ impl EngineStats {
 /// Implementations register an `EngineDescriptor` with the
 /// [`crate::registry::EngineRegistry`]; see the repository README for a
 /// worked "add an engine" example.
-pub trait PtsEngine {
+///
+/// `Send` is a supertrait: the concurrent harness moves each engine
+/// handle onto a client thread (one shard per engine instance, never
+/// shared), so every engine must be transferable across threads.
+pub trait PtsEngine: Send {
     /// Inserts or overwrites a key.
     fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), PtsError>;
 

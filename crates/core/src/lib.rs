@@ -14,10 +14,16 @@
 //!   engines are `ptsbench-lsm` and `ptsbench-btree`; `ptsbench-hashlog`
 //!   registers a third from outside this crate.
 //! * [`state`] — drive-state control: trimmed vs preconditioned (§3.4).
+//! * [`measure`] — the reusable experiment mechanics (stack build, bulk
+//!   load, resumable measured phase) shared by the single-threaded
+//!   runner and the concurrent `ptsbench-harness` driver.
 //! * [`runner`] — the experiment runner: batched sequential load phase,
 //!   timed update/read phase on the simulated clock, per-window sampling
 //!   of every §3.3 metric (KV throughput, device throughput, WA-A,
 //!   WA-D, space amplification), CUSUM steady-state summary.
+//! * [`sharded`] — the [`ShardedRun`] configuration: N client threads
+//!   over M shared-nothing engine shards (executed by
+//!   `ptsbench-harness`).
 //! * [`pitfalls`] — one module per pitfall; each reproduces the
 //!   corresponding figures and returns a programmatic verdict that the
 //!   pitfall's phenomenon manifested.
@@ -34,14 +40,18 @@
 
 pub mod costmodel;
 pub mod engine;
+pub mod measure;
 pub mod pitfalls;
 pub mod registry;
 pub mod runner;
+pub mod sharded;
 pub mod state;
 
 pub use engine::{
     BatchOp, EngineStats, PtsEngine, PtsError, ScanCursor, ScanItem, ScanItems, WriteBatch,
 };
+pub use measure::{build_stack, bulk_load, Experiment, Stack};
 pub use registry::{EngineKind, EngineRegistry, EngineTuning, Lifecycle};
 pub use runner::{run, RunConfig, RunResult, Sample, SteadySummary};
+pub use sharded::ShardedRun;
 pub use state::DriveState;

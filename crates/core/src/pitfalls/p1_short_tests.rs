@@ -36,11 +36,13 @@ pub fn evaluate(opts: &PitfallOptions) -> Pitfall1 {
     let lsm = run(&RunConfig {
         engine: EngineKind::lsm(),
         ..base.clone()
-    });
+    })
+    .expect("pitfall 1 lsm run");
     let btree = run(&RunConfig {
         engine: EngineKind::btree(),
         ..base
-    });
+    })
+    .expect("pitfall 1 btree run");
     Pitfall1 { lsm, btree }
 }
 

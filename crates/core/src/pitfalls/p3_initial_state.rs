@@ -45,6 +45,7 @@ pub fn evaluate(opts: &PitfallOptions) -> Pitfall3 {
             trace_lba: trace,
             ..base.clone()
         })
+        .expect("pitfall 3 run")
     };
     Pitfall3 {
         lsm_trim: mk(EngineKind::lsm(), DriveState::Trimmed, true),

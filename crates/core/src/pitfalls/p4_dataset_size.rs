@@ -56,7 +56,7 @@ pub fn evaluate(opts: &PitfallOptions) -> Pitfall4 {
                     fraction,
                     engine,
                     state,
-                    result: run(&cfg),
+                    result: run(&cfg).expect("pitfall 4 run"),
                 });
             }
         }

@@ -60,7 +60,7 @@ pub fn evaluate(opts: &PitfallOptions) -> Pitfall5 {
             points.push(SpacePoint {
                 fraction,
                 engine,
-                result: run(&cfg),
+                result: run(&cfg).expect("pitfall 5 run"),
             });
         }
     }

@@ -46,7 +46,7 @@ pub fn evaluate(opts: &PitfallOptions) -> Pitfall6 {
                     seed: opts.seed,
                     ..RunConfig::default()
                 };
-                runs.push((engine, extra_op, state, run(&cfg)));
+                runs.push((engine, extra_op, state, run(&cfg).expect("pitfall 6 run")));
             }
         }
     }

@@ -53,7 +53,7 @@ pub fn evaluate(opts: &PitfallOptions) -> Pitfall7 {
                 seed: opts.seed,
                 ..RunConfig::default()
             };
-            runs.push((engine, idx, run(&cfg)));
+            runs.push((engine, idx, run(&cfg).expect("pitfall 7 run")));
         }
     }
     Pitfall7 { runs }

@@ -61,7 +61,7 @@ pub fn evaluate(opts: &PitfallOptions) -> Fig11 {
                     ..RunConfig::default()
                 };
                 variant.apply(&mut cfg);
-                runs.push((variant, engine, state, run(&cfg)));
+                runs.push((variant, engine, state, run(&cfg).expect("fig 11 run")));
             }
         }
     }

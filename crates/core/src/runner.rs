@@ -14,20 +14,21 @@
 //!
 //! All reported rates are *reference-scale*: simulated ops/s multiplied
 //! by the capacity ratio, directly comparable to the paper's figures.
+//!
+//! The mechanics live in [`crate::measure`], shared with the concurrent
+//! sharded harness; `run` is the single-threaded driver. Engine
+//! failures surface as [`PtsError`] — out-of-space is an *outcome*
+//! ([`RunResult::out_of_space`]), any other failure an `Err`.
 
-use ptsbench_metrics::cusum::CusumDetector;
 use ptsbench_metrics::histogram::LatencyHistogram;
 use ptsbench_metrics::timeseries::TimeSeries;
-use ptsbench_ssd::{DeviceProfile, LpnRange, Ns, SmartCounters, Ssd, MINUTE};
-use ptsbench_vfs::{Vfs, VfsOptions};
-use ptsbench_workload::{KeyDistribution, Loader, OpGenerator, OpKind, WorkloadSpec};
+use ptsbench_ssd::{DeviceProfile, Ns, MINUTE};
+use ptsbench_workload::{KeyDistribution, WorkloadSpec};
 
-use crate::engine::{PtsError, WriteBatch};
-use crate::registry::{EngineKind, EngineTuning};
+use crate::engine::PtsError;
+use crate::measure::Experiment;
+use crate::registry::EngineKind;
 use crate::state::DriveState;
-
-/// Operations per [`WriteBatch`] during the bulk-load phase.
-const LOAD_BATCH_OPS: usize = 128;
 
 /// Full description of one experiment run.
 #[derive(Debug, Clone)]
@@ -202,6 +203,12 @@ pub struct RunResult {
     pub partition_bytes: u64,
     /// Simulated device capacity in bytes.
     pub device_bytes: u64,
+    /// Application payload bytes written during the measured phase
+    /// (the WA-A denominator; the harness sums these across shards).
+    pub app_bytes_written: u64,
+    /// Host bytes reaching the device during the measured phase (the
+    /// WA-A numerator).
+    pub host_bytes_written: u64,
     /// Steady-state summary.
     pub steady: SteadySummary,
 }
@@ -246,234 +253,21 @@ impl RunResult {
     }
 }
 
-/// Executes one experiment.
-pub fn run(cfg: &RunConfig) -> RunResult {
-    let workload = cfg.workload();
-    let scale = cfg.scale();
-    let dataset_bytes = workload.dataset_bytes();
-
-    // 1. Device in its initial state.
-    let mut device_cfg = cfg.profile.scaled_to(cfg.device_bytes);
-    device_cfg.trace_writes = cfg.trace_lba;
-    let mut device = Ssd::new(device_cfg);
-    if cfg.drive_state == DriveState::Preconditioned {
-        device.precondition(cfg.seed);
-    }
-
-    // 2. Partition + software OP (the reserved tail is trimmed, making
-    //    it invisible garbage-collection headroom).
-    let logical = device.logical_pages();
-    let partition_pages = ((logical as f64 * cfg.partition_fraction) as u64).max(1);
-    if partition_pages < logical {
-        device.trim_range(LpnRange::new(partition_pages, logical));
-    }
-    let clock = std::sync::Arc::clone(device.clock());
-    let page_size = device.page_size() as u64;
-    let shared = device.into_shared();
-    let vfs = Vfs::new(
-        std::sync::Arc::clone(&shared),
-        LpnRange::new(0, partition_pages),
-        VfsOptions::default(),
-    );
-    let partition_bytes = partition_pages * page_size;
-
-    let mut result = RunResult {
-        label: cfg.label(),
-        samples: Vec::new(),
-        out_of_space: false,
-        failed_during_load: false,
-        ops_executed: 0,
-        latency: LatencyHistogram::new(),
-        lba_cdf: None,
-        untouched_lba_fraction: None,
-        disk_used_bytes: 0,
-        dataset_bytes,
-        partition_bytes,
-        device_bytes: cfg.device_bytes,
-        steady: SteadySummary {
-            steady_from: None,
-            early_kops: 0.0,
-            steady_kops: 0.0,
-            wa_a: 1.0,
-            wa_d: 1.0,
-            end_to_end_wa: 1.0,
-            three_times_capacity: false,
-        },
-    };
-
-    // 3. Build the engine through the registry and bulk-load the
-    //    dataset sequentially in write batches.
-    let tuning = EngineTuning::for_device(cfg.device_bytes);
-    let mut system = match cfg.engine.open(vfs.clone(), &tuning) {
-        Ok(s) => s,
-        Err(PtsError::OutOfSpace) => {
-            result.out_of_space = true;
-            result.failed_during_load = true;
-            return result;
-        }
-        Err(e) => panic!("engine construction failed: {e}"),
-    };
-    let mut loader = Loader::new(workload.clone());
-    let mut batch = WriteBatch::new();
-    let load_outcome = (|| -> Result<(), PtsError> {
-        while let Some((key, value)) = loader.next_pair() {
-            batch.put(key, value);
-            if batch.len() >= LOAD_BATCH_OPS {
-                system.apply_batch(&batch)?;
-                batch.clear();
-            }
-        }
-        if !batch.is_empty() {
-            system.apply_batch(&batch)?;
-        }
-        system.flush()
-    })();
-    match load_outcome {
-        Ok(()) => {}
-        Err(PtsError::OutOfSpace) => {
-            result.out_of_space = true;
-            result.failed_during_load = true;
-            result.disk_used_bytes = vfs.stats().used_bytes;
-            return result;
-        }
-        Err(e) => panic!("load failed: {e}"),
-    }
-
-    // 4. Reset observability; the measured phase starts at t0.
-    shared.lock().reset_observability();
-    vfs.reset_peak_usage();
-    let t0 = clock.now();
-    let app_bytes_t0 = system.app_bytes_written();
-    let cpu_cost_sim = ((cfg.cpu_cost_ns.unwrap_or(cfg.engine.default_cpu_cost_ns()) as f64)
-        * scale)
-        .round() as Ns;
-
-    let mut gen = OpGenerator::new(workload.clone());
-    let window_secs = cfg.sample_window as f64 / 1e9;
-    let mut next_sample = t0 + cfg.sample_window;
-    let mut prev_smart = SmartCounters::default();
-    let mut prev_ops: u64 = 0;
-    let mut max_disk_used = vfs.stats().used_bytes;
-    // (updated from the filesystem's high-water mark at each sample)
-
-    // Sampling closure state is threaded manually (no captures of
-    // `system` to keep borrows simple).
-    macro_rules! emit_sample {
-        ($now:expr) => {{
-            let smart = shared.lock().smart();
-            let delta = smart.delta_since(&prev_smart);
-            let ops_window = result.ops_executed - prev_ops;
-            let host_bytes_cum = smart.host_pages_written * page_size;
-            let app_bytes_cum = system.app_bytes_written() - app_bytes_t0;
-            let fs = vfs.stats();
-            max_disk_used = max_disk_used.max(fs.peak_used_pages * page_size);
-            result.samples.push(Sample {
-                t: $now - t0,
-                kv_kops: ops_window as f64 / window_secs * scale / 1_000.0,
-                device_write_mbps: delta.host_pages_written as f64 * page_size as f64 / window_secs
-                    * scale
-                    / 1e6,
-                device_read_mbps: delta.host_pages_read as f64 * page_size as f64 / window_secs
-                    * scale
-                    / 1e6,
-                wa_a: if app_bytes_cum == 0 {
-                    1.0
-                } else {
-                    host_bytes_cum as f64 / app_bytes_cum as f64
-                },
-                wa_d: smart.wa_d(),
-                wa_d_window: delta.wa_d(),
-                space_amp: if dataset_bytes == 0 {
-                    1.0
-                } else {
-                    max_disk_used as f64 / dataset_bytes as f64
-                },
-                device_utilization: shared.lock().utilization(),
-            });
-            prev_smart = smart;
-            prev_ops = result.ops_executed;
-        }};
-    }
-
-    // 5. The measured phase.
-    let deadline = t0 + cfg.duration;
-    let steady_detector = CusumDetector::default();
-    let mut stopped_steady = false;
-    loop {
-        let now = clock.now();
-        if now >= deadline {
-            break;
-        }
-        while next_sample <= now {
-            emit_sample!(next_sample);
-            next_sample += cfg.sample_window;
-        }
-        if cfg.stop_when_steady && result.samples.len() >= 6 {
-            let host_bytes = shared.lock().smart().host_pages_written * page_size;
-            if host_bytes >= 3 * cfg.device_bytes {
-                let tput: Vec<f64> = result.samples.iter().map(|s| s.kv_kops).collect();
-                if steady_detector.is_steady(&tput) {
-                    stopped_steady = true;
-                    break;
-                }
-            }
-        }
-        let op_start = clock.now();
-        let op = gen.next_op();
-        let outcome = match op.kind {
-            OpKind::Update => system.put(op.key, op.value),
-            OpKind::Read => system.get(op.key).map(|_| ()),
-        };
-        match outcome {
-            Ok(()) => {}
-            Err(PtsError::OutOfSpace) => {
-                result.out_of_space = true;
-                break;
-            }
-            Err(e) => panic!("operation failed: {e}"),
-        }
-        clock.advance(cpu_cost_sim);
-        result.ops_executed += 1;
-        result.latency.record(clock.now() - op_start);
-    }
-    // Final partial/boundary samples up to the deadline (skipped when
-    // the run ended early on out-of-space or steady-state detection).
-    while next_sample <= deadline && !result.out_of_space && !stopped_steady {
-        emit_sample!(next_sample);
-        next_sample += cfg.sample_window;
-    }
-
-    // 6. Summaries.
-    result.disk_used_bytes = max_disk_used.max(vfs.stats().peak_used_pages * page_size);
-    {
-        let dev = shared.lock();
-        if let Some(trace) = dev.write_trace() {
-            result.lba_cdf = Some(trace.cdf_by_descending_frequency(100));
-            result.untouched_lba_fraction = Some(trace.untouched_fraction());
-        }
-        let smart = dev.smart();
-        let host_bytes = smart.host_pages_written * page_size;
-        let app_bytes = system.app_bytes_written() - app_bytes_t0;
-        result.steady.wa_a = if app_bytes == 0 {
-            1.0
-        } else {
-            host_bytes as f64 / app_bytes as f64
-        };
-        result.steady.wa_d = smart.wa_d();
-        result.steady.end_to_end_wa = result.steady.wa_a * result.steady.wa_d;
-        result.steady.three_times_capacity = host_bytes >= 3 * cfg.device_bytes;
-    }
-    let tput = result.throughput_series();
-    result.steady.early_kops = tput.early_mean(2).unwrap_or(0.0);
-    let tail_n = (tput.len() / 2).max(3);
-    result.steady.steady_kops = tput.tail_mean(tail_n).unwrap_or(0.0);
-    result.steady.steady_from = CusumDetector::default().steady_from(&tput.values());
-    result
+/// Executes one experiment single-threaded.
+///
+/// Out-of-space is reported in the result; any other engine failure —
+/// construction, load, or a per-op error — is returned as `Err` so
+/// callers (and harness shards) can fail without aborting the process.
+pub fn run(cfg: &RunConfig) -> Result<RunResult, PtsError> {
+    let mut exp = Experiment::prepare(cfg)?;
+    exp.run_until(cfg.duration)?;
+    Ok(exp.finish())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ptsbench_ssd::MINUTE;
 
     /// A configuration small enough for debug-mode unit tests.
     fn quick(engine: EngineKind) -> RunConfig {
@@ -486,9 +280,13 @@ mod tests {
         }
     }
 
+    fn run_ok(cfg: &RunConfig) -> RunResult {
+        run(cfg).expect("run")
+    }
+
     #[test]
     fn lsm_run_produces_samples_and_metrics() {
-        let r = run(&quick(EngineKind::lsm()));
+        let r = run_ok(&quick(EngineKind::lsm()));
         assert!(!r.out_of_space, "default dataset must fit");
         assert_eq!(r.samples.len(), 8, "40 min / 5 min windows");
         assert!(r.ops_executed > 100, "ops: {}", r.ops_executed);
@@ -498,6 +296,8 @@ mod tests {
             r.steady.wa_a
         );
         assert!(r.steady.early_kops > 0.0);
+        assert!(r.app_bytes_written > 0);
+        assert!(r.host_bytes_written > r.app_bytes_written);
         let last = r.samples.last().expect("samples");
         assert!(last.space_amp >= 1.0);
         assert!(last.device_utilization > 0.3);
@@ -505,7 +305,7 @@ mod tests {
 
     #[test]
     fn btree_run_produces_samples_and_metrics() {
-        let r = run(&quick(EngineKind::btree()));
+        let r = run_ok(&quick(EngineKind::btree()));
         assert!(!r.out_of_space);
         assert!(r.ops_executed > 50, "ops: {}", r.ops_executed);
         assert!(
@@ -527,7 +327,7 @@ mod tests {
             trace_lba: true,
             ..quick(EngineKind::btree())
         };
-        let r = run(&cfg);
+        let r = run_ok(&cfg);
         let cdf = r.lba_cdf.expect("trace enabled");
         assert!(cdf.len() > 10);
         let untouched = r.untouched_lba_fraction.expect("trace enabled");
@@ -543,7 +343,7 @@ mod tests {
             dataset_fraction: 0.95,
             ..quick(EngineKind::lsm())
         };
-        let r = run(&cfg);
+        let r = run_ok(&cfg);
         assert!(
             r.out_of_space,
             "a 95% dataset cannot fit an LSM's space amplification"
@@ -565,13 +365,32 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let a = run(&quick(EngineKind::lsm()));
-        let b = run(&quick(EngineKind::lsm()));
+        let a = run_ok(&quick(EngineKind::lsm()));
+        let b = run_ok(&quick(EngineKind::lsm()));
         assert_eq!(a.ops_executed, b.ops_executed);
         assert_eq!(a.samples.len(), b.samples.len());
         for (x, y) in a.samples.iter().zip(&b.samples) {
             assert_eq!(x.kv_kops, y.kv_kops);
             assert_eq!(x.wa_d, y.wa_d);
         }
+    }
+
+    #[test]
+    fn stepped_experiment_matches_single_shot() {
+        // The harness drives Experiment::run_until in epochs; stepping
+        // must not change any measured number vs one big call.
+        let cfg = quick(EngineKind::lsm());
+        let single = run_ok(&cfg);
+        let mut exp = crate::measure::Experiment::prepare(&cfg).expect("prepare");
+        let mut rel = 0;
+        while rel < cfg.duration {
+            rel += 5 * MINUTE;
+            exp.run_until(rel).expect("step");
+        }
+        let stepped = exp.finish();
+        assert_eq!(single.ops_executed, stepped.ops_executed);
+        assert_eq!(single.samples, stepped.samples);
+        assert_eq!(single.latency.count(), stepped.latency.count());
+        assert_eq!(single.host_bytes_written, stepped.host_bytes_written);
     }
 }

@@ -1,0 +1,250 @@
+//! The multi-client driver: client threads, barrier epochs, merge.
+
+use std::sync::Arc;
+
+use ptsbench_core::engine::PtsError;
+use ptsbench_core::measure::Experiment;
+use ptsbench_core::runner::RunResult;
+use ptsbench_core::sharded::ShardedRun;
+use ptsbench_metrics::runreport::{RunReport, ShardReport};
+use ptsbench_ssd::ClockBarrier;
+
+/// Everything a sharded run produces: the merged report plus the full
+/// per-shard [`RunResult`]s (in shard-index order) for callers that
+/// want the single-run level of detail.
+#[derive(Debug, Clone)]
+pub struct HarnessOutcome {
+    /// The merged run-level report.
+    pub report: RunReport,
+    /// Per-shard results, indexed by shard.
+    pub shard_results: Vec<RunResult>,
+}
+
+/// Runs a concurrent sharded experiment and returns the merged report.
+///
+/// Spawns `cfg.clients` OS threads; each prepares and drives its own
+/// disjoint subset of the `cfg.shards` shard experiments, advancing
+/// them one `cfg.epoch` of virtual time at a time and synchronizing on
+/// a [`ClockBarrier`] between epochs. Per-shard out-of-space ends that
+/// shard early but the run continues; any hard engine failure stops
+/// the run and is returned (the failing client leaves the barrier so
+/// the others drain instead of deadlocking).
+///
+/// With fixed seeds the merged report is byte-identical run-to-run —
+/// shard simulations share nothing, so thread scheduling cannot perturb
+/// them.
+pub fn run_sharded(cfg: &ShardedRun) -> Result<RunReport, PtsError> {
+    Ok(run_sharded_with_results(cfg)?.report)
+}
+
+/// [`run_sharded`], also returning the per-shard [`RunResult`]s.
+pub fn run_sharded_with_results(cfg: &ShardedRun) -> Result<HarnessOutcome, PtsError> {
+    cfg.validate();
+    let barrier = ClockBarrier::new(cfg.clients, cfg.epoch);
+
+    let per_client: Vec<Result<Vec<(usize, RunResult)>, PtsError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|client| {
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || drive_client(cfg, client, &barrier))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+
+    // Deterministic merge order: flatten in client order, then sort by
+    // shard index. Errors propagate lowest-client-first.
+    let mut results: Vec<(usize, RunResult)> = Vec::with_capacity(cfg.shards);
+    for client_results in per_client {
+        results.extend(client_results?);
+    }
+    results.sort_by_key(|(shard, _)| *shard);
+
+    let reports = results
+        .iter()
+        .map(|(shard, r)| shard_report(*shard, r))
+        .collect();
+    let report = RunReport::merge(cfg.label(), cfg.clients, reports);
+    Ok(HarnessOutcome {
+        report,
+        shard_results: results.into_iter().map(|(_, r)| r).collect(),
+    })
+}
+
+/// Leaves the barrier when dropped, so a client that returns an error
+/// — or *unwinds on a panic* — always stops the other clients from
+/// waiting for it at the next boundary instead of deadlocking them.
+struct LeaveOnExit<'a>(&'a ClockBarrier);
+
+impl Drop for LeaveOnExit<'_> {
+    fn drop(&mut self) {
+        self.0.leave();
+    }
+}
+
+/// One client thread: prepare owned shards, step them through barrier
+/// epochs, finish them.
+fn drive_client(
+    cfg: &ShardedRun,
+    client: usize,
+    barrier: &ClockBarrier,
+) -> Result<Vec<(usize, RunResult)>, PtsError> {
+    let _leave = LeaveOnExit(barrier);
+    let mut experiments: Vec<(usize, Experiment)> = Vec::new();
+    for shard in cfg.shards_of_client(client) {
+        let shard_cfg = cfg.shard_config(shard);
+        let workload = cfg.shard_workload(shard);
+        experiments.push((shard, Experiment::prepare_with(&shard_cfg, workload)?));
+    }
+    for epoch in 1..=cfg.epochs() {
+        let rel_deadline = (epoch * cfg.epoch).min(cfg.base.duration);
+        for (_, experiment) in experiments.iter_mut() {
+            experiment.run_until(rel_deadline)?;
+        }
+        barrier.arrive();
+    }
+    Ok(experiments
+        .into_iter()
+        .map(|(shard, experiment)| (shard, experiment.finish()))
+        .collect())
+}
+
+/// A shard's contribution to the merged report. The series listed here
+/// are the *additive* ones (rates sum across shards).
+fn shard_report(index: usize, r: &RunResult) -> ShardReport {
+    ShardReport {
+        name: format!("shard{index}"),
+        ops: r.ops_executed,
+        out_of_space: r.out_of_space,
+        latency: r.latency.clone(),
+        app_bytes: r.app_bytes_written,
+        host_bytes: r.host_bytes_written,
+        series: vec![r.throughput_series(), r.device_write_series()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbench_core::registry::EngineKind;
+    use ptsbench_core::runner::{run, RunConfig};
+    use ptsbench_ssd::MINUTE;
+
+    /// Small enough for debug-mode tests: 16 MiB per shard (the SSD1
+    /// geometry floor), short measured phase.
+    fn base(total_bytes: u64) -> RunConfig {
+        RunConfig {
+            engine: EngineKind::lsm(),
+            device_bytes: total_bytes,
+            duration: 10 * MINUTE,
+            sample_window: 5 * MINUTE,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn one_client_matches_the_unsharded_runner() {
+        let cfg = base(32 << 20);
+        let single = run(&cfg).expect("single run");
+        let sharded = ShardedRun::new(cfg, 1);
+        let outcome = run_sharded_with_results(&sharded).expect("sharded run");
+        let shard = &outcome.shard_results[0];
+        assert_eq!(shard.ops_executed, single.ops_executed);
+        assert_eq!(shard.samples, single.samples);
+        assert_eq!(outcome.report.ops, single.ops_executed);
+        assert_eq!(
+            outcome.report.latency.count(),
+            single.latency.count(),
+            "merged latency must equal the single run's"
+        );
+    }
+
+    #[test]
+    fn two_clients_double_aggregate_virtual_throughput() {
+        let one = run_sharded(&ShardedRun::new(base(32 << 20), 1)).expect("1 client");
+        let two = run_sharded(&ShardedRun::new(base(64 << 20), 2)).expect("2 clients");
+        assert!(one.ops > 0);
+        assert!(
+            two.ops as f64 > 1.5 * one.ops as f64,
+            "2 clients must scale aggregate ops: {} vs {}",
+            two.ops,
+            one.ops
+        );
+        // Merged series sum per-shard rates on aligned windows.
+        let kops = two.series_named("kv_kops").expect("kops series");
+        assert_eq!(kops.len(), 2, "10 min / 5 min windows");
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_runs() {
+        let cfg = || {
+            let mut s = ShardedRun::new(base(64 << 20), 2);
+            s.shards = 4;
+            s
+        };
+        let a = run_sharded(&cfg()).expect("run a").render();
+        let b = run_sharded(&cfg()).expect("run b").render();
+        assert_eq!(a, b, "fixed seeds must reproduce the report exactly");
+        assert!(a.contains("shards=4"));
+    }
+
+    #[test]
+    fn shards_outnumbering_clients_are_interleaved() {
+        let mut sharded = ShardedRun::new(base(64 << 20), 2);
+        sharded.shards = 4;
+        let outcome = run_sharded_with_results(&sharded).expect("run");
+        assert_eq!(outcome.shard_results.len(), 4);
+        assert_eq!(outcome.report.shards.len(), 4);
+        for (i, shard) in outcome.report.shards.iter().enumerate() {
+            assert_eq!(shard.name, format!("shard{i}"), "merge order by index");
+            assert!(shard.ops > 0, "shard {i} must execute ops");
+        }
+    }
+
+    #[test]
+    fn client_panic_propagates_instead_of_deadlocking() {
+        use ptsbench_core::engine::PtsEngine;
+        use ptsbench_core::registry::{EngineDescriptor, EngineRegistry, EngineTuning, Lifecycle};
+        use ptsbench_vfs::Vfs;
+
+        fn build_panicking(
+            _vfs: Vfs,
+            _tuning: &EngineTuning,
+            _lifecycle: Lifecycle,
+        ) -> Result<Box<dyn PtsEngine>, PtsError> {
+            panic!("engine construction panic (test)")
+        }
+        let kind = EngineRegistry::register(EngineDescriptor {
+            name: "Panicking (test)",
+            label: "panic-test-engine",
+            default_cpu_cost_ns: 1,
+            build: build_panicking,
+        });
+        let mut cfg = base(32 << 20);
+        cfg.engine = kind;
+        let sharded = ShardedRun::new(cfg, 2);
+        // Must not hang: the panicking client's barrier departure (drop
+        // guard) releases the other client, and the panic propagates.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_sharded(&sharded)));
+        assert!(outcome.is_err(), "the client panic must propagate");
+    }
+
+    #[test]
+    fn out_of_space_shards_end_early_without_killing_the_run() {
+        let mut cfg = base(32 << 20);
+        cfg.dataset_fraction = 0.95;
+        let sharded = ShardedRun::new(cfg, 2);
+        let report = run_sharded(&sharded).expect("harness must survive ENOSPC shards");
+        assert!(
+            report.out_of_space_shards() > 0,
+            "95% dataset must not fit an LSM's space amplification"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # ptsbench-harness — the concurrent sharded workload driver
+//!
+//! The paper measures every pitfall through a single-threaded
+//! update/read phase; real tree-structure deployments serve many
+//! clients at once, and flash SSDs only reveal their internal
+//! parallelism under concurrent request streams (Roh et al.). This
+//! crate scales the methodology out without giving up its defining
+//! property — determinism on a simulated clock:
+//!
+//! * **Shared-nothing shards.** A `ShardedRun` (from `ptsbench-core`)
+//!   splits the experiment into `M` shards: each gets an equal slice of
+//!   the simulated capacity as its *own* device, its own filesystem
+//!   partition, its own engine instance, and its own contiguous slice
+//!   of the key space with an independently seeded op stream
+//!   (`WorkloadSpec::shard`). Nothing is shared between shards, so no
+//!   thread interleaving can perturb any shard's simulation — the
+//!   KVell-style partitioned design the paper's §4.1 discusses.
+//! * **Real threads, virtual lockstep.** `N` client threads each drive
+//!   their shards' measured phases one epoch at a time and meet at a
+//!   `ptsbench_ssd::ClockBarrier` between epochs: the global experiment
+//!   clock only advances when every active client has simulated up to
+//!   the boundary, so sampling windows line up across clients and no
+//!   client runs arbitrarily ahead.
+//! * **Mergeable metrics.** Every client records its own latency
+//!   histogram and per-window series; [`run_sharded`] folds them into
+//!   one `ptsbench_metrics::RunReport`. Fixed seeds produce
+//!   byte-identical rendered reports run-to-run, regardless of thread
+//!   scheduling — the CI determinism check diffs exactly this.
+//!
+//! ```no_run
+//! use ptsbench_core::{RunConfig, ShardedRun};
+//! use ptsbench_harness::run_sharded;
+//!
+//! let run = ShardedRun::new(RunConfig::default(), 4);
+//! let report = run_sharded(&run).expect("harness run");
+//! println!("{}", report.render());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod driver;
+
+pub use driver::{run_sharded, run_sharded_with_results, HarnessOutcome};

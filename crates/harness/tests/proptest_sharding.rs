@@ -1,0 +1,127 @@
+//! Property tests of the sharding decomposition.
+//!
+//! The harness's correctness rests on two algebraic facts, checked here
+//! against the unsharded single-client baseline:
+//!
+//! 1. splitting a workload into `k` shards partitions the key space
+//!    exactly (every generated key has exactly one owning shard);
+//! 2. routing a read-only op stream by key ownership and merging the
+//!    per-shard latency histograms reproduces the unsharded histogram
+//!    *exactly* — same totals, same quantile buckets — so nothing is
+//!    lost or double-counted by per-client measurement.
+
+use proptest::prelude::*;
+
+use ptsbench_metrics::LatencyHistogram;
+use ptsbench_workload::{KeyDistribution, OpGenerator, OpKind, WorkloadSpec};
+
+/// Deterministic synthetic per-op latency: spreads keys over several
+/// histogram buckets without involving a device model.
+fn synthetic_latency_ns(key_index: u64) -> u64 {
+    1_000 + (key_index % 97) * 3_731
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Merged per-shard histograms of a routed read-only stream equal
+    /// the unsharded run's histogram: same totals, same quantile
+    /// buckets, same extremes.
+    #[test]
+    fn sharded_histograms_merge_to_the_unsharded_run(
+        shards in 1usize..9,
+        num_keys in 64u64..2_000,
+        ops in 100usize..2_000,
+        seed in any::<u64>(),
+        zipf in any::<bool>(),
+    ) {
+        let spec = WorkloadSpec {
+            num_keys,
+            read_fraction: 1.0,
+            distribution: if zipf {
+                KeyDistribution::Zipfian { theta: 0.9 }
+            } else {
+                KeyDistribution::Uniform
+            },
+            seed,
+            ..WorkloadSpec::default()
+        };
+        let slices = spec.split(shards);
+
+        // The unsharded single-client run...
+        let mut reference = LatencyHistogram::new();
+        // ...and the same stream routed to per-shard histograms by key
+        // ownership.
+        let mut per_shard: Vec<LatencyHistogram> =
+            (0..shards).map(|_| LatencyHistogram::new()).collect();
+
+        let mut generator = OpGenerator::new(spec.clone());
+        for _ in 0..ops {
+            let (kind, key_index) = {
+                let op = generator.next_op();
+                (op.kind, op.key_index)
+            };
+            prop_assert_eq!(kind, OpKind::Read, "read-only workload");
+            let latency = synthetic_latency_ns(key_index);
+            reference.record(latency);
+            let owners: Vec<usize> = slices
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.owns_key(key_index))
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(
+                owners.len(),
+                1,
+                "key {} must have exactly one owning shard",
+                key_index
+            );
+            per_shard[owners[0]].record(latency);
+        }
+
+        let mut merged = LatencyHistogram::new();
+        for h in &per_shard {
+            merged.merge(h);
+        }
+        prop_assert_eq!(merged.count(), reference.count(), "same totals");
+        prop_assert_eq!(merged.min(), reference.min());
+        prop_assert_eq!(merged.max(), reference.max());
+        prop_assert!((merged.mean() - reference.mean()).abs() < 1e-6);
+        for q in [0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(
+                merged.quantile(q),
+                reference.quantile(q),
+                "quantile {} bucket must match",
+                q
+            );
+        }
+    }
+
+    /// Independent per-shard generators draw only from their own slice,
+    /// and the slices tile the parent key space.
+    #[test]
+    fn per_shard_generators_partition_the_key_space(
+        shards in 1usize..9,
+        num_keys in 64u64..2_000,
+        seed in any::<u64>(),
+    ) {
+        let spec = WorkloadSpec {
+            num_keys,
+            seed,
+            ..WorkloadSpec::default()
+        };
+        let slices = spec.split(shards);
+        let mut covered = 0u64;
+        for slice in &slices {
+            covered += slice.num_keys;
+            let lo = slice.key_base;
+            let hi = slice.key_end();
+            let mut g = OpGenerator::new(slice.clone());
+            for _ in 0..64 {
+                let idx = g.next_op().key_index;
+                prop_assert!(idx >= lo && idx < hi);
+            }
+        }
+        prop_assert_eq!(covered, num_keys, "slices must tile the key space");
+    }
+}

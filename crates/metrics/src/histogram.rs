@@ -107,12 +107,21 @@ impl LatencyHistogram {
     }
 
     /// Merges another histogram into this one.
+    ///
+    /// Used by the concurrent harness to fold per-client histograms
+    /// into one report, so it is overflow-safe (saturating counters)
+    /// and treats an empty operand as the identity: merging an empty
+    /// histogram never disturbs `min`/`max`, and merging *into* an
+    /// empty histogram adopts the other side's extremes exactly.
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+        if other.total == 0 {
+            return;
         }
-        self.total += other.total;
-        self.sum_ns += other.sum_ns;
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = a.saturating_add(*b);
+        }
+        self.total = self.total.saturating_add(other.total);
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
         self.max_ns = self.max_ns.max(other.max_ns);
         self.min_ns = self.min_ns.min(other.min_ns);
     }
@@ -181,6 +190,41 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.max(), 9_000);
         assert_eq!(a.min(), 1_000);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = LatencyHistogram::new();
+        a.record(2_000);
+        a.record(5_000);
+        let before = (a.count(), a.min(), a.max(), a.quantile(0.5));
+        a.merge(&LatencyHistogram::new());
+        assert_eq!((a.count(), a.min(), a.max(), a.quantile(0.5)), before);
+
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.min(), 2_000, "merging into empty adopts min");
+        assert_eq!(empty.max(), 5_000);
+        // min() of a still-empty merged pair stays the 0 sentinel.
+        let mut both = LatencyHistogram::new();
+        both.merge(&LatencyHistogram::new());
+        assert_eq!(both.min(), 0);
+        assert_eq!(both.count(), 0);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(1_000);
+        b.record(1_000);
+        a.total = u64::MAX - 1;
+        a.counts[LatencyHistogram::bucket_of(1_000)] = u64::MAX - 1;
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX, "totals saturate");
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX, "repeat merges stay saturated");
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! * [`cost`] — the storage-cost model behind the Fig 6c and Fig 8
 //!   heatmaps (#drives = max(capacity-bound, throughput-bound));
 //! * [`report`] — plain-text rendering of series, sweeps and heatmaps in
-//!   the shape of the paper's figures.
+//!   the shape of the paper's figures;
+//! * [`runreport`] — merged reports of concurrent sharded runs: per-client
+//!   histograms/series folded into one deterministic [`RunReport`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +29,7 @@ pub mod cusum;
 pub mod histogram;
 pub mod lifetime;
 pub mod report;
+pub mod runreport;
 pub mod timeseries;
 pub mod wa;
 
@@ -35,5 +38,6 @@ pub use cost::{CostModel, DeploymentPlan, Heatmap};
 pub use cusum::CusumDetector;
 pub use histogram::LatencyHistogram;
 pub use lifetime::EnduranceModel;
+pub use runreport::{RunReport, ShardReport};
 pub use timeseries::TimeSeries;
 pub use wa::WaBreakdown;

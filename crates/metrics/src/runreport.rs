@@ -1,0 +1,257 @@
+//! Merged reports of concurrent, sharded runs.
+//!
+//! The concurrent harness drives several clients, each measuring its
+//! own shard with a private [`LatencyHistogram`] and per-window
+//! [`TimeSeries`]. A [`RunReport`] folds those per-client
+//! [`ShardReport`]s into one experiment-level result: summed additive
+//! series, one merged latency distribution, and aggregate
+//! write-amplification from the summed byte counters.
+//!
+//! Rendering is deliberately deterministic: every number is formatted
+//! with fixed precision and shards are ordered by index, so two runs
+//! with the same seed produce **byte-identical** report text — the
+//! property the CI determinism check diffs for.
+
+use crate::histogram::LatencyHistogram;
+use crate::report::render_series_table;
+use crate::timeseries::TimeSeries;
+
+/// One client's view of its shard, as handed to [`RunReport::merge`].
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard name (e.g. `shard0`); reports render shards sorted by
+    /// their position in the merge input, so pass them in index order.
+    pub name: String,
+    /// Operations executed in the measured phase.
+    pub ops: u64,
+    /// Whether the shard ended early because its partition filled up.
+    pub out_of_space: bool,
+    /// Per-op latency distribution (simulated ns).
+    pub latency: LatencyHistogram,
+    /// Application payload bytes written during the measured phase.
+    pub app_bytes: u64,
+    /// Host bytes reaching the device during the measured phase.
+    pub host_bytes: u64,
+    /// Additive per-window series (throughput, device MB/s, ...). All
+    /// shards must emit the same series names in the same order, on the
+    /// same window boundaries.
+    pub series: Vec<TimeSeries>,
+}
+
+/// The merged outcome of one concurrent sharded experiment.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Configuration label.
+    pub label: String,
+    /// Client threads that drove the run.
+    pub clients: usize,
+    /// Total operations across all shards.
+    pub ops: u64,
+    /// Merged latency distribution.
+    pub latency: LatencyHistogram,
+    /// Aggregate application bytes written.
+    pub app_bytes: u64,
+    /// Aggregate host bytes written.
+    pub host_bytes: u64,
+    /// Summed additive series (same names/order as the shard inputs).
+    pub series: Vec<TimeSeries>,
+    /// The per-shard inputs, in merge order.
+    pub shards: Vec<ShardReport>,
+}
+
+impl RunReport {
+    /// Folds per-shard reports into one run-level report. Shards must
+    /// be passed in shard-index order for deterministic rendering.
+    pub fn merge(label: impl Into<String>, clients: usize, shards: Vec<ShardReport>) -> Self {
+        assert!(!shards.is_empty(), "a run needs at least one shard");
+        let mut ops: u64 = 0;
+        let mut app_bytes: u64 = 0;
+        let mut host_bytes: u64 = 0;
+        let mut latency = LatencyHistogram::new();
+        let mut series: Vec<TimeSeries> = Vec::new();
+        for shard in &shards {
+            ops = ops.saturating_add(shard.ops);
+            app_bytes = app_bytes.saturating_add(shard.app_bytes);
+            host_bytes = host_bytes.saturating_add(shard.host_bytes);
+            latency.merge(&shard.latency);
+            for (i, s) in shard.series.iter().enumerate() {
+                match series.get_mut(i) {
+                    Some(agg) => {
+                        assert_eq!(
+                            agg.name(),
+                            s.name(),
+                            "shards must emit the same series in the same order"
+                        );
+                        agg.merge(s);
+                    }
+                    None => series.push(s.clone()),
+                }
+            }
+        }
+        Self {
+            label: label.into(),
+            clients,
+            ops,
+            latency,
+            app_bytes,
+            host_bytes,
+            series,
+            shards,
+        }
+    }
+
+    /// Aggregate write amplification above the device (WA-A): host
+    /// bytes per application byte.
+    pub fn wa_a(&self) -> f64 {
+        if self.app_bytes == 0 {
+            1.0
+        } else {
+            self.host_bytes as f64 / self.app_bytes as f64
+        }
+    }
+
+    /// The merged series of a given name, if any shard emitted it.
+    pub fn series_named(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.iter().find(|s| s.name() == name)
+    }
+
+    /// Mean of the last half of a merged series (steady-state view).
+    pub fn steady_mean(&self, name: &str) -> Option<f64> {
+        let s = self.series_named(name)?;
+        s.tail_mean((s.len() / 2).max(1))
+    }
+
+    /// Shards that ran out of space.
+    pub fn out_of_space_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.out_of_space).count()
+    }
+
+    /// Deterministic plain-text rendering (byte-identical for
+    /// byte-identical inputs): an aggregate header, one aligned table
+    /// of all merged series (via [`render_series_table`]), the merged
+    /// latency quantiles, and one line per shard.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "== {} | clients={} shards={} ==\n",
+            self.label,
+            self.clients,
+            self.shards.len()
+        );
+        out.push_str(&format!(
+            "ops={} wa_a={:.4} out_of_space_shards={}\n",
+            self.ops,
+            self.wa_a(),
+            self.out_of_space_shards()
+        ));
+        out.push_str(&render_series_table(
+            &self.series.iter().collect::<Vec<_>>(),
+        ));
+        out.push_str(&format!(
+            "latency ns: mean={:.0} p50={} p99={} max={}\n",
+            self.latency.mean(),
+            self.latency.quantile(0.5),
+            self.latency.quantile(0.99),
+            self.latency.max()
+        ));
+        for shard in &self.shards {
+            out.push_str(&format!(
+                "{}: ops={} app_bytes={} host_bytes={}{}\n",
+                shard.name,
+                shard.ops,
+                shard.app_bytes,
+                shard.host_bytes,
+                if shard.out_of_space {
+                    " OUT-OF-SPACE"
+                } else {
+                    ""
+                }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(name: &str, ops: u64, lat: &[u64], kops: &[f64]) -> ShardReport {
+        let mut latency = LatencyHistogram::new();
+        for &l in lat {
+            latency.record(l);
+        }
+        let mut series = TimeSeries::new("kops");
+        for (i, &v) in kops.iter().enumerate() {
+            series.push((i as u64 + 1) * 600 * 1_000_000_000, v);
+        }
+        ShardReport {
+            name: name.to_string(),
+            ops,
+            out_of_space: false,
+            latency,
+            app_bytes: ops * 100,
+            host_bytes: ops * 250,
+            series: vec![series],
+        }
+    }
+
+    #[test]
+    fn merge_aggregates_everything() {
+        let r = RunReport::merge(
+            "test",
+            2,
+            vec![
+                shard("shard0", 10, &[1_000, 2_000], &[1.0, 2.0]),
+                shard("shard1", 30, &[5_000], &[3.0, 4.0]),
+            ],
+        );
+        assert_eq!(r.ops, 40);
+        assert_eq!(r.latency.count(), 3);
+        assert_eq!(r.latency.max(), 5_000);
+        assert_eq!(r.series.len(), 1);
+        assert_eq!(r.series_named("kops").expect("kops").values(), [4.0, 6.0]);
+        assert!((r.wa_a() - 2.5).abs() < 1e-12);
+        assert_eq!(r.out_of_space_shards(), 0);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_complete() {
+        let make = || {
+            RunReport::merge(
+                "lsm/SSD1",
+                2,
+                vec![
+                    shard("shard0", 10, &[1_000], &[1.5]),
+                    shard("shard1", 20, &[2_000], &[2.5]),
+                ],
+            )
+        };
+        let a = make().render();
+        let b = make().render();
+        assert_eq!(a, b, "same inputs must render byte-identically");
+        assert!(a.contains("clients=2"));
+        assert!(a.contains("shard0: ops=10"));
+        assert!(a.contains("shard1: ops=20"));
+        assert!(a.contains("ops=30"));
+        assert!(a.contains("time(min)"));
+        assert!(a.contains("kops"));
+    }
+
+    #[test]
+    fn out_of_space_shards_are_flagged() {
+        let mut s = shard("shard0", 5, &[1_000], &[1.0]);
+        s.out_of_space = true;
+        let r = RunReport::merge("x", 1, vec![s]);
+        assert_eq!(r.out_of_space_shards(), 1);
+        assert!(r.render().contains("OUT-OF-SPACE"));
+    }
+
+    #[test]
+    #[should_panic(expected = "same series")]
+    fn misnamed_series_are_rejected() {
+        let a = shard("a", 1, &[1_000], &[1.0]);
+        let mut b = shard("b", 1, &[1_000], &[1.0]);
+        b.series[0] = TimeSeries::new("other");
+        RunReport::merge("x", 1, vec![a, b]);
+    }
+}

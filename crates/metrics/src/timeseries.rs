@@ -114,6 +114,31 @@ impl TimeSeries {
             .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v))))
     }
 
+    /// Merges another series into this one by summing values at equal
+    /// sample positions.
+    ///
+    /// Built for *additive* per-client series (ops/s, device MB/s): the
+    /// concurrent harness samples every client on the same window
+    /// boundaries, so position `i` of every per-client series carries
+    /// the same window-relative timestamp and the pointwise sum is the
+    /// aggregate. If `other` is longer (this client died early), the
+    /// extra points are appended verbatim — a missing window
+    /// contributes zero. Timestamps must agree on the shared prefix.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        for (i, &(t, v)) in other.points.iter().enumerate() {
+            match self.points.get_mut(i) {
+                Some((st, sv)) => {
+                    assert_eq!(
+                        *st, t,
+                        "merged series must share window boundaries (index {i})"
+                    );
+                    *sv += v;
+                }
+                None => self.points.push((t, v)),
+            }
+        }
+    }
+
     /// Relative variability of the last `n` samples:
     /// `(max - min) / mean` — the paper's Fig 10 throughput-swing measure.
     pub fn tail_relative_swing(&self, n: usize) -> Option<f64> {
@@ -181,6 +206,42 @@ mod tests {
         // Tail of 4: min 1, max 2, mean 1.5 => swing = 2/3.
         let swing = s.tail_relative_swing(4).expect("swing");
         assert!((swing - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_aligned_windows() {
+        let mut a = series(&[1.0, 2.0, 3.0]);
+        let b = series(&[10.0, 20.0, 30.0]);
+        a.merge(&b);
+        assert_eq!(a.values(), vec![11.0, 22.0, 33.0]);
+        assert_eq!(a.points()[1].0, 100, "timestamps survive the merge");
+    }
+
+    #[test]
+    fn merge_handles_unequal_lengths() {
+        // A client that died early contributes zeros for its missing
+        // windows; a longer partner's tail is adopted verbatim.
+        let mut short = series(&[1.0, 1.0]);
+        let long = series(&[5.0, 5.0, 5.0, 5.0]);
+        short.merge(&long);
+        assert_eq!(short.values(), vec![6.0, 6.0, 5.0, 5.0]);
+
+        let mut long2 = series(&[5.0, 5.0, 5.0, 5.0]);
+        long2.merge(&series(&[1.0, 1.0]));
+        assert_eq!(long2.values(), vec![6.0, 6.0, 5.0, 5.0]);
+
+        let mut empty = TimeSeries::new("e");
+        empty.merge(&series(&[2.0, 4.0]));
+        assert_eq!(empty.values(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window boundaries")]
+    fn merge_rejects_misaligned_windows() {
+        let mut a = series(&[1.0, 2.0]);
+        let mut b = TimeSeries::new("b");
+        b.push(7, 1.0);
+        a.merge(&b);
     }
 
     #[test]

@@ -69,16 +69,23 @@ impl OpGenerator {
         self.ops_generated
     }
 
-    /// Current version of a key (0 = as bulk-loaded).
+    /// Current version of a key (0 = as bulk-loaded). `key_index` is
+    /// global; it must fall in this generator's key slice.
     pub fn version_of(&self, key_index: u64) -> u32 {
-        self.versions[key_index as usize]
+        self.versions[(key_index - self.spec.key_base) as usize]
     }
 
     /// Produces the next operation. The returned [`Op`] borrows internal
     /// buffers and must be consumed before the next call.
+    ///
+    /// Key indices are global: a sharded generator (built from
+    /// [`WorkloadSpec::shard`]) samples ranks within its own slice and
+    /// offsets them by the slice base, so concurrent clients never
+    /// collide on a key.
     pub fn next_op(&mut self) -> Op<'_> {
         self.ops_generated += 1;
-        let key_index = self.sampler.sample();
+        let local = self.sampler.sample();
+        let key_index = self.spec.key_base + local;
         encode_key(key_index, self.spec.key_size, &mut self.key_buf);
         let is_read =
             self.spec.read_fraction > 0.0 && self.rng.gen::<f64>() < self.spec.read_fraction;
@@ -91,8 +98,8 @@ impl OpGenerator {
                 key_index,
             }
         } else {
-            let version = self.versions[key_index as usize] + 1;
-            self.versions[key_index as usize] = version;
+            let version = self.versions[local as usize] + 1;
+            self.versions[local as usize] = version;
             fill_value(
                 key_index,
                 version as u64,
@@ -111,7 +118,8 @@ impl OpGenerator {
 
 /// Sequential bulk loader: yields every key once, in sorted order, with
 /// its version-0 value (paper §3.2: "we ingest all KV pairs in
-/// sequential order").
+/// sequential order"). For a sharded spec the loader covers exactly the
+/// shard's key slice, so per-shard loads tile the global dataset.
 #[derive(Debug)]
 pub struct Loader {
     spec: WorkloadSpec,
@@ -137,7 +145,7 @@ impl Loader {
         if self.next >= self.spec.num_keys {
             return None;
         }
-        let idx = self.next;
+        let idx = self.spec.key_base + self.next;
         self.next += 1;
         encode_key(idx, self.spec.key_size, &mut self.key_buf);
         fill_value(idx, 0, self.spec.value_size, &mut self.value_buf);
@@ -224,6 +232,62 @@ mod tests {
         assert_eq!(count, 100);
         assert_eq!(l.loaded(), 100);
         assert!(l.next_pair().is_none(), "loader stays exhausted");
+    }
+
+    #[test]
+    fn sharded_generators_stay_in_their_slice() {
+        let base = WorkloadSpec {
+            read_fraction: 0.3,
+            ..spec()
+        };
+        for (i, shard) in base.split(4).into_iter().enumerate() {
+            let lo = shard.key_base;
+            let hi = shard.key_end();
+            let mut g = OpGenerator::new(shard);
+            for _ in 0..500 {
+                let op = g.next_op();
+                assert!(
+                    op.key_index >= lo && op.key_index < hi,
+                    "shard {i} generated key {} outside [{lo},{hi})",
+                    op.key_index
+                );
+                let mut key = Vec::new();
+                crate::encode_key(op.key_index, 16, &mut key);
+                assert_eq!(op.key, key, "keys must encode the global index");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_loaders_tile_the_dataset() {
+        let base = spec();
+        let mut all = Vec::new();
+        for shard in base.split(3) {
+            let mut l = Loader::new(shard);
+            while let Some((k, _)) = l.next_pair() {
+                all.push(k.to_vec());
+            }
+        }
+        // Per-shard sequential loads, concatenated in shard order, equal
+        // the unsharded sequential load.
+        let mut reference = Loader::new(base);
+        let mut want = Vec::new();
+        while let Some((k, _)) = reference.next_pair() {
+            want.push(k.to_vec());
+        }
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    fn sharded_versions_track_global_indices() {
+        let shard = spec().shard(1, 2);
+        let mut g = OpGenerator::new(shard);
+        let op_idx = {
+            let op = g.next_op();
+            assert_eq!(op.kind, OpKind::Update);
+            op.key_index
+        };
+        assert!(g.version_of(op_idx) >= 1);
     }
 
     #[test]

@@ -7,6 +7,10 @@ use crate::dist::KeyDistribution;
 pub struct WorkloadSpec {
     /// Number of distinct keys in the dataset.
     pub num_keys: u64,
+    /// First key index of this spec's slice of the global key space.
+    /// 0 for a whole workload; [`WorkloadSpec::shard`] produces specs
+    /// whose slices tile a parent spec's key range.
+    pub key_base: u64,
     /// Key size in bytes (paper default: 16).
     pub key_size: usize,
     /// Value size in bytes (paper default: 4000).
@@ -28,6 +32,7 @@ impl Default for WorkloadSpec {
     fn default() -> Self {
         Self {
             num_keys: 10_000,
+            key_base: 0,
             key_size: 16,
             value_size: 4000,
             read_fraction: 0.0,
@@ -78,13 +83,73 @@ impl WorkloadSpec {
         self
     }
 
+    /// The `index`-th of `of` shard specifications: a contiguous slice
+    /// of this spec's key range plus an independently seeded RNG
+    /// stream.
+    ///
+    /// The slices of all `of` shards tile the parent key range exactly
+    /// (no overlap, no gap), so per-shard sequential loads together
+    /// ingest precisely the parent dataset, and per-shard update/read
+    /// streams never touch another shard's keys. Sharding with `of ==
+    /// 1` is the identity, so a 1-client sharded run is directly
+    /// comparable to the unsharded runner.
+    pub fn shard(&self, index: usize, of: usize) -> WorkloadSpec {
+        assert!(of > 0, "cannot shard into zero parts");
+        assert!(index < of, "shard index {index} out of {of}");
+        if of == 1 {
+            return self.clone();
+        }
+        let (index, of) = (index as u64, of as u64);
+        let lo = self.num_keys * index / of;
+        let hi = self.num_keys * (index + 1) / of;
+        assert!(hi > lo, "more shards than keys ({of} > {})", self.num_keys);
+        WorkloadSpec {
+            num_keys: hi - lo,
+            key_base: self.key_base + lo,
+            seed: split_seed(self.seed, index),
+            ..self.clone()
+        }
+    }
+
+    /// Splits the workload into `shards` per-client specifications (see
+    /// [`WorkloadSpec::shard`]).
+    pub fn split(&self, shards: usize) -> Vec<WorkloadSpec> {
+        (0..shards).map(|i| self.shard(i, shards)).collect()
+    }
+
+    /// End of this spec's key range (`key_base + num_keys`), exclusive.
+    pub fn key_end(&self) -> u64 {
+        self.key_base + self.num_keys
+    }
+
+    /// Whether a global key index falls in this spec's slice.
+    pub fn owns_key(&self, key_index: u64) -> bool {
+        key_index >= self.key_base && key_index < self.key_end()
+    }
+
     /// Basic sanity checks; panics with a description on error.
     pub fn validate(&self) {
         assert!(self.num_keys > 0);
         assert!(self.key_size >= 4 && self.key_size <= 1024);
         assert!(self.value_size <= 1 << 24);
         assert!((0.0..=1.0).contains(&self.read_fraction));
+        assert!(
+            self.key_base.checked_add(self.num_keys).is_some(),
+            "key range overflows u64"
+        );
     }
+}
+
+/// Derives the RNG seed of shard `index` from a parent seed
+/// (SplitMix64 finalizer — decorrelates the per-client streams even
+/// for adjacent parent seeds).
+pub fn split_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -123,6 +188,63 @@ mod tests {
             / base.dataset_bytes() as f64;
         assert!(rel < 0.01, "dataset size drifted by {rel}");
         assert!(small.num_keys > base.num_keys * 20);
+    }
+
+    #[test]
+    fn split_tiles_the_key_space_exactly() {
+        for shards in [1usize, 2, 3, 7, 8] {
+            let base = WorkloadSpec {
+                num_keys: 1000,
+                ..Default::default()
+            };
+            let parts = base.split(shards);
+            assert_eq!(parts.len(), shards);
+            let mut next = 0u64;
+            for (i, p) in parts.iter().enumerate() {
+                assert_eq!(p.key_base, next, "shard {i} must start where {} ended", i);
+                assert!(p.num_keys > 0);
+                next = p.key_end();
+                p.validate();
+            }
+            assert_eq!(next, 1000, "shards must cover the whole key space");
+            let total: u64 = parts.iter().map(|p| p.num_keys).sum();
+            assert_eq!(total, base.num_keys);
+        }
+    }
+
+    #[test]
+    fn shard_of_one_is_identity() {
+        let base = WorkloadSpec::default();
+        assert_eq!(base.shard(0, 1), base);
+    }
+
+    #[test]
+    fn shard_seeds_are_decorrelated_and_deterministic() {
+        let base = WorkloadSpec::default();
+        let parts = base.split(4);
+        for (i, p) in parts.iter().enumerate() {
+            for (j, q) in parts.iter().enumerate() {
+                if i != j {
+                    assert_ne!(p.seed, q.seed, "shards {i}/{j} share a seed");
+                }
+            }
+        }
+        assert_eq!(base.split(4), parts, "splitting must be deterministic");
+        assert_ne!(split_seed(1, 0), split_seed(2, 0));
+    }
+
+    #[test]
+    fn key_ownership_matches_slices() {
+        let base = WorkloadSpec {
+            num_keys: 100,
+            ..Default::default()
+        };
+        let parts = base.split(3);
+        for key in 0..100u64 {
+            let owners = parts.iter().filter(|p| p.owns_key(key)).count();
+            assert_eq!(owners, 1, "key {key} must have exactly one owner");
+        }
+        assert!(!parts[0].owns_key(100));
     }
 
     #[test]

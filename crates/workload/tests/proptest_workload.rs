@@ -61,6 +61,7 @@ proptest! {
     ) {
         let spec = WorkloadSpec {
             num_keys: 500,
+            key_base: 0,
             key_size: 16,
             value_size,
             read_fraction,

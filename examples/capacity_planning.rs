@@ -28,11 +28,13 @@ fn main() {
     let lsm = run(&RunConfig {
         engine: EngineKind::lsm(),
         ..base.clone()
-    });
+    })
+    .expect("run");
     let btree = run(&RunConfig {
         engine: EngineKind::btree(),
         ..base.clone()
-    });
+    })
+    .expect("run");
     println!(
         "  LSM:    {:.2} Kops/s steady, space amplification {:.2}",
         lsm.steady.steady_kops,
@@ -66,7 +68,8 @@ fn main() {
         engine: EngineKind::lsm(),
         partition_fraction: 0.75,
         ..base
-    });
+    })
+    .expect("run");
     println!(
         "  LSM+OP: {:.2} Kops/s steady (WA-D {:.2} vs {:.2} without OP)",
         lsm_op.steady.steady_kops, lsm_op.steady.wa_d, lsm.steady.wa_d

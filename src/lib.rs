@@ -12,6 +12,9 @@
 //! * [`hashlog`] — KVell-style log-structured hash KV store, registered
 //!   with the engine registry from outside `ptsbench-core` (the proof
 //!   that the engine API is open).
+//! * [`harness`] — the concurrent sharded workload driver: N client
+//!   threads over M shared-nothing engine shards in virtual-time
+//!   lockstep, merged into one deterministic report.
 //! * [`workload`] — key/value workload generators.
 //! * [`metrics`] — time series, write-amplification math, CUSUM
 //!   steady-state detection, CDFs, storage-cost models.
@@ -23,6 +26,7 @@
 
 pub use ptsbench_btree as btree;
 pub use ptsbench_core as core;
+pub use ptsbench_harness as harness;
 pub use ptsbench_hashlog as hashlog;
 pub use ptsbench_lsm as lsm;
 pub use ptsbench_metrics as metrics;

@@ -22,8 +22,8 @@ fn quick(engine: EngineKind, state: DriveState) -> RunConfig {
 
 #[test]
 fn preconditioning_hurts_the_btree_more_than_trimming() {
-    let trim = run(&quick(EngineKind::btree(), DriveState::Trimmed));
-    let prec = run(&quick(EngineKind::btree(), DriveState::Preconditioned));
+    let trim = run(&quick(EngineKind::btree(), DriveState::Trimmed)).expect("run");
+    let prec = run(&quick(EngineKind::btree(), DriveState::Preconditioned)).expect("run");
     assert!(
         prec.steady.wa_d > trim.steady.wa_d * 1.1,
         "preconditioned B+Tree WA-D {} must exceed trimmed {}",
@@ -41,11 +41,13 @@ fn software_overprovisioning_reduces_wa_d_end_to_end() {
     let no_op = run(&RunConfig {
         partition_fraction: 1.0,
         ..quick(EngineKind::lsm(), DriveState::Preconditioned)
-    });
+    })
+    .expect("run");
     let with_op = run(&RunConfig {
         partition_fraction: 0.75,
         ..quick(EngineKind::lsm(), DriveState::Preconditioned)
-    });
+    })
+    .expect("run");
     assert!(
         with_op.steady.wa_d < no_op.steady.wa_d,
         "OP partition must cut WA-D: {} vs {}",
@@ -109,7 +111,7 @@ fn trimmed_op_partition_is_never_touched() {
         trace_lba: true,
         ..quick(EngineKind::lsm(), DriveState::Trimmed)
     };
-    let r = run(&cfg);
+    let r = run(&cfg).expect("run");
     let untouched = r.untouched_lba_fraction.expect("traced");
     assert!(
         untouched >= 0.24,

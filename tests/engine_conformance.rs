@@ -261,7 +261,8 @@ fn runner_drives_any_registered_engine() {
         duration: 30 * MINUTE,
         sample_window: 5 * MINUTE,
         ..RunConfig::default()
-    });
+    })
+    .expect("run");
     assert!(!r.out_of_space, "default dataset must fit");
     assert_eq!(r.samples.len(), 6, "30 min / 5 min windows");
     assert!(r.ops_executed > 100, "ops: {}", r.ops_executed);
@@ -273,4 +274,52 @@ fn runner_drives_any_registered_engine() {
         "hashlog WA-A: {}",
         r.steady.wa_a
     );
+}
+
+#[test]
+fn sharded_harness_drives_any_registered_engine() {
+    // Concurrency is part of the conformance bar: every registered
+    // engine must survive the multi-client harness — two client
+    // threads, two shared-nothing shards — and produce a merged report
+    // with work on both shards.
+    use ptsbench::core::ShardedRun;
+    use ptsbench::harness::run_sharded;
+
+    for kind in engines() {
+        let sharded = ShardedRun::new(
+            RunConfig {
+                engine: kind,
+                device_bytes: 32 << 20,
+                duration: 10 * MINUTE,
+                sample_window: 5 * MINUTE,
+                ..RunConfig::default()
+            },
+            2,
+        );
+        let report = run_sharded(&sharded).expect("sharded run");
+        assert_eq!(report.shards.len(), 2, "{kind:?}");
+        assert_eq!(report.clients, 2, "{kind:?}");
+        assert_eq!(report.out_of_space_shards(), 0, "{kind:?} must fit");
+        for shard in &report.shards {
+            assert!(
+                shard.ops > 0,
+                "{kind:?} {} executed no operations",
+                shard.name
+            );
+        }
+        assert_eq!(
+            report.ops,
+            report.shards.iter().map(|s| s.ops).sum::<u64>(),
+            "{kind:?} merged ops must equal the per-shard sum"
+        );
+        assert_eq!(
+            report.latency.count(),
+            report.ops,
+            "{kind:?} merged latency must cover every op"
+        );
+        assert!(
+            report.render().contains(kind.label()),
+            "{kind:?} report must carry the engine label"
+        );
+    }
 }

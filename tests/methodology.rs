@@ -61,11 +61,13 @@ fn cost_model_composes_with_measured_runs() {
     let lsm = run(&RunConfig {
         engine: EngineKind::lsm(),
         ..base.clone()
-    });
+    })
+    .expect("run");
     let btree = run(&RunConfig {
         engine: EngineKind::btree(),
         ..base
-    });
+    })
+    .expect("run");
     let reference = 400u64 << 30;
 
     let m_lsm = model_from_run("lsm", &lsm, reference);
@@ -91,7 +93,8 @@ fn space_amp_and_steady_state_helpers_match_runs() {
         duration: 100 * MINUTE,
         sample_window: 10 * MINUTE,
         ..RunConfig::default()
-    });
+    })
+    .expect("run");
     let amp = space_amplification(r.disk_used_bytes, r.dataset_bytes);
     assert!((amp - r.space_amplification()).abs() < 1e-9);
     assert!(amp > 1.0, "LSM must amplify space");

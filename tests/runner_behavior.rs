@@ -21,7 +21,7 @@ fn quick(engine: EngineKind) -> RunConfig {
 #[test]
 fn samples_are_well_formed() {
     for engine in [EngineKind::lsm(), EngineKind::btree()] {
-        let r = run(&quick(engine));
+        let r = run(&quick(engine)).expect("run");
         assert_eq!(r.samples.len(), 10, "{engine:?}: 50 min / 5 min windows");
         let mut prev_t = 0;
         for s in &r.samples {
@@ -48,8 +48,8 @@ fn samples_are_well_formed() {
 #[test]
 fn identical_configs_reproduce_identical_results() {
     let cfg = quick(EngineKind::lsm());
-    let a = run(&cfg);
-    let b = run(&cfg);
+    let a = run(&cfg).expect("run");
+    let b = run(&cfg).expect("run");
     assert_eq!(a.ops_executed, b.ops_executed);
     assert_eq!(a.disk_used_bytes, b.disk_used_bytes);
     for (x, y) in a.samples.iter().zip(&b.samples) {
@@ -62,11 +62,13 @@ fn different_seeds_change_the_op_stream_not_the_shape() {
     let a = run(&RunConfig {
         seed: 1,
         ..quick(EngineKind::lsm())
-    });
+    })
+    .expect("run");
     let b = run(&RunConfig {
         seed: 2,
         ..quick(EngineKind::lsm())
-    });
+    })
+    .expect("run");
     // Different ops, same macroscopic behaviour (within 30%).
     assert_ne!(a.ops_executed, b.ops_executed);
     let rel = (a.steady.wa_a - b.steady.wa_a).abs() / a.steady.wa_a;
@@ -84,7 +86,8 @@ fn oversized_dataset_fails_cleanly() {
     let r = run(&RunConfig {
         dataset_fraction: 0.97,
         ..quick(EngineKind::lsm())
-    });
+    })
+    .expect("run");
     assert!(r.out_of_space);
     if r.failed_during_load {
         assert!(
@@ -101,12 +104,14 @@ fn zipfian_workload_runs_and_skews_the_trace() {
     let uniform = run(&RunConfig {
         trace_lba: true,
         ..quick(EngineKind::btree())
-    });
+    })
+    .expect("run");
     let zipf = run(&RunConfig {
         distribution: KeyDistribution::Zipfian { theta: 0.99 },
         trace_lba: true,
         ..quick(EngineKind::btree())
-    });
+    })
+    .expect("run");
     // Skewed updates concentrate leaf rewrites: the hottest LBAs absorb
     // a larger share of writes than under uniform access.
     let hot_share = |r: &ptsbench::core::runner::RunResult| {
@@ -131,7 +136,8 @@ fn cusum_declares_steady_state_on_runner_output() {
     let r = run(&RunConfig {
         duration: 100 * MINUTE,
         ..quick(EngineKind::btree())
-    });
+    })
+    .expect("run");
     let tput = r.throughput_series();
     let detector = CusumDetector::default();
     assert!(
@@ -151,7 +157,7 @@ fn adaptive_runs_stop_early_once_steady() {
         stop_when_steady: true,
         ..quick(EngineKind::btree())
     };
-    let adaptive = run(&budget);
+    let adaptive = run(&budget).expect("run");
     assert!(
         adaptive.samples.len() < 120,
         "adaptive run should stop well before the 600-minute budget, ran {} windows",
@@ -172,7 +178,8 @@ fn mixed_workload_reads_hit_the_device() {
     let r = run(&RunConfig {
         read_fraction: 0.5,
         ..quick(EngineKind::btree())
-    });
+    })
+    .expect("run");
     let reads: f64 = r.samples.iter().map(|s| s.device_read_mbps).sum();
     assert!(reads > 0.0, "a 50:50 workload must generate device reads");
 }
