@@ -69,7 +69,7 @@ fn ablate_gc_policy() {
         let mut profile = DeviceProfile::ssd1();
         profile.gc_policy = policy;
         let (ssd, vfs) = device(profile);
-        ssd.lock().precondition(3);
+        ssd.lock().precondition(3).expect("precondition");
         // Skewed updates create hot/cold separation work for the cleaner.
         let (wa_d, wa_a, _) = lsm_workout(
             &ssd,
@@ -121,7 +121,7 @@ fn ablate_wal_recycling() {
     println!("{:>14} {:>8} {:>8}", "mode", "WA-D", "WA-A");
     for recycle in [true, false] {
         let (ssd, vfs) = device(DeviceProfile::ssd1());
-        ssd.lock().precondition(3);
+        ssd.lock().precondition(3).expect("precondition");
         let opts = LsmOptions {
             recycle_wal: recycle,
             ..LsmOptions::scaled_to_partition(DEVICE_BYTES)

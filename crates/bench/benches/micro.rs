@@ -28,14 +28,14 @@ fn bench_ftl(c: &mut Criterion) {
                 let mut ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 64 << 20));
                 let pages = ssd.logical_pages();
                 for lpn in 0..pages {
-                    ssd.write_page(lpn);
+                    ssd.write_page(lpn).expect("write");
                 }
                 (ssd, SmallRng::seed_from_u64(7))
             },
             |(mut ssd, mut rng)| {
                 let pages = ssd.logical_pages();
                 for _ in 0..1000 {
-                    ssd.write_page(rng.gen_range(0..pages));
+                    ssd.write_page(rng.gen_range(0..pages)).expect("write");
                 }
                 black_box(ssd.smart().wa_d())
             },
@@ -47,7 +47,7 @@ fn bench_ftl(c: &mut Criterion) {
             || {
                 let mut ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 64 << 20));
                 for lpn in 0..ssd.logical_pages() {
-                    ssd.write_page(lpn);
+                    ssd.write_page(lpn).expect("write");
                 }
                 ssd
             },

@@ -16,6 +16,7 @@
 //! | `fig09_ssd_types` | Fig 9 + Fig 10a/10b (Pitfall 7) |
 //! | `fig11_workloads` | Fig 11a–11d |
 //! | `fig_scaling` | beyond the paper: 1→8 client scaling, all engines |
+//! | `fig_qd` | beyond the paper: read throughput vs I/O queue depth 1→32 |
 //! | `micro` | criterion micro-benchmarks |
 //!
 //! Sizing: benches default to a 128 MiB simulated stand-in for the

@@ -83,6 +83,7 @@ mod tests {
             device_bytes,
             app_bytes_written: 0,
             host_bytes_written: 0,
+            io_depth: Default::default(),
             steady: SteadySummary {
                 steady_from: Some(0),
                 early_kops: steady_kops * 2.0,

@@ -29,6 +29,7 @@ use std::sync::Arc;
 
 use ptsbench_btree::{BTreeDb, BTreeError};
 use ptsbench_lsm::{LsmDb, LsmError};
+use ptsbench_ssd::SsdError;
 use ptsbench_vfs::Vfs;
 
 use crate::registry::EngineKind;
@@ -53,6 +54,13 @@ pub enum PtsError {
         /// The engine's native error.
         source: Arc<dyn std::error::Error + Send + Sync + 'static>,
     },
+    /// The simulated device itself rejected a command (out-of-range
+    /// address, or an FTL that cannot reclaim a block). Surfaced as a
+    /// result instead of a panic so harness shards fail cleanly.
+    Device {
+        /// The device's native error.
+        source: SsdError,
+    },
 }
 
 impl PtsError {
@@ -75,6 +83,7 @@ impl std::fmt::Display for PtsError {
             PtsError::Engine { engine, source } => {
                 write!(f, "engine error ({engine}): {source}")
             }
+            PtsError::Device { source } => write!(f, "device error: {source}"),
         }
     }
 }
@@ -84,6 +93,7 @@ impl std::error::Error for PtsError {
         match self {
             PtsError::OutOfSpace => None,
             PtsError::Engine { source, .. } => Some(source.as_ref()),
+            PtsError::Device { source } => Some(source),
         }
     }
 }
@@ -102,12 +112,19 @@ impl PartialEq for PtsError {
                     source: sb,
                 },
             ) => a == b && sa.to_string() == sb.to_string(),
+            (PtsError::Device { source: a }, PtsError::Device { source: b }) => a == b,
             _ => false,
         }
     }
 }
 
 impl Eq for PtsError {}
+
+impl From<SsdError> for PtsError {
+    fn from(source: SsdError) -> Self {
+        PtsError::Device { source }
+    }
+}
 
 impl From<LsmError> for PtsError {
     fn from(e: LsmError) -> Self {

@@ -56,18 +56,20 @@ pub struct Stack {
 /// Builds the simulated drive + partition + filesystem for a run
 /// configuration (steps 1–2 of the paper's procedure): device in its
 /// configured initial state, reserved tail trimmed as software
-/// over-provisioning, filesystem mounted on the PTS partition.
-pub fn build_stack(cfg: &RunConfig) -> Stack {
+/// over-provisioning, filesystem mounted on the PTS partition. Device
+/// failures (a mis-configured geometry surfacing as `SsdError`)
+/// propagate as [`PtsError::Device`] instead of panicking.
+pub fn build_stack(cfg: &RunConfig) -> Result<Stack, PtsError> {
     let mut device_cfg = cfg.profile.scaled_to(cfg.device_bytes);
     device_cfg.trace_writes = cfg.trace_lba;
     let mut device = Ssd::new(device_cfg);
     if cfg.drive_state == DriveState::Preconditioned {
-        device.precondition(cfg.seed);
+        device.precondition(cfg.seed)?;
     }
     let logical = device.logical_pages();
     let partition_pages = ((logical as f64 * cfg.partition_fraction) as u64).max(1);
     if partition_pages < logical {
-        device.trim_range(LpnRange::new(partition_pages, logical));
+        device.trim_range(LpnRange::new(partition_pages, logical))?;
     }
     let clock = Arc::clone(device.clock());
     let page_size = device.page_size() as u64;
@@ -77,13 +79,13 @@ pub fn build_stack(cfg: &RunConfig) -> Stack {
         LpnRange::new(0, partition_pages),
         VfsOptions::default(),
     );
-    Stack {
+    Ok(Stack {
         shared,
         vfs,
         clock,
         page_size,
         partition_bytes: partition_pages * page_size,
-    }
+    })
 }
 
 /// Bulk-loads `workload`'s dataset sequentially in write batches and
@@ -155,9 +157,9 @@ impl Experiment {
     pub fn prepare_with(cfg: &RunConfig, workload: WorkloadSpec) -> Result<Self, PtsError> {
         let scale = cfg.scale();
         let dataset_bytes = workload.dataset_bytes();
-        let stack = build_stack(cfg);
+        let stack = build_stack(cfg)?;
 
-        let tuning = EngineTuning::for_device(cfg.device_bytes);
+        let tuning = EngineTuning::for_device(cfg.device_bytes).with_queue_depth(cfg.queue_depth);
         let mut out_of_space = false;
         let mut failed_during_load = false;
         let mut system = match cfg.engine.open(stack.vfs.clone(), &tuning) {
@@ -379,6 +381,7 @@ impl Experiment {
             device_bytes: self.cfg.device_bytes,
             app_bytes_written: 0,
             host_bytes_written: 0,
+            io_depth: self.stack.shared.lock().io_depth_stats(),
             steady: SteadySummary {
                 steady_from: None,
                 early_kops: 0.0,

@@ -41,12 +41,27 @@ pub struct EngineTuning {
     /// Simulated drive capacity in bytes that structural options scale
     /// to.
     pub device_bytes: u64,
+    /// I/O submission queue depth the engine should run its reads at
+    /// (1 = classic synchronous path; engines that support the
+    /// asynchronous API open a shared `IoQueue` of this depth).
+    pub queue_depth: usize,
 }
 
 impl EngineTuning {
-    /// Tuning for a drive of `device_bytes` capacity.
+    /// Tuning for a drive of `device_bytes` capacity, at the synchronous
+    /// queue depth of 1.
     pub fn for_device(device_bytes: u64) -> Self {
-        Self { device_bytes }
+        Self {
+            device_bytes,
+            queue_depth: 1,
+        }
+    }
+
+    /// Sets the I/O submission queue depth.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        assert!(queue_depth >= 1, "queue depth must be at least 1");
+        self.queue_depth = queue_depth;
+        self
     }
 }
 
@@ -202,7 +217,10 @@ fn build_lsm(
     tuning: &EngineTuning,
     lifecycle: Lifecycle,
 ) -> Result<Box<dyn PtsEngine>, PtsError> {
-    let opts = LsmOptions::scaled_to_partition(tuning.device_bytes);
+    let opts = LsmOptions {
+        queue_depth: tuning.queue_depth,
+        ..LsmOptions::scaled_to_partition(tuning.device_bytes)
+    };
     let db = match lifecycle {
         Lifecycle::Open => LsmDb::open(vfs, opts),
         Lifecycle::Recover => LsmDb::recover(vfs, opts),

@@ -58,6 +58,11 @@ pub struct RunConfig {
     pub sample_window: Ns,
     /// Per-op CPU cost at reference scale (ns); `None` = engine default.
     pub cpu_cost_ns: Option<u64>,
+    /// I/O submission queue depth handed to the engine (1 = classic
+    /// synchronous reads; above 1 engines batch their scan and
+    /// compaction-input reads through a per-shard `IoQueue` of this
+    /// depth). 1 reproduces pre-queue reports byte-identically.
+    pub queue_depth: usize,
     /// End the measured phase early once CUSUM declares throughput
     /// steady *and* cumulative host writes reach 3x device capacity —
     /// the paper's §4.1 steady-state criteria, used adaptively.
@@ -83,6 +88,7 @@ impl Default for RunConfig {
             duration: 210 * MINUTE,
             sample_window: 10 * MINUTE,
             cpu_cost_ns: None,
+            queue_depth: 1,
             stop_when_steady: false,
             trace_lba: false,
             seed: 42,
@@ -111,16 +117,24 @@ impl RunConfig {
         .sized_to(self.device_bytes, self.dataset_fraction)
     }
 
-    /// Human-readable label for report rows.
+    /// Human-readable label for report rows. Queue depth appears only
+    /// when it departs from the synchronous default, so depth-1 labels
+    /// (and therefore rendered reports) match the pre-queue ones
+    /// byte-for-byte.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}/{}/ds{:.2}{}",
+            "{}/{}/{}/ds{:.2}{}{}",
             self.engine.label(),
             self.profile.name,
             self.drive_state.label(),
             self.dataset_fraction,
             if self.partition_fraction < 1.0 {
                 format!("/op{:.2}", 1.0 - self.partition_fraction)
+            } else {
+                String::new()
+            },
+            if self.queue_depth > 1 {
+                format!("/qd{}", self.queue_depth)
             } else {
                 String::new()
             }
@@ -209,6 +223,11 @@ pub struct RunResult {
     /// Host bytes reaching the device during the measured phase (the
     /// WA-A numerator).
     pub host_bytes_written: u64,
+    /// Submission-depth statistics of the shard's device: how many
+    /// commands went through `IoQueue`s and how deep they actually ran
+    /// (all zeros for queue-depth-1 runs, whose engines stay on the
+    /// synchronous path).
+    pub io_depth: ptsbench_ssd::IoDepthStats,
     /// Steady-state summary.
     pub steady: SteadySummary,
 }

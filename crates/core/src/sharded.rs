@@ -22,6 +22,19 @@ use ptsbench_workload::WorkloadSpec;
 
 use crate::runner::RunConfig;
 
+/// How the global key space is routed onto shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sharding {
+    /// Contiguous slices of the key range (`WorkloadSpec::shard`): the
+    /// classic range partitioning, vulnerable to hot contiguous ranges.
+    #[default]
+    Contiguous,
+    /// Hash routing (`WorkloadSpec::shard_hashed`): every key is owned
+    /// by the shard its hash selects, spreading skewed access patterns
+    /// uniformly across shards.
+    Hashed,
+}
+
 /// A concurrent sharded experiment: `clients` threads over `shards`
 /// engine shards.
 #[derive(Debug, Clone)]
@@ -36,6 +49,8 @@ pub struct ShardedRun {
     /// Engine shards (each its own device slice + engine instance).
     /// Must be `>= clients`; defaults to one shard per client.
     pub shards: usize,
+    /// Key-to-shard routing (contiguous slices by default).
+    pub sharding: Sharding,
     /// Virtual-time barrier quantum: every client simulates its shards
     /// up to the next multiple of `epoch`, then waits for the others
     /// (see `ptsbench_ssd::ClockBarrier`). Defaults to the base
@@ -52,6 +67,7 @@ impl ShardedRun {
             base,
             clients,
             shards: clients,
+            sharding: Sharding::default(),
             epoch,
         }
     }
@@ -107,10 +123,14 @@ impl ShardedRun {
         self.base.workload()
     }
 
-    /// Shard `index`'s slice of the global workload: contiguous key
-    /// range, independently seeded op stream.
+    /// Shard `index`'s slice of the global workload (contiguous range
+    /// or hashed residue class per [`ShardedRun::sharding`]), with an
+    /// independently seeded op stream.
     pub fn shard_workload(&self, index: usize) -> WorkloadSpec {
-        self.workload().shard(index, self.shards)
+        match self.sharding {
+            Sharding::Contiguous => self.workload().shard(index, self.shards),
+            Sharding::Hashed => self.workload().shard_hashed(index, self.shards),
+        }
     }
 
     /// Shard `index`'s run configuration: an equal capacity slice with
@@ -146,9 +166,20 @@ impl ShardedRun {
         self.base.duration.div_ceil(self.epoch)
     }
 
-    /// Human-readable label for report headers.
+    /// Human-readable label for report headers. The hashed routing mode
+    /// is tagged explicitly; the contiguous default stays untagged so
+    /// pre-existing report labels are unchanged.
     pub fn label(&self) -> String {
-        format!("{}/c{}s{}", self.base.label(), self.clients, self.shards)
+        format!(
+            "{}/c{}s{}{}",
+            self.base.label(),
+            self.clients,
+            self.shards,
+            match self.sharding {
+                Sharding::Contiguous => "",
+                Sharding::Hashed => "/hash",
+            }
+        )
     }
 }
 

@@ -6,7 +6,7 @@ use ptsbench_core::engine::PtsError;
 use ptsbench_core::measure::Experiment;
 use ptsbench_core::runner::RunResult;
 use ptsbench_core::sharded::ShardedRun;
-use ptsbench_metrics::runreport::{RunReport, ShardReport};
+use ptsbench_metrics::runreport::{QueueDepthSummary, RunReport, ShardReport};
 use ptsbench_ssd::ClockBarrier;
 
 /// Everything a sharded run produces: the merged report plus the full
@@ -68,7 +68,7 @@ pub fn run_sharded_with_results(cfg: &ShardedRun) -> Result<HarnessOutcome, PtsE
 
     let reports = results
         .iter()
-        .map(|(shard, r)| shard_report(*shard, r))
+        .map(|(shard, r)| shard_report(cfg, *shard, r))
         .collect();
     let report = RunReport::merge(cfg.label(), cfg.clients, reports);
     Ok(HarnessOutcome {
@@ -116,8 +116,10 @@ fn drive_client(
 }
 
 /// A shard's contribution to the merged report. The series listed here
-/// are the *additive* ones (rates sum across shards).
-fn shard_report(index: usize, r: &RunResult) -> ShardReport {
+/// are the *additive* ones (rates sum across shards). Queue-depth
+/// metrics appear only for asynchronous (`queue_depth > 1`) runs, so
+/// depth-1 reports render byte-identically to the pre-queue harness.
+fn shard_report(cfg: &ShardedRun, index: usize, r: &RunResult) -> ShardReport {
     ShardReport {
         name: format!("shard{index}"),
         ops: r.ops_executed,
@@ -125,6 +127,11 @@ fn shard_report(index: usize, r: &RunResult) -> ShardReport {
         latency: r.latency.clone(),
         app_bytes: r.app_bytes_written,
         host_bytes: r.host_bytes_written,
+        io_depth: (cfg.base.queue_depth > 1).then(|| QueueDepthSummary {
+            submitted: r.io_depth.submitted,
+            max_in_flight: r.io_depth.max_in_flight,
+            mean_in_flight: r.io_depth.mean_in_flight(),
+        }),
         series: vec![r.throughput_series(), r.device_write_series()],
     }
 }
@@ -205,6 +212,51 @@ mod tests {
             assert_eq!(shard.name, format!("shard{i}"), "merge order by index");
             assert!(shard.ops > 0, "shard {i} must execute ops");
         }
+    }
+
+    #[test]
+    fn hash_sharded_runs_work_and_are_deterministic() {
+        use ptsbench_core::sharded::Sharding;
+        let cfg = || {
+            let mut s = ShardedRun::new(base(32 << 20), 2);
+            s.sharding = Sharding::Hashed;
+            s
+        };
+        let a = run_sharded(&cfg()).expect("hashed run a");
+        assert!(a.ops > 0);
+        for shard in &a.shards {
+            assert!(shard.ops > 0, "every hash shard must execute ops");
+        }
+        let b = run_sharded(&cfg()).expect("hashed run b");
+        assert_eq!(a.render(), b.render(), "hashed routing stays deterministic");
+    }
+
+    #[test]
+    fn queue_depth_surfaces_in_the_report_only_above_one() {
+        // QD=1: the report must render byte-identically to an untouched
+        // default config (the pre-queue renderer).
+        let mut explicit = base(32 << 20);
+        explicit.queue_depth = 1;
+        let default_render = run_sharded(&ShardedRun::new(base(32 << 20), 1))
+            .expect("default run")
+            .render();
+        let explicit_render = run_sharded(&ShardedRun::new(explicit, 1))
+            .expect("qd1 run")
+            .render();
+        assert_eq!(default_render, explicit_render);
+        assert!(!default_render.contains("qd["));
+
+        // QD=8 on a read-mixed workload: depth metrics appear.
+        let mut deep = base(32 << 20);
+        deep.queue_depth = 8;
+        deep.read_fraction = 0.5;
+        let report = run_sharded(&ShardedRun::new(deep, 1)).expect("qd8 run");
+        assert!(report.label.contains("/qd8"));
+        let text = report.render();
+        assert!(
+            text.contains("qd[submitted="),
+            "deep runs must report in-flight depth: {text}"
+        );
     }
 
     #[test]

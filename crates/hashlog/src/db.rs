@@ -5,7 +5,7 @@ use std::ops::Bound;
 
 use ptsbench_core::engine::{BatchOp, EngineStats, PtsEngine, PtsError, ScanCursor, WriteBatch};
 use ptsbench_core::registry::EngineKind;
-use ptsbench_vfs::{FileId, Vfs};
+use ptsbench_vfs::{FileId, SharedIoQueue, Vfs};
 
 use crate::options::HashLogOptions;
 use crate::record::Record;
@@ -93,6 +93,9 @@ pub struct HashLogDb {
     next_segment_id: u64,
     live_entries: u64,
     stats: HashLogStats,
+    /// Shared submission queue for batched reads when
+    /// `opts.queue_depth > 1`; `None` keeps the synchronous read path.
+    queue: Option<SharedIoQueue>,
 }
 
 impl std::fmt::Debug for HashLogDb {
@@ -109,6 +112,7 @@ impl HashLogDb {
     /// Opens a fresh database on the filesystem.
     pub fn open(vfs: Vfs, opts: HashLogOptions) -> Result<Self> {
         opts.validate();
+        let queue = io_queue_for(&vfs, &opts);
         let mut db = Self {
             vfs,
             opts,
@@ -119,6 +123,7 @@ impl HashLogDb {
             next_segment_id: 0,
             live_entries: 0,
             stats: HashLogStats::default(),
+            queue,
         };
         db.new_segment()?;
         Ok(db)
@@ -139,6 +144,7 @@ impl HashLogDb {
                 "no log segments to recover from".into(),
             ));
         }
+        let queue = io_queue_for(&vfs, &opts);
         let mut db = Self {
             vfs,
             opts,
@@ -149,6 +155,7 @@ impl HashLogDb {
             next_segment_id: ids.last().expect("non-empty") + 1,
             live_entries: 0,
             stats: HashLogStats::default(),
+            queue,
         };
 
         // Decode every record of every segment, then apply in sequence
@@ -399,8 +406,54 @@ impl HashLogDb {
         Ok(Some(value))
     }
 
+    /// Batched point lookups: with a submission queue (``queue_depth >
+    /// 1``) all present keys' value reads are submitted before any is
+    /// waited on, so up to the queue depth of them are in flight at once
+    /// — the parallel-point-read pattern KVell leans on. Without a queue
+    /// this degrades to sequential [`HashLogDb::get`]s.
+    pub fn multi_get(&mut self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
+        let Some(queue) = self.queue.clone() else {
+            return keys.iter().map(|k| self.get(k)).collect();
+        };
+        self.stats.gets += keys.len() as u64;
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+        let mut q = queue.lock();
+        let mut in_flight = Vec::with_capacity(keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            let Some(entry) = self.index.get(*key) else {
+                continue;
+            };
+            if entry.tombstone {
+                continue;
+            }
+            let file = self.segments[&entry.segment].file;
+            match self.vfs.read_runs_async(
+                &mut q,
+                file,
+                entry.value_offset,
+                entry.value_len as usize,
+            ) {
+                Ok(read) => in_flight.push((i, read)),
+                Err(e) => {
+                    // Fail the batch without leaking the completions of
+                    // the reads already submitted.
+                    for (_, read) in in_flight {
+                        read.into_bg(&mut q);
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        for (i, read) in in_flight {
+            out[i] = Some(read.wait(&mut q));
+        }
+        Ok(out)
+    }
+
     /// Streaming range scan: the index walks in key order, but every
     /// entry costs one random device read — the KVell scan trade-off.
+    /// With a submission queue the cursor prefetches its reads in
+    /// batches of the queue depth, overlapping their latencies.
     pub fn scan_iter(&self, start: &[u8], end: Option<&[u8]>, limit: usize) -> IndexScan<'_> {
         let range = self.index.range::<[u8], _>((
             Bound::Included(start),
@@ -410,6 +463,8 @@ impl HashLogDb {
             db: self,
             range,
             remaining: limit,
+            batch: std::collections::VecDeque::new(),
+            ramp: 1,
         }
     }
 
@@ -577,11 +632,63 @@ impl HashLogDb {
     }
 }
 
+/// Opens the shared submission queue when the options ask for one.
+fn io_queue_for(vfs: &Vfs, opts: &HashLogOptions) -> Option<SharedIoQueue> {
+    (opts.queue_depth > 1).then(|| vfs.io_queue(opts.queue_depth).into_shared())
+}
+
 /// Streaming cursor returned by [`HashLogDb::scan_iter`].
 pub struct IndexScan<'a> {
     db: &'a HashLogDb,
     range: std::collections::btree_map::Range<'a, Vec<u8>, IndexEntry>,
     remaining: usize,
+    /// Entries whose reads were already batched through the queue.
+    batch: std::collections::VecDeque<Result<(Vec<u8>, Vec<u8>)>>,
+    /// Prefetch ramp: batches start at one read and double towards the
+    /// queue depth, so a scan that stops after a few entries is not
+    /// charged a full depth of prefetched reads it never consumes.
+    ramp: usize,
+}
+
+impl IndexScan<'_> {
+    /// Pulls a ramping batch of live entries from the index and issues
+    /// all their value reads as one submission round.
+    fn refill_batch(&mut self, queue: &SharedIoQueue) {
+        let mut q = queue.lock();
+        let take = self.ramp.min(q.depth()).max(1);
+        self.ramp = (take * 2).min(q.depth().max(1));
+        let mut in_flight = Vec::with_capacity(take);
+        while in_flight.len() < take.min(self.remaining) {
+            let Some((key, entry)) = self.range.next() else {
+                break;
+            };
+            if entry.tombstone {
+                continue;
+            }
+            let file = self.db.segments[&entry.segment].file;
+            match self.db.vfs.read_runs_async(
+                &mut q,
+                file,
+                entry.value_offset,
+                entry.value_len as usize,
+            ) {
+                Ok(read) => in_flight.push((key.clone(), read)),
+                Err(e) => {
+                    // Surface the error without leaking the completions
+                    // of the reads already submitted for this batch.
+                    for (_, read) in in_flight {
+                        read.into_bg(&mut q);
+                    }
+                    self.batch.push_back(Err(e.into()));
+                    return;
+                }
+            }
+        }
+        for (key, read) in in_flight {
+            let value = read.wait(&mut q);
+            self.batch.push_back(Ok((key, value)));
+        }
+    }
 }
 
 impl Iterator for IndexScan<'_> {
@@ -590,6 +697,25 @@ impl Iterator for IndexScan<'_> {
     fn next(&mut self) -> Option<Self::Item> {
         if self.remaining == 0 {
             return None;
+        }
+        if let Some(queue) = self.db.queue.clone() {
+            if self.batch.is_empty() {
+                self.refill_batch(&queue);
+            }
+            return match self.batch.pop_front() {
+                Some(Ok(item)) => {
+                    self.remaining -= 1;
+                    Some(Ok(item))
+                }
+                Some(Err(e)) => {
+                    self.remaining = 0;
+                    Some(Err(e))
+                }
+                None => {
+                    self.remaining = 0;
+                    None
+                }
+            };
         }
         for (key, entry) in self.range.by_ref() {
             if entry.tombstone {
@@ -811,6 +937,64 @@ mod tests {
             b.scan(b"", None, 100).expect("scan b")
         );
         assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn queued_scans_match_sync_scans_and_run_faster() {
+        let opts_deep = HashLogOptions {
+            queue_depth: 8,
+            ..HashLogOptions::small()
+        };
+        let mut sync_db = HashLogDb::open(vfs(), HashLogOptions::small()).expect("open");
+        let mut deep_db = HashLogDb::open(vfs(), opts_deep).expect("open");
+        for i in 0..256u32 {
+            sync_db.put(&key(i), &vec![i as u8; 800]).expect("put");
+            deep_db.put(&key(i), &vec![i as u8; 800]).expect("put");
+        }
+        assert!(deep_db.queue.is_some(), "depth 8 must open a queue");
+
+        let scan_cost = |db: &mut HashLogDb| {
+            let clock = db.vfs().clock();
+            let t0 = clock.now();
+            let items = db.scan(b"", None, usize::MAX).expect("scan");
+            (items, clock.now() - t0)
+        };
+        let (sync_items, sync_cost) = scan_cost(&mut sync_db);
+        let (deep_items, deep_cost) = scan_cost(&mut deep_db);
+        assert_eq!(
+            sync_items, deep_items,
+            "queued scans must not change results"
+        );
+        assert_eq!(sync_items.len(), 256);
+        assert!(
+            deep_cost * 2 < sync_cost,
+            "QD=8 parallel point reads must overlap latencies: {deep_cost} vs {sync_cost}"
+        );
+    }
+
+    #[test]
+    fn multi_get_matches_individual_gets() {
+        let mut db = HashLogDb::open(
+            vfs(),
+            HashLogOptions {
+                queue_depth: 8,
+                ..HashLogOptions::small()
+            },
+        )
+        .expect("open");
+        for i in 0..64u32 {
+            db.put(&key(i), format!("v{i}").as_bytes()).expect("put");
+        }
+        db.delete(&key(7)).expect("delete");
+        let lookups: Vec<Vec<u8>> = vec![key(3), key(7), key(63), b"missing".to_vec()];
+        let refs: Vec<&[u8]> = lookups.iter().map(|k| k.as_slice()).collect();
+        let got = db.multi_get(&refs).expect("multi_get");
+        assert_eq!(got[0], Some(b"v3".to_vec()));
+        assert_eq!(got[1], None, "tombstoned key");
+        assert_eq!(got[2], Some(b"v63".to_vec()));
+        assert_eq!(got[3], None, "absent key");
+        // Stats count every probed key.
+        assert!(db.stats().gets >= 4);
     }
 
     #[test]

@@ -119,7 +119,10 @@ fn build_hashlog(
     tuning: &EngineTuning,
     lifecycle: Lifecycle,
 ) -> std::result::Result<Box<dyn PtsEngine>, PtsError> {
-    let opts = HashLogOptions::scaled_to_partition(tuning.device_bytes);
+    let opts = HashLogOptions {
+        queue_depth: tuning.queue_depth,
+        ..HashLogOptions::scaled_to_partition(tuning.device_bytes)
+    };
     let db = match lifecycle {
         Lifecycle::Open => HashLogDb::open(vfs, opts),
         Lifecycle::Recover => HashLogDb::recover(vfs, opts),

@@ -12,6 +12,12 @@ pub struct HashLogOptions {
     /// A sealed segment is only a GC victim once at least this fraction
     /// of it is garbage (avoids rewriting mostly-live segments).
     pub min_victim_garbage: f64,
+    /// I/O submission queue depth. At 1 (the default) every read uses
+    /// the classic synchronous path; above 1 the engine opens a shared
+    /// [`ptsbench_vfs::IoQueue`] and issues scans and `multi_get`s as
+    /// batches of up to this many parallel point reads — the KVell
+    /// trick of hiding per-command latency behind queue depth.
+    pub queue_depth: usize,
 }
 
 impl Default for HashLogOptions {
@@ -20,6 +26,7 @@ impl Default for HashLogOptions {
             segment_bytes: 4 << 20,
             gc_garbage_fraction: 0.30,
             min_victim_garbage: 0.25,
+            queue_depth: 1,
         }
     }
 }
@@ -60,6 +67,7 @@ impl HashLogOptions {
             (0.0..1.0).contains(&self.min_victim_garbage),
             "victim threshold must be a fraction"
         );
+        assert!(self.queue_depth >= 1, "queue depth must be at least 1");
     }
 }
 

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use ptsbench_vfs::Vfs;
+use ptsbench_vfs::{SharedIoQueue, Vfs};
 
 use crate::compaction::{pick, CompactionTask};
 use crate::iter::{EntryStream, KWayMerge};
@@ -52,6 +52,9 @@ pub struct LsmDb {
     cursors: Vec<usize>,
     next_file: u64,
     stats: DbStats,
+    /// Shared submission queue threaded into every table reader when
+    /// `opts.queue_depth > 1`; `None` keeps the synchronous read path.
+    queue: Option<SharedIoQueue>,
 }
 
 impl std::fmt::Debug for LsmDb {
@@ -73,6 +76,7 @@ impl LsmDb {
             None
         };
         let manifest = Manifest::create(vfs.clone())?;
+        let queue = io_queue_for(&vfs, &opts);
         Ok(Self {
             memtable: Memtable::new(),
             wal,
@@ -83,6 +87,7 @@ impl LsmDb {
             stats: DbStats::default(),
             vfs,
             opts,
+            queue,
         })
     }
 
@@ -97,6 +102,7 @@ impl LsmDb {
             return Err(LsmError::Corruption("no MANIFEST to recover from".into()));
         }
         let (tables, next_file) = Manifest::replay(&vfs)?;
+        let queue = io_queue_for(&vfs, &opts);
         let mut version = Version::new(opts.max_levels);
         for (level, name) in tables {
             if level >= opts.max_levels {
@@ -107,7 +113,7 @@ impl LsmDb {
             }
             // Recover the key range from the table's own index (the
             // manifest intentionally stores only placement).
-            let reader = SstableReader::open(vfs.clone(), &name)?;
+            let reader = SstableReader::open_q(vfs.clone(), &name, queue.clone())?;
             let min_key = reader
                 .first_key()
                 .ok_or_else(|| LsmError::Corruption(format!("{name}: empty table")))?;
@@ -151,6 +157,7 @@ impl LsmDb {
             stats: DbStats::default(),
             vfs,
             opts,
+            queue,
         };
         for record in records {
             match record {
@@ -252,6 +259,26 @@ impl LsmDb {
         }
         for level in 1..self.version.level_count() {
             let tables = self.version.tables(level);
+            // With a submission queue, scan each level as one chained
+            // batched stream: readahead windows of consecutive tables
+            // are submitted together (up to the queue depth), so their
+            // per-command base latencies overlap instead of accruing
+            // once per table.
+            if let Some(queue) = &self.queue {
+                let readers: Vec<&crate::sstable::SstableReader> = tables
+                    .iter()
+                    .filter(|h| h.meta.max_key.as_slice() >= start)
+                    .map(|h| &h.reader)
+                    .collect();
+                if !readers.is_empty() {
+                    sources.push(Box::new(crate::sstable::ChainedSstScan::new(
+                        readers,
+                        start,
+                        queue.clone(),
+                    )));
+                }
+                continue;
+            }
             let mut chained: EntryStream<'_> = Box::new(std::iter::empty());
             for handle in tables {
                 if handle.meta.max_key.as_slice() < start {
@@ -393,7 +420,7 @@ impl LsmDb {
         self.stats.flush_bytes += meta.file_bytes;
         self.manifest.log_add(0, &meta.name);
         self.manifest.commit()?;
-        let reader = SstableReader::open_bg(self.vfs.clone(), &meta.name)?;
+        let reader = SstableReader::open_bg_q(self.vfs.clone(), &meta.name, self.queue.clone())?;
         self.version.push_l0(Arc::new(TableHandle { meta, reader }));
         if let Some(wal) = self.wal.as_mut() {
             wal.rotate()?;
@@ -559,7 +586,8 @@ impl LsmDb {
         }
         for meta in outputs {
             self.manifest.log_add(task.target_level, &meta.name);
-            let reader = SstableReader::open_bg(self.vfs.clone(), &meta.name)?;
+            let reader =
+                SstableReader::open_bg_q(self.vfs.clone(), &meta.name, self.queue.clone())?;
             added.push(Arc::new(TableHandle { meta, reader }));
         }
         self.manifest.commit()?;
@@ -573,6 +601,11 @@ impl LsmDb {
         self.stats.compaction_bytes_written += output_bytes;
         Ok(())
     }
+}
+
+/// Opens the shared submission queue when the options ask for one.
+fn io_queue_for(vfs: &Vfs, opts: &LsmOptions) -> Option<SharedIoQueue> {
+    (opts.queue_depth > 1).then(|| vfs.io_queue(opts.queue_depth).into_shared())
 }
 
 /// Streaming cursor returned by [`LsmDb::scan_iter`]: merges the
@@ -756,6 +789,73 @@ mod tests {
         );
         // Limit respected.
         assert_eq!(db.scan(b"key", None, 7).expect("scan").len(), 7);
+    }
+
+    fn db_on_opts(bytes: u64, opts: LsmOptions) -> LsmDb {
+        let ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), bytes));
+        let vfs = Vfs::whole_device(ssd.into_shared(), VfsOptions::default());
+        LsmDb::open(vfs, opts).expect("open")
+    }
+
+    #[test]
+    fn queued_scans_match_sync_scans_and_run_faster() {
+        let load = |db: &mut LsmDb| {
+            for i in 0..2000u32 {
+                db.put(&key(i), &[i as u8; 300]).expect("put");
+            }
+            db.flush().expect("flush");
+        };
+        let mut sync_db = db_on_opts(64 << 20, LsmOptions::small());
+        let mut deep_db = db_on_opts(
+            64 << 20,
+            LsmOptions {
+                queue_depth: 8,
+                ..LsmOptions::small()
+            },
+        );
+        load(&mut sync_db);
+        load(&mut deep_db);
+        assert!(deep_db.queue.is_some(), "depth 8 must open a queue");
+
+        let scan_cost = |db: &LsmDb| {
+            let clock = db.vfs().clock();
+            let t0 = clock.now();
+            let items = db.scan(b"", None, usize::MAX).expect("scan");
+            (items, clock.now() - t0)
+        };
+        let (sync_items, sync_cost) = scan_cost(&sync_db);
+        let (deep_items, deep_cost) = scan_cost(&deep_db);
+        assert_eq!(
+            sync_items, deep_items,
+            "queued scans must not change results"
+        );
+        assert_eq!(sync_items.len(), 2000);
+        assert!(
+            deep_cost < sync_cost,
+            "QD=8 scan must cost less virtual time: {deep_cost} vs {sync_cost}"
+        );
+    }
+
+    #[test]
+    fn queued_compactions_preserve_correctness() {
+        let mut db = db_on_opts(
+            64 << 20,
+            LsmOptions {
+                queue_depth: 8,
+                ..LsmOptions::small()
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..3000 {
+            let i: u32 = rng.gen_range(0..400);
+            db.put(&key(i), &[1u8; 256]).expect("put");
+        }
+        assert!(db.stats().compactions > 0, "churn must compact");
+        db.compact_all().expect("compact");
+        for i in 0..400u32 {
+            assert!(db.get(&key(i)).expect("get").is_some(), "key {i} lost");
+        }
+        db.version.check_invariants();
     }
 
     #[test]

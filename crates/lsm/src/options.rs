@@ -43,6 +43,12 @@ pub struct LsmOptions {
     /// compaction trigger, the budget is ignored (the hard write-stall
     /// backpressure).
     pub compaction_budget_factor: u64,
+    /// I/O submission queue depth. At 1 (the default) every read uses
+    /// the classic synchronous path; above 1 the engine opens a shared
+    /// [`ptsbench_vfs::IoQueue`] and issues its range-scan chunk loads
+    /// and compaction-input reads as batched submissions of up to this
+    /// many commands, overlapping their base latencies.
+    pub queue_depth: usize,
 }
 
 impl Default for LsmOptions {
@@ -60,6 +66,7 @@ impl Default for LsmOptions {
             wal_fsync: false,
             recycle_wal: true,
             compaction_budget_factor: 16,
+            queue_depth: 1,
         }
     }
 }
@@ -81,6 +88,7 @@ impl LsmOptions {
             wal_fsync: false,
             recycle_wal: true,
             compaction_budget_factor: 16,
+            queue_depth: 1,
         }
     }
 
@@ -122,6 +130,7 @@ impl LsmOptions {
             self.compaction_budget_factor >= 2,
             "budget must cover at least an L0 merge"
         );
+        assert!(self.queue_depth >= 1, "queue depth must be at least 1");
     }
 }
 

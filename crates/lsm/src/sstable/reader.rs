@@ -1,7 +1,7 @@
 //! SSTable reading: point lookups via bloom + index, full scans for
 //! compaction and range queries.
 
-use ptsbench_vfs::{FileId, Vfs};
+use ptsbench_vfs::{FileId, SharedIoQueue, Vfs};
 
 use crate::bloom::BloomFilter;
 use crate::sstable::format::{decode_entry, decode_index, Footer, IndexEntry, FOOTER_LEN};
@@ -10,6 +10,12 @@ use crate::{LsmError, Result};
 /// An open SSTable: index and bloom cached in memory (as RocksDB pins
 /// index/filter blocks), data blocks read through the filesystem on
 /// demand (charging simulated device reads).
+///
+/// When the owning database runs with an I/O queue depth above 1 it
+/// threads a [`SharedIoQueue`] into every reader; sequential scans then
+/// issue their readahead chunks as *batched submissions* of up to the
+/// queue depth, overlapping the per-command base latencies that the
+/// synchronous path pays serially.
 pub struct SstableReader {
     vfs: Vfs,
     file: FileId,
@@ -18,6 +24,7 @@ pub struct SstableReader {
     bloom: Option<BloomFilter>,
     entries: u64,
     file_bytes: u64,
+    queue: Option<SharedIoQueue>,
 }
 
 impl std::fmt::Debug for SstableReader {
@@ -34,14 +41,29 @@ impl SstableReader {
     /// Opens a table by name, loading footer, index and bloom filter
     /// with foreground I/O.
     pub fn open(vfs: Vfs, name: &str) -> Result<Self> {
-        Self::open_opts(vfs, name, true)
+        Self::open_opts(vfs, name, true).map(|r| r.with_queue(None))
+    }
+
+    /// [`SstableReader::open`] with an I/O queue for batched scans.
+    pub fn open_q(vfs: Vfs, name: &str, queue: Option<SharedIoQueue>) -> Result<Self> {
+        Self::open_opts(vfs, name, true).map(|r| r.with_queue(queue))
     }
 
     /// Opens a table from a background thread (flush/compaction install
     /// path): the metadata reads consume bandwidth without advancing the
     /// simulated clock.
     pub fn open_bg(vfs: Vfs, name: &str) -> Result<Self> {
-        Self::open_opts(vfs, name, false)
+        Self::open_opts(vfs, name, false).map(|r| r.with_queue(None))
+    }
+
+    /// [`SstableReader::open_bg`] with an I/O queue for batched scans.
+    pub fn open_bg_q(vfs: Vfs, name: &str, queue: Option<SharedIoQueue>) -> Result<Self> {
+        Self::open_opts(vfs, name, false).map(|r| r.with_queue(queue))
+    }
+
+    fn with_queue(mut self, queue: Option<SharedIoQueue>) -> Self {
+        self.queue = queue;
+        self
     }
 
     fn open_opts(vfs: Vfs, name: &str, blocking: bool) -> Result<Self> {
@@ -80,6 +102,7 @@ impl SstableReader {
             bloom,
             entries: footer.entries,
             file_bytes,
+            queue: None,
         })
     }
 
@@ -166,6 +189,7 @@ impl SstableReader {
             pos: 0,
             remaining: 0,
             background: false,
+            ramp: 1,
         }
     }
 
@@ -179,6 +203,7 @@ impl SstableReader {
             pos: 0,
             remaining: 0,
             background: true,
+            ramp: 1,
         }
     }
 
@@ -195,6 +220,7 @@ impl SstableReader {
             pos: 0,
             remaining: 0,
             background: false,
+            ramp: 1,
         };
         it.skip_until(start);
         it
@@ -203,6 +229,97 @@ impl SstableReader {
 
 /// Readahead window for sequential scans, in bytes.
 const SCAN_READAHEAD: usize = 256 << 10;
+
+/// A planned readahead window of one table.
+struct Window<'a> {
+    reader: &'a SstableReader,
+    offset: u64,
+    len: usize,
+    entries: u64,
+}
+
+/// Computes the next readahead window of `reader` (consecutive blocks
+/// up to [`SCAN_READAHEAD`] bytes), advancing `next_block`.
+fn next_window_of<'a>(reader: &'a SstableReader, next_block: &mut usize) -> Option<Window<'a>> {
+    let index = &reader.index;
+    if *next_block >= index.len() {
+        return None;
+    }
+    let offset = index[*next_block].offset;
+    let mut len = 0usize;
+    let mut entries = 0u64;
+    while *next_block < index.len() {
+        let b = &index[*next_block];
+        if len > 0 && len + b.len as usize > SCAN_READAHEAD {
+            break;
+        }
+        len += b.len as usize;
+        entries += b.entries as u64;
+        *next_block += 1;
+    }
+    Some(Window {
+        reader,
+        offset,
+        len,
+        entries,
+    })
+}
+
+/// Submits `windows` as one batch (one command per extent run per
+/// window, every submission before the first collection) and returns
+/// their buffers in window order. `background` detaches the completions
+/// instead of waiting on them. Returns `None` on a submit error or a
+/// short read — in either case no completion is left stranded in the
+/// queue's pending map.
+fn batch_read_windows(
+    q: &mut ptsbench_vfs::IoQueue,
+    windows: &[Window<'_>],
+    background: bool,
+) -> Option<Vec<(Vec<u8>, u64)>> {
+    let mut reads = Vec::with_capacity(windows.len());
+    for w in windows {
+        match w
+            .reader
+            .vfs
+            .read_runs_async(q, w.reader.file, w.offset, w.len)
+        {
+            Ok(read) => reads.push((read, w.len, w.entries)),
+            Err(_) => {
+                // Failing the batch must not leak the completions of the
+                // windows already submitted.
+                for (read, _, _) in reads {
+                    read.into_bg(q);
+                }
+                return None;
+            }
+        }
+    }
+    // Collect every completion before validating, so a short read never
+    // strands later windows in the pending map.
+    let mut out = Vec::with_capacity(reads.len());
+    let mut complete = true;
+    for (read, len, entries) in reads {
+        let data = if background {
+            read.into_bg(q)
+        } else {
+            read.wait(q)
+        };
+        complete &= data.len() == len;
+        out.push((data, entries));
+    }
+    complete.then_some(out)
+}
+
+/// Readahead ramp shared by the queued scan paths: start with a single
+/// window per batch (a short or end-bounded scan should not be charged
+/// `depth` windows of readahead it never consumes) and double towards
+/// the queue depth as the scan proves it keeps reading — the classic
+/// readahead ramp-up, applied to submission batches.
+fn ramp_up(ramp: &mut usize, depth: usize) -> usize {
+    let take = (*ramp).min(depth).max(1);
+    *ramp = (take * 2).min(depth.max(1));
+    take
+}
 
 /// In-order iterator over a table's entries (chunked readahead).
 pub struct SstIter<'a> {
@@ -216,42 +333,68 @@ pub struct SstIter<'a> {
     remaining: u64,
     /// Background mode: chunk reads do not advance the clock.
     background: bool,
+    /// Queued-path readahead ramp (see [`ramp_up`]).
+    ramp: usize,
 }
 
 impl SstIter<'_> {
-    /// Loads the next chunk: as many consecutive blocks as fit the
-    /// readahead window, in one filesystem read.
+    /// Loads the next chunk. Without a queue: one synchronous readahead
+    /// window (the legacy path). With a queue: a ramping batch of up to
+    /// `queue.depth()` windows is submitted together — one command per
+    /// extent run — so their fixed base latencies overlap instead of
+    /// accruing serially; background (compaction-input) chunks are
+    /// submitted detached, charging bandwidth and queue slots without
+    /// blocking.
     fn load_next_chunk(&mut self) -> bool {
-        let index = &self.reader.index;
-        if self.next_block >= index.len() {
-            return false;
-        }
-        let first = self.next_block;
-        let offset = index[first].offset;
-        let mut len = 0usize;
-        let mut entries = 0u64;
-        while self.next_block < index.len() {
-            let b = &index[self.next_block];
-            if len > 0 && len + b.len as usize > SCAN_READAHEAD {
-                break;
+        match self.reader.queue.clone() {
+            None => {
+                let Some(w) = next_window_of(self.reader, &mut self.next_block) else {
+                    return false;
+                };
+                let read = if self.background {
+                    self.reader
+                        .vfs
+                        .read_at_bg(self.reader.file, w.offset, w.len)
+                } else {
+                    self.reader.vfs.read_at(self.reader.file, w.offset, w.len)
+                };
+                match read {
+                    Ok(buf) if buf.len() == w.len => {
+                        self.buf = buf;
+                        self.pos = 0;
+                        self.remaining = w.entries;
+                        true
+                    }
+                    _ => false,
+                }
             }
-            len += b.len as usize;
-            entries += b.entries as u64;
-            self.next_block += 1;
-        }
-        let read = if self.background {
-            self.reader.vfs.read_at_bg(self.reader.file, offset, len)
-        } else {
-            self.reader.vfs.read_at(self.reader.file, offset, len)
-        };
-        match read {
-            Ok(buf) if buf.len() == len => {
+            Some(queue) => {
+                let mut q = queue.lock();
+                let take = ramp_up(&mut self.ramp, q.depth());
+                let mut windows = Vec::new();
+                while windows.len() < take {
+                    match next_window_of(self.reader, &mut self.next_block) {
+                        Some(w) => windows.push(w),
+                        None => break,
+                    }
+                }
+                if windows.is_empty() {
+                    return false;
+                }
+                let Some(buffers) = batch_read_windows(&mut q, &windows, self.background) else {
+                    return false;
+                };
+                let mut buf = Vec::new();
+                let mut total_entries = 0u64;
+                for (data, entries) in buffers {
+                    buf.extend_from_slice(&data);
+                    total_entries += entries;
+                }
                 self.buf = buf;
                 self.pos = 0;
-                self.remaining = entries;
+                self.remaining = total_entries;
                 true
             }
-            _ => false,
         }
     }
 
@@ -285,6 +428,151 @@ impl Iterator for SstIter<'_> {
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.remaining == 0 && !self.load_next_chunk() {
+            return None;
+        }
+        match decode_entry(&self.buf, self.pos) {
+            Ok((k, v, next)) => {
+                self.pos = next;
+                self.remaining -= 1;
+                Some((k.to_vec(), v.map(|v| v.to_vec())))
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+/// Queue-aware scan over a *chain* of non-overlapping tables (one LSM
+/// level, in key order): readahead windows are batched **across table
+/// boundaries**, up to the queue depth per submission round.
+///
+/// This is where queue depth buys scan throughput at simulation scale:
+/// level tables are typically at most one readahead window long, so a
+/// per-table iterator pays the full per-command base latency for every
+/// table, strictly serially. Chained batching keeps `depth` window
+/// reads in flight, overlapping those base latencies — the same reason
+/// io_uring-driven scans beat synchronous readahead on real NVMe.
+pub struct ChainedSstScan<'a> {
+    tables: Vec<&'a SstableReader>,
+    queue: SharedIoQueue,
+    /// Cursor of the next window to load.
+    load_table: usize,
+    load_block: usize,
+    /// Windows already read, in consumption order.
+    loaded: std::collections::VecDeque<(Vec<u8>, u64)>,
+    /// Current window being decoded.
+    buf: Vec<u8>,
+    pos: usize,
+    remaining: u64,
+    /// Readahead ramp (see [`ramp_up`]).
+    ramp: usize,
+}
+
+impl<'a> ChainedSstScan<'a> {
+    /// A chained scan over `tables` (key-ordered, non-overlapping)
+    /// starting at the first entry `>= start`. The caller must filter
+    /// out tables entirely below `start` (their cached `max_key` makes
+    /// that free), so only the first table can hold smaller keys.
+    pub fn new(tables: Vec<&'a SstableReader>, start: &[u8], queue: SharedIoQueue) -> Self {
+        let mut scan = Self {
+            tables,
+            queue,
+            load_table: 0,
+            load_block: 0,
+            loaded: std::collections::VecDeque::new(),
+            buf: Vec::new(),
+            pos: 0,
+            remaining: 0,
+            ramp: 1,
+        };
+        // Seek: position the block cursor inside the first table, then
+        // consume any leading entries below `start`.
+        if let Some(t) = scan.tables.first() {
+            let idx = t.index.partition_point(|e| e.first_key.as_slice() <= start);
+            scan.load_block = idx.saturating_sub(1);
+        }
+        scan.skip_until(start);
+        scan
+    }
+
+    /// Computes the next window at the load cursor, advancing it across
+    /// table boundaries.
+    fn next_window(&mut self) -> Option<Window<'a>> {
+        while self.load_table < self.tables.len() {
+            let reader = self.tables[self.load_table];
+            if self.load_block >= reader.index.len() {
+                self.load_table += 1;
+                self.load_block = 0;
+                continue;
+            }
+            return next_window_of(reader, &mut self.load_block);
+        }
+        None
+    }
+
+    /// Submits a ramping batch of windows (possibly spanning several
+    /// tables) in one round, waits for them all, and queues their
+    /// buffers.
+    fn batch_load(&mut self) -> bool {
+        let queue = self.queue.clone();
+        let mut q = queue.lock();
+        let take = ramp_up(&mut self.ramp, q.depth());
+        let mut windows = Vec::new();
+        while windows.len() < take {
+            match self.next_window() {
+                Some(w) => windows.push(w),
+                None => break,
+            }
+        }
+        if windows.is_empty() {
+            return false;
+        }
+        let Some(buffers) = batch_read_windows(&mut q, &windows, false) else {
+            return false;
+        };
+        self.loaded.extend(buffers);
+        true
+    }
+
+    /// Makes the decode cursor point at a non-empty window.
+    fn advance_buffer(&mut self) -> bool {
+        while self.remaining == 0 {
+            if self.loaded.is_empty() && !self.batch_load() {
+                return false;
+            }
+            let (buf, entries) = self.loaded.pop_front().expect("batch_load queued windows");
+            self.buf = buf;
+            self.pos = 0;
+            self.remaining = entries;
+        }
+        true
+    }
+
+    /// Consumes entries smaller than `start`; the cursor only advances
+    /// on the skip branch, so the first entry `>= start` stays pending.
+    fn skip_until(&mut self, start: &[u8]) {
+        loop {
+            if !self.advance_buffer() {
+                return;
+            }
+            match decode_entry(&self.buf, self.pos) {
+                Ok((k, _, next)) => {
+                    if k >= start {
+                        return;
+                    }
+                    self.pos = next;
+                    self.remaining -= 1;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+impl Iterator for ChainedSstScan<'_> {
+    type Item = (Vec<u8>, Option<Vec<u8>>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.advance_buffer() {
             return None;
         }
         match decode_entry(&self.buf, self.pos) {

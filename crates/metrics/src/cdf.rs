@@ -60,7 +60,7 @@ impl Cdf {
         idx as f64 / self.samples.len() as f64
     }
 
-    /// The `q`-quantile (q in [0,1]) of an empirical CDF.
+    /// The `q`-quantile (q in `[0,1]`) of an empirical CDF.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q));
         if self.samples.is_empty() {

@@ -66,7 +66,7 @@ pub struct Heatmap {
     pub dataset_axis: Vec<u64>,
     /// Target throughputs (ops/s) along the y axis.
     pub throughput_axis: Vec<f64>,
-    /// `cells[y][x]` — who wins at (dataset_axis[x], throughput_axis[y]).
+    /// `cells[y][x]` — who wins at `(dataset_axis[x], throughput_axis[y])`.
     pub cells: Vec<Vec<DeploymentPlan>>,
     /// `drives[y][x]` — (drives_A, drives_B) at each grid point.
     pub drives: Vec<Vec<(u64, u64)>>,

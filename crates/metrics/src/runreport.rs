@@ -16,6 +16,18 @@ use crate::histogram::LatencyHistogram;
 use crate::report::render_series_table;
 use crate::timeseries::TimeSeries;
 
+/// Submission-queue depth summary of one shard: how deep its engine's
+/// asynchronous I/O actually ran during the measured phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueDepthSummary {
+    /// Commands submitted through I/O queues.
+    pub submitted: u64,
+    /// Maximum commands in flight at any submission.
+    pub max_in_flight: u64,
+    /// Mean in-flight count over all submissions.
+    pub mean_in_flight: f64,
+}
+
 /// One client's view of its shard, as handed to [`RunReport::merge`].
 #[derive(Debug, Clone)]
 pub struct ShardReport {
@@ -32,6 +44,11 @@ pub struct ShardReport {
     pub app_bytes: u64,
     /// Host bytes reaching the device during the measured phase.
     pub host_bytes: u64,
+    /// In-flight-depth metrics of the shard's submission queues.
+    /// `None` for synchronous (queue-depth-1) runs — and rendered only
+    /// when `Some`, so depth-1 reports stay byte-identical to the
+    /// pre-queue renderer.
+    pub io_depth: Option<QueueDepthSummary>,
     /// Additive per-window series (throughput, device MB/s, ...). All
     /// shards must emit the same series names in the same order, on the
     /// same window boundaries.
@@ -155,11 +172,18 @@ impl RunReport {
         ));
         for shard in &self.shards {
             out.push_str(&format!(
-                "{}: ops={} app_bytes={} host_bytes={}{}\n",
+                "{}: ops={} app_bytes={} host_bytes={}{}{}\n",
                 shard.name,
                 shard.ops,
                 shard.app_bytes,
                 shard.host_bytes,
+                match &shard.io_depth {
+                    Some(io) => format!(
+                        " qd[submitted={} max_in_flight={} mean={:.2}]",
+                        io.submitted, io.max_in_flight, io.mean_in_flight
+                    ),
+                    None => String::new(),
+                },
                 if shard.out_of_space {
                     " OUT-OF-SPACE"
                 } else {
@@ -168,6 +192,15 @@ impl RunReport {
             ));
         }
         out
+    }
+
+    /// The deepest in-flight depth any shard reported (`None` when every
+    /// shard ran synchronously).
+    pub fn max_in_flight(&self) -> Option<u64> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.io_depth.map(|io| io.max_in_flight))
+            .max()
     }
 }
 
@@ -191,6 +224,7 @@ mod tests {
             latency,
             app_bytes: ops * 100,
             host_bytes: ops * 250,
+            io_depth: None,
             series: vec![series],
         }
     }
@@ -235,6 +269,27 @@ mod tests {
         assert!(a.contains("ops=30"));
         assert!(a.contains("time(min)"));
         assert!(a.contains("kops"));
+    }
+
+    #[test]
+    fn queue_depth_renders_only_when_present() {
+        let plain = RunReport::merge("x", 1, vec![shard("shard0", 5, &[1_000], &[1.0])]);
+        assert!(
+            !plain.render().contains("qd["),
+            "synchronous shards must render exactly as before"
+        );
+        assert_eq!(plain.max_in_flight(), None);
+
+        let mut s = shard("shard0", 5, &[1_000], &[1.0]);
+        s.io_depth = Some(QueueDepthSummary {
+            submitted: 120,
+            max_in_flight: 8,
+            mean_in_flight: 5.25,
+        });
+        let deep = RunReport::merge("x", 1, vec![s]);
+        let text = deep.render();
+        assert!(text.contains("qd[submitted=120 max_in_flight=8 mean=5.25]"));
+        assert_eq!(deep.max_in_flight(), Some(8));
     }
 
     #[test]

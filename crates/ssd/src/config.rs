@@ -121,6 +121,15 @@ pub struct DeviceConfig {
     pub cache: CacheConfig,
     /// Timing model.
     pub latency: LatencyConfig,
+    /// Read service lanes available to *queued* reads (the NAND-channel
+    /// model of the asynchronous submission path, see [`crate::IoQueue`]).
+    /// The default of 1 keeps the calibrated aggregate-bandwidth model
+    /// authoritative: queued reads then overlap their fixed base latency
+    /// but serialize media occupancy, and the synchronous path is
+    /// reproduced byte-identically at queue depth 1. Values above 1 are
+    /// an explicit what-if knob that multiplies read service
+    /// parallelism beyond the profile's calibration.
+    pub channels: u32,
     /// Record per-LBA write counts (the `blktrace` equivalent, Fig 4).
     pub trace_writes: bool,
 }
@@ -135,6 +144,7 @@ impl DeviceConfig {
     /// Validates the configuration; panics with a description on error.
     pub fn validate(&self) {
         self.geometry.validate();
+        assert!(self.channels >= 1, "need at least one read channel");
         assert!(
             self.gc.reserve_blocks >= 2,
             "need at least 2 reserve blocks for GC"
@@ -312,6 +322,7 @@ impl DeviceProfile {
                 cache_write_latency_ns: (self.write_latency_ns as f64 * dilation).round() as u64,
                 read_base_latency_ns: (self.read_latency_ns as f64 * dilation).round() as u64,
             },
+            channels: 1,
             trace_writes: false,
         };
         cfg.validate();

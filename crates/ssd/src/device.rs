@@ -13,6 +13,18 @@
 //! write in the filesystem layer advances the clock to
 //! [`WriteCompletion::host_done`]; an `fsync` advances it to the maximum
 //! [`WriteCompletion::durable_at`] seen for the file.
+//!
+//! # Submission paths
+//!
+//! All host commands funnel through [`Ssd::execute_at`], the engine of
+//! the asynchronous submission/completion API ([`crate::queue`]). The
+//! synchronous calls ([`Ssd::write_page`], [`Ssd::read_page`], ...) are
+//! thin wrappers that execute one command at the current clock time —
+//! exactly what an [`crate::IoQueue`] of depth 1 does, so the two paths
+//! are byte-identical (property-tested in `tests/proptest_io_queue.rs`).
+//! Queued reads additionally occupy one of the device's
+//! [`DeviceConfig::channels`] read lanes, which bounds how much media
+//! time concurrent reads may overlap.
 
 use std::sync::Arc;
 
@@ -24,9 +36,11 @@ use crate::clock::{Ns, SimClock};
 use crate::config::{DeviceConfig, MediaKind};
 use crate::ftl::Ftl;
 use crate::latency::Backend;
+use crate::queue::{IoCmd, IoDepthStats, IoTimes};
 use crate::stats::{SmartCounters, WearStats};
 use crate::trace::WriteTrace;
 use crate::types::{Lpn, LpnRange};
+use crate::SsdError;
 
 /// A shared, lockable handle to a device (the canonical way the
 /// filesystem and a measurement harness both observe one drive).
@@ -50,8 +64,14 @@ pub struct Ssd {
     clock: Arc<SimClock>,
     ftl: Ftl,
     backend: Backend,
+    /// Read service lanes for *queued* reads: one lane per configured
+    /// channel. Synchronous reads keep the legacy constant-latency model
+    /// (they are prioritized and never queue), so this state is only
+    /// touched by [`Ssd::execute_at`] with `queued = true`.
+    read_lanes: Backend,
     cache: DestageQueue,
     smart: SmartCounters,
+    io_depth: IoDepthStats,
     trace: Option<WriteTrace>,
     /// For in-place media only: which LPNs hold data (utilization).
     inplace_written: Vec<bool>,
@@ -77,7 +97,9 @@ impl Ssd {
             ftl,
             cache,
             backend: Backend::new(),
+            read_lanes: Backend::with_lanes(cfg.channels as usize),
             smart: SmartCounters::default(),
+            io_depth: IoDepthStats::default(),
             trace,
             inplace_written: if inplace {
                 vec![false; cfg.geometry.logical_pages as usize]
@@ -115,19 +137,96 @@ impl Ssd {
         self.cfg.geometry.page_size
     }
 
-    /// Writes one logical page.
+    /// Executes one host command issued at virtual time `at` and returns
+    /// its completion times — the engine behind both the synchronous
+    /// wrappers and the [`crate::IoQueue`] submission path.
     ///
-    /// # Panics
-    /// Panics if `lpn` is out of range or the device cannot reclaim space
-    /// (a mis-configured geometry); both are programming errors, not
-    /// runtime conditions.
-    pub fn write_page(&mut self, lpn: Lpn) -> WriteCompletion {
-        assert!(
-            lpn < self.cfg.geometry.logical_pages,
-            "lpn {lpn} out of range ({} logical pages)",
-            self.cfg.geometry.logical_pages
-        );
-        let now = self.clock.now();
+    /// `queued` selects the read service model: queued reads occupy one
+    /// of the device's [`DeviceConfig::channels`] read lanes (their media
+    /// time overlaps only up to the channel count), while synchronous
+    /// reads keep the legacy prioritized constant-latency model. Both
+    /// charge the same bandwidth against the destage backend, and a
+    /// depth-1 queue produces identical times to the synchronous calls.
+    pub fn execute_at(&mut self, at: Ns, cmd: IoCmd, queued: bool) -> Result<IoTimes, SsdError> {
+        match cmd {
+            IoCmd::Write { range } => {
+                self.check_range(range)?;
+                let mut times = IoTimes {
+                    done: at,
+                    durable_at: at,
+                };
+                for lpn in range.iter() {
+                    let c = self.service_write(at, lpn)?;
+                    times.done = c.host_done;
+                    times.durable_at = times.durable_at.max(c.durable_at);
+                }
+                Ok(times)
+            }
+            IoCmd::Read { range } => {
+                if range.is_empty() {
+                    return Ok(IoTimes {
+                        done: at,
+                        durable_at: at,
+                    });
+                }
+                self.check_range(range)?;
+                let lat = self.cfg.latency;
+                let mut media_pages = 0u64;
+                for lpn in range.iter() {
+                    self.smart.host_pages_read += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record_read(lpn);
+                    }
+                    let mapped = match self.cfg.media {
+                        MediaKind::Flash => self.ftl.is_mapped(lpn),
+                        MediaKind::InPlace => self.inplace_written[lpn as usize],
+                    };
+                    if mapped {
+                        media_pages += 1;
+                    }
+                }
+                self.smart.nand_pages_read += media_pages;
+                let done = if media_pages == 0 {
+                    // Reading never-written space returns zeroes without
+                    // media work.
+                    at + lat.read_base_latency_ns
+                } else {
+                    // Steal bandwidth from the destage stream without
+                    // queueing the read behind it.
+                    self.backend
+                        .reserve(at, media_pages * lat.read_occupancy_ns);
+                    if queued {
+                        let media_done = self
+                            .read_lanes
+                            .reserve(at, media_pages * lat.read_occupancy_ns);
+                        media_done + lat.read_base_latency_ns
+                    } else {
+                        at + lat.read_base_latency_ns + media_pages * lat.read_occupancy_ns
+                    }
+                };
+                Ok(IoTimes {
+                    done,
+                    durable_at: done,
+                })
+            }
+        }
+    }
+
+    /// Validates that a command range lies inside the advertised space.
+    fn check_range(&self, range: LpnRange) -> Result<(), SsdError> {
+        let logical_pages = self.cfg.geometry.logical_pages;
+        if range.end > logical_pages {
+            return Err(SsdError::LpnOutOfRange {
+                lpn: range.end - 1,
+                logical_pages,
+            });
+        }
+        Ok(())
+    }
+
+    /// One page write issued at `at`: FTL write (with any GC it drags
+    /// in), backend reservations, cache admission.
+    fn service_write(&mut self, at: Ns, lpn: Lpn) -> Result<WriteCompletion, SsdError> {
         self.smart.host_pages_written += 1;
         if let Some(t) = self.trace.as_mut() {
             t.record(lpn);
@@ -140,15 +239,15 @@ impl Ssd {
                     self.inplace_mapped += 1;
                 }
                 self.smart.nand_pages_written += 1;
-                let durable = self.backend.reserve(now, lat.program_occupancy_ns);
-                WriteCompletion {
-                    host_done: durable.max(now + lat.cache_write_latency_ns),
+                let durable = self.backend.reserve(at, lat.program_occupancy_ns);
+                Ok(WriteCompletion {
+                    host_done: durable.max(at + lat.cache_write_latency_ns),
                     durable_at: durable,
-                }
+                })
             }
             MediaKind::Flash => {
-                let start = self.cache.admit(now);
-                let ops = self.ftl.write(lpn).expect("FTL write failed");
+                let start = self.cache.admit(at);
+                let ops = self.ftl.write(lpn)?;
                 self.smart.nand_pages_written += ops.programs as u64;
                 self.smart.nand_pages_read += ops.reads as u64;
                 self.smart.blocks_erased += ops.erases as u64;
@@ -173,33 +272,43 @@ impl Ssd {
 
                 if self.cache.enabled() {
                     self.cache.push(durable);
-                    WriteCompletion {
+                    Ok(WriteCompletion {
                         host_done: start + lat.cache_write_latency_ns,
                         durable_at: durable,
-                    }
+                    })
                 } else {
-                    WriteCompletion {
+                    Ok(WriteCompletion {
                         host_done: durable.max(start + lat.cache_write_latency_ns),
                         durable_at: durable,
-                    }
+                    })
                 }
             }
         }
     }
 
+    /// Writes one logical page — the synchronous (queue-depth-1) wrapper
+    /// over [`Ssd::execute_at`].
+    ///
+    /// # Errors
+    /// [`SsdError::LpnOutOfRange`] for an address beyond the advertised
+    /// space; [`SsdError::NoFreeBlocks`] when garbage collection cannot
+    /// reclaim a block (a mis-configured geometry).
+    pub fn write_page(&mut self, lpn: Lpn) -> Result<WriteCompletion, SsdError> {
+        let times = self.execute_at(self.clock.now(), IoCmd::write_page(lpn), false)?;
+        Ok(WriteCompletion {
+            host_done: times.done,
+            durable_at: times.durable_at,
+        })
+    }
+
     /// Writes `range` sequentially; returns the completion of the final
     /// page with `durable_at` covering the whole range.
-    pub fn write_range(&mut self, range: LpnRange) -> WriteCompletion {
-        let mut done = WriteCompletion {
-            host_done: self.clock.now(),
-            durable_at: self.clock.now(),
-        };
-        for lpn in range.iter() {
-            let c = self.write_page(lpn);
-            done.host_done = c.host_done;
-            done.durable_at = done.durable_at.max(c.durable_at);
-        }
-        done
+    pub fn write_range(&mut self, range: LpnRange) -> Result<WriteCompletion, SsdError> {
+        let times = self.execute_at(self.clock.now(), IoCmd::Write { range }, false)?;
+        Ok(WriteCompletion {
+            host_done: times.done,
+            durable_at: times.durable_at,
+        })
     }
 
     /// Reads one logical page; returns the completion time.
@@ -207,71 +316,41 @@ impl Ssd {
     /// Host reads are prioritized over background destage traffic (as on
     /// real NVMe devices): their latency does not queue behind the write
     /// backlog, but they *do* steal media bandwidth from it.
+    ///
+    /// # Panics
+    /// Panics if `lpn` is out of range (a programming error; the queued
+    /// submission path reports it as [`SsdError::LpnOutOfRange`]).
     pub fn read_page(&mut self, lpn: Lpn) -> Ns {
-        assert!(
-            lpn < self.cfg.geometry.logical_pages,
-            "lpn {lpn} out of range ({} logical pages)",
-            self.cfg.geometry.logical_pages
-        );
-        let now = self.clock.now();
-        self.smart.host_pages_read += 1;
-        let mapped = match self.cfg.media {
-            MediaKind::Flash => self.ftl.is_mapped(lpn),
-            MediaKind::InPlace => self.inplace_written[lpn as usize],
-        };
-        let lat = self.cfg.latency;
-        if !mapped {
-            // Reading never-written space returns zeroes without media work.
-            return now + lat.read_base_latency_ns;
-        }
-        self.smart.nand_pages_read += 1;
-        // Steal bandwidth from the destage stream without queueing the
-        // read behind it.
-        self.backend.reserve(now, lat.read_occupancy_ns);
-        now + lat.read_occupancy_ns + lat.read_base_latency_ns
+        self.execute_at(self.clock.now(), IoCmd::read_page(lpn), false)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .done
     }
 
     /// Reads a contiguous range of logical pages as one host command
     /// (base latency paid once, bandwidth per page). Returns the
     /// completion time.
+    ///
+    /// # Panics
+    /// Panics if the range is out of range (see [`Ssd::read_page`]).
     pub fn read_pages(&mut self, range: LpnRange) -> Ns {
-        if range.is_empty() {
-            return self.clock.now();
-        }
-        assert!(
-            range.end <= self.cfg.geometry.logical_pages,
-            "range {range:?} out of range ({} logical pages)",
-            self.cfg.geometry.logical_pages
-        );
-        let now = self.clock.now();
-        let lat = self.cfg.latency;
-        let mut media_pages = 0u64;
-        for lpn in range.iter() {
-            self.smart.host_pages_read += 1;
-            let mapped = match self.cfg.media {
-                MediaKind::Flash => self.ftl.is_mapped(lpn),
-                MediaKind::InPlace => self.inplace_written[lpn as usize],
-            };
-            if mapped {
-                media_pages += 1;
-            }
-        }
-        self.smart.nand_pages_read += media_pages;
-        if media_pages > 0 {
-            self.backend
-                .reserve(now, media_pages * lat.read_occupancy_ns);
-        }
-        now + lat.read_base_latency_ns + media_pages * lat.read_occupancy_ns
+        self.execute_at(self.clock.now(), IoCmd::Read { range }, false)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .done
     }
 
     /// TRIMs a range of logical pages (the `fstrim`/discard path).
     /// Returns the number of pages that actually held data.
-    pub fn trim_range(&mut self, range: LpnRange) -> u64 {
+    ///
+    /// # Errors
+    /// [`SsdError::LpnOutOfRange`] when the range exceeds the advertised
+    /// space (no partial trim is performed).
+    pub fn trim_range(&mut self, range: LpnRange) -> Result<u64, SsdError> {
+        self.check_range(range)?;
         let mut discarded = 0;
         for lpn in range.iter() {
             match self.cfg.media {
                 MediaKind::Flash => {
-                    if self.ftl.trim(lpn).expect("trim in range") {
+                    if self.ftl.trim(lpn)? {
                         discarded += 1;
                     }
                 }
@@ -284,7 +363,7 @@ impl Ssd {
             }
         }
         self.smart.pages_trimmed += discarded;
-        discarded
+        Ok(discarded)
     }
 
     /// The `blkdiscard` equivalent: erases the entire device state. After
@@ -299,6 +378,7 @@ impl Ssd {
         }
         self.cache.clear();
         self.backend.reset(self.clock.now());
+        self.read_lanes.reset(self.clock.now());
     }
 
     /// Preconditions the drive per paper §3.4: a full sequential fill
@@ -308,7 +388,7 @@ impl Ssd {
     /// *not* timed and *not* reflected in SMART counters or traces (they
     /// are reset afterwards), mirroring a baseline snapshot taken after
     /// preconditioning real hardware.
-    pub fn precondition(&mut self, seed: u64) {
+    pub fn precondition(&mut self, seed: u64) -> Result<(), SsdError> {
         let logical = self.cfg.geometry.logical_pages;
         match self.cfg.media {
             MediaKind::InPlace => {
@@ -319,17 +399,18 @@ impl Ssd {
             }
             MediaKind::Flash => {
                 for lpn in 0..logical {
-                    self.ftl.write(lpn).expect("precondition fill");
+                    self.ftl.write(lpn)?;
                 }
                 let mut rng = SmallRng::seed_from_u64(seed);
                 for _ in 0..(2 * logical) {
                     let lpn = rng.gen_range(0..logical);
-                    self.ftl.write(lpn).expect("precondition overwrite");
+                    self.ftl.write(lpn)?;
                 }
             }
         }
         self.reset_observability();
         self.reset_trace();
+        Ok(())
     }
 
     /// Resets SMART counters, the backend timeline and cache backlog —
@@ -339,7 +420,9 @@ impl Ssd {
     /// session (use [`Ssd::reset_trace`] to clear it explicitly).
     pub fn reset_observability(&mut self) {
         self.smart.reset();
+        self.io_depth.reset();
         self.backend.reset(self.clock.now());
+        self.read_lanes.reset(self.clock.now());
         self.cache.clear();
     }
 
@@ -353,6 +436,20 @@ impl Ssd {
     /// Current SMART counters.
     pub fn smart(&self) -> SmartCounters {
         self.smart
+    }
+
+    /// Aggregate submission-depth statistics across every [`crate::IoQueue`]
+    /// attached to this device (reset by [`Ssd::reset_observability`]).
+    pub fn io_depth_stats(&self) -> IoDepthStats {
+        self.io_depth
+    }
+
+    /// Records one queued submission with `in_flight` commands
+    /// outstanding (called by [`crate::IoQueue::submit`]).
+    pub(crate) fn note_queue_submission(&mut self, in_flight: u64) {
+        self.io_depth.submitted += 1;
+        self.io_depth.depth_sum += in_flight;
+        self.io_depth.max_in_flight = self.io_depth.max_in_flight.max(in_flight);
     }
 
     /// Fraction of logical space holding data.
@@ -393,6 +490,17 @@ impl Ssd {
         }
     }
 
+    /// Enables per-LBA *read* tracing on top of write tracing
+    /// (idempotent; creates the trace if needed) — used to inspect
+    /// read-path access patterns under the asynchronous I/O API.
+    pub fn enable_read_trace(&mut self) {
+        self.enable_trace();
+        self.trace
+            .as_mut()
+            .expect("trace just enabled")
+            .enable_reads();
+    }
+
     /// The write trace, if tracing is enabled.
     pub fn write_trace(&self) -> Option<&WriteTrace> {
         self.trace.as_ref()
@@ -426,7 +534,7 @@ mod tests {
         let mut d = ssd1(16 * MB);
         let pages = d.logical_pages();
         for lpn in 0..pages {
-            let c = d.write_page(lpn);
+            let c = d.write_page(lpn).expect("write");
             d.clock().advance_to(c.host_done);
         }
         assert_eq!(d.smart().host_pages_written, pages);
@@ -440,12 +548,12 @@ mod tests {
         let mut d = ssd1(16 * MB);
         let pages = d.logical_pages();
         for lpn in 0..pages {
-            d.write_page(lpn);
+            d.write_page(lpn).expect("write");
         }
         let baseline = d.smart();
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..(3 * pages) {
-            d.write_page(rng.gen_range(0..pages));
+            d.write_page(rng.gen_range(0..pages)).expect("write");
         }
         let delta = d.smart().delta_since(&baseline);
         assert!(
@@ -462,7 +570,7 @@ mod tests {
         // effectively an overwrite.
         let mut trimmed = ssd1(16 * MB);
         let mut prec = ssd1(16 * MB);
-        prec.precondition(7);
+        prec.precondition(7).expect("precondition");
         assert_eq!(
             prec.smart().host_pages_written,
             0,
@@ -476,8 +584,8 @@ mod tests {
             .map(|_| rng.gen_range(0..pages / 2))
             .collect();
         for &lpn in &lpns {
-            trimmed.write_page(lpn);
-            prec.write_page(lpn);
+            trimmed.write_page(lpn).expect("write");
+            prec.write_page(lpn).expect("write");
         }
         assert!(
             prec.smart().wa_d() > trimmed.smart().wa_d(),
@@ -494,14 +602,14 @@ mod tests {
         // writes to the other half must lower WA-D versus not trimming.
         let run = |trim: bool| -> f64 {
             let mut d = ssd1(16 * MB);
-            d.precondition(1);
+            d.precondition(1).expect("precondition");
             let pages = d.logical_pages();
             if trim {
-                d.trim_range(LpnRange::new(pages / 2, pages));
+                d.trim_range(LpnRange::new(pages / 2, pages)).expect("trim");
             }
             let mut rng = SmallRng::seed_from_u64(2);
             for _ in 0..(2 * pages) {
-                d.write_page(rng.gen_range(0..pages / 2));
+                d.write_page(rng.gen_range(0..pages / 2)).expect("write");
             }
             d.smart().wa_d()
         };
@@ -522,7 +630,7 @@ mod tests {
         let mut latencies = Vec::new();
         for lpn in 0..16 {
             let now = d.clock().now();
-            let c = d.write_page(lpn);
+            let c = d.write_page(lpn).expect("write");
             latencies.push(c.host_done - now);
             d.clock().advance_to(c.host_done);
             d.clock().advance(10 * crate::MILLISECOND); // idle gap
@@ -532,7 +640,7 @@ mod tests {
         let mut burst_max = 0;
         for lpn in 0..4096u64 {
             let now = d.clock().now();
-            let c = d.write_page(lpn % d.logical_pages());
+            let c = d.write_page(lpn % d.logical_pages()).expect("write");
             burst_max = burst_max.max(c.host_done - now);
             d.clock().advance_to(c.host_done);
         }
@@ -548,7 +656,7 @@ mod tests {
         let pages = d.logical_pages();
         let mut rng = SmallRng::seed_from_u64(4);
         for _ in 0..(4 * pages) {
-            d.write_page(rng.gen_range(0..pages));
+            d.write_page(rng.gen_range(0..pages)).expect("write");
         }
         assert!((d.smart().wa_d() - 1.0).abs() < 1e-9);
     }
@@ -557,7 +665,7 @@ mod tests {
     fn reads_do_not_queue_behind_write_backlog() {
         let mut d = ssd1(16 * MB);
         for lpn in 0..d.logical_pages() {
-            d.write_page(lpn);
+            d.write_page(lpn).expect("write");
         }
         // Big unadvanced backlog exists now; a read must still be fast.
         let now = d.clock().now();
@@ -573,12 +681,12 @@ mod tests {
     #[test]
     fn discard_all_restores_fresh_behaviour() {
         let mut d = ssd1(16 * MB);
-        d.precondition(5);
+        d.precondition(5).expect("precondition");
         d.discard_all();
         d.reset_observability();
         let pages = d.logical_pages();
         for lpn in 0..pages {
-            d.write_page(lpn);
+            d.write_page(lpn).expect("write");
         }
         assert!(
             (d.smart().wa_d() - 1.0).abs() < 1e-9,
@@ -591,17 +699,49 @@ mod tests {
         let mut d = ssd1(16 * MB);
         d.enable_trace();
         for lpn in 0..d.logical_pages() / 2 {
-            d.write_page(lpn);
+            d.write_page(lpn).expect("write");
         }
         let trace = d.write_trace().expect("enabled");
         assert!((trace.untouched_fraction() - 0.5).abs() < 0.01);
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn out_of_range_write_panics() {
+    fn read_trace_records_host_reads_when_enabled() {
+        let mut d = ssd1(16 * MB);
+        d.enable_read_trace();
+        for lpn in 0..4 {
+            d.write_page(lpn).expect("write");
+        }
+        d.read_pages(LpnRange::new(0, 4));
+        d.read_page(2);
+        let trace = d.write_trace().expect("enabled");
+        assert_eq!(trace.total_writes(), 4);
+        assert_eq!(trace.total_reads(), 5);
+        assert_eq!(trace.touched_read_lpns(), Some(4));
+        // The queued submission path records reads identically.
+        d.execute_at(d.clock().now(), IoCmd::read_page(0), true)
+            .expect("queued read");
+        assert_eq!(d.write_trace().expect("enabled").total_reads(), 6);
+    }
+
+    #[test]
+    fn out_of_range_write_errors() {
         let mut d = ssd1(16 * MB);
         let pages = d.logical_pages();
-        d.write_page(pages);
+        let err = d.write_page(pages).expect_err("beyond logical space");
+        assert!(matches!(err, SsdError::LpnOutOfRange { .. }));
+        let err = d
+            .trim_range(LpnRange::new(pages - 1, pages + 1))
+            .expect_err("beyond logical space");
+        assert!(matches!(err, SsdError::LpnOutOfRange { .. }));
+        assert_eq!(d.smart().pages_trimmed, 0, "no partial trim");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        let mut d = ssd1(16 * MB);
+        let pages = d.logical_pages();
+        d.read_page(pages);
     }
 }

@@ -44,37 +44,76 @@ impl LatencyConfig {
     }
 }
 
-/// The shared backend timeline: a single-server fluid queue.
-#[derive(Debug, Clone, Default)]
+/// A backend timeline: one or more service lanes fed by a common
+/// reservation stream.
+///
+/// With one lane (the default, [`Backend::new`]) this is the classic
+/// single-server fluid queue: every reservation starts when the previous
+/// one ends, exactly the pre-queue behaviour of the simulator. With
+/// `n > 1` lanes ([`Backend::with_lanes`]) each reservation is placed on
+/// the earliest-free lane, so up to `n` in-flight commands overlap — the
+/// NAND-channel model the asynchronous submission path uses for reads.
+#[derive(Debug, Clone)]
 pub struct Backend {
-    busy_until: Ns,
+    /// Per-lane busy horizon.
+    lanes: Vec<Ns>,
     /// Total busy time ever reserved (for utilization accounting).
     total_busy: Ns,
 }
 
+impl Default for Backend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Backend {
-    /// Creates an idle backend.
+    /// Creates an idle single-lane backend (strictly serialized).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_lanes(1)
+    }
+
+    /// Creates an idle backend with `lanes` parallel service lanes.
+    pub fn with_lanes(lanes: usize) -> Self {
+        assert!(lanes > 0, "backend needs at least one lane");
+        Self {
+            lanes: vec![0; lanes],
+            total_busy: 0,
+        }
+    }
+
+    /// Number of parallel service lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
     }
 
     /// Reserves `cost` nanoseconds of backend time starting no earlier
-    /// than `now`; returns the completion time of this reservation.
+    /// than `now` on the earliest-free lane (lowest index on ties, so
+    /// placement is deterministic); returns the completion time of this
+    /// reservation.
     pub fn reserve(&mut self, now: Ns, cost: Ns) -> Ns {
-        let start = self.busy_until.max(now);
-        self.busy_until = start + cost;
+        let lane = self
+            .lanes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &busy)| busy)
+            .map(|(i, _)| i)
+            .expect("at least one lane");
+        let start = self.lanes[lane].max(now);
+        self.lanes[lane] = start + cost;
         self.total_busy += cost;
-        self.busy_until
+        self.lanes[lane]
     }
 
-    /// Time at which all currently queued work completes.
+    /// Time at which all currently queued work completes (the horizon of
+    /// the busiest lane).
     pub fn busy_until(&self) -> Ns {
-        self.busy_until
+        self.lanes.iter().copied().max().unwrap_or(0)
     }
 
     /// Backlog (queued work) relative to `now`, in nanoseconds.
     pub fn backlog(&self, now: Ns) -> Ns {
-        self.busy_until.saturating_sub(now)
+        self.busy_until().saturating_sub(now)
     }
 
     /// Cumulative busy time reserved since construction/reset.
@@ -85,7 +124,7 @@ impl Backend {
     /// Clears backlog and accounting (used when resetting drive state
     /// between experiment phases).
     pub fn reset(&mut self, now: Ns) {
-        self.busy_until = now;
+        self.lanes.fill(now);
         self.total_busy = 0;
     }
 }
@@ -132,5 +171,28 @@ mod tests {
         b.reset(500);
         assert_eq!(b.backlog(500), 0);
         assert_eq!(b.reserve(500, 10), 510);
+    }
+
+    #[test]
+    fn lanes_overlap_reservations() {
+        let mut b = Backend::with_lanes(2);
+        assert_eq!(b.lanes(), 2);
+        assert_eq!(b.reserve(0, 10), 10, "lane 0");
+        assert_eq!(b.reserve(0, 10), 10, "lane 1 runs concurrently");
+        assert_eq!(b.reserve(0, 10), 20, "third op queues on lane 0");
+        assert_eq!(b.busy_until(), 20);
+        assert_eq!(b.total_busy(), 30);
+        b.reset(100);
+        assert_eq!(b.backlog(100), 0);
+        assert_eq!(b.reserve(100, 5), 105);
+    }
+
+    #[test]
+    fn single_lane_matches_legacy_serialization() {
+        // Backend::new() must preserve the exact pre-lanes semantics.
+        let mut b = Backend::new();
+        assert_eq!(b.lanes(), 1);
+        assert_eq!(b.reserve(0, 10), 10);
+        assert_eq!(b.reserve(0, 10), 20);
     }
 }

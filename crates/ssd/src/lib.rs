@@ -13,7 +13,7 @@
 //!   amplification* (WA-D) ([`gc`]).
 //! * **Over-provisioning** — hardware OP baked into the geometry, plus
 //!   software OP created by trimming and never writing part of the LBA
-//!   space ([`config`], [`Ssd::trim`]).
+//!   space ([`config`], [`Ssd::trim_range`]).
 //! * **Drive state control** — [`Ssd::discard_all`] (the `blkdiscard`
 //!   equivalent) and [`Ssd::precondition`] (sequential fill + 2x random
 //!   overwrite, paper §3.4).
@@ -41,7 +41,7 @@
 //!
 //! // Write the first 1024 logical pages.
 //! for lpn in 0..1024 {
-//!     let done = ssd.write_page(lpn);
+//!     let done = ssd.write_page(lpn).expect("lpn in range");
 //!     ssd.clock().advance_to(done.host_done);
 //! }
 //! assert_eq!(ssd.smart().host_pages_written, 1024);
@@ -59,6 +59,7 @@ pub mod device;
 pub mod ftl;
 pub mod gc;
 pub mod latency;
+pub mod queue;
 pub mod stats;
 pub mod trace;
 pub mod types;
@@ -70,6 +71,7 @@ pub use device::{Ssd, WriteCompletion};
 pub use ftl::{Ftl, NandOps};
 pub use gc::GcPolicy;
 pub use latency::LatencyConfig;
+pub use queue::{IoCmd, IoCompletion, IoDepthStats, IoQueue, IoTimes, IoToken, SharedIoQueue};
 pub use stats::SmartCounters;
 pub use trace::WriteTrace;
 pub use types::{BlockId, Lpn, LpnRange, Ppn};

@@ -15,7 +15,7 @@ fn ssd1(mb: u64) -> Ssd {
 fn batched_reads_pay_base_latency_once() {
     let mut d = ssd1(32);
     for lpn in 0..64 {
-        d.write_page(lpn);
+        d.write_page(lpn).expect("write");
     }
     let now = d.clock().now();
     let batched = d.read_pages(LpnRange::new(0, 64)) - now;
@@ -50,14 +50,14 @@ fn cold_data_segregates_and_wa_declines() {
     // the cold 70% consolidates (three-stream GC), windowed WA-D must
     // decline from its early transient.
     let mut d = ssd1(48);
-    d.precondition(9);
+    d.precondition(9).expect("precondition");
     let pages = d.logical_pages();
     let hot = pages * 3 / 10;
     let mut rng = SmallRng::seed_from_u64(5);
     let mut window = |d: &mut Ssd, n: u64| {
         let s0 = d.smart();
         for _ in 0..n {
-            d.write_page(rng.gen_range(0..hot));
+            d.write_page(rng.gen_range(0..hot)).expect("write");
         }
         d.smart().delta_since(&s0).wa_d()
     };
@@ -87,7 +87,7 @@ fn ssd2_cache_absorbs_what_ssd1_cannot() {
         let mut worst = 0;
         for lpn in 0..64 {
             let t = d.clock().now();
-            let c = d.write_page(lpn);
+            let c = d.write_page(lpn).expect("write");
             worst = worst.max(c.host_done - t);
             d.clock().advance_to(c.host_done);
         }
@@ -106,14 +106,14 @@ fn utilization_tracks_trim_and_overwrite() {
     let mut d = ssd1(32);
     let pages = d.logical_pages();
     for lpn in 0..pages {
-        d.write_page(lpn);
+        d.write_page(lpn).expect("write");
     }
     assert!((d.utilization() - 1.0).abs() < 1e-9);
-    d.trim_range(LpnRange::new(0, pages / 4));
+    d.trim_range(LpnRange::new(0, pages / 4)).expect("trim");
     assert!((d.utilization() - 0.75).abs() < 1e-9);
     // Overwriting trimmed space restores utilization.
     for lpn in 0..pages / 4 {
-        d.write_page(lpn);
+        d.write_page(lpn).expect("write");
     }
     assert!((d.utilization() - 1.0).abs() < 1e-9);
     d.check_invariants();
@@ -125,10 +125,10 @@ fn wear_spreads_across_blocks_under_sustained_churn() {
     let pages = d.logical_pages();
     let mut rng = SmallRng::seed_from_u64(3);
     for lpn in 0..pages {
-        d.write_page(lpn);
+        d.write_page(lpn).expect("write");
     }
     for _ in 0..6 * pages {
-        d.write_page(rng.gen_range(0..pages));
+        d.write_page(rng.gen_range(0..pages)).expect("write");
     }
     let wear = d.wear();
     assert!(
@@ -153,7 +153,7 @@ fn time_dilation_keeps_fill_time_constant_across_scales() {
         let pages = d.logical_pages();
         let mut last = 0;
         for lpn in 0..pages {
-            last = d.write_page(lpn).durable_at;
+            last = d.write_page(lpn).expect("write").durable_at;
         }
         last
     };

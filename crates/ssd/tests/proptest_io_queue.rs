@@ -1,0 +1,121 @@
+//! QD=1 equivalence: a depth-1 [`IoQueue`] must reproduce the legacy
+//! synchronous device calls **byte-identically** — same completion
+//! times, same SMART counters, same backend backlog — for arbitrary
+//! interleavings of reads and writes. This is the contract that lets
+//! `write_page`/`read_page` remain thin wrappers over the submission
+//! path while every historical timing (and the determinism CI check)
+//! stays intact.
+
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use ptsbench_ssd::{DeviceConfig, DeviceProfile, IoCmd, IoQueue, LpnRange, Ssd};
+
+const MB: u64 = 1024 * 1024;
+
+/// One host operation of the generated stream.
+#[derive(Debug, Clone, Copy)]
+enum HostOp {
+    Write(u64),
+    WriteRange(u64, u64),
+    Read(u64),
+    ReadRange(u64, u64),
+}
+
+fn op_strategy(pages: u64) -> impl Strategy<Value = HostOp> {
+    prop_oneof![
+        3 => (0..pages).prop_map(HostOp::Write),
+        1 => (0..pages, 1u64..24).prop_map(move |(s, l)| HostOp::WriteRange(s, l.min(pages - s))),
+        3 => (0..pages).prop_map(HostOp::Read),
+        1 => (0..pages, 1u64..24).prop_map(move |(s, l)| HostOp::ReadRange(s, l.min(pages - s))),
+    ]
+}
+
+fn device(profile: DeviceProfile) -> Ssd {
+    Ssd::new(DeviceConfig::from_profile(profile, 16 * MB))
+}
+
+/// Drives the same op stream through the sync API on one device and a
+/// depth-1 queue on a twin, asserting identical dynamics throughout.
+fn assert_qd1_equivalence(profile: DeviceProfile, ops: &[HostOp]) -> Result<(), TestCaseError> {
+    let mut sync = device(profile.clone());
+    let queued = device(profile).into_shared();
+    let mut q = IoQueue::new(Arc::clone(&queued), 1);
+
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            HostOp::Write(lpn) => {
+                let s = sync.write_page(lpn).expect("sync write");
+                sync.clock().advance_to(s.host_done);
+                let t = q.submit(IoCmd::write_page(lpn)).expect("queued write");
+                let c = q.wait(t);
+                prop_assert_eq!(s.host_done, c.done, "op {}: host_done differs", i);
+                prop_assert_eq!(s.durable_at, c.durable_at, "op {}: durable_at differs", i);
+            }
+            HostOp::WriteRange(start, len) => {
+                let range = LpnRange::new(start, start + len);
+                let s = sync.write_range(range).expect("sync write_range");
+                sync.clock().advance_to(s.host_done);
+                let t = q.submit(IoCmd::Write { range }).expect("queued write");
+                let c = q.wait(t);
+                prop_assert_eq!(s.host_done, c.done, "op {}: host_done differs", i);
+                prop_assert_eq!(s.durable_at, c.durable_at, "op {}: durable_at differs", i);
+            }
+            HostOp::Read(lpn) => {
+                let done = sync.read_page(lpn);
+                sync.clock().advance_to(done);
+                let t = q.submit(IoCmd::read_page(lpn)).expect("queued read");
+                let c = q.wait(t);
+                prop_assert_eq!(done, c.done, "op {}: read completion differs", i);
+            }
+            HostOp::ReadRange(start, len) => {
+                let range = LpnRange::new(start, start + len);
+                let done = sync.read_pages(range);
+                sync.clock().advance_to(done);
+                let t = q.submit(IoCmd::Read { range }).expect("queued read");
+                let c = q.wait(t);
+                prop_assert_eq!(done, c.done, "op {}: read completion differs", i);
+            }
+        }
+        // The two stacks march in lockstep: same virtual time, always.
+        prop_assert_eq!(
+            sync.clock().now(),
+            queued.lock().clock().now(),
+            "op {}: clocks diverged",
+            i
+        );
+    }
+
+    let qdev = queued.lock();
+    prop_assert_eq!(sync.smart(), qdev.smart(), "SMART counters diverged");
+    prop_assert_eq!(
+        sync.backend_backlog(),
+        qdev.backend_backlog(),
+        "backend backlog diverged"
+    );
+    prop_assert_eq!(sync.mapped_pages(), qdev.mapped_pages());
+    prop_assert_eq!(sync.utilization(), qdev.utilization());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn qd1_matches_sync_on_enterprise_flash(ops in vec(op_strategy(4096), 1..150)) {
+        assert_qd1_equivalence(DeviceProfile::ssd1(), &ops)?;
+    }
+
+    #[test]
+    fn qd1_matches_sync_on_cached_consumer_flash(ops in vec(op_strategy(4096), 1..150)) {
+        // SSD2's large write cache exercises the admit/destage path.
+        assert_qd1_equivalence(DeviceProfile::ssd2(), &ops)?;
+    }
+
+    #[test]
+    fn qd1_matches_sync_on_in_place_media(ops in vec(op_strategy(4096), 1..150)) {
+        assert_qd1_equivalence(DeviceProfile::ssd3(), &ops)?;
+    }
+}

@@ -1,5 +1,7 @@
 //! Filesystem error type.
 
+use ptsbench_ssd::SsdError;
+
 /// Errors returned by [`crate::Vfs`] operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VfsError {
@@ -20,6 +22,11 @@ pub enum VfsError {
     StaleHandle,
     /// An invalid argument, e.g. writing past EOF leaving a hole.
     InvalidArgument(String),
+    /// The simulated device rejected a command (mirrors `EIO`): an
+    /// address beyond the advertised space, or an FTL that cannot
+    /// reclaim a block. Propagated instead of panicking so engines can
+    /// surface device failures as results.
+    Device(SsdError),
 }
 
 impl std::fmt::Display for VfsError {
@@ -37,11 +44,25 @@ impl std::fmt::Display for VfsError {
             ),
             VfsError::StaleHandle => write!(f, "stale file handle"),
             VfsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            VfsError::Device(e) => write!(f, "device error: {e}"),
         }
     }
 }
 
-impl std::error::Error for VfsError {}
+impl std::error::Error for VfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VfsError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SsdError> for VfsError {
+    fn from(e: SsdError) -> Self {
+        VfsError::Device(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -56,5 +77,13 @@ mod tests {
         };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn device_errors_wrap_and_chain() {
+        let e: VfsError = SsdError::NoFreeBlocks.into();
+        assert!(e.to_string().contains("device error"));
+        let source = std::error::Error::source(&e).expect("chained source");
+        assert!(source.to_string().contains("free physical blocks"));
     }
 }

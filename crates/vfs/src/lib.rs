@@ -5,7 +5,7 @@
 //! the allocator but sends **no TRIM** to the drive, so the device keeps
 //! treating those LBAs as live data. This crate reproduces that layer:
 //!
-//! * **Extent-based files** ([`file`]) — a file is a byte vector plus an
+//! * **Extent-based files** ([`file`](mod@file)) — a file is a byte vector plus an
 //!   ordered list of LBA extents; page-aligned overwrites hit the *same*
 //!   LBAs (the in-place behaviour a B+Tree relies on), appends allocate
 //!   new extents.
@@ -35,7 +35,10 @@ pub mod fs;
 pub use alloc::{AllocPolicy, Extent, ExtentAllocator};
 pub use error::VfsError;
 pub use file::FileId;
-pub use fs::{FsStats, Vfs, VfsOptions};
+pub use fs::{AsyncRead, FsStats, Vfs, VfsOptions};
+// Re-exported so engines can drive the asynchronous submission path
+// without depending on `ptsbench-ssd` directly.
+pub use ptsbench_ssd::{IoCmd, IoCompletion, IoDepthStats, IoQueue, IoToken, SharedIoQueue};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, VfsError>;

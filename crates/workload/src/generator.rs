@@ -84,7 +84,15 @@ impl OpGenerator {
     /// collide on a key.
     pub fn next_op(&mut self) -> Op<'_> {
         self.ops_generated += 1;
-        let local = self.sampler.sample();
+        // Hash-sharded specs own a scattered subset of their range:
+        // rejection sampling confines the stream to owned keys while
+        // preserving each key's conditional access probability.
+        let local = loop {
+            let local = self.sampler.sample();
+            if self.spec.owns_key(self.spec.key_base + local) {
+                break local;
+            }
+        };
         let key_index = self.spec.key_base + local;
         encode_key(key_index, self.spec.key_size, &mut self.key_buf);
         let is_read =
@@ -116,14 +124,17 @@ impl OpGenerator {
     }
 }
 
-/// Sequential bulk loader: yields every key once, in sorted order, with
-/// its version-0 value (paper §3.2: "we ingest all KV pairs in
-/// sequential order"). For a sharded spec the loader covers exactly the
-/// shard's key slice, so per-shard loads tile the global dataset.
+/// Sequential bulk loader: yields every owned key once, in sorted order,
+/// with its version-0 value (paper §3.2: "we ingest all KV pairs in
+/// sequential order"). For a contiguous shard the loader covers exactly
+/// the shard's key slice; for a hash shard it walks the parent range and
+/// yields only the owned residue class — either way, per-shard loads
+/// tile the global dataset exactly.
 #[derive(Debug)]
 pub struct Loader {
     spec: WorkloadSpec,
     next: u64,
+    produced: u64,
     key_buf: Vec<u8>,
     value_buf: Vec<u8>,
 }
@@ -134,6 +145,7 @@ impl Loader {
         spec.validate();
         Self {
             next: 0,
+            produced: 0,
             key_buf: Vec::with_capacity(spec.key_size),
             value_buf: Vec::with_capacity(spec.value_size),
             spec,
@@ -142,11 +154,16 @@ impl Loader {
 
     /// Next `(key, value)` pair, or `None` when the dataset is loaded.
     pub fn next_pair(&mut self) -> Option<(&[u8], &[u8])> {
+        while self.next < self.spec.num_keys && !self.spec.owns_key(self.spec.key_base + self.next)
+        {
+            self.next += 1;
+        }
         if self.next >= self.spec.num_keys {
             return None;
         }
         let idx = self.spec.key_base + self.next;
         self.next += 1;
+        self.produced += 1;
         encode_key(idx, self.spec.key_size, &mut self.key_buf);
         fill_value(idx, 0, self.spec.value_size, &mut self.value_buf);
         Some((&self.key_buf, &self.value_buf))
@@ -154,7 +171,7 @@ impl Loader {
 
     /// Number of pairs already produced.
     pub fn loaded(&self) -> u64 {
-        self.next
+        self.produced
     }
 }
 

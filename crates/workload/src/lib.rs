@@ -24,7 +24,7 @@ pub mod spec;
 
 pub use dist::{KeyDistribution, Sampler};
 pub use generator::{Loader, Op, OpGenerator, OpKind};
-pub use spec::{split_seed, WorkloadSpec};
+pub use spec::{route_hash, split_seed, WorkloadSpec};
 
 /// Encodes key index `idx` as a fixed-width, order-preserving key of
 /// `key_size` bytes into `buf` (cleared first).

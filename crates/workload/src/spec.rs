@@ -23,6 +23,11 @@ pub struct WorkloadSpec {
     /// RNG seed; identical specs with identical seeds produce identical
     /// op streams.
     pub seed: u64,
+    /// Hash-routing filter: `Some((index, of))` when this spec owns only
+    /// the keys of its key range whose [`route_hash`] lands in residue
+    /// class `index` of `of` (see [`WorkloadSpec::shard_hashed`]).
+    /// `None` (the default) keeps plain contiguous semantics.
+    pub hash_shard: Option<(u32, u32)>,
 }
 
 impl Default for WorkloadSpec {
@@ -38,6 +43,7 @@ impl Default for WorkloadSpec {
             read_fraction: 0.0,
             distribution: KeyDistribution::Uniform,
             seed: 0x5EED,
+            hash_shard: None,
         }
     }
 }
@@ -48,9 +54,22 @@ impl WorkloadSpec {
         (self.key_size + self.value_size) as u64
     }
 
-    /// Logical dataset size in bytes.
+    /// Number of keys this spec actually owns: `num_keys` for plain
+    /// specs, the size of the hashed residue class for hash-sharded
+    /// specs (O(`num_keys`) in that case — counted, not stored, so the
+    /// spec stays a plain value type).
+    pub fn owned_keys(&self) -> u64 {
+        match self.hash_shard {
+            None => self.num_keys,
+            Some(_) => (self.key_base..self.key_end())
+                .filter(|&k| self.owns_key(k))
+                .count() as u64,
+        }
+    }
+
+    /// Logical dataset size in bytes (owned keys only).
     pub fn dataset_bytes(&self) -> u64 {
-        self.num_keys * self.kv_pair_bytes()
+        self.owned_keys() * self.kv_pair_bytes()
     }
 
     /// Derives `num_keys` so the dataset occupies `fraction` of
@@ -117,14 +136,65 @@ impl WorkloadSpec {
         (0..shards).map(|i| self.shard(i, shards)).collect()
     }
 
+    /// The `index`-th of `of` **hash-sharded** specifications: this spec
+    /// keeps the whole parent key range but owns only the keys whose
+    /// [`route_hash`] falls in residue class `index`, plus an
+    /// independently seeded RNG stream.
+    ///
+    /// Where [`WorkloadSpec::shard`] slices the key space contiguously —
+    /// so a skewed (e.g. Zipfian-over-the-global-range) access pattern
+    /// saturates the shard owning the hot prefix — hash routing spreads
+    /// any access skew uniformly across shards, the classic cure for hot
+    /// contiguous ranges. Every key of the parent range is owned by
+    /// exactly one of the `of` shards (property-tested in
+    /// `tests/proptest_hash_sharding.rs`), and generators/loaders built
+    /// from a hashed spec confine themselves to the owned set by
+    /// rejection, preserving each key's conditional access probability.
+    pub fn shard_hashed(&self, index: usize, of: usize) -> WorkloadSpec {
+        assert!(of > 0, "cannot shard into zero parts");
+        assert!(index < of, "shard index {index} out of {of}");
+        if of == 1 {
+            return self.clone();
+        }
+        assert!(
+            of as u64 <= self.num_keys,
+            "more hash shards than keys ({of} > {})",
+            self.num_keys
+        );
+        let spec = WorkloadSpec {
+            hash_shard: Some((index as u32, of as u32)),
+            seed: split_seed(self.seed, index as u64),
+            ..self.clone()
+        };
+        assert!(
+            spec.owned_keys() > 0,
+            "hash shard {index}/{of} owns no keys of a {}-key range",
+            self.num_keys
+        );
+        spec
+    }
+
+    /// Splits the workload into `shards` hash-routed specifications (see
+    /// [`WorkloadSpec::shard_hashed`]).
+    pub fn split_hashed(&self, shards: usize) -> Vec<WorkloadSpec> {
+        (0..shards).map(|i| self.shard_hashed(i, shards)).collect()
+    }
+
     /// End of this spec's key range (`key_base + num_keys`), exclusive.
     pub fn key_end(&self) -> u64 {
         self.key_base + self.num_keys
     }
 
-    /// Whether a global key index falls in this spec's slice.
+    /// Whether a global key index falls in this spec's slice (and, for a
+    /// hash-sharded spec, in its residue class).
     pub fn owns_key(&self, key_index: u64) -> bool {
-        key_index >= self.key_base && key_index < self.key_end()
+        if key_index < self.key_base || key_index >= self.key_end() {
+            return false;
+        }
+        match self.hash_shard {
+            None => true,
+            Some((index, of)) => route_hash(key_index) % of as u64 == index as u64,
+        }
     }
 
     /// Basic sanity checks; panics with a description on error.
@@ -137,7 +207,30 @@ impl WorkloadSpec {
             self.key_base.checked_add(self.num_keys).is_some(),
             "key range overflows u64"
         );
+        if let Some((index, of)) = self.hash_shard {
+            assert!(of > 0, "hash shard count must be positive");
+            assert!(index < of, "hash shard index {index} out of {of}");
+            // A spec owning zero keys would hang the generator's
+            // rejection-sampling loop; catch it here (O(num_keys), but
+            // validate runs once per generator/loader construction).
+            assert!(
+                self.owned_keys() > 0,
+                "hash shard {index}/{of} owns no keys of a {}-key range",
+                self.num_keys
+            );
+        }
     }
+}
+
+/// The key-routing hash (SplitMix64 finalizer): maps a global key index
+/// to the value whose residue mod the shard count picks the owning
+/// hash shard. Deterministic and seed-free, so every component agrees on
+/// the routing.
+pub fn route_hash(key_index: u64) -> u64 {
+    let mut z = key_index.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Derives the RNG seed of shard `index` from a parent seed
@@ -245,6 +338,57 @@ mod tests {
             assert_eq!(owners, 1, "key {key} must have exactly one owner");
         }
         assert!(!parts[0].owns_key(100));
+    }
+
+    #[test]
+    fn hash_shards_partition_without_slicing_the_range() {
+        let base = WorkloadSpec {
+            num_keys: 1000,
+            ..Default::default()
+        };
+        let parts = base.split_hashed(4);
+        for p in &parts {
+            p.validate();
+            // The range stays the parent's; ownership is by residue.
+            assert_eq!(p.key_base, base.key_base);
+            assert_eq!(p.num_keys, base.num_keys);
+            assert!(p.owned_keys() > 0);
+        }
+        let total: u64 = parts.iter().map(|p| p.owned_keys()).sum();
+        assert_eq!(total, base.num_keys);
+        let bytes: u64 = parts.iter().map(|p| p.dataset_bytes()).sum();
+        assert_eq!(bytes, base.dataset_bytes());
+        // The SplitMix64 routing spreads keys near-evenly.
+        for p in &parts {
+            let share = p.owned_keys() as f64 / base.num_keys as f64;
+            assert!(
+                (0.15..0.35).contains(&share),
+                "hash share {share} badly unbalanced"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_shard_of_one_is_identity() {
+        let base = WorkloadSpec::default();
+        assert_eq!(base.shard_hashed(0, 1), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "owns no keys")]
+    fn hand_built_empty_hash_shard_fails_validation() {
+        // A two-key range cannot populate all four residue classes; the
+        // validation must catch the empty one instead of letting a
+        // generator spin forever in rejection sampling.
+        let empty_class = (0..4u32)
+            .find(|&class| !(0..2u64).any(|k| crate::spec::route_hash(k) % 4 == class as u64))
+            .expect("two keys cannot cover four classes");
+        let spec = WorkloadSpec {
+            num_keys: 2,
+            hash_shard: Some((empty_class, 4)),
+            ..WorkloadSpec::default()
+        };
+        spec.validate();
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Hash-sharding routing properties: every key of a parent workload is
+//! owned by **exactly one** hash shard, hashed loaders tile the parent
+//! dataset exactly, and hashed generators never leave their owned set.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use ptsbench_workload::{Loader, OpGenerator, WorkloadSpec};
+
+fn parent(num_keys: u64, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        num_keys,
+        value_size: 64,
+        seed,
+        ..WorkloadSpec::default()
+    }
+}
+
+proptest! {
+    #[test]
+    fn every_key_routes_to_exactly_one_shard(
+        num_keys in 16u64..2000,
+        shards in 1usize..9,
+        seed in any::<u64>(),
+        key_base in 0u64..10_000,
+    ) {
+        let mut base = parent(num_keys, seed);
+        base.key_base = key_base;
+        let parts = base.split_hashed(shards);
+        prop_assert_eq!(parts.len(), shards);
+        let mut owned_total = 0u64;
+        for key in base.key_base..base.key_end() {
+            let owners = parts.iter().filter(|p| p.owns_key(key)).count();
+            prop_assert_eq!(owners, 1, "key {} must have exactly one owner", key);
+            owned_total += 1;
+        }
+        let claimed: u64 = parts.iter().map(|p| p.owned_keys()).sum();
+        prop_assert_eq!(claimed, owned_total, "owned_keys must sum to the parent range");
+        // Keys outside the parent range belong to nobody.
+        prop_assert!(parts.iter().all(|p| !p.owns_key(base.key_end())));
+        if base.key_base > 0 {
+            prop_assert!(parts.iter().all(|p| !p.owns_key(base.key_base - 1)));
+        }
+    }
+
+    #[test]
+    fn hashed_loaders_tile_the_parent_dataset(
+        num_keys in 16u64..600,
+        shards in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        let base = parent(num_keys, seed);
+        let mut union = BTreeSet::new();
+        let mut total = 0u64;
+        for shard in base.split_hashed(shards) {
+            let mut loader = Loader::new(shard.clone());
+            let mut prev: Option<Vec<u8>> = None;
+            while let Some((k, _)) = loader.next_pair() {
+                if let Some(p) = &prev {
+                    prop_assert!(p.as_slice() < k, "per-shard load stays sorted");
+                }
+                prev = Some(k.to_vec());
+                prop_assert!(union.insert(k.to_vec()), "key loaded by two shards");
+                total += 1;
+            }
+            prop_assert_eq!(loader.loaded(), shard.owned_keys());
+        }
+        let mut reference = Loader::new(base);
+        let mut want = 0u64;
+        while let Some((k, _)) = reference.next_pair() {
+            prop_assert!(union.contains(k), "key missing from every shard");
+            want += 1;
+        }
+        prop_assert_eq!(total, want, "shards must cover the parent dataset exactly");
+    }
+
+    #[test]
+    fn hashed_generators_stay_in_their_owned_set(
+        num_keys in 32u64..500,
+        shards in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let base = WorkloadSpec { read_fraction: 0.3, ..parent(num_keys, seed) };
+        for shard in base.split_hashed(shards) {
+            let mut g = OpGenerator::new(shard.clone());
+            for _ in 0..200 {
+                let key_index = g.next_op().key_index;
+                prop_assert!(
+                    shard.owns_key(key_index),
+                    "generator produced un-owned key {}",
+                    key_index
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hashed_splitting_is_deterministic(num_keys in 16u64..400, seed in any::<u64>()) {
+        let base = parent(num_keys, seed);
+        prop_assert_eq!(base.split_hashed(4), base.split_hashed(4));
+        // Sibling shards get decorrelated op-stream seeds.
+        let parts = base.split_hashed(4);
+        for i in 0..parts.len() {
+            for j in 0..parts.len() {
+                if i != j {
+                    prop_assert!(parts[i].seed != parts[j].seed);
+                }
+            }
+        }
+    }
+}

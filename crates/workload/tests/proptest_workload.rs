@@ -67,6 +67,7 @@ proptest! {
             read_fraction,
             distribution: KeyDistribution::Uniform,
             seed,
+            hash_shard: None,
         };
         let mut g1 = OpGenerator::new(spec.clone());
         let mut g2 = OpGenerator::new(spec);

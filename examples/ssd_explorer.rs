@@ -18,7 +18,7 @@ fn fresh() -> Ssd {
 fn random_writes(ssd: &mut Ssd, span: u64, n: u64, rng: &mut SmallRng) -> f64 {
     let before = ssd.smart();
     for _ in 0..n {
-        ssd.write_page(rng.gen_range(0..span));
+        ssd.write_page(rng.gen_range(0..span)).expect("write");
     }
     ssd.smart().delta_since(&before).wa_d()
 }
@@ -32,7 +32,7 @@ fn main() {
     let mut ssd = fresh();
     let pages = ssd.logical_pages();
     for lpn in 0..pages {
-        ssd.write_page(lpn);
+        ssd.write_page(lpn).expect("write");
     }
     println!(
         "sequential fill:                    WA-D = {:.2}",
@@ -48,7 +48,7 @@ fn main() {
     //    because it holds data that never changes.
     let mut ssd = fresh();
     for lpn in 0..pages {
-        ssd.write_page(lpn);
+        ssd.write_page(lpn).expect("write");
     }
     let wa = random_writes(&mut ssd, pages / 2, 3 * pages, &mut rng);
     println!("random overwrite, 50% of LBAs:      WA-D = {wa:.2}");
@@ -57,16 +57,17 @@ fn main() {
     //    genuinely free space and WA-D drops further.
     let mut ssd = fresh();
     for lpn in 0..pages {
-        ssd.write_page(lpn);
+        ssd.write_page(lpn).expect("write");
     }
-    ssd.trim_range(LpnRange::new(pages / 2, pages));
+    ssd.trim_range(LpnRange::new(pages / 2, pages))
+        .expect("trim");
     let wa = random_writes(&mut ssd, pages / 2, 3 * pages, &mut rng);
     println!("same, other half TRIMmed:           WA-D = {wa:.2}");
 
     // 5. Preconditioning: even the very first writes behave like
     //    overwrites on a full drive.
     let mut ssd = fresh();
-    ssd.precondition(1);
+    ssd.precondition(1).expect("precondition");
     let wa = random_writes(&mut ssd, pages, pages, &mut rng);
     println!("first writes after preconditioning: WA-D = {wa:.2}");
 
@@ -74,7 +75,7 @@ fn main() {
     let mut ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd3(), 64 << 20));
     let pages = ssd.logical_pages();
     for lpn in 0..pages {
-        ssd.write_page(lpn);
+        ssd.write_page(lpn).expect("write");
     }
     let wa = random_writes(&mut ssd, pages, 2 * pages, &mut rng);
     println!("SSD3 (in-place media), any pattern: WA-D = {wa:.2}");
@@ -83,7 +84,7 @@ fn main() {
     let mut worn = fresh();
     let pages = worn.logical_pages();
     for lpn in 0..pages {
-        worn.write_page(lpn);
+        worn.write_page(lpn).expect("write");
     }
     random_writes(&mut worn, pages, 4 * pages, &mut rng);
     println!("\nwear after 4x random overwrite: {:?}", worn.wear());

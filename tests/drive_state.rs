@@ -67,14 +67,14 @@ fn preconditioned_device_state_is_reproducible() {
     // the paper's guidelines demand.
     let mut a = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 32 << 20));
     let mut b = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 32 << 20));
-    a.precondition(99);
-    b.precondition(99);
+    a.precondition(99).expect("precondition");
+    b.precondition(99).expect("precondition");
     let mut rng = SmallRng::seed_from_u64(1);
     let pages = a.logical_pages();
     for _ in 0..5_000 {
         let lpn = rng.gen_range(0..pages);
-        a.write_page(lpn);
-        b.write_page(lpn);
+        a.write_page(lpn).expect("write");
+        b.write_page(lpn).expect("write");
     }
     assert_eq!(
         a.smart(),
@@ -89,7 +89,7 @@ fn blkdiscard_resets_behaviour_but_not_wear() {
     let pages = d.logical_pages();
     let mut rng = SmallRng::seed_from_u64(2);
     for _ in 0..4 * pages {
-        d.write_page(rng.gen_range(0..pages));
+        d.write_page(rng.gen_range(0..pages)).expect("write");
     }
     let wear_before = d.wear();
     assert!(wear_before.max_erases > 0);
@@ -97,7 +97,7 @@ fn blkdiscard_resets_behaviour_but_not_wear() {
     d.reset_observability();
     // Fresh-drive behaviour:
     for lpn in 0..pages {
-        d.write_page(lpn);
+        d.write_page(lpn).expect("write");
     }
     assert!((d.smart().wa_d() - 1.0).abs() < 1e-9);
     // ... but the medium remembers its wear.
@@ -127,7 +127,7 @@ fn fstrim_after_deletion_frees_device_space() {
     vfs.write_at(f, 0, &vec![1u8; 4 << 20]).expect("write");
     vfs.delete("victim").expect("delete");
     let mapped_before = ssd.lock().mapped_pages();
-    let trimmed = vfs.trim_free_space();
+    let trimmed = vfs.trim_free_space().expect("fstrim");
     assert!(trimmed >= 1024, "fstrim must discard the dead file's pages");
     assert!(ssd.lock().mapped_pages() < mapped_before);
     let _ = LpnRange::new(0, 1); // silence unused-import lint paths in some cfgs
