@@ -362,6 +362,18 @@ pub trait PtsEngine: Send {
     /// or log sync — whatever makes the current state durable).
     fn flush(&mut self) -> Result<(), PtsError>;
 
+    /// Drains the engine's asynchronous I/O: advances the simulated
+    /// clock past the completion of every command still in flight on
+    /// its submission queues, **including detached background commands**
+    /// (compaction input reads) that nothing will ever wait on.
+    ///
+    /// The measured phase of an experiment only ends once this has run
+    /// — a client leaving a `ClockBarrier` with detached commands in
+    /// flight would under-count its epoch's simulated work (see
+    /// `ptsbench_ssd::IoQueue::quiesce`). Engines on the synchronous
+    /// path (no queues, or queue depth 1) keep the no-op default.
+    fn drain_io(&mut self) {}
+
     /// Uniform statistics snapshot.
     fn stats(&self) -> EngineStats;
 
@@ -406,6 +418,10 @@ impl PtsEngine for LsmEngine {
 
     fn flush(&mut self) -> Result<(), PtsError> {
         Ok(self.0.flush()?)
+    }
+
+    fn drain_io(&mut self) {
+        self.0.quiesce();
     }
 
     fn stats(&self) -> EngineStats {

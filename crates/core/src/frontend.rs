@@ -1,0 +1,324 @@
+//! Configuration of virtual-time serving front-end runs.
+//!
+//! A [`FrontendRun`] describes a *request/response* experiment: `N`
+//! logical clients submit requests against a fleet of `M` shared-nothing
+//! engine shards through a dispatcher with a bounded per-shard queue —
+//! the whole serving path, not just the engine API. The paper's central
+//! claim is that fair tree-structure comparison must measure that whole
+//! path; at high fan-in the dispatch queue, not the device, becomes the
+//! bottleneck (the effect Roh et al. measure and the KVell design
+//! works around), and it is invisible to a harness that stops at
+//! `PtsEngine`.
+//!
+//! The *driver* lives in `ptsbench-harness` (`Frontend`,
+//! `run_frontend`); this module only derives the per-shard and
+//! per-client pieces, keeping `ptsbench-core` free of dispatch
+//! mechanics — the same split as [`crate::sharded`].
+//!
+//! Everything stays deterministic in virtual time: arrivals come from
+//! seeded [`ArrivalClock`](ptsbench_workload::ArrivalClock)s, service
+//! happens on each shard's private simulated stack, and completions
+//! carry `submitted_at`/`issued_at`/`done_at` so queueing delay is
+//! separable from device latency in the merged report.
+
+use ptsbench_ssd::Ns;
+use ptsbench_workload::{split_seed, ArrivalSpec, WorkloadSpec};
+
+use crate::runner::RunConfig;
+use crate::sharded::{ShardedRun, Sharding};
+
+/// Salt decorrelating per-client op streams from per-shard streams
+/// (both derive from the base seed via `split_seed`).
+const CLIENT_SEED_SALT: u64 = 0xC11E_47F0_57AC_0FFE;
+
+/// How logical clients pick the keys of their requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClientBinding {
+    /// Every client draws from the **whole** key space (so a skewed
+    /// distribution concentrates traffic on hot keys) and the
+    /// dispatcher routes each request to the shard owning its key.
+    /// The serving default.
+    #[default]
+    Routed,
+    /// Client `i` draws exactly shard `i`'s workload slice and routes
+    /// only to shard `i` (requires `clients == shards`). This is the
+    /// conformance configuration: with a closed loop, zero think time
+    /// and queue depth 1 it reproduces the sharded harness — and
+    /// therefore the direct [`crate::measure::Experiment`] path —
+    /// byte-identically (see `tests/latency_conformance.rs`).
+    Bound,
+}
+
+/// A serving-path experiment: `clients` logical clients over `shards`
+/// engine shards behind a bounded dispatcher, in virtual time.
+#[derive(Debug, Clone)]
+pub struct FrontendRun {
+    /// The experiment template. `device_bytes` is the total simulated
+    /// capacity across shards; `duration` bounds *submissions* (every
+    /// request submitted before the deadline is still drained).
+    /// `stop_when_steady` is not supported on the serving path.
+    pub base: RunConfig,
+    /// Logical clients submitting requests (the fan-in). Unlike the
+    /// sharded harness's `clients`, these are simulated — no OS threads.
+    pub clients: usize,
+    /// Engine shards (each its own device slice + engine instance).
+    pub shards: usize,
+    /// Key-to-shard routing (contiguous slices by default).
+    pub sharding: Sharding,
+    /// The request arrival process of each client.
+    pub arrival: ArrivalSpec,
+    /// How clients pick keys ([`ClientBinding::Routed`] by default).
+    pub binding: ClientBinding,
+    /// Per-shard dispatcher bound: at most this many requests may be
+    /// admitted to one shard and not yet completed; submissions beyond
+    /// it stall (in virtual time) until a slot frees, exactly like a
+    /// full `IoQueue`. Depth 1 serializes the shard completely.
+    pub queue_depth: usize,
+}
+
+impl FrontendRun {
+    /// A front-end run with one shard per client, closed-loop arrivals
+    /// with zero think time, routed keys, and a dispatcher depth of 16.
+    pub fn new(base: RunConfig, clients: usize) -> Self {
+        Self {
+            base,
+            clients,
+            shards: clients,
+            sharding: Sharding::default(),
+            arrival: ArrivalSpec::Closed { think_ns: 0 },
+            binding: ClientBinding::default(),
+            queue_depth: 16,
+        }
+    }
+
+    /// The conformance configuration over `n` shards: `n` bound
+    /// clients, closed loop, zero think, queue depth 1 — the front-end
+    /// run that must reproduce `run_sharded` (and through it the direct
+    /// `Experiment` path) byte-identically.
+    pub fn conformant(base: RunConfig, n: usize) -> Self {
+        Self {
+            base,
+            clients: n,
+            shards: n,
+            sharding: Sharding::default(),
+            arrival: ArrivalSpec::Closed { think_ns: 0 },
+            binding: ClientBinding::Bound,
+            queue_depth: 1,
+        }
+    }
+
+    /// Whether this configuration is the depth-1 equivalence shape:
+    /// bound clients, closed loop, zero think time, queue depth 1.
+    /// Conformant runs attach no queue-delay or load metrics to the
+    /// report, so their render diffs empty against `run_sharded`.
+    pub fn is_conformant(&self) -> bool {
+        self.binding == ClientBinding::Bound
+            && self.arrival == ArrivalSpec::Closed { think_ns: 0 }
+            && self.queue_depth == 1
+    }
+
+    /// Panics with a description if the configuration is inconsistent.
+    pub fn validate(&self) {
+        assert!(self.clients > 0, "need at least one client");
+        assert!(self.shards > 0, "need at least one shard");
+        assert!(self.queue_depth >= 1, "dispatcher depth must be >= 1");
+        self.arrival.validate();
+        assert!(
+            !self.base.stop_when_steady,
+            "stop_when_steady is a closed single-client criterion; \
+             the serving front-end does not support it"
+        );
+        if self.binding == ClientBinding::Bound {
+            assert_eq!(
+                self.clients, self.shards,
+                "bound clients map one-to-one onto shards"
+            );
+        }
+        // Shard slicing constraints are the sharded harness's.
+        self.topology().validate();
+    }
+
+    /// The equivalent [`ShardedRun`] topology (one driver client per
+    /// shard): the front-end reuses its capacity slicing, per-shard
+    /// configurations and workload splitting verbatim, so a shard
+    /// behind the dispatcher is *the same simulation* as a shard in the
+    /// concurrent harness.
+    pub fn topology(&self) -> ShardedRun {
+        let mut sharded = ShardedRun::new(self.base.clone(), self.shards);
+        sharded.sharding = self.sharding;
+        sharded
+    }
+
+    /// Shard `index`'s run configuration (equal capacity slice,
+    /// identically sliced reference scale).
+    pub fn shard_config(&self, index: usize) -> RunConfig {
+        self.topology().shard_config(index)
+    }
+
+    /// Shard `index`'s slice of the global workload.
+    pub fn shard_workload(&self, index: usize) -> WorkloadSpec {
+        self.topology().shard_workload(index)
+    }
+
+    /// The op-stream specification client `client` generates from:
+    /// shard `client`'s slice for [`ClientBinding::Bound`], the whole
+    /// key space with a decorrelated per-client seed for
+    /// [`ClientBinding::Routed`].
+    pub fn client_workload(&self, client: usize) -> WorkloadSpec {
+        assert!(client < self.clients, "client {client} out of range");
+        match self.binding {
+            ClientBinding::Bound => self.shard_workload(client),
+            ClientBinding::Routed => {
+                let global = self.base.workload();
+                WorkloadSpec {
+                    seed: split_seed(global.seed ^ CLIENT_SEED_SALT, client as u64),
+                    ..global
+                }
+            }
+        }
+    }
+
+    /// The arrival-clock seed of client `client` (decorrelated from
+    /// both op streams and shard seeds).
+    pub fn client_arrival_seed(&self, client: usize) -> u64 {
+        split_seed(
+            self.base.seed ^ CLIENT_SEED_SALT.rotate_left(17),
+            client as u64,
+        )
+    }
+
+    /// Contiguous-slice upper bounds, one per shard: shard `i` owns
+    /// keys in `[bounds[i-1], bounds[i])` (with `bounds[-1] = key_base`).
+    /// Used by the dispatcher for O(log shards) contiguous routing;
+    /// hashed routing needs no table.
+    pub fn slice_bounds(&self) -> Vec<u64> {
+        (0..self.shards)
+            .map(|i| self.shard_workload(i).key_end())
+            .collect()
+    }
+
+    /// Barrier-free virtual duration of the submission window.
+    pub fn duration(&self) -> Ns {
+        self.base.duration
+    }
+
+    /// Human-readable label for report headers. Conformant runs use the
+    /// sharded harness's label verbatim (they *are* that run, served
+    /// through one more layer); all other shapes append the fan-in,
+    /// arrival process and dispatcher depth.
+    pub fn label(&self) -> String {
+        let topo = self.topology().label();
+        if self.is_conformant() {
+            topo
+        } else {
+            format!(
+                "{}/fan{}/{}/d{}",
+                topo,
+                self.clients,
+                self.arrival.label(),
+                self.queue_depth
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::EngineKind;
+    use ptsbench_workload::KeyDistribution;
+
+    fn base() -> RunConfig {
+        RunConfig {
+            engine: EngineKind::lsm(),
+            device_bytes: 64 << 20,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn conformant_shape_matches_the_sharded_label() {
+        let fe = FrontendRun::conformant(base(), 4);
+        fe.validate();
+        assert!(fe.is_conformant());
+        assert_eq!(fe.label(), ShardedRun::new(base(), 4).label());
+        for i in 0..4 {
+            assert_eq!(
+                fe.shard_workload(i),
+                ShardedRun::new(base(), 4).shard_workload(i)
+            );
+            assert_eq!(
+                fe.client_workload(i),
+                fe.shard_workload(i),
+                "bound client {i} drives its shard's slice"
+            );
+        }
+    }
+
+    #[test]
+    fn any_departure_from_the_conformant_shape_is_labelled() {
+        let mut fe = FrontendRun::conformant(base(), 2);
+        fe.queue_depth = 8;
+        assert!(!fe.is_conformant());
+        assert!(fe.label().contains("/fan2/closed/d8"), "{}", fe.label());
+
+        let mut fe = FrontendRun::new(base(), 4);
+        fe.shards = 2;
+        fe.sharding = Sharding::Hashed;
+        fe.arrival = ArrivalSpec::OpenPoisson {
+            mean_interarrival_ns: 1_000_000,
+        };
+        fe.validate();
+        let label = fe.label();
+        assert!(label.contains("/hash"), "{label}");
+        assert!(label.contains("/fan4/poisson1000000/d16"), "{label}");
+    }
+
+    #[test]
+    fn routed_clients_draw_from_the_whole_space_with_distinct_seeds() {
+        let mut fe = FrontendRun::new(base(), 3);
+        fe.shards = 1;
+        fe.base.distribution = KeyDistribution::Zipfian { theta: 0.99 };
+        fe.validate();
+        let global = fe.base.workload();
+        let specs: Vec<WorkloadSpec> = (0..3).map(|c| fe.client_workload(c)).collect();
+        for (c, spec) in specs.iter().enumerate() {
+            assert_eq!(spec.num_keys, global.num_keys, "client {c} sees all keys");
+            assert_eq!(spec.key_base, global.key_base);
+            assert_eq!(spec.distribution, global.distribution);
+            assert_ne!(spec.seed, global.seed, "client {c} seed decorrelated");
+        }
+        assert_ne!(specs[0].seed, specs[1].seed);
+        assert_ne!(fe.client_arrival_seed(0), fe.client_arrival_seed(1));
+        assert_ne!(specs[0].seed, fe.client_arrival_seed(0));
+    }
+
+    #[test]
+    fn slice_bounds_tile_the_key_space() {
+        let mut fe = FrontendRun::new(base(), 4);
+        fe.shards = 4;
+        let bounds = fe.slice_bounds();
+        assert_eq!(bounds.len(), 4);
+        assert_eq!(*bounds.last().unwrap(), fe.base.workload().key_end());
+        for pair in bounds.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one-to-one")]
+    fn bound_clients_must_match_shards() {
+        let mut fe = FrontendRun::new(base(), 4);
+        fe.shards = 2;
+        fe.binding = ClientBinding::Bound;
+        fe.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn steady_state_early_exit_is_rejected() {
+        let mut fe = FrontendRun::new(base(), 2);
+        fe.base.stop_when_steady = true;
+        fe.validate();
+    }
+}

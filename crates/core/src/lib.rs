@@ -24,6 +24,11 @@
 //! * [`sharded`] — the [`ShardedRun`] configuration: N client threads
 //!   over M shared-nothing engine shards (executed by
 //!   `ptsbench-harness`).
+//! * [`frontend`] — the [`FrontendRun`] configuration: N logical
+//!   clients submitting requests through a bounded dispatcher onto the
+//!   shard fleet, in virtual time (executed by `ptsbench-harness`'s
+//!   `Frontend`), so queueing delay is measurable against device
+//!   latency.
 //! * [`pitfalls`] — one module per pitfall; each reproduces the
 //!   corresponding figures and returns a programmatic verdict that the
 //!   pitfall's phenomenon manifested.
@@ -40,6 +45,7 @@
 
 pub mod costmodel;
 pub mod engine;
+pub mod frontend;
 pub mod measure;
 pub mod pitfalls;
 pub mod registry;
@@ -50,7 +56,8 @@ pub mod state;
 pub use engine::{
     BatchOp, EngineStats, PtsEngine, PtsError, ScanCursor, ScanItem, ScanItems, WriteBatch,
 };
-pub use measure::{build_stack, bulk_load, Experiment, Stack};
+pub use frontend::{ClientBinding, FrontendRun};
+pub use measure::{build_stack, bulk_load, Experiment, Served, Stack};
 pub use registry::{EngineKind, EngineRegistry, EngineTuning, Lifecycle};
 pub use runner::{run, RunConfig, RunResult, Sample, SteadySummary};
 pub use sharded::ShardedRun;

@@ -38,6 +38,22 @@ use crate::state::DriveState;
 /// Operations per [`WriteBatch`] during the bulk-load phase.
 pub const LOAD_BATCH_OPS: usize = 128;
 
+/// The outcome of serving one routed request ([`Experiment::serve`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// Executed: service began at `start` and completed at `done`, both
+    /// in nanoseconds relative to the start of the measured phase.
+    Done {
+        /// Service start (phase-relative ns).
+        start: Ns,
+        /// Host-visible completion (phase-relative ns).
+        done: Ns,
+    },
+    /// The shard's partition is full; the request was not executed and
+    /// the shard will serve nothing more.
+    OutOfSpace,
+}
+
 /// The simulated storage stack under one engine: shared device,
 /// mounted partition, clock.
 pub struct Stack {
@@ -233,6 +249,12 @@ impl Experiment {
         self.out_of_space
     }
 
+    /// Whether the out-of-space condition struck while building or
+    /// bulk-loading (the measured phase never ran).
+    pub fn failed_during_load(&self) -> bool {
+        self.failed_during_load
+    }
+
     /// Measured-phase time elapsed on this experiment's private clock.
     pub fn elapsed(&self) -> Ns {
         self.stack.clock.now().saturating_sub(self.t0)
@@ -301,6 +323,64 @@ impl Experiment {
         Ok(())
     }
 
+    /// Serves one externally routed request, as the virtual-time
+    /// front-end (`ptsbench-harness`) drives it: advances this shard's
+    /// private clock to `at` nanoseconds after the start of the
+    /// measured phase (never backwards — the engine is a single server,
+    /// so a request arriving while the shard is busy starts when the
+    /// clock has already passed `at`), emits any due window samples,
+    /// executes the operation, charges the per-op CPU cost, and records
+    /// the service latency exactly as the generator-driven loop in
+    /// [`Experiment::run_until`] would.
+    ///
+    /// Returns the service interval in phase-relative nanoseconds.
+    /// Out-of-space is an outcome ([`Served::OutOfSpace`], after which
+    /// the shard serves nothing more); hard engine failures are `Err`.
+    /// Callers must not combine front-end serving with
+    /// `stop_when_steady` (the steady-state early exit is a property of
+    /// the closed single-client loop).
+    pub fn serve(
+        &mut self,
+        at: Ns,
+        kind: OpKind,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<Served, PtsError> {
+        if self.failed_during_load || self.out_of_space {
+            return Ok(Served::OutOfSpace);
+        }
+        self.stack.clock.advance_to(self.t0 + at);
+        let now = self.stack.clock.now();
+        // Window samples are pinned to the configured duration: a drain
+        // request serviced past the end must not mint extra windows
+        // (finish() emits the trailing ones).
+        self.emit_due_samples(now.min(self.t0 + self.cfg.duration));
+        let system = self
+            .system
+            .as_mut()
+            .expect("loaded experiment has an engine");
+        let outcome = match kind {
+            OpKind::Update => system.put(key, value),
+            OpKind::Read => system.get(key).map(|_| ()),
+        };
+        match outcome {
+            Ok(()) => {}
+            Err(PtsError::OutOfSpace) => {
+                self.out_of_space = true;
+                return Ok(Served::OutOfSpace);
+            }
+            Err(e) => return Err(e),
+        }
+        self.stack.clock.advance(self.cpu_cost_sim);
+        self.ops_executed += 1;
+        let done = self.stack.clock.now();
+        self.latency.record(done - now);
+        Ok(Served::Done {
+            start: now - self.t0,
+            done: done - self.t0,
+        })
+    }
+
     /// Emits all window samples due at or before `now`.
     fn emit_due_samples(&mut self, now: Ns) {
         while self.next_sample <= now {
@@ -353,7 +433,16 @@ impl Experiment {
 
     /// Emits trailing boundary samples, computes the steady-state
     /// summary and returns the final [`RunResult`] (step 6).
+    ///
+    /// Ends the measured phase properly: the engine's asynchronous I/O
+    /// is drained first ([`PtsEngine::drain_io`]), so detached
+    /// background commands still in flight are accounted on this
+    /// shard's timeline before any caller — notably a harness client
+    /// about to leave its `ClockBarrier` — treats the run as finished.
     pub fn finish(mut self) -> RunResult {
+        if let Some(system) = self.system.as_mut() {
+            system.drain_io();
+        }
         // Trailing samples up to the configured duration (skipped when
         // the run ended early on out-of-space, steady-state detection,
         // or a failed load).

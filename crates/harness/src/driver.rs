@@ -68,7 +68,7 @@ pub fn run_sharded_with_results(cfg: &ShardedRun) -> Result<HarnessOutcome, PtsE
 
     let reports = results
         .iter()
-        .map(|(shard, r)| shard_report(cfg, *shard, r))
+        .map(|(shard, r)| base_shard_report(cfg.base.queue_depth, *shard, r))
         .collect();
     let report = RunReport::merge(cfg.label(), cfg.clients, reports);
     Ok(HarnessOutcome {
@@ -115,11 +115,14 @@ fn drive_client(
         .collect())
 }
 
-/// A shard's contribution to the merged report. The series listed here
-/// are the *additive* ones (rates sum across shards). Queue-depth
-/// metrics appear only for asynchronous (`queue_depth > 1`) runs, so
-/// depth-1 reports render byte-identically to the pre-queue harness.
-fn shard_report(cfg: &ShardedRun, index: usize, r: &RunResult) -> ShardReport {
+/// A shard's contribution to the merged report, shared by the sharded
+/// driver and the serving front-end. The series listed here are the
+/// *additive* ones (rates sum across shards). Queue-depth metrics
+/// appear only for asynchronous (`queue_depth > 1`) runs, so depth-1
+/// reports render byte-identically to the pre-queue harness; the
+/// front-end's queue-delay/load extensions start out `None` and are
+/// attached only by non-conformant front-end runs.
+pub(crate) fn base_shard_report(queue_depth: usize, index: usize, r: &RunResult) -> ShardReport {
     ShardReport {
         name: format!("shard{index}"),
         ops: r.ops_executed,
@@ -127,11 +130,13 @@ fn shard_report(cfg: &ShardedRun, index: usize, r: &RunResult) -> ShardReport {
         latency: r.latency.clone(),
         app_bytes: r.app_bytes_written,
         host_bytes: r.host_bytes_written,
-        io_depth: (cfg.base.queue_depth > 1).then(|| QueueDepthSummary {
+        io_depth: (queue_depth > 1).then(|| QueueDepthSummary {
             submitted: r.io_depth.submitted,
             max_in_flight: r.io_depth.max_in_flight,
             mean_in_flight: r.io_depth.mean_in_flight(),
         }),
+        queue_delay: None,
+        load: None,
         series: vec![r.throughput_series(), r.device_write_series()],
     }
 }

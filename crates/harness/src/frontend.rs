@@ -1,0 +1,801 @@
+//! The virtual-time serving front-end: clients → dispatcher → shard
+//! queues → engines.
+//!
+//! This is the [`IoQueue`](ptsbench_ssd::IoQueue) submission/completion
+//! pattern lifted one level up the stack. A [`Frontend`] owns a fleet
+//! of shard experiments (the same per-shard simulations the sharded
+//! harness drives); [`Frontend::submit`] hands it a [`Request`]
+//! **without advancing the front-end clock** and returns a
+//! [`ReqToken`]; completions are collected with [`Frontend::poll`] /
+//! [`Frontend::wait`] / [`Frontend::wait_all`] and carry three
+//! timestamps —
+//!
+//! * `submitted_at` — when the client submitted,
+//! * `issued_at` — when the dispatcher admitted the request into its
+//!   shard's bounded queue (later than `submitted_at` when the queue
+//!   was full, exactly like a stalled submission into a full
+//!   `IoQueue`),
+//! * `done_at` — when the shard's engine completed it,
+//!
+//! — so queueing delay (`done_at - submitted_at - service_ns`) is
+//! separable from device/engine latency (`service_ns`). Each shard is a
+//! single server: admitted requests are serviced in admission order on
+//! the shard's private simulated stack, and at most
+//! `FrontendRun::queue_depth` requests may be admitted-but-incomplete
+//! at once (property-tested in `tests/proptest_frontend.rs`).
+//!
+//! Because service times are computed at submission from deterministic
+//! per-shard state, a fixed request stream produces byte-identical
+//! completions run-to-run; [`run_frontend`] drives seeded arrival
+//! processes on top, so whole serving experiments — including the
+//! `fig_tail` fan-in sweep — inherit the repo's run-twice-diff CI
+//! pattern unchanged.
+
+use ptsbench_core::engine::PtsError;
+use ptsbench_core::frontend::{ClientBinding, FrontendRun};
+use ptsbench_core::measure::{Experiment, Served};
+use ptsbench_core::runner::RunResult;
+use ptsbench_core::sharded::Sharding;
+use ptsbench_metrics::histogram::LatencyHistogram;
+use ptsbench_metrics::load::ShardLoad;
+use ptsbench_metrics::runreport::RunReport;
+use ptsbench_ssd::Ns;
+use ptsbench_workload::{encode_key, route_hash, ArrivalClock, OpGenerator, OpKind};
+
+use crate::driver::{base_shard_report, HarnessOutcome};
+
+use std::collections::BTreeMap;
+
+/// Rejection turnaround of a request dropped by an out-of-space shard,
+/// in virtual nanoseconds: the error response still takes a round
+/// trip. Charging it also guarantees a zero-think closed-loop client
+/// retrying a dead shard advances virtual time instead of livelocking
+/// at one instant.
+pub const DROP_LATENCY: ptsbench_ssd::Ns = ptsbench_ssd::MILLISECOND;
+
+/// One client request entering the front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Read or update.
+    pub kind: OpKind,
+    /// Global key index (encoded to the workload's fixed-width key on
+    /// dispatch).
+    pub key_index: u64,
+    /// Value payload for updates (ignored for reads).
+    pub value: Vec<u8>,
+}
+
+/// Handle to one submitted (not yet collected) request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReqToken(u64);
+
+/// How a request left the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqOutcome {
+    /// Executed by its shard's engine.
+    Served,
+    /// Dropped: the owning shard had run (or ran) out of space.
+    ShardOutOfSpace,
+}
+
+/// The completion record of one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReqCompletion {
+    /// The token returned by the submission.
+    pub token: ReqToken,
+    /// The shard the dispatcher routed the request to.
+    pub shard: usize,
+    /// The request's operation kind.
+    pub kind: OpKind,
+    /// The request's global key index.
+    pub key_index: u64,
+    /// Front-end virtual time at submission.
+    pub submitted_at: Ns,
+    /// When the dispatcher admitted the request into the shard queue
+    /// (`> submitted_at` when the bounded queue was full).
+    pub issued_at: Ns,
+    /// When the shard's engine completed the request.
+    pub done_at: Ns,
+    /// Engine service time (device I/O + CPU charge); 0 for dropped
+    /// requests.
+    pub service_ns: Ns,
+    /// Served or dropped.
+    pub outcome: ReqOutcome,
+}
+
+impl ReqCompletion {
+    /// Time spent queueing — everything between submission and service
+    /// start: dispatch stall plus in-queue wait. The quantity `fig_tail`
+    /// separates from device latency.
+    pub fn queue_delay(&self) -> Ns {
+        self.done_at - self.submitted_at - self.service_ns
+    }
+
+    /// Total time in the system (queue delay + service).
+    pub fn sojourn(&self) -> Ns {
+        self.done_at - self.submitted_at
+    }
+}
+
+/// One shard's state behind the dispatcher.
+struct ShardState {
+    experiment: Experiment,
+    /// Completion times of admitted-but-incomplete requests (the
+    /// bounded dispatcher queue, exactly the `IoQueue` slot discipline).
+    slots: Vec<Ns>,
+    /// The single-server serialization point: when the engine frees up.
+    busy_until: Ns,
+    load: ShardLoad,
+    queue_delay: LatencyHistogram,
+    /// Out of space: nothing more is served.
+    dead: bool,
+}
+
+/// What one shard produced: its ordinary harness-level [`RunResult`]
+/// plus the serving-layer accounting.
+pub struct FrontendShardResult {
+    /// The shard experiment's result (identical in shape to a sharded
+    /// harness shard's).
+    pub result: RunResult,
+    /// Serving-load accounting (requests routed, busy time).
+    pub load: ShardLoad,
+    /// Per-request queue-delay distribution.
+    pub queue_delay: LatencyHistogram,
+}
+
+/// The serving front-end over a fleet of shard experiments: the
+/// `IoQueue` submission/completion pattern one level up. [`submit`]
+/// hands in a [`Request`] without advancing the clock; [`poll`] /
+/// [`wait`] / [`wait_all`] / [`take`] collect [`ReqCompletion`]s whose
+/// timestamps separate queueing delay from service latency.
+///
+/// Single-threaded by design: virtual time makes concurrency a
+/// *modelled* property, not an execution property, so request
+/// interleavings are deterministic.
+///
+/// [`submit`]: Frontend::submit
+/// [`poll`]: Frontend::poll
+/// [`wait`]: Frontend::wait
+/// [`wait_all`]: Frontend::wait_all
+/// [`take`]: Frontend::take
+pub struct Frontend {
+    cfg: FrontendRun,
+    shards: Vec<ShardState>,
+    /// Contiguous routing table (`slice_bounds`); empty under hashing.
+    bounds: Vec<u64>,
+    key_size: usize,
+    key_end: u64,
+    now: Ns,
+    next_token: u64,
+    pending: BTreeMap<u64, ReqCompletion>,
+    key_buf: Vec<u8>,
+}
+
+impl Frontend {
+    /// Builds the shard fleet (device + filesystem + engine + bulk load
+    /// per shard, in shard order). A shard that runs out of space while
+    /// loading starts dead — requests routed to it are dropped — which
+    /// mirrors how the sharded harness reports such shards.
+    pub fn new(cfg: &FrontendRun) -> Result<Self, PtsError> {
+        cfg.validate();
+        let global = cfg.base.workload();
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for index in 0..cfg.shards {
+            let experiment =
+                Experiment::prepare_with(&cfg.shard_config(index), cfg.shard_workload(index))?;
+            let dead = experiment.failed_during_load();
+            shards.push(ShardState {
+                experiment,
+                slots: Vec::with_capacity(cfg.queue_depth),
+                busy_until: 0,
+                load: ShardLoad {
+                    span_ns: cfg.base.duration,
+                    ..ShardLoad::default()
+                },
+                queue_delay: LatencyHistogram::new(),
+                dead,
+            });
+        }
+        Ok(Self {
+            bounds: match cfg.sharding {
+                Sharding::Contiguous => cfg.slice_bounds(),
+                Sharding::Hashed => Vec::new(),
+            },
+            key_size: global.key_size,
+            key_end: global.key_end(),
+            cfg: cfg.clone(),
+            shards,
+            now: 0,
+            next_token: 0,
+            pending: BTreeMap::new(),
+            key_buf: Vec::new(),
+        })
+    }
+
+    /// Current front-end virtual time (ns since the measured phase
+    /// began).
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// Moves the front-end clock forward to `t` (never backwards) —
+    /// how a driver models request arrival times.
+    pub fn advance_to(&mut self, t: Ns) {
+        self.now = self.now.max(t);
+    }
+
+    /// The shard that owns a key under the configured routing.
+    pub fn route(&self, key_index: u64) -> usize {
+        assert!(key_index < self.key_end, "key {key_index} out of range");
+        match self.cfg.sharding {
+            Sharding::Contiguous => self.bounds.partition_point(|&end| end <= key_index),
+            Sharding::Hashed => (route_hash(key_index) % self.cfg.shards as u64) as usize,
+        }
+    }
+
+    /// Requests admitted to `shard` and not yet complete at the current
+    /// front-end time (bounded by the configured queue depth).
+    pub fn in_flight(&self, shard: usize) -> usize {
+        self.shards[shard]
+            .slots
+            .iter()
+            .filter(|&&done| done > self.now)
+            .count()
+    }
+
+    /// Completions not yet collected.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether a shard has run out of space (it drops all requests).
+    pub fn shard_dead(&self, shard: usize) -> bool {
+        self.shards[shard].dead
+    }
+
+    /// Whether every shard has run out of space (nothing can be served
+    /// any more).
+    pub fn all_shards_dead(&self) -> bool {
+        self.shards.iter().all(|s| s.dead)
+    }
+
+    /// Submits a request without advancing the front-end clock; returns
+    /// its token. The request is routed to its key's shard, admitted to
+    /// that shard's bounded queue (stalling in virtual time while the
+    /// queue is full), serviced in admission order by the shard's
+    /// engine, and its completion record becomes collectable.
+    ///
+    /// Requests to a dead (out-of-space) shard are dropped: they
+    /// complete with [`ReqOutcome::ShardOutOfSpace`] after a fixed
+    /// [`DROP_LATENCY`] rejection turnaround (the error response of a
+    /// full shard — also what keeps a zero-think closed-loop client
+    /// that retries the dead shard from livelocking virtual time). A
+    /// request that *hits* out-of-space kills its shard the same way.
+    /// Hard engine failures return `Err`.
+    pub fn submit(&mut self, req: Request) -> Result<ReqToken, PtsError> {
+        let shard_idx = self.route(req.key_index);
+        let token = ReqToken(self.next_token);
+        self.next_token += 1;
+        let now = self.now;
+        let shard = &mut self.shards[shard_idx];
+
+        let mut completion = ReqCompletion {
+            token,
+            shard: shard_idx,
+            kind: req.kind,
+            key_index: req.key_index,
+            submitted_at: now,
+            issued_at: now,
+            done_at: now + DROP_LATENCY,
+            service_ns: 0,
+            outcome: ReqOutcome::ShardOutOfSpace,
+        };
+        if shard.dead {
+            shard.load.requests += 1;
+            shard.load.dropped += 1;
+            self.pending.insert(token.0, completion);
+            return Ok(token);
+        }
+
+        // Admission into the bounded shard queue: slots whose
+        // completion has passed are free; a full queue stalls the
+        // submission (in virtual time) until the earliest outstanding
+        // completion frees one — the IoQueue discipline, one level up.
+        // Reclamation is planned on a scratch copy: a submission that
+        // fails hard must leave the live accounting untouched, or a
+        // later valid submission would overlap requests the depth
+        // should have serialized (the same guard `IoQueue::submit`
+        // carries).
+        shard.slots.retain(|&done| done > now);
+        let mut slots = shard.slots.clone();
+        let mut issue = now;
+        while slots.len() >= self.cfg.queue_depth {
+            let (idx, &earliest) = slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &done)| done)
+                .expect("non-empty at depth");
+            issue = issue.max(earliest);
+            slots.swap_remove(idx);
+        }
+        completion.issued_at = issue;
+        completion.done_at = issue + DROP_LATENCY;
+
+        // Service: the engine is a single server, so the request starts
+        // when both it is admitted and the engine is free.
+        let start_lb = issue.max(shard.busy_until);
+        encode_key(req.key_index, self.key_size, &mut self.key_buf);
+        match shard
+            .experiment
+            .serve(start_lb, req.kind, &self.key_buf, &req.value)?
+        {
+            Served::Done { start, done } => {
+                shard.busy_until = done;
+                slots.push(done);
+                shard.slots = slots;
+                shard.load.requests += 1;
+                shard.load.served += 1;
+                shard.load.busy_ns += done - start;
+                shard.queue_delay.record(start - now);
+                completion.done_at = done;
+                completion.service_ns = done - start;
+                completion.outcome = ReqOutcome::Served;
+            }
+            Served::OutOfSpace => {
+                shard.dead = true;
+                shard.load.requests += 1;
+                shard.load.dropped += 1;
+            }
+        }
+        self.pending.insert(token.0, completion);
+        Ok(token)
+    }
+
+    /// Collects a completion record without touching the front-end
+    /// clock (the completion was computed at submission). `None` if the
+    /// token is unknown or already collected.
+    ///
+    /// This is how a driver implements a closed loop without running
+    /// time ahead of other clients' arrivals: take the completion,
+    /// schedule the next submission at `done_at`, and only advance the
+    /// clock when that submission actually happens.
+    pub fn take(&mut self, token: ReqToken) -> Option<ReqCompletion> {
+        self.pending.remove(&token.0)
+    }
+
+    /// Blocks (advances the front-end clock) until `token`'s request
+    /// completes and returns its record.
+    ///
+    /// # Panics
+    /// Panics if the token was never issued or was already collected.
+    pub fn wait(&mut self, token: ReqToken) -> ReqCompletion {
+        let completion = self
+            .pending
+            .remove(&token.0)
+            .expect("waiting on an unknown or already-collected ReqToken");
+        self.now = self.now.max(completion.done_at);
+        completion
+    }
+
+    /// Collects one already-completed request (earliest `done_at`, then
+    /// token order) without advancing the clock.
+    pub fn poll(&mut self) -> Option<ReqCompletion> {
+        let key = self
+            .pending
+            .iter()
+            .filter(|(_, c)| c.done_at <= self.now)
+            .min_by_key(|(t, c)| (c.done_at, **t))
+            .map(|(t, _)| *t)?;
+        self.pending.remove(&key)
+    }
+
+    /// Advances the clock to the earliest outstanding completion and
+    /// returns it (`None` if nothing is pending).
+    pub fn wait_any(&mut self) -> Option<ReqCompletion> {
+        let key = self
+            .pending
+            .iter()
+            .min_by_key(|(t, c)| (c.done_at, **t))
+            .map(|(t, _)| *t)?;
+        let completion = self.pending.remove(&key).expect("key just found");
+        self.now = self.now.max(completion.done_at);
+        Some(completion)
+    }
+
+    /// Drains every pending completion, advancing the clock to the
+    /// latest; returns them ordered by (`done_at`, token).
+    pub fn wait_all(&mut self) -> Vec<ReqCompletion> {
+        let mut all: Vec<ReqCompletion> = std::mem::take(&mut self.pending).into_values().collect();
+        all.sort_by_key(|c| (c.done_at, c.token));
+        if let Some(last) = all.last() {
+            self.now = self.now.max(last.done_at);
+        }
+        all
+    }
+
+    /// Finishes every shard experiment (emitting trailing samples and
+    /// draining engine-level asynchronous I/O) and returns the
+    /// per-shard results in shard order. Uncollected completions are
+    /// discarded — their work was executed and is accounted in the
+    /// shard results either way.
+    pub fn finish(self) -> Vec<FrontendShardResult> {
+        self.shards
+            .into_iter()
+            .map(|shard| FrontendShardResult {
+                result: shard.experiment.finish(),
+                load: shard.load,
+                queue_delay: shard.queue_delay,
+            })
+            .collect()
+    }
+}
+
+/// Per-client driver state for [`run_frontend`].
+struct ClientState {
+    generator: OpGenerator,
+    arrivals: ArrivalClock,
+}
+
+/// Runs a full serving experiment and returns the merged report.
+///
+/// Spawns `cfg.clients` *logical* clients, each generating requests
+/// from its seeded workload stream and submitting them through a
+/// [`Frontend`] at the times its seeded
+/// [`ArrivalClock`](ptsbench_workload::ArrivalClock) dictates
+/// (submissions stop at `cfg.base.duration`; admitted requests drain).
+/// Requests routed to an out-of-space shard are dropped (counted in
+/// the shard's [`ShardLoad`], completing after [`DROP_LATENCY`]); a
+/// closed-loop client retires once its traffic can never be served
+/// again — its bound shard died, or every shard did — while a routed
+/// client with healthy shards left keeps submitting.
+///
+/// Deterministic in virtual time: fixed seeds produce byte-identical
+/// rendered reports. In the conformant shape
+/// ([`FrontendRun::conformant`]) the report is byte-identical to
+/// [`crate::run_sharded`]'s — the latency-conformance suite pins this
+/// for every registered engine.
+pub fn run_frontend(cfg: &FrontendRun) -> Result<RunReport, PtsError> {
+    Ok(run_frontend_with_results(cfg)?.report)
+}
+
+/// [`run_frontend`], also returning the per-shard [`RunResult`]s.
+pub fn run_frontend_with_results(cfg: &FrontendRun) -> Result<HarnessOutcome, PtsError> {
+    let mut frontend = Frontend::new(cfg)?;
+    let mut clients: Vec<ClientState> = (0..cfg.clients)
+        .map(|c| ClientState {
+            generator: OpGenerator::new(cfg.client_workload(c)),
+            arrivals: ArrivalClock::new(cfg.arrival, cfg.client_arrival_seed(c)),
+        })
+        .collect();
+
+    // Event loop: always submit the earliest pending arrival (ties by
+    // client index), so the front-end clock — and with it per-shard
+    // admission order — advances monotonically and deterministically.
+    // (ends when every client retired or the earliest arrival falls
+    // past the submission window)
+    while let Some((client_idx, at)) = clients
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| c.arrivals.next_submit().map(|t| (i, t)))
+        .min_by_key(|&(i, t)| (t, i))
+    {
+        if at >= cfg.base.duration {
+            break; // the submission window is over
+        }
+        frontend.advance_to(at);
+        let client = &mut clients[client_idx];
+        let request = {
+            let op = client.generator.next_op();
+            Request {
+                kind: op.kind,
+                key_index: op.key_index,
+                value: op.value.to_vec(),
+            }
+        };
+        client.arrivals.note_submitted();
+        let token = frontend.submit(request)?;
+        let completion = frontend
+            .take(token)
+            .expect("completion of the request just submitted");
+        // A closed-loop client retires when its traffic can never be
+        // served again: a bound client's shard died (mirroring how a
+        // sharded-harness shard stops), or the whole fleet is dead. A
+        // *routed* client with healthy shards left keeps going — its
+        // next keys may well route elsewhere, and its drops complete
+        // after `DROP_LATENCY` so retries advance virtual time.
+        if completion.outcome == ReqOutcome::ShardOutOfSpace
+            && cfg.arrival.is_closed()
+            && (cfg.binding == ClientBinding::Bound || frontend.all_shards_dead())
+        {
+            client.arrivals.retire();
+        } else {
+            client.arrivals.note_completed(completion.done_at);
+        }
+    }
+
+    let attach_serving_metrics = !cfg.is_conformant();
+    let shards = frontend.finish();
+    let reports = shards
+        .iter()
+        .enumerate()
+        .map(|(index, shard)| {
+            let mut report = base_shard_report(cfg.base.queue_depth, index, &shard.result);
+            if attach_serving_metrics {
+                report.queue_delay = Some(shard.queue_delay.clone());
+                report.load = Some(shard.load);
+            }
+            report
+        })
+        .collect();
+    let report = RunReport::merge(cfg.label(), cfg.clients, reports);
+    Ok(HarnessOutcome {
+        report,
+        shard_results: shards.into_iter().map(|s| s.result).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbench_core::frontend::ClientBinding;
+    use ptsbench_core::registry::EngineKind;
+    use ptsbench_core::runner::RunConfig;
+    use ptsbench_ssd::MINUTE;
+    use ptsbench_workload::{ArrivalSpec, KeyDistribution};
+
+    fn base(total_bytes: u64) -> RunConfig {
+        RunConfig {
+            engine: EngineKind::lsm(),
+            device_bytes: total_bytes,
+            duration: 10 * MINUTE,
+            sample_window: 5 * MINUTE,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn submit_take_round_trips_and_timestamps_are_ordered() {
+        let cfg = FrontendRun::new(base(16 << 20), 1);
+        let mut fe = Frontend::new(&cfg).expect("frontend");
+        let token = fe
+            .submit(Request {
+                kind: OpKind::Update,
+                key_index: 0,
+                value: vec![7; 64],
+            })
+            .expect("submit");
+        assert_eq!(fe.pending(), 1);
+        let c = fe.take(token).expect("completion");
+        assert_eq!(c.outcome, ReqOutcome::Served);
+        assert!(c.submitted_at <= c.issued_at && c.issued_at <= c.done_at);
+        assert_eq!(c.queue_delay() + c.service_ns, c.sojourn());
+        assert!(c.service_ns > 0, "an update does device + CPU work");
+        assert!(fe.take(token).is_none(), "collected exactly once");
+    }
+
+    #[test]
+    fn depth_one_serializes_and_wait_advances_the_clock() {
+        let mut cfg = FrontendRun::new(base(16 << 20), 1);
+        cfg.queue_depth = 1;
+        let mut fe = Frontend::new(&cfg).expect("frontend");
+        let t0 = fe
+            .submit(Request {
+                kind: OpKind::Update,
+                key_index: 1,
+                value: vec![1; 64],
+            })
+            .expect("submit");
+        let t1 = fe
+            .submit(Request {
+                kind: OpKind::Update,
+                key_index: 2,
+                value: vec![2; 64],
+            })
+            .expect("submit");
+        let c0 = fe.wait(t0);
+        assert_eq!(fe.now(), c0.done_at, "wait advances the front-end clock");
+        let c1 = fe.wait(t1);
+        assert_eq!(
+            c1.issued_at, c0.done_at,
+            "depth 1 admits the next request only when the previous completes"
+        );
+        assert!(c1.queue_delay() >= c0.service_ns);
+    }
+
+    #[test]
+    fn poll_only_returns_requests_done_by_now() {
+        let cfg = FrontendRun::new(base(16 << 20), 1);
+        let mut fe = Frontend::new(&cfg).expect("frontend");
+        let token = fe
+            .submit(Request {
+                kind: OpKind::Read,
+                key_index: 3,
+                value: Vec::new(),
+            })
+            .expect("submit");
+        assert!(fe.poll().is_none(), "not complete at time 0");
+        let done_at = fe.pending.get(&token.0).expect("pending").done_at;
+        fe.advance_to(done_at);
+        assert_eq!(fe.poll().expect("complete now").token, token);
+    }
+
+    #[test]
+    fn hashed_and_contiguous_routing_agree_with_ownership() {
+        for sharding in [Sharding::Contiguous, Sharding::Hashed] {
+            let mut cfg = FrontendRun::new(base(64 << 20), 4);
+            cfg.sharding = sharding;
+            cfg.validate();
+            let fe = Frontend::new(&cfg).expect("frontend");
+            let keys = cfg.base.workload().num_keys;
+            for key in (0..keys).step_by(97) {
+                let owner = fe.route(key);
+                let spec = cfg.shard_workload(owner);
+                assert!(spec.owns_key(key), "{sharding:?}: shard {owner} ∌ {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn conformant_run_matches_run_sharded_byte_for_byte() {
+        let sharded =
+            crate::run_sharded(&ptsbench_core::sharded::ShardedRun::new(base(32 << 20), 2))
+                .expect("sharded");
+        let served = run_frontend(&FrontendRun::conformant(base(32 << 20), 2)).expect("frontend");
+        assert_eq!(sharded.render(), served.render());
+    }
+
+    #[test]
+    fn fan_in_over_a_hot_shard_builds_queue_delay() {
+        // 8 clients, 2 shards, Zipfian keys over contiguous slices: the
+        // hot prefix shard queues; queue delay must be visible and
+        // separable, and the report must carry the serving metrics.
+        let mut cfg = FrontendRun::new(base(32 << 20), 8);
+        cfg.shards = 2;
+        cfg.base.distribution = KeyDistribution::Zipfian { theta: 0.99 };
+        cfg.base.read_fraction = 0.5;
+        let report = run_frontend(&cfg).expect("run");
+        let qd = report.queue_delay.as_ref().expect("serving metrics");
+        assert!(qd.count() > 0);
+        assert!(
+            report.queue_delay_quantile(0.99).expect("p99") > 0,
+            "8 closed-loop clients on a hot shard must queue"
+        );
+        let imbalance = report.load_imbalance().expect("load metrics");
+        assert!(imbalance.request_ratio() > 1.0, "Zipfian skews the load");
+        let text = report.render();
+        assert!(text.contains("queue delay ns:"));
+        assert!(text.contains("shard load:"));
+    }
+
+    #[test]
+    fn open_loop_overload_queues_without_backoff() {
+        // One shard, an open-loop client arriving much faster than the
+        // engine can serve: queue delay must grow far beyond service
+        // time (the open-vs-closed distinction in one assertion).
+        let mut cfg = FrontendRun::new(base(16 << 20), 1);
+        cfg.arrival = ArrivalSpec::Open {
+            interarrival_ns: MINUTE / 600, // 100 ms virtual: faster than service
+        };
+        cfg.queue_depth = 4;
+        let report = run_frontend(&cfg).expect("run");
+        let p50_delay = report.queue_delay_quantile(0.5).expect("p50");
+        let p50_service = report.latency.quantile(0.5);
+        assert!(
+            p50_delay > 4 * p50_service,
+            "open-loop overload must queue: delay {p50_delay} vs service {p50_service}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = || {
+            let mut c = FrontendRun::new(base(32 << 20), 4);
+            c.shards = 2;
+            c.sharding = Sharding::Hashed;
+            c.base.distribution = KeyDistribution::Zipfian { theta: 0.9 };
+            c.arrival = ArrivalSpec::OpenPoisson {
+                mean_interarrival_ns: 200 * MINUTE / 1000,
+            };
+            c
+        };
+        let a = run_frontend(&cfg()).expect("run a").render();
+        let b = run_frontend(&cfg()).expect("run b").render();
+        assert_eq!(a, b, "fixed seeds must reproduce the report exactly");
+    }
+
+    #[test]
+    fn out_of_space_shards_drop_requests_and_retire_closed_clients() {
+        let mut cfg = FrontendRun::new(base(16 << 20), 2);
+        cfg.shards = 1;
+        cfg.base.dataset_fraction = 0.95; // cannot fit an LSM's space amp
+        let outcome = run_frontend_with_results(&cfg).expect("run");
+        assert_eq!(outcome.report.out_of_space_shards(), 1);
+        let load = outcome.report.shards[0].load.expect("load metrics");
+        assert!(load.dropped > 0, "the request hitting ENOSPC is a drop");
+        assert!(
+            load.dropped <= 2,
+            "each closed-loop client retires at its first drop, got {}",
+            load.dropped
+        );
+        assert_eq!(load.requests, load.served + load.dropped);
+        assert_eq!(outcome.report.ops, load.served, "report counts served ops");
+    }
+
+    #[test]
+    fn routed_clients_outlive_a_dead_shard() {
+        // Near-full shards + Zipfian updates: the hot contiguous shard
+        // dies mid-run, the cold one survives. Routed closed-loop
+        // clients must keep driving the survivor instead of retiring on
+        // their first drop (they retire only when every shard is dead).
+        let mut cfg = FrontendRun::new(base(32 << 20), 4);
+        cfg.shards = 2;
+        cfg.base.dataset_fraction = 0.95;
+        cfg.base.distribution = KeyDistribution::Zipfian { theta: 0.99 };
+        let outcome = run_frontend_with_results(&cfg).expect("run");
+        let report = &outcome.report;
+        assert!(report.out_of_space_shards() >= 1, "{}", report.render());
+        // The hot shard dies first and keeps *receiving*: its drop
+        // count far exceeds one-per-client, proving clients were not
+        // retired while other shards still served (the old behavior
+        // capped drops at `clients`).
+        let hot = report.shards[0].load.expect("load");
+        assert!(
+            hot.dropped > 10 * cfg.clients as u64,
+            "clients must keep retrying past one drop each: {}",
+            report.render()
+        );
+        // And the cold shard kept serving after the hot one died —
+        // far more ops than the hot shard's own lifetime would allow
+        // if everyone had retired with it.
+        let cold = report.shards[1].load.expect("load");
+        assert!(
+            cold.served > 50,
+            "the cold shard must keep serving: {}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn dead_shards_reject_with_turnaround_while_healthy_shards_serve() {
+        let cfg = FrontendRun::new(base(32 << 20), 2);
+        let mut fe = Frontend::new(&cfg).expect("frontend");
+        fe.shards[0].dead = true; // simulate an out-of-space shard
+        let shard1_key = cfg.shard_workload(1).key_base;
+
+        let t0 = fe
+            .submit(Request {
+                kind: OpKind::Read,
+                key_index: 0, // shard 0's slice
+                value: Vec::new(),
+            })
+            .expect("submit");
+        let dropped = fe.take(t0).expect("completion");
+        assert_eq!(dropped.outcome, ReqOutcome::ShardOutOfSpace);
+        assert_eq!(
+            dropped.done_at,
+            dropped.submitted_at + DROP_LATENCY,
+            "drops complete after the rejection turnaround, not instantly"
+        );
+        assert!(!fe.all_shards_dead());
+
+        let t1 = fe
+            .submit(Request {
+                kind: OpKind::Update,
+                key_index: shard1_key,
+                value: vec![9; 64],
+            })
+            .expect("submit");
+        let served = fe.take(t1).expect("completion");
+        assert_eq!(served.outcome, ReqOutcome::Served, "shard 1 still serves");
+    }
+
+    #[test]
+    fn bound_binding_requires_matching_counts() {
+        let mut cfg = FrontendRun::new(base(32 << 20), 2);
+        cfg.binding = ClientBinding::Bound;
+        cfg.validate(); // 2 clients, 2 shards: fine
+        cfg.clients = 3;
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cfg.validate()));
+        assert!(err.is_err());
+    }
+}

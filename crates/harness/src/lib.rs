@@ -26,6 +26,15 @@
 //!   one `ptsbench_metrics::RunReport`. Fixed seeds produce
 //!   byte-identical rendered reports run-to-run, regardless of thread
 //!   scheduling — the CI determinism check diffs exactly this.
+//! * **A serving front-end.** [`Frontend`] puts a request/response
+//!   layer in front of the shard fleet — N logical clients, a
+//!   dispatcher with a bounded per-shard queue, completions carrying
+//!   `submitted_at`/`issued_at`/`done_at` — so queueing delay at high
+//!   fan-in is measurable *separately* from device latency.
+//!   [`run_frontend`] drives seeded open- or closed-loop arrival
+//!   processes over it; in its conformance shape it reproduces
+//!   [`run_sharded`] byte-identically (see
+//!   `tests/latency_conformance.rs`).
 //!
 //! ```no_run
 //! use ptsbench_core::{RunConfig, ShardedRun};
@@ -40,5 +49,10 @@
 #![forbid(unsafe_code)]
 
 mod driver;
+mod frontend;
 
 pub use driver::{run_sharded, run_sharded_with_results, HarnessOutcome};
+pub use frontend::{
+    run_frontend, run_frontend_with_results, Frontend, FrontendShardResult, ReqCompletion,
+    ReqOutcome, ReqToken, Request, DROP_LATENCY,
+};

@@ -1,0 +1,78 @@
+//! Shard-aware load metrics under skew, measured end-to-end through
+//! the serving front-end: hash routing bounds the hot-shard imbalance
+//! a Zipfian workload creates under contiguous slicing, and the
+//! imbalance metrics render deterministically (the regression the CI
+//! determinism checks rely on).
+
+use ptsbench_core::frontend::FrontendRun;
+use ptsbench_core::registry::EngineKind;
+use ptsbench_core::runner::RunConfig;
+use ptsbench_core::sharded::Sharding;
+use ptsbench_harness::run_frontend;
+use ptsbench_metrics::runreport::RunReport;
+use ptsbench_ssd::MINUTE;
+use ptsbench_workload::KeyDistribution;
+
+/// 8 closed-loop clients, 4 shards, Zipfian keys.
+fn serve(sharding: Sharding) -> RunReport {
+    let mut cfg = FrontendRun::new(
+        RunConfig {
+            engine: EngineKind::lsm(),
+            device_bytes: 64 << 20,
+            distribution: KeyDistribution::Zipfian { theta: 0.99 },
+            read_fraction: 0.5,
+            duration: 10 * MINUTE,
+            sample_window: 5 * MINUTE,
+            ..RunConfig::default()
+        },
+        8,
+    );
+    cfg.shards = 4;
+    cfg.sharding = sharding;
+    run_frontend(&cfg).expect("frontend run")
+}
+
+#[test]
+fn hashed_routing_bounds_the_request_imbalance_contiguous_suffers() {
+    let contiguous = serve(Sharding::Contiguous);
+    let hashed = serve(Sharding::Hashed);
+    let contiguous_ratio = contiguous.load_imbalance().expect("load").request_ratio();
+    let hashed_ratio = hashed.load_imbalance().expect("load").request_ratio();
+    assert!(
+        hashed_ratio < 3.0,
+        "hashed max/min request ratio {hashed_ratio} must stay bounded"
+    );
+    assert!(
+        contiguous_ratio > 2.0 * hashed_ratio,
+        "contiguous ratio {contiguous_ratio} must dwarf hashed {hashed_ratio}"
+    );
+    // The hot prefix shard is also the utilization outlier.
+    let imbalance = contiguous.load_imbalance().expect("load");
+    assert!(
+        imbalance.utilization_spread() > hashed.load_imbalance().unwrap().utilization_spread(),
+        "contiguous slicing must widen the utilization spread"
+    );
+    // And queue delay follows the imbalance: the starved-queue p99
+    // under contiguous slicing exceeds the hashed one.
+    let contiguous_p99 = contiguous.queue_delay_quantile(0.99).expect("p99");
+    let hashed_p99 = hashed.queue_delay_quantile(0.99).expect("p99");
+    assert!(
+        contiguous_p99 > hashed_p99,
+        "hot-shard queueing: contiguous p99 {contiguous_p99} vs hashed {hashed_p99}"
+    );
+}
+
+#[test]
+fn imbalance_metrics_render_deterministically() {
+    // The regression the run-twice-diff CI pattern depends on: two
+    // identically seeded serving runs — including the new qdelay[...]
+    // / load[...] shard annotations and the shard-load footer — render
+    // byte-identically.
+    let a = serve(Sharding::Hashed).render();
+    let b = serve(Sharding::Hashed).render();
+    assert_eq!(a, b);
+    assert!(a.contains("shard load: req_ratio="), "{a}");
+    assert!(a.contains("qdelay[p99="), "{a}");
+    assert!(a.contains("load[req="), "{a}");
+    assert!(a.contains("/hash/fan8/closed/d16"), "{a}");
+}

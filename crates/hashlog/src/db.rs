@@ -390,6 +390,17 @@ impl HashLogDb {
         self.log_append(&buf, pendings)
     }
 
+    /// Advances the virtual clock past every asynchronous command still
+    /// in flight on the shared submission queue. No-op on the
+    /// synchronous (`queue_depth == 1`) path. Callers that end a run or
+    /// leave a `ClockBarrier` must quiesce first so the simulated
+    /// timeline accounts for all charged work.
+    pub fn quiesce(&mut self) {
+        if let Some(queue) = &self.queue {
+            queue.lock().quiesce();
+        }
+    }
+
     /// Point lookup: index probe plus (at most) one device read.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.stats.gets += 1;
@@ -775,6 +786,10 @@ impl PtsEngine for HashLogEngine {
 
     fn flush(&mut self) -> std::result::Result<(), PtsError> {
         Ok(self.0.flush()?)
+    }
+
+    fn drain_io(&mut self) {
+        self.0.quiesce();
     }
 
     fn stats(&self) -> EngineStats {

@@ -189,6 +189,18 @@ impl LsmDb {
         self.version.summary()
     }
 
+    /// Advances the virtual clock past every asynchronous command still
+    /// in flight on the shared submission queue — including detached
+    /// compaction-input reads nothing will ever wait on. No-op on the
+    /// synchronous (`queue_depth == 1`) path. Callers that end a run or
+    /// leave a `ClockBarrier` must quiesce first so the simulated
+    /// timeline accounts for all charged work.
+    pub fn quiesce(&mut self) {
+        if let Some(queue) = &self.queue {
+            queue.lock().quiesce();
+        }
+    }
+
     /// Inserts or overwrites a key.
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
         self.stats.puts += 1;

@@ -19,7 +19,11 @@ pub struct LatencyHistogram {
 
 const BASE_NS: f64 = 100.0; // 100 ns floor
 const GROWTH: f64 = 1.04;
-const BUCKETS: usize = 512; // covers up to ~53 minutes
+/// 640 buckets cover up to ~2.2 simulated hours: queue delays at a
+/// saturated front-end shard reach simulated *minutes*, far past the
+/// ~53 s the original 512 buckets could resolve, and a tail metric
+/// that clamps its own tail is useless.
+const BUCKETS: usize = 640;
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
@@ -106,6 +110,28 @@ impl LatencyHistogram {
         self.max_ns
     }
 
+    /// The empirical CDF as `(upper bucket edge ns, cumulative
+    /// fraction)` points, one per non-empty bucket. The final point's
+    /// fraction is exactly 1.0. This is the distribution view the
+    /// serving front-end renders for queue delays (tail-latency plots
+    /// read directly off these points).
+    pub fn cdf_points(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        if self.total == 0 {
+            return out;
+        }
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            let edge = (BASE_NS * GROWTH.powi(i as i32 + 1)) as u64;
+            out.push((edge, cum as f64 / self.total as f64));
+        }
+        out
+    }
+
     /// Merges another histogram into this one.
     ///
     /// Used by the concurrent harness to fold per-client histograms
@@ -178,6 +204,30 @@ mod tests {
         h.record(u64::MAX / 2);
         assert_eq!(h.count(), 2);
         assert!(h.quantile(0.1) >= 100);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone_and_end_at_one() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.cdf_points().is_empty(), "empty histogram, empty CDF");
+        for i in 1..=500u64 {
+            h.record(i * 2_000);
+        }
+        let points = h.cdf_points();
+        assert!(!points.is_empty());
+        for pair in points.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "edges strictly increase");
+            assert!(pair[0].1 < pair[1].1, "fractions strictly increase");
+        }
+        let last = points.last().unwrap();
+        assert_eq!(last.1, 1.0, "CDF ends at exactly 1.0");
+        // The CDF agrees with the quantile view at the median.
+        let p50 = h.quantile(0.5);
+        let at_median = points
+            .iter()
+            .find(|&&(edge, _)| edge >= p50)
+            .expect("median bucket present");
+        assert!((at_median.1 - 0.5).abs() < 0.1);
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! * [`report`] — plain-text rendering of series, sweeps and heatmaps in
 //!   the shape of the paper's figures;
 //! * [`runreport`] — merged reports of concurrent sharded runs: per-client
-//!   histograms/series folded into one deterministic [`RunReport`].
+//!   histograms/series folded into one deterministic [`RunReport`];
+//! * [`load`] — per-shard serving-load accounting ([`ShardLoad`]) and
+//!   cross-shard imbalance summaries ([`LoadImbalance`]) for comparing
+//!   contiguous vs hashed sharding under skew.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +31,7 @@ pub mod cost;
 pub mod cusum;
 pub mod histogram;
 pub mod lifetime;
+pub mod load;
 pub mod report;
 pub mod runreport;
 pub mod timeseries;
@@ -38,6 +42,7 @@ pub use cost::{CostModel, DeploymentPlan, Heatmap};
 pub use cusum::CusumDetector;
 pub use histogram::LatencyHistogram;
 pub use lifetime::EnduranceModel;
+pub use load::{LoadImbalance, ShardLoad};
 pub use runreport::{RunReport, ShardReport};
 pub use timeseries::TimeSeries;
 pub use wa::WaBreakdown;

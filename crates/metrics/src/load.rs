@@ -1,0 +1,173 @@
+//! Per-shard serving-load accounting and cross-shard imbalance.
+//!
+//! Hash routing (PR 3) lets a skewed key distribution spread over
+//! shards; this module supplies the *measurement* half the ROADMAP
+//! called for: how many requests each shard actually received, how busy
+//! its engine was, and how unbalanced the fleet ended up. Contiguous vs
+//! hashed sharding under Zipfian access can then be compared
+//! quantitatively — the `fig_tail` experiment does exactly that.
+
+/// One shard's serving-load accounting over a front-end run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardLoad {
+    /// Requests the dispatcher routed to this shard (served + dropped).
+    pub requests: u64,
+    /// Requests the shard's engine actually executed.
+    pub served: u64,
+    /// Requests dropped because the shard had run out of space.
+    pub dropped: u64,
+    /// Virtual nanoseconds the shard's engine spent servicing requests.
+    pub busy_ns: u64,
+    /// Virtual span the load is measured over (the configured duration
+    /// of the measured phase).
+    pub span_ns: u64,
+}
+
+impl ShardLoad {
+    /// Fraction of the measured span the shard's engine was busy.
+    /// Can exceed 1.0 when admitted requests drain past the end of the
+    /// phase — exactly the overload signature the front-end exists to
+    /// expose.
+    pub fn utilization(&self) -> f64 {
+        if self.span_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.span_ns as f64
+        }
+    }
+
+    /// Deterministic compact rendering for per-shard report lines.
+    pub fn render_compact(&self) -> String {
+        format!(
+            "load[req={} served={} util={:.4}]",
+            self.requests,
+            self.served,
+            self.utilization()
+        )
+    }
+}
+
+/// Cross-shard imbalance summary: the spread of request counts and
+/// engine utilizations over a fleet of shards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadImbalance {
+    /// Highest per-shard request count.
+    pub max_requests: u64,
+    /// Lowest per-shard request count.
+    pub min_requests: u64,
+    /// Highest per-shard utilization.
+    pub max_utilization: f64,
+    /// Lowest per-shard utilization.
+    pub min_utilization: f64,
+    /// Mean per-shard utilization.
+    pub mean_utilization: f64,
+}
+
+impl LoadImbalance {
+    /// Folds per-shard loads into an imbalance summary (`None` for an
+    /// empty fleet).
+    pub fn from_shards(loads: &[ShardLoad]) -> Option<Self> {
+        let first = loads.first()?;
+        let mut s = Self {
+            max_requests: first.requests,
+            min_requests: first.requests,
+            max_utilization: first.utilization(),
+            min_utilization: first.utilization(),
+            mean_utilization: 0.0,
+        };
+        let mut util_sum = 0.0;
+        for load in loads {
+            s.max_requests = s.max_requests.max(load.requests);
+            s.min_requests = s.min_requests.min(load.requests);
+            s.max_utilization = s.max_utilization.max(load.utilization());
+            s.min_utilization = s.min_utilization.min(load.utilization());
+            util_sum += load.utilization();
+        }
+        s.mean_utilization = util_sum / loads.len() as f64;
+        Some(s)
+    }
+
+    /// Hottest-to-coldest request-count ratio (∞ when a shard received
+    /// nothing — the fully starved case). 1.0 is perfect balance.
+    pub fn request_ratio(&self) -> f64 {
+        if self.min_requests == 0 {
+            f64::INFINITY
+        } else {
+            self.max_requests as f64 / self.min_requests as f64
+        }
+    }
+
+    /// Absolute utilization spread (`max - min`). 0.0 is perfect
+    /// balance.
+    pub fn utilization_spread(&self) -> f64 {
+        self.max_utilization - self.min_utilization
+    }
+
+    /// Deterministic one-line rendering for run-level report footers.
+    pub fn render(&self) -> String {
+        format!(
+            "shard load: req_ratio={:.2} (max={} min={}) util[min={:.4} mean={:.4} max={:.4}]",
+            self.request_ratio(),
+            self.max_requests,
+            self.min_requests,
+            self.min_utilization,
+            self.mean_utilization,
+            self.max_utilization
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(requests: u64, busy_ns: u64) -> ShardLoad {
+        ShardLoad {
+            requests,
+            served: requests,
+            dropped: 0,
+            busy_ns,
+            span_ns: 1_000,
+        }
+    }
+
+    #[test]
+    fn utilization_is_busy_over_span() {
+        assert_eq!(load(10, 250).utilization(), 0.25);
+        assert_eq!(ShardLoad::default().utilization(), 0.0, "empty span");
+        assert!(load(10, 1_500).utilization() > 1.0, "overload exceeds 1");
+    }
+
+    #[test]
+    fn imbalance_summarizes_the_fleet() {
+        let fleet = [load(100, 900), load(25, 300), load(50, 600)];
+        let s = LoadImbalance::from_shards(&fleet).expect("non-empty");
+        assert_eq!(s.max_requests, 100);
+        assert_eq!(s.min_requests, 25);
+        assert_eq!(s.request_ratio(), 4.0);
+        assert!((s.utilization_spread() - 0.6).abs() < 1e-12);
+        assert!((s.mean_utilization - 0.6).abs() < 1e-12);
+        assert!(LoadImbalance::from_shards(&[]).is_none());
+    }
+
+    #[test]
+    fn starved_shards_read_as_infinite_ratio() {
+        let s = LoadImbalance::from_shards(&[load(10, 100), load(0, 0)]).expect("fleet");
+        assert!(s.request_ratio().is_infinite());
+        assert!(s.render().contains("req_ratio=inf"));
+    }
+
+    #[test]
+    fn renders_are_deterministic() {
+        let fleet = [load(100, 900), load(25, 300)];
+        let a = LoadImbalance::from_shards(&fleet).unwrap().render();
+        let b = LoadImbalance::from_shards(&fleet).unwrap().render();
+        assert_eq!(a, b);
+        assert!(a.contains("req_ratio=4.00"));
+        assert_eq!(
+            load(10, 250).render_compact(),
+            load(10, 250).render_compact()
+        );
+        assert!(load(10, 250).render_compact().contains("util=0.2500"));
+    }
+}

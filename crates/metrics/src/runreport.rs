@@ -13,6 +13,7 @@
 //! property the CI determinism check diffs for.
 
 use crate::histogram::LatencyHistogram;
+use crate::load::{LoadImbalance, ShardLoad};
 use crate::report::render_series_table;
 use crate::timeseries::TimeSeries;
 
@@ -49,6 +50,16 @@ pub struct ShardReport {
     /// when `Some`, so depth-1 reports stay byte-identical to the
     /// pre-queue renderer.
     pub io_depth: Option<QueueDepthSummary>,
+    /// Per-request queue-delay distribution (time between front-end
+    /// submission and service start) when the shard was driven through
+    /// the serving front-end. `None` — and unrendered — for direct
+    /// harness runs and for the front-end's conformance configuration,
+    /// which must reproduce direct reports byte-identically.
+    pub queue_delay: Option<LatencyHistogram>,
+    /// Serving-load accounting (requests routed, engine busy time) when
+    /// driven through the front-end; same `None` contract as
+    /// [`ShardReport::queue_delay`].
+    pub load: Option<ShardLoad>,
     /// Additive per-window series (throughput, device MB/s, ...). All
     /// shards must emit the same series names in the same order, on the
     /// same window boundaries.
@@ -66,6 +77,9 @@ pub struct RunReport {
     pub ops: u64,
     /// Merged latency distribution.
     pub latency: LatencyHistogram,
+    /// Merged queue-delay distribution across all shards that reported
+    /// one (`None` when no shard did).
+    pub queue_delay: Option<LatencyHistogram>,
     /// Aggregate application bytes written.
     pub app_bytes: u64,
     /// Aggregate host bytes written.
@@ -85,12 +99,18 @@ impl RunReport {
         let mut app_bytes: u64 = 0;
         let mut host_bytes: u64 = 0;
         let mut latency = LatencyHistogram::new();
+        let mut queue_delay: Option<LatencyHistogram> = None;
         let mut series: Vec<TimeSeries> = Vec::new();
         for shard in &shards {
             ops = ops.saturating_add(shard.ops);
             app_bytes = app_bytes.saturating_add(shard.app_bytes);
             host_bytes = host_bytes.saturating_add(shard.host_bytes);
             latency.merge(&shard.latency);
+            if let Some(qd) = &shard.queue_delay {
+                queue_delay
+                    .get_or_insert_with(LatencyHistogram::new)
+                    .merge(qd);
+            }
             for (i, s) in shard.series.iter().enumerate() {
                 match series.get_mut(i) {
                     Some(agg) => {
@@ -110,6 +130,7 @@ impl RunReport {
             clients,
             ops,
             latency,
+            queue_delay,
             app_bytes,
             host_bytes,
             series,
@@ -143,6 +164,26 @@ impl RunReport {
         self.shards.iter().filter(|s| s.out_of_space).count()
     }
 
+    /// The merged queue-delay CDF as `(ns, cumulative fraction)` points
+    /// (`None` when no shard reported queue delays). Tail-latency plots
+    /// — and the `fig_tail` assertions — read directly off these.
+    pub fn queue_delay_cdf(&self) -> Option<Vec<(u64, f64)>> {
+        self.queue_delay.as_ref().map(|qd| qd.cdf_points())
+    }
+
+    /// A merged queue-delay quantile in nanoseconds (`None` when no
+    /// shard reported queue delays).
+    pub fn queue_delay_quantile(&self, q: f64) -> Option<u64> {
+        self.queue_delay.as_ref().map(|qd| qd.quantile(q))
+    }
+
+    /// Cross-shard load imbalance, folded over every shard that
+    /// reported serving-load accounting (`None` when none did).
+    pub fn load_imbalance(&self) -> Option<LoadImbalance> {
+        let loads: Vec<ShardLoad> = self.shards.iter().filter_map(|s| s.load).collect();
+        LoadImbalance::from_shards(&loads)
+    }
+
     /// Deterministic plain-text rendering (byte-identical for
     /// byte-identical inputs): an aggregate header, one aligned table
     /// of all merged series (via [`render_series_table`]), the merged
@@ -170,9 +211,23 @@ impl RunReport {
             self.latency.quantile(0.99),
             self.latency.max()
         ));
+        if let Some(qd) = &self.queue_delay {
+            out.push_str(&format!(
+                "queue delay ns: mean={:.0} p50={} p99={} max={} (requests={})\n",
+                qd.mean(),
+                qd.quantile(0.5),
+                qd.quantile(0.99),
+                qd.max(),
+                qd.count()
+            ));
+        }
+        if let Some(imbalance) = self.load_imbalance() {
+            out.push_str(&imbalance.render());
+            out.push('\n');
+        }
         for shard in &self.shards {
             out.push_str(&format!(
-                "{}: ops={} app_bytes={} host_bytes={}{}{}\n",
+                "{}: ops={} app_bytes={} host_bytes={}{}{}{}{}\n",
                 shard.name,
                 shard.ops,
                 shard.app_bytes,
@@ -182,6 +237,14 @@ impl RunReport {
                         " qd[submitted={} max_in_flight={} mean={:.2}]",
                         io.submitted, io.max_in_flight, io.mean_in_flight
                     ),
+                    None => String::new(),
+                },
+                match &shard.queue_delay {
+                    Some(qd) => format!(" qdelay[p99={}]", qd.quantile(0.99)),
+                    None => String::new(),
+                },
+                match &shard.load {
+                    Some(load) => format!(" {}", load.render_compact()),
                     None => String::new(),
                 },
                 if shard.out_of_space {
@@ -225,6 +288,8 @@ mod tests {
             app_bytes: ops * 100,
             host_bytes: ops * 250,
             io_depth: None,
+            queue_delay: None,
+            load: None,
             series: vec![series],
         }
     }
@@ -290,6 +355,84 @@ mod tests {
         let text = deep.render();
         assert!(text.contains("qd[submitted=120 max_in_flight=8 mean=5.25]"));
         assert_eq!(deep.max_in_flight(), Some(8));
+    }
+
+    #[test]
+    fn queue_delay_and_load_render_only_when_present() {
+        // Absent: the report must render exactly as before the serving
+        // front-end existed (the conformance-suite contract).
+        let plain = RunReport::merge("x", 1, vec![shard("shard0", 5, &[1_000], &[1.0])]);
+        let plain_text = plain.render();
+        assert!(!plain_text.contains("queue delay"));
+        assert!(!plain_text.contains("shard load"));
+        assert!(!plain_text.contains("qdelay["));
+        assert!(!plain_text.contains("load["));
+        assert!(plain.queue_delay.is_none());
+        assert!(plain.queue_delay_cdf().is_none());
+        assert!(plain.load_imbalance().is_none());
+
+        // Present: merged queue-delay quantiles, per-shard tails, and
+        // the imbalance footer all appear.
+        let mut a = shard("shard0", 5, &[1_000], &[1.0]);
+        let mut qd = LatencyHistogram::new();
+        qd.record(10_000);
+        qd.record(90_000);
+        a.queue_delay = Some(qd);
+        a.load = Some(ShardLoad {
+            requests: 40,
+            served: 40,
+            dropped: 0,
+            busy_ns: 600,
+            span_ns: 1_000,
+        });
+        let mut b = shard("shard1", 5, &[1_000], &[1.0]);
+        let mut qd = LatencyHistogram::new();
+        qd.record(20_000);
+        b.queue_delay = Some(qd);
+        b.load = Some(ShardLoad {
+            requests: 10,
+            served: 10,
+            dropped: 0,
+            busy_ns: 200,
+            span_ns: 1_000,
+        });
+        let served = RunReport::merge("x", 2, vec![a, b]);
+        let text = served.render();
+        assert!(text.contains("queue delay ns: mean="));
+        assert!(text.contains("(requests=3)"));
+        assert!(text.contains("shard load: req_ratio=4.00"));
+        assert!(text.contains("qdelay[p99="));
+        assert!(text.contains("load[req=40 served=40 util=0.6000]"));
+        assert_eq!(
+            served.queue_delay.as_ref().map(|qd| qd.count()),
+            Some(3),
+            "shard queue delays merge"
+        );
+        let cdf = served.queue_delay_cdf().expect("cdf present");
+        assert_eq!(cdf.last().map(|&(_, f)| f), Some(1.0));
+        assert!(served.queue_delay_quantile(0.99).expect("p99") >= 90_000);
+        let imbalance = served.load_imbalance().expect("imbalance");
+        assert_eq!(imbalance.max_requests, 40);
+        assert_eq!(imbalance.min_requests, 10);
+    }
+
+    #[test]
+    fn imbalance_renders_deterministically() {
+        let make = || {
+            let mut s = shard("shard0", 5, &[1_000], &[1.0]);
+            s.load = Some(ShardLoad {
+                requests: 7,
+                served: 7,
+                dropped: 0,
+                busy_ns: 333,
+                span_ns: 1_000,
+            });
+            let mut qd = LatencyHistogram::new();
+            qd.record(5_000);
+            s.queue_delay = Some(qd);
+            RunReport::merge("x", 1, vec![s]).render()
+        };
+        assert_eq!(make(), make(), "identical inputs, identical bytes");
     }
 
     #[test]

@@ -162,6 +162,18 @@ impl ClockBarrier {
     /// Permanently removes the calling party (it finished its run or
     /// failed). If everyone else has already arrived at the boundary,
     /// this releases them.
+    ///
+    /// **Drain before leaving.** A party that still has asynchronous
+    /// work in flight on its private timeline — detached I/O commands
+    /// whose completion lies beyond its current clock — must advance
+    /// its private clock past those completions first (see
+    /// `IoQueue::quiesce`). Leaving with work outstanding under-counts
+    /// the epoch: the barrier credits the party with having simulated
+    /// up to the boundary while commands it charged to the device are
+    /// still "running" past it, so later epochs start from a clock that
+    /// never accounted for them. The harness enforces this by quiescing
+    /// every engine queue when an experiment finishes, before the
+    /// departure.
     pub fn leave(&self) {
         let mut g = self.lock();
         assert!(g.parties > 0, "leave without a matching party");

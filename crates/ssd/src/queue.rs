@@ -316,6 +316,37 @@ impl IoQueue {
     pub fn forget(&mut self, token: IoToken) -> Option<IoCompletion> {
         self.pending.remove(&token.0)
     }
+
+    /// Commands still occupying submission slots at the current virtual
+    /// time — **including detached ones** that no `wait` will ever
+    /// collect. This is the count [`IoQueue::quiesce`] drains to zero.
+    pub fn outstanding(&self) -> usize {
+        self.in_flight()
+    }
+
+    /// Advances the virtual clock past the completion of **every**
+    /// outstanding command — detached submissions included — and
+    /// returns the new time. Pending completion records stay
+    /// collectable via [`IoQueue::poll`]/[`IoQueue::wait`].
+    ///
+    /// [`IoQueue::wait_all`] only drains completions somebody will
+    /// collect; detached background commands (compaction input reads)
+    /// keep occupying slots until virtual time passes their completion.
+    /// A client that abandons its simulation mid-flight — e.g. leaving
+    /// a `ClockBarrier` — must quiesce first, or the epoch it reported
+    /// as finished under-counts simulated work still in its queue.
+    pub fn quiesce(&mut self) -> Ns {
+        let latest = self
+            .slots
+            .iter()
+            .copied()
+            .chain(self.pending.values().map(|c| c.done))
+            .max();
+        if let Some(done) = latest {
+            self.clock.advance_to(done);
+        }
+        self.clock.now()
+    }
 }
 
 #[cfg(test)]
@@ -477,6 +508,45 @@ mod tests {
         assert!(stats.mean_in_flight() > 2.0);
         dev.lock().reset_observability();
         assert_eq!(dev.lock().io_depth_stats(), IoDepthStats::default());
+    }
+
+    #[test]
+    fn quiesce_drains_detached_commands_too() {
+        let dev = shared(16 * MB);
+        {
+            let mut d = dev.lock();
+            for lpn in 0..4 {
+                d.write_page(lpn).expect("write");
+            }
+        }
+        let mut q = IoQueue::new(Arc::clone(&dev), 4);
+        // One collectable command and one detached background command.
+        let token = q.submit(IoCmd::read_page(0)).expect("submit");
+        let detached = q.submit_detached(IoCmd::read_page(1)).expect("detached");
+        assert_eq!(q.outstanding(), 2);
+
+        // wait() collects the pending command but the detached one may
+        // still be in flight; quiesce() pushes time past it as well.
+        let c = q.wait(token);
+        let done = q.quiesce();
+        assert!(done >= c.done);
+        assert!(done >= detached.done, "quiesce covers detached commands");
+        assert_eq!(q.outstanding(), 0, "nothing in flight after quiesce");
+        assert_eq!(dev.lock().clock().now(), done);
+
+        // Idempotent: a second quiesce does not move time.
+        assert_eq!(q.quiesce(), done);
+    }
+
+    #[test]
+    fn quiesce_keeps_pending_completions_collectable() {
+        let dev = shared(16 * MB);
+        dev.lock().write_page(0).expect("write");
+        let mut q = IoQueue::new(Arc::clone(&dev), 2);
+        let t = q.submit(IoCmd::read_page(0)).expect("submit");
+        q.quiesce();
+        let c = q.poll().expect("completed after quiesce");
+        assert_eq!(c.token, t);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! * the **small-value variant** — 128-byte values with proportionally
 //!   more keys (Fig 11c/d);
 //! * the **mixed variant** — 50:50 read:write (Fig 11a/b);
-//! * plus Zipfian / latest distributions for skewed-access studies.
+//! * plus Zipfian / latest distributions for skewed-access studies;
+//! * and [`arrival`] — open/closed-loop request-arrival processes for
+//!   the serving front-end (`ptsbench-harness`).
 //!
 //! Keys are fixed-width and order-preserving (lexicographic order equals
 //! numeric order), so sequential loads produce sorted ingestion as in the
@@ -18,10 +20,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arrival;
 pub mod dist;
 pub mod generator;
 pub mod spec;
 
+pub use arrival::{ArrivalClock, ArrivalSpec};
 pub use dist::{KeyDistribution, Sampler};
 pub use generator::{Loader, Op, OpGenerator, OpKind};
 pub use spec::{route_hash, split_seed, WorkloadSpec};

@@ -1,0 +1,118 @@
+//! Statistical coverage for `Sharding::Hashed` + Zipfian generators:
+//! hash routing must spread hot-key traffic across shards.
+//!
+//! A Zipfian stream concentrates accesses on the lowest key indices —
+//! a contiguous prefix. Contiguous range partitioning therefore sends
+//! nearly everything to shard 0, while SplitMix64 hash routing
+//! scatters the hot set. These tests pin that contrast numerically:
+//! the max/min per-shard request-count ratio stays bounded under hash
+//! routing and explodes under contiguous slicing, across seeds.
+
+use ptsbench_workload::{route_hash, KeyDistribution, OpGenerator, WorkloadSpec};
+
+const SHARDS: usize = 4;
+const DRAWS: usize = 100_000;
+
+/// Routes one Zipfian stream both ways and returns the per-shard
+/// request counts as `(contiguous, hashed)`.
+fn route_stream(seed: u64, theta: f64) -> ([u64; SHARDS], [u64; SHARDS]) {
+    let spec = WorkloadSpec {
+        num_keys: 10_000,
+        read_fraction: 1.0,
+        distribution: KeyDistribution::Zipfian { theta },
+        seed,
+        ..WorkloadSpec::default()
+    };
+    let slices = spec.split(SHARDS);
+    let mut contiguous = [0u64; SHARDS];
+    let mut hashed = [0u64; SHARDS];
+    let mut generator = OpGenerator::new(spec);
+    for _ in 0..DRAWS {
+        let key = generator.next_op().key_index;
+        let owner = slices
+            .iter()
+            .position(|s| s.owns_key(key))
+            .expect("exactly one contiguous owner");
+        contiguous[owner] += 1;
+        hashed[(route_hash(key) % SHARDS as u64) as usize] += 1;
+    }
+    (contiguous, hashed)
+}
+
+fn ratio(counts: &[u64; SHARDS]) -> f64 {
+    let max = *counts.iter().max().unwrap();
+    let min = *counts.iter().min().unwrap();
+    if min == 0 {
+        f64::INFINITY
+    } else {
+        max as f64 / min as f64
+    }
+}
+
+#[test]
+fn hash_routing_bounds_the_hot_key_imbalance() {
+    for seed in [7u64, 42, 0xBEEF] {
+        let (contiguous, hashed) = route_stream(seed, 0.99);
+        assert_eq!(contiguous.iter().sum::<u64>(), DRAWS as u64);
+        assert_eq!(hashed.iter().sum::<u64>(), DRAWS as u64);
+        let hashed_ratio = ratio(&hashed);
+        let contiguous_ratio = ratio(&contiguous);
+        // Every shard sees real traffic under hashing...
+        assert!(
+            hashed_ratio < 3.0,
+            "seed {seed}: hashed max/min ratio {hashed_ratio} too skewed ({hashed:?})"
+        );
+        // ...while the contiguous prefix shard hoards the hot set.
+        assert!(
+            contiguous_ratio > 10.0,
+            "seed {seed}: contiguous ratio {contiguous_ratio} unexpectedly balanced ({contiguous:?})"
+        );
+        assert!(
+            contiguous[0] > DRAWS as u64 / 2,
+            "seed {seed}: Zipfian hot prefix must land on shard 0"
+        );
+    }
+}
+
+#[test]
+fn milder_skew_still_spreads_under_hashing() {
+    let (_, hashed) = route_stream(11, 0.7);
+    assert!(
+        ratio(&hashed) < 2.0,
+        "theta=0.7 hashed ratio {} ({hashed:?})",
+        ratio(&hashed)
+    );
+}
+
+#[test]
+fn hashed_generators_confined_to_their_residue_class_stay_skew_faithful() {
+    // A hash-sharded generator rejection-samples the global Zipfian
+    // down to its residue class; its hottest owned key must keep a
+    // traffic share comparable to the unsharded stream's (conditional
+    // probabilities preserved).
+    let spec = WorkloadSpec {
+        num_keys: 10_000,
+        read_fraction: 1.0,
+        distribution: KeyDistribution::Zipfian { theta: 0.99 },
+        seed: 4242,
+        ..WorkloadSpec::default()
+    };
+    for (index, shard) in spec.split_hashed(SHARDS).into_iter().enumerate() {
+        let mut generator = OpGenerator::new(shard.clone());
+        let mut top_key_hits = 0u64;
+        let hottest_owned = (0..spec.num_keys)
+            .find(|&k| shard.owns_key(k))
+            .expect("non-empty residue class");
+        for _ in 0..20_000 {
+            let key = generator.next_op().key_index;
+            assert!(shard.owns_key(key), "shard {index} leaked key {key}");
+            if key == hottest_owned {
+                top_key_hits += 1;
+            }
+        }
+        assert!(
+            top_key_hits > 200,
+            "shard {index}: hottest owned key {hottest_owned} drew only {top_key_hits}/20000"
+        );
+    }
+}
