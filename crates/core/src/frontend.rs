@@ -31,6 +31,145 @@ use crate::sharded::{ShardedRun, Sharding};
 /// (both derive from the base seed via `split_seed`).
 const CLIENT_SEED_SALT: u64 = 0xC11E_47F0_57AC_0FFE;
 
+/// Admission-control / load-shedding policy of the serving dispatcher.
+///
+/// A serving stack is characterized by its goodput-vs-offered-load
+/// curve, not its unloaded latency: past saturation an open-loop
+/// stream's queue delay grows without bound, and every admitted request
+/// makes the tail worse. These policies give the dispatcher the lever
+/// that keeps the tail flat — bound the in-flight work and turn the
+/// excess away *before* it consumes device time:
+///
+/// * [`SloPolicy::None`] — admit everything (the pre-SLO behavior,
+///   byte-identical reports);
+/// * [`SloPolicy::QueueBound`] — reject a request at submission when
+///   its shard already holds `max_pending` admitted-but-incomplete
+///   requests ([`SloPolicy::UNBOUNDED`] never rejects and is also
+///   byte-identical to `None`);
+/// * [`SloPolicy::PredictedSojourn`] — reject at submission when the
+///   request's predicted queue delay plus an EWMA of observed service
+///   times exceeds `deadline_ns` (admission is deterministic, so the
+///   prediction equals the actual queue delay — admitted requests are
+///   *guaranteed* to start within the deadline);
+/// * [`SloPolicy::Deadline`] — admit everything, but shed a request at
+///   dispatch time if it is already past its `budget_ns` when the
+///   engine would start it (the classic drop-stale-work discipline).
+///
+/// Rejected requests never reach the shard queue or the device; shed
+/// requests queue but never reach the device. Both resolve through the
+/// ordinary completion path (`ReqOutcome::Rejected` / `Shed` in the
+/// harness) so clients can account every request exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SloPolicy {
+    /// Admit every request — exactly the pre-SLO dispatcher.
+    #[default]
+    None,
+    /// Reject at submission when the shard's pending count has reached
+    /// the bound.
+    QueueBound {
+        /// Maximum admitted-but-incomplete requests per shard before
+        /// submissions are rejected. A bound *equal to* the dispatcher
+        /// `queue_depth` rejects exactly the submissions that would
+        /// otherwise stall on a full queue; bounds *above* the depth
+        /// can never trip, because the depth already caps how many
+        /// requests are pending at once ([`SloPolicy::UNBOUNDED`] is
+        /// the explicit pass-through). The useful range is therefore
+        /// `1..=queue_depth`.
+        max_pending: usize,
+    },
+    /// Reject at submission when predicted queue delay + an EWMA of
+    /// observed service time exceeds the deadline.
+    PredictedSojourn {
+        /// Upper bound on the predicted sojourn (queue delay plus
+        /// estimated service), in virtual nanoseconds.
+        deadline_ns: Ns,
+    },
+    /// Shed at dispatch time when a request is already older than its
+    /// budget by the time the engine would start it.
+    Deadline {
+        /// Request age budget from submission to service start, in
+        /// virtual nanoseconds.
+        budget_ns: Ns,
+    },
+}
+
+impl SloPolicy {
+    /// The [`SloPolicy::QueueBound`] bound that never rejects: the
+    /// explicit pass-through configuration, byte-identical to
+    /// [`SloPolicy::None`] (pinned in `tests/slo_conformance.rs`).
+    pub const UNBOUNDED: usize = usize::MAX;
+
+    /// Whether the policy can ever reject or shed a request. Inactive
+    /// policies ([`SloPolicy::None`] and an [`SloPolicy::UNBOUNDED`]
+    /// queue bound) attach no SLO accounting to reports, keeping them
+    /// byte-identical to pre-SLO output.
+    pub fn is_active(&self) -> bool {
+        !matches!(
+            self,
+            SloPolicy::None
+                | SloPolicy::QueueBound {
+                    max_pending: SloPolicy::UNBOUNDED,
+                }
+        )
+    }
+
+    /// The deadline served requests are measured against for SLO
+    /// attainment (`None` for policies without one, under which every
+    /// served request counts as conformant).
+    pub fn deadline_ns(&self) -> Option<Ns> {
+        match *self {
+            SloPolicy::None | SloPolicy::QueueBound { .. } => None,
+            SloPolicy::PredictedSojourn { deadline_ns } => Some(deadline_ns),
+            SloPolicy::Deadline { budget_ns } => Some(budget_ns),
+        }
+    }
+
+    /// Panics with a description if the policy is degenerate.
+    pub fn validate(&self) {
+        match *self {
+            SloPolicy::None => {}
+            SloPolicy::QueueBound { max_pending } => {
+                assert!(max_pending >= 1, "a zero queue bound rejects everything");
+            }
+            SloPolicy::PredictedSojourn { deadline_ns } => {
+                assert!(deadline_ns > 0, "sojourn deadline must be > 0");
+            }
+            SloPolicy::Deadline { budget_ns } => {
+                assert!(budget_ns > 0, "deadline budget must be > 0");
+            }
+        }
+    }
+
+    /// Short deterministic tag for report labels (`qb8`, `ps50ms`,
+    /// `dl2500us`); empty for inactive policies, which must not perturb
+    /// labels.
+    pub fn label(&self) -> String {
+        if !self.is_active() {
+            return String::new();
+        }
+        match *self {
+            SloPolicy::None => unreachable!("inactive"),
+            SloPolicy::QueueBound { max_pending } => format!("qb{max_pending}"),
+            SloPolicy::PredictedSojourn { deadline_ns } => {
+                format!("ps{}", fmt_ns_compact(deadline_ns))
+            }
+            SloPolicy::Deadline { budget_ns } => format!("dl{}", fmt_ns_compact(budget_ns)),
+        }
+    }
+}
+
+/// Renders a duration with the coarsest exact unit (`50ms`, `2500us`,
+/// `123ns`) so policy labels stay readable and deterministic.
+fn fmt_ns_compact(ns: Ns) -> String {
+    if ns.is_multiple_of(ptsbench_ssd::MILLISECOND) {
+        format!("{}ms", ns / ptsbench_ssd::MILLISECOND)
+    } else if ns.is_multiple_of(ptsbench_ssd::MICROSECOND) {
+        format!("{}us", ns / ptsbench_ssd::MICROSECOND)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
 /// How logical clients pick the keys of their requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ClientBinding {
@@ -74,6 +213,9 @@ pub struct FrontendRun {
     /// it stall (in virtual time) until a slot frees, exactly like a
     /// full `IoQueue`. Depth 1 serializes the shard completely.
     pub queue_depth: usize,
+    /// Admission-control / load-shedding policy at the dispatcher
+    /// ([`SloPolicy::None`] — admit everything — by default).
+    pub slo: SloPolicy,
 }
 
 impl FrontendRun {
@@ -88,13 +230,14 @@ impl FrontendRun {
             arrival: ArrivalSpec::Closed { think_ns: 0 },
             binding: ClientBinding::default(),
             queue_depth: 16,
+            slo: SloPolicy::None,
         }
     }
 
     /// The conformance configuration over `n` shards: `n` bound
-    /// clients, closed loop, zero think, queue depth 1 — the front-end
-    /// run that must reproduce `run_sharded` (and through it the direct
-    /// `Experiment` path) byte-identically.
+    /// clients, closed loop, zero think, queue depth 1, no admission
+    /// control — the front-end run that must reproduce `run_sharded`
+    /// (and through it the direct `Experiment` path) byte-identically.
     pub fn conformant(base: RunConfig, n: usize) -> Self {
         Self {
             base,
@@ -104,17 +247,20 @@ impl FrontendRun {
             arrival: ArrivalSpec::Closed { think_ns: 0 },
             binding: ClientBinding::Bound,
             queue_depth: 1,
+            slo: SloPolicy::None,
         }
     }
 
     /// Whether this configuration is the depth-1 equivalence shape:
-    /// bound clients, closed loop, zero think time, queue depth 1.
-    /// Conformant runs attach no queue-delay or load metrics to the
-    /// report, so their render diffs empty against `run_sharded`.
+    /// bound clients, closed loop, zero think time, queue depth 1, and
+    /// an inactive admission policy. Conformant runs attach no
+    /// queue-delay or load metrics to the report, so their render diffs
+    /// empty against `run_sharded`.
     pub fn is_conformant(&self) -> bool {
         self.binding == ClientBinding::Bound
             && self.arrival == ArrivalSpec::Closed { think_ns: 0 }
             && self.queue_depth == 1
+            && !self.slo.is_active()
     }
 
     /// Panics with a description if the configuration is inconsistent.
@@ -123,6 +269,7 @@ impl FrontendRun {
         assert!(self.shards > 0, "need at least one shard");
         assert!(self.queue_depth >= 1, "dispatcher depth must be >= 1");
         self.arrival.validate();
+        self.slo.validate();
         assert!(
             !self.base.stop_when_steady,
             "stop_when_steady is a closed single-client criterion; \
@@ -205,19 +352,24 @@ impl FrontendRun {
     /// Human-readable label for report headers. Conformant runs use the
     /// sharded harness's label verbatim (they *are* that run, served
     /// through one more layer); all other shapes append the fan-in,
-    /// arrival process and dispatcher depth.
+    /// arrival process and dispatcher depth, plus the admission policy
+    /// when one is active (inactive policies must not perturb labels).
     pub fn label(&self) -> String {
         let topo = self.topology().label();
         if self.is_conformant() {
             topo
         } else {
-            format!(
+            let mut label = format!(
                 "{}/fan{}/{}/d{}",
                 topo,
                 self.clients,
                 self.arrival.label(),
                 self.queue_depth
-            )
+            );
+            if self.slo.is_active() {
+                label.push_str(&format!("/slo-{}", self.slo.label()));
+            }
+            label
         }
     }
 }
@@ -319,6 +471,87 @@ mod tests {
     fn steady_state_early_exit_is_rejected() {
         let mut fe = FrontendRun::new(base(), 2);
         fe.base.stop_when_steady = true;
+        fe.validate();
+    }
+
+    #[test]
+    fn inactive_policies_perturb_neither_labels_nor_conformance() {
+        let plain = FrontendRun::new(base(), 4);
+        assert_eq!(plain.slo, SloPolicy::None);
+        assert!(!plain.slo.is_active());
+        assert_eq!(plain.slo.label(), "");
+
+        let mut unbounded = FrontendRun::new(base(), 4);
+        unbounded.slo = SloPolicy::QueueBound {
+            max_pending: SloPolicy::UNBOUNDED,
+        };
+        unbounded.validate();
+        assert!(!unbounded.slo.is_active());
+        assert_eq!(unbounded.label(), plain.label());
+
+        let mut conformant = FrontendRun::conformant(base(), 2);
+        conformant.slo = SloPolicy::QueueBound {
+            max_pending: SloPolicy::UNBOUNDED,
+        };
+        assert!(
+            conformant.is_conformant(),
+            "an unbounded queue bound is still the conformance shape"
+        );
+    }
+
+    #[test]
+    fn active_policies_are_labelled_and_break_conformance() {
+        let mut fe = FrontendRun::new(base(), 4);
+        fe.slo = SloPolicy::QueueBound { max_pending: 8 };
+        fe.validate();
+        assert!(fe.slo.is_active());
+        assert!(fe.label().ends_with("/slo-qb8"), "{}", fe.label());
+        assert_eq!(fe.slo.deadline_ns(), None);
+
+        fe.slo = SloPolicy::PredictedSojourn {
+            deadline_ns: 50 * ptsbench_ssd::MILLISECOND,
+        };
+        assert!(fe.label().ends_with("/slo-ps50ms"), "{}", fe.label());
+        assert_eq!(fe.slo.deadline_ns(), Some(50 * ptsbench_ssd::MILLISECOND));
+
+        fe.slo = SloPolicy::Deadline {
+            budget_ns: 2_500 * ptsbench_ssd::MICROSECOND,
+        };
+        assert!(fe.label().ends_with("/slo-dl2500us"), "{}", fe.label());
+        assert_eq!(
+            fe.slo.deadline_ns(),
+            Some(2_500 * ptsbench_ssd::MICROSECOND)
+        );
+
+        fe.slo = SloPolicy::Deadline { budget_ns: 123 };
+        assert!(fe.label().ends_with("/slo-dl123ns"), "{}", fe.label());
+
+        let mut conformant = FrontendRun::conformant(base(), 2);
+        conformant.slo = SloPolicy::QueueBound { max_pending: 1 };
+        assert!(!conformant.is_conformant());
+    }
+
+    #[test]
+    #[should_panic(expected = "rejects everything")]
+    fn zero_queue_bound_is_rejected() {
+        let mut fe = FrontendRun::new(base(), 2);
+        fe.slo = SloPolicy::QueueBound { max_pending: 0 };
+        fe.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be > 0")]
+    fn zero_sojourn_deadline_is_rejected() {
+        let mut fe = FrontendRun::new(base(), 2);
+        fe.slo = SloPolicy::PredictedSojourn { deadline_ns: 0 };
+        fe.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be > 0")]
+    fn zero_deadline_budget_is_rejected() {
+        let mut fe = FrontendRun::new(base(), 2);
+        fe.slo = SloPolicy::Deadline { budget_ns: 0 };
         fe.validate();
     }
 }

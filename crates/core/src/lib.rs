@@ -56,7 +56,7 @@ pub mod state;
 pub use engine::{
     BatchOp, EngineStats, PtsEngine, PtsError, ScanCursor, ScanItem, ScanItems, WriteBatch,
 };
-pub use frontend::{ClientBinding, FrontendRun};
+pub use frontend::{ClientBinding, FrontendRun, SloPolicy};
 pub use measure::{build_stack, bulk_load, Experiment, Served, Stack};
 pub use registry::{EngineKind, EngineRegistry, EngineTuning, Lifecycle};
 pub use runner::{run, RunConfig, RunResult, Sample, SteadySummary};

@@ -32,13 +32,14 @@
 //! pattern unchanged.
 
 use ptsbench_core::engine::PtsError;
-use ptsbench_core::frontend::{ClientBinding, FrontendRun};
+use ptsbench_core::frontend::{ClientBinding, FrontendRun, SloPolicy};
 use ptsbench_core::measure::{Experiment, Served};
 use ptsbench_core::runner::RunResult;
 use ptsbench_core::sharded::Sharding;
 use ptsbench_metrics::histogram::LatencyHistogram;
 use ptsbench_metrics::load::ShardLoad;
 use ptsbench_metrics::runreport::RunReport;
+use ptsbench_metrics::slo::SloStats;
 use ptsbench_ssd::Ns;
 use ptsbench_workload::{encode_key, route_hash, ArrivalClock, OpGenerator, OpKind};
 
@@ -52,6 +53,14 @@ use std::collections::BTreeMap;
 /// retrying a dead shard advances virtual time instead of livelocking
 /// at one instant.
 pub const DROP_LATENCY: ptsbench_ssd::Ns = ptsbench_ssd::MILLISECOND;
+
+/// Rejection turnaround of a request turned away by an admission
+/// policy, in virtual nanoseconds: the dispatcher answers immediately
+/// but the response still takes a round trip, and — exactly like
+/// [`DROP_LATENCY`] — a nonzero turnaround keeps a zero-think
+/// closed-loop client that retries a rejecting shard advancing virtual
+/// time instead of livelocking at one instant.
+pub const REJECT_LATENCY: ptsbench_ssd::Ns = ptsbench_ssd::MILLISECOND;
 
 /// One client request entering the front-end.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +85,16 @@ pub enum ReqOutcome {
     Served,
     /// Dropped: the owning shard had run (or ran) out of space.
     ShardOutOfSpace,
+    /// Turned away at submission by the admission policy
+    /// ([`SloPolicy::QueueBound`] / [`SloPolicy::PredictedSojourn`]):
+    /// never queued, never touched the device. Completes after a fixed
+    /// [`REJECT_LATENCY`] turnaround.
+    Rejected,
+    /// Admitted, but dropped at dispatch time because it was already
+    /// past its [`SloPolicy::Deadline`] budget when the engine would
+    /// have started it: queued, but never touched the device. Completes
+    /// at the instant it was shed.
+    Shed,
 }
 
 /// The completion record of one request.
@@ -96,10 +115,10 @@ pub struct ReqCompletion {
     pub issued_at: Ns,
     /// When the shard's engine completed the request.
     pub done_at: Ns,
-    /// Engine service time (device I/O + CPU charge); 0 for dropped
-    /// requests.
+    /// Engine service time (device I/O + CPU charge); 0 for dropped,
+    /// rejected and shed requests, which never reach the device.
     pub service_ns: Ns,
-    /// Served or dropped.
+    /// Served, dropped, rejected or shed.
     pub outcome: ReqOutcome,
 }
 
@@ -122,13 +141,45 @@ struct ShardState {
     experiment: Experiment,
     /// Completion times of admitted-but-incomplete requests (the
     /// bounded dispatcher queue, exactly the `IoQueue` slot discipline).
+    /// Shed requests occupy a slot from admission until the instant
+    /// they are dropped.
     slots: Vec<Ns>,
     /// The single-server serialization point: when the engine frees up.
     busy_until: Ns,
     load: ShardLoad,
     queue_delay: LatencyHistogram,
+    /// SLO accounting (tracked unconditionally; attached to reports
+    /// only when the configured policy is active).
+    slo: SloStats,
+    /// EWMA of observed service times (α = 1/8, integer arithmetic so
+    /// the estimate is deterministic), feeding
+    /// [`SloPolicy::PredictedSojourn`]'s sojourn prediction. `None`
+    /// until the first request is served.
+    service_ewma: Option<Ns>,
     /// Out of space: nothing more is served.
     dead: bool,
+}
+
+impl ShardState {
+    /// Predicted service time of the next request: the EWMA of what
+    /// this shard actually served, 0 before any observation (the
+    /// optimistic prior admits early requests, whose queue delay is
+    /// still bounded by the full deadline).
+    fn predicted_service(&self) -> Ns {
+        self.service_ewma.unwrap_or(0)
+    }
+
+    /// Folds a served request's service time into the EWMA. The caller
+    /// clamps pathological observations (see the call site): an
+    /// estimate that exceeds the admission deadline would reject every
+    /// request — including on an idle shard — and nothing could ever
+    /// be served to bring it back down.
+    fn observe_service(&mut self, service_ns: Ns) {
+        self.service_ewma = Some(match self.service_ewma {
+            None => service_ns,
+            Some(ewma) => (service_ns + 7 * ewma) / 8,
+        });
+    }
 }
 
 /// What one shard produced: its ordinary harness-level [`RunResult`]
@@ -139,8 +190,11 @@ pub struct FrontendShardResult {
     pub result: RunResult,
     /// Serving-load accounting (requests routed, busy time).
     pub load: ShardLoad,
-    /// Per-request queue-delay distribution.
+    /// Per-request queue-delay distribution (served requests only —
+    /// rejected and shed requests never start service).
     pub queue_delay: LatencyHistogram,
+    /// SLO accounting: admitted/rejected/shed counts and conformance.
+    pub slo: SloStats,
 }
 
 /// The serving front-end over a fleet of shard experiments: the
@@ -193,6 +247,11 @@ impl Frontend {
                     ..ShardLoad::default()
                 },
                 queue_delay: LatencyHistogram::new(),
+                slo: SloStats {
+                    span_ns: cfg.base.duration,
+                    ..SloStats::default()
+                },
+                service_ewma: None,
                 dead,
             });
         }
@@ -260,10 +319,11 @@ impl Frontend {
     }
 
     /// Submits a request without advancing the front-end clock; returns
-    /// its token. The request is routed to its key's shard, admitted to
-    /// that shard's bounded queue (stalling in virtual time while the
-    /// queue is full), serviced in admission order by the shard's
-    /// engine, and its completion record becomes collectable.
+    /// its token. The request is routed to its key's shard, held
+    /// against the configured [`SloPolicy`], admitted to that shard's
+    /// bounded queue (stalling in virtual time while the queue is
+    /// full), serviced in admission order by the shard's engine, and
+    /// its completion record becomes collectable.
     ///
     /// Requests to a dead (out-of-space) shard are dropped: they
     /// complete with [`ReqOutcome::ShardOutOfSpace`] after a fixed
@@ -271,13 +331,23 @@ impl Frontend {
     /// full shard — also what keeps a zero-think closed-loop client
     /// that retries the dead shard from livelocking virtual time). A
     /// request that *hits* out-of-space kills its shard the same way.
+    ///
+    /// Under an active admission policy a request may instead resolve
+    /// as [`ReqOutcome::Rejected`] (turned away at submission, after a
+    /// [`REJECT_LATENCY`] turnaround, never queued) or
+    /// [`ReqOutcome::Shed`] ([`SloPolicy::Deadline`] only: queued, but
+    /// already past its budget when the engine would start it, dropped
+    /// at that instant). Neither consumes any device or engine time.
     /// Hard engine failures return `Err`.
     pub fn submit(&mut self, req: Request) -> Result<ReqToken, PtsError> {
         let shard_idx = self.route(req.key_index);
         let token = ReqToken(self.next_token);
         self.next_token += 1;
         let now = self.now;
+        let slo = self.cfg.slo;
         let shard = &mut self.shards[shard_idx];
+        shard.load.requests += 1;
+        shard.slo.offered += 1;
 
         let mut completion = ReqCompletion {
             token,
@@ -291,39 +361,67 @@ impl Frontend {
             outcome: ReqOutcome::ShardOutOfSpace,
         };
         if shard.dead {
-            shard.load.requests += 1;
             shard.load.dropped += 1;
             self.pending.insert(token.0, completion);
             return Ok(token);
         }
+        shard.slots.retain(|&done| done > now);
 
         // Admission into the bounded shard queue: slots whose
         // completion has passed are free; a full queue stalls the
         // submission (in virtual time) until the earliest outstanding
         // completion frees one — the IoQueue discipline, one level up.
         // Reclamation is planned on a scratch copy: a submission that
-        // fails hard must leave the live accounting untouched, or a
-        // later valid submission would overlap requests the depth
-        // should have serialized (the same guard `IoQueue::submit`
-        // carries).
-        shard.slots.retain(|&done| done > now);
+        // is rejected below, or fails hard, must leave the live
+        // accounting untouched, or a later valid submission would
+        // overlap requests the depth should have serialized (the same
+        // guard `IoQueue::submit` carries).
         let mut slots = shard.slots.clone();
-        let mut issue = now;
-        while slots.len() >= self.cfg.queue_depth {
-            let (idx, &earliest) = slots
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &done)| done)
-                .expect("non-empty at depth");
-            issue = issue.max(earliest);
-            slots.swap_remove(idx);
+        let issue = admission_time(&mut slots, self.cfg.queue_depth, now);
+
+        // Admission control: turn the request away *before* it enters
+        // the queue — a rejected request must never consume queue
+        // residence or device time. `PredictedSojourn` judges the very
+        // `issue` time the request would get below, and admission is
+        // deterministic, so its deadline is a guarantee on admitted
+        // queue delay, not a heuristic.
+        let rejected = match slo {
+            SloPolicy::QueueBound { max_pending } => shard.slots.len() >= max_pending,
+            SloPolicy::PredictedSojourn { deadline_ns } => {
+                let predicted_start = issue.max(shard.busy_until);
+                predicted_start - now + shard.predicted_service() > deadline_ns
+            }
+            SloPolicy::None | SloPolicy::Deadline { .. } => false,
+        };
+        if rejected {
+            shard.slo.rejected += 1;
+            completion.done_at = now + REJECT_LATENCY;
+            completion.outcome = ReqOutcome::Rejected;
+            self.pending.insert(token.0, completion);
+            return Ok(token);
         }
+        shard.slo.admitted += 1;
         completion.issued_at = issue;
         completion.done_at = issue + DROP_LATENCY;
 
         // Service: the engine is a single server, so the request starts
         // when both it is admitted and the engine is free.
         let start_lb = issue.max(shard.busy_until);
+        if let SloPolicy::Deadline { budget_ns } = slo {
+            // Shed at dispatch: the request aged past its budget while
+            // queueing, so starting it now would only waste device time
+            // on an answer nobody is waiting for. It held a queue slot
+            // from admission until this instant.
+            if start_lb - now > budget_ns {
+                slots.push(start_lb);
+                shard.slots = slots;
+                shard.slo.shed += 1;
+                completion.done_at = start_lb;
+                completion.outcome = ReqOutcome::Shed;
+                self.pending.insert(token.0, completion);
+                return Ok(token);
+            }
+        }
         encode_key(req.key_index, self.key_size, &mut self.key_buf);
         match shard
             .experiment
@@ -333,17 +431,26 @@ impl Frontend {
                 shard.busy_until = done;
                 slots.push(done);
                 shard.slots = slots;
-                shard.load.requests += 1;
                 shard.load.served += 1;
                 shard.load.busy_ns += done - start;
                 shard.queue_delay.record(start - now);
                 completion.done_at = done;
                 completion.service_ns = done - start;
                 completion.outcome = ReqOutcome::Served;
+                shard.slo.served += 1;
+                // Clamp the estimator's observation to the deadline: an
+                // op that absorbs a compaction/GC stall can run 30x the
+                // typical service time, and folding that in raw can push
+                // the EWMA past the deadline — at which point even an
+                // idle shard rejects everything, nothing is served, and
+                // the estimate can never recover. Beyond the deadline
+                // the exact magnitude cannot change any admission
+                // decision anyway.
+                let estimator_cap = slo.deadline_ns().unwrap_or(Ns::MAX);
+                shard.observe_service(completion.service_ns.min(estimator_cap));
             }
             Served::OutOfSpace => {
                 shard.dead = true;
-                shard.load.requests += 1;
                 shard.load.dropped += 1;
             }
         }
@@ -377,25 +484,29 @@ impl Frontend {
         completion
     }
 
-    /// Collects one already-completed request (earliest `done_at`, then
-    /// token order) without advancing the clock.
+    /// Collects one already-completed request (earliest in the
+    /// completion order — `done_at`, then token) without advancing
+    /// the clock. Rejected and shed completions surface through the
+    /// same order as served ones, not after them.
     pub fn poll(&mut self) -> Option<ReqCompletion> {
         let key = self
             .pending
             .iter()
             .filter(|(_, c)| c.done_at <= self.now)
-            .min_by_key(|(t, c)| (c.done_at, **t))
+            .min_by_key(|(_, c)| completion_order(c))
             .map(|(t, _)| *t)?;
         self.pending.remove(&key)
     }
 
-    /// Advances the clock to the earliest outstanding completion and
-    /// returns it (`None` if nothing is pending).
+    /// Advances the clock to the earliest outstanding completion — of
+    /// *any* outcome; a rejection turned around at `REJECT_LATENCY` can
+    /// precede a served request submitted before it — and returns it
+    /// (`None` if nothing is pending).
     pub fn wait_any(&mut self) -> Option<ReqCompletion> {
         let key = self
             .pending
             .iter()
-            .min_by_key(|(t, c)| (c.done_at, **t))
+            .min_by_key(|(_, c)| completion_order(c))
             .map(|(t, _)| *t)?;
         let completion = self.pending.remove(&key).expect("key just found");
         self.now = self.now.max(completion.done_at);
@@ -403,10 +514,12 @@ impl Frontend {
     }
 
     /// Drains every pending completion, advancing the clock to the
-    /// latest; returns them ordered by (`done_at`, token).
+    /// latest; returns them in completion order (`done_at`, then
+    /// token), interleaving served, rejected and shed records by when
+    /// each actually resolved.
     pub fn wait_all(&mut self) -> Vec<ReqCompletion> {
         let mut all: Vec<ReqCompletion> = std::mem::take(&mut self.pending).into_values().collect();
-        all.sort_by_key(|c| (c.done_at, c.token));
+        all.sort_by_key(completion_order);
         if let Some(last) = all.last() {
             self.now = self.now.max(last.done_at);
         }
@@ -425,9 +538,42 @@ impl Frontend {
                 result: shard.experiment.finish(),
                 load: shard.load,
                 queue_delay: shard.queue_delay,
+                slo: shard.slo,
             })
             .collect()
     }
+}
+
+/// Pops freed slots (on the caller's scratch copy) until the queue is
+/// below `depth`, returning the virtual time at which the next request
+/// is admitted: `now` when a slot is free, otherwise the completion
+/// time of the outstanding request(s) that must drain first. Shared by
+/// actual admission and by [`SloPolicy::PredictedSojourn`]'s
+/// prediction, which is what makes the prediction exact.
+fn admission_time(slots: &mut Vec<Ns>, depth: usize, now: Ns) -> Ns {
+    let mut issue = now;
+    while slots.len() >= depth {
+        let (idx, &earliest) = slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &done)| done)
+            .expect("non-empty at depth");
+        issue = issue.max(earliest);
+        slots.swap_remove(idx);
+    }
+    issue
+}
+
+/// The total order completions are surfaced in by [`Frontend::poll`],
+/// [`Frontend::wait_any`] and [`Frontend::wait_all`]: completion time
+/// first, submission (token) order on ties — across *all* outcomes.
+/// Rejections resolve after [`REJECT_LATENCY`], so a request rejected
+/// at `t` must surface *before* an earlier-submitted request still
+/// queueing at `t + REJECT_LATENCY`; collectors that assumed served
+/// order == submission order would reorder exactly there (pinned by
+/// `collectors_interleave_diverging_outcomes_in_timestamp_order`).
+fn completion_order(c: &ReqCompletion) -> (Ns, ReqToken) {
+    (c.done_at, c.token)
 }
 
 /// Per-client driver state for [`run_frontend`].
@@ -514,6 +660,7 @@ pub fn run_frontend_with_results(cfg: &FrontendRun) -> Result<HarnessOutcome, Pt
     }
 
     let attach_serving_metrics = !cfg.is_conformant();
+    let attach_slo = cfg.slo.is_active();
     let shards = frontend.finish();
     let reports = shards
         .iter()
@@ -523,6 +670,9 @@ pub fn run_frontend_with_results(cfg: &FrontendRun) -> Result<HarnessOutcome, Pt
             if attach_serving_metrics {
                 report.queue_delay = Some(shard.queue_delay.clone());
                 report.load = Some(shard.load);
+            }
+            if attach_slo {
+                report.slo = Some(shard.slo);
             }
             report
         })
@@ -787,6 +937,236 @@ mod tests {
             .expect("submit");
         let served = fe.take(t1).expect("completion");
         assert_eq!(served.outcome, ReqOutcome::Served, "shard 1 still serves");
+    }
+
+    #[test]
+    fn queue_bound_rejects_at_the_bound_without_device_time() {
+        let mut cfg = FrontendRun::new(base(16 << 20), 1);
+        cfg.slo = SloPolicy::QueueBound { max_pending: 2 };
+        let mut fe = Frontend::new(&cfg).expect("frontend");
+        let update = |key| Request {
+            kind: OpKind::Update,
+            key_index: key,
+            value: vec![5; 64],
+        };
+        let t0 = fe.submit(update(1)).expect("submit");
+        let t1 = fe.submit(update(2)).expect("submit");
+        let t2 = fe.submit(update(3)).expect("submit");
+        let c0 = fe.take(t0).expect("completion");
+        let c1 = fe.take(t1).expect("completion");
+        let c2 = fe.take(t2).expect("completion");
+        assert_eq!(c0.outcome, ReqOutcome::Served);
+        assert_eq!(c1.outcome, ReqOutcome::Served);
+        assert_eq!(c2.outcome, ReqOutcome::Rejected, "third finds 2 pending");
+        assert_eq!(c2.service_ns, 0, "rejections never touch the device");
+        assert_eq!(c2.issued_at, c2.submitted_at, "rejections are never queued");
+        assert_eq!(c2.done_at, c2.submitted_at + REJECT_LATENCY);
+
+        // Once the pending requests complete, admission resumes.
+        fe.advance_to(c1.done_at);
+        let t3 = fe.submit(update(4)).expect("submit");
+        let c3 = fe.take(t3).expect("completion");
+        assert_eq!(c3.outcome, ReqOutcome::Served);
+
+        let shard = fe.finish().pop().expect("one shard");
+        assert_eq!(shard.slo.offered, 4);
+        assert_eq!(shard.slo.admitted, 3);
+        assert_eq!(shard.slo.rejected, 1);
+        assert_eq!(shard.slo.shed, 0);
+        assert_eq!(shard.slo.served, 3);
+        assert_eq!(
+            shard.slo.attainment(),
+            0.75,
+            "3 of 4 offered requests were served within the SLO"
+        );
+        assert_eq!(
+            shard.load.busy_ns,
+            c0.service_ns + c1.service_ns + c3.service_ns,
+            "engine busy time is exactly the served requests' service time \
+             (the rejected request contributed none)"
+        );
+    }
+
+    #[test]
+    fn predicted_sojourn_rejects_what_would_miss_the_deadline() {
+        use ptsbench_ssd::SECOND;
+        let mut cfg = FrontendRun::new(base(16 << 20), 1);
+        cfg.slo = SloPolicy::PredictedSojourn {
+            deadline_ns: 2 * SECOND,
+        };
+        let mut fe = Frontend::new(&cfg).expect("frontend");
+        let mut served = 0u64;
+        let mut rejected = 0u64;
+        for key in 0..30 {
+            let token = fe
+                .submit(Request {
+                    kind: OpKind::Update,
+                    key_index: key,
+                    value: vec![9; 64],
+                })
+                .expect("submit");
+            let c = fe.take(token).expect("completion");
+            match c.outcome {
+                ReqOutcome::Served => {
+                    served += 1;
+                    assert!(
+                        c.queue_delay() <= 2 * SECOND,
+                        "the admission prediction is exact, so no admitted \
+                         request may start past the deadline: {c:?}"
+                    );
+                }
+                ReqOutcome::Rejected => {
+                    rejected += 1;
+                    assert_eq!(c.service_ns, 0);
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert!(served >= 2, "the first requests fit the deadline");
+        assert!(
+            rejected > 0,
+            "30 simultaneous sub-second ops cannot all start within 2 s"
+        );
+    }
+
+    #[test]
+    fn deadline_policy_sheds_stale_requests_at_dispatch() {
+        use ptsbench_ssd::SECOND;
+        let mut cfg = FrontendRun::new(base(16 << 20), 1);
+        cfg.slo = SloPolicy::Deadline { budget_ns: SECOND };
+        let mut fe = Frontend::new(&cfg).expect("frontend");
+        let mut outcomes = Vec::new();
+        for key in 0..10 {
+            let token = fe
+                .submit(Request {
+                    kind: OpKind::Update,
+                    key_index: key,
+                    value: vec![3; 64],
+                })
+                .expect("submit");
+            outcomes.push(fe.take(token).expect("completion"));
+        }
+        let shed: Vec<_> = outcomes
+            .iter()
+            .filter(|c| c.outcome == ReqOutcome::Shed)
+            .collect();
+        let served = outcomes
+            .iter()
+            .filter(|c| c.outcome == ReqOutcome::Served)
+            .count();
+        assert!(served >= 1, "the first request is never past its budget");
+        assert!(!shed.is_empty(), "later requests age out while queued");
+        for c in &shed {
+            assert_eq!(c.service_ns, 0, "shed requests never touch the device");
+            assert!(
+                c.done_at - c.submitted_at > SECOND,
+                "a request is shed only once it is already past its budget: {c:?}"
+            );
+            assert!(c.issued_at <= c.done_at);
+        }
+        // The budget is an age cut, not a death sentence for the shard:
+        // an idle-system submission is served again.
+        fe.advance_to(20 * SECOND);
+        let token = fe
+            .submit(Request {
+                kind: OpKind::Update,
+                key_index: 11,
+                value: vec![4; 64],
+            })
+            .expect("submit");
+        assert_eq!(
+            fe.take(token).expect("completion").outcome,
+            ReqOutcome::Served
+        );
+
+        let shard = fe.finish().pop().expect("one shard");
+        assert_eq!(shard.slo.offered, 11);
+        assert_eq!(shard.slo.rejected, 0, "Deadline never rejects at submit");
+        assert_eq!(shard.slo.admitted, 11);
+        assert_eq!(shard.slo.shed, shed.len() as u64);
+        assert_eq!(shard.slo.served, served as u64 + 1);
+    }
+
+    #[test]
+    fn collectors_interleave_diverging_outcomes_in_timestamp_order() {
+        let mut cfg = FrontendRun::new(base(16 << 20), 1);
+        cfg.slo = SloPolicy::QueueBound { max_pending: 1 };
+        let mut fe = Frontend::new(&cfg).expect("frontend");
+        let update = |key| Request {
+            kind: OpKind::Update,
+            key_index: key,
+            value: vec![7; 64],
+        };
+        // A is admitted and served (sub-second service, well past the
+        // 1 ms rejection turnaround); B and C find the queue at its
+        // bound and are rejected, resolving at +REJECT_LATENCY — i.e.
+        // *before* the earlier-submitted A.
+        let a = fe.submit(update(1)).expect("submit");
+        let b = fe.submit(update(2)).expect("submit");
+        let c = fe.submit(update(3)).expect("submit");
+
+        // poll honors the clock and the cross-outcome order.
+        assert!(fe.poll().is_none(), "nothing has resolved at t=0");
+        fe.advance_to(REJECT_LATENCY);
+        let first = fe.poll().expect("rejections resolved at 1 ms");
+        assert_eq!((first.token, first.outcome), (b, ReqOutcome::Rejected));
+
+        // wait_any surfaces the earliest completion of any outcome:
+        // the remaining rejection precedes the served request even
+        // though the served one was submitted first.
+        let second = fe.wait_any().expect("pending");
+        assert_eq!((second.token, second.outcome), (c, ReqOutcome::Rejected));
+        let third = fe.wait_any().expect("pending");
+        assert_eq!((third.token, third.outcome), (a, ReqOutcome::Served));
+        assert!(second.done_at < third.done_at);
+        assert_eq!(fe.wait_any().map(|c| c.token), None);
+
+        // wait_all over a fresh identical scenario interleaves by
+        // (done_at, token), not by submission or outcome.
+        let mut fe = Frontend::new(&cfg).expect("frontend");
+        let a = fe.submit(update(1)).expect("submit");
+        let b = fe.submit(update(2)).expect("submit");
+        let c = fe.submit(update(3)).expect("submit");
+        let all = fe.wait_all();
+        assert_eq!(
+            all.iter().map(|c| c.token).collect::<Vec<_>>(),
+            vec![b, c, a],
+            "timestamp order, rejections first"
+        );
+        assert!(all
+            .windows(2)
+            .all(|w| (w[0].done_at, w[0].token) <= (w[1].done_at, w[1].token)));
+        assert_eq!(fe.now(), all.last().expect("non-empty").done_at);
+    }
+
+    #[test]
+    fn slo_accounting_lands_in_reports_only_when_a_policy_is_active() {
+        use ptsbench_workload::ArrivalSpec;
+        let serve = |slo: SloPolicy| {
+            let mut cfg = FrontendRun::new(base(32 << 20), 4);
+            cfg.shards = 2;
+            cfg.arrival = ArrivalSpec::OpenPoisson {
+                mean_interarrival_ns: MINUTE / 100,
+            };
+            cfg.slo = slo;
+            run_frontend(&cfg).expect("run")
+        };
+        let plain = serve(SloPolicy::None);
+        assert!(plain.slo_totals().is_none());
+        assert!(!plain.render().contains("slo"));
+
+        let bounded = serve(SloPolicy::QueueBound { max_pending: 2 });
+        let totals = bounded.slo_totals().expect("slo accounting");
+        assert!(totals.rejected > 0, "0.6 s mean interarrival must overload");
+        assert_eq!(totals.offered, totals.admitted + totals.rejected);
+        assert_eq!(totals.served, totals.admitted, "nothing shed by QueueBound");
+        assert!(bounded.label.ends_with("/slo-qb2"), "{}", bounded.label);
+        let text = bounded.render();
+        assert!(text.contains("slo: offered="));
+        assert!(text.contains("slo[adm="));
+        // Queue-delay samples exist only for served requests.
+        let qd = bounded.queue_delay.as_ref().expect("queue delay");
+        assert_eq!(qd.count(), totals.served);
     }
 
     #[test]

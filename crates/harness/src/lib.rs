@@ -35,6 +35,15 @@
 //!   processes over it; in its conformance shape it reproduces
 //!   [`run_sharded`] byte-identically (see
 //!   `tests/latency_conformance.rs`).
+//! * **Admission control and load shedding.** An
+//!   `ptsbench_core::frontend::SloPolicy` lets the dispatcher bound
+//!   per-shard pending work (`QueueBound`), reject requests whose
+//!   predicted sojourn would miss a deadline (`PredictedSojourn`), or
+//!   shed requests already past their budget at dispatch time
+//!   (`Deadline`). Turned-away requests resolve as
+//!   [`ReqOutcome::Rejected`] / [`ReqOutcome::Shed`] without consuming
+//!   device time, and per-shard `SloStats` (goodput, attainment) land
+//!   in the report — the `fig_slo` goodput-vs-offered-load curves.
 //!
 //! ```no_run
 //! use ptsbench_core::{RunConfig, ShardedRun};
@@ -54,5 +63,5 @@ mod frontend;
 pub use driver::{run_sharded, run_sharded_with_results, HarnessOutcome};
 pub use frontend::{
     run_frontend, run_frontend_with_results, Frontend, FrontendShardResult, ReqCompletion,
-    ReqOutcome, ReqToken, Request, DROP_LATENCY,
+    ReqOutcome, ReqToken, Request, DROP_LATENCY, REJECT_LATENCY,
 };

@@ -4,14 +4,14 @@
 //! imbalance metrics render deterministically (the regression the CI
 //! determinism checks rely on).
 
-use ptsbench_core::frontend::FrontendRun;
+use ptsbench_core::frontend::{FrontendRun, SloPolicy};
 use ptsbench_core::registry::EngineKind;
 use ptsbench_core::runner::RunConfig;
 use ptsbench_core::sharded::Sharding;
 use ptsbench_harness::run_frontend;
 use ptsbench_metrics::runreport::RunReport;
-use ptsbench_ssd::MINUTE;
-use ptsbench_workload::KeyDistribution;
+use ptsbench_ssd::{MINUTE, SECOND};
+use ptsbench_workload::{ArrivalSpec, KeyDistribution};
 
 /// 8 closed-loop clients, 4 shards, Zipfian keys.
 fn serve(sharding: Sharding) -> RunReport {
@@ -59,6 +59,104 @@ fn hashed_routing_bounds_the_request_imbalance_contiguous_suffers() {
     assert!(
         contiguous_p99 > hashed_p99,
         "hot-shard queueing: contiguous p99 {contiguous_p99} vs hashed {hashed_p99}"
+    );
+}
+
+/// Statistical regression for admission control under skew: with
+/// Zipfian keys over contiguous slices, the hot prefix shard is the
+/// only part of the fleet past saturation, so `PredictedSojourn`
+/// shedding must concentrate its rejections there — the cold shards
+/// keep admitting nearly everything — while every admitted request
+/// still starts service within the deadline on every shard. Fixed
+/// seeds, fixed thresholds.
+#[test]
+fn predicted_sojourn_concentrates_rejections_on_the_hot_shard() {
+    const DEADLINE: u64 = 2 * SECOND;
+    let mut cfg = FrontendRun::new(
+        RunConfig {
+            engine: EngineKind::lsm(),
+            device_bytes: 64 << 20,
+            distribution: KeyDistribution::Zipfian { theta: 0.99 },
+            read_fraction: 0.5,
+            duration: 10 * MINUTE,
+            sample_window: 5 * MINUTE,
+            ..RunConfig::default()
+        },
+        8,
+    );
+    cfg.shards = 4;
+    cfg.sharding = Sharding::Contiguous;
+    // ~4 requests/s offered in aggregate: past the hot shard's ~1.5/s
+    // capacity once Zipfian routing concentrates the traffic, while
+    // the cold shards idle far below theirs.
+    cfg.arrival = ArrivalSpec::OpenPoisson {
+        mean_interarrival_ns: 2 * SECOND,
+    };
+    cfg.slo = SloPolicy::PredictedSojourn {
+        deadline_ns: DEADLINE,
+    };
+    let report = run_frontend(&cfg).expect("frontend run");
+
+    // Rejections concentrate on the hot prefix shard.
+    let slo: Vec<_> = report
+        .shards
+        .iter()
+        .map(|s| s.slo.expect("slo accounting"))
+        .collect();
+    let hot = &slo[0];
+    let cold_rejected: u64 = slo[1..].iter().map(|s| s.rejected).sum();
+    assert!(
+        hot.rejected >= 50,
+        "the hot shard must reject in volume, got {}",
+        hot.rejected
+    );
+    assert!(
+        hot.rejected > 10 * cold_rejected.max(1),
+        "rejections must concentrate on the hot shard: hot={} cold-total={}",
+        hot.rejected,
+        cold_rejected
+    );
+    let cold_attainment = slo[1..].iter().map(|s| s.attainment()).fold(1.0, f64::min);
+    assert!(
+        cold_attainment > 0.9,
+        "cold shards stay below saturation and admit nearly everything, \
+         got min attainment {cold_attainment}"
+    );
+    assert!(
+        hot.attainment() < 0.7,
+        "the hot shard must shed a real fraction of its offered load, \
+         got {}",
+        hot.attainment()
+    );
+
+    // Admitted requests start within the deadline — exactly (the
+    // histogram max is tracked unbucketed), on every shard, including
+    // the overloaded one.
+    let qd = report.queue_delay.as_ref().expect("queue delay");
+    assert!(
+        qd.max() <= DEADLINE,
+        "admitted queue delay must never exceed the deadline: {} > {DEADLINE}",
+        qd.max()
+    );
+    // And the p99 the figure quotes respects it too (bucketed quantiles
+    // resolve to an upper bucket edge, ~4% wide).
+    let p99 = report.queue_delay_quantile(0.99).expect("p99");
+    assert!(
+        p99 <= DEADLINE + DEADLINE / 20,
+        "admitted p99 queue delay out of bounds: {p99}"
+    );
+    // The overload is real: the hot shard's engine stays busier than
+    // any cold one.
+    let loads: Vec<_> = report
+        .shards
+        .iter()
+        .map(|s| s.load.expect("load"))
+        .collect();
+    assert!(
+        loads[0].utilization() > 2.0 * loads[3].utilization(),
+        "hot {} vs coldest {}",
+        loads[0].utilization(),
+        loads[3].utilization()
     );
 }
 

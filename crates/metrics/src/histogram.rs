@@ -110,6 +110,39 @@ impl LatencyHistogram {
         self.max_ns
     }
 
+    /// Fraction of observations at or below `ns` (1.0 for an empty
+    /// histogram). Bucketed like everything else here: a bucket counts
+    /// as "at most `ns`" only when its whole range is, so the answer is
+    /// a lower bound within one bucket width (~4%). SLO-attainment
+    /// estimates for runs *without* an admission policy — where no
+    /// per-request conformance counter exists — read off this.
+    pub fn fraction_at_most(&self, ns: u64) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        if ns >= self.max_ns {
+            return 1.0;
+        }
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            // The final bucket absorbs everything past the nominal
+            // range (`bucket_of` clamps), so its true upper edge is the
+            // exact max — using the nominal edge would count clamped
+            // observations larger than `ns` and break the lower-bound
+            // guarantee. `ns < max_ns` here, so it never qualifies.
+            let edge = if i == BUCKETS - 1 {
+                self.max_ns
+            } else {
+                (BASE_NS * GROWTH.powi(i as i32 + 1)) as u64
+            };
+            if edge > ns {
+                break;
+            }
+            cum += c;
+        }
+        cum as f64 / self.total as f64
+    }
+
     /// The empirical CDF as `(upper bucket edge ns, cumulative
     /// fraction)` points, one per non-empty bucket. The final point's
     /// fraction is exactly 1.0. This is the distribution view the
@@ -228,6 +261,44 @@ mod tests {
             .find(|&&(edge, _)| edge >= p50)
             .expect("median bucket present");
         assert!((at_median.1 - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn fraction_at_most_tracks_the_cdf() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.fraction_at_most(0), 1.0, "empty histogram misses nothing");
+
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 1_000); // 1us .. 1ms uniform
+        }
+        assert_eq!(h.fraction_at_most(h.max()), 1.0);
+        assert_eq!(h.fraction_at_most(u64::MAX), 1.0);
+        let half = h.fraction_at_most(500_000);
+        assert!(
+            (half - 0.5).abs() < 0.1,
+            "half the observations sit below the midpoint: {half}"
+        );
+        assert!(h.fraction_at_most(500) < 0.01, "almost nothing below 500ns");
+        // Monotone in the threshold.
+        assert!(h.fraction_at_most(100_000) <= h.fraction_at_most(200_000));
+    }
+
+    #[test]
+    fn fraction_at_most_stays_a_lower_bound_in_the_clamped_bucket() {
+        // Observations past the nominal bucket range (~2.2 simulated
+        // hours) clamp into the final bucket; a threshold between two
+        // such observations must not count the bucket wholesale and
+        // report 1.0 while larger observations exist.
+        let mut h = LatencyHistogram::new();
+        h.record(9_000_000_000_000); // ~2.5 h
+        h.record(20_000_000_000_000); // ~5.6 h
+        let f = h.fraction_at_most(10_000_000_000_000);
+        assert!(
+            f < 1.0,
+            "an observation above the threshold exists, got {f}"
+        );
+        assert_eq!(h.fraction_at_most(20_000_000_000_000), 1.0);
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //!   histograms/series folded into one deterministic [`RunReport`];
 //! * [`load`] — per-shard serving-load accounting ([`ShardLoad`]) and
 //!   cross-shard imbalance summaries ([`LoadImbalance`]) for comparing
-//!   contiguous vs hashed sharding under skew.
+//!   contiguous vs hashed sharding under skew;
+//! * [`slo`] — SLO accounting under admission control ([`SloStats`]):
+//!   admitted/rejected/shed counts, goodput and attainment, the axes of
+//!   the goodput-vs-offered-load curves `fig_slo` plots.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,6 +37,7 @@ pub mod lifetime;
 pub mod load;
 pub mod report;
 pub mod runreport;
+pub mod slo;
 pub mod timeseries;
 pub mod wa;
 
@@ -44,5 +48,6 @@ pub use histogram::LatencyHistogram;
 pub use lifetime::EnduranceModel;
 pub use load::{LoadImbalance, ShardLoad};
 pub use runreport::{RunReport, ShardReport};
+pub use slo::SloStats;
 pub use timeseries::TimeSeries;
 pub use wa::WaBreakdown;

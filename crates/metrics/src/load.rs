@@ -10,7 +10,9 @@
 /// One shard's serving-load accounting over a front-end run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ShardLoad {
-    /// Requests the dispatcher routed to this shard (served + dropped).
+    /// Requests the dispatcher routed to this shard — everything
+    /// offered, i.e. served + dropped, plus any requests an active
+    /// admission policy rejected or shed.
     pub requests: u64,
     /// Requests the shard's engine actually executed.
     pub served: u64,

@@ -15,6 +15,7 @@
 use crate::histogram::LatencyHistogram;
 use crate::load::{LoadImbalance, ShardLoad};
 use crate::report::render_series_table;
+use crate::slo::SloStats;
 use crate::timeseries::TimeSeries;
 
 /// Submission-queue depth summary of one shard: how deep its engine's
@@ -60,6 +61,12 @@ pub struct ShardReport {
     /// driven through the front-end; same `None` contract as
     /// [`ShardReport::queue_delay`].
     pub load: Option<ShardLoad>,
+    /// SLO accounting (admitted/rejected/shed, goodput) when the
+    /// front-end ran with an *active* admission policy. `None` — and
+    /// unrendered — otherwise, so policy-free reports stay
+    /// byte-identical to pre-SLO output (pinned in
+    /// `tests/slo_conformance.rs`).
+    pub slo: Option<SloStats>,
     /// Additive per-window series (throughput, device MB/s, ...). All
     /// shards must emit the same series names in the same order, on the
     /// same window boundaries.
@@ -184,6 +191,21 @@ impl RunReport {
         LoadImbalance::from_shards(&loads)
     }
 
+    /// Fleet-level SLO accounting, folded over every shard that
+    /// reported it (`None` when none did — i.e. no admission policy was
+    /// active). Counters sum; the span stays the shared measurement
+    /// window, so [`SloStats::goodput_per_sec`] is the fleet rate.
+    pub fn slo_totals(&self) -> Option<SloStats> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.slo.as_ref())
+            .fold(None, |acc, s| {
+                let mut total = acc.unwrap_or_default();
+                total.merge(s);
+                Some(total)
+            })
+    }
+
     /// Deterministic plain-text rendering (byte-identical for
     /// byte-identical inputs): an aggregate header, one aligned table
     /// of all merged series (via [`render_series_table`]), the merged
@@ -225,9 +247,13 @@ impl RunReport {
             out.push_str(&imbalance.render());
             out.push('\n');
         }
+        if let Some(slo) = self.slo_totals() {
+            out.push_str(&slo.render());
+            out.push('\n');
+        }
         for shard in &self.shards {
             out.push_str(&format!(
-                "{}: ops={} app_bytes={} host_bytes={}{}{}{}{}\n",
+                "{}: ops={} app_bytes={} host_bytes={}{}{}{}{}{}\n",
                 shard.name,
                 shard.ops,
                 shard.app_bytes,
@@ -245,6 +271,10 @@ impl RunReport {
                 },
                 match &shard.load {
                     Some(load) => format!(" {}", load.render_compact()),
+                    None => String::new(),
+                },
+                match &shard.slo {
+                    Some(slo) => format!(" {}", slo.render_compact()),
                     None => String::new(),
                 },
                 if shard.out_of_space {
@@ -290,6 +320,7 @@ mod tests {
             io_depth: None,
             queue_delay: None,
             load: None,
+            slo: None,
             series: vec![series],
         }
     }
@@ -414,6 +445,48 @@ mod tests {
         let imbalance = served.load_imbalance().expect("imbalance");
         assert_eq!(imbalance.max_requests, 40);
         assert_eq!(imbalance.min_requests, 10);
+    }
+
+    #[test]
+    fn slo_stats_render_only_when_present() {
+        // Absent: the report must render exactly as before admission
+        // control existed (the slo_conformance-suite contract).
+        let plain = RunReport::merge("x", 1, vec![shard("shard0", 5, &[1_000], &[1.0])]);
+        let plain_text = plain.render();
+        assert!(plain.slo_totals().is_none());
+        assert!(!plain_text.contains("slo"));
+
+        // Present: the fleet footer sums shard counters and each shard
+        // line carries its compact accounting.
+        let mut a = shard("shard0", 5, &[1_000], &[1.0]);
+        a.slo = Some(SloStats {
+            offered: 100,
+            admitted: 90,
+            rejected: 10,
+            shed: 2,
+            served: 88,
+            span_ns: 1_000_000_000,
+        });
+        let mut b = shard("shard1", 5, &[1_000], &[1.0]);
+        b.slo = Some(SloStats {
+            offered: 50,
+            admitted: 50,
+            rejected: 0,
+            shed: 0,
+            served: 50,
+            span_ns: 1_000_000_000,
+        });
+        let report = RunReport::merge("x", 2, vec![a, b]);
+        let totals = report.slo_totals().expect("slo totals");
+        assert_eq!(totals.offered, 150);
+        assert_eq!(totals.rejected, 10);
+        assert_eq!(totals.served, 138);
+        assert_eq!(totals.span_ns, 1_000_000_000);
+        let text = report.render();
+        assert!(text.contains("slo: offered=150 admitted=140 rejected=10 shed=2 served=138"));
+        assert!(text.contains("goodput=138.0/s"));
+        assert!(text.contains("slo[adm=90 rej=10 shed=2 att=0.8800]"));
+        assert!(text.contains("slo[adm=50 rej=0 shed=0 att=1.0000]"));
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Per-shard SLO accounting: admission, shedding, goodput, attainment.
+//!
+//! The serving front-end's admission policies turn overload from an
+//! unbounded histogram tail into explicit counters: how much load was
+//! *offered* to each shard, how much the dispatcher admitted, how much
+//! it turned away at submission (rejected) or dropped at dispatch
+//! (shed), and how much of the served work met the configured deadline.
+//! Goodput — conformant completions per second — is the quantity a
+//! goodput-vs-offered-load curve plots: past saturation it plateaus
+//! under a shedding policy and collapses without one (the `fig_slo`
+//! experiment).
+
+/// One shard's SLO accounting over a front-end run. All counters are
+/// exact (no sampling); the invariants
+/// `offered >= admitted + rejected` (out-of-space drops are neither)
+/// and `served + shed <= admitted` hold by construction and are
+/// property-tested in `crates/harness/tests/proptest_slo.rs`.
+///
+/// `served` *is* goodput under an active policy: admission is
+/// deterministic, so every admitted-and-served request met its
+/// admission-time guarantee (started within the queue-delay budget) —
+/// the requests that would have missed it were rejected or shed
+/// instead, and never consumed device time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SloStats {
+    /// Requests the dispatcher routed to this shard.
+    pub offered: u64,
+    /// Requests admitted into the shard's dispatch queue.
+    pub admitted: u64,
+    /// Requests refused at submission (never queued, never touched the
+    /// device).
+    pub rejected: u64,
+    /// Requests admitted but dropped at dispatch time, past their
+    /// budget before the engine could start them (queued, but never
+    /// touched the device).
+    pub shed: u64,
+    /// Requests the engine actually executed — each within its
+    /// admission-time guarantee.
+    pub served: u64,
+    /// Virtual span the counters are measured over (the configured
+    /// duration of the measured phase).
+    pub span_ns: u64,
+}
+
+impl SloStats {
+    /// Served (= SLO-conformant) completions per virtual second — the
+    /// y-axis of a goodput-vs-offered-load curve.
+    pub fn goodput_per_sec(&self) -> f64 {
+        if self.span_ns == 0 {
+            0.0
+        } else {
+            self.served as f64 / (self.span_ns as f64 / 1e9)
+        }
+    }
+
+    /// Offered requests per virtual second (the x-axis of the curve).
+    pub fn offered_per_sec(&self) -> f64 {
+        if self.span_ns == 0 {
+            0.0
+        } else {
+            self.offered as f64 / (self.span_ns as f64 / 1e9)
+        }
+    }
+
+    /// Fraction of *offered* load that was served within the SLO —
+    /// rejections and sheds count against attainment, because a
+    /// turned-away client did not get service (1.0 for an idle shard).
+    pub fn attainment(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.served as f64 / self.offered as f64
+        }
+    }
+
+    /// Folds another shard's counters into this one (used by the
+    /// run-level report). Spans are maximized, not summed: parallel
+    /// shards measure the same virtual window, so fleet goodput is the
+    /// sum of per-shard rates.
+    pub fn merge(&mut self, other: &SloStats) {
+        self.offered = self.offered.saturating_add(other.offered);
+        self.admitted = self.admitted.saturating_add(other.admitted);
+        self.rejected = self.rejected.saturating_add(other.rejected);
+        self.shed = self.shed.saturating_add(other.shed);
+        self.served = self.served.saturating_add(other.served);
+        self.span_ns = self.span_ns.max(other.span_ns);
+    }
+
+    /// Deterministic compact rendering for per-shard report lines.
+    pub fn render_compact(&self) -> String {
+        format!(
+            "slo[adm={} rej={} shed={} att={:.4}]",
+            self.admitted,
+            self.rejected,
+            self.shed,
+            self.attainment()
+        )
+    }
+
+    /// Deterministic one-line rendering for run-level report footers.
+    pub fn render(&self) -> String {
+        format!(
+            "slo: offered={} admitted={} rejected={} shed={} served={} \
+             goodput={:.1}/s attainment={:.4}",
+            self.offered,
+            self.admitted,
+            self.rejected,
+            self.shed,
+            self.served,
+            self.goodput_per_sec(),
+            self.attainment()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SloStats {
+        SloStats {
+            offered: 100,
+            admitted: 80,
+            rejected: 20,
+            shed: 10,
+            served: 70,
+            span_ns: 2_000_000_000, // 2 virtual seconds
+        }
+    }
+
+    #[test]
+    fn rates_divide_by_the_virtual_span() {
+        let s = stats();
+        assert!((s.goodput_per_sec() - 35.0).abs() < 1e-12);
+        assert!((s.offered_per_sec() - 50.0).abs() < 1e-12);
+        assert!((s.attainment() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = SloStats::default();
+        assert_eq!(s.goodput_per_sec(), 0.0);
+        assert_eq!(s.offered_per_sec(), 0.0);
+        assert_eq!(s.attainment(), 1.0, "an idle shard misses no SLO");
+    }
+
+    #[test]
+    fn merge_sums_counters_but_not_spans() {
+        let mut a = stats();
+        let mut b = stats();
+        b.span_ns = 3_000_000_000;
+        a.merge(&b);
+        assert_eq!(a.offered, 200);
+        assert_eq!(a.admitted, 160);
+        assert_eq!(a.rejected, 40);
+        assert_eq!(a.shed, 20);
+        assert_eq!(a.served, 140);
+        assert_eq!(a.span_ns, 3_000_000_000, "spans overlap, they do not add");
+    }
+
+    #[test]
+    fn renders_are_deterministic_and_complete() {
+        let a = stats().render();
+        assert_eq!(a, stats().render());
+        assert_eq!(
+            a,
+            "slo: offered=100 admitted=80 rejected=20 shed=10 served=70 \
+             goodput=35.0/s attainment=0.7000"
+        );
+        assert_eq!(
+            stats().render_compact(),
+            "slo[adm=80 rej=20 shed=10 att=0.7000]"
+        );
+    }
+}

@@ -59,6 +59,47 @@ impl ArrivalSpec {
         }
     }
 
+    /// The same arrival process at `factor`× the offered load: open
+    /// loops divide their (mean) interarrival gap by the factor, so
+    /// `at_load_factor(2.0)` submits twice as fast and
+    /// `at_load_factor(0.5)` half as fast (gaps are floored at 1 ns).
+    /// Closed loops are self-regulating — their offered load is set by
+    /// completions, not by a rate — so the factor rescales think time
+    /// instead (a zero-think loop is already at maximum pressure and
+    /// comes back unchanged).
+    ///
+    /// This is the knob a goodput-vs-offered-load sweep turns: fix the
+    /// saturation-rate process once, then sweep multiples of it (the
+    /// `fig_slo` experiment drives 0.2× → 3×).
+    pub fn at_load_factor(&self, factor: f64) -> ArrivalSpec {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "load factor must be a positive finite number, got {factor}"
+        );
+        let scale = |ns: u64| ((ns as f64 / factor).round() as u64).max(1);
+        match *self {
+            ArrivalSpec::Closed { think_ns } => ArrivalSpec::Closed {
+                // More load = less think; 0 stays 0 (already maximal).
+                think_ns: if think_ns == 0 { 0 } else { scale(think_ns) },
+            },
+            ArrivalSpec::Open { interarrival_ns } => ArrivalSpec::Open {
+                interarrival_ns: scale(interarrival_ns),
+            },
+            ArrivalSpec::OpenPoisson {
+                mean_interarrival_ns,
+            } => ArrivalSpec::OpenPoisson {
+                mean_interarrival_ns: scale(mean_interarrival_ns),
+            },
+        }
+    }
+
+    /// This process swept across offered-load multipliers, in the given
+    /// order: one spec per factor, each [`ArrivalSpec::at_load_factor`]
+    /// of `self`.
+    pub fn offered_load_sweep(&self, factors: &[f64]) -> Vec<ArrivalSpec> {
+        factors.iter().map(|&f| self.at_load_factor(f)).collect()
+    }
+
     /// Panics with a description if the specification is degenerate.
     pub fn validate(&self) {
         match self {
@@ -252,5 +293,92 @@ mod tests {
     #[should_panic(expected = "interarrival must be > 0")]
     fn zero_rate_open_loop_is_rejected() {
         ArrivalClock::new(ArrivalSpec::Open { interarrival_ns: 0 }, 1);
+    }
+
+    #[test]
+    fn load_factors_scale_open_rates_and_rescale_think_time() {
+        let open = ArrivalSpec::Open {
+            interarrival_ns: 1_000,
+        };
+        assert_eq!(
+            open.at_load_factor(2.0),
+            ArrivalSpec::Open {
+                interarrival_ns: 500
+            }
+        );
+        assert_eq!(
+            open.at_load_factor(0.5),
+            ArrivalSpec::Open {
+                interarrival_ns: 2_000
+            }
+        );
+        assert_eq!(open.at_load_factor(1.0), open);
+        // Gaps never collapse to zero, no matter the factor.
+        assert_eq!(
+            ArrivalSpec::Open { interarrival_ns: 3 }.at_load_factor(1e9),
+            ArrivalSpec::Open { interarrival_ns: 1 }
+        );
+
+        let poisson = ArrivalSpec::OpenPoisson {
+            mean_interarrival_ns: 900,
+        };
+        assert_eq!(
+            poisson.at_load_factor(3.0),
+            ArrivalSpec::OpenPoisson {
+                mean_interarrival_ns: 300
+            }
+        );
+
+        let think = ArrivalSpec::Closed { think_ns: 800 };
+        assert_eq!(
+            think.at_load_factor(2.0),
+            ArrivalSpec::Closed { think_ns: 400 },
+            "closed loops scale think time, not a rate"
+        );
+        let saturated = ArrivalSpec::Closed { think_ns: 0 };
+        assert_eq!(
+            saturated.at_load_factor(5.0),
+            saturated,
+            "a zero-think loop is already at maximum pressure"
+        );
+    }
+
+    #[test]
+    fn offered_load_sweeps_cover_each_factor_in_order() {
+        let base = ArrivalSpec::OpenPoisson {
+            mean_interarrival_ns: 6_000,
+        };
+        let sweep = base.offered_load_sweep(&[0.2, 0.5, 1.0, 2.0, 3.0]);
+        assert_eq!(sweep.len(), 5);
+        assert_eq!(
+            sweep,
+            vec![
+                ArrivalSpec::OpenPoisson {
+                    mean_interarrival_ns: 30_000
+                },
+                ArrivalSpec::OpenPoisson {
+                    mean_interarrival_ns: 12_000
+                },
+                base,
+                ArrivalSpec::OpenPoisson {
+                    mean_interarrival_ns: 3_000
+                },
+                ArrivalSpec::OpenPoisson {
+                    mean_interarrival_ns: 2_000
+                },
+            ]
+        );
+        for spec in &sweep {
+            spec.validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn degenerate_load_factors_are_rejected() {
+        ArrivalSpec::Open {
+            interarrival_ns: 1_000,
+        }
+        .at_load_factor(0.0);
     }
 }
