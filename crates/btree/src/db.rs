@@ -179,6 +179,14 @@ impl BTreeDb {
         self.pager.stats()
     }
 
+    /// The page-cache traffic in shared-[`ptsbench_cache::CacheStats`] terms, symmetric
+    /// with the other engines' `cache_stats` accessors. The B+Tree
+    /// always runs its pager cache, so this is never `None`-like: the
+    /// counters are live from the first read.
+    pub fn cache_stats(&self) -> ptsbench_cache::CacheStats {
+        self.pager.stats().cache
+    }
+
     /// Number of live entries.
     pub fn len(&self) -> u64 {
         self.entries

@@ -9,18 +9,23 @@
 
 use std::collections::HashMap;
 
+use ptsbench_cache::CacheStats;
 use ptsbench_vfs::{FileId, Vfs};
 
 use crate::node::Node;
 use crate::{BTreeError, PageNo, Result};
 
-/// Cumulative pager statistics.
+/// Cumulative pager statistics. The caching traffic (hits, misses,
+/// admissions, evictions, device bytes saved) uses the same
+/// [`CacheStats`] accounting as the shared block cache so reports
+/// render page-cache and block-cache behavior identically; the
+/// write-back counters are pager-specific.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PagerStats {
-    /// Cache hits.
-    pub hits: u64,
-    /// Cache misses (page reads from the filesystem).
-    pub misses: u64,
+    /// Page-cache traffic in block-cache terms: a hit serves a decoded
+    /// page from memory (saving one page-sized device read), a miss
+    /// reads and admits it, an eviction writes back and drops LRU.
+    pub cache: CacheStats,
     /// Dirty pages written back (evictions + checkpoints).
     pub writebacks: u64,
     /// Pages allocated.
@@ -175,10 +180,11 @@ impl Pager {
         let clock = self.access_clock;
         if let Some(c) = self.cache.get_mut(&page) {
             c.last_access = clock;
-            self.stats.hits += 1;
+            self.stats.cache.hits += 1;
+            self.stats.cache.bytes_saved += self.page_bytes as u64;
             return Ok(c.node.clone());
         }
-        self.stats.misses += 1;
+        self.stats.cache.misses += 1;
         let buf = self
             .vfs
             .read_at(self.file, page * self.page_bytes as u64, self.page_bytes)?;
@@ -214,6 +220,7 @@ impl Pager {
 
     fn insert_cached(&mut self, page: PageNo, node: Node, dirty: bool) -> Result<()> {
         self.access_clock += 1;
+        self.stats.cache.admissions += 1;
         self.cached_bytes += node.encoded_len() as u64;
         self.cache.insert(
             page,
@@ -237,6 +244,7 @@ impl Pager {
             self.flush_page(victim)?;
             let c = self.cache.remove(&victim).expect("victim cached");
             self.cached_bytes -= c.node.encoded_len() as u64;
+            self.stats.cache.evictions += 1;
         }
         Ok(())
     }
@@ -324,11 +332,18 @@ mod tests {
             .map(|i| p.allocate(leaf(i, 3000)).expect("alloc"))
             .collect();
         assert!(p.stats().writebacks > 0, "evictions must write dirty pages");
+        assert!(p.stats().cache.evictions > 0);
         // Everything still readable (from disk where evicted).
         for (i, &page) in pages.iter().enumerate() {
             assert_eq!(p.read(page).expect("read"), leaf(i as u8, 3000));
         }
-        assert!(p.stats().misses > 0);
+        let s = p.stats().cache;
+        assert!(s.misses > 0);
+        assert_eq!(
+            s.bytes_saved,
+            s.hits * 4096,
+            "every hit credits one page of avoided device reads"
+        );
     }
 
     #[test]

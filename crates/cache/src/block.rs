@@ -1,0 +1,355 @@
+//! The shard-shared block cache: segmented LRU under a byte budget,
+//! fronted by a TinyLFU admission gate.
+//!
+//! Structure follows the W-TinyLFU design (Einziger et al.): a
+//! candidate block enters a *probation* segment; a hit while resident
+//! promotes it to the *protected* segment (capped at 80% of the
+//! budget, demotions return to probation's MRU end). When the budget is
+//! full, the eviction victim is probation's LRU entry — but before it
+//! is evicted the count-min sketch compares the candidate's recent
+//! access frequency against the victim's, and the **candidate** is
+//! turned away if it does not win. One-hit-wonder scan traffic
+//! therefore cannot flush a working set that keeps proving its
+//! popularity.
+//!
+//! Determinism: recency order lives in `BTreeMap`s keyed by a
+//! monotonic access sequence, so eviction order — and every counter in
+//! [`CacheStats`] — is a pure function of the access stream.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use ptsbench_metrics::CacheStats;
+
+use crate::sketch::CountMinSketch;
+
+/// Cache key: a stable file tag (hash of the file *name*, not the
+/// reusable vfs `FileId`) and a byte offset within that file.
+pub type CacheKey = (u64, u64);
+
+/// Hashes a file name to a stable cache tag (FNV-1a). File names are
+/// unique for the lifetime of a run (`sst-...-N`, `hlog-NNNNNNNN.log`),
+/// unlike vfs file ids, which the allocator may reuse after deletion.
+pub fn file_tag(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Protected segment ceiling, in 1/5ths of the budget (4/5 = 80%).
+const PROTECTED_NUM: u64 = 4;
+const PROTECTED_DEN: u64 = 5;
+
+#[derive(Debug)]
+struct Entry {
+    data: Arc<Vec<u8>>,
+    /// Device bytes a hit on this entry avoids reading (the on-disk —
+    /// possibly compressed — length, not the resident length).
+    device_len: u64,
+    seq: u64,
+    protected: bool,
+}
+
+/// A fixed-budget segmented-LRU cache of uncompressed blocks with
+/// TinyLFU admission. Shared behind [`SharedBlockCache`] by every
+/// component of one engine instance.
+#[derive(Debug)]
+pub struct BlockCache {
+    budget: u64,
+    used: u64,
+    protected_bytes: u64,
+    seq: u64,
+    entries: HashMap<CacheKey, Entry>,
+    /// Recency order (access seq -> key) per segment.
+    probation: BTreeMap<u64, CacheKey>,
+    protected: BTreeMap<u64, CacheKey>,
+    sketch: CountMinSketch,
+    stats: CacheStats,
+}
+
+impl BlockCache {
+    /// Creates a cache bounded by `budget` resident bytes. The TinyLFU
+    /// sketch is sized for the number of ~4 KiB blocks the budget can
+    /// hold.
+    pub fn new(budget: u64) -> Self {
+        Self {
+            budget,
+            used: 0,
+            protected_bytes: 0,
+            seq: 0,
+            entries: HashMap::new(),
+            probation: BTreeMap::new(),
+            protected: BTreeMap::new(),
+            sketch: CountMinSketch::new((budget / 4096).max(64) as usize),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Creates a cache already wrapped for sharing across shards.
+    pub fn shared(budget: u64) -> SharedBlockCache {
+        Arc::new(Mutex::new(Self::new(budget)))
+    }
+
+    fn fingerprint(key: &CacheKey) -> u64 {
+        key.0 ^ key.1.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Looks up a block, recording the access in the TinyLFU sketch
+    /// either way. A hit promotes the entry to the protected segment
+    /// and credits the device bytes the hit avoided.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
+        self.sketch.record(Self::fingerprint(key));
+        let (data, promote_from_probation) = match self.entries.get(key) {
+            Some(e) => {
+                self.stats.hits += 1;
+                self.stats.bytes_saved += e.device_len;
+                (Arc::clone(&e.data), !e.protected)
+            }
+            None => {
+                self.stats.misses += 1;
+                return None;
+            }
+        };
+        let seq = self.next_seq();
+        let e = self.entries.get_mut(key).expect("entry checked above");
+        let old_seq = std::mem::replace(&mut e.seq, seq);
+        if promote_from_probation {
+            e.protected = true;
+            self.probation.remove(&old_seq);
+            self.protected_bytes += data.len() as u64;
+        } else {
+            self.protected.remove(&old_seq);
+        }
+        self.protected.insert(seq, *key);
+        self.rebalance_protected();
+        Some(data)
+    }
+
+    /// Demotes protected-LRU entries to probation's MRU end until the
+    /// protected segment fits its 80% ceiling.
+    fn rebalance_protected(&mut self) {
+        let cap = self.budget * PROTECTED_NUM / PROTECTED_DEN;
+        while self.protected_bytes > cap {
+            let Some((&old_seq, &key)) = self.protected.iter().next() else {
+                break;
+            };
+            self.protected.remove(&old_seq);
+            let seq = self.next_seq();
+            let e = self.entries.get_mut(&key).expect("segment entry resident");
+            e.seq = seq;
+            e.protected = false;
+            self.protected_bytes -= e.data.len() as u64;
+            self.probation.insert(seq, key);
+        }
+    }
+
+    /// The current eviction victim: probation's LRU entry, falling back
+    /// to protected-LRU when probation is empty.
+    fn victim(&self) -> Option<CacheKey> {
+        self.probation
+            .values()
+            .next()
+            .or_else(|| self.protected.values().next())
+            .copied()
+    }
+
+    fn evict(&mut self, key: CacheKey) {
+        let e = self.entries.remove(&key).expect("victim is resident");
+        if e.protected {
+            self.protected.remove(&e.seq);
+            self.protected_bytes -= e.data.len() as u64;
+        } else {
+            self.probation.remove(&e.seq);
+        }
+        self.used -= e.data.len() as u64;
+        self.stats.evictions += 1;
+    }
+
+    /// Offers a block for admission. `device_len` is the on-disk length
+    /// a future hit will avoid reading. The TinyLFU gate runs only when
+    /// an eviction would be needed: the candidate must estimate
+    /// strictly more popular than the victim, otherwise the *candidate*
+    /// is rejected and the resident set is left untouched.
+    pub fn insert(&mut self, key: CacheKey, data: Arc<Vec<u8>>, device_len: u64) {
+        if self.entries.contains_key(&key) {
+            return; // Raced with another shard's load; already resident.
+        }
+        let len = data.len() as u64;
+        if len == 0 || len > self.budget {
+            self.stats.rejections += 1;
+            return;
+        }
+        let candidate_freq = self.sketch.estimate(Self::fingerprint(&key));
+        while self.used + len > self.budget {
+            let victim = self.victim().expect("over budget implies residents");
+            if candidate_freq <= self.sketch.estimate(Self::fingerprint(&victim)) {
+                self.stats.rejections += 1;
+                return;
+            }
+            self.evict(victim);
+        }
+        let seq = self.next_seq();
+        self.entries.insert(
+            key,
+            Entry {
+                data,
+                device_len,
+                seq,
+                protected: false,
+            },
+        );
+        self.probation.insert(seq, key);
+        self.used += len;
+        self.stats.admissions += 1;
+    }
+
+    /// Resident payload bytes (always `<= budget`, the invariant the
+    /// property suite pins).
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache currently holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A copy of the cumulative traffic counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// A block cache shared by every reader generation of one engine
+/// instance (foreground lookups plus the flush, compaction and GC
+/// install paths). Shards each own a private instance so concurrent
+/// shard threads stay deterministic.
+pub type SharedBlockCache = Arc<Mutex<BlockCache>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(n: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![0xAB; n])
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted_and_bytes_credited() {
+        let mut c = BlockCache::new(1 << 20);
+        assert!(c.get(&(1, 0)).is_none());
+        c.insert((1, 0), block(100), 4096);
+        let hit = c.get(&(1, 0)).expect("resident");
+        assert_eq!(hit.len(), 100);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.admissions), (1, 1, 1));
+        assert_eq!(s.bytes_saved, 4096, "hits credit the device length");
+    }
+
+    #[test]
+    fn budget_is_never_exceeded() {
+        let mut c = BlockCache::new(1000);
+        for i in 0..50u64 {
+            // Touch the candidate twice so the admission gate favors it
+            // over the one-touch victims.
+            c.get(&(i, 0));
+            c.get(&(i, 0));
+            c.insert((i, 0), block(300), 300);
+            assert!(c.used_bytes() <= c.budget());
+        }
+        assert!(c.stats().evictions > 0, "the sweep must have evicted");
+    }
+
+    #[test]
+    fn unpopular_candidates_are_rejected_not_admitted() {
+        let mut c = BlockCache::new(600);
+        // Make (1,0) and (2,0) popular residents.
+        for _ in 0..6 {
+            c.get(&(1, 0));
+            c.get(&(2, 0));
+        }
+        c.insert((1, 0), block(300), 300);
+        c.insert((2, 0), block(300), 300);
+        // A cold block must not displace them.
+        c.insert((99, 0), block(300), 300);
+        assert!(c.get(&(1, 0)).is_some());
+        assert!(c.get(&(2, 0)).is_some());
+        assert!(c.get(&(99, 0)).is_none());
+        assert_eq!(c.stats().rejections, 1);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn popular_candidates_displace_cold_residents() {
+        let mut c = BlockCache::new(600);
+        c.insert((1, 0), block(300), 300);
+        c.insert((2, 0), block(300), 300);
+        for _ in 0..8 {
+            c.get(&(50, 0)); // misses, but the sketch learns the demand
+        }
+        c.insert((50, 0), block(300), 300);
+        assert!(c.get(&(50, 0)).is_some(), "hot candidate wins admission");
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn hits_protect_entries_from_scan_eviction() {
+        let mut c = BlockCache::new(1000);
+        c.insert((1, 0), block(200), 200);
+        assert!(c.get(&(1, 0)).is_some(), "promotes to protected");
+        // A scan of popular-enough one-shot blocks fills probation and
+        // churns, but the protected entry survives.
+        for i in 10..30u64 {
+            for _ in 0..4 {
+                c.get(&(i, 0));
+            }
+            c.insert((i, 0), block(200), 200);
+        }
+        assert!(
+            c.get(&(1, 0)).is_some(),
+            "the protected working set survives the scan"
+        );
+    }
+
+    #[test]
+    fn oversized_blocks_are_rejected() {
+        let mut c = BlockCache::new(100);
+        c.insert((1, 0), block(200), 200);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().rejections, 1);
+    }
+
+    #[test]
+    fn file_tags_differ_by_name_not_length() {
+        assert_ne!(file_tag("sst-1"), file_tag("sst-2"));
+        assert_ne!(file_tag("hlog-00000001.log"), file_tag("hlog-00000010.log"));
+        assert_eq!(file_tag("same"), file_tag("same"));
+    }
+
+    #[test]
+    fn shared_handle_is_usable_across_clones() {
+        let shared = BlockCache::shared(1 << 16);
+        shared.lock().insert((1, 0), block(64), 64);
+        let other = Arc::clone(&shared);
+        assert!(other.lock().get(&(1, 0)).is_some());
+    }
+}

@@ -1,0 +1,177 @@
+//! 4-bit count-min sketch with periodic halving — the frequency
+//! estimator behind TinyLFU admission.
+//!
+//! The sketch answers one question cheaply: *has this block been asked
+//! for more often than that one?* Four rows of 4-bit saturating
+//! counters are updated on every lookup; the estimate is the minimum
+//! across rows (over-counts only, never under-counts). After a fixed
+//! number of additions every counter is halved, so the estimate tracks
+//! *recent* popularity — a once-hot block ages out instead of pinning
+//! its cache slot forever. Halving can only shrink counters, a property
+//! pinned in `tests/proptest_cache.rs`.
+
+/// Rows in the sketch. Four is the classic TinyLFU depth: enough
+/// independent hashes that the min-estimate's over-count is small at
+/// the widths a block-cache budget implies.
+const DEPTH: usize = 4;
+
+/// Saturation ceiling of a 4-bit counter.
+const MAX_COUNT: u8 = 15;
+
+/// A 4-bit count-min sketch over `u64` keys with periodic halving.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    /// `DEPTH` rows of `width` 4-bit counters, two per byte.
+    nibbles: Vec<u8>,
+    /// Counters per row; always a power of two.
+    width: u64,
+    /// Additions since the last halving.
+    additions: u64,
+    /// Halve every counter once this many additions accumulate.
+    sample_size: u64,
+}
+
+impl CountMinSketch {
+    /// Builds a sketch sized for roughly `entries_hint` distinct keys.
+    /// The width rounds up to a power of two (minimum 64) and the
+    /// halving period is ten times the width — the TinyLFU "sample
+    /// size" that bounds how stale a frequency estimate can be.
+    pub fn new(entries_hint: usize) -> Self {
+        let width = entries_hint.next_power_of_two().max(64) as u64;
+        Self {
+            nibbles: vec![0u8; (DEPTH as u64 * width / 2) as usize],
+            width,
+            additions: 0,
+            sample_size: 10 * width,
+        }
+    }
+
+    fn slot(&self, key: u64, row: usize) -> usize {
+        // splitmix64 finalizer with a row-salted input: cheap,
+        // deterministic, and independent enough across rows.
+        let mut x = key ^ (row as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (row as u64 * self.width + (x & (self.width - 1))) as usize
+    }
+
+    fn read(&self, slot: usize) -> u8 {
+        let byte = self.nibbles[slot / 2];
+        if slot.is_multiple_of(2) {
+            byte & 0x0F
+        } else {
+            byte >> 4
+        }
+    }
+
+    fn write(&mut self, slot: usize, value: u8) {
+        let byte = &mut self.nibbles[slot / 2];
+        if slot.is_multiple_of(2) {
+            *byte = (*byte & 0xF0) | (value & 0x0F);
+        } else {
+            *byte = (*byte & 0x0F) | (value << 4);
+        }
+    }
+
+    /// Records one access: increments the key's counter in every row
+    /// (saturating at 15) and halves the whole sketch once the sample
+    /// period is reached.
+    pub fn record(&mut self, key: u64) {
+        for row in 0..DEPTH {
+            let slot = self.slot(key, row);
+            let v = self.read(slot);
+            if v < MAX_COUNT {
+                self.write(slot, v + 1);
+            }
+        }
+        self.additions += 1;
+        if self.additions >= self.sample_size {
+            self.halve();
+        }
+    }
+
+    /// The estimated access frequency of `key`: the minimum counter
+    /// across rows (an upper bound on the true recent count).
+    pub fn estimate(&self, key: u64) -> u8 {
+        (0..DEPTH)
+            .map(|row| self.read(self.slot(key, row)))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Halves every counter (integer division), aging out stale
+    /// popularity. Public so the repo's property suite can pin that
+    /// halving never inflates an estimate.
+    pub fn halve(&mut self) {
+        for byte in &mut self.nibbles {
+            // Both nibbles halve in one shift once the carry bits
+            // (bit 0 of the high nibble would shift into the low one)
+            // are masked off.
+            *byte = (*byte >> 1) & 0x77;
+        }
+        self.additions /= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_track_recorded_frequency() {
+        let mut s = CountMinSketch::new(1024);
+        for _ in 0..5 {
+            s.record(42);
+        }
+        s.record(7);
+        assert!(s.estimate(42) >= 5, "min-estimate never under-counts");
+        assert!(s.estimate(42) > s.estimate(7));
+    }
+
+    #[test]
+    fn counters_saturate_at_fifteen() {
+        let mut s = CountMinSketch::new(64);
+        for _ in 0..100 {
+            s.record(1);
+        }
+        assert!(s.estimate(1) <= 15);
+    }
+
+    #[test]
+    fn halving_halves_every_estimate() {
+        let mut s = CountMinSketch::new(256);
+        for _ in 0..8 {
+            s.record(9);
+        }
+        let before = s.estimate(9);
+        s.halve();
+        assert_eq!(s.estimate(9), before / 2);
+    }
+
+    #[test]
+    fn sample_period_triggers_automatic_halving() {
+        let mut s = CountMinSketch::new(1);
+        // width clamps to 64, so the sample size is 640 additions.
+        for _ in 0..640 {
+            s.record(3);
+        }
+        assert!(
+            s.estimate(3) < 15,
+            "the periodic halving must have aged the counter"
+        );
+    }
+
+    #[test]
+    fn unseen_keys_estimate_near_zero() {
+        let mut s = CountMinSketch::new(4096);
+        for key in 0..32u64 {
+            s.record(key);
+        }
+        // A fresh key may collide, but with 4 rows over 4096 slots the
+        // min across rows stays 0 here.
+        assert_eq!(s.estimate(999_999), 0);
+    }
+}

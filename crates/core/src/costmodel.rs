@@ -83,6 +83,8 @@ mod tests {
             device_bytes,
             app_bytes_written: 0,
             host_bytes_written: 0,
+            host_bytes_read: 0,
+            cache: None,
             io_depth: Default::default(),
             steady: SteadySummary {
                 steady_from: Some(0),

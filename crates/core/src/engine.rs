@@ -28,6 +28,7 @@
 use std::sync::Arc;
 
 use ptsbench_btree::{BTreeDb, BTreeError};
+use ptsbench_cache::CacheStats;
 use ptsbench_lsm::{LsmDb, LsmError};
 use ptsbench_ssd::SsdError;
 use ptsbench_vfs::Vfs;
@@ -288,6 +289,12 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Cache misses, i.e. reads that went to the filesystem.
     pub cache_misses: u64,
+    /// Full read-cache traffic counters in the uniform
+    /// [`CacheStats`] accounting (admissions, evictions, device bytes
+    /// saved) when the engine runs a cache: the B+Tree's pager cache is
+    /// always on, the LSM/hashlog block caches only when a
+    /// `cache_bytes` budget is configured (`None` otherwise).
+    pub cache: Option<CacheStats>,
     /// Engine-specific structural counters (flushes, compactions,
     /// splits, segment rewrites, ...), as labelled values so reports can
     /// render any engine without knowing its internals.
@@ -426,19 +433,24 @@ impl PtsEngine for LsmEngine {
 
     fn stats(&self) -> EngineStats {
         let s = self.0.stats();
+        let cache = self.0.cache_stats();
         EngineStats {
             puts: s.puts,
             gets: s.gets,
             deletes: s.deletes,
             app_bytes_written: s.app_bytes_written,
-            cache_hits: 0,
-            cache_misses: 0,
+            cache_hits: cache.map_or(0, |c| c.hits),
+            cache_misses: cache.map_or(0, |c| c.misses),
+            cache,
             structural: vec![
                 ("flushes", s.flushes),
                 ("flush_bytes", s.flush_bytes),
                 ("compactions", s.compactions),
                 ("compaction_bytes_written", s.compaction_bytes_written),
                 ("trivial_moves", s.trivial_moves),
+                ("bloom_probes", s.bloom_probes),
+                ("bloom_negatives", s.bloom_negatives),
+                ("bloom_false_positives", s.bloom_false_positives),
                 (
                     "tables",
                     self.0
@@ -496,7 +508,7 @@ impl PtsEngine for BTreeEngine {
 
     fn stats(&self) -> EngineStats {
         let s = self.0.stats();
-        let cache = self.0.pager_stats();
+        let cache = self.0.pager_stats().cache;
         EngineStats {
             puts: s.puts,
             gets: s.gets,
@@ -504,6 +516,7 @@ impl PtsEngine for BTreeEngine {
             app_bytes_written: s.app_bytes_written,
             cache_hits: cache.hits,
             cache_misses: cache.misses,
+            cache: Some(cache),
             structural: vec![
                 ("splits", s.splits),
                 ("merges", s.merges),

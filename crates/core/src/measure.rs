@@ -175,7 +175,10 @@ impl Experiment {
         let dataset_bytes = workload.dataset_bytes();
         let stack = build_stack(cfg)?;
 
-        let tuning = EngineTuning::for_device(cfg.device_bytes).with_queue_depth(cfg.queue_depth);
+        let tuning = EngineTuning::for_device(cfg.device_bytes)
+            .with_queue_depth(cfg.queue_depth)
+            .with_cache_bytes(cfg.cache_bytes)
+            .with_compression_level(cfg.compression_level);
         let mut out_of_space = false;
         let mut failed_during_load = false;
         let mut system = match cfg.engine.open(stack.vfs.clone(), &tuning) {
@@ -470,6 +473,8 @@ impl Experiment {
             device_bytes: self.cfg.device_bytes,
             app_bytes_written: 0,
             host_bytes_written: 0,
+            host_bytes_read: 0,
+            cache: None,
             io_depth: self.stack.shared.lock().io_depth_stats(),
             steady: SteadySummary {
                 steady_from: None,
@@ -502,6 +507,7 @@ impl Experiment {
             let app_bytes = system.app_bytes_written() - self.app_bytes_t0;
             result.app_bytes_written = app_bytes;
             result.host_bytes_written = host_bytes;
+            result.host_bytes_read = smart.host_pages_read * self.stack.page_size;
             result.steady.wa_a = if app_bytes == 0 {
                 1.0
             } else {
@@ -510,6 +516,9 @@ impl Experiment {
             result.steady.wa_d = smart.wa_d();
             result.steady.end_to_end_wa = result.steady.wa_a * result.steady.wa_d;
             result.steady.three_times_capacity = host_bytes >= 3 * self.cfg.device_bytes;
+        }
+        if self.cfg.cache_bytes > 0 {
+            result.cache = system.stats().cache;
         }
         let tput = result.throughput_series();
         result.steady.early_kops = tput.early_mean(2).unwrap_or(0.0);

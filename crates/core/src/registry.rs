@@ -45,15 +45,31 @@ pub struct EngineTuning {
     /// (1 = classic synchronous path; engines that support the
     /// asynchronous API open a shared `IoQueue` of this depth).
     pub queue_depth: usize,
+    /// Read-cache budget in bytes for this engine instance (each shard
+    /// builds its own instance, so this is a per-shard slice). 0 — the
+    /// default — keeps the engines' seed read paths: no block cache for
+    /// the LSM and hashlog, and the B+Tree's paper-proportioned pager
+    /// cache. Above 0 it becomes the LSM/hashlog block-cache budget and
+    /// overrides the B+Tree pager budget (never below the pager's
+    /// four-page minimum).
+    pub cache_bytes: u64,
+    /// Compression level for engines with a block/segment codec (0 —
+    /// the default — disables compression and keeps on-disk formats
+    /// byte-identical to the seed; 1–9 trades CPU for device bytes).
+    /// The B+Tree ignores it: in-place page rewrites need fixed-size
+    /// slots.
+    pub compression_level: u8,
 }
 
 impl EngineTuning {
     /// Tuning for a drive of `device_bytes` capacity, at the synchronous
-    /// queue depth of 1.
+    /// queue depth of 1 and with the read-path accelerators off.
     pub fn for_device(device_bytes: u64) -> Self {
         Self {
             device_bytes,
             queue_depth: 1,
+            cache_bytes: 0,
+            compression_level: 0,
         }
     }
 
@@ -61,6 +77,18 @@ impl EngineTuning {
     pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
         assert!(queue_depth >= 1, "queue depth must be at least 1");
         self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Sets the per-instance read-cache budget (0 = cache off).
+    pub fn with_cache_bytes(mut self, cache_bytes: u64) -> Self {
+        self.cache_bytes = cache_bytes;
+        self
+    }
+
+    /// Sets the compression level (0 = off, clamped to 9 by the codec).
+    pub fn with_compression_level(mut self, level: u8) -> Self {
+        self.compression_level = level;
         self
     }
 }
@@ -219,6 +247,8 @@ fn build_lsm(
 ) -> Result<Box<dyn PtsEngine>, PtsError> {
     let opts = LsmOptions {
         queue_depth: tuning.queue_depth,
+        cache_bytes: tuning.cache_bytes,
+        compression: ptsbench_cache::Compression::from_level(tuning.compression_level),
         ..LsmOptions::scaled_to_partition(tuning.device_bytes)
     };
     let db = match lifecycle {
@@ -233,7 +263,12 @@ fn build_btree(
     tuning: &EngineTuning,
     lifecycle: Lifecycle,
 ) -> Result<Box<dyn PtsEngine>, PtsError> {
-    let opts = BTreeOptions::scaled_to_partition(tuning.device_bytes);
+    let mut opts = BTreeOptions::scaled_to_partition(tuning.device_bytes);
+    if tuning.cache_bytes > 0 {
+        // The budget sweep drives the pager cache directly; clamp to
+        // the pager's four-page minimum so tiny sweep points validate.
+        opts.cache_bytes = tuning.cache_bytes.max(4 * opts.page_bytes as u64 + 1);
+    }
     let db = match lifecycle {
         Lifecycle::Open => BTreeDb::open(vfs, opts),
         Lifecycle::Recover => BTreeDb::recover(vfs, opts),

@@ -63,6 +63,14 @@ pub struct RunConfig {
     /// compaction-input reads through a per-shard `IoQueue` of this
     /// depth). 1 reproduces pre-queue reports byte-identically.
     pub queue_depth: usize,
+    /// Per-shard read-cache budget in bytes handed to the engine (0 —
+    /// the default — keeps the seed read path and reproduces pre-cache
+    /// reports byte-identically; see `EngineTuning::cache_bytes`).
+    pub cache_bytes: u64,
+    /// Block/segment compression level handed to engines with a codec
+    /// (0 — the default — keeps the seed on-disk formats; see
+    /// `EngineTuning::compression_level`).
+    pub compression_level: u8,
     /// End the measured phase early once CUSUM declares throughput
     /// steady *and* cumulative host writes reach 3x device capacity —
     /// the paper's §4.1 steady-state criteria, used adaptively.
@@ -89,6 +97,8 @@ impl Default for RunConfig {
             sample_window: 10 * MINUTE,
             cpu_cost_ns: None,
             queue_depth: 1,
+            cache_bytes: 0,
+            compression_level: 0,
             stop_when_steady: false,
             trace_lba: false,
             seed: 42,
@@ -117,13 +127,13 @@ impl RunConfig {
         .sized_to(self.device_bytes, self.dataset_fraction)
     }
 
-    /// Human-readable label for report rows. Queue depth appears only
-    /// when it departs from the synchronous default, so depth-1 labels
-    /// (and therefore rendered reports) match the pre-queue ones
-    /// byte-for-byte.
+    /// Human-readable label for report rows. Queue depth, cache budget
+    /// and compression level appear only when they depart from their
+    /// seed defaults, so default labels (and therefore rendered
+    /// reports) match the pre-queue/pre-cache ones byte-for-byte.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}/{}/ds{:.2}{}{}",
+            "{}/{}/{}/ds{:.2}{}{}{}{}",
             self.engine.label(),
             self.profile.name,
             self.drive_state.label(),
@@ -135,6 +145,16 @@ impl RunConfig {
             },
             if self.queue_depth > 1 {
                 format!("/qd{}", self.queue_depth)
+            } else {
+                String::new()
+            },
+            if self.cache_bytes > 0 {
+                format!("/c{}k", self.cache_bytes >> 10)
+            } else {
+                String::new()
+            },
+            if self.compression_level > 0 {
+                format!("/z{}", self.compression_level)
             } else {
                 String::new()
             }
@@ -223,6 +243,14 @@ pub struct RunResult {
     /// Host bytes reaching the device during the measured phase (the
     /// WA-A numerator).
     pub host_bytes_written: u64,
+    /// Host bytes *read* from the device during the measured phase —
+    /// the read-amplification view the cache/compression study sweeps
+    /// (`examples/fig_readamp.rs`). Not rendered in reports.
+    pub host_bytes_read: u64,
+    /// Read-cache traffic for this run, present only when the
+    /// configuration enabled a cache (`cache_bytes > 0`), so cache-off
+    /// results — and their rendered reports — are unchanged from seed.
+    pub cache: Option<ptsbench_cache::CacheStats>,
     /// Submission-depth statistics of the shard's device: how many
     /// commands went through `IoQueue`s and how deep they actually ran
     /// (all zeros for queue-depth-1 runs, whose engines stay on the

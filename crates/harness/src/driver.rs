@@ -135,6 +135,7 @@ pub(crate) fn base_shard_report(queue_depth: usize, index: usize, r: &RunResult)
             max_in_flight: r.io_depth.max_in_flight,
             mean_in_flight: r.io_depth.mean_in_flight(),
         }),
+        cache: r.cache,
         queue_delay: None,
         load: None,
         slo: None,

@@ -2,7 +2,9 @@
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::Arc;
 
+use ptsbench_cache::{file_tag, BlockCache, CacheStats, Compression, SharedBlockCache};
 use ptsbench_core::engine::{BatchOp, EngineStats, PtsEngine, PtsError, ScanCursor, WriteBatch};
 use ptsbench_core::registry::EngineKind;
 use ptsbench_vfs::{FileId, SharedIoQueue, Vfs};
@@ -96,6 +98,15 @@ pub struct HashLogDb {
     /// Shared submission queue for batched reads when
     /// `opts.queue_depth > 1`; `None` keeps the synchronous read path.
     queue: Option<SharedIoQueue>,
+    /// In-memory contents of the active segment while compression is
+    /// on: records accumulate here and the whole segment is written as
+    /// one compressed container when it seals (volatile until then,
+    /// like a memtable — `flush` seals a partial segment for
+    /// durability). Always empty when compression is off.
+    pending_seg: Vec<u8>,
+    /// Value/segment cache sized by `opts.cache_bytes`; `None` keeps
+    /// the seed read path.
+    cache: Option<SharedBlockCache>,
 }
 
 impl std::fmt::Debug for HashLogDb {
@@ -124,6 +135,8 @@ impl HashLogDb {
             live_entries: 0,
             stats: HashLogStats::default(),
             queue,
+            pending_seg: Vec::new(),
+            cache: cache_for(&opts),
         };
         db.new_segment()?;
         Ok(db)
@@ -156,6 +169,8 @@ impl HashLogDb {
             live_entries: 0,
             stats: HashLogStats::default(),
             queue,
+            pending_seg: Vec::new(),
+            cache: cache_for(&opts),
         };
 
         // Decode every record of every segment, then apply in sequence
@@ -165,7 +180,14 @@ impl HashLogDb {
             let name = segment_name(id);
             let file = db.vfs.open(&name)?;
             let size = db.vfs.size(file)?;
-            let buf = db.vfs.read_at(file, 0, size as usize)?;
+            let raw = db.vfs.read_at(file, 0, size as usize)?;
+            // Compressed logs store each sealed segment as one
+            // container; undo it so offsets below are logical.
+            let buf = if db.opts.compression.is_active() && !raw.is_empty() {
+                db.decode_segment(raw)?
+            } else {
+                raw
+            };
             let mut offset = 0usize;
             let mut min_seq = u64::MAX;
             while offset < buf.len() {
@@ -179,7 +201,7 @@ impl HashLogDb {
                 Segment {
                     file,
                     name,
-                    bytes: size,
+                    bytes: buf.len() as u64,
                     live_bytes: 0,
                     min_seq,
                 },
@@ -206,6 +228,10 @@ impl HashLogDb {
                 .get_mut(&entry.segment)
                 .expect("segment of entry");
             seg.live_bytes += entry.record_bytes;
+        }
+        if db.opts.compression.is_active() {
+            // Sealed containers cannot take raw appends; start fresh.
+            db.new_segment()?;
         }
         Ok(db)
     }
@@ -249,19 +275,49 @@ impl HashLogDb {
         Ok(())
     }
 
+    /// Appends `buf` to the active segment: straight to the device, or
+    /// into the in-memory pending buffer when compression is on (the
+    /// device sees one container at seal time).
+    fn append_active(&mut self, buf: &[u8]) -> Result<()> {
+        let active = self.active;
+        if self.opts.compression.is_active() {
+            self.pending_seg.extend_from_slice(buf);
+        } else {
+            let file = self.segments[&active].file;
+            self.vfs.append(file, buf)?;
+        }
+        let seg = self.segments.get_mut(&active).expect("active segment");
+        seg.bytes += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Seals the active segment — with compression the accumulated
+    /// contents are compressed into one container first (charging the
+    /// codec's CPU time) — makes it durable, and opens a fresh segment.
+    fn seal_active(&mut self) -> Result<()> {
+        let file = self.segments[&self.active].file;
+        if self.opts.compression.is_active() {
+            let raw = std::mem::take(&mut self.pending_seg);
+            let container = self.opts.compression.encode(&raw);
+            self.vfs
+                .clock()
+                .advance(self.opts.compression.encode_cost_ns(raw.len()));
+            if let Err(e) = self.vfs.append(file, &container) {
+                // Out of space: keep the contents readable in memory.
+                self.pending_seg = raw;
+                return Err(e.into());
+            }
+        }
+        self.vfs.fsync(file)?;
+        self.new_segment()
+    }
+
     /// Appends an encoded run of records to the active segment and
     /// indexes them, then rotates/collects as needed.
     fn log_append(&mut self, buf: &[u8], pendings: Vec<Pending>) -> Result<()> {
         let active = self.active;
-        let (base, file) = {
-            let seg = self.segments.get_mut(&active).expect("active segment");
-            (seg.bytes, seg.file)
-        };
-        self.vfs.append(file, buf)?;
-        {
-            let seg = self.segments.get_mut(&active).expect("active segment");
-            seg.bytes += buf.len() as u64;
-        }
+        let base = self.segments[&active].bytes;
+        self.append_active(buf)?;
         for p in pendings {
             {
                 let seg = self.segments.get_mut(&active).expect("active segment");
@@ -279,9 +335,7 @@ impl HashLogDb {
             self.apply_index_entry(p.key, entry);
         }
         if self.segments[&active].bytes >= self.opts.segment_bytes {
-            // Seal: make the finished segment durable, open a new one.
-            self.vfs.fsync(file)?;
-            self.new_segment()?;
+            self.seal_active()?;
         }
         self.maybe_gc()
     }
@@ -401,20 +455,74 @@ impl HashLogDb {
         }
     }
 
+    /// Undoes a segment container, charging the decode CPU time to the
+    /// simulated clock.
+    fn decode_segment(&self, raw: Vec<u8>) -> Result<Vec<u8>> {
+        let data = Compression::decode(&raw)
+            .ok_or_else(|| HashLogError::Corruption("bad compressed segment".into()))?;
+        self.vfs
+            .clock()
+            .advance(Compression::decode_cost_ns(data.len()));
+        Ok(data)
+    }
+
+    /// Reads the value an index entry points at, through the read-path
+    /// tiers: active-segment contents come straight from the pending
+    /// buffer (compression only), sealed compressed segments are
+    /// decoded whole and cached whole (one device read serves every hot
+    /// value in the segment), uncompressed values are cached
+    /// individually. With cache and codec both off this is exactly the
+    /// seed path: one device read per value.
+    fn read_value(&self, entry: &IndexEntry) -> Result<Vec<u8>> {
+        let seg = &self.segments[&entry.segment];
+        let start = entry.value_offset as usize;
+        let end = start + entry.value_len as usize;
+        if self.opts.compression.is_active() {
+            if entry.segment == self.active {
+                return Ok(self.pending_seg[start..end].to_vec());
+            }
+            let key = (file_tag(&seg.name), 0);
+            if let Some(cache) = &self.cache {
+                if let Some(data) = cache.lock().get(&key) {
+                    return Ok(data[start..end].to_vec());
+                }
+            }
+            let disk = self.vfs.size(seg.file)?;
+            let raw = self.vfs.read_at(seg.file, 0, disk as usize)?;
+            let data = Arc::new(self.decode_segment(raw)?);
+            if let Some(cache) = &self.cache {
+                cache.lock().insert(key, Arc::clone(&data), disk);
+            }
+            return Ok(data[start..end].to_vec());
+        }
+        if let Some(cache) = &self.cache {
+            let key = (file_tag(&seg.name), entry.value_offset);
+            if let Some(data) = cache.lock().get(&key) {
+                return Ok(data.as_ref().clone());
+            }
+            let value = self
+                .vfs
+                .read_at(seg.file, entry.value_offset, entry.value_len as usize)?;
+            cache
+                .lock()
+                .insert(key, Arc::new(value.clone()), entry.value_len as u64);
+            return Ok(value);
+        }
+        Ok(self
+            .vfs
+            .read_at(seg.file, entry.value_offset, entry.value_len as usize)?)
+    }
+
     /// Point lookup: index probe plus (at most) one device read.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.stats.gets += 1;
-        let Some(entry) = self.index.get(key) else {
+        let Some(entry) = self.index.get(key).copied() else {
             return Ok(None);
         };
         if entry.tombstone {
             return Ok(None);
         }
-        let file = self.segments[&entry.segment].file;
-        let value = self
-            .vfs
-            .read_at(file, entry.value_offset, entry.value_len as usize)?;
-        Ok(Some(value))
+        Ok(Some(self.read_value(&entry)?))
     }
 
     /// Batched point lookups: with a submission queue (``queue_depth >
@@ -423,8 +531,12 @@ impl HashLogDb {
     /// — the parallel-point-read pattern KVell leans on. Without a queue
     /// this degrades to sequential [`HashLogDb::get`]s.
     pub fn multi_get(&mut self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
-        let Some(queue) = self.queue.clone() else {
-            return keys.iter().map(|k| self.get(k)).collect();
+        let queue = match self.queue.clone() {
+            // Compressed segments decode as whole containers, so the
+            // per-value batched reads below do not apply; sequential
+            // gets serve both tiers (and still hit the segment cache).
+            Some(q) if !self.opts.compression.is_active() => q,
+            _ => return keys.iter().map(|k| self.get(k)).collect(),
         };
         self.stats.gets += keys.len() as u64;
         let mut out: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
@@ -437,26 +549,39 @@ impl HashLogDb {
             if entry.tombstone {
                 continue;
             }
-            let file = self.segments[&entry.segment].file;
+            let seg = &self.segments[&entry.segment];
+            let ckey = (file_tag(&seg.name), entry.value_offset);
+            if let Some(cache) = &self.cache {
+                if let Some(data) = cache.lock().get(&ckey) {
+                    out[i] = Some(data.as_ref().clone());
+                    continue;
+                }
+            }
             match self.vfs.read_runs_async(
                 &mut q,
-                file,
+                seg.file,
                 entry.value_offset,
                 entry.value_len as usize,
             ) {
-                Ok(read) => in_flight.push((i, read)),
+                Ok(read) => in_flight.push((i, ckey, entry.value_len as u64, read)),
                 Err(e) => {
                     // Fail the batch without leaking the completions of
                     // the reads already submitted.
-                    for (_, read) in in_flight {
+                    for (_, _, _, read) in in_flight {
                         read.into_bg(&mut q);
                     }
                     return Err(e.into());
                 }
             }
         }
-        for (i, read) in in_flight {
-            out[i] = Some(read.wait(&mut q));
+        for (i, ckey, device_len, read) in in_flight {
+            let value = read.wait(&mut q);
+            if let Some(cache) = &self.cache {
+                cache
+                    .lock()
+                    .insert(ckey, Arc::new(value.clone()), device_len);
+            }
+            out[i] = Some(value);
         }
         Ok(out)
     }
@@ -489,8 +614,13 @@ impl HashLogDb {
         self.scan_iter(start, end, limit).collect()
     }
 
-    /// Makes the active segment durable.
+    /// Makes the active segment durable. With compression, any pending
+    /// contents are sealed into a (possibly short) container first: the
+    /// pending buffer is volatile, so durability requires sealing.
     pub fn flush(&mut self) -> Result<()> {
+        if self.opts.compression.is_active() && !self.pending_seg.is_empty() {
+            return self.seal_active();
+        }
         let file = self.segments[&self.active].file;
         self.vfs.fsync(file)?;
         Ok(())
@@ -499,6 +629,11 @@ impl HashLogDb {
     /// Cumulative statistics.
     pub fn stats(&self) -> HashLogStats {
         self.stats
+    }
+
+    /// Cache traffic counters; `None` when the cache is disabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.lock().stats())
     }
 
     /// Number of live entries.
@@ -559,7 +694,15 @@ impl HashLogDb {
             let seg = &self.segments[&victim];
             (seg.file, seg.bytes, seg.name.clone())
         };
-        let buf = self.vfs.read_at(file, 0, size as usize)?;
+        // Victims are always sealed; with compression that means one
+        // container on disk holding `size` logical bytes.
+        let buf = if self.opts.compression.is_active() {
+            let disk = self.vfs.size(file)?;
+            let raw = self.vfs.read_at(file, 0, disk as usize)?;
+            self.decode_segment(raw)?
+        } else {
+            self.vfs.read_at(file, 0, size as usize)?
+        };
         let mut out = Vec::new();
         let mut pendings = Vec::new();
         let mut offset = 0usize;
@@ -607,15 +750,8 @@ impl HashLogDb {
             // Relocation must not recurse into GC while the victim's
             // accounting is mid-flight; append directly.
             let active = self.active;
-            let (base, afile) = {
-                let seg = self.segments.get_mut(&active).expect("active segment");
-                (seg.bytes, seg.file)
-            };
-            self.vfs.append(afile, &out)?;
-            {
-                let seg = self.segments.get_mut(&active).expect("active segment");
-                seg.bytes += out.len() as u64;
-            }
+            let base = self.segments[&active].bytes;
+            self.append_active(&out)?;
             for p in pendings {
                 {
                     let seg = self.segments.get_mut(&active).expect("active segment");
@@ -635,8 +771,7 @@ impl HashLogDb {
                 self.index.insert(p.key, entry);
             }
             if self.segments[&active].bytes >= self.opts.segment_bytes {
-                self.vfs.fsync(afile)?;
-                self.new_segment()?;
+                self.seal_active()?;
             }
         }
         Ok(())
@@ -646,6 +781,11 @@ impl HashLogDb {
 /// Opens the shared submission queue when the options ask for one.
 fn io_queue_for(vfs: &Vfs, opts: &HashLogOptions) -> Option<SharedIoQueue> {
     (opts.queue_depth > 1).then(|| vfs.io_queue(opts.queue_depth).into_shared())
+}
+
+/// Builds the value/segment cache when the options ask for one.
+fn cache_for(opts: &HashLogOptions) -> Option<SharedBlockCache> {
+    (opts.cache_bytes > 0).then(|| BlockCache::shared(opts.cache_bytes))
 }
 
 /// Streaming cursor returned by [`HashLogDb::scan_iter`].
@@ -663,40 +803,68 @@ pub struct IndexScan<'a> {
 
 impl IndexScan<'_> {
     /// Pulls a ramping batch of live entries from the index and issues
-    /// all their value reads as one submission round.
+    /// all their value reads as one submission round. Cache hits fill
+    /// their slot immediately; only misses touch the device (and are
+    /// offered for admission once the read completes).
     fn refill_batch(&mut self, queue: &SharedIoQueue) {
+        // A slot is a cache hit (value ready) or an in-flight read.
+        enum Slot {
+            Hit(Vec<u8>),
+            Read(ptsbench_vfs::AsyncRead),
+        }
         let mut q = queue.lock();
         let take = self.ramp.min(q.depth()).max(1);
         self.ramp = (take * 2).min(q.depth().max(1));
-        let mut in_flight = Vec::with_capacity(take);
-        while in_flight.len() < take.min(self.remaining) {
+        let mut slots: Vec<(Vec<u8>, ptsbench_cache::CacheKey, u64, Slot)> =
+            Vec::with_capacity(take);
+        while slots.len() < take.min(self.remaining) {
             let Some((key, entry)) = self.range.next() else {
                 break;
             };
             if entry.tombstone {
                 continue;
             }
-            let file = self.db.segments[&entry.segment].file;
+            let seg = &self.db.segments[&entry.segment];
+            let ckey = (file_tag(&seg.name), entry.value_offset);
+            if let Some(cache) = &self.db.cache {
+                if let Some(data) = cache.lock().get(&ckey) {
+                    slots.push((key.clone(), ckey, 0, Slot::Hit(data.as_ref().clone())));
+                    continue;
+                }
+            }
             match self.db.vfs.read_runs_async(
                 &mut q,
-                file,
+                seg.file,
                 entry.value_offset,
                 entry.value_len as usize,
             ) {
-                Ok(read) => in_flight.push((key.clone(), read)),
+                Ok(read) => {
+                    slots.push((key.clone(), ckey, entry.value_len as u64, Slot::Read(read)))
+                }
                 Err(e) => {
                     // Surface the error without leaking the completions
                     // of the reads already submitted for this batch.
-                    for (_, read) in in_flight {
-                        read.into_bg(&mut q);
+                    for (_, _, _, slot) in slots {
+                        if let Slot::Read(read) = slot {
+                            read.into_bg(&mut q);
+                        }
                     }
                     self.batch.push_back(Err(e.into()));
                     return;
                 }
             }
         }
-        for (key, read) in in_flight {
-            let value = read.wait(&mut q);
+        for (key, ckey, device_len, slot) in slots {
+            let value = match slot {
+                Slot::Hit(v) => v,
+                Slot::Read(read) => {
+                    let v = read.wait(&mut q);
+                    if let Some(cache) = &self.db.cache {
+                        cache.lock().insert(ckey, Arc::new(v.clone()), device_len);
+                    }
+                    v
+                }
+            };
             self.batch.push_back(Ok((key, value)));
         }
     }
@@ -709,7 +877,14 @@ impl Iterator for IndexScan<'_> {
         if self.remaining == 0 {
             return None;
         }
-        if let Some(queue) = self.db.queue.clone() {
+        // Queued prefetch reads values at device offsets, which only
+        // exists on the uncompressed layout.
+        let queued = self
+            .db
+            .queue
+            .clone()
+            .filter(|_| !self.db.opts.compression.is_active());
+        if let Some(queue) = queued {
             if self.batch.is_empty() {
                 self.refill_batch(&queue);
             }
@@ -732,17 +907,13 @@ impl Iterator for IndexScan<'_> {
             if entry.tombstone {
                 continue;
             }
-            let file = self.db.segments[&entry.segment].file;
-            let read = self
-                .db
-                .vfs
-                .read_at(file, entry.value_offset, entry.value_len as usize);
+            let read = self.db.read_value(entry);
             self.remaining -= 1;
             return match read {
                 Ok(value) => Some(Ok((key.clone(), value))),
                 Err(e) => {
                     self.remaining = 0;
-                    Some(Err(e.into()))
+                    Some(Err(e))
                 }
             };
         }
@@ -794,13 +965,15 @@ impl PtsEngine for HashLogEngine {
 
     fn stats(&self) -> EngineStats {
         let s = self.0.stats();
+        let cache = self.0.cache_stats();
         EngineStats {
             puts: s.puts,
             gets: s.gets,
             deletes: s.deletes,
             app_bytes_written: s.app_bytes_written,
-            cache_hits: 0,
-            cache_misses: 0,
+            cache_hits: cache.map_or(0, |c| c.hits),
+            cache_misses: cache.map_or(0, |c| c.misses),
+            cache,
             structural: vec![
                 ("segments", self.0.segment_count() as u64),
                 ("entries", self.0.len()),
@@ -1010,6 +1183,124 @@ mod tests {
         assert_eq!(got[3], None, "absent key");
         // Stats count every probed key.
         assert!(db.stats().gets >= 4);
+    }
+
+    #[test]
+    fn compressed_log_round_trips_gc_and_recovery() {
+        let opts = HashLogOptions {
+            compression: Compression::from_level(3),
+            ..HashLogOptions::small()
+        };
+        let v = vfs();
+        {
+            let mut db = HashLogDb::open(v.clone(), opts).expect("open");
+            // Repetitive values over a churning key set: segments seal,
+            // GC rewrites, and everything must survive the codec.
+            for round in 0..40u32 {
+                for i in 0..32u32 {
+                    db.put(&key(i), format!("r{round}").repeat(128).as_bytes())
+                        .expect("put");
+                }
+            }
+            assert!(db.stats().segments_created > 2, "log must have rotated");
+            assert!(db.stats().gc_runs > 0, "churn must trigger GC");
+            for i in 0..32u32 {
+                assert_eq!(
+                    db.get(&key(i)).expect("get"),
+                    Some("r39".repeat(128).into_bytes()),
+                    "key {i}"
+                );
+            }
+            // Sealed containers must be smaller than their contents.
+            let logical: u64 = db.segments.values().map(|s| s.bytes).sum();
+            let on_disk: u64 = db
+                .segments
+                .values()
+                .map(|s| db.vfs.size(s.file).expect("size"))
+                .sum();
+            assert!(
+                on_disk < logical / 2,
+                "repetitive data must shrink: {on_disk} vs {logical}"
+            );
+            db.flush().expect("flush seals the partial segment");
+        }
+        let mut db = HashLogDb::recover(v, opts).expect("recover");
+        for i in 0..32u32 {
+            assert_eq!(
+                db.get(&key(i)).expect("get"),
+                Some("r39".repeat(128).into_bytes()),
+                "key {i} after recovery"
+            );
+        }
+        db.put(b"post", b"ok").expect("put after recovery");
+        assert_eq!(db.get(b"post").expect("get"), Some(b"ok".to_vec()));
+    }
+
+    #[test]
+    fn value_cache_absorbs_repeated_gets() {
+        let mut db = HashLogDb::open(
+            vfs(),
+            HashLogOptions {
+                cache_bytes: 1 << 20,
+                ..HashLogOptions::small()
+            },
+        )
+        .expect("open");
+        for i in 0..200u32 {
+            db.put(&key(i), &[9u8; 400]).expect("put");
+        }
+        for i in 0..40u32 {
+            db.get(&key(i)).expect("warm");
+        }
+        let before = db.vfs().ssd().lock().smart().host_pages_read;
+        for i in 0..40u32 {
+            assert!(db.get(&key(i)).expect("get").is_some());
+        }
+        let after = db.vfs().ssd().lock().smart().host_pages_read;
+        assert_eq!(after, before, "second pass must be all cache hits");
+        let stats = db.cache_stats().expect("cache enabled");
+        assert!(stats.hits >= 40, "hits: {}", stats.hits);
+        let plain = HashLogDb::open(vfs(), HashLogOptions::small()).expect("open");
+        assert!(plain.cache_stats().is_none(), "off by default");
+    }
+
+    #[test]
+    fn segment_cache_serves_compressed_lookups_with_one_read() {
+        let mut db = HashLogDb::open(
+            vfs(),
+            HashLogOptions {
+                cache_bytes: 4 << 20,
+                compression: Compression::from_level(3),
+                ..HashLogOptions::small()
+            },
+        )
+        .expect("open");
+        for i in 0..200u32 {
+            db.put(&key(i), format!("v{i}").repeat(40).as_bytes())
+                .expect("put");
+        }
+        db.flush().expect("seal");
+        // First lookup faults the whole decoded segment in; subsequent
+        // lookups of *different* keys in the same segment are hits.
+        db.get(&key(0)).expect("fault in");
+        let before = db.vfs().ssd().lock().smart().host_pages_read;
+        let mut served = 0;
+        for i in 1..50u32 {
+            if db.get(&key(i)).expect("get").is_some() {
+                served += 1;
+            }
+        }
+        assert_eq!(served, 49);
+        let after = db.vfs().ssd().lock().smart().host_pages_read;
+        // A few keys may live in other (uncached) segments; the bulk
+        // must be served from the cached decoded segments.
+        let stats = db.cache_stats().expect("cache enabled");
+        assert!(stats.hits > 20, "hits: {}", stats.hits);
+        assert!(
+            after - before < 49,
+            "most lookups must skip the device, read {} pages",
+            after - before
+        );
     }
 
     #[test]

@@ -121,6 +121,8 @@ fn build_hashlog(
 ) -> std::result::Result<Box<dyn PtsEngine>, PtsError> {
     let opts = HashLogOptions {
         queue_depth: tuning.queue_depth,
+        cache_bytes: tuning.cache_bytes,
+        compression: ptsbench_cache::Compression::from_level(tuning.compression_level),
         ..HashLogOptions::scaled_to_partition(tuning.device_bytes)
     };
     let db = match lifecycle {

@@ -1,5 +1,7 @@
 //! Engine tuning knobs.
 
+use ptsbench_cache::Compression;
+
 /// Configuration of a [`crate::HashLogDb`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HashLogOptions {
@@ -18,6 +20,16 @@ pub struct HashLogOptions {
     /// batches of up to this many parallel point reads — the KVell
     /// trick of hiding per-command latency behind queue depth.
     pub queue_depth: usize,
+    /// Value/segment cache budget in bytes (0 — the default — disables
+    /// the cache and keeps the seed read path). Without compression the
+    /// cache holds individual values; with compression it holds whole
+    /// decoded segments, so one device read serves every hot value in
+    /// the segment.
+    pub cache_bytes: u64,
+    /// Segment compression codec: the active segment accumulates in
+    /// memory and is written as one compressed container when it seals
+    /// ([`Compression::None`] keeps the seed append-per-record format).
+    pub compression: Compression,
 }
 
 impl Default for HashLogOptions {
@@ -27,6 +39,8 @@ impl Default for HashLogOptions {
             gc_garbage_fraction: 0.30,
             min_victim_garbage: 0.25,
             queue_depth: 1,
+            cache_bytes: 0,
+            compression: Compression::None,
         }
     }
 }

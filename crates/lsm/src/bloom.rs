@@ -14,9 +14,17 @@ pub struct BloomFilter {
 
 impl BloomFilter {
     /// Builds a filter sized for `keys.len()` keys at `bits_per_key`.
+    ///
+    /// An empty key set gets a single all-zero word explicitly (rather
+    /// than silently sizing for one phantom key): every query then
+    /// answers "definitely absent", which is the correct semantics for
+    /// a table with no keys.
     pub fn build<K: AsRef<[u8]>>(keys: &[K], bits_per_key: u32) -> Self {
-        let n = keys.len().max(1) as u64;
-        let num_bits = (n * bits_per_key as u64).max(64);
+        let num_bits = if keys.is_empty() {
+            64
+        } else {
+            (keys.len() as u64 * bits_per_key as u64).max(64)
+        };
         let num_probes = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
         let mut filter = Self {
             bits: vec![0; num_bits.div_ceil(64) as usize],
@@ -144,9 +152,40 @@ mod tests {
     }
 
     #[test]
-    fn empty_key_set() {
+    fn empty_key_set_rejects_everything() {
         let f = BloomFilter::build(&Vec::<Vec<u8>>::new(), 10);
-        // No guarantees about membership, but it must not panic.
-        let _ = f.may_contain(b"anything");
+        for key in [&b"anything"[..], b"", b"k000042"] {
+            assert!(
+                !f.may_contain(key),
+                "an empty filter must answer definitely-absent"
+            );
+        }
+        let mut buf = Vec::new();
+        f.encode(&mut buf);
+        assert_eq!(
+            buf.len(),
+            f.encoded_len(),
+            "empty filters stay one word: {} bytes",
+            buf.len()
+        );
+    }
+
+    #[test]
+    fn ten_bits_per_key_pins_one_percent_false_positives() {
+        // The RocksDB-default operating point the reader relies on:
+        // 10 bits/key with K-M double hashing lands near the textbook
+        // ~1% false-positive rate. Pin it inside a factor of two.
+        let keys: Vec<Vec<u8>> = (0..50_000u32)
+            .map(|i| format!("k{i:012}").into_bytes())
+            .collect();
+        let f = BloomFilter::build(&keys, 10);
+        let fp = (50_000..150_000u32)
+            .filter(|i| f.may_contain(format!("k{i:012}").as_bytes()))
+            .count();
+        let rate = fp as f64 / 100_000.0;
+        assert!(
+            (0.005..0.02).contains(&rate),
+            "false-positive rate {rate} out of the ~1% band at 10 bits/key"
+        );
     }
 }

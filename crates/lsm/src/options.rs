@@ -1,5 +1,7 @@
 //! Engine tuning knobs.
 
+use ptsbench_cache::Compression;
+
 /// Configuration of an [`crate::LsmDb`].
 ///
 /// The defaults mirror RocksDB's leveled-compaction defaults
@@ -23,8 +25,25 @@ pub struct LsmOptions {
     pub sstable_target_bytes: u64,
     /// Data block size in bytes.
     pub block_bytes: usize,
-    /// Bloom filter bits per key (0 disables blooms).
+    /// Bloom filter bits per key for L0 and L1 tables (0 disables
+    /// blooms entirely).
     pub bloom_bits_per_key: u32,
+    /// Bloom filter bits per key for L2 and deeper. Defaults to
+    /// `bloom_bits_per_key` (uniform filters, the seed behavior);
+    /// lowering it trades filter bytes in the large deep levels for a
+    /// higher false-positive read rate there — the per-level filter
+    /// policy RocksDB exposes. Ignored when `bloom_bits_per_key` is 0.
+    pub bloom_bits_per_key_deep: u32,
+    /// Block-cache budget in bytes (0 — the default — disables the
+    /// cache and keeps the seed read path). The cache is created at
+    /// open and shared by every reader generation of this database
+    /// instance; shards each get their own budget slice so concurrent
+    /// shard threads never share mutable state (determinism).
+    pub cache_bytes: u64,
+    /// Block compression codec applied by the SSTable builder and
+    /// undone by the reader ([`Compression::None`] keeps the on-disk
+    /// format byte-identical to the seed).
+    pub compression: Compression,
     /// Whether updates are logged to the WAL before the memtable.
     pub wal_enabled: bool,
     /// Whether each commit fsyncs the WAL (RocksDB's default is no —
@@ -62,6 +81,9 @@ impl Default for LsmOptions {
             sstable_target_bytes: 4 << 20,
             block_bytes: 4096,
             bloom_bits_per_key: 10,
+            bloom_bits_per_key_deep: 10,
+            cache_bytes: 0,
+            compression: Compression::None,
             wal_enabled: true,
             wal_fsync: false,
             recycle_wal: true,
@@ -84,6 +106,9 @@ impl LsmOptions {
             sstable_target_bytes: 16 << 10,
             block_bytes: 4096,
             bloom_bits_per_key: 10,
+            bloom_bits_per_key_deep: 10,
+            cache_bytes: 0,
+            compression: Compression::None,
             wal_enabled: true,
             wal_fsync: false,
             recycle_wal: true,
@@ -105,6 +130,18 @@ impl LsmOptions {
             l1_target_bytes: memtable * 4,
             sstable_target_bytes: memtable,
             ..Self::default()
+        }
+    }
+
+    /// Bloom bits per key for tables written at `level` (0 = an L0
+    /// flush): L0/L1 use the full `bloom_bits_per_key`, deeper levels
+    /// the `bloom_bits_per_key_deep` setting. Returns 0 (blooms off)
+    /// whenever the base knob is 0.
+    pub fn bits_per_key_for(&self, level: usize) -> u32 {
+        if self.bloom_bits_per_key == 0 || level <= 1 {
+            self.bloom_bits_per_key
+        } else {
+            self.bloom_bits_per_key_deep
         }
     }
 
@@ -154,6 +191,25 @@ mod tests {
         assert_eq!(o.level_target_bytes(1), 100);
         assert_eq!(o.level_target_bytes(2), 1_000);
         assert_eq!(o.level_target_bytes(4), 100_000);
+    }
+
+    #[test]
+    fn per_level_bits_split_at_l2() {
+        let o = LsmOptions {
+            bloom_bits_per_key: 14,
+            bloom_bits_per_key_deep: 6,
+            ..Default::default()
+        };
+        assert_eq!(o.bits_per_key_for(0), 14, "L0 flush uses the full bits");
+        assert_eq!(o.bits_per_key_for(1), 14);
+        assert_eq!(o.bits_per_key_for(2), 6);
+        assert_eq!(o.bits_per_key_for(5), 6);
+        let off = LsmOptions {
+            bloom_bits_per_key: 0,
+            bloom_bits_per_key_deep: 6,
+            ..Default::default()
+        };
+        assert_eq!(off.bits_per_key_for(3), 0, "base knob 0 disables blooms");
     }
 
     #[test]

@@ -23,4 +23,4 @@ pub mod reader;
 
 pub use builder::SstableBuilder;
 pub use format::{SstableMeta, TOMBSTONE_TAG};
-pub use reader::{ChainedSstScan, SstIter, SstableReader};
+pub use reader::{BloomCounters, ChainedSstScan, SstIter, SstableReader};

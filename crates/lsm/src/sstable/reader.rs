@@ -1,11 +1,30 @@
 //! SSTable reading: point lookups via bloom + index, full scans for
 //! compaction and range queries.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ptsbench_cache::{file_tag, Compression, SharedBlockCache};
 use ptsbench_vfs::{FileId, SharedIoQueue, Vfs};
 
 use crate::bloom::BloomFilter;
 use crate::sstable::format::{decode_entry, decode_index, Footer, IndexEntry, FOOTER_LEN};
 use crate::{LsmError, Result};
+
+/// Shared bloom-filter traffic counters.
+///
+/// The owning database hands the same handle to every reader it opens,
+/// so the counts survive readers being dropped when compaction retires
+/// their tables.
+#[derive(Debug, Default)]
+pub struct BloomCounters {
+    /// Point lookups that consulted a bloom filter.
+    pub probes: AtomicU64,
+    /// Probes answered "definitely absent" (block read avoided).
+    pub negatives: AtomicU64,
+    /// Probes that passed the filter but found no key in the table.
+    pub false_positives: AtomicU64,
+}
 
 /// An open SSTable: index and bloom cached in memory (as RocksDB pins
 /// index/filter blocks), data blocks read through the filesystem on
@@ -25,6 +44,16 @@ pub struct SstableReader {
     entries: u64,
     file_bytes: u64,
     queue: Option<SharedIoQueue>,
+    /// Block codec the table was written with (from the footer tag).
+    compression: Compression,
+    /// Shared block cache consulted by the point-lookup path. Scans
+    /// bypass it deliberately (RocksDB's `fill_cache = false` for
+    /// compaction reads) so one compaction cannot flush the working set.
+    cache: Option<SharedBlockCache>,
+    /// Stable cache tag derived from the file *name* (vfs ids are
+    /// reused after deletion).
+    cache_tag: u64,
+    blooms: Option<Arc<BloomCounters>>,
 }
 
 impl std::fmt::Debug for SstableReader {
@@ -66,6 +95,18 @@ impl SstableReader {
         self
     }
 
+    /// Attaches the database's shared block cache (point lookups only).
+    pub fn with_cache(mut self, cache: Option<SharedBlockCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Attaches the database's shared bloom traffic counters.
+    pub fn with_blooms(mut self, blooms: Option<Arc<BloomCounters>>) -> Self {
+        self.blooms = blooms;
+        self
+    }
+
     fn open_opts(vfs: Vfs, name: &str, blocking: bool) -> Result<Self> {
         let read = |off: u64, len: usize| {
             if blocking {
@@ -97,12 +138,16 @@ impl SstableReader {
         Ok(Self {
             vfs,
             file,
+            cache_tag: file_tag(name),
             name: name.to_string(),
             index,
             bloom,
             entries: footer.entries,
             file_bytes,
             queue: None,
+            compression: Compression::from_level(footer.reserved.min(255) as u8),
+            cache: None,
+            blooms: None,
         })
     }
 
@@ -131,9 +176,7 @@ impl SstableReader {
         let Some(block) = self.index.last() else {
             return Ok(None);
         };
-        let buf = self
-            .vfs
-            .read_at(self.file, block.offset, block.len as usize)?;
+        let buf = self.load_block(block)?;
         let mut pos = 0;
         let mut last = None;
         for _ in 0..block.entries {
@@ -144,25 +187,64 @@ impl SstableReader {
         Ok(last)
     }
 
+    /// Loads one data block on the foreground point-lookup path: the
+    /// shared cache is consulted first; a miss reads the device, undoes
+    /// the codec, and offers the uncompressed block for admission.
+    fn load_block(&self, block: &IndexEntry) -> Result<Arc<Vec<u8>>> {
+        let key = (self.cache_tag, block.offset);
+        if let Some(cache) = &self.cache {
+            if let Some(data) = cache.lock().get(&key) {
+                return Ok(data);
+            }
+        }
+        let raw = self
+            .vfs
+            .read_at(self.file, block.offset, block.len as usize)?;
+        let data =
+            Arc::new(decode_window(self, raw, true).ok_or_else(|| {
+                LsmError::Corruption(format!("{}: bad compressed block", self.name))
+            })?);
+        if let Some(cache) = &self.cache {
+            cache
+                .lock()
+                .insert(key, Arc::clone(&data), block.len as u64);
+        }
+        Ok(data)
+    }
+
+    fn count(counter: Option<&AtomicU64>) {
+        if let Some(c) = counter {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Point lookup. `None` = key not in this table; `Some(None)` =
     /// tombstone; `Some(Some(v))` = live value.
     pub fn get(&self, key: &[u8]) -> Result<Option<Option<Vec<u8>>>> {
+        let mut bloom_passed = false;
         if let Some(bloom) = &self.bloom {
+            Self::count(self.blooms.as_deref().map(|b| &b.probes));
             if !bloom.may_contain(key) {
+                Self::count(self.blooms.as_deref().map(|b| &b.negatives));
                 return Ok(None);
             }
+            bloom_passed = true;
         }
+        let miss = |this: &Self| {
+            if bloom_passed {
+                Self::count(this.blooms.as_deref().map(|b| &b.false_positives));
+            }
+        };
         // Last block whose first key <= key.
         let idx = self
             .index
             .partition_point(|e| e.first_key.as_slice() <= key);
         if idx == 0 {
+            miss(self);
             return Ok(None);
         }
         let block = &self.index[idx - 1];
-        let buf = self
-            .vfs
-            .read_at(self.file, block.offset, block.len as usize)?;
+        let buf = self.load_block(block)?;
         let mut pos = 0;
         for _ in 0..block.entries {
             let (k, v, next) = decode_entry(&buf, pos)?;
@@ -174,6 +256,7 @@ impl SstableReader {
             }
             pos = next;
         }
+        miss(self);
         Ok(None)
     }
 
@@ -239,7 +322,9 @@ struct Window<'a> {
 }
 
 /// Computes the next readahead window of `reader` (consecutive blocks
-/// up to [`SCAN_READAHEAD`] bytes), advancing `next_block`.
+/// up to [`SCAN_READAHEAD`] bytes), advancing `next_block`. Compressed
+/// tables use single-block windows: each container must be decoded as
+/// a unit, so a window is exactly one block there.
 fn next_window_of<'a>(reader: &'a SstableReader, next_block: &mut usize) -> Option<Window<'a>> {
     let index = &reader.index;
     if *next_block >= index.len() {
@@ -250,7 +335,7 @@ fn next_window_of<'a>(reader: &'a SstableReader, next_block: &mut usize) -> Opti
     let mut entries = 0u64;
     while *next_block < index.len() {
         let b = &index[*next_block];
-        if len > 0 && len + b.len as usize > SCAN_READAHEAD {
+        if len > 0 && (reader.compression.is_active() || len + b.len as usize > SCAN_READAHEAD) {
             break;
         }
         len += b.len as usize;
@@ -263,6 +348,24 @@ fn next_window_of<'a>(reader: &'a SstableReader, next_block: &mut usize) -> Opti
         len,
         entries,
     })
+}
+
+/// Undoes the block codec on one window's bytes (a no-op for
+/// uncompressed tables). `charge` bills the decode CPU time to the
+/// simulated clock — foreground paths only; background (compaction)
+/// decodes are free CPU on their own thread, like their reads.
+fn decode_window(reader: &SstableReader, raw: Vec<u8>, charge: bool) -> Option<Vec<u8>> {
+    if !reader.compression.is_active() {
+        return Some(raw);
+    }
+    let data = Compression::decode(&raw)?;
+    if charge {
+        reader
+            .vfs
+            .clock()
+            .advance(Compression::decode_cost_ns(data.len()));
+    }
+    Some(data)
 }
 
 /// Submits `windows` as one batch (one command per extent run per
@@ -298,14 +401,17 @@ fn batch_read_windows(
     // strands later windows in the pending map.
     let mut out = Vec::with_capacity(reads.len());
     let mut complete = true;
-    for (read, len, entries) in reads {
+    for ((read, len, entries), w) in reads.into_iter().zip(windows) {
         let data = if background {
             read.into_bg(q)
         } else {
             read.wait(q)
         };
         complete &= data.len() == len;
-        out.push((data, entries));
+        match decode_window(w.reader, data, !background) {
+            Some(data) => out.push((data, entries)),
+            None => complete = false,
+        }
     }
     complete.then_some(out)
 }
@@ -360,10 +466,15 @@ impl SstIter<'_> {
                 };
                 match read {
                     Ok(buf) if buf.len() == w.len => {
-                        self.buf = buf;
-                        self.pos = 0;
-                        self.remaining = w.entries;
-                        true
+                        match decode_window(self.reader, buf, !self.background) {
+                            Some(buf) => {
+                                self.buf = buf;
+                                self.pos = 0;
+                                self.remaining = w.entries;
+                                true
+                            }
+                            None => false,
+                        }
                     }
                     _ => false,
                 }

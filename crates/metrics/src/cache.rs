@@ -1,0 +1,127 @@
+//! Read-path cache accounting: hits, misses, admission decisions and
+//! the device bytes a cache tier saved.
+//!
+//! Every caching layer in the stack — the shared TinyLFU block cache
+//! (`ptsbench-cache`) and the B-tree's private pager — reports through
+//! the same counters, so a report line reads identically regardless of
+//! which tier produced it. The counters are exact (no sampling) and
+//! deterministic: the same run renders the same `cache[...]` bytes.
+
+/// One cache tier's accounting over a run. The byte-budget invariant
+/// (`resident bytes <= budget`) is enforced by the cache itself and
+/// property-tested in `tests/proptest_cache.rs`; these counters only
+/// observe the traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from memory (no device read issued).
+    pub hits: u64,
+    /// Lookups that fell through to the device.
+    pub misses: u64,
+    /// Blocks the admission gate accepted into the cache.
+    pub admissions: u64,
+    /// Blocks the TinyLFU gate turned away (their estimated frequency
+    /// did not beat the eviction victim's).
+    pub rejections: u64,
+    /// Resident blocks evicted to make room.
+    pub evictions: u64,
+    /// Device bytes that hits avoided reading (the read-amplification
+    /// saving the `fig_readamp` study plots).
+    pub bytes_saved: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from memory (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Folds another tier's (or shard's) counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits = self.hits.saturating_add(other.hits);
+        self.misses = self.misses.saturating_add(other.misses);
+        self.admissions = self.admissions.saturating_add(other.admissions);
+        self.rejections = self.rejections.saturating_add(other.rejections);
+        self.evictions = self.evictions.saturating_add(other.evictions);
+        self.bytes_saved = self.bytes_saved.saturating_add(other.bytes_saved);
+    }
+
+    /// Deterministic compact rendering for per-shard report lines.
+    pub fn render_compact(&self) -> String {
+        format!(
+            "cache[hit={} miss={} rate={:.4} saved={}]",
+            self.hits,
+            self.misses,
+            self.hit_rate(),
+            self.bytes_saved
+        )
+    }
+
+    /// Deterministic one-line rendering for run-level report footers.
+    pub fn render(&self) -> String {
+        format!(
+            "cache: hits={} misses={} hit_rate={:.4} admitted={} rejected={} \
+             evicted={} bytes_saved={}",
+            self.hits,
+            self.misses,
+            self.hit_rate(),
+            self.admissions,
+            self.rejections,
+            self.evictions,
+            self.bytes_saved
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> CacheStats {
+        CacheStats {
+            hits: 75,
+            misses: 25,
+            admissions: 20,
+            rejections: 5,
+            evictions: 12,
+            bytes_saved: 307200,
+        }
+    }
+
+    #[test]
+    fn hit_rate_divides_lookups() {
+        assert!((stats().hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0, "idle cache");
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = stats();
+        a.merge(&stats());
+        assert_eq!(a.hits, 150);
+        assert_eq!(a.misses, 50);
+        assert_eq!(a.admissions, 40);
+        assert_eq!(a.rejections, 10);
+        assert_eq!(a.evictions, 24);
+        assert_eq!(a.bytes_saved, 614400);
+    }
+
+    #[test]
+    fn renders_are_deterministic_and_complete() {
+        let a = stats().render();
+        assert_eq!(a, stats().render());
+        assert_eq!(
+            a,
+            "cache: hits=75 misses=25 hit_rate=0.7500 admitted=20 rejected=5 \
+             evicted=12 bytes_saved=307200"
+        );
+        assert_eq!(
+            stats().render_compact(),
+            "cache[hit=75 miss=25 rate=0.7500 saved=307200]"
+        );
+    }
+}

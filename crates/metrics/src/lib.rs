@@ -24,11 +24,15 @@
 //!   contiguous vs hashed sharding under skew;
 //! * [`slo`] — SLO accounting under admission control ([`SloStats`]):
 //!   admitted/rejected/shed counts, goodput and attainment, the axes of
-//!   the goodput-vs-offered-load curves `fig_slo` plots.
+//!   the goodput-vs-offered-load curves `fig_slo` plots;
+//! * [`cache`] — read-path cache accounting ([`CacheStats`]): hits,
+//!   misses, admission-gate decisions and device bytes saved, shared by
+//!   the block cache and the B-tree pager.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod cdf;
 pub mod cost;
 pub mod cusum;
@@ -41,6 +45,7 @@ pub mod slo;
 pub mod timeseries;
 pub mod wa;
 
+pub use cache::CacheStats;
 pub use cdf::Cdf;
 pub use cost::{CostModel, DeploymentPlan, Heatmap};
 pub use cusum::CusumDetector;

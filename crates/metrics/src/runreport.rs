@@ -12,6 +12,7 @@
 //! with the same seed produce **byte-identical** report text — the
 //! property the CI determinism check diffs for.
 
+use crate::cache::CacheStats;
 use crate::histogram::LatencyHistogram;
 use crate::load::{LoadImbalance, ShardLoad};
 use crate::report::render_series_table;
@@ -67,6 +68,11 @@ pub struct ShardReport {
     /// byte-identical to pre-SLO output (pinned in
     /// `tests/slo_conformance.rs`).
     pub slo: Option<SloStats>,
+    /// Read-path cache accounting (block cache and/or pager) when the
+    /// run was configured with a cache budget. `None` — and unrendered
+    /// — otherwise, so cache-off reports stay byte-identical to
+    /// pre-cache output (pinned in `tests/cache_conformance.rs`).
+    pub cache: Option<CacheStats>,
     /// Additive per-window series (throughput, device MB/s, ...). All
     /// shards must emit the same series names in the same order, on the
     /// same window boundaries.
@@ -206,6 +212,21 @@ impl RunReport {
             })
     }
 
+    /// Run-level cache accounting, folded over every shard that
+    /// reported it (`None` when none did — i.e. no cache budget was
+    /// configured). Counters sum across shards; the hit rate is the
+    /// fleet-wide rate.
+    pub fn cache_totals(&self) -> Option<CacheStats> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.cache.as_ref())
+            .fold(None, |acc, s| {
+                let mut total = acc.unwrap_or_default();
+                total.merge(s);
+                Some(total)
+            })
+    }
+
     /// Deterministic plain-text rendering (byte-identical for
     /// byte-identical inputs): an aggregate header, one aligned table
     /// of all merged series (via [`render_series_table`]), the merged
@@ -251,9 +272,13 @@ impl RunReport {
             out.push_str(&slo.render());
             out.push('\n');
         }
+        if let Some(cache) = self.cache_totals() {
+            out.push_str(&cache.render());
+            out.push('\n');
+        }
         for shard in &self.shards {
             out.push_str(&format!(
-                "{}: ops={} app_bytes={} host_bytes={}{}{}{}{}{}\n",
+                "{}: ops={} app_bytes={} host_bytes={}{}{}{}{}{}{}\n",
                 shard.name,
                 shard.ops,
                 shard.app_bytes,
@@ -275,6 +300,10 @@ impl RunReport {
                 },
                 match &shard.slo {
                     Some(slo) => format!(" {}", slo.render_compact()),
+                    None => String::new(),
+                },
+                match &shard.cache {
+                    Some(cache) => format!(" {}", cache.render_compact()),
                     None => String::new(),
                 },
                 if shard.out_of_space {
@@ -321,6 +350,7 @@ mod tests {
             queue_delay: None,
             load: None,
             slo: None,
+            cache: None,
             series: vec![series],
         }
     }
@@ -487,6 +517,49 @@ mod tests {
         assert!(text.contains("goodput=138.0/s"));
         assert!(text.contains("slo[adm=90 rej=10 shed=2 att=0.8800]"));
         assert!(text.contains("slo[adm=50 rej=0 shed=0 att=1.0000]"));
+    }
+
+    #[test]
+    fn cache_stats_render_only_when_present() {
+        // Absent: the report must render exactly as before the read-path
+        // cache existed (the cache_conformance-suite contract).
+        let plain = RunReport::merge("x", 1, vec![shard("shard0", 5, &[1_000], &[1.0])]);
+        let plain_text = plain.render();
+        assert!(plain.cache_totals().is_none());
+        assert!(!plain_text.contains("cache"));
+
+        // Present: the fleet footer sums shard counters and each shard
+        // line carries its compact accounting.
+        let mut a = shard("shard0", 5, &[1_000], &[1.0]);
+        a.cache = Some(CacheStats {
+            hits: 60,
+            misses: 40,
+            admissions: 30,
+            rejections: 10,
+            evictions: 8,
+            bytes_saved: 240_000,
+        });
+        let mut b = shard("shard1", 5, &[1_000], &[1.0]);
+        b.cache = Some(CacheStats {
+            hits: 40,
+            misses: 60,
+            admissions: 50,
+            rejections: 10,
+            evictions: 42,
+            bytes_saved: 160_000,
+        });
+        let report = RunReport::merge("x", 2, vec![a, b]);
+        let totals = report.cache_totals().expect("cache totals");
+        assert_eq!(totals.hits, 100);
+        assert_eq!(totals.misses, 100);
+        assert_eq!(totals.bytes_saved, 400_000);
+        let text = report.render();
+        assert!(text.contains(
+            "cache: hits=100 misses=100 hit_rate=0.5000 admitted=80 rejected=20 \
+             evicted=50 bytes_saved=400000"
+        ));
+        assert!(text.contains("cache[hit=60 miss=40 rate=0.6000 saved=240000]"));
+        assert!(text.contains("cache[hit=40 miss=60 rate=0.4000 saved=160000]"));
     }
 
     #[test]

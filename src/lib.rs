@@ -9,6 +9,9 @@
 //! * [`vfs`] — extent filesystem and partitioning over the simulated drive.
 //! * [`lsm`] — leveled LSM-tree key-value store (RocksDB stand-in).
 //! * [`btree`] — paged B+Tree key-value store (WiredTiger stand-in).
+//! * [`cache`] — the read-path acceleration tier: a fixed-budget block
+//!   cache with TinyLFU admission plus the deterministic block/segment
+//!   compression codec, shared by the engines.
 //! * [`hashlog`] — KVell-style log-structured hash KV store, registered
 //!   with the engine registry from outside `ptsbench-core` (the proof
 //!   that the engine API is open).
@@ -25,6 +28,7 @@
 //! the system inventory.
 
 pub use ptsbench_btree as btree;
+pub use ptsbench_cache as cache;
 pub use ptsbench_core as core;
 pub use ptsbench_harness as harness;
 pub use ptsbench_hashlog as hashlog;
