@@ -1,6 +1,6 @@
 //! The B+Tree database: public API, tree algorithms, checkpointing.
 
-use ptsbench_vfs::Vfs;
+use ptsbench_vfs::{Cause, TraceHandle, Vfs};
 
 use crate::log::Journal;
 use crate::node::Node;
@@ -39,6 +39,9 @@ pub struct BTreeDb {
     stats: BTreeStats,
     bytes_since_checkpoint: u64,
     vfs: Vfs,
+    /// Tracing context (inert unless `opts.trace` and the device has a
+    /// tracer attached).
+    trace: TraceHandle,
 }
 
 impl std::fmt::Debug for BTreeDb {
@@ -55,7 +58,9 @@ impl BTreeDb {
     /// Opens a fresh database on the filesystem.
     pub fn open(vfs: Vfs, opts: BTreeOptions) -> Result<Self> {
         opts.validate();
-        let pager = Pager::create(vfs.clone(), "btree.db", opts.page_bytes, opts.cache_bytes)?;
+        let trace = TraceHandle::from_vfs(&vfs, opts.trace);
+        let mut pager = Pager::create(vfs.clone(), "btree.db", opts.page_bytes, opts.cache_bytes)?;
+        pager.attach_trace(trace.clone());
         let journal = if opts.wal_enabled {
             Some(Journal::create(vfs.clone())?)
         } else {
@@ -70,6 +75,7 @@ impl BTreeDb {
             stats: BTreeStats::default(),
             bytes_since_checkpoint: 0,
             vfs,
+            trace,
         })
     }
 
@@ -79,8 +85,10 @@ impl BTreeDb {
     /// recovery sequence: last checkpoint + log).
     pub fn recover(vfs: Vfs, opts: BTreeOptions) -> Result<Self> {
         opts.validate();
+        let trace = TraceHandle::from_vfs(&vfs, opts.trace);
         let mut pager =
             Pager::open_existing(vfs.clone(), "btree.db", opts.page_bytes, opts.cache_bytes)?;
+        pager.attach_trace(trace.clone());
         let meta = pager.read_meta()?;
         if &meta[..META_MAGIC.len()] != META_MAGIC {
             return Err(BTreeError::Corruption(
@@ -105,6 +113,7 @@ impl BTreeDb {
             stats: BTreeStats::default(),
             bytes_since_checkpoint: 0,
             vfs: vfs.clone(),
+            trace,
         };
 
         // Rebuild the free list: pages not reachable from the root are
@@ -210,10 +219,13 @@ impl BTreeDb {
         self.stats.app_bytes_written += (key.len() + value.len()) as u64;
         self.bytes_since_checkpoint += (key.len() + value.len()) as u64;
         if let Some(j) = self.journal.as_mut() {
+            let _cause = self.trace.cause(Cause::Wal);
+            let span = self.trace.begin("btree.journal", Cause::Wal);
             j.log_put(key, value)?;
             if self.opts.wal_fsync {
                 j.sync(true)?;
             }
+            self.trace.end(span);
         }
         self.insert_entry(key, value)?;
         self.maybe_checkpoint()
@@ -225,10 +237,13 @@ impl BTreeDb {
         self.stats.app_bytes_written += key.len() as u64;
         self.bytes_since_checkpoint += key.len() as u64;
         if let Some(j) = self.journal.as_mut() {
+            let _cause = self.trace.cause(Cause::Wal);
+            let span = self.trace.begin("btree.journal", Cause::Wal);
             j.log_delete(key)?;
             if self.opts.wal_fsync {
                 j.sync(true)?;
             }
+            self.trace.end(span);
         }
         let existed = self.remove_entry(key)?;
         self.maybe_checkpoint()?;
@@ -241,26 +256,36 @@ impl BTreeDb {
         if self.root == 0 {
             return Ok(None);
         }
+        let walk = self
+            .trace
+            .begin("btree.page_walk", self.trace.current_cause());
         let mut page = self.root;
-        loop {
-            let node = self.pager.read(page)?;
+        let result = loop {
+            let node = match self.pager.read(page) {
+                Ok(n) => n,
+                Err(e) => break Err(e),
+            };
             match node {
                 Node::Internal { children, .. } => {
                     let idx = {
                         // Re-decode route on the same node.
-                        let n = self.pager.read(page)?;
-                        n.route(key)
+                        match self.pager.read(page) {
+                            Ok(n) => n.route(key),
+                            Err(e) => break Err(e),
+                        }
                     };
                     page = children[idx];
                 }
                 Node::Leaf { entries } => {
-                    return Ok(entries
+                    break Ok(entries
                         .binary_search_by(|(k, _)| k.as_slice().cmp(key))
                         .ok()
                         .map(|i| entries[i].1.clone()));
                 }
             }
-        }
+        };
+        self.trace.end(walk);
+        result
     }
 
     /// Streaming range scan: entries with `start <= key < end` (`end`
@@ -306,6 +331,14 @@ impl BTreeDb {
     /// Forces a checkpoint: all dirty pages and metadata reach the
     /// device, the journal truncates.
     pub fn checkpoint(&mut self) -> Result<()> {
+        let _cause = self.trace.cause(Cause::Checkpoint);
+        let span = self.trace.begin("btree.checkpoint", Cause::Checkpoint);
+        let result = self.checkpoint_inner();
+        self.trace.end(span);
+        result
+    }
+
+    fn checkpoint_inner(&mut self) -> Result<()> {
         if let Some(j) = self.journal.as_mut() {
             j.sync(true)?;
         }

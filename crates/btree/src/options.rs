@@ -18,6 +18,11 @@ pub struct BTreeOptions {
     /// Merge threshold: a page smaller than `page_bytes / merge_divisor`
     /// tries to merge with a sibling.
     pub merge_divisor: usize,
+    /// Record phase spans and per-cause device attribution through the
+    /// tracer attached to the device (no-op — and byte-identical to the
+    /// untraced engine — when the device has no tracer or this is
+    /// false, the default).
+    pub trace: bool,
 }
 
 impl Default for BTreeOptions {
@@ -29,6 +34,7 @@ impl Default for BTreeOptions {
             wal_fsync: false,
             checkpoint_app_bytes: 8 << 20,
             merge_divisor: 4,
+            trace: false,
         }
     }
 }
@@ -44,6 +50,7 @@ impl BTreeOptions {
             wal_fsync: false,
             checkpoint_app_bytes: 256 << 10,
             merge_divisor: 4,
+            trace: false,
         }
     }
 

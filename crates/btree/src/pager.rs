@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use ptsbench_cache::CacheStats;
-use ptsbench_vfs::{FileId, Vfs};
+use ptsbench_vfs::{FileId, TraceHandle, Vfs};
 
 use crate::node::Node;
 use crate::{BTreeError, PageNo, Result};
@@ -54,6 +54,8 @@ pub struct Pager {
     free_list: Vec<PageNo>,
     stats: PagerStats,
     encode_buf: Vec<u8>,
+    /// Tracing context; `None` until [`Pager::attach_trace`].
+    trace: Option<TraceHandle>,
 }
 
 impl std::fmt::Debug for Pager {
@@ -84,7 +86,14 @@ impl Pager {
             free_list: Vec::new(),
             stats: PagerStats::default(),
             encode_buf: Vec::new(),
+            trace: None,
         })
+    }
+
+    /// Attaches the tracing context: page-cache hits record
+    /// `btree.cache_hit` markers and misses a `btree.page_load` span.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
     }
 
     /// Opens an existing tree file (recovery path). The page count comes
@@ -115,6 +124,7 @@ impl Pager {
             free_list: Vec::new(),
             stats: PagerStats::default(),
             encode_buf: Vec::new(),
+            trace: None,
         })
     }
 
@@ -182,16 +192,30 @@ impl Pager {
             c.last_access = clock;
             self.stats.cache.hits += 1;
             self.stats.cache.bytes_saved += self.page_bytes as u64;
+            if let Some(t) = &self.trace {
+                t.mark("btree.cache_hit", t.current_cause());
+            }
             return Ok(c.node.clone());
         }
         self.stats.cache.misses += 1;
-        let buf = self
-            .vfs
-            .read_at(self.file, page * self.page_bytes as u64, self.page_bytes)?;
-        if buf.len() < self.page_bytes {
-            return Err(BTreeError::Corruption(format!("short read of page {page}")));
+        let span = self
+            .trace
+            .as_ref()
+            .map(|t| t.begin("btree.page_load", t.current_cause()));
+        let load = || -> Result<Node> {
+            let buf =
+                self.vfs
+                    .read_at(self.file, page * self.page_bytes as u64, self.page_bytes)?;
+            if buf.len() < self.page_bytes {
+                return Err(BTreeError::Corruption(format!("short read of page {page}")));
+            }
+            Node::decode(&buf)
+        };
+        let node = load();
+        if let (Some(t), Some(span)) = (&self.trace, span) {
+            t.end(span);
         }
-        let node = Node::decode(&buf)?;
+        let node = node?;
         self.insert_cached(page, node.clone(), false)?;
         Ok(node)
     }

@@ -86,6 +86,8 @@ mod tests {
             host_bytes_read: 0,
             cache: None,
             io_depth: Default::default(),
+            cause: None,
+            recorder: None,
             steady: SteadySummary {
                 steady_from: Some(0),
                 early_kops: steady_kops * 2.0,

@@ -295,6 +295,11 @@ pub struct EngineStats {
     /// always on, the LSM/hashlog block caches only when a
     /// `cache_bytes` budget is configured (`None` otherwise).
     pub cache: Option<CacheStats>,
+    /// Per-cause device traffic attribution (which bytes each request
+    /// kind and background activity pushed to / pulled from the
+    /// device), present only when a tracer is attached to the engine's
+    /// device (`None` keeps untraced snapshots identical to seed).
+    pub cause: Option<ptsbench_vfs::CauseStats>,
     /// Engine-specific structural counters (flushes, compactions,
     /// splits, segment rewrites, ...), as labelled values so reports can
     /// render any engine without knowing its internals.
@@ -385,6 +390,11 @@ pub trait PtsEngine: Send {
     fn stats(&self) -> EngineStats;
 
     /// Application payload bytes written so far (for WA-A).
+    ///
+    /// The default delegates to [`PtsEngine::stats`]. Engines whose
+    /// `stats` locks the device (the per-cause traffic breakdown does)
+    /// must override this with a lock-free read: the runner samples it
+    /// while holding the device mutex, which is not reentrant.
     fn app_bytes_written(&self) -> u64 {
         self.stats().app_bytes_written
     }
@@ -431,6 +441,13 @@ impl PtsEngine for LsmEngine {
         self.0.quiesce();
     }
 
+    // Lock-free override: `stats()` takes the device mutex for the
+    // per-cause breakdown, so callers already holding it (the runner's
+    // finish path) must be able to read this counter without it.
+    fn app_bytes_written(&self) -> u64 {
+        self.0.stats().app_bytes_written
+    }
+
     fn stats(&self) -> EngineStats {
         let s = self.0.stats();
         let cache = self.0.cache_stats();
@@ -442,6 +459,7 @@ impl PtsEngine for LsmEngine {
             cache_hits: cache.map_or(0, |c| c.hits),
             cache_misses: cache.map_or(0, |c| c.misses),
             cache,
+            cause: self.0.vfs().ssd().lock().cause_stats(),
             structural: vec![
                 ("flushes", s.flushes),
                 ("flush_bytes", s.flush_bytes),
@@ -506,6 +524,11 @@ impl PtsEngine for BTreeEngine {
         Ok(self.0.checkpoint()?)
     }
 
+    // Lock-free override: see `LsmEngine::app_bytes_written`.
+    fn app_bytes_written(&self) -> u64 {
+        self.0.stats().app_bytes_written
+    }
+
     fn stats(&self) -> EngineStats {
         let s = self.0.stats();
         let cache = self.0.pager_stats().cache;
@@ -517,6 +540,7 @@ impl PtsEngine for BTreeEngine {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache: Some(cache),
+            cause: self.0.vfs().ssd().lock().cause_stats(),
             structural: vec![
                 ("splits", s.splits),
                 ("merges", s.merges),

@@ -26,8 +26,8 @@ use std::sync::Arc;
 
 use ptsbench_metrics::cusum::CusumDetector;
 use ptsbench_metrics::histogram::LatencyHistogram;
-use ptsbench_ssd::{LpnRange, Ns, SharedSsd, SimClock, SmartCounters, Ssd};
-use ptsbench_vfs::{Vfs, VfsOptions};
+use ptsbench_ssd::{Cause, LpnRange, Ns, SharedSsd, SimClock, SmartCounters, Ssd, Tracer};
+use ptsbench_vfs::{TraceHandle, Vfs, VfsOptions};
 use ptsbench_workload::{Loader, OpGenerator, OpKind, WorkloadSpec};
 
 use crate::engine::{PtsEngine, PtsError, WriteBatch};
@@ -79,6 +79,9 @@ pub fn build_stack(cfg: &RunConfig) -> Result<Stack, PtsError> {
     let mut device_cfg = cfg.profile.scaled_to(cfg.device_bytes);
     device_cfg.trace_writes = cfg.trace_lba;
     let mut device = Ssd::new(device_cfg);
+    if cfg.trace {
+        device.attach_tracer(Tracer::recording());
+    }
     if cfg.drive_state == DriveState::Preconditioned {
         device.precondition(cfg.seed)?;
     }
@@ -154,6 +157,8 @@ pub struct Experiment {
     out_of_space: bool,
     failed_during_load: bool,
     stopped_steady: bool,
+    /// Tracing context of the stack (inert unless `cfg.trace`).
+    trace: TraceHandle,
 }
 
 impl Experiment {
@@ -175,10 +180,12 @@ impl Experiment {
         let dataset_bytes = workload.dataset_bytes();
         let stack = build_stack(cfg)?;
 
+        let trace = TraceHandle::from_vfs(&stack.vfs, cfg.trace);
         let tuning = EngineTuning::for_device(cfg.device_bytes)
             .with_queue_depth(cfg.queue_depth)
             .with_cache_bytes(cfg.cache_bytes)
-            .with_compression_level(cfg.compression_level);
+            .with_compression_level(cfg.compression_level)
+            .with_trace(cfg.trace);
         let mut out_of_space = false;
         let mut failed_during_load = false;
         let mut system = match cfg.engine.open(stack.vfs.clone(), &tuning) {
@@ -191,6 +198,7 @@ impl Experiment {
             Err(e) => return Err(e),
         };
         if let Some(system) = system.as_mut() {
+            let _load_cause = trace.cause(Cause::BulkLoad);
             match bulk_load(system.as_mut(), &workload) {
                 Ok(()) => {}
                 Err(PtsError::OutOfSpace) => {
@@ -234,6 +242,7 @@ impl Experiment {
             out_of_space,
             failed_during_load,
             stopped_steady: false,
+            trace,
         })
     }
 
@@ -261,6 +270,20 @@ impl Experiment {
     /// Measured-phase time elapsed on this experiment's private clock.
     pub fn elapsed(&self) -> Ns {
         self.stack.clock.now().saturating_sub(self.t0)
+    }
+
+    /// The tracing context of this experiment's stack (inert unless the
+    /// configuration enabled tracing). The front-end harness uses it to
+    /// wrap request-level spans around [`Experiment::serve`].
+    pub fn trace_handle(&self) -> &TraceHandle {
+        &self.trace
+    }
+
+    /// Absolute virtual time at which the measured phase started; the
+    /// offset that converts phase-relative times (as [`Experiment::serve`]
+    /// takes) into the absolute timeline spans are recorded on.
+    pub fn phase_start(&self) -> Ns {
+        self.t0
     }
 
     /// Whether the measured phase can make no further progress (ended
@@ -307,6 +330,12 @@ impl Experiment {
                 .as_mut()
                 .expect("loaded experiment has an engine");
             let op = gen.next_op();
+            let (span_name, cause) = match op.kind {
+                OpKind::Update => ("op.put", Cause::Put),
+                OpKind::Read => ("op.get", Cause::Get),
+            };
+            let _op_cause = self.trace.cause(cause);
+            let span = self.trace.begin(span_name, cause);
             let outcome = match op.kind {
                 OpKind::Update => system.put(op.key, op.value),
                 OpKind::Read => system.get(op.key).map(|_| ()),
@@ -314,12 +343,14 @@ impl Experiment {
             match outcome {
                 Ok(()) => {}
                 Err(PtsError::OutOfSpace) => {
+                    self.trace.end(span);
                     self.out_of_space = true;
                     break;
                 }
                 Err(e) => return Err(e),
             }
             self.stack.clock.advance(self.cpu_cost_sim);
+            self.trace.end(span);
             self.ops_executed += 1;
             self.latency.record(self.stack.clock.now() - op_start);
         }
@@ -362,6 +393,12 @@ impl Experiment {
             .system
             .as_mut()
             .expect("loaded experiment has an engine");
+        let (span_name, cause) = match kind {
+            OpKind::Update => ("op.put", Cause::Put),
+            OpKind::Read => ("op.get", Cause::Get),
+        };
+        let _op_cause = self.trace.cause(cause);
+        let span = self.trace.begin(span_name, cause);
         let outcome = match kind {
             OpKind::Update => system.put(key, value),
             OpKind::Read => system.get(key).map(|_| ()),
@@ -369,12 +406,14 @@ impl Experiment {
         match outcome {
             Ok(()) => {}
             Err(PtsError::OutOfSpace) => {
+                self.trace.end(span);
                 self.out_of_space = true;
                 return Ok(Served::OutOfSpace);
             }
             Err(e) => return Err(e),
         }
         self.stack.clock.advance(self.cpu_cost_sim);
+        self.trace.end(span);
         self.ops_executed += 1;
         let done = self.stack.clock.now();
         self.latency.record(done - now);
@@ -476,6 +515,8 @@ impl Experiment {
             host_bytes_read: 0,
             cache: None,
             io_depth: self.stack.shared.lock().io_depth_stats(),
+            cause: None,
+            recorder: None,
             steady: SteadySummary {
                 steady_from: None,
                 early_kops: 0.0,
@@ -496,15 +537,20 @@ impl Experiment {
         result.disk_used_bytes = self
             .max_disk_used
             .max(self.stack.vfs.stats().peak_used_pages * self.stack.page_size);
+        // Read the engine's counter before taking the device lock:
+        // `stats()`-based accessors may themselves lock the device (for
+        // the per-cause breakdown), and the mutex is not reentrant.
+        let app_bytes = system.app_bytes_written() - self.app_bytes_t0;
         {
             let dev = self.stack.shared.lock();
+            result.cause = dev.cause_stats();
+            result.recorder = dev.tracer().shared();
             if let Some(trace) = dev.write_trace() {
                 result.lba_cdf = Some(trace.cdf_by_descending_frequency(100));
                 result.untouched_lba_fraction = Some(trace.untouched_fraction());
             }
             let smart = dev.smart();
             let host_bytes = smart.host_pages_written * self.stack.page_size;
-            let app_bytes = system.app_bytes_written() - self.app_bytes_t0;
             result.app_bytes_written = app_bytes;
             result.host_bytes_written = host_bytes;
             result.host_bytes_read = smart.host_pages_read * self.stack.page_size;

@@ -59,6 +59,11 @@ pub struct EngineTuning {
     /// The B+Tree ignores it: in-place page rewrites need fixed-size
     /// slots.
     pub compression_level: u8,
+    /// Whether the engine records phase spans and per-cause device
+    /// attribution through the tracer attached to its device (false —
+    /// the default — keeps every engine hot path byte-identical to the
+    /// untraced build).
+    pub trace: bool,
 }
 
 impl EngineTuning {
@@ -70,6 +75,7 @@ impl EngineTuning {
             queue_depth: 1,
             cache_bytes: 0,
             compression_level: 0,
+            trace: false,
         }
     }
 
@@ -89,6 +95,12 @@ impl EngineTuning {
     /// Sets the compression level (0 = off, clamped to 9 by the codec).
     pub fn with_compression_level(mut self, level: u8) -> Self {
         self.compression_level = level;
+        self
+    }
+
+    /// Enables (or disables) engine phase-span recording.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -249,6 +261,7 @@ fn build_lsm(
         queue_depth: tuning.queue_depth,
         cache_bytes: tuning.cache_bytes,
         compression: ptsbench_cache::Compression::from_level(tuning.compression_level),
+        trace: tuning.trace,
         ..LsmOptions::scaled_to_partition(tuning.device_bytes)
     };
     let db = match lifecycle {
@@ -264,6 +277,7 @@ fn build_btree(
     lifecycle: Lifecycle,
 ) -> Result<Box<dyn PtsEngine>, PtsError> {
     let mut opts = BTreeOptions::scaled_to_partition(tuning.device_bytes);
+    opts.trace = tuning.trace;
     if tuning.cache_bytes > 0 {
         // The budget sweep drives the pager cache directly; clamp to
         // the pager's four-page minimum so tiny sweep points validate.

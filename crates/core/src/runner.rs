@@ -77,6 +77,12 @@ pub struct RunConfig {
     pub stop_when_steady: bool,
     /// Record the per-LBA write trace (Fig 4).
     pub trace_lba: bool,
+    /// Record per-request phase spans and per-cause device attribution
+    /// (the flight recorder): a tracer is attached to the device before
+    /// the engine opens, engines emit phase spans, and the result gains
+    /// per-cause traffic totals plus a recorder handle. False — the
+    /// default — reproduces untraced reports byte-identically.
+    pub trace: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -101,6 +107,7 @@ impl Default for RunConfig {
             compression_level: 0,
             stop_when_steady: false,
             trace_lba: false,
+            trace: false,
             seed: 42,
         }
     }
@@ -133,7 +140,7 @@ impl RunConfig {
     /// reports) match the pre-queue/pre-cache ones byte-for-byte.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}/{}/ds{:.2}{}{}{}{}",
+            "{}/{}/{}/ds{:.2}{}{}{}{}{}",
             self.engine.label(),
             self.profile.name,
             self.drive_state.label(),
@@ -157,7 +164,8 @@ impl RunConfig {
                 format!("/z{}", self.compression_level)
             } else {
                 String::new()
-            }
+            },
+            if self.trace { "/tr" } else { "" }
         )
     }
 }
@@ -256,6 +264,15 @@ pub struct RunResult {
     /// (all zeros for queue-depth-1 runs, whose engines stay on the
     /// synchronous path).
     pub io_depth: ptsbench_ssd::IoDepthStats,
+    /// Per-cause device traffic attribution for the measured phase,
+    /// present only when the configuration enabled tracing
+    /// (`trace = true`), so untraced results — and their rendered
+    /// reports — are unchanged from seed.
+    pub cause: Option<ptsbench_ssd::CauseStats>,
+    /// The span flight recorder of the run's device, present only when
+    /// tracing was enabled; holds the measured phase's spans (the
+    /// recorder is cleared at the load/measure boundary).
+    pub recorder: Option<ptsbench_ssd::SharedTraceRecorder>,
     /// Steady-state summary.
     pub steady: SteadySummary,
 }

@@ -136,6 +136,7 @@ pub(crate) fn base_shard_report(queue_depth: usize, index: usize, r: &RunResult)
             mean_in_flight: r.io_depth.mean_in_flight(),
         }),
         cache: r.cache,
+        cause: r.cause,
         queue_delay: None,
         load: None,
         slo: None,

@@ -40,7 +40,7 @@ use ptsbench_metrics::histogram::LatencyHistogram;
 use ptsbench_metrics::load::ShardLoad;
 use ptsbench_metrics::runreport::RunReport;
 use ptsbench_metrics::slo::SloStats;
-use ptsbench_ssd::Ns;
+use ptsbench_ssd::{Cause, Ns};
 use ptsbench_workload::{encode_key, route_hash, ArrivalClock, OpGenerator, OpKind};
 
 use crate::driver::{base_shard_report, HarnessOutcome};
@@ -423,10 +423,40 @@ impl Frontend {
             }
         }
         encode_key(req.key_index, self.key_size, &mut self.key_buf);
-        match shard
+        // Request-level spans (traced runs only): a `req.get`/`req.put`
+        // root opening at submission, with the dispatch/queue wait as a
+        // `req.queue` child, so the engine's `op.*` span — and every
+        // phase and device span below it — nests under the request that
+        // caused it. Timestamps are front-end (phase-relative) times
+        // shifted onto the absolute span timeline.
+        let trace = shard.experiment.trace_handle().clone();
+        let t0 = shard.experiment.phase_start();
+        let req_span = if trace.is_on() {
+            let cause = match req.kind {
+                OpKind::Update => Cause::Put,
+                OpKind::Read => Cause::Get,
+            };
+            let name = match req.kind {
+                OpKind::Update => "req.put",
+                OpKind::Read => "req.get",
+            };
+            let id = trace.tracer().begin(name, cause, t0 + now);
+            trace
+                .tracer()
+                .leaf("req.queue", cause, t0 + now, t0 + start_lb);
+            Some(id)
+        } else {
+            None
+        };
+        let served = shard
             .experiment
-            .serve(start_lb, req.kind, &self.key_buf, &req.value)?
-        {
+            .serve(start_lb, req.kind, &self.key_buf, &req.value);
+        if let Some(id) = req_span {
+            // The experiment clock sits at the service completion time,
+            // which is exactly where the request span closes.
+            trace.end(id);
+        }
+        match served? {
             Served::Done { start, done } => {
                 shard.busy_until = done;
                 slots.push(done);

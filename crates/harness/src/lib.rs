@@ -44,6 +44,15 @@
 //!   [`ReqOutcome::Rejected`] / [`ReqOutcome::Shed`] without consuming
 //!   device time, and per-shard `SloStats` (goodput, attainment) land
 //!   in the report — the `fig_slo` goodput-vs-offered-load curves.
+//! * **Request-level tracing.** When a run enables the flight recorder
+//!   (`RunConfig.trace`), the front-end opens a `req.put`/`req.get`
+//!   root span per request with the dispatch-queue wait as a
+//!   `req.queue` child, so every engine phase and device command the
+//!   request causes nests under it — the `fig_anatomy` tail
+//!   decomposition. Tracing never advances the virtual clock or
+//!   consumes workload randomness; `tests/trace_conformance.rs` pins
+//!   traced runs identical to untraced twins in every measured
+//!   quantity.
 //!
 //! ```no_run
 //! use ptsbench_core::{RunConfig, ShardedRun};

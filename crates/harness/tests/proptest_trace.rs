@@ -1,0 +1,202 @@
+//! Property tests of the flight recorder and the traced serving stack.
+//!
+//! Two layers of properties:
+//!
+//! 1. **The recorder alone**: arbitrary interleavings of
+//!    `begin`/`leaf`/`end` with arbitrary (monotone) virtual times must
+//!    leave the ring well-formed — sequential ids, `start <= end`
+//!    everywhere, every retained child inside its retained parent's
+//!    interval, and the ring bound honored exactly.
+//! 2. **The full traced stack**: arbitrary small serving fleets (shard
+//!    count, fan-in, engine, key distribution, read mix) with the
+//!    flight recorder on must produce well-formed span forests — one
+//!    `req.*` root per measured request, every engine op nested under a
+//!    request — and per-cause device byte totals that close exactly
+//!    against the SMART host counters.
+
+use proptest::prelude::*;
+
+use ptsbench_core::frontend::FrontendRun;
+use ptsbench_core::registry::{EngineKind, EngineRegistry};
+use ptsbench_core::runner::RunConfig;
+use ptsbench_harness::run_frontend_with_results;
+use ptsbench_ssd::MINUTE;
+use ptsbench_trace::{Cause, Span, TraceRecorder};
+use ptsbench_workload::KeyDistribution;
+
+fn engines() -> Vec<EngineKind> {
+    ptsbench_hashlog::register();
+    EngineRegistry::all()
+}
+
+/// A small traced fleet: 16 MiB shards, thin dataset, short phases —
+/// cheap enough for debug-mode property cases.
+fn config(
+    engine: EngineKind,
+    shards: usize,
+    fan_in: usize,
+    zipf: bool,
+    read_fraction: f64,
+) -> FrontendRun {
+    let mut cfg = FrontendRun::new(
+        RunConfig {
+            engine,
+            device_bytes: (shards as u64) * (16 << 20),
+            dataset_fraction: 0.1,
+            duration: 30 * MINUTE,
+            sample_window: 10 * MINUTE,
+            read_fraction,
+            distribution: if zipf {
+                KeyDistribution::Zipfian { theta: 0.9 }
+            } else {
+                KeyDistribution::Uniform
+            },
+            trace: true,
+            ..RunConfig::default()
+        },
+        fan_in,
+    );
+    cfg.shards = shards;
+    cfg
+}
+
+/// Checks the structural span invariants on one recorder's retained
+/// ring: `start <= end`, children inside parents, roots all `req.*`
+/// when nothing was evicted.
+fn assert_well_formed(spans: &[Span], dropped: u64, ops_executed: u64) {
+    let by_id: std::collections::HashMap<u64, &Span> = spans.iter().map(|s| (s.id, s)).collect();
+    for s in spans {
+        assert!(
+            s.start <= s.end,
+            "span must not end before it starts: {s:?}"
+        );
+        if let Some(p) = s.parent {
+            // Evicted parents are only possible once the ring dropped
+            // spans; with `dropped == 0` every parent is retained.
+            let Some(parent) = by_id.get(&p) else {
+                assert!(dropped > 0, "missing parent without eviction: {s:?}");
+                continue;
+            };
+            assert!(
+                parent.start <= s.start && s.end <= parent.end,
+                "child must nest inside its parent: {s:?} in {parent:?}"
+            );
+        }
+        if s.name.starts_with("op.") {
+            assert!(
+                s.parent.is_some(),
+                "engine ops under the front-end always run inside a request: {s:?}"
+            );
+        }
+    }
+    if dropped == 0 {
+        let roots: Vec<&Span> = spans.iter().filter(|s| s.parent.is_none()).collect();
+        for r in &roots {
+            assert!(
+                r.name.starts_with("req."),
+                "every root of a traced serving run is a request: {r:?}"
+            );
+        }
+        assert_eq!(
+            roots.len() as u64,
+            ops_executed,
+            "one root span per measured request"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Layer 1: the recorder stays well-formed under arbitrary
+    /// begin/leaf/end interleavings with arbitrary time steps.
+    #[test]
+    fn recorder_invariants_hold_under_arbitrary_interleavings(
+        steps in proptest::collection::vec((0u8..3, 0u64..1000), 1..200),
+        capacity in 1usize..64,
+    ) {
+        let mut rec = TraceRecorder::with_capacity(capacity);
+        let mut now = 0u64;
+        let mut open: Vec<u64> = Vec::new();
+        for (kind, dt) in steps {
+            now += dt;
+            match kind {
+                0 => open.push(rec.begin("phase", Cause::Other, now)),
+                1 => rec.leaf("leaf", Cause::Other, now, now + dt),
+                _ => {
+                    if let Some(id) = open.pop() {
+                        rec.end(id, now);
+                    }
+                }
+            }
+        }
+        // Close whatever is still open, newest first.
+        while let Some(id) = open.pop() {
+            now += 1;
+            rec.end(id, now);
+        }
+        prop_assert_eq!(rec.open_depth(), 0);
+        prop_assert!(rec.len() <= capacity, "ring bound");
+
+        let spans: Vec<Span> = rec.spans().copied().collect();
+        let by_id: std::collections::HashMap<u64, &Span> =
+            spans.iter().map(|s| (s.id, s)).collect();
+        prop_assert_eq!(by_id.len(), spans.len(), "span ids are unique");
+        for s in &spans {
+            prop_assert!(s.start <= s.end, "{:?}", s);
+            prop_assert!(s.id > 0, "ids start at 1: {:?}", s);
+            if let Some(p) = s.parent {
+                prop_assert!(p < s.id, "parents begin before their children: {:?}", s);
+                if let Some(parent) = by_id.get(&p) {
+                    prop_assert!(
+                        parent.start <= s.start && s.end <= parent.end,
+                        "nesting: {:?} in {:?}", s, parent
+                    );
+                } else {
+                    prop_assert!(rec.dropped() > 0, "missing parent: {:?}", s);
+                }
+            }
+        }
+    }
+
+    /// Layer 2: arbitrary small traced fleets produce well-formed span
+    /// forests and exact per-cause byte accounting, for every engine.
+    #[test]
+    fn traced_fleets_produce_well_formed_spans_and_exact_accounting(
+        engine_idx in 0usize..3,
+        shards in 1usize..3,
+        fan_in in 1usize..7,
+        zipf in any::<bool>(),
+        reads in 0usize..3,
+    ) {
+        let engine = engines()[engine_idx % engines().len()];
+        let read_fraction = [0.0, 0.5, 1.0][reads];
+        let cfg = config(engine, shards, fan_in, zipf, read_fraction);
+        let outcome = run_frontend_with_results(&cfg).expect("traced run");
+
+        prop_assert_eq!(outcome.shard_results.len(), shards);
+        let fleet_ops: u64 = outcome.shard_results.iter().map(|r| r.ops_executed).sum();
+        prop_assert!(fleet_ops > 0, "a measured phase executes requests");
+        for r in &outcome.shard_results {
+            // Per-cause device bytes close exactly against SMART.
+            let cause = r.cause.expect("traced runs attribute device traffic");
+            prop_assert_eq!(
+                cause.total_bytes_written(),
+                r.host_bytes_written,
+                "per-cause written bytes must sum to host writes"
+            );
+            prop_assert_eq!(
+                cause.total_bytes_read(),
+                r.host_bytes_read,
+                "per-cause read bytes must sum to host reads"
+            );
+
+            // Span forest well-formedness.
+            let rec = r.recorder.as_ref().expect("traced runs keep spans");
+            let rec = rec.lock();
+            prop_assert_eq!(rec.open_depth(), 0, "no span outlives its run");
+            let spans: Vec<Span> = rec.spans().copied().collect();
+            assert_well_formed(&spans, rec.dropped(), r.ops_executed);
+        }
+    }
+}

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use ptsbench_cache::{file_tag, BlockCache, CacheStats, Compression, SharedBlockCache};
 use ptsbench_core::engine::{BatchOp, EngineStats, PtsEngine, PtsError, ScanCursor, WriteBatch};
 use ptsbench_core::registry::EngineKind;
-use ptsbench_vfs::{FileId, SharedIoQueue, Vfs};
+use ptsbench_vfs::{Cause, FileId, SharedIoQueue, TraceHandle, Vfs};
 
 use crate::options::HashLogOptions;
 use crate::record::Record;
@@ -107,6 +107,9 @@ pub struct HashLogDb {
     /// Value/segment cache sized by `opts.cache_bytes`; `None` keeps
     /// the seed read path.
     cache: Option<SharedBlockCache>,
+    /// Tracing context (inert unless `opts.trace` and the device has a
+    /// tracer attached).
+    trace: TraceHandle,
 }
 
 impl std::fmt::Debug for HashLogDb {
@@ -124,6 +127,7 @@ impl HashLogDb {
     pub fn open(vfs: Vfs, opts: HashLogOptions) -> Result<Self> {
         opts.validate();
         let queue = io_queue_for(&vfs, &opts);
+        let trace = TraceHandle::from_vfs(&vfs, opts.trace);
         let mut db = Self {
             vfs,
             opts,
@@ -137,6 +141,7 @@ impl HashLogDb {
             queue,
             pending_seg: Vec::new(),
             cache: cache_for(&opts),
+            trace,
         };
         db.new_segment()?;
         Ok(db)
@@ -158,6 +163,7 @@ impl HashLogDb {
             ));
         }
         let queue = io_queue_for(&vfs, &opts);
+        let trace = TraceHandle::from_vfs(&vfs, opts.trace);
         let mut db = Self {
             vfs,
             opts,
@@ -171,6 +177,7 @@ impl HashLogDb {
             queue,
             pending_seg: Vec::new(),
             cache: cache_for(&opts),
+            trace,
         };
 
         // Decode every record of every segment, then apply in sequence
@@ -295,6 +302,13 @@ impl HashLogDb {
     /// contents are compressed into one container first (charging the
     /// codec's CPU time) — makes it durable, and opens a fresh segment.
     fn seal_active(&mut self) -> Result<()> {
+        let span = self.trace.begin("hashlog.seal", self.trace.current_cause());
+        let result = self.seal_active_inner();
+        self.trace.end(span);
+        result
+    }
+
+    fn seal_active_inner(&mut self) -> Result<()> {
         let file = self.segments[&self.active].file;
         if self.opts.compression.is_active() {
             let raw = std::mem::take(&mut self.pending_seg);
@@ -458,12 +472,18 @@ impl HashLogDb {
     /// Undoes a segment container, charging the decode CPU time to the
     /// simulated clock.
     fn decode_segment(&self, raw: Vec<u8>) -> Result<Vec<u8>> {
+        let span = self
+            .trace
+            .begin("hashlog.decode", self.trace.current_cause());
         let data = Compression::decode(&raw)
-            .ok_or_else(|| HashLogError::Corruption("bad compressed segment".into()))?;
-        self.vfs
-            .clock()
-            .advance(Compression::decode_cost_ns(data.len()));
-        Ok(data)
+            .ok_or_else(|| HashLogError::Corruption("bad compressed segment".into()));
+        if let Ok(data) = &data {
+            self.vfs
+                .clock()
+                .advance(Compression::decode_cost_ns(data.len()));
+        }
+        self.trace.end(span);
+        data
     }
 
     /// Reads the value an index entry points at, through the read-path
@@ -484,6 +504,8 @@ impl HashLogDb {
             let key = (file_tag(&seg.name), 0);
             if let Some(cache) = &self.cache {
                 if let Some(data) = cache.lock().get(&key) {
+                    self.trace
+                        .mark("hashlog.cache_hit", self.trace.current_cause());
                     return Ok(data[start..end].to_vec());
                 }
             }
@@ -498,6 +520,8 @@ impl HashLogDb {
         if let Some(cache) = &self.cache {
             let key = (file_tag(&seg.name), entry.value_offset);
             if let Some(data) = cache.lock().get(&key) {
+                self.trace
+                    .mark("hashlog.cache_hit", self.trace.current_cause());
                 return Ok(data.as_ref().clone());
             }
             let value = self
@@ -553,6 +577,8 @@ impl HashLogDb {
             let ckey = (file_tag(&seg.name), entry.value_offset);
             if let Some(cache) = &self.cache {
                 if let Some(data) = cache.lock().get(&ckey) {
+                    self.trace
+                        .mark("hashlog.cache_hit", self.trace.current_cause());
                     out[i] = Some(data.as_ref().clone());
                     continue;
                 }
@@ -682,7 +708,13 @@ impl HashLogDb {
             })
             .map(|(id, s)| (*id, (s.bytes - s.live_bytes) as f64 / s.bytes.max(1) as f64));
         match victim {
-            Some((id, ratio)) if ratio >= self.opts.min_victim_garbage => self.rewrite_segment(id),
+            Some((id, ratio)) if ratio >= self.opts.min_victim_garbage => {
+                let _cause = self.trace.cause(Cause::SegmentGc);
+                let span = self.trace.begin("hashlog.gc", Cause::SegmentGc);
+                let result = self.rewrite_segment(id);
+                self.trace.end(span);
+                result
+            }
             _ => Ok(()),
         }
     }
@@ -812,6 +844,7 @@ impl IndexScan<'_> {
             Hit(Vec<u8>),
             Read(ptsbench_vfs::AsyncRead),
         }
+        let _cause = self.db.trace.cause(Cause::Scan);
         let mut q = queue.lock();
         let take = self.ramp.min(q.depth()).max(1);
         self.ramp = (take * 2).min(q.depth().max(1));
@@ -828,6 +861,9 @@ impl IndexScan<'_> {
             let ckey = (file_tag(&seg.name), entry.value_offset);
             if let Some(cache) = &self.db.cache {
                 if let Some(data) = cache.lock().get(&ckey) {
+                    self.db
+                        .trace
+                        .mark("hashlog.cache_hit", self.db.trace.current_cause());
                     slots.push((key.clone(), ckey, 0, Slot::Hit(data.as_ref().clone())));
                     continue;
                 }
@@ -963,6 +999,13 @@ impl PtsEngine for HashLogEngine {
         self.0.quiesce();
     }
 
+    // Lock-free override: `stats()` takes the device mutex for the
+    // per-cause breakdown, so callers already holding it (the runner's
+    // finish path) must be able to read this counter without it.
+    fn app_bytes_written(&self) -> u64 {
+        self.0.stats().app_bytes_written
+    }
+
     fn stats(&self) -> EngineStats {
         let s = self.0.stats();
         let cache = self.0.cache_stats();
@@ -974,6 +1017,7 @@ impl PtsEngine for HashLogEngine {
             cache_hits: cache.map_or(0, |c| c.hits),
             cache_misses: cache.map_or(0, |c| c.misses),
             cache,
+            cause: self.0.vfs().ssd().lock().cause_stats(),
             structural: vec![
                 ("segments", self.0.segment_count() as u64),
                 ("entries", self.0.len()),

@@ -123,6 +123,7 @@ fn build_hashlog(
         queue_depth: tuning.queue_depth,
         cache_bytes: tuning.cache_bytes,
         compression: ptsbench_cache::Compression::from_level(tuning.compression_level),
+        trace: tuning.trace,
         ..HashLogOptions::scaled_to_partition(tuning.device_bytes)
     };
     let db = match lifecycle {

@@ -30,6 +30,11 @@ pub struct HashLogOptions {
     /// memory and is written as one compressed container when it seals
     /// ([`Compression::None`] keeps the seed append-per-record format).
     pub compression: Compression,
+    /// Record phase spans and per-cause device attribution through the
+    /// tracer attached to the device (no-op — and byte-identical to the
+    /// untraced engine — when the device has no tracer or this is
+    /// false, the default).
+    pub trace: bool,
 }
 
 impl Default for HashLogOptions {
@@ -41,6 +46,7 @@ impl Default for HashLogOptions {
             queue_depth: 1,
             cache_bytes: 0,
             compression: Compression::None,
+            trace: false,
         }
     }
 }

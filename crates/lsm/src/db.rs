@@ -4,7 +4,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use ptsbench_cache::{BlockCache, CacheStats, SharedBlockCache};
-use ptsbench_vfs::{SharedIoQueue, Vfs};
+use ptsbench_vfs::{Cause, SharedIoQueue, TraceHandle, Vfs};
 
 use crate::compaction::{pick, CompactionTask};
 use crate::iter::{EntryStream, KWayMerge};
@@ -68,6 +68,9 @@ pub struct LsmDb {
     cache: Option<SharedBlockCache>,
     /// Bloom traffic counters shared across reader generations.
     blooms: Arc<BloomCounters>,
+    /// Phase-span recorder + device cause scopes (inert unless
+    /// `opts.trace` and a tracer is attached to the device).
+    trace: TraceHandle,
 }
 
 impl std::fmt::Debug for LsmDb {
@@ -91,6 +94,7 @@ impl LsmDb {
         let manifest = Manifest::create(vfs.clone())?;
         let queue = io_queue_for(&vfs, &opts);
         let cache = cache_for(&opts);
+        let trace = TraceHandle::from_vfs(&vfs, opts.trace);
         Ok(Self {
             memtable: Memtable::new(),
             wal,
@@ -104,6 +108,7 @@ impl LsmDb {
             queue,
             cache,
             blooms: Arc::new(BloomCounters::default()),
+            trace,
         })
     }
 
@@ -120,6 +125,7 @@ impl LsmDb {
         let (tables, next_file) = Manifest::replay(&vfs)?;
         let queue = io_queue_for(&vfs, &opts);
         let cache = cache_for(&opts);
+        let trace = TraceHandle::from_vfs(&vfs, opts.trace);
         let blooms = Arc::new(BloomCounters::default());
         let mut version = Version::new(opts.max_levels);
         for (level, name) in tables {
@@ -133,7 +139,8 @@ impl LsmDb {
             // manifest intentionally stores only placement).
             let reader = SstableReader::open_q(vfs.clone(), &name, queue.clone())?
                 .with_cache(cache.clone())
-                .with_blooms(Some(Arc::clone(&blooms)));
+                .with_blooms(Some(Arc::clone(&blooms)))
+                .with_trace(trace.clone());
             let min_key = reader
                 .first_key()
                 .ok_or_else(|| LsmError::Corruption(format!("{name}: empty table")))?;
@@ -180,6 +187,7 @@ impl LsmDb {
             queue,
             cache,
             blooms,
+            trace,
         };
         for record in records {
             match record {
@@ -238,10 +246,13 @@ impl LsmDb {
         self.stats.puts += 1;
         self.stats.app_bytes_written += (key.len() + value.len()) as u64;
         if let Some(wal) = self.wal.as_mut() {
+            let _c = self.trace.cause(Cause::Wal);
+            let span = self.trace.begin("lsm.wal", Cause::Wal);
             wal.log_put(key, value)?;
             if self.opts.wal_fsync {
                 wal.sync(true)?;
             }
+            self.trace.end(span);
         }
         self.memtable.put(key, value);
         self.maybe_flush()
@@ -252,10 +263,13 @@ impl LsmDb {
         self.stats.deletes += 1;
         self.stats.app_bytes_written += key.len() as u64;
         if let Some(wal) = self.wal.as_mut() {
+            let _c = self.trace.cause(Cause::Wal);
+            let span = self.trace.begin("lsm.wal", Cause::Wal);
             wal.log_delete(key)?;
             if self.opts.wal_fsync {
                 wal.sync(true)?;
             }
+            self.trace.end(span);
         }
         self.memtable.delete(key);
         self.maybe_flush()
@@ -430,6 +444,16 @@ impl LsmDb {
         if self.memtable.is_empty() {
             return Ok(());
         }
+        // Flush rides the Compaction cause: it is the same inline
+        // maintenance stall, and the paper's WA-A folds both together.
+        let _cause = self.trace.cause(Cause::Compaction);
+        let span = self.trace.begin("lsm.flush", Cause::Compaction);
+        let result = self.flush_memtable_inner();
+        self.trace.end(span);
+        result
+    }
+
+    fn flush_memtable_inner(&mut self) -> Result<()> {
         if let Some(wal) = self.wal.as_mut() {
             wal.sync(false)?;
         }
@@ -468,7 +492,8 @@ impl LsmDb {
         self.manifest.commit()?;
         let reader = SstableReader::open_bg_q(self.vfs.clone(), &meta.name, self.queue.clone())?
             .with_cache(self.cache.clone())
-            .with_blooms(Some(Arc::clone(&self.blooms)));
+            .with_blooms(Some(Arc::clone(&self.blooms)))
+            .with_trace(self.trace.clone());
         self.version.push_l0(Arc::new(TableHandle { meta, reader }));
         if let Some(wal) = self.wal.as_mut() {
             wal.rotate()?;
@@ -544,6 +569,14 @@ impl LsmDb {
     }
 
     fn run_compaction(&mut self, task: CompactionTask) -> Result<()> {
+        let _cause = self.trace.cause(Cause::Compaction);
+        let span = self.trace.begin("lsm.compaction", Cause::Compaction);
+        let result = self.run_compaction_inner(task);
+        self.trace.end(span);
+        result
+    }
+
+    fn run_compaction_inner(&mut self, task: CompactionTask) -> Result<()> {
         let drop_tombstones = !self.version.has_data_below(task.target_level);
         let input_bytes = task.input_bytes();
         let input_names = task.input_names();
@@ -637,7 +670,8 @@ impl LsmDb {
             let reader =
                 SstableReader::open_bg_q(self.vfs.clone(), &meta.name, self.queue.clone())?
                     .with_cache(self.cache.clone())
-                    .with_blooms(Some(Arc::clone(&self.blooms)));
+                    .with_blooms(Some(Arc::clone(&self.blooms)))
+                    .with_trace(self.trace.clone());
             added.push(Arc::new(TableHandle { meta, reader }));
         }
         self.manifest.commit()?;

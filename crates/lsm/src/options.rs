@@ -68,6 +68,11 @@ pub struct LsmOptions {
     /// and compaction-input reads as batched submissions of up to this
     /// many commands, overlapping their base latencies.
     pub queue_depth: usize,
+    /// Record phase spans and per-cause device attribution through the
+    /// tracer attached to the device (no-op — and byte-identical to the
+    /// untraced engine — when the device has no tracer or this is
+    /// false, the default).
+    pub trace: bool,
 }
 
 impl Default for LsmOptions {
@@ -89,6 +94,7 @@ impl Default for LsmOptions {
             recycle_wal: true,
             compaction_budget_factor: 16,
             queue_depth: 1,
+            trace: false,
         }
     }
 }
@@ -114,6 +120,7 @@ impl LsmOptions {
             recycle_wal: true,
             compaction_budget_factor: 16,
             queue_depth: 1,
+            trace: false,
         }
     }
 

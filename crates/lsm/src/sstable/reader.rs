@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ptsbench_cache::{file_tag, Compression, SharedBlockCache};
-use ptsbench_vfs::{FileId, SharedIoQueue, Vfs};
+use ptsbench_vfs::{FileId, SharedIoQueue, TraceHandle, Vfs};
 
 use crate::bloom::BloomFilter;
 use crate::sstable::format::{decode_entry, decode_index, Footer, IndexEntry, FOOTER_LEN};
@@ -54,6 +54,8 @@ pub struct SstableReader {
     /// reused after deletion).
     cache_tag: u64,
     blooms: Option<Arc<BloomCounters>>,
+    /// Tracing context (inert by default; attached by the database).
+    trace: TraceHandle,
 }
 
 impl std::fmt::Debug for SstableReader {
@@ -107,6 +109,13 @@ impl SstableReader {
         self
     }
 
+    /// Attaches the database's tracing context (block-load and
+    /// cache-hit spans on the point-lookup path).
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
+    }
+
     fn open_opts(vfs: Vfs, name: &str, blocking: bool) -> Result<Self> {
         let read = |off: u64, len: usize| {
             if blocking {
@@ -135,6 +144,7 @@ impl SstableReader {
         } else {
             None
         };
+        let trace = TraceHandle::from_vfs(&vfs, false);
         Ok(Self {
             vfs,
             file,
@@ -148,6 +158,7 @@ impl SstableReader {
             compression: Compression::from_level(footer.reserved.min(255) as u8),
             cache: None,
             blooms: None,
+            trace,
         })
     }
 
@@ -194,9 +205,13 @@ impl SstableReader {
         let key = (self.cache_tag, block.offset);
         if let Some(cache) = &self.cache {
             if let Some(data) = cache.lock().get(&key) {
+                self.trace.mark("lsm.cache_hit", self.trace.current_cause());
                 return Ok(data);
             }
         }
+        let span = self
+            .trace
+            .begin("lsm.block_load", self.trace.current_cause());
         let raw = self
             .vfs
             .read_at(self.file, block.offset, block.len as usize)?;
@@ -209,6 +224,7 @@ impl SstableReader {
                 .lock()
                 .insert(key, Arc::clone(&data), block.len as u64);
         }
+        self.trace.end(span);
         Ok(data)
     }
 

@@ -145,7 +145,11 @@ impl LatencyHistogram {
 
     /// The empirical CDF as `(upper bucket edge ns, cumulative
     /// fraction)` points, one per non-empty bucket. The final point's
-    /// fraction is exactly 1.0. This is the distribution view the
+    /// fraction is exactly 1.0 and always sits on the histogram's final
+    /// bucket boundary — even when the top bucket itself is empty — so
+    /// every CDF drawn from this bucketing (queue delays, phase
+    /// breakdowns) shares an identical terminal x-grid point and can be
+    /// overlaid without re-gridding. This is the distribution view the
     /// serving front-end renders for queue delays (tail-latency plots
     /// read directly off these points).
     pub fn cdf_points(&self) -> Vec<(u64, f64)> {
@@ -161,6 +165,11 @@ impl LatencyHistogram {
             cum += c;
             let edge = (BASE_NS * GROWTH.powi(i as i32 + 1)) as u64;
             out.push((edge, cum as f64 / self.total as f64));
+        }
+        let final_edge = (BASE_NS * GROWTH.powi(BUCKETS as i32)) as u64;
+        match out.last_mut() {
+            Some((edge, _)) if *edge < final_edge => out.push((final_edge, 1.0)),
+            _ => {}
         }
         out
     }
@@ -250,10 +259,23 @@ mod tests {
         assert!(!points.is_empty());
         for pair in points.windows(2) {
             assert!(pair[0].0 < pair[1].0, "edges strictly increase");
-            assert!(pair[0].1 < pair[1].1, "fractions strictly increase");
+            assert!(pair[0].1 <= pair[1].1, "fractions never decrease");
         }
         let last = points.last().unwrap();
         assert_eq!(last.1, 1.0, "CDF ends at exactly 1.0");
+        // The terminal x is the histogram's final bucket boundary, even
+        // though the top bucket is empty here, so every CDF drawn from
+        // this bucketing shares the same closing grid point.
+        let final_edge = (BASE_NS * GROWTH.powi(BUCKETS as i32)) as u64;
+        assert_eq!(last.0, final_edge, "CDF closes on the final boundary");
+        // Interior fractions still strictly increase (only the appended
+        // terminal point may repeat the 1.0 reached by the data).
+        for pair in points[..points.len() - 1].windows(2) {
+            assert!(
+                pair[0].1 < pair[1].1,
+                "interior fractions strictly increase"
+            );
+        }
         // The CDF agrees with the quantile view at the median.
         let p50 = h.quantile(0.5);
         let at_median = points

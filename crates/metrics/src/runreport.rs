@@ -12,6 +12,8 @@
 //! with the same seed produce **byte-identical** report text — the
 //! property the CI determinism check diffs for.
 
+use ptsbench_trace::CauseStats;
+
 use crate::cache::CacheStats;
 use crate::histogram::LatencyHistogram;
 use crate::load::{LoadImbalance, ShardLoad};
@@ -73,6 +75,12 @@ pub struct ShardReport {
     /// — otherwise, so cache-off reports stay byte-identical to
     /// pre-cache output (pinned in `tests/cache_conformance.rs`).
     pub cache: Option<CacheStats>,
+    /// Per-cause device traffic attribution (which request kinds and
+    /// background activities each device byte belongs to) when the run
+    /// was traced. `None` — and unrendered — otherwise, so untraced
+    /// reports stay byte-identical to pre-trace output (pinned in
+    /// `tests/trace_conformance.rs`).
+    pub cause: Option<CauseStats>,
     /// Additive per-window series (throughput, device MB/s, ...). All
     /// shards must emit the same series names in the same order, on the
     /// same window boundaries.
@@ -227,6 +235,21 @@ impl RunReport {
             })
     }
 
+    /// Fleet-level per-cause device traffic, folded over every shard
+    /// that reported attribution (`None` when none did — i.e. no shard
+    /// was traced). Counters sum across shards, so the totals row is
+    /// the fleet's whole device traffic by provenance.
+    pub fn cause_totals(&self) -> Option<CauseStats> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.cause.as_ref())
+            .fold(None, |acc, s| {
+                let mut total = acc.unwrap_or_default();
+                total.merge(s);
+                Some(total)
+            })
+    }
+
     /// Deterministic plain-text rendering (byte-identical for
     /// byte-identical inputs): an aggregate header, one aligned table
     /// of all merged series (via [`render_series_table`]), the merged
@@ -276,9 +299,13 @@ impl RunReport {
             out.push_str(&cache.render());
             out.push('\n');
         }
+        if let Some(cause) = self.cause_totals() {
+            out.push_str(&cause.render());
+            out.push('\n');
+        }
         for shard in &self.shards {
             out.push_str(&format!(
-                "{}: ops={} app_bytes={} host_bytes={}{}{}{}{}{}{}\n",
+                "{}: ops={} app_bytes={} host_bytes={}{}{}{}{}{}{}{}\n",
                 shard.name,
                 shard.ops,
                 shard.app_bytes,
@@ -304,6 +331,10 @@ impl RunReport {
                 },
                 match &shard.cache {
                     Some(cache) => format!(" {}", cache.render_compact()),
+                    None => String::new(),
+                },
+                match &shard.cause {
+                    Some(cause) => format!(" {}", cause.render_compact()),
                     None => String::new(),
                 },
                 if shard.out_of_space {
@@ -351,6 +382,7 @@ mod tests {
             load: None,
             slo: None,
             cache: None,
+            cause: None,
             series: vec![series],
         }
     }
@@ -560,6 +592,45 @@ mod tests {
         ));
         assert!(text.contains("cache[hit=60 miss=40 rate=0.6000 saved=240000]"));
         assert!(text.contains("cache[hit=40 miss=60 rate=0.4000 saved=160000]"));
+    }
+
+    #[test]
+    fn cause_stats_render_only_when_present() {
+        use ptsbench_trace::Cause;
+
+        // Absent: the report must render exactly as before tracing
+        // existed (the trace_conformance-suite contract).
+        let plain = RunReport::merge("x", 1, vec![shard("shard0", 5, &[1_000], &[1.0])]);
+        let plain_text = plain.render();
+        assert!(plain.cause_totals().is_none());
+        assert!(!plain_text.contains("cause"));
+
+        // Present: the fleet footer folds shard attribution and each
+        // shard line carries its compact breakdown.
+        let mut a = shard("shard0", 5, &[1_000], &[1.0]);
+        let mut sa = CauseStats::new();
+        sa.note_write(Cause::Put, 4_096);
+        sa.note_write(Cause::Compaction, 8_192);
+        sa.note_read(Cause::Get, 2_048);
+        sa.note_erases(Cause::Compaction, 3);
+        a.cause = Some(sa);
+        let mut b = shard("shard1", 5, &[1_000], &[1.0]);
+        let mut sb = CauseStats::new();
+        sb.note_write(Cause::Put, 1_024);
+        sb.note_read(Cause::Get, 512);
+        b.cause = Some(sb);
+        let report = RunReport::merge("x", 2, vec![a, b]);
+        let totals = report.cause_totals().expect("cause totals");
+        assert_eq!(totals.total_bytes_written(), 13_312);
+        assert_eq!(totals.total_bytes_read(), 2_560);
+        assert_eq!(totals.total_erases(), 3);
+        let text = report.render();
+        assert!(text.contains(
+            "cause: get[w=0 r=2560 e=0] put[w=5120 r=0 e=0] \
+             compaction[w=8192 r=0 e=3] total[w=13312 r=2560 e=3]"
+        ));
+        assert!(text.contains("cause[get=0+2048 put=4096+0 compaction=8192+0]"));
+        assert!(text.contains("cause[get=0+512 put=1024+0]"));
     }
 
     #[test]

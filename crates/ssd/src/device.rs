@@ -31,11 +31,14 @@ use std::sync::Arc;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use ptsbench_trace::{Cause, CauseStats, Tracer};
+
 use crate::cache::DestageQueue;
 use crate::clock::{Ns, SimClock};
 use crate::config::{DeviceConfig, MediaKind};
 use crate::ftl::Ftl;
 use crate::latency::Backend;
+use crate::probe::DeviceProbe;
 use crate::queue::{IoCmd, IoDepthStats, IoTimes};
 use crate::stats::{SmartCounters, WearStats};
 use crate::trace::WriteTrace;
@@ -71,8 +74,7 @@ pub struct Ssd {
     read_lanes: Backend,
     cache: DestageQueue,
     smart: SmartCounters,
-    io_depth: IoDepthStats,
-    trace: Option<WriteTrace>,
+    probe: DeviceProbe,
     /// For in-place media only: which LPNs hold data (utilization).
     inplace_written: Vec<bool>,
     inplace_mapped: u64,
@@ -99,8 +101,7 @@ impl Ssd {
             backend: Backend::new(),
             read_lanes: Backend::with_lanes(cfg.channels as usize),
             smart: SmartCounters::default(),
-            io_depth: IoDepthStats::default(),
-            trace,
+            probe: DeviceProbe::new(trace),
             inplace_written: if inplace {
                 vec![false; cfg.geometry.logical_pages as usize]
             } else {
@@ -160,6 +161,12 @@ impl Ssd {
                     times.done = c.host_done;
                     times.durable_at = times.durable_at.max(c.durable_at);
                 }
+                if !range.is_empty() {
+                    self.probe
+                        .note_write_bytes(range.len() * self.cfg.geometry.page_size as u64);
+                    let cause = self.probe.current_cause();
+                    self.probe.tracer().leaf("dev.write", cause, at, times.done);
+                }
                 Ok(times)
             }
             IoCmd::Read { range } => {
@@ -174,9 +181,7 @@ impl Ssd {
                 let mut media_pages = 0u64;
                 for lpn in range.iter() {
                     self.smart.host_pages_read += 1;
-                    if let Some(t) = self.trace.as_mut() {
-                        t.record_read(lpn);
-                    }
+                    self.probe.note_host_read(lpn);
                     let mapped = match self.cfg.media {
                         MediaKind::Flash => self.ftl.is_mapped(lpn),
                         MediaKind::InPlace => self.inplace_written[lpn as usize],
@@ -204,6 +209,10 @@ impl Ssd {
                         at + lat.read_base_latency_ns + media_pages * lat.read_occupancy_ns
                     }
                 };
+                self.probe
+                    .note_read_bytes(range.len() * self.cfg.geometry.page_size as u64);
+                let cause = self.probe.current_cause();
+                self.probe.tracer().leaf("dev.read", cause, at, done);
                 Ok(IoTimes {
                     done,
                     durable_at: done,
@@ -228,9 +237,7 @@ impl Ssd {
     /// in), backend reservations, cache admission.
     fn service_write(&mut self, at: Ns, lpn: Lpn) -> Result<WriteCompletion, SsdError> {
         self.smart.host_pages_written += 1;
-        if let Some(t) = self.trace.as_mut() {
-            t.record(lpn);
-        }
+        self.probe.note_host_write(lpn);
         let lat = self.cfg.latency;
         match self.cfg.media {
             MediaKind::InPlace => {
@@ -253,6 +260,7 @@ impl Ssd {
                 self.smart.blocks_erased += ops.erases as u64;
                 self.smart.gc_pages_relocated += ops.relocated as u64;
                 self.smart.gc_invocations += ops.gc_runs as u64;
+                self.probe.note_erases(ops.erases as u64);
 
                 // Charge GC work to the backend, then the host page itself;
                 // the host page's program completion is the durability point.
@@ -420,7 +428,7 @@ impl Ssd {
     /// session (use [`Ssd::reset_trace`] to clear it explicitly).
     pub fn reset_observability(&mut self) {
         self.smart.reset();
-        self.io_depth.reset();
+        self.probe.reset();
         self.backend.reset(self.clock.now());
         self.read_lanes.reset(self.clock.now());
         self.cache.clear();
@@ -428,9 +436,7 @@ impl Ssd {
 
     /// Clears the LBA write trace.
     pub fn reset_trace(&mut self) {
-        if let Some(t) = self.trace.as_mut() {
-            t.reset();
-        }
+        self.probe.reset_write_trace();
     }
 
     /// Current SMART counters.
@@ -441,15 +447,48 @@ impl Ssd {
     /// Aggregate submission-depth statistics across every [`crate::IoQueue`]
     /// attached to this device (reset by [`Ssd::reset_observability`]).
     pub fn io_depth_stats(&self) -> IoDepthStats {
-        self.io_depth
+        self.probe.io_depth()
     }
 
     /// Records one queued submission with `in_flight` commands
     /// outstanding (called by [`crate::IoQueue::submit`]).
     pub(crate) fn note_queue_submission(&mut self, in_flight: u64) {
-        self.io_depth.submitted += 1;
-        self.io_depth.depth_sum += in_flight;
-        self.io_depth.max_in_flight = self.io_depth.max_in_flight.max(in_flight);
+        self.probe.note_queue_submission(in_flight);
+    }
+
+    /// Attaches a span tracer to the device's probe; subsequent host
+    /// commands emit `dev.write`/`dev.read` leaf spans and per-cause
+    /// traffic accounting becomes active.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.probe.attach_tracer(tracer);
+    }
+
+    /// The device's tracer handle (the off tracer unless one was
+    /// attached) — the filesystem and engines clone this at build time.
+    pub fn tracer(&self) -> &Tracer {
+        self.probe.tracer()
+    }
+
+    /// Enters a cause scope: device traffic until the matching
+    /// [`Ssd::pop_cause`] is charged to `cause`.
+    pub fn push_cause(&mut self, cause: Cause) {
+        self.probe.push_cause(cause);
+    }
+
+    /// Leaves the innermost cause scope.
+    pub fn pop_cause(&mut self) {
+        self.probe.pop_cause();
+    }
+
+    /// The innermost active cause ([`Cause::Other`] outside any scope).
+    pub fn current_cause(&self) -> Cause {
+        self.probe.current_cause()
+    }
+
+    /// Per-cause device traffic since the last
+    /// [`Ssd::reset_observability`]; `None` unless a tracer is attached.
+    pub fn cause_stats(&self) -> Option<CauseStats> {
+        self.probe.cause_stats()
     }
 
     /// Fraction of logical space holding data.
@@ -485,25 +524,21 @@ impl Ssd {
 
     /// Enables per-LBA write tracing (idempotent).
     pub fn enable_trace(&mut self) {
-        if self.trace.is_none() {
-            self.trace = Some(WriteTrace::new(self.cfg.geometry.logical_pages));
-        }
+        self.probe
+            .enable_write_trace(self.cfg.geometry.logical_pages);
     }
 
     /// Enables per-LBA *read* tracing on top of write tracing
     /// (idempotent; creates the trace if needed) — used to inspect
     /// read-path access patterns under the asynchronous I/O API.
     pub fn enable_read_trace(&mut self) {
-        self.enable_trace();
-        self.trace
-            .as_mut()
-            .expect("trace just enabled")
-            .enable_reads();
+        self.probe
+            .enable_read_trace(self.cfg.geometry.logical_pages);
     }
 
     /// The write trace, if tracing is enabled.
     pub fn write_trace(&self) -> Option<&WriteTrace> {
-        self.trace.as_ref()
+        self.probe.write_trace()
     }
 
     /// Current backlog of the media backend relative to `now` (ns) — a

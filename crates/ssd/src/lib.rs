@@ -59,6 +59,7 @@ pub mod device;
 pub mod ftl;
 pub mod gc;
 pub mod latency;
+pub mod probe;
 pub mod queue;
 pub mod stats;
 pub mod trace;
@@ -71,6 +72,10 @@ pub use device::{Ssd, WriteCompletion};
 pub use ftl::{Ftl, NandOps};
 pub use gc::GcPolicy;
 pub use latency::LatencyConfig;
+pub use probe::DeviceProbe;
+pub use ptsbench_trace::{
+    Cause, CauseCounters, CauseStats, SharedTraceRecorder, Span, SpanId, TraceRecorder, Tracer,
+};
 pub use queue::{IoCmd, IoCompletion, IoDepthStats, IoQueue, IoTimes, IoToken, SharedIoQueue};
 pub use stats::SmartCounters;
 pub use trace::WriteTrace;

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use ptsbench_ssd::{IoCmd, IoQueue, IoToken, LpnRange, Ns, SharedSsd, SimClock};
+use ptsbench_ssd::{IoCmd, IoQueue, IoToken, LpnRange, Ns, SharedSsd, SimClock, Tracer};
 
 use crate::alloc::{AllocPolicy, ExtentAllocator};
 use crate::error::VfsError;
@@ -165,6 +165,15 @@ impl Vfs {
         Arc::clone(&self.inner.lock().clock)
     }
 
+    /// The device's span tracer (the off tracer unless one was attached
+    /// to the device) — engines clone this at build time to record
+    /// their own phase spans.
+    pub fn tracer(&self) -> Tracer {
+        let g = self.inner.lock();
+        let dev = g.ssd.lock();
+        dev.tracer().clone()
+    }
+
     /// Device page size in bytes.
     pub fn page_size(&self) -> u64 {
         self.inner.lock().page_size
@@ -319,6 +328,9 @@ impl Vfs {
         let old_pages = old_size.div_ceil(ps);
         {
             let mut dev = ssd.lock();
+            let span = dev
+                .tracer()
+                .begin("vfs.write", dev.current_cause(), clock.now());
             if !offset.is_multiple_of(ps) && first_page < old_pages {
                 let done = dev.read_page(node.page_to_lpn(first_page));
                 if blocking {
@@ -339,6 +351,7 @@ impl Vfs {
                 }
                 node.durable_at = node.durable_at.max(c.durable_at);
             }
+            dev.tracer().end(span, clock.now());
         }
         if g_peak_update > g.peak_used_pages {
             g.peak_used_pages = g_peak_update;
@@ -386,12 +399,16 @@ impl Vfs {
         let last_page = (offset + len as u64 - 1) / ps;
         {
             let mut dev = ssd.lock();
+            let span = dev
+                .tracer()
+                .begin("vfs.read", dev.current_cause(), clock.now());
             for run in node.runs(first_page, last_page - first_page + 1) {
                 let done = dev.read_pages(run);
                 if blocking {
                     clock.advance_to(done);
                 }
             }
+            dev.tracer().end(span, clock.now());
         }
         Ok(node.data[offset as usize..offset as usize + len].to_vec())
     }
@@ -466,7 +483,31 @@ impl Vfs {
         offset: u64,
         len: usize,
     ) -> Result<Vec<u8>> {
-        Ok(self.read_runs_async(queue, id, offset, len)?.wait(queue))
+        let (tracer, cause, clock) = self.trace_context();
+        let span = tracer.begin("vfs.read", cause, clock.now());
+        let result = self.read_runs_async(queue, id, offset, len);
+        let data = match result {
+            Ok(read) => read.wait(queue),
+            Err(e) => {
+                tracer.end(span, clock.now());
+                return Err(e);
+            }
+        };
+        tracer.end(span, clock.now());
+        Ok(data)
+    }
+
+    /// The tracer, current device cause and clock in one grab (span
+    /// bookkeeping for the queue-based I/O paths, which run outside the
+    /// filesystem lock).
+    fn trace_context(&self) -> (Tracer, ptsbench_ssd::Cause, Arc<SimClock>) {
+        let g = self.inner.lock();
+        let dev = g.ssd.lock();
+        (
+            dev.tracer().clone(),
+            dev.current_cause(),
+            Arc::clone(&g.clock),
+        )
     }
 
     /// Appends `buf` through the submission queue: one write command per
@@ -517,6 +558,8 @@ impl Vfs {
 
         // Phase 2 (lock dropped): submit. The RMW read is a data
         // dependency of the tail-page write, so it completes first.
+        let (tracer, cause, clock) = self.trace_context();
+        let span = tracer.begin("vfs.append", cause, clock.now());
         if let Some(lpn) = rmw_lpn {
             let token = queue.submit(IoCmd::read_page(lpn))?;
             queue.wait(token);
@@ -537,6 +580,7 @@ impl Vfs {
             let c = queue.wait(token);
             durable_at = durable_at.max(c.durable_at);
         }
+        tracer.end(span, clock.now());
         if let Some(e) = submit_error {
             return Err(e.into());
         }

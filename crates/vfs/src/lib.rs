@@ -31,14 +31,19 @@ pub mod alloc;
 pub mod error;
 pub mod file;
 pub mod fs;
+pub mod trace;
 
 pub use alloc::{AllocPolicy, Extent, ExtentAllocator};
 pub use error::VfsError;
 pub use file::FileId;
 pub use fs::{AsyncRead, FsStats, Vfs, VfsOptions};
+pub use trace::{CauseScope, TraceHandle};
 // Re-exported so engines can drive the asynchronous submission path
 // without depending on `ptsbench-ssd` directly.
-pub use ptsbench_ssd::{IoCmd, IoCompletion, IoDepthStats, IoQueue, IoToken, SharedIoQueue};
+pub use ptsbench_ssd::{
+    Cause, CauseStats, IoCmd, IoCompletion, IoDepthStats, IoQueue, IoToken, SharedIoQueue, SpanId,
+    Tracer,
+};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, VfsError>;

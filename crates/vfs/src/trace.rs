@@ -1,0 +1,199 @@
+//! Engine-side tracing convenience: one handle bundling the tracer,
+//! the clock and the device's cause stack.
+//!
+//! Engines record phase spans (`lsm.flush`, `btree.page_walk`, ...) and
+//! enter cause scopes (so device traffic below them is attributed to
+//! `Compaction`, `Wal`, ...). Both need the device clock and the shared
+//! device handle; [`TraceHandle`] captures them once at engine build so
+//! the hot paths pay a single `is_on` branch when tracing is off.
+
+use std::sync::Arc;
+
+use ptsbench_ssd::{Cause, SharedSsd, SimClock, SpanId, Tracer};
+
+use crate::fs::Vfs;
+
+/// RAII cause scope: pushes `cause` onto the device's cause stack on
+/// construction and pops it on drop. The inactive scope (tracing off)
+/// touches nothing.
+#[derive(Debug)]
+pub struct CauseScope {
+    ssd: Option<SharedSsd>,
+}
+
+impl CauseScope {
+    /// A scope that does nothing (tracing off).
+    pub fn inactive() -> Self {
+        Self { ssd: None }
+    }
+
+    /// Enters `cause` on the device's cause stack until drop.
+    pub fn enter(ssd: SharedSsd, cause: Cause) -> Self {
+        ssd.lock().push_cause(cause);
+        Self { ssd: Some(ssd) }
+    }
+}
+
+impl Drop for CauseScope {
+    fn drop(&mut self) {
+        if let Some(ssd) = &self.ssd {
+            ssd.lock().pop_cause();
+        }
+    }
+}
+
+/// The tracing context an engine holds: tracer + clock + device.
+///
+/// Built from the engine's [`Vfs`] at open time. When `enabled` is
+/// false (or no tracer is attached to the device) every method is a
+/// no-op branch.
+#[derive(Debug, Clone)]
+pub struct TraceHandle {
+    tracer: Tracer,
+    clock: Arc<SimClock>,
+    ssd: SharedSsd,
+}
+
+impl TraceHandle {
+    /// Captures the tracing context of `vfs`'s device. With
+    /// `enabled = false` the handle is inert even if the device has a
+    /// tracer attached (the engine-level opt-out).
+    pub fn from_vfs(vfs: &Vfs, enabled: bool) -> Self {
+        Self {
+            tracer: if enabled { vfs.tracer() } else { Tracer::off() },
+            clock: vfs.clock(),
+            ssd: vfs.ssd(),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_on(&self) -> bool {
+        self.tracer.is_on()
+    }
+
+    /// The underlying tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Opens a phase span at the current virtual time.
+    pub fn begin(&self, name: &'static str, cause: Cause) -> SpanId {
+        if !self.tracer.is_on() {
+            return SpanId::none();
+        }
+        self.tracer.begin(name, cause, self.clock.now())
+    }
+
+    /// Closes a phase span at the current virtual time.
+    pub fn end(&self, id: SpanId) {
+        if self.tracer.is_on() {
+            self.tracer.end(id, self.clock.now());
+        }
+    }
+
+    /// Records a completed leaf span at the current virtual time
+    /// (zero-duration marker, e.g. a cache hit).
+    pub fn mark(&self, name: &'static str, cause: Cause) {
+        if self.tracer.is_on() {
+            let now = self.clock.now();
+            self.tracer.leaf(name, cause, now, now);
+        }
+    }
+
+    /// The device's innermost active cause ([`Cause::Other`] when off
+    /// or outside any scope) — tag spans with the provenance of the
+    /// work in progress.
+    pub fn current_cause(&self) -> Cause {
+        if self.tracer.is_on() {
+            self.ssd.lock().current_cause()
+        } else {
+            Cause::Other
+        }
+    }
+
+    /// Enters a cause scope on the device (no-op scope when off).
+    pub fn cause(&self, cause: Cause) -> CauseScope {
+        if self.tracer.is_on() {
+            CauseScope::enter(Arc::clone(&self.ssd), cause)
+        } else {
+            CauseScope::inactive()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::VfsOptions;
+    use ptsbench_ssd::{DeviceConfig, DeviceProfile, Ssd};
+
+    fn traced_fs() -> Vfs {
+        let mut ssd = Ssd::new(DeviceConfig::from_profile(
+            DeviceProfile::ssd1(),
+            16 * 1024 * 1024,
+        ));
+        ssd.attach_tracer(Tracer::recording());
+        Vfs::whole_device(ssd.into_shared(), VfsOptions::default())
+    }
+
+    #[test]
+    fn disabled_handle_is_inert_even_with_device_tracer() {
+        let v = traced_fs();
+        let h = TraceHandle::from_vfs(&v, false);
+        assert!(!h.is_on());
+        let id = h.begin("x", Cause::Get);
+        h.end(id);
+        h.mark("y", Cause::Get);
+        let _scope = h.cause(Cause::Compaction);
+        assert_eq!(v.ssd().lock().current_cause(), Cause::Other);
+    }
+
+    #[test]
+    fn cause_scopes_nest_via_raii() {
+        let v = traced_fs();
+        let h = TraceHandle::from_vfs(&v, true);
+        assert!(h.is_on());
+        {
+            let _outer = h.cause(Cause::Put);
+            assert_eq!(v.ssd().lock().current_cause(), Cause::Put);
+            {
+                let _inner = h.cause(Cause::Compaction);
+                assert_eq!(v.ssd().lock().current_cause(), Cause::Compaction);
+            }
+            assert_eq!(v.ssd().lock().current_cause(), Cause::Put);
+        }
+        assert_eq!(v.ssd().lock().current_cause(), Cause::Other);
+    }
+
+    #[test]
+    fn spans_and_vfs_io_nest_under_engine_phases() {
+        let v = traced_fs();
+        let h = TraceHandle::from_vfs(&v, true);
+        let f = v.create("t").expect("create");
+        let span = h.begin("engine.phase", Cause::Put);
+        {
+            let _c = h.cause(Cause::Put);
+            v.write_at(f, 0, &[1u8; 4096]).expect("write");
+        }
+        h.end(span);
+        let rec = h.tracer().shared().expect("on");
+        let rec = rec.lock();
+        let spans: Vec<_> = rec.spans().copied().collect();
+        let root = spans
+            .iter()
+            .find(|s| s.name == "engine.phase")
+            .expect("phase span recorded");
+        let vfs_write = spans
+            .iter()
+            .find(|s| s.name == "vfs.write")
+            .expect("vfs span recorded");
+        let dev_write = spans
+            .iter()
+            .find(|s| s.name == "dev.write")
+            .expect("device span recorded");
+        assert_eq!(vfs_write.parent, Some(root.id));
+        assert_eq!(dev_write.parent, Some(vfs_write.id));
+        assert_eq!(dev_write.cause, Cause::Put);
+        assert!(root.start <= vfs_write.start && vfs_write.end <= root.end);
+    }
+}

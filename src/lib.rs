@@ -15,6 +15,10 @@
 //! * [`hashlog`] — KVell-style log-structured hash KV store, registered
 //!   with the engine registry from outside `ptsbench-core` (the proof
 //!   that the engine API is open).
+//! * [`trace`] — the zero-cost-when-off tracing subsystem: nested
+//!   virtual-time spans with cause tags, per-cause device-traffic
+//!   attribution, Chrome trace-event export and per-op phase
+//!   breakdowns.
 //! * [`harness`] — the concurrent sharded workload driver: N client
 //!   threads over M shared-nothing engine shards in virtual-time
 //!   lockstep, merged into one deterministic report.
@@ -35,5 +39,6 @@ pub use ptsbench_hashlog as hashlog;
 pub use ptsbench_lsm as lsm;
 pub use ptsbench_metrics as metrics;
 pub use ptsbench_ssd as ssd;
+pub use ptsbench_trace as trace;
 pub use ptsbench_vfs as vfs;
 pub use ptsbench_workload as workload;
