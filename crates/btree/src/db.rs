@@ -1,5 +1,6 @@
 //! The B+Tree database: public API, tree algorithms, checkpointing.
 
+use ptsbench_maint::{JobKind, MaintScheduler, MaintStats};
 use ptsbench_vfs::{Cause, TraceHandle, Vfs};
 
 use crate::log::Journal;
@@ -29,6 +30,37 @@ pub struct BTreeStats {
 
 const META_MAGIC: &[u8; 6] = b"BTREE1";
 
+/// A slice-resumable fuzzy checkpoint. There is no materialized work
+/// list: each slice asks the pager for its dirty pages, so foreground
+/// writes that re-dirty pages mid-job simply extend the cleaning phase
+/// instead of invalidating a snapshot.
+struct CkptJob {
+    /// `(root, entries)` captured when the metadata page was written
+    /// through the background path; `None` until the cache is clean.
+    /// The install (journal truncation) only proceeds while the
+    /// captured pair still matches the live tree — a foreground write
+    /// in between restarts the cleaning phase.
+    meta: Option<(PageNo, u64)>,
+}
+
+struct MaintState {
+    sched: MaintScheduler,
+    job: Option<CkptJob>,
+}
+
+impl MaintState {
+    fn has_work(&self) -> bool {
+        self.job.is_some() || self.sched.pending() > 0
+    }
+}
+
+fn maint_for(vfs: &Vfs, opts: &BTreeOptions) -> Option<MaintState> {
+    opts.maint.enabled.then(|| MaintState {
+        sched: MaintScheduler::new(opts.maint, vfs.clock().now()),
+        job: None,
+    })
+}
+
 /// An on-disk B+Tree key-value store on a simulated flash stack.
 pub struct BTreeDb {
     pager: Pager,
@@ -38,6 +70,8 @@ pub struct BTreeDb {
     entries: u64,
     stats: BTreeStats,
     bytes_since_checkpoint: u64,
+    /// Deferred-checkpoint state; `None` keeps the seed inline path.
+    maint: Option<MaintState>,
     vfs: Vfs,
     /// Tracing context (inert unless `opts.trace` and the device has a
     /// tracer attached).
@@ -66,6 +100,7 @@ impl BTreeDb {
         } else {
             None
         };
+        let maint = maint_for(&vfs, &opts);
         Ok(Self {
             pager,
             journal,
@@ -74,6 +109,7 @@ impl BTreeDb {
             entries: 0,
             stats: BTreeStats::default(),
             bytes_since_checkpoint: 0,
+            maint,
             vfs,
             trace,
         })
@@ -104,6 +140,7 @@ impl BTreeDb {
             )));
         }
 
+        let maint = maint_for(&vfs, &opts);
         let mut db = Self {
             pager,
             journal: None, // attached after replay so replay is not re-logged
@@ -112,6 +149,7 @@ impl BTreeDb {
             entries,
             stats: BTreeStats::default(),
             bytes_since_checkpoint: 0,
+            maint,
             vfs: vfs.clone(),
             trace,
         };
@@ -352,14 +390,201 @@ impl BTreeDb {
         }
         self.stats.checkpoints += 1;
         self.bytes_since_checkpoint = 0;
+        if let Some(m) = self.maint.as_mut() {
+            // An inline checkpoint supersedes any in-flight background
+            // job: everything the job would install is now durable.
+            m.job = None;
+        }
         Ok(())
     }
 
     fn maybe_checkpoint(&mut self) -> Result<()> {
         if self.bytes_since_checkpoint >= self.opts.checkpoint_app_bytes {
-            self.checkpoint()?;
+            if let Some(m) = self.maint.as_mut() {
+                // Deferred: the harness pumps the ticket forward in
+                // bounded background slices between foreground ops.
+                m.sched.enqueue(JobKind::Checkpoint);
+            } else {
+                self.checkpoint()?;
+            }
         }
         Ok(())
+    }
+
+    // ---- Background maintenance -------------------------------------
+    //
+    // In maintenance mode the byte-threshold checkpoint never runs
+    // inline inside the triggering put: `maybe_checkpoint` enqueues a
+    // `Checkpoint` ticket and the harness pumps `run_maintenance_slice`
+    // between foreground ops. The job is a fuzzy checkpoint: each slice
+    // writes back a byte-bounded batch of dirty pages through the
+    // detached background path, paced by the scheduler's token bucket;
+    // once the cache is clean the metadata page is written, and once
+    // the tree file is durable the journal truncates — the install.
+    // Foreground writes that re-dirty pages mid-job extend the cleaning
+    // phase (and invalidate a written-but-not-installed metadata page),
+    // so the install is always consistent with the on-disk tree.
+
+    /// Whether background-maintenance mode is on.
+    pub fn maint_enabled(&self) -> bool {
+        self.maint.is_some()
+    }
+
+    /// Background-maintenance counters; `None` when maintenance is off.
+    pub fn maint_stats(&self) -> Option<MaintStats> {
+        self.maint.as_ref().map(|m| m.sched.stats)
+    }
+
+    /// Runs at most one bounded checkpoint slice, if work is pending
+    /// and the rate budget and device-backlog gate allow it. Returns
+    /// whether any forward progress was made (callers may pump in a
+    /// loop until `false`).
+    pub fn run_maintenance_slice(&mut self) -> Result<bool> {
+        self.maintenance_slice_inner(false)
+    }
+
+    /// Drains every outstanding checkpoint job to completion with
+    /// forced slices. Callers that end a run or leave a `ClockBarrier`
+    /// must drain first so no shard exits with a half-written
+    /// checkpoint.
+    pub fn drain_maintenance(&mut self) -> Result<()> {
+        if self.maint.is_none() {
+            return Ok(());
+        }
+        let mut spins = 0u32;
+        while self.maint.as_ref().expect("maintenance mode").has_work() {
+            if self.maintenance_slice_inner(true)? {
+                spins = 0;
+            } else {
+                // Only stale tickets were consumed; a couple of empty
+                // rounds means we are done.
+                spins += 1;
+                if spins > 2 {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The urgency condition that bypasses pacing: the journal backlog
+    /// (bytes logged since the last completed checkpoint) has outgrown
+    /// the space-amplification ceiling over the checkpoint threshold.
+    /// Without it a write load faster than the maintenance rate budget
+    /// grows the journal — pure space overhead — without bound.
+    fn backlog_exceeded(&self) -> bool {
+        let Some(m) = &self.maint else {
+            return false;
+        };
+        self.bytes_since_checkpoint > m.sched.cfg().max_space_amp * self.opts.checkpoint_app_bytes
+    }
+
+    fn maintenance_slice_inner(&mut self, forced: bool) -> Result<bool> {
+        if self.maint.is_none() {
+            return Ok(false);
+        }
+        let forced = forced || self.backlog_exceeded();
+        let now = self.vfs.clock().now();
+        let backlog = self.vfs.device_backlog_ns();
+        {
+            let m = self.maint.as_mut().expect("maintenance mode");
+            if !forced && backlog > m.sched.cfg().max_backlog_ns {
+                return Ok(false);
+            }
+            if m.job.is_none() {
+                let Some(kind) = m.sched.pop_ready(now, forced) else {
+                    return Ok(false);
+                };
+                debug_assert_eq!(kind, JobKind::Checkpoint, "btree only checkpoints");
+                m.job = Some(CkptJob { meta: None });
+            } else if !m.sched.budget_ready(now, forced) {
+                return Ok(false);
+            }
+        }
+        let progressed = self.ckpt_run_slice(forced)?;
+        if progressed {
+            self.maint
+                .as_mut()
+                .expect("maintenance mode")
+                .sched
+                .stats
+                .slices += 1;
+        }
+        Ok(progressed)
+    }
+
+    fn ckpt_run_slice(&mut self, forced: bool) -> Result<bool> {
+        let _cause = self.trace.cause(Cause::Checkpoint);
+        let span = self
+            .trace
+            .begin(JobKind::Checkpoint.span_label(), Cause::Checkpoint);
+        let result = self.ckpt_run_slice_inner(forced);
+        self.trace.end(span);
+        result
+    }
+
+    /// One checkpoint increment: a batch of page write-backs, the
+    /// metadata write, or the durability-gated install — whichever the
+    /// job needs next. `Ok(false)` means the job is blocked waiting for
+    /// durability (nothing runnable until the clock advances).
+    fn ckpt_run_slice_inner(&mut self, forced: bool) -> Result<bool> {
+        let slice_bytes = {
+            let m = self.maint.as_ref().expect("maintenance mode");
+            m.sched.cfg().slice_bytes.max(1)
+        };
+        // Phase 1: clean the cache, one byte-bounded batch per slice.
+        if self.pager.dirty_pages() > 0 {
+            let written = self.pager.flush_dirty_bg(slice_bytes)?;
+            let now = self.vfs.clock().now();
+            let m = self.maint.as_mut().expect("maintenance mode");
+            m.sched.charge(now, written, false);
+            // Any previously written metadata predates these pages.
+            m.job.as_mut().expect("job in progress").meta = None;
+            return Ok(true);
+        }
+        // Phase 2: write the metadata page once per clean point.
+        let captured = self
+            .maint
+            .as_ref()
+            .expect("maintenance mode")
+            .job
+            .as_ref()
+            .expect("job in progress")
+            .meta;
+        if captured != Some((self.root, self.entries)) {
+            let mut meta = Vec::with_capacity(32);
+            meta.extend_from_slice(META_MAGIC);
+            meta.extend_from_slice(&self.root.to_le_bytes());
+            meta.extend_from_slice(&self.entries.to_le_bytes());
+            self.pager.write_meta_bg(&meta)?;
+            let page_bytes = self.pager.page_bytes() as u64;
+            let now = self.vfs.clock().now();
+            let m = self.maint.as_mut().expect("maintenance mode");
+            m.sched.charge(now, page_bytes, false);
+            m.job.as_mut().expect("job in progress").meta = Some((self.root, self.entries));
+            return Ok(true);
+        }
+        // Phase 3: install — truncate the journal once the tree file
+        // (pages + metadata) is durable. A blocked wait returns `false`
+        // so the pump stops spinning; `drain` forces the sync.
+        let now = self.vfs.clock().now();
+        if self.pager.durable_at()? > now {
+            if !forced {
+                return Ok(false);
+            }
+            self.pager.fsync()?;
+        }
+        if let Some(j) = self.journal.as_mut() {
+            j.truncate()?;
+        }
+        self.pager.note_checkpoint();
+        self.stats.checkpoints += 1;
+        self.bytes_since_checkpoint = 0;
+        let m = self.maint.as_mut().expect("maintenance mode");
+        m.sched.stats.jobs += 1;
+        m.sched.stats.installs += 1;
+        m.job = None;
+        Ok(true)
     }
 
     // ----- insertion -----
@@ -921,6 +1146,50 @@ mod tests {
             db.stats().checkpoints > 0,
             "byte threshold must trigger checkpoints"
         );
+    }
+
+    #[test]
+    fn background_checkpoint_cleans_cache_and_truncates_journal() {
+        use ptsbench_maint::MaintConfig;
+        let ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 32 << 20));
+        let vfs = Vfs::whole_device(ssd.into_shared(), VfsOptions::default());
+        let opts = BTreeOptions {
+            maint: MaintConfig::enabled(),
+            ..BTreeOptions::small()
+        };
+        let mut db = BTreeDb::open(vfs.clone(), opts).expect("open");
+        for i in 0..3000u32 {
+            db.put(&key(i), &[7u8; 128]).expect("put");
+            while db.run_maintenance_slice().expect("slice") {}
+        }
+        db.drain_maintenance().expect("drain");
+        let stats = db.maint_stats().expect("maintenance stats");
+        assert!(stats.jobs > 0, "byte threshold must schedule checkpoints");
+        assert_eq!(stats.jobs, stats.installs, "exactly-once installs");
+        assert!(stats.slices >= stats.jobs, "jobs run in bounded slices");
+        assert!(stats.bytes_written > 0, "write-backs go through the budget");
+        assert_eq!(
+            db.stats().checkpoints,
+            stats.jobs,
+            "every background install is a checkpoint"
+        );
+        db.verify();
+        for i in (0..3000).step_by(97) {
+            assert_eq!(db.get(&key(i)).expect("get"), Some(vec![7u8; 128]));
+        }
+
+        // The drained state recovers: the last install's metadata plus
+        // the journal tail reproduce the tree.
+        drop(db);
+        let opts = BTreeOptions {
+            maint: MaintConfig::enabled(),
+            ..BTreeOptions::small()
+        };
+        let mut db = BTreeDb::recover(vfs, opts).expect("recover");
+        assert_eq!(db.len(), 3000);
+        for i in (0..3000).step_by(131) {
+            assert_eq!(db.get(&key(i)).expect("get"), Some(vec![7u8; 128]));
+        }
     }
 
     #[test]

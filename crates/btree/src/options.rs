@@ -1,5 +1,7 @@
 //! Engine tuning knobs.
 
+use ptsbench_maint::MaintConfig;
+
 /// Configuration of a [`crate::BTreeDb`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BTreeOptions {
@@ -23,6 +25,12 @@ pub struct BTreeOptions {
     /// untraced engine — when the device has no tracer or this is
     /// false, the default).
     pub trace: bool,
+    /// Background-maintenance knobs. When `maint.enabled`, the
+    /// byte-threshold checkpoint runs as a deferred job in bounded,
+    /// rate-budgeted slices pumped between foreground ops instead of
+    /// inline inside the triggering write; off (the default) keeps the
+    /// seed inline-checkpoint behavior byte-identical.
+    pub maint: MaintConfig,
 }
 
 impl Default for BTreeOptions {
@@ -35,6 +43,7 @@ impl Default for BTreeOptions {
             checkpoint_app_bytes: 8 << 20,
             merge_divisor: 4,
             trace: false,
+            maint: MaintConfig::default(),
         }
     }
 }
@@ -51,6 +60,7 @@ impl BTreeOptions {
             checkpoint_app_bytes: 256 << 10,
             merge_divisor: 4,
             trace: false,
+            maint: MaintConfig::default(),
         }
     }
 

@@ -274,6 +274,10 @@ impl Pager {
     }
 
     fn flush_page(&mut self, page: PageNo) -> Result<()> {
+        self.flush_page_opts(page, false)
+    }
+
+    fn flush_page_opts(&mut self, page: PageNo, background: bool) -> Result<()> {
         let c = self.cache.get(&page).expect("page cached");
         if !c.dirty {
             return Ok(());
@@ -281,12 +285,69 @@ impl Pager {
         c.node.encode(&mut self.encode_buf);
         self.encode_buf.resize(self.page_bytes, 0);
         let buf = std::mem::take(&mut self.encode_buf);
-        self.vfs
-            .write_at(self.file, page * self.page_bytes as u64, &buf)?;
+        let offset = page * self.page_bytes as u64;
+        let written = if background {
+            self.vfs.write_at_bg(self.file, offset, &buf)
+        } else {
+            self.vfs.write_at(self.file, offset, &buf)
+        };
         self.encode_buf = buf;
+        written?;
         self.stats.writebacks += 1;
         self.cache.get_mut(&page).expect("page cached").dirty = false;
         Ok(())
+    }
+
+    /// Writes back dirty pages — lowest page number first, for
+    /// deterministic slicing — through the detached background path
+    /// until `max_bytes` of writes have been issued or the cache is
+    /// clean. Pages stay cached (now clean); returns the bytes written.
+    pub fn flush_dirty_bg(&mut self, max_bytes: u64) -> Result<u64> {
+        let mut dirty: Vec<PageNo> = self
+            .cache
+            .iter()
+            .filter(|(_, c)| c.dirty)
+            .map(|(&p, _)| p)
+            .collect();
+        dirty.sort_unstable();
+        let mut written = 0u64;
+        for page in dirty {
+            if written >= max_bytes {
+                break;
+            }
+            self.flush_page_opts(page, true)?;
+            written += self.page_bytes as u64;
+        }
+        Ok(written)
+    }
+
+    /// Writes the metadata page through the detached background path
+    /// **without** an fsync — the caller gates any dependent install on
+    /// [`Pager::durable_at`].
+    pub fn write_meta_bg(&mut self, meta: &[u8]) -> Result<()> {
+        assert!(meta.len() <= self.page_bytes);
+        let mut meta_buf = meta.to_vec();
+        meta_buf.resize(self.page_bytes, 0);
+        self.vfs.write_at_bg(self.file, 0, &meta_buf)?;
+        Ok(())
+    }
+
+    /// The simulated time at which everything written to the tree file
+    /// so far (pages and metadata) is durable.
+    pub fn durable_at(&self) -> Result<u64> {
+        Ok(self.vfs.durable_at(self.file)?)
+    }
+
+    /// Blocks until the tree file is durable (forced background
+    /// installs; the inline path fsyncs inside [`Pager::checkpoint`]).
+    pub fn fsync(&mut self) -> Result<()> {
+        Ok(self.vfs.fsync(self.file)?)
+    }
+
+    /// Counts a checkpoint completed outside [`Pager::checkpoint`] (the
+    /// background install path).
+    pub fn note_checkpoint(&mut self) {
+        self.stats.checkpoints += 1;
     }
 
     /// Writes every dirty page plus the metadata page, then fsyncs —

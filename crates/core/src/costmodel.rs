@@ -88,6 +88,7 @@ mod tests {
             io_depth: Default::default(),
             cause: None,
             recorder: None,
+            maint: None,
             steady: SteadySummary {
                 steady_from: Some(0),
                 early_kops: steady_kops * 2.0,

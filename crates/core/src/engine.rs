@@ -30,6 +30,7 @@ use std::sync::Arc;
 use ptsbench_btree::{BTreeDb, BTreeError};
 use ptsbench_cache::CacheStats;
 use ptsbench_lsm::{LsmDb, LsmError};
+use ptsbench_maint::MaintStats;
 use ptsbench_ssd::SsdError;
 use ptsbench_vfs::Vfs;
 
@@ -386,6 +387,31 @@ pub trait PtsEngine: Send {
     /// path (no queues, or queue depth 1) keep the no-op default.
     fn drain_io(&mut self) {}
 
+    /// Runs at most one bounded background-maintenance slice (a flush,
+    /// compaction, GC or checkpoint increment), if the engine has
+    /// deferred work pending and its rate budget allows. Returns `true`
+    /// when a slice actually executed (the dispatcher keeps pumping),
+    /// `false` when there is nothing runnable right now. Engines that
+    /// run maintenance inline keep the `Ok(false)` default.
+    fn run_maintenance_slice(&mut self) -> Result<bool, PtsError> {
+        Ok(false)
+    }
+
+    /// Drains deferred background maintenance to completion: frozen
+    /// memtables flushed, in-flight compactions installed, GC and
+    /// checkpoint tickets consumed. The measured phase of an experiment
+    /// ends with this (before [`PtsEngine::drain_io`]) so per-cause
+    /// ledgers close; see `Experiment::finish`.
+    fn drain_maintenance(&mut self) -> Result<(), PtsError> {
+        Ok(())
+    }
+
+    /// Background-maintenance counters, `None` when the engine runs
+    /// maintenance inline (the seed behavior — nothing to report).
+    fn maint_stats(&self) -> Option<MaintStats> {
+        None
+    }
+
     /// Uniform statistics snapshot.
     fn stats(&self) -> EngineStats;
 
@@ -424,6 +450,21 @@ impl PtsEngine for LsmEngine {
         Ok(self.0.delete(key)?)
     }
 
+    // Native group commit: in maintenance mode the batch's WAL records
+    // coalesce into one padded append + at most one fsync; in inline
+    // mode LsmDb loops put/delete exactly like the trait default.
+    fn apply_batch(&mut self, batch: &WriteBatch) -> Result<(), PtsError> {
+        let ops: Vec<(&[u8], Option<&[u8]>)> = batch
+            .ops()
+            .iter()
+            .map(|op| match op {
+                BatchOp::Put { key, value } => (key.as_slice(), Some(value.as_slice())),
+                BatchOp::Delete { key } => (key.as_slice(), None),
+            })
+            .collect();
+        Ok(self.0.apply_batch(&ops)?)
+    }
+
     fn scan(
         &mut self,
         start: &[u8],
@@ -439,6 +480,18 @@ impl PtsEngine for LsmEngine {
 
     fn drain_io(&mut self) {
         self.0.quiesce();
+    }
+
+    fn run_maintenance_slice(&mut self) -> Result<bool, PtsError> {
+        Ok(self.0.run_maintenance_slice()?)
+    }
+
+    fn drain_maintenance(&mut self) -> Result<(), PtsError> {
+        Ok(self.0.drain_maintenance()?)
+    }
+
+    fn maint_stats(&self) -> Option<MaintStats> {
+        self.0.maint_stats()
     }
 
     // Lock-free override: `stats()` takes the device mutex for the
@@ -522,6 +575,18 @@ impl PtsEngine for BTreeEngine {
 
     fn flush(&mut self) -> Result<(), PtsError> {
         Ok(self.0.checkpoint()?)
+    }
+
+    fn run_maintenance_slice(&mut self) -> Result<bool, PtsError> {
+        Ok(self.0.run_maintenance_slice()?)
+    }
+
+    fn drain_maintenance(&mut self) -> Result<(), PtsError> {
+        Ok(self.0.drain_maintenance()?)
+    }
+
+    fn maint_stats(&self) -> Option<MaintStats> {
+        self.0.maint_stats()
     }
 
     // Lock-free override: see `LsmEngine::app_bytes_written`.

@@ -62,3 +62,7 @@ pub use registry::{EngineKind, EngineRegistry, EngineTuning, Lifecycle};
 pub use runner::{run, RunConfig, RunResult, Sample, SteadySummary};
 pub use sharded::ShardedRun;
 pub use state::DriveState;
+
+// Re-exported so harness/bench/example code can configure background
+// maintenance without naming the `ptsbench-maint` crate directly.
+pub use ptsbench_maint::{MaintConfig, MaintStats};

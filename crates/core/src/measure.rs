@@ -117,6 +117,11 @@ pub fn bulk_load(system: &mut dyn PtsEngine, workload: &WorkloadSpec) -> Result<
         if batch.len() >= LOAD_BATCH_OPS {
             system.apply_batch(&batch)?;
             batch.clear();
+            // Deferred maintenance must make progress during the load
+            // too, or its backlog (journal tails, frozen memtables,
+            // GC debt) outgrows the partition. A no-op for inline
+            // engines, so maintenance-off loads are unchanged.
+            while system.run_maintenance_slice()? {}
         }
     }
     if !batch.is_empty() {
@@ -185,7 +190,8 @@ impl Experiment {
             .with_queue_depth(cfg.queue_depth)
             .with_cache_bytes(cfg.cache_bytes)
             .with_compression_level(cfg.compression_level)
-            .with_trace(cfg.trace);
+            .with_trace(cfg.trace)
+            .with_maint(cfg.maint);
         let mut out_of_space = false;
         let mut failed_during_load = false;
         let mut system = match cfg.engine.open(stack.vfs.clone(), &tuning) {
@@ -353,8 +359,34 @@ impl Experiment {
             self.trace.end(span);
             self.ops_executed += 1;
             self.latency.record(self.stack.clock.now() - op_start);
+            self.pump_maintenance()?;
+            if self.out_of_space {
+                break;
+            }
         }
         Ok(())
+    }
+
+    /// Yields to deferred background maintenance between foreground
+    /// ops: runs budgeted slices until the engine's scheduler has
+    /// nothing runnable. Out-of-space during a slice ends the measured
+    /// phase like a foreground op would (`out_of_space` set); a no-op
+    /// for engines that run maintenance inline.
+    fn pump_maintenance(&mut self) -> Result<(), PtsError> {
+        let Some(system) = self.system.as_mut() else {
+            return Ok(());
+        };
+        loop {
+            match system.run_maintenance_slice() {
+                Ok(true) => {}
+                Ok(false) => return Ok(()),
+                Err(PtsError::OutOfSpace) => {
+                    self.out_of_space = true;
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Serves one externally routed request, as the virtual-time
@@ -417,6 +449,9 @@ impl Experiment {
         self.ops_executed += 1;
         let done = self.stack.clock.now();
         self.latency.record(done - now);
+        // This request completed; if a maintenance slice hits
+        // out-of-space the *next* serve reports it.
+        self.pump_maintenance()?;
         Ok(Served::Done {
             start: now - self.t0,
             done: done - self.t0,
@@ -483,6 +518,16 @@ impl Experiment {
     /// about to leave its `ClockBarrier` — treats the run as finished.
     pub fn finish(mut self) -> RunResult {
         if let Some(system) = self.system.as_mut() {
+            // Deferred maintenance first, so the version state and the
+            // per-cause ledgers close (frozen memtables flushed,
+            // in-flight compactions installed) before the queues drain.
+            match system.drain_maintenance() {
+                Ok(()) => {}
+                Err(PtsError::OutOfSpace) => self.out_of_space = true,
+                // finish() is infallible; a hard engine failure here
+                // leaves the counters as they stand.
+                Err(_) => {}
+            }
             system.drain_io();
         }
         // Trailing samples up to the configured duration (skipped when
@@ -517,6 +562,7 @@ impl Experiment {
             io_depth: self.stack.shared.lock().io_depth_stats(),
             cause: None,
             recorder: None,
+            maint: None,
             steady: SteadySummary {
                 steady_from: None,
                 early_kops: 0.0,
@@ -565,6 +611,16 @@ impl Experiment {
         }
         if self.cfg.cache_bytes > 0 {
             result.cache = system.stats().cache;
+        }
+        if let Some(mut ms) = system.maint_stats() {
+            // Close the amplification ledger: the scheduler only sees
+            // its own slice traffic, the run-level denominators live
+            // here.
+            ms.app_bytes = app_bytes;
+            ms.host_bytes = result.host_bytes_written;
+            ms.live_bytes = self.dataset_bytes;
+            ms.used_bytes = result.disk_used_bytes;
+            result.maint = Some(ms);
         }
         let tput = result.throughput_series();
         result.steady.early_kops = tput.early_mean(2).unwrap_or(0.0);

@@ -64,6 +64,12 @@ pub struct EngineTuning {
     /// the default — keeps every engine hot path byte-identical to the
     /// untraced build).
     pub trace: bool,
+    /// Background-maintenance pacing knobs. Disabled (the default)
+    /// keeps flushes/compactions/GC/checkpoints inline with the
+    /// triggering operation, byte-identical to the seed; enabled turns
+    /// them into rate-budgeted slices the dispatcher interleaves with
+    /// foreground ops.
+    pub maint: ptsbench_maint::MaintConfig,
 }
 
 impl EngineTuning {
@@ -76,6 +82,7 @@ impl EngineTuning {
             cache_bytes: 0,
             compression_level: 0,
             trace: false,
+            maint: ptsbench_maint::MaintConfig::default(),
         }
     }
 
@@ -101,6 +108,12 @@ impl EngineTuning {
     /// Enables (or disables) engine phase-span recording.
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Sets the background-maintenance configuration.
+    pub fn with_maint(mut self, maint: ptsbench_maint::MaintConfig) -> Self {
+        self.maint = maint;
         self
     }
 }
@@ -262,6 +275,7 @@ fn build_lsm(
         cache_bytes: tuning.cache_bytes,
         compression: ptsbench_cache::Compression::from_level(tuning.compression_level),
         trace: tuning.trace,
+        maint: tuning.maint,
         ..LsmOptions::scaled_to_partition(tuning.device_bytes)
     };
     let db = match lifecycle {
@@ -278,6 +292,7 @@ fn build_btree(
 ) -> Result<Box<dyn PtsEngine>, PtsError> {
     let mut opts = BTreeOptions::scaled_to_partition(tuning.device_bytes);
     opts.trace = tuning.trace;
+    opts.maint = tuning.maint;
     if tuning.cache_bytes > 0 {
         // The budget sweep drives the pager cache directly; clamp to
         // the pager's four-page minimum so tiny sweep points validate.

@@ -83,6 +83,11 @@ pub struct RunConfig {
     /// per-cause traffic totals plus a recorder handle. False — the
     /// default — reproduces untraced reports byte-identically.
     pub trace: bool,
+    /// Background-maintenance configuration handed to the engine
+    /// (disabled — the default — keeps flushes/compactions inline and
+    /// reproduces pre-maintenance reports byte-identically; see
+    /// `EngineTuning::maint`).
+    pub maint: ptsbench_maint::MaintConfig,
     /// RNG seed.
     pub seed: u64,
 }
@@ -108,6 +113,7 @@ impl Default for RunConfig {
             stop_when_steady: false,
             trace_lba: false,
             trace: false,
+            maint: ptsbench_maint::MaintConfig::default(),
             seed: 42,
         }
     }
@@ -140,7 +146,7 @@ impl RunConfig {
     /// reports) match the pre-queue/pre-cache ones byte-for-byte.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}/{}/ds{:.2}{}{}{}{}{}",
+            "{}/{}/{}/ds{:.2}{}{}{}{}{}{}",
             self.engine.label(),
             self.profile.name,
             self.drive_state.label(),
@@ -165,6 +171,7 @@ impl RunConfig {
             } else {
                 String::new()
             },
+            if self.maint.enabled { "/bg" } else { "" },
             if self.trace { "/tr" } else { "" }
         )
     }
@@ -273,6 +280,12 @@ pub struct RunResult {
     /// tracing was enabled; holds the measured phase's spans (the
     /// recorder is cleared at the load/measure boundary).
     pub recorder: Option<ptsbench_ssd::SharedTraceRecorder>,
+    /// Background-maintenance counters (jobs, slices, stall time, the
+    /// write/space-amplification ledger), present only when the
+    /// configuration enabled maintenance (`maint.enabled`), so
+    /// maintenance-off results — and their rendered reports — are
+    /// unchanged from seed.
+    pub maint: Option<ptsbench_maint::MaintStats>,
     /// Steady-state summary.
     pub steady: SteadySummary,
 }
@@ -425,6 +438,40 @@ mod tests {
         assert!(label.contains("SSD1"));
         assert!(label.contains("trim"));
         assert!(label.contains("op0.25"));
+    }
+
+    #[test]
+    fn maintenance_run_reports_stats_and_tags_label() {
+        let cfg = RunConfig {
+            maint: ptsbench_maint::MaintConfig::enabled(),
+            ..quick(EngineKind::lsm())
+        };
+        assert!(cfg.label().contains("/bg"));
+        let r = run_ok(&cfg);
+        let ms = r.maint.expect("maintenance stats present");
+        assert!(ms.jobs > 0, "background jobs must have run");
+        assert_eq!(ms.jobs, ms.installs, "every job installs exactly once");
+        assert!(ms.write_amp() >= 1.0, "write amp: {}", ms.write_amp());
+        assert!(ms.space_amp() >= 1.0, "space amp: {}", ms.space_amp());
+        // Maintenance off: no stats, no label tag — report-identical to
+        // the seed.
+        let off = run_ok(&quick(EngineKind::lsm()));
+        assert!(off.maint.is_none());
+        assert!(!off.label.contains("/bg"));
+    }
+
+    #[test]
+    fn maintenance_runs_are_deterministic() {
+        let cfg = RunConfig {
+            maint: ptsbench_maint::MaintConfig::enabled(),
+            ..quick(EngineKind::lsm())
+        };
+        let a = run_ok(&cfg);
+        let b = run_ok(&cfg);
+        assert_eq!(a.ops_executed, b.ops_executed);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.maint, b.maint);
+        assert_eq!(a.host_bytes_written, b.host_bytes_written);
     }
 
     #[test]

@@ -137,6 +137,7 @@ pub(crate) fn base_shard_report(queue_depth: usize, index: usize, r: &RunResult)
         }),
         cache: r.cache,
         cause: r.cause,
+        maint: r.maint,
         queue_delay: None,
         load: None,
         slo: None,

@@ -180,6 +180,21 @@ impl ShardState {
             Some(ewma) => (service_ns + 7 * ewma) / 8,
         });
     }
+
+    /// Decays the service estimate by one EWMA step (×7/8). Called on
+    /// each [`SloPolicy::PredictedSojourn`] rejection when observations
+    /// run unclamped (maintenance mode): a rejection produces no
+    /// service observation, so without decay an estimate past the
+    /// deadline could never fall and an idle shard would reject
+    /// forever. With decay, rejections act as probes — under sustained
+    /// overload the still-admitted ops keep the estimate honest, while
+    /// on a quiet shard a few rejection turnarounds bring it back under
+    /// the deadline and real observations take over again.
+    fn decay_service_estimate(&mut self) {
+        if let Some(ewma) = self.service_ewma.as_mut() {
+            *ewma -= *ewma / 8;
+        }
+    }
 }
 
 /// What one shard produced: its ordinary harness-level [`RunResult`]
@@ -395,6 +410,15 @@ impl Frontend {
         };
         if rejected {
             shard.slo.rejected += 1;
+            // Unclamped-estimator recovery (maintenance mode only; see
+            // the clamp at the `Served::Done` arm): each rejection
+            // decays the service EWMA one step so the estimator can
+            // re-probe once pressure subsides instead of wedging.
+            if self.cfg.base.maint.enabled {
+                if let SloPolicy::PredictedSojourn { .. } = slo {
+                    shard.decay_service_estimate();
+                }
+            }
             completion.done_at = now + REJECT_LATENCY;
             completion.outcome = ReqOutcome::Rejected;
             self.pending.insert(token.0, completion);
@@ -468,15 +492,27 @@ impl Frontend {
                 completion.service_ns = done - start;
                 completion.outcome = ReqOutcome::Served;
                 shard.slo.served += 1;
-                // Clamp the estimator's observation to the deadline: an
-                // op that absorbs a compaction/GC stall can run 30x the
-                // typical service time, and folding that in raw can push
-                // the EWMA past the deadline — at which point even an
-                // idle shard rejects everything, nothing is served, and
-                // the estimate can never recover. Beyond the deadline
-                // the exact magnitude cannot change any admission
-                // decision anyway.
-                let estimator_cap = slo.deadline_ns().unwrap_or(Ns::MAX);
+                // Inline maintenance clamps the estimator's observation
+                // to the deadline: an op that absorbs an inline
+                // compaction/GC stall can run 30x the typical service
+                // time, and folding that in raw can push the EWMA past
+                // the deadline — at which point even an idle shard
+                // rejects everything, nothing is served, and the
+                // estimate can never recover. Beyond the deadline the
+                // exact magnitude cannot change any admission decision
+                // anyway. With background maintenance enabled the clamp
+                // comes off: budgeted slices bound routine stalls, raw
+                // observations let admission control see genuine
+                // backpressure overload, and the decay-on-reject step
+                // (see the rejection branch above) guarantees the
+                // estimator re-probes instead of wedging
+                // (regression-tested by
+                // `maintenance_mode_estimator_runs_unclamped_without_wedging`).
+                let estimator_cap = if self.cfg.base.maint.enabled {
+                    Ns::MAX
+                } else {
+                    slo.deadline_ns().unwrap_or(Ns::MAX)
+                };
                 shard.observe_service(completion.service_ns.min(estimator_cap));
             }
             Served::OutOfSpace => {
@@ -1056,6 +1092,81 @@ mod tests {
         assert!(
             rejected > 0,
             "30 simultaneous sub-second ops cannot all start within 2 s"
+        );
+    }
+
+    #[test]
+    fn maintenance_mode_estimator_runs_unclamped_without_wedging() {
+        use ptsbench_ssd::SECOND;
+        // PR 5 clamped EWMA observations at the deadline because one
+        // inline compaction could wedge PredictedSojourn permanently:
+        // rejections never update the estimate, so an estimate past
+        // the deadline could never fall again. With background
+        // maintenance the clamp is off — raw observations may exceed
+        // the deadline under genuine backpressure (and reject honest
+        // overload), but decay-on-reject must always bring an idle
+        // shard back to serving within a bounded number of probes.
+        let mut cfg = FrontendRun::new(base(16 << 20), 1);
+        cfg.base.maint = ptsbench_core::MaintConfig::enabled();
+        cfg.slo = SloPolicy::PredictedSojourn {
+            deadline_ns: 2 * SECOND,
+        };
+        let mut fe = Frontend::new(&cfg).expect("frontend");
+        let mut served = 0u64;
+        let total = 400u64;
+        for i in 0..total {
+            let token = fe
+                .submit(Request {
+                    kind: OpKind::Update,
+                    key_index: i % 64,
+                    value: vec![0xAB; 2048],
+                })
+                .expect("submit");
+            if fe.wait(token).outcome == ReqOutcome::Served {
+                served += 1;
+            }
+        }
+        assert!(
+            served > total / 2,
+            "the storm must be mostly served, not a shard death spiral: \
+             {served}/{total}"
+        );
+        // The wedge failure mode: storm over, shard idle, estimator
+        // stuck past the deadline, *nothing ever served again*. With
+        // decay-on-reject each probe shrinks the estimate by 1/8, so
+        // recovery must land within a few dozen turnarounds.
+        fe.advance_to(fe.now() + 10 * SECOND);
+        let mut probes = 0u32;
+        let recovered = loop {
+            let probe = fe
+                .submit(Request {
+                    kind: OpKind::Update,
+                    key_index: 1,
+                    value: vec![1; 64],
+                })
+                .expect("submit");
+            let c = fe.wait(probe);
+            probes += 1;
+            match c.outcome {
+                ReqOutcome::Served => break true,
+                ReqOutcome::Rejected if probes < 100 => continue,
+                _ => break false,
+            }
+        };
+        assert!(
+            recovered,
+            "the unclamped estimator must recover on an idle shard \
+             within 100 probes"
+        );
+        let shard = fe.finish().pop().expect("one shard");
+        let maint = shard.result.maint.expect("maintenance stats");
+        assert!(
+            maint.jobs > 0,
+            "the storm must actually exercise background jobs"
+        );
+        assert!(
+            shard.slo.served > 0 && shard.slo.served == served + 1,
+            "accounting covers the storm and the recovery probe"
         );
     }
 

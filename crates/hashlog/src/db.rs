@@ -7,6 +7,7 @@ use std::sync::Arc;
 use ptsbench_cache::{file_tag, BlockCache, CacheStats, Compression, SharedBlockCache};
 use ptsbench_core::engine::{BatchOp, EngineStats, PtsEngine, PtsError, ScanCursor, WriteBatch};
 use ptsbench_core::registry::EngineKind;
+use ptsbench_maint::{JobKind, MaintScheduler, MaintStats};
 use ptsbench_vfs::{Cause, FileId, SharedIoQueue, TraceHandle, Vfs};
 
 use crate::options::HashLogOptions;
@@ -68,6 +69,31 @@ struct Pending {
     value_len: u32,
 }
 
+/// A slice-resumable segment-GC job: the victim's decoded contents plus
+/// a byte cursor. Each maintenance slice relocates a bounded span of
+/// records into the active segment; the victim file is deleted only
+/// when the cursor reaches the end (the install step), so foreground
+/// reads of not-yet-relocated records keep working between slices.
+struct GcJob {
+    victim: u64,
+    buf: Vec<u8>,
+    offset: usize,
+    rewritten: u64,
+}
+
+/// Background-maintenance state: the per-shard scheduler plus the
+/// in-flight GC job, if any. Present only when `opts.maint.enabled`.
+struct MaintState {
+    sched: MaintScheduler,
+    job: Option<GcJob>,
+}
+
+impl MaintState {
+    fn has_work(&self) -> bool {
+        self.job.is_some() || self.sched.pending() > 0
+    }
+}
+
 const SEGMENT_PREFIX: &str = "hlog-";
 
 fn segment_name(id: u64) -> String {
@@ -110,6 +136,9 @@ pub struct HashLogDb {
     /// Tracing context (inert unless `opts.trace` and the device has a
     /// tracer attached).
     trace: TraceHandle,
+    /// Background-maintenance state (`None` runs GC inline, the seed
+    /// behavior); see [`HashLogDb::run_maintenance_slice`].
+    maint: Option<MaintState>,
 }
 
 impl std::fmt::Debug for HashLogDb {
@@ -128,6 +157,7 @@ impl HashLogDb {
         opts.validate();
         let queue = io_queue_for(&vfs, &opts);
         let trace = TraceHandle::from_vfs(&vfs, opts.trace);
+        let maint = maint_for(&vfs, &opts);
         let mut db = Self {
             vfs,
             opts,
@@ -142,6 +172,7 @@ impl HashLogDb {
             pending_seg: Vec::new(),
             cache: cache_for(&opts),
             trace,
+            maint,
         };
         db.new_segment()?;
         Ok(db)
@@ -164,6 +195,7 @@ impl HashLogDb {
         }
         let queue = io_queue_for(&vfs, &opts);
         let trace = TraceHandle::from_vfs(&vfs, opts.trace);
+        let maint = maint_for(&vfs, &opts);
         let mut db = Self {
             vfs,
             opts,
@@ -178,6 +210,7 @@ impl HashLogDb {
             pending_seg: Vec::new(),
             cache: cache_for(&opts),
             trace,
+            maint,
         };
 
         // Decode every record of every segment, then apply in sequence
@@ -688,17 +721,17 @@ impl HashLogDb {
         &self.vfs
     }
 
-    /// Collects the worst sealed segment when total garbage crosses the
-    /// configured fraction.
-    fn maybe_gc(&mut self) -> Result<()> {
+    /// Whether total garbage across the log has crossed the configured
+    /// collection trigger.
+    fn gc_due(&self) -> bool {
         let total: u64 = self.segments.values().map(|s| s.bytes).sum();
-        if total == 0
-            || (self.garbage_bytes() as f64) < self.opts.gc_garbage_fraction * total as f64
-        {
-            return Ok(());
-        }
-        let victim = self
-            .segments
+        total > 0 && (self.garbage_bytes() as f64) >= self.opts.gc_garbage_fraction * total as f64
+    }
+
+    /// The sealed segment with the highest garbage ratio, if that ratio
+    /// clears `min_victim_garbage`.
+    fn select_victim(&self) -> Option<u64> {
+        self.segments
             .iter()
             .filter(|(id, _)| **id != self.active)
             .max_by(|(_, a), (_, b)| {
@@ -706,16 +739,35 @@ impl HashLogDb {
                 let gb = (b.bytes - b.live_bytes) as f64 / b.bytes.max(1) as f64;
                 ga.total_cmp(&gb)
             })
-            .map(|(id, s)| (*id, (s.bytes - s.live_bytes) as f64 / s.bytes.max(1) as f64));
-        match victim {
-            Some((id, ratio)) if ratio >= self.opts.min_victim_garbage => {
+            .map(|(id, s)| (*id, (s.bytes - s.live_bytes) as f64 / s.bytes.max(1) as f64))
+            .filter(|(_, ratio)| *ratio >= self.opts.min_victim_garbage)
+            .map(|(id, _)| id)
+    }
+
+    /// Collects the worst sealed segment when total garbage crosses the
+    /// configured fraction. In background-maintenance mode the write
+    /// path only *schedules* the job — the rewrite happens in bounded
+    /// slices pumped between foreground ops.
+    fn maybe_gc(&mut self) -> Result<()> {
+        let due = self.gc_due();
+        if let Some(m) = self.maint.as_mut() {
+            if due {
+                m.sched.enqueue(JobKind::SegmentGc);
+            }
+            return Ok(());
+        }
+        if !due {
+            return Ok(());
+        }
+        match self.select_victim() {
+            Some(id) => {
                 let _cause = self.trace.cause(Cause::SegmentGc);
                 let span = self.trace.begin("hashlog.gc", Cause::SegmentGc);
                 let result = self.rewrite_segment(id);
                 self.trace.end(span);
                 result
             }
-            _ => Ok(()),
+            None => Ok(()),
         }
     }
 
@@ -808,6 +860,288 @@ impl HashLogDb {
         }
         Ok(())
     }
+
+    // ---- Background maintenance -------------------------------------
+    //
+    // In maintenance mode the write path never rewrites a segment
+    // inline: `maybe_gc` enqueues a `SegmentGc` ticket and the harness
+    // pumps `run_maintenance_slice` between foreground ops. A job reads
+    // the victim once (detached background read, no clock charge), then
+    // relocates its live records in byte-bounded slices paced by the
+    // scheduler's token bucket; the victim file is deleted only at the
+    // final install, so reads of not-yet-moved records keep working
+    // throughout. Space-amp urgency (`max_space_amp`) forces slices
+    // past the pacing gate.
+
+    /// Whether background-maintenance mode is on.
+    pub fn maint_enabled(&self) -> bool {
+        self.maint.is_some()
+    }
+
+    /// Background-maintenance counters; `None` when maintenance is off.
+    pub fn maint_stats(&self) -> Option<MaintStats> {
+        self.maint.as_ref().map(|m| m.sched.stats)
+    }
+
+    /// Runs at most one bounded GC slice, if work is pending and the
+    /// rate budget and device-backlog gate allow it. Returns whether
+    /// any forward progress was made (callers may pump in a loop until
+    /// `false`).
+    pub fn run_maintenance_slice(&mut self) -> Result<bool> {
+        self.maintenance_slice_inner(false)
+    }
+
+    /// Drains every outstanding GC job to completion with forced
+    /// slices. Callers that end a run or leave a `ClockBarrier` must
+    /// drain first so no shard exits with a half-relocated segment.
+    pub fn drain_maintenance(&mut self) -> Result<()> {
+        if self.maint.is_none() {
+            return Ok(());
+        }
+        let mut spins = 0u32;
+        while self.maint.as_ref().expect("maintenance mode").has_work() {
+            if self.maintenance_slice_inner(true)? {
+                spins = 0;
+            } else {
+                // Only stale tickets were consumed; a couple of empty
+                // rounds means we are done.
+                spins += 1;
+                if spins > 2 {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether measured space amplification (total log bytes over live
+    /// bytes) exceeds the configured ceiling — the Marble urgency
+    /// condition that bypasses pacing.
+    fn space_amp_exceeded(&self) -> bool {
+        let Some(m) = &self.maint else {
+            return false;
+        };
+        let total: u64 = self.segments.values().map(|s| s.bytes).sum();
+        let live: u64 = self.segments.values().map(|s| s.live_bytes).sum();
+        live > 0 && total > m.sched.cfg().max_space_amp * live
+    }
+
+    fn maintenance_slice_inner(&mut self, forced: bool) -> Result<bool> {
+        if self.maint.is_none() {
+            return Ok(false);
+        }
+        let forced = forced || self.space_amp_exceeded();
+        let now = self.vfs.clock().now();
+        let backlog = self.vfs.device_backlog_ns();
+        let need_start = {
+            let m = self.maint.as_mut().expect("maintenance mode");
+            if !forced && backlog > m.sched.cfg().max_backlog_ns {
+                return Ok(false);
+            }
+            if m.job.is_none() {
+                let Some(kind) = m.sched.pop_ready(now, forced) else {
+                    return Ok(false);
+                };
+                debug_assert_eq!(kind, JobKind::SegmentGc, "hashlog only schedules GC");
+                true
+            } else {
+                if !m.sched.budget_ready(now, forced) {
+                    return Ok(false);
+                }
+                false
+            }
+        };
+        if need_start && !self.gc_start()? {
+            return Ok(false); // stale ticket: no qualifying victim
+        }
+        self.gc_run_slice()?;
+        self.maint
+            .as_mut()
+            .expect("maintenance mode")
+            .sched
+            .stats
+            .slices += 1;
+        Ok(true)
+    }
+
+    /// Starts a GC job: picks the victim and reads its full contents
+    /// through the detached background path (media bandwidth without a
+    /// foreground clock charge — the foreground only feels it through
+    /// device congestion). Returns `false` when no segment qualifies.
+    fn gc_start(&mut self) -> Result<bool> {
+        let Some(victim) = self.select_victim() else {
+            return Ok(false);
+        };
+        // The victim read is maintenance traffic too: without the scope
+        // it would land under whatever cause is current (usually none),
+        // and the per-cause ledger would under-report GC reads.
+        let _cause = self.trace.cause(Cause::SegmentGc);
+        let (file, size) = {
+            let seg = &self.segments[&victim];
+            (seg.file, seg.bytes)
+        };
+        let (buf, disk) = if self.opts.compression.is_active() {
+            let disk = self.vfs.size(file)?;
+            let raw = self.vfs.read_at_bg(file, 0, disk as usize)?;
+            // Background decode: unlike the foreground read path the
+            // codec CPU cost is not charged to the clock — maintenance
+            // compute happens off the foreground thread, and its device
+            // footprint is what the pacing budget meters.
+            let buf = Compression::decode(&raw)
+                .ok_or_else(|| HashLogError::Corruption("bad compressed segment".into()))?;
+            (buf, disk)
+        } else {
+            (self.vfs.read_at_bg(file, 0, size as usize)?, size)
+        };
+        debug_assert_eq!(buf.len() as u64, size, "decoded victim length");
+        let now = self.vfs.clock().now();
+        let m = self.maint.as_mut().expect("maintenance mode");
+        m.sched.charge(now, disk, true);
+        m.job = Some(GcJob {
+            victim,
+            buf,
+            offset: 0,
+            rewritten: 0,
+        });
+        Ok(true)
+    }
+
+    fn gc_run_slice(&mut self) -> Result<()> {
+        let _cause = self.trace.cause(Cause::SegmentGc);
+        let span = self
+            .trace
+            .begin(JobKind::SegmentGc.span_label(), Cause::SegmentGc);
+        let result = self.gc_run_slice_inner();
+        self.trace.end(span);
+        result
+    }
+
+    /// Relocates one byte-bounded span of the victim into the active
+    /// segment. Liveness is re-checked against the index *at slice
+    /// time*, so records overwritten by foreground ops between slices
+    /// are dropped rather than resurrected. The final slice installs
+    /// the job: victim removed from the log and deleted on disk.
+    fn gc_run_slice_inner(&mut self) -> Result<()> {
+        let slice_bytes = {
+            let m = self.maint.as_ref().expect("maintenance mode");
+            m.sched.cfg().slice_bytes.max(1) as usize
+        };
+        let GcJob {
+            victim,
+            buf,
+            mut offset,
+            rewritten,
+        } = self
+            .maint
+            .as_mut()
+            .expect("maintenance mode")
+            .job
+            .take()
+            .expect("job in progress");
+        let begin = offset;
+        let mut out = Vec::new();
+        let mut pendings = Vec::new();
+        while offset < buf.len() && offset - begin < slice_bytes {
+            let (record, end) = Record::decode(&buf, offset)?;
+            let record_bytes = (end - offset) as u64;
+            let current = self
+                .index
+                .get(&record.key)
+                .is_some_and(|e| e.segment == victim && e.record_offset == offset as u64);
+            if current {
+                if record.tombstone {
+                    let blocked = self
+                        .segments
+                        .iter()
+                        .any(|(id, s)| *id != victim && s.min_seq < record.seq);
+                    if !blocked {
+                        self.index.remove(&record.key);
+                        offset = end;
+                        continue;
+                    }
+                }
+                let rel_record_offset = out.len() as u64;
+                out.extend_from_slice(&buf[offset..end]);
+                pendings.push(Pending {
+                    rel_value_offset: rel_record_offset + Record::encoded_len(record.key.len(), 0),
+                    key: record.key,
+                    seq: record.seq,
+                    tombstone: record.tombstone,
+                    rel_record_offset,
+                    record_bytes,
+                    value_len: record.value_len,
+                });
+            }
+            offset = end;
+        }
+        if !out.is_empty() {
+            // Relocation appends through the background write path; the
+            // install (index + accounting edits) happens in the same
+            // slice, so foreground ops never observe a half-moved
+            // record.
+            let active = self.active;
+            let base = self.segments[&active].bytes;
+            self.append_active_bg(&out)?;
+            for p in pendings {
+                {
+                    let seg = self.segments.get_mut(&active).expect("active segment");
+                    seg.min_seq = seg.min_seq.min(p.seq);
+                    seg.live_bytes += p.record_bytes;
+                }
+                let entry = IndexEntry {
+                    segment: active,
+                    record_offset: base + p.rel_record_offset,
+                    record_bytes: p.record_bytes,
+                    value_offset: base + p.rel_value_offset,
+                    value_len: p.value_len,
+                    tombstone: p.tombstone,
+                };
+                // The victim still holds the displaced entry, so the
+                // garbage-accounting insert keeps its live bytes exact.
+                self.apply_index_entry(p.key, entry);
+            }
+            if self.segments[&active].bytes >= self.opts.segment_bytes {
+                self.seal_active()?;
+            }
+        }
+        let now = self.vfs.clock().now();
+        let out_len = out.len() as u64;
+        let m = self.maint.as_mut().expect("maintenance mode");
+        m.sched.charge(now, out_len, false);
+        if offset >= buf.len() {
+            // Install: the whole victim is relocated; drop the file.
+            m.sched.stats.jobs += 1;
+            m.sched.stats.installs += 1;
+            self.stats.gc_runs += 1;
+            self.stats.gc_bytes_rewritten += rewritten + out_len;
+            let name = self.segments.remove(&victim).expect("victim segment").name;
+            self.vfs.delete(&name)?;
+        } else {
+            m.job = Some(GcJob {
+                victim,
+                buf,
+                offset,
+                rewritten: rewritten + out_len,
+            });
+        }
+        Ok(())
+    }
+
+    /// [`HashLogDb::append_active`] through the background write path:
+    /// media bandwidth is consumed (and later destages queue behind it)
+    /// but the foreground clock does not advance.
+    fn append_active_bg(&mut self, buf: &[u8]) -> Result<()> {
+        let active = self.active;
+        if self.opts.compression.is_active() {
+            self.pending_seg.extend_from_slice(buf);
+        } else {
+            let file = self.segments[&active].file;
+            self.vfs.append_bg(file, buf)?;
+        }
+        let seg = self.segments.get_mut(&active).expect("active segment");
+        seg.bytes += buf.len() as u64;
+        Ok(())
+    }
 }
 
 /// Opens the shared submission queue when the options ask for one.
@@ -818,6 +1152,14 @@ fn io_queue_for(vfs: &Vfs, opts: &HashLogOptions) -> Option<SharedIoQueue> {
 /// Builds the value/segment cache when the options ask for one.
 fn cache_for(opts: &HashLogOptions) -> Option<SharedBlockCache> {
     (opts.cache_bytes > 0).then(|| BlockCache::shared(opts.cache_bytes))
+}
+
+/// Builds the background-maintenance state when the options ask for it.
+fn maint_for(vfs: &Vfs, opts: &HashLogOptions) -> Option<MaintState> {
+    opts.maint.enabled.then(|| MaintState {
+        sched: MaintScheduler::new(opts.maint, vfs.clock().now()),
+        job: None,
+    })
 }
 
 /// Streaming cursor returned by [`HashLogDb::scan_iter`].
@@ -999,6 +1341,18 @@ impl PtsEngine for HashLogEngine {
         self.0.quiesce();
     }
 
+    fn run_maintenance_slice(&mut self) -> std::result::Result<bool, PtsError> {
+        Ok(self.0.run_maintenance_slice()?)
+    }
+
+    fn drain_maintenance(&mut self) -> std::result::Result<(), PtsError> {
+        Ok(self.0.drain_maintenance()?)
+    }
+
+    fn maint_stats(&self) -> Option<MaintStats> {
+        self.0.maint_stats()
+    }
+
     // Lock-free override: `stats()` takes the device mutex for the
     // per-cause breakdown, so callers already holding it (the runner's
     // finish path) must be able to read this counter without it.
@@ -1108,6 +1462,48 @@ mod tests {
         assert!(
             total < 4 * live.max(1),
             "GC must bound garbage: total {total} vs live {live}"
+        );
+        for i in 0..32u32 {
+            assert_eq!(
+                db.get(&key(i)).expect("get"),
+                Some(vec![39u8; 512]),
+                "key {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn background_gc_bounds_the_log_and_preserves_data() {
+        use ptsbench_maint::MaintConfig;
+        let mut db = HashLogDb::open(
+            vfs(),
+            HashLogOptions {
+                maint: MaintConfig::enabled(),
+                ..HashLogOptions::small()
+            },
+        )
+        .expect("open");
+        assert!(db.maint_enabled());
+        // Same churn as `rotation_and_gc_bound_the_log`, but the write
+        // path only schedules; slices pumped between ops do the work.
+        for round in 0..40u32 {
+            for i in 0..32u32 {
+                db.put(&key(i), &vec![round as u8; 512]).expect("put");
+                while db.run_maintenance_slice().expect("slice") {}
+            }
+        }
+        db.drain_maintenance().expect("drain");
+        let stats = db.maint_stats().expect("maintenance stats");
+        assert!(stats.jobs > 0, "churn must schedule GC jobs");
+        assert_eq!(stats.jobs, stats.installs, "each job installs once");
+        assert!(stats.slices >= stats.jobs, "jobs run in bounded slices");
+        assert!(stats.bytes_read > 0 && stats.bytes_written > 0);
+        assert_eq!(db.stats().gc_runs, stats.jobs, "engine GC counter agrees");
+        let total: u64 = db.segments.values().map(|s| s.bytes).sum();
+        let live: u64 = db.segments.values().map(|s| s.live_bytes).sum();
+        assert!(
+            total < 4 * live.max(1),
+            "background GC must bound garbage: total {total} vs live {live}"
         );
         for i in 0..32u32 {
             assert_eq!(

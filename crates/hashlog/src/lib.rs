@@ -124,6 +124,7 @@ fn build_hashlog(
         cache_bytes: tuning.cache_bytes,
         compression: ptsbench_cache::Compression::from_level(tuning.compression_level),
         trace: tuning.trace,
+        maint: tuning.maint,
         ..HashLogOptions::scaled_to_partition(tuning.device_bytes)
     };
     let db = match lifecycle {

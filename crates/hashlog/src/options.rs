@@ -1,6 +1,7 @@
 //! Engine tuning knobs.
 
 use ptsbench_cache::Compression;
+use ptsbench_maint::MaintConfig;
 
 /// Configuration of a [`crate::HashLogDb`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +36,12 @@ pub struct HashLogOptions {
     /// untraced engine — when the device has no tracer or this is
     /// false, the default).
     pub trace: bool,
+    /// Background-maintenance knobs. When `maint.enabled`, segment GC
+    /// runs as deferred jobs in bounded, rate-budgeted slices pumped
+    /// between foreground ops instead of inline inside the triggering
+    /// write; off (the default) keeps the seed inline-GC behavior
+    /// byte-identical.
+    pub maint: MaintConfig,
 }
 
 impl Default for HashLogOptions {
@@ -47,6 +54,7 @@ impl Default for HashLogOptions {
             cache_bytes: 0,
             compression: Compression::None,
             trace: false,
+            maint: MaintConfig::default(),
         }
     }
 }

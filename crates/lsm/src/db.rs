@@ -4,9 +4,11 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use ptsbench_cache::{BlockCache, CacheStats, SharedBlockCache};
+use ptsbench_maint::{JobKind, MaintScheduler, MaintStats};
 use ptsbench_vfs::{Cause, SharedIoQueue, TraceHandle, Vfs};
 
-use crate::compaction::{pick, CompactionTask};
+use crate::background::{BufferedRun, CompactJob, FlushJob, MaintState};
+use crate::compaction::{effective_targets, pick, CompactionTask};
 use crate::iter::{EntryStream, KWayMerge};
 use crate::manifest::Manifest;
 use crate::memtable::Memtable;
@@ -71,6 +73,10 @@ pub struct LsmDb {
     /// Phase-span recorder + device cause scopes (inert unless
     /// `opts.trace` and a tracer is attached to the device).
     trace: TraceHandle,
+    /// Background-maintenance state (frozen memtable, slice-resumable
+    /// jobs, rate-budgeted scheduler); `None` — the seed behavior,
+    /// maintenance inline — unless `opts.maint.enabled`.
+    maint: Option<MaintState>,
 }
 
 impl std::fmt::Debug for LsmDb {
@@ -95,6 +101,7 @@ impl LsmDb {
         let queue = io_queue_for(&vfs, &opts);
         let cache = cache_for(&opts);
         let trace = TraceHandle::from_vfs(&vfs, opts.trace);
+        let maint = maint_for(&vfs, &opts);
         Ok(Self {
             memtable: Memtable::new(),
             wal,
@@ -109,6 +116,7 @@ impl LsmDb {
             cache,
             blooms: Arc::new(BloomCounters::default()),
             trace,
+            maint,
         })
     }
 
@@ -174,6 +182,7 @@ impl LsmDb {
             None
         };
         let manifest = Manifest::open(vfs.clone())?;
+        let maint = maint_for(&vfs, &opts);
         let mut db = Self {
             memtable: Memtable::new(),
             wal,
@@ -188,6 +197,7 @@ impl LsmDb {
             cache,
             blooms,
             trace,
+            maint,
         };
         for record in records {
             match record {
@@ -275,11 +285,66 @@ impl LsmDb {
         self.maybe_flush()
     }
 
+    /// Applies a batch of writes (`value == None` = delete) atomically
+    /// with respect to the WAL. In background-maintenance mode the
+    /// records group-commit: every record is encoded into the WAL
+    /// buffer first, then written as one batched submission whose page
+    /// appends overlap at queue depth and share at most one fsync —
+    /// instead of paying a serial page drain per record. Inline mode
+    /// applies the ops one by one, byte-identical to the seed.
+    pub fn apply_batch(&mut self, ops: &[(&[u8], Option<&[u8]>)]) -> Result<()> {
+        if self.maint.is_none() {
+            for &(key, value) in ops {
+                match value {
+                    Some(value) => self.put(key, value)?,
+                    None => self.delete(key)?,
+                }
+            }
+            return Ok(());
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            let _c = self.trace.cause(Cause::Wal);
+            let span = self.trace.begin("lsm.wal", Cause::Wal);
+            for &(key, value) in ops {
+                match value {
+                    Some(value) => wal.log_put_buffered(key, value),
+                    None => wal.log_delete_buffered(key),
+                }
+            }
+            wal.sync_batched(self.queue.as_ref(), self.opts.wal_fsync)?;
+            self.trace.end(span);
+        }
+        for &(key, value) in ops {
+            match value {
+                Some(value) => {
+                    self.stats.puts += 1;
+                    self.stats.app_bytes_written += (key.len() + value.len()) as u64;
+                    self.memtable.put(key, value);
+                }
+                None => {
+                    self.stats.deletes += 1;
+                    self.stats.app_bytes_written += key.len() as u64;
+                    self.memtable.delete(key);
+                }
+            }
+            self.maybe_flush()?;
+        }
+        Ok(())
+    }
+
     /// Point lookup.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.stats.gets += 1;
         if let Some(entry) = self.memtable.get(key) {
             return Ok(entry.clone());
+        }
+        // The frozen memtable (background mode) is newer than any table.
+        if let Some(m) = &self.maint {
+            if let Some(imm) = &m.imm {
+                if let Some(entry) = imm.get(key) {
+                    return Ok(entry.clone());
+                }
+            }
         }
         // L0: newest to oldest, any table may contain the key.
         for handle in self.version.tables(0).iter().rev() {
@@ -312,6 +377,13 @@ impl LsmDb {
                 .range(start, end)
                 .map(|(k, v)| (k.to_vec(), v.clone())),
         ));
+        if let Some(m) = &self.maint {
+            if let Some(imm) = &m.imm {
+                sources.push(Box::new(
+                    imm.range(start, end).map(|(k, v)| (k.to_vec(), v.clone())),
+                ));
+            }
+        }
         for handle in self.version.tables(0).iter().rev() {
             sources.push(Box::new(handle.reader.iter_from(start)));
         }
@@ -374,7 +446,14 @@ impl LsmDb {
     }
 
     /// Flushes the memtable (if non-empty) and runs any due compactions.
+    /// In background mode this freezes the memtable and drains every
+    /// outstanding maintenance job to completion (forced slices).
     pub fn flush(&mut self) -> Result<()> {
+        if self.maint.is_some() {
+            self.freeze_memtable()?;
+            self.maybe_schedule_compaction()?;
+            return self.drain_maintenance();
+        }
         self.flush_memtable()?;
         self.maybe_compact()
     }
@@ -385,6 +464,12 @@ impl LsmDb {
     /// versions or tombstones. Useful before space-sensitive
     /// measurements and read-heavy phases.
     pub fn compact_all(&mut self) -> Result<()> {
+        if self.maint.is_some() {
+            // Settle outstanding background work first so the inline
+            // full-merge below starts from a consistent version.
+            self.freeze_memtable()?;
+            self.drain_maintenance()?;
+        }
         self.flush_memtable()?;
         loop {
             let Some(bottom) = self.version.deepest_nonempty() else {
@@ -428,6 +513,12 @@ impl LsmDb {
 
     fn maybe_flush(&mut self) -> Result<()> {
         if self.memtable.approx_bytes() >= self.opts.memtable_bytes {
+            if self.maint.is_some() {
+                self.freeze_memtable()?;
+                self.maybe_schedule_compaction()?;
+                self.backpressure_l0()?;
+                return Ok(());
+            }
             self.flush_memtable()?;
             self.maybe_compact()?;
         }
@@ -685,6 +776,695 @@ impl LsmDb {
         self.stats.compaction_bytes_written += output_bytes;
         Ok(())
     }
+
+    // ---- Background maintenance -------------------------------------
+    //
+    // In maintenance mode a full memtable *freezes* instead of flushing
+    // inline, and flush/compaction execute as bounded byte slices the
+    // harness pumps between foreground ops (`run_maintenance_slice`).
+    // Slices issue their device traffic through the detached background
+    // paths (no clock charge); the version edit installs only once the
+    // written files have destaged past the device's durability horizon,
+    // so the blocking manifest commit never queues behind a compaction
+    // burst. Pacing: a bytes-per-virtual-second token bucket plus a
+    // device-backlog gate; `forced` slices (backpressure, space-amp
+    // urgency, drains) bypass both and fsync instead of waiting.
+
+    /// Whether background-maintenance mode is on.
+    pub fn maint_enabled(&self) -> bool {
+        self.maint.is_some()
+    }
+
+    /// Background-maintenance counters; `None` when maintenance is off.
+    pub fn maint_stats(&self) -> Option<MaintStats> {
+        self.maint.as_ref().map(|m| m.sched.stats)
+    }
+
+    /// Runs at most one bounded maintenance slice, if work is pending
+    /// and the rate budget and device-backlog gate allow it. Returns
+    /// whether any forward progress was made (callers may pump in a
+    /// loop until `false`).
+    pub fn run_maintenance_slice(&mut self) -> Result<bool> {
+        self.maintenance_slice_inner(false)
+    }
+
+    /// Drains every outstanding background job to completion with
+    /// forced slices. Callers that end a run or leave a `ClockBarrier`
+    /// must drain first so no shard exits with detached maintenance
+    /// I/O (or an uninstalled version edit) outstanding.
+    pub fn drain_maintenance(&mut self) -> Result<()> {
+        if self.maint.is_none() {
+            return Ok(());
+        }
+        let mut spins = 0u32;
+        while self.maint.as_ref().expect("maintenance mode").has_work() {
+            self.reissue_tickets();
+            if self.maintenance_slice_inner(true)? {
+                spins = 0;
+            } else {
+                // Only stale tickets were consumed; a couple of empty
+                // rounds with tickets re-issued means we are done.
+                spins += 1;
+                if spins > 2 {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-issues scheduler tickets for any live work whose ticket was
+    /// consumed by a gated or stale slice (defensive; keeps the drain
+    /// and backpressure loops from wedging).
+    fn reissue_tickets(&mut self) {
+        let m = self.maint.as_mut().expect("maintenance mode");
+        if (m.imm.is_some() || m.flush.is_some()) && !m.sched.has(JobKind::Flush) {
+            m.sched.enqueue(JobKind::Flush);
+        }
+        if m.compact.is_some() && !m.sched.has(JobKind::Compaction) {
+            m.sched.enqueue(JobKind::Compaction);
+        }
+    }
+
+    fn maintenance_slice_inner(&mut self, forced: bool) -> Result<bool> {
+        let now = self.vfs.clock().now();
+        let backlog = self.vfs.device_backlog_ns();
+        let Some(m) = self.maint.as_mut() else {
+            return Ok(false);
+        };
+        if !forced && backlog > m.sched.cfg().max_backlog_ns {
+            return Ok(false);
+        }
+        let Some(kind) = m.sched.pop_ready(now, forced) else {
+            return Ok(false);
+        };
+        let did = match kind {
+            JobKind::Flush => self.flush_slice(forced)?,
+            JobKind::Compaction => self.compact_slice(forced)?,
+            // GC / checkpoint tickets belong to other engines.
+            _ => false,
+        };
+        if did {
+            self.maint
+                .as_mut()
+                .expect("maintenance mode")
+                .sched
+                .stats
+                .slices += 1;
+        }
+        Ok(did)
+    }
+
+    /// Freezes the full memtable for background flushing: waits (via
+    /// forced slices) for the previous frozen memtable to clear,
+    /// rotates the WAL *without* touching the old file — it still holds
+    /// the frozen records until the flush installs — and enqueues a
+    /// flush ticket. Writes continue into the fresh memtable.
+    fn freeze_memtable(&mut self) -> Result<()> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        // One frozen memtable at a time (RocksDB's write-buffer limit):
+        // if the previous flush is still in flight the writer stalls
+        // here, driving forced slices until the slot frees.
+        if self.maint.as_ref().is_some_and(|m| m.imm.is_some()) {
+            let t0 = self.vfs.clock().now();
+            let mut spins = 0u32;
+            while self.maint.as_ref().is_some_and(|m| m.imm.is_some()) {
+                self.reissue_tickets();
+                if self.maintenance_slice_inner(true)? {
+                    spins = 0;
+                } else {
+                    spins += 1;
+                    if spins > 2 {
+                        break;
+                    }
+                }
+            }
+            let dt = self.vfs.clock().now() - t0;
+            self.maint
+                .as_mut()
+                .expect("maintenance mode")
+                .sched
+                .stats
+                .stall_ns += dt;
+            if self.maint.as_ref().is_some_and(|m| m.imm.is_some()) {
+                // Could not clear the slot (should not happen): skip the
+                // freeze — the memtable keeps accumulating and the next
+                // write retries. Never overwrite a frozen memtable.
+                return Ok(());
+            }
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            wal.sync(false)?;
+            let old = wal.rotate_deferred()?;
+            self.maint.as_mut().expect("maintenance mode").old_wal = Some(old);
+        }
+        let frozen = std::mem::replace(&mut self.memtable, Memtable::new());
+        let m = self.maint.as_mut().expect("maintenance mode");
+        m.imm = Some(frozen);
+        m.sched.enqueue(JobKind::Flush);
+        Ok(())
+    }
+
+    /// Hard write-stall backpressure: when L0 backs up to twice the
+    /// background merge window, the writer runs forced slices until it
+    /// drains below the line; the stall is attributed to `stall_ns`.
+    fn backpressure_l0(&mut self) -> Result<()> {
+        let Some(m) = &self.maint else {
+            return Ok(());
+        };
+        let limit = 2 * m.sched.cfg().merge_window.max(2);
+        if self.version.tables(0).len() < limit {
+            return Ok(());
+        }
+        let t0 = self.vfs.clock().now();
+        let mut spins = 0u32;
+        while self.version.tables(0).len() >= limit {
+            self.maybe_schedule_compaction()?;
+            self.reissue_tickets();
+            if self.maintenance_slice_inner(true)? {
+                spins = 0;
+            } else {
+                spins += 1;
+                if spins > 2 {
+                    break;
+                }
+            }
+        }
+        let dt = self.vfs.clock().now() - t0;
+        self.maint
+            .as_mut()
+            .expect("maintenance mode")
+            .sched
+            .stats
+            .stall_ns += dt;
+        Ok(())
+    }
+
+    fn flush_slice(&mut self, forced: bool) -> Result<bool> {
+        let _cause = self.trace.cause(Cause::Compaction);
+        let span = self
+            .trace
+            .begin(JobKind::Flush.span_label(), Cause::Compaction);
+        let result = self.flush_slice_inner(forced);
+        self.trace.end(span);
+        result
+    }
+
+    fn flush_slice_inner(&mut self, forced: bool) -> Result<bool> {
+        {
+            let m = self.maint.as_mut().expect("maintenance mode");
+            if m.imm.is_none() {
+                m.flush = None;
+                return Ok(false); // stale ticket
+            }
+        }
+        let finished = self
+            .maint
+            .as_ref()
+            .expect("maintenance mode")
+            .flush
+            .as_ref()
+            .is_some_and(|j| j.meta.is_some());
+        if finished {
+            if self.flush_install(forced)? {
+                return Ok(true);
+            }
+            // Blocked on the durability horizon: retry once foreground
+            // progress advances the clock.
+            let m = self.maint.as_mut().expect("maintenance mode");
+            m.sched.requeue_front(JobKind::Flush);
+            return Ok(false);
+        }
+        self.flush_build_slice()?;
+        let m = self.maint.as_mut().expect("maintenance mode");
+        m.sched.requeue_front(JobKind::Flush);
+        Ok(true)
+    }
+
+    /// Streams one byte-bounded slice of the frozen memtable into the
+    /// output table (background writes, no foreground clock charge for
+    /// the block encode), finishing the table when the input runs dry.
+    fn flush_build_slice(&mut self) -> Result<()> {
+        if self
+            .maint
+            .as_ref()
+            .expect("maintenance mode")
+            .flush
+            .is_none()
+        {
+            let name = self.next_table_name();
+            let builder = SstableBuilder::create_bg(
+                self.vfs.clone(),
+                &name,
+                self.opts.block_bytes,
+                self.opts.bits_per_key_for(0),
+            )?
+            .with_compression(self.opts.compression);
+            self.maint.as_mut().expect("maintenance mode").flush = Some(FlushJob {
+                builder: Some(builder),
+                name,
+                cursor: None,
+                meta: None,
+                charged: 0,
+            });
+        }
+        let now = self.vfs.clock().now();
+        let mut failure: Option<LsmError> = None;
+        {
+            let m = self.maint.as_mut().expect("maintenance mode");
+            let slice_bytes = m.sched.cfg().slice_bytes.max(1);
+            let MaintState {
+                sched, imm, flush, ..
+            } = m;
+            let job = flush.as_mut().expect("just ensured");
+            let imm = imm.as_ref().expect("frozen memtable present");
+            let resume = job.cursor.clone();
+            let start: &[u8] = resume.as_deref().unwrap_or(&[]);
+            let builder = job.builder.as_mut().expect("builder live until finish");
+            let mut wrote = false;
+            for (k, v) in imm.range(start, None) {
+                if resume.as_deref() == Some(k) {
+                    continue; // the resume key itself was already added
+                }
+                if let Err(e) = builder.add(k, v.as_deref()) {
+                    failure = Some(e);
+                    break;
+                }
+                wrote = true;
+                job.cursor = Some(k.to_vec());
+                if builder.estimated_bytes().saturating_sub(job.charged) >= slice_bytes {
+                    break;
+                }
+            }
+            if failure.is_none() {
+                if wrote {
+                    let est = job.builder.as_ref().expect("live").estimated_bytes();
+                    let delta = est.saturating_sub(job.charged);
+                    sched.charge(now, delta, false);
+                    job.charged = est;
+                } else {
+                    // Input exhausted: finish the table.
+                    match job.builder.take().expect("builder live").finish() {
+                        Ok(meta) => {
+                            let delta = meta.file_bytes.saturating_sub(job.charged);
+                            sched.charge(now, delta, false);
+                            job.charged = meta.file_bytes;
+                            job.meta = Some(meta);
+                        }
+                        Err(e) => failure = Some(e),
+                    }
+                }
+            }
+        }
+        if let Some(e) = failure {
+            self.flush_abort();
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Aborts an in-flight flush (write error, typically out of space):
+    /// the partial output is deleted and the frozen entries are merged
+    /// back *under* the live memtable so the database stays readable.
+    fn flush_abort(&mut self) {
+        let m = self.maint.as_mut().expect("maintenance mode");
+        if let Some(mut job) = m.flush.take() {
+            match job.builder.take() {
+                Some(b) => b.abandon(),
+                None => {
+                    let _ = self.vfs.delete(&job.name);
+                }
+            }
+        }
+        let m = self.maint.as_mut().expect("maintenance mode");
+        if let Some(frozen) = m.imm.take() {
+            let mut live = std::mem::replace(&mut self.memtable, frozen);
+            for (k, v) in live.drain() {
+                match v {
+                    Some(v) => self.memtable.put(&k, &v),
+                    None => self.memtable.delete(&k),
+                }
+            }
+        }
+    }
+
+    /// Installs a finished flush once its table has destaged (or after
+    /// an explicit fsync when `forced`). Returns `false` while the
+    /// durability horizon is still ahead of the clock.
+    fn flush_install(&mut self, forced: bool) -> Result<bool> {
+        let now = self.vfs.clock().now();
+        let name = self
+            .maint
+            .as_ref()
+            .expect("maintenance mode")
+            .flush
+            .as_ref()
+            .expect("finished job")
+            .name
+            .clone();
+        let id = self.vfs.open(&name)?;
+        if self.vfs.durable_at(id)? > now {
+            if !forced {
+                return Ok(false);
+            }
+            self.vfs.fsync(id)?;
+        }
+        let meta = self
+            .maint
+            .as_mut()
+            .expect("maintenance mode")
+            .flush
+            .take()
+            .expect("finished job")
+            .meta
+            .expect("meta present");
+        self.stats.flushes += 1;
+        self.stats.flush_bytes += meta.file_bytes;
+        self.manifest.log_add(0, &meta.name);
+        self.manifest.commit()?;
+        let reader = SstableReader::open_bg_q(self.vfs.clone(), &meta.name, self.queue.clone())?
+            .with_cache(self.cache.clone())
+            .with_blooms(Some(Arc::clone(&self.blooms)))
+            .with_trace(self.trace.clone());
+        self.version.push_l0(Arc::new(TableHandle { meta, reader }));
+        let m = self.maint.as_mut().expect("maintenance mode");
+        m.imm = None;
+        m.sched.stats.jobs += 1;
+        m.sched.stats.installs += 1;
+        let old_wal = m.old_wal.take();
+        if let Some(old) = old_wal {
+            self.vfs.delete(&old)?;
+        }
+        self.maybe_schedule_compaction()?;
+        Ok(true)
+    }
+
+    fn compact_slice(&mut self, forced: bool) -> Result<bool> {
+        let _cause = self.trace.cause(Cause::Compaction);
+        let span = self
+            .trace
+            .begin(JobKind::Compaction.span_label(), Cause::Compaction);
+        let result = self.compact_slice_inner(forced);
+        self.trace.end(span);
+        result
+    }
+
+    fn compact_slice_inner(&mut self, forced: bool) -> Result<bool> {
+        let Some(job) = self
+            .maint
+            .as_ref()
+            .expect("maintenance mode")
+            .compact
+            .as_ref()
+        else {
+            return Ok(false); // stale ticket
+        };
+        if job.read_idx < job.source_count() {
+            self.compact_read_slice()?;
+            let m = self.maint.as_mut().expect("maintenance mode");
+            m.sched.requeue_front(JobKind::Compaction);
+            return Ok(true);
+        }
+        if !job.write_done {
+            self.compact_write_slice()?;
+            let m = self.maint.as_mut().expect("maintenance mode");
+            m.sched.requeue_front(JobKind::Compaction);
+            return Ok(true);
+        }
+        if self.compact_install(forced)? {
+            return Ok(true);
+        }
+        let m = self.maint.as_mut().expect("maintenance mode");
+        m.sched.requeue_front(JobKind::Compaction);
+        Ok(false) // blocked on the durability horizon
+    }
+
+    /// Buffers one input table into memory via the detached background
+    /// read path (the table's `Arc` pin keeps it readable for
+    /// concurrent foreground lookups meanwhile).
+    fn compact_read_slice(&mut self) -> Result<()> {
+        let now = self.vfs.clock().now();
+        let m = self.maint.as_mut().expect("maintenance mode");
+        let job = m.compact.as_mut().expect("live job");
+        let idx = job.read_idx;
+        let handle = if idx < job.task.inputs.len() {
+            Arc::clone(&job.task.inputs[idx])
+        } else {
+            Arc::clone(&job.task.overlaps[idx - job.task.inputs.len()])
+        };
+        let run: BufferedRun = handle.reader.iter_bg().collect();
+        job.buffered.push(run);
+        job.read_idx += 1;
+        m.sched.charge(now, handle.meta.file_bytes, true);
+        Ok(())
+    }
+
+    /// Merges one byte-bounded slice of output from the buffered input
+    /// runs, splitting tables at the size target; marks the job ready
+    /// to install once the merge runs dry.
+    fn compact_write_slice(&mut self) -> Result<()> {
+        let now = self.vfs.clock().now();
+        let (slice_bytes, mut job) = {
+            let m = self.maint.as_mut().expect("maintenance mode");
+            (
+                m.sched.cfg().slice_bytes.max(1),
+                m.compact.take().expect("live job"),
+            )
+        };
+        if job.merge.is_none() {
+            let sources: Vec<crate::background::RunIter> =
+                job.buffered.drain(..).map(|run| run.into_iter()).collect();
+            job.merge = Some(crate::iter::KMerge::new(sources));
+        }
+        let base = job.produced_bytes();
+        let mut failure: Option<LsmError> = None;
+        while job.produced_bytes().saturating_sub(base) < slice_bytes {
+            let Some((key, value)) = job.merge.as_mut().expect("merge built").next() else {
+                // Merge ran dry: finish the last output (if any).
+                job.merge = None;
+                if let Some(b) = job.builder.take() {
+                    match b.finish() {
+                        Ok(meta) => job.outputs.push(meta),
+                        Err(e) => failure = Some(e),
+                    }
+                }
+                job.write_done = true;
+                break;
+            };
+            if value.is_none() && job.drop_tombstones {
+                continue;
+            }
+            if job.builder.is_none() {
+                let name = self.next_table_name();
+                match SstableBuilder::create_bg(
+                    self.vfs.clone(),
+                    &name,
+                    self.opts.block_bytes,
+                    self.opts.bits_per_key_for(job.task.target_level),
+                ) {
+                    Ok(b) => job.builder = Some(b.with_compression(self.opts.compression)),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            let b = job.builder.as_mut().expect("just ensured");
+            if let Err(e) = b.add(&key, value.as_deref()) {
+                failure = Some(e);
+                break;
+            }
+            if b.estimated_bytes() >= self.opts.sstable_target_bytes {
+                match job.builder.take().expect("present").finish() {
+                    Ok(meta) => job.outputs.push(meta),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        let produced = job.produced_bytes();
+        let delta = produced.saturating_sub(job.charged);
+        job.charged = produced;
+        let m = self.maint.as_mut().expect("maintenance mode");
+        m.sched.charge(now, delta, false);
+        if let Some(e) = failure {
+            // Roll back: drop partial outputs; the inputs stay live and
+            // the version is unchanged.
+            if let Some(b) = job.builder.take() {
+                b.abandon();
+            }
+            for meta in &job.outputs {
+                let _ = self.vfs.delete(&meta.name);
+            }
+            return Err(e);
+        }
+        self.maint.as_mut().expect("maintenance mode").compact = Some(job);
+        Ok(())
+    }
+
+    /// Installs a finished compaction once every output has destaged
+    /// (or after explicit fsyncs when `forced`): one manifest commit
+    /// swaps the version, then the input files are deleted.
+    fn compact_install(&mut self, forced: bool) -> Result<bool> {
+        let now = self.vfs.clock().now();
+        let names: Vec<String> = self
+            .maint
+            .as_ref()
+            .expect("maintenance mode")
+            .compact
+            .as_ref()
+            .expect("live job")
+            .outputs
+            .iter()
+            .map(|m| m.name.clone())
+            .collect();
+        for name in &names {
+            let id = self.vfs.open(name)?;
+            if self.vfs.durable_at(id)? > now {
+                if !forced {
+                    return Ok(false);
+                }
+                self.vfs.fsync(id)?;
+            }
+        }
+        let job = self
+            .maint
+            .as_mut()
+            .expect("maintenance mode")
+            .compact
+            .take()
+            .expect("live job");
+        let CompactJob {
+            task,
+            outputs,
+            input_names,
+            input_bytes,
+            ..
+        } = job;
+        let output_bytes: u64 = outputs.iter().map(|m| m.file_bytes).sum();
+        for name in &input_names {
+            self.manifest.log_del(name);
+        }
+        let mut added = Vec::with_capacity(outputs.len());
+        for meta in outputs {
+            self.manifest.log_add(task.target_level, &meta.name);
+            let reader =
+                SstableReader::open_bg_q(self.vfs.clone(), &meta.name, self.queue.clone())?
+                    .with_cache(self.cache.clone())
+                    .with_blooms(Some(Arc::clone(&self.blooms)))
+                    .with_trace(self.trace.clone());
+            added.push(Arc::new(TableHandle { meta, reader }));
+        }
+        self.manifest.commit()?;
+        self.version
+            .apply_compaction(task.source_level, task.target_level, &input_names, added);
+        for name in &input_names {
+            self.vfs.delete(name)?;
+        }
+        self.stats.compactions += 1;
+        self.stats.compaction_bytes_read += input_bytes;
+        self.stats.compaction_bytes_written += output_bytes;
+        let m = self.maint.as_mut().expect("maintenance mode");
+        m.sched.stats.jobs += 1;
+        m.sched.stats.installs += 1;
+        self.maybe_schedule_compaction()?;
+        Ok(true)
+    }
+
+    /// Schedules the next background compaction if one is due under the
+    /// Marble-style triggers: L0 at the merge window, a level past its
+    /// target by the merge-ratio hysteresis band, or space
+    /// amplification beyond the ceiling (urgency: the pick falls back
+    /// to the tighter foreground thresholds). Trivial moves apply
+    /// immediately — they are free.
+    fn maybe_schedule_compaction(&mut self) -> Result<()> {
+        {
+            let m = self.maint.as_ref().expect("maintenance mode");
+            if m.compact.is_some() || m.sched.has(JobKind::Compaction) {
+                return Ok(());
+            }
+        }
+        loop {
+            let urgent = self.space_amp_exceeded();
+            if !self.compaction_due_bg() && !urgent {
+                return Ok(());
+            }
+            let bg = self.bg_opts();
+            let mut task = pick(&self.version, &bg, &mut self.cursors);
+            if task.is_none() && urgent {
+                task = pick(&self.version, &self.opts, &mut self.cursors);
+            }
+            let Some(task) = task else {
+                return Ok(());
+            };
+            if self.is_trivial_move(&task) {
+                self.apply_trivial_move(task)?;
+                continue;
+            }
+            let drop_tombstones = !self.version.has_data_below(task.target_level);
+            let m = self.maint.as_mut().expect("maintenance mode");
+            m.compact = Some(CompactJob::new(task, drop_tombstones));
+            m.sched.enqueue(JobKind::Compaction);
+            return Ok(());
+        }
+    }
+
+    /// The options under which background compactions are picked: the
+    /// L0 trigger is the Marble merge window (runs allowed to
+    /// accumulate before a background merge).
+    fn bg_opts(&self) -> LsmOptions {
+        let cfg = self.maint.as_ref().expect("maintenance mode").sched.cfg();
+        LsmOptions {
+            l0_compaction_trigger: cfg.merge_window.max(2),
+            ..self.opts.clone()
+        }
+    }
+
+    /// Background compaction triggers (see [`LsmDb::maybe_schedule_compaction`]).
+    fn compaction_due_bg(&self) -> bool {
+        let cfg = self.maint.as_ref().expect("maintenance mode").sched.cfg();
+        if self.version.tables(0).len() >= cfg.merge_window.max(2) {
+            return true;
+        }
+        let targets = effective_targets(&self.version, &self.opts);
+        for (level, &target) in targets
+            .iter()
+            .enumerate()
+            .take(self.version.level_count())
+            .skip(1)
+        {
+            if target == u64::MAX {
+                continue;
+            }
+            let slack = target / cfg.merge_ratio.max(1);
+            if self.version.bytes_at(level) > target.saturating_add(slack) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether measured space amplification exceeds the configured
+    /// ceiling (total tree bytes vs the deepest level's bytes).
+    fn space_amp_exceeded(&self) -> bool {
+        let cfg = self.maint.as_ref().expect("maintenance mode").sched.cfg();
+        let Some(bottom) = self.version.deepest_nonempty() else {
+            return false;
+        };
+        let base = self.version.bytes_at(bottom).max(1);
+        self.version.total_bytes() > cfg.max_space_amp.max(1) * base
+    }
+}
+
+/// Builds the background-maintenance state when the options ask for it.
+fn maint_for(vfs: &Vfs, opts: &LsmOptions) -> Option<MaintState> {
+    opts.maint
+        .enabled
+        .then(|| MaintState::new(MaintScheduler::new(opts.maint, vfs.clock().now())))
 }
 
 /// Opens the shared submission queue when the options ask for one.
@@ -1125,6 +1905,186 @@ mod tests {
             "~1% fp at 10 bits/key: {}",
             s.bloom_false_positives
         );
+    }
+
+    fn maint_opts() -> LsmOptions {
+        LsmOptions {
+            maint: ptsbench_maint::MaintConfig::enabled(),
+            ..LsmOptions::small()
+        }
+    }
+
+    #[test]
+    fn maint_off_keeps_inline_behavior_and_no_stats() {
+        let db = db_on(32 << 20);
+        assert!(!db.maint_enabled());
+        assert!(db.maint_stats().is_none());
+        let mut db = db;
+        // Pumping slices with maintenance off is a no-op.
+        assert!(!db.run_maintenance_slice().expect("slice"));
+        db.drain_maintenance().expect("drain");
+    }
+
+    #[test]
+    fn maint_model_check_with_pumped_slices() {
+        use std::collections::BTreeMap;
+        let mut db = db_on_opts(64 << 20, maint_opts());
+        assert!(db.maint_enabled());
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut rng = SmallRng::seed_from_u64(77);
+        for step in 0..4000 {
+            let i: u32 = rng.gen_range(0..300);
+            let k = key(i);
+            match rng.gen_range(0..10) {
+                0..=6 => {
+                    let v = format!("v{step}-").repeat(12).into_bytes();
+                    db.put(&k, &v).expect("put");
+                    model.insert(k, v);
+                }
+                7..=8 => {
+                    db.delete(&k).expect("delete");
+                    model.remove(&k);
+                }
+                _ => {
+                    assert_eq!(
+                        db.get(&k).expect("get"),
+                        model.get(&k).cloned(),
+                        "step {step}"
+                    );
+                }
+            }
+            // The harness's interleaving: pump background slices
+            // between foreground ops.
+            while db.run_maintenance_slice().expect("slice") {}
+        }
+        // Scans see through the frozen memtable too.
+        let scanned: Vec<_> = db.scan(b"", None, usize::MAX).expect("scan");
+        let expect: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_eq!(scanned, expect, "scan through frozen memtable");
+        db.drain_maintenance().expect("drain");
+        for i in 0..300u32 {
+            let k = key(i);
+            assert_eq!(
+                db.get(&k).expect("get"),
+                model.get(&k).cloned(),
+                "final key {i}"
+            );
+        }
+        db.version.check_invariants();
+        let stats = db.maint_stats().expect("maintenance on");
+        assert!(stats.jobs > 0, "background jobs ran: {stats:?}");
+        assert_eq!(stats.jobs, stats.installs, "exactly one install per job");
+        assert!(stats.bytes_written > 0);
+        assert!(stats.slices >= stats.jobs, "slices bound job granularity");
+    }
+
+    #[test]
+    fn maint_drain_leaves_no_outstanding_work() {
+        let mut db = db_on_opts(64 << 20, maint_opts());
+        for i in 0..2000u32 {
+            db.put(&key(i), &[9u8; 256]).expect("put");
+        }
+        db.drain_maintenance().expect("drain");
+        let m = db.maint.as_ref().expect("maintenance on");
+        assert!(!m.has_work(), "drain must settle all background work");
+        assert!(m.imm.is_none());
+        assert!(m.old_wal.is_none(), "frozen-WAL file released at install");
+        // A second drain is a no-op.
+        db.drain_maintenance().expect("drain");
+        db.version.check_invariants();
+    }
+
+    #[test]
+    fn maint_flush_defers_wal_deletion_until_install() {
+        let mut db = db_on_opts(64 << 20, maint_opts());
+        // Fill past the memtable threshold to force a freeze.
+        let mut i = 0u32;
+        while db.maint.as_ref().expect("on").imm.is_none() {
+            db.put(&key(i), &[5u8; 300]).expect("put");
+            i += 1;
+        }
+        let m = db.maint.as_ref().expect("on");
+        let old = m.old_wal.clone().expect("deferred WAL rotation");
+        assert!(
+            db.vfs.open(&old).is_ok(),
+            "old WAL file must survive until the flush installs"
+        );
+        assert!(m.sched.has(JobKind::Flush) || m.flush.is_some());
+        // Reads see the frozen entries.
+        assert_eq!(db.get(&key(0)).expect("get"), Some(vec![5u8; 300]));
+        db.drain_maintenance().expect("drain");
+        assert!(
+            db.vfs.open(&old).is_err(),
+            "old WAL deleted once the flush installed"
+        );
+        assert!(db.stats().flushes >= 1);
+    }
+
+    #[test]
+    fn maint_apply_batch_group_commits_and_matches_individual_ops() {
+        let mut grouped = db_on_opts(64 << 20, maint_opts());
+        let mut individual = db_on_opts(64 << 20, maint_opts());
+        let mut rng = SmallRng::seed_from_u64(21);
+        for round in 0..50 {
+            let mut owned: Vec<(Vec<u8>, Option<Vec<u8>>)> = Vec::new();
+            for _ in 0..32 {
+                let i: u32 = rng.gen_range(0..200);
+                if rng.gen_range(0..10) < 8 {
+                    owned.push((key(i), Some(format!("r{round}").into_bytes())));
+                } else {
+                    owned.push((key(i), None));
+                }
+            }
+            let ops: Vec<(&[u8], Option<&[u8]>)> = owned
+                .iter()
+                .map(|(k, v)| (k.as_slice(), v.as_deref()))
+                .collect();
+            grouped.apply_batch(&ops).expect("batch");
+            for (k, v) in &owned {
+                match v {
+                    Some(v) => individual.put(k, v).expect("put"),
+                    None => individual.delete(k).expect("delete"),
+                }
+            }
+            while grouped.run_maintenance_slice().expect("slice") {}
+            while individual.run_maintenance_slice().expect("slice") {}
+        }
+        grouped.drain_maintenance().expect("drain");
+        individual.drain_maintenance().expect("drain");
+        assert_eq!(
+            grouped.scan(b"", None, usize::MAX).expect("scan"),
+            individual.scan(b"", None, usize::MAX).expect("scan"),
+            "group commit must not change the database contents"
+        );
+        let (g, i) = (grouped.stats(), individual.stats());
+        assert_eq!(g.puts, i.puts);
+        assert_eq!(g.deletes, i.deletes);
+        assert_eq!(g.app_bytes_written, i.app_bytes_written);
+    }
+
+    #[test]
+    fn maint_recovery_replays_group_committed_records() {
+        let ssd = Ssd::new(DeviceConfig::from_profile(DeviceProfile::ssd1(), 64 << 20));
+        let vfs = Vfs::whole_device(ssd.into_shared(), VfsOptions::default());
+        let mut db = LsmDb::open(vfs.clone(), maint_opts()).expect("open");
+        let owned: Vec<(Vec<u8>, Option<Vec<u8>>)> = (0..100u32)
+            .map(|i| (key(i), Some(vec![i as u8; 50])))
+            .collect();
+        let ops: Vec<(&[u8], Option<&[u8]>)> = owned
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_deref()))
+            .collect();
+        db.apply_batch(&ops).expect("batch");
+        db.sync_wal().expect("sync");
+        drop(db); // "crash" without flushing
+        let mut db = LsmDb::recover(vfs, maint_opts()).expect("recover");
+        for i in 0..100u32 {
+            assert_eq!(
+                db.get(&key(i)).expect("get"),
+                Some(vec![i as u8; 50]),
+                "key {i} lost across recovery"
+            );
+        }
     }
 
     #[test]

@@ -39,15 +39,23 @@ impl Ord for HeapItem {
     }
 }
 
-/// Merging iterator over multiple recency-ordered sorted streams.
-pub struct KWayMerge<'a> {
-    sources: Vec<EntryStream<'a>>,
+/// Merging iterator over multiple recency-ordered sorted streams,
+/// generic over the stream type. [`KWayMerge`] is the boxed-stream
+/// alias the read and inline-compaction paths use; background
+/// compaction jobs hold a `KMerge<std::vec::IntoIter<..>>` over owned
+/// buffered runs instead, which keeps the parked job `Send` (engines
+/// move across harness client threads with their jobs inside).
+pub struct KMerge<I: Iterator<Item = (Vec<u8>, Option<Vec<u8>>)>> {
+    sources: Vec<I>,
     heap: BinaryHeap<HeapItem>,
 }
 
-impl<'a> KWayMerge<'a> {
+/// Merging iterator over boxed entry streams.
+pub type KWayMerge<'a> = KMerge<EntryStream<'a>>;
+
+impl<I: Iterator<Item = (Vec<u8>, Option<Vec<u8>>)>> KMerge<I> {
     /// Builds a merge over `sources` (index 0 = newest).
-    pub fn new(sources: Vec<EntryStream<'a>>) -> Self {
+    pub fn new(sources: Vec<I>) -> Self {
         let mut merge = Self {
             sources,
             heap: BinaryHeap::new(),
@@ -65,7 +73,7 @@ impl<'a> KWayMerge<'a> {
     }
 }
 
-impl Iterator for KWayMerge<'_> {
+impl<I: Iterator<Item = (Vec<u8>, Option<Vec<u8>>)>> Iterator for KMerge<I> {
     /// Yields each distinct key once with its newest entry (tombstones
     /// included — dropping them is the consumer's policy decision).
     type Item = (Vec<u8>, Option<Vec<u8>>);

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub(crate) mod background;
 pub mod bloom;
 pub mod compaction;
 pub mod db;

@@ -1,6 +1,7 @@
 //! Engine tuning knobs.
 
 use ptsbench_cache::Compression;
+use ptsbench_maint::MaintConfig;
 
 /// Configuration of an [`crate::LsmDb`].
 ///
@@ -73,6 +74,13 @@ pub struct LsmOptions {
     /// untraced engine — when the device has no tracer or this is
     /// false, the default).
     pub trace: bool,
+    /// Background-maintenance pacing knobs. When
+    /// [`MaintConfig::enabled`] is false (the default) flushes and
+    /// compactions run inline with the triggering write, byte-identical
+    /// to the seed; when enabled they execute as rate-budgeted slices
+    /// interleaved with foreground ops (see [`crate::db::LsmDb`]'s
+    /// `run_maintenance_slice`).
+    pub maint: MaintConfig,
 }
 
 impl Default for LsmOptions {
@@ -95,6 +103,7 @@ impl Default for LsmOptions {
             compaction_budget_factor: 16,
             queue_depth: 1,
             trace: false,
+            maint: MaintConfig::default(),
         }
     }
 }
@@ -121,6 +130,7 @@ impl LsmOptions {
             compaction_budget_factor: 16,
             queue_depth: 1,
             trace: false,
+            maint: MaintConfig::default(),
         }
     }
 

@@ -7,7 +7,7 @@
 //! the old one deleted — the file churn that, together with SSTable
 //! churn, makes an LSM touch the entire LBA space of its partition.
 
-use ptsbench_vfs::{FileId, Vfs};
+use ptsbench_vfs::{FileId, SharedIoQueue, Vfs};
 
 use crate::{LsmError, Result};
 
@@ -70,7 +70,7 @@ impl Wal {
         self.append_record(TAG_DELETE, key, None)
     }
 
-    fn append_record(&mut self, tag: u8, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+    fn encode_record(&mut self, tag: u8, key: &[u8], value: Option<&[u8]>) {
         self.buffer.push(tag);
         self.buffer
             .extend_from_slice(&(key.len() as u32).to_le_bytes());
@@ -81,6 +81,10 @@ impl Wal {
             self.buffer.extend_from_slice(v);
         }
         self.bytes_logged += (1 + 8 + key.len() + vlen) as u64;
+    }
+
+    fn append_record(&mut self, tag: u8, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+        self.encode_record(tag, key, value);
         // Write out whole pages as they fill.
         while self.buffer.len() >= self.page_size {
             let page: Vec<u8> = self.buffer.drain(..self.page_size).collect();
@@ -95,7 +99,10 @@ impl Wal {
     pub fn sync(&mut self, wait_durable: bool) -> Result<()> {
         if !self.buffer.is_empty() {
             let mut page = std::mem::take(&mut self.buffer);
-            page.resize(self.page_size, 0);
+            // Pad to a page multiple: the eager path keeps the buffer
+            // under a page, but group-committed batches can span many.
+            let padded = page.len().div_ceil(self.page_size) * self.page_size;
+            page.resize(padded, 0);
             self.vfs.append(self.file, &page)?;
             self.bytes_written += page.len() as u64;
         }
@@ -103,6 +110,68 @@ impl Wal {
             self.vfs.fsync(self.file)?;
         }
         Ok(())
+    }
+
+    /// Group-commit sync: drains buffered pages through the submission
+    /// queue in one batched append (run writes overlap up to the queue
+    /// depth, instead of each page charging its base latency serially)
+    /// and coalesces the batch into at most one durability wait.
+    /// Without a queue this degrades to the classic [`Wal::sync`].
+    pub fn sync_batched(
+        &mut self,
+        queue: Option<&SharedIoQueue>,
+        wait_durable: bool,
+    ) -> Result<()> {
+        let Some(queue) = queue else {
+            return self.sync(wait_durable);
+        };
+        if !self.buffer.is_empty() {
+            let mut pages = std::mem::take(&mut self.buffer);
+            let padded = pages.len().div_ceil(self.page_size) * self.page_size;
+            pages.resize(padded, 0);
+            self.vfs
+                .append_async(&mut queue.lock(), self.file, &pages)?;
+            self.bytes_written += pages.len() as u64;
+        }
+        if wait_durable {
+            self.vfs.fsync(self.file)?;
+        }
+        Ok(())
+    }
+
+    /// Buffers a record *without* eagerly writing filled pages — the
+    /// group-commit path: a batch of records accumulates here and is
+    /// written in one [`Wal::sync_batched`] call, so the batch's page
+    /// appends overlap on the submission queue and share one fsync.
+    pub fn log_buffered(&mut self, record: &WalRecord) {
+        match record {
+            WalRecord::Put(k, v) => self.encode_record(TAG_PUT, k, Some(v)),
+            WalRecord::Delete(k) => self.encode_record(TAG_DELETE, k, None),
+        }
+    }
+
+    /// Slice-based [`Wal::log_buffered`] for a put (no allocation).
+    pub fn log_put_buffered(&mut self, key: &[u8], value: &[u8]) {
+        self.encode_record(TAG_PUT, key, Some(value));
+    }
+
+    /// Slice-based [`Wal::log_buffered`] for a delete (no allocation).
+    pub fn log_delete_buffered(&mut self, key: &[u8]) {
+        self.encode_record(TAG_DELETE, key, None);
+    }
+
+    /// Rotates to a fresh `wal-<n+1>` file but **keeps the old log on
+    /// disk**, returning its name. Used by background-maintenance mode:
+    /// the frozen memtable's records must survive until its flush
+    /// installs, at which point the caller deletes the returned file.
+    /// Always churns files (never recycles in place), because truncation
+    /// would destroy the frozen records.
+    pub fn rotate_deferred(&mut self) -> Result<String> {
+        let old = format!("wal-{}", self.seq);
+        self.seq += 1;
+        self.file = self.vfs.create(&format!("wal-{}", self.seq))?;
+        self.buffer.clear();
+        Ok(old)
     }
 
     /// Rotates the log after a memtable flush: either recycled in place
@@ -289,6 +358,56 @@ mod tests {
             v.ssd().lock().mapped_pages(),
             mapped,
             "recycled log reuses LBAs"
+        );
+    }
+
+    #[test]
+    fn deferred_rotation_keeps_old_log_until_deleted() {
+        let v = vfs();
+        let mut w = Wal::create(v.clone(), true).expect("create");
+        w.log_put(b"frozen", &[1u8; 3000]).expect("log");
+        w.sync(false).expect("sync");
+        let old = w.rotate_deferred().expect("rotate");
+        assert_eq!(old, "wal-0");
+        assert!(v.exists("wal-0"), "old log survives the rotation");
+        assert!(v.exists("wal-1"));
+        // New records land in the new log; replay reads the newest.
+        w.log_put(b"fresh", b"x").expect("log");
+        w.sync(false).expect("sync");
+        let records = Wal::replay(&v).expect("replay");
+        assert_eq!(
+            records,
+            vec![WalRecord::Put(b"fresh".to_vec(), b"x".to_vec())]
+        );
+        v.delete(&old).expect("delete at install");
+        assert!(!v.exists("wal-0"));
+    }
+
+    #[test]
+    fn batched_sync_matches_classic_bytes_and_replay() {
+        let classic_vfs = vfs();
+        let batched_vfs = vfs();
+        let mut classic = Wal::create(classic_vfs.clone(), true).expect("create");
+        let mut batched = Wal::create(batched_vfs.clone(), true).expect("create");
+        let queue = batched_vfs.io_queue(8).into_shared();
+        let records: Vec<WalRecord> = (0..40u32)
+            .map(|i| WalRecord::Put(format!("k{i:04}").into_bytes(), vec![i as u8; 400]))
+            .collect();
+        for r in &records {
+            match r {
+                WalRecord::Put(k, v) => classic.log_put(k, v).expect("log"),
+                WalRecord::Delete(k) => classic.log_delete(k).expect("log"),
+            }
+            batched.log_buffered(r);
+        }
+        classic.sync(true).expect("sync");
+        batched.sync_batched(Some(&queue), true).expect("sync");
+        assert_eq!(classic.bytes_written(), batched.bytes_written());
+        assert_eq!(classic.bytes_logged(), batched.bytes_logged());
+        assert_eq!(
+            Wal::replay(&classic_vfs).expect("replay"),
+            Wal::replay(&batched_vfs).expect("replay"),
+            "group commit must not change recoverable records"
         );
     }
 

@@ -12,6 +12,7 @@
 //! with the same seed produce **byte-identical** report text — the
 //! property the CI determinism check diffs for.
 
+use ptsbench_maint::MaintStats;
 use ptsbench_trace::CauseStats;
 
 use crate::cache::CacheStats;
@@ -81,6 +82,12 @@ pub struct ShardReport {
     /// reports stay byte-identical to pre-trace output (pinned in
     /// `tests/trace_conformance.rs`).
     pub cause: Option<CauseStats>,
+    /// Background-maintenance accounting (jobs, slices, stall time,
+    /// write/space amplification) when the run deferred maintenance.
+    /// `None` — and unrendered — otherwise, so maintenance-off reports
+    /// stay byte-identical to pre-maintenance output (pinned in
+    /// `tests/maint_conformance.rs`).
+    pub maint: Option<MaintStats>,
     /// Additive per-window series (throughput, device MB/s, ...). All
     /// shards must emit the same series names in the same order, on the
     /// same window boundaries.
@@ -250,6 +257,21 @@ impl RunReport {
             })
     }
 
+    /// Fleet-level background-maintenance accounting, folded over every
+    /// shard that reported it (`None` when none did — i.e. maintenance
+    /// ran inline). Counters and byte ledgers sum across shards, so the
+    /// footer's write/space amplification is the fleet-wide figure.
+    pub fn maint_totals(&self) -> Option<MaintStats> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.maint.as_ref())
+            .fold(None, |acc, s| {
+                let mut total = acc.unwrap_or_default();
+                total.merge(s);
+                Some(total)
+            })
+    }
+
     /// Deterministic plain-text rendering (byte-identical for
     /// byte-identical inputs): an aggregate header, one aligned table
     /// of all merged series (via [`render_series_table`]), the merged
@@ -303,9 +325,13 @@ impl RunReport {
             out.push_str(&cause.render());
             out.push('\n');
         }
+        if let Some(maint) = self.maint_totals() {
+            out.push_str(&maint.render());
+            out.push('\n');
+        }
         for shard in &self.shards {
             out.push_str(&format!(
-                "{}: ops={} app_bytes={} host_bytes={}{}{}{}{}{}{}{}\n",
+                "{}: ops={} app_bytes={} host_bytes={}{}{}{}{}{}{}{}{}\n",
                 shard.name,
                 shard.ops,
                 shard.app_bytes,
@@ -335,6 +361,10 @@ impl RunReport {
                 },
                 match &shard.cause {
                     Some(cause) => format!(" {}", cause.render_compact()),
+                    None => String::new(),
+                },
+                match &shard.maint {
+                    Some(maint) => format!(" {}", maint.render_compact()),
                     None => String::new(),
                 },
                 if shard.out_of_space {
@@ -383,6 +413,7 @@ mod tests {
             slo: None,
             cache: None,
             cause: None,
+            maint: None,
             series: vec![series],
         }
     }
@@ -631,6 +662,59 @@ mod tests {
         ));
         assert!(text.contains("cause[get=0+2048 put=4096+0 compaction=8192+0]"));
         assert!(text.contains("cause[get=0+512 put=1024+0]"));
+    }
+
+    #[test]
+    fn maint_stats_render_only_when_present() {
+        // Absent: the report must render exactly as before background
+        // maintenance existed (the maint_conformance-suite contract).
+        let plain = RunReport::merge("x", 1, vec![shard("shard0", 5, &[1_000], &[1.0])]);
+        let plain_text = plain.render();
+        assert!(plain.maint_totals().is_none());
+        assert!(!plain_text.contains("maint"));
+
+        // Present: the fleet footer sums shard ledgers and each shard
+        // line carries its compact accounting.
+        let mut a = shard("shard0", 5, &[1_000], &[1.0]);
+        a.maint = Some(MaintStats {
+            jobs: 4,
+            slices: 20,
+            installs: 4,
+            bytes_read: 1_000,
+            bytes_written: 3_000,
+            stall_ns: 500,
+            app_bytes: 1_000,
+            host_bytes: 4_000,
+            live_bytes: 2_000,
+            used_bytes: 3_000,
+        });
+        let mut b = shard("shard1", 5, &[1_000], &[1.0]);
+        b.maint = Some(MaintStats {
+            jobs: 2,
+            slices: 10,
+            installs: 2,
+            bytes_read: 500,
+            bytes_written: 1_000,
+            stall_ns: 100,
+            app_bytes: 1_000,
+            host_bytes: 2_000,
+            live_bytes: 2_000,
+            used_bytes: 5_000,
+        });
+        let report = RunReport::merge("x", 2, vec![a, b]);
+        let totals = report.maint_totals().expect("maint totals");
+        assert_eq!(totals.jobs, 6);
+        assert_eq!(totals.installs, 6);
+        assert_eq!(totals.bytes_written, 4_000);
+        assert!((totals.write_amp() - 3.0).abs() < 1e-12);
+        assert!((totals.space_amp() - 2.0).abs() < 1e-12);
+        let text = report.render();
+        assert!(text.contains(
+            "maint: jobs=6 installs=6 slices=30 bg_write=4000 bg_read=1500 stall_ns=600 \
+             write_amp=3.0000 space_amp=2.0000"
+        ));
+        assert!(text.contains("maint[jobs=4 slices=20 stall=500 wa=4.0000 sa=1.5000]"));
+        assert!(text.contains("maint[jobs=2 slices=10 stall=100 wa=2.0000 sa=2.5000]"));
     }
 
     #[test]

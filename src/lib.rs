@@ -15,6 +15,9 @@
 //! * [`hashlog`] — KVell-style log-structured hash KV store, registered
 //!   with the engine registry from outside `ptsbench-core` (the proof
 //!   that the engine API is open).
+//! * [`maint`] — the virtual-time background-maintenance scheduler:
+//!   rate-budgeted job tickets and slice pacing shared by the engines'
+//!   deferred flush/compaction/GC/checkpoint paths.
 //! * [`trace`] — the zero-cost-when-off tracing subsystem: nested
 //!   virtual-time spans with cause tags, per-cause device-traffic
 //!   attribution, Chrome trace-event export and per-op phase
@@ -37,6 +40,7 @@ pub use ptsbench_core as core;
 pub use ptsbench_harness as harness;
 pub use ptsbench_hashlog as hashlog;
 pub use ptsbench_lsm as lsm;
+pub use ptsbench_maint as maint;
 pub use ptsbench_metrics as metrics;
 pub use ptsbench_ssd as ssd;
 pub use ptsbench_trace as trace;

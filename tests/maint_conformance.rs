@@ -1,0 +1,163 @@
+//! Maintenance conformance: *disabled* background maintenance must be
+//! invisible.
+//!
+//! The background-maintenance subsystem follows the repo's layering
+//! contract: every new knob has an explicit pass-through setting whose
+//! output is byte-identical to the code that predates it.
+//! `MaintConfig::default()` (`enabled = false`) keeps every engine on
+//! its seed inline flush/compaction/GC/checkpoint paths, so runs
+//! configured that way must reproduce the pre-maintenance harness
+//! output **byte-identically at the rendered level** — same labels,
+//! same numbers, no `maint` accounting anywhere — for every registered
+//! engine, across the sharded driver and the serving front-end.
+//!
+//! Like `cache_conformance`, this pins against the golden snapshot
+//! (`tests/golden/pr5_cache_off.txt`) captured before either subsystem
+//! existed, so a regression in *any* layer maintenance touched —
+//! engine write paths, the WAL, options, the runner, the report
+//! renderer — shows up as a byte diff against history.
+
+use ptsbench::core::frontend::FrontendRun;
+use ptsbench::core::registry::{EngineKind, EngineRegistry};
+use ptsbench::core::runner::{run, RunConfig};
+use ptsbench::core::sharded::ShardedRun;
+use ptsbench::harness::{run_frontend, run_frontend_with_results, run_sharded};
+use ptsbench::maint::MaintConfig;
+use ptsbench::ssd::MINUTE;
+use ptsbench::workload::KeyDistribution;
+
+/// Rendered harness output captured before the maintenance subsystem
+/// (and the cache tier) landed.
+const GOLDEN: &str = include_str!("golden/pr5_cache_off.txt");
+
+fn engines() -> Vec<EngineKind> {
+    ptsbench::hashlog::register();
+    EngineRegistry::all()
+}
+
+/// One `@@@section@@@` block of the golden snapshot.
+fn golden_section(name: &str) -> String {
+    let header = format!("@@@{name}@@@\n");
+    let start = GOLDEN
+        .find(&header)
+        .unwrap_or_else(|| panic!("golden section {name} missing"))
+        + header.len();
+    let end = GOLDEN[start..]
+        .find("@@@")
+        .expect("golden sections are terminated");
+    GOLDEN[start..start + end].to_string()
+}
+
+/// The exact shapes the snapshot was captured with.
+fn base(engine: EngineKind, total_bytes: u64) -> RunConfig {
+    RunConfig {
+        engine,
+        device_bytes: total_bytes,
+        duration: 10 * MINUTE,
+        sample_window: 5 * MINUTE,
+        ..RunConfig::default()
+    }
+}
+
+fn serving_shape(engine: EngineKind) -> FrontendRun {
+    let mut cfg = FrontendRun::new(base(engine, 32 << 20), 6);
+    cfg.shards = 2;
+    cfg.base.read_fraction = 0.5;
+    cfg.base.distribution = KeyDistribution::Zipfian { theta: 0.9 };
+    cfg
+}
+
+/// The tentpole guarantee: with maintenance off (the default), today's
+/// sharded harness reproduces the pre-maintenance golden output
+/// byte-for-byte for every engine.
+#[test]
+fn maint_off_sharded_runs_match_the_golden_output() {
+    for engine in engines() {
+        let name = format!("sharded/{engine}");
+        let report = run_sharded(&ShardedRun::new(base(engine, 32 << 20), 2)).expect("run");
+        assert_eq!(
+            report.render(),
+            golden_section(&name),
+            "{engine}: maintenance-off sharded output must be byte-identical to seed"
+        );
+        assert!(
+            !report.render().contains("maint"),
+            "{engine}: no maintenance accounting may appear with the subsystem off"
+        );
+    }
+}
+
+/// The same pin through the serving front-end (fan-in, Zipfian mix —
+/// the shape where deferred maintenance would matter most if it were
+/// on).
+#[test]
+fn maint_off_frontend_runs_match_the_golden_output() {
+    for engine in engines() {
+        let name = format!("frontend/{engine}");
+        let report = run_frontend(&serving_shape(engine)).expect("run");
+        assert_eq!(
+            report.render(),
+            golden_section(&name),
+            "{engine}: maintenance-off front-end output must be byte-identical to seed"
+        );
+    }
+}
+
+/// The single-threaded runner keeps the contract at the API level:
+/// maintenance-off results carry no maintenance accounting and an
+/// unchanged label.
+#[test]
+fn maint_off_runner_results_carry_no_maint_accounting() {
+    for engine in engines() {
+        let cfg = base(engine, 32 << 20);
+        let r = run(&cfg).expect("run");
+        assert!(
+            r.maint.is_none(),
+            "{engine}: maintenance off means no stats"
+        );
+        assert!(
+            !cfg.label().contains("/bg"),
+            "{engine}: default labels must not grow the background tag: {}",
+            cfg.label()
+        );
+    }
+}
+
+/// Sanity check of the other direction: turning maintenance on *does*
+/// perturb the report — the label gains the `/bg` tag, the maintenance
+/// footer appears, every shard carries stats — so the byte-identity
+/// above is not a vacuous comparison. And two background runs agree
+/// with each other byte-for-byte (run-twice determinism at test
+/// scale; `fig_stall` re-asserts it at figure scale).
+#[test]
+fn maint_on_perturbs_the_report_deterministically() {
+    for engine in engines() {
+        let mut shape = serving_shape(engine);
+        shape.base.maint = MaintConfig::enabled();
+        let outcome = run_frontend_with_results(&shape).expect("run");
+        let text = outcome.report.render();
+        assert!(text.contains("/bg"), "{engine}: label tag: {text}");
+        assert!(
+            text.contains("maint: jobs=") && text.contains("maint["),
+            "{engine}: maintenance accounting must render: {text}"
+        );
+        assert_ne!(
+            text,
+            golden_section(&format!("frontend/{engine}")),
+            "{engine}: active maintenance must show up in the report"
+        );
+        for (i, r) in outcome.shard_results.iter().enumerate() {
+            let stats = r.maint.expect("background shards carry stats");
+            assert_eq!(
+                stats.jobs, stats.installs,
+                "{engine} shard{i}: each job installs exactly once"
+            );
+        }
+        let again = run_frontend_with_results(&shape).expect("run");
+        assert_eq!(
+            text,
+            again.report.render(),
+            "{engine}: background-mode reports must be deterministic"
+        );
+    }
+}
