@@ -71,7 +71,7 @@ fn calibrate_mean_service(engine: EngineKind, duration: Ns) -> Ns {
 fn serve(engine: EngineKind, duration: Ns, arrival: ArrivalSpec, slo: SloPolicy) -> RunReport {
     let mut cfg = config(engine, duration);
     cfg.arrival = arrival;
-    cfg.slo = slo;
+    cfg.slo = slo.into();
     run_frontend(&cfg).expect("frontend run")
 }
 

@@ -56,8 +56,12 @@ pub mod state;
 pub use engine::{
     BatchOp, EngineStats, PtsEngine, PtsError, ScanCursor, ScanItem, ScanItems, WriteBatch,
 };
-pub use frontend::{ClientBinding, FrontendRun, SloPolicy};
+pub use frontend::{
+    ClassPolicyMap, ClientBinding, DispatchDiscipline, FrontendRun, SloPolicy, TenantQuota,
+    TenantSpec,
+};
 pub use measure::{build_stack, bulk_load, Experiment, Served, Stack};
+pub use ptsbench_metrics::{ReqClass, TenantId};
 pub use registry::{EngineKind, EngineRegistry, EngineTuning, Lifecycle};
 pub use runner::{run, RunConfig, RunResult, Sample, SteadySummary};
 pub use sharded::ShardedRun;

@@ -141,6 +141,7 @@ pub(crate) fn base_shard_report(queue_depth: usize, index: usize, r: &RunResult)
         queue_delay: None,
         load: None,
         slo: None,
+        mt: None,
         series: vec![r.throughput_series(), r.device_write_series()],
     }
 }

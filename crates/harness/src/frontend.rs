@@ -19,10 +19,16 @@
 //!
 //! — so queueing delay (`done_at - submitted_at - service_ns`) is
 //! separable from device/engine latency (`service_ns`). Each shard is a
-//! single server: admitted requests are serviced in admission order on
-//! the shard's private simulated stack, and at most
-//! `FrontendRun::queue_depth` requests may be admitted-but-incomplete
-//! at once (property-tested in `tests/proptest_frontend.rs`).
+//! single server: under the default FIFO [`DispatchDiscipline`]
+//! admitted requests are serviced in admission order on the shard's
+//! private simulated stack, and at most `FrontendRun::queue_depth`
+//! requests may be admitted-but-incomplete at once (property-tested in
+//! `tests/proptest_frontend.rs`). A reordering discipline (strict
+//! priority with age promotion, weighted-fair queueing) instead admits
+//! into a waiting room and decides service order lazily, by
+//! [`ReqClass`], as virtual time reaches each dispatch instant;
+//! per-tenant token buckets throttle over-quota submissions before any
+//! of that (property-tested in `tests/proptest_tenant.rs`).
 //!
 //! Because service times are computed at submission from deterministic
 //! per-shard state, a fixed request stream produces byte-identical
@@ -32,16 +38,18 @@
 //! pattern unchanged.
 
 use ptsbench_core::engine::PtsError;
-use ptsbench_core::frontend::{ClientBinding, FrontendRun, SloPolicy};
+use ptsbench_core::frontend::{ClientBinding, DispatchDiscipline, FrontendRun, SloPolicy};
 use ptsbench_core::measure::{Experiment, Served};
 use ptsbench_core::runner::RunResult;
 use ptsbench_core::sharded::Sharding;
 use ptsbench_metrics::histogram::LatencyHistogram;
 use ptsbench_metrics::load::ShardLoad;
+use ptsbench_metrics::mt::{MtStats, ReqClass, TenantId};
 use ptsbench_metrics::runreport::RunReport;
 use ptsbench_metrics::slo::SloStats;
+use ptsbench_metrics::RateBudget;
 use ptsbench_ssd::{Cause, Ns};
-use ptsbench_workload::{encode_key, route_hash, ArrivalClock, OpGenerator, OpKind};
+use ptsbench_workload::{encode_key, route_hash, ArrivalClock, ArrivalSpec, OpGenerator, OpKind};
 
 use crate::driver::{base_shard_report, HarnessOutcome};
 
@@ -72,6 +80,27 @@ pub struct Request {
     pub key_index: u64,
     /// Value payload for updates (ignored for reads).
     pub value: Vec<u8>,
+    /// The request's scheduling class
+    /// ([`ReqClass::Interactive`] by default — class-less callers get
+    /// the pre-multi-tenant behavior unchanged).
+    pub class: ReqClass,
+    /// The submitting tenant (tenant 0 — the implicit single tenant —
+    /// by default; quotas apply only to tenants the run declared).
+    pub tenant: TenantId,
+}
+
+impl Default for Request {
+    /// An interactive tenant-0 read of key 0 — the neutral template
+    /// struct-update syntax fills class-less requests from.
+    fn default() -> Self {
+        Self {
+            kind: OpKind::Read,
+            key_index: 0,
+            value: Vec::new(),
+            class: ReqClass::Interactive,
+            tenant: 0,
+        }
+    }
 }
 
 /// Handle to one submitted (not yet collected) request.
@@ -95,6 +124,11 @@ pub enum ReqOutcome {
     /// have started it: queued, but never touched the device. Completes
     /// at the instant it was shed.
     Shed,
+    /// Turned away by the submitting tenant's token-bucket quota before
+    /// admission control even saw it: never queued, never touched the
+    /// device. Completes after a fixed [`REJECT_LATENCY`] turnaround,
+    /// exactly like a policy rejection.
+    Throttled,
 }
 
 /// The completion record of one request.
@@ -116,10 +150,27 @@ pub struct ReqCompletion {
     /// When the shard's engine completed the request.
     pub done_at: Ns,
     /// Engine service time (device I/O + CPU charge); 0 for dropped,
-    /// rejected and shed requests, which never reach the device.
+    /// rejected, shed and throttled requests, which never reach the
+    /// device.
     pub service_ns: Ns,
-    /// Served, dropped, rejected or shed.
+    /// Served, dropped, rejected, shed or throttled.
     pub outcome: ReqOutcome,
+    /// The request's scheduling class (copied from the submission).
+    pub class: ReqClass,
+    /// The submitting tenant (copied from the submission).
+    pub tenant: TenantId,
+    /// Resolution sequence number: the order the front-end *decided*
+    /// this completion in, assigned when the outcome became known. The
+    /// collector tiebreak ([`Frontend::poll`] / [`Frontend::wait_any`] /
+    /// [`Frontend::wait_all`] order by `(done_at, seq)`) — NOT the
+    /// token: under a reordering [`DispatchDiscipline`] a later-submitted
+    /// interactive request is legitimately decided (and completed)
+    /// before an earlier batch one, so token order would silently
+    /// re-impose FIFO exactly where the discipline broke it. Under FIFO
+    /// dispatch outcomes are decided in submission order, so `seq` order
+    /// and token order coincide and pre-multi-tenant collection order is
+    /// unchanged.
+    pub seq: u64,
 }
 
 impl ReqCompletion {
@@ -136,6 +187,24 @@ impl ReqCompletion {
     }
 }
 
+/// One request admitted into a reordering shard's waiting room, not
+/// yet decided by the dispatch discipline.
+struct WaitingReq {
+    token: ReqToken,
+    kind: OpKind,
+    key_index: u64,
+    value: Vec<u8>,
+    class: ReqClass,
+    tenant: TenantId,
+    submitted_at: Ns,
+    /// When the request entered the waiting room (= `submitted_at`:
+    /// the lazy dispatcher admits immediately; see
+    /// [`Frontend::submit`]).
+    issued_at: Ns,
+    /// WFQ virtual finish tag (0 under strict priority).
+    finish_tag: u128,
+}
+
 /// One shard's state behind the dispatcher.
 struct ShardState {
     experiment: Experiment,
@@ -146,15 +215,30 @@ struct ShardState {
     slots: Vec<Ns>,
     /// The single-server serialization point: when the engine frees up.
     busy_until: Ns,
+    /// Requests admitted but not yet decided, under a reordering
+    /// [`DispatchDiscipline`] only (always empty under FIFO, whose
+    /// outcomes are decided eagerly at submission).
+    waiting: Vec<WaitingReq>,
     load: ShardLoad,
     queue_delay: LatencyHistogram,
     /// SLO accounting (tracked unconditionally; attached to reports
     /// only when the configured policy is active).
     slo: SloStats,
+    /// Multi-tenant accounting: per-class lanes and per-tenant ledgers
+    /// (tracked unconditionally; attached to reports only when
+    /// [`FrontendRun::mt_active`]).
+    mt: MtStats,
+    /// Self-clocked WFQ virtual time: the finish tag of the last
+    /// dispatched request. New backlog of an idle class starts at this
+    /// frontier, which is what makes the discipline work-conserving.
+    vtime: u128,
+    /// Per-class last-assigned finish tag, so a backlogged class's
+    /// arrivals queue behind its own previous work.
+    last_finish: [u128; 3],
     /// EWMA of observed service times (α = 1/8, integer arithmetic so
     /// the estimate is deterministic), feeding
-    /// [`SloPolicy::PredictedSojourn`]'s sojourn prediction. `None`
-    /// until the first request is served.
+    /// [`SloPolicy::PredictedSojourn`]'s sojourn prediction and the
+    /// WFQ finish tags. `None` until the first request is served.
     service_ewma: Option<Ns>,
     /// Out of space: nothing more is served.
     dead: bool,
@@ -210,6 +294,9 @@ pub struct FrontendShardResult {
     pub queue_delay: LatencyHistogram,
     /// SLO accounting: admitted/rejected/shed counts and conformance.
     pub slo: SloStats,
+    /// Multi-tenant accounting: per-class lanes (whose SLO counters sum
+    /// to `slo`, lane by lane) and per-tenant quota ledgers.
+    pub mt: MtStats,
 }
 
 /// The serving front-end over a fleet of shard experiments: the
@@ -236,6 +323,13 @@ pub struct Frontend {
     key_end: u64,
     now: Ns,
     next_token: u64,
+    /// Resolution counter feeding [`ReqCompletion::seq`].
+    next_seq: u64,
+    /// Per-tenant token buckets (index = [`TenantId`]), in request
+    /// units; `None` for unthrottled tenants. One bucket per tenant
+    /// across the whole fleet — a quota caps the tenant, not each
+    /// shard.
+    buckets: Vec<Option<RateBudget>>,
     pending: BTreeMap<u64, ReqCompletion>,
     key_buf: Vec<u8>,
 }
@@ -253,10 +347,15 @@ impl Frontend {
             let experiment =
                 Experiment::prepare_with(&cfg.shard_config(index), cfg.shard_workload(index))?;
             let dead = experiment.failed_during_load();
+            let mut mt = MtStats::new(cfg.tenants.len());
+            for lane in &mut mt.classes {
+                lane.slo.span_ns = cfg.base.duration;
+            }
             shards.push(ShardState {
                 experiment,
                 slots: Vec::with_capacity(cfg.queue_depth),
                 busy_until: 0,
+                waiting: Vec::new(),
                 load: ShardLoad {
                     span_ns: cfg.base.duration,
                     ..ShardLoad::default()
@@ -266,11 +365,22 @@ impl Frontend {
                     span_ns: cfg.base.duration,
                     ..SloStats::default()
                 },
+                mt,
+                vtime: 0,
+                last_finish: [0; 3],
                 service_ewma: None,
                 dead,
             });
         }
         Ok(Self {
+            buckets: cfg
+                .tenants
+                .iter()
+                .map(|t| {
+                    t.quota
+                        .map(|q| RateBudget::new(q.rate_ops_per_sec, q.burst_ops, 0))
+                })
+                .collect(),
             bounds: match cfg.sharding {
                 Sharding::Contiguous => cfg.slice_bounds(),
                 Sharding::Hashed => Vec::new(),
@@ -281,6 +391,7 @@ impl Frontend {
             shards,
             now: 0,
             next_token: 0,
+            next_seq: 0,
             pending: BTreeMap::new(),
             key_buf: Vec::new(),
         })
@@ -308,13 +419,16 @@ impl Frontend {
     }
 
     /// Requests admitted to `shard` and not yet complete at the current
-    /// front-end time (bounded by the configured queue depth).
+    /// front-end time (bounded by the configured queue depth under FIFO
+    /// dispatch; reordering disciplines add their undecided waiting
+    /// room).
     pub fn in_flight(&self, shard: usize) -> usize {
         self.shards[shard]
             .slots
             .iter()
             .filter(|&&done| done > self.now)
             .count()
+            + self.shards[shard].waiting.len()
     }
 
     /// Completions not yet collected.
@@ -359,10 +473,15 @@ impl Frontend {
         let token = ReqToken(self.next_token);
         self.next_token += 1;
         let now = self.now;
-        let slo = self.cfg.slo;
+        let policy = self.cfg.slo.get(req.class);
+        let track_tenants = !self.cfg.tenants.is_empty();
         let shard = &mut self.shards[shard_idx];
         shard.load.requests += 1;
         shard.slo.offered += 1;
+        shard.mt.class_mut(req.class).slo.offered += 1;
+        if track_tenants {
+            shard.mt.tenant_mut(req.tenant).offered += 1;
+        }
 
         let mut completion = ReqCompletion {
             token,
@@ -374,12 +493,44 @@ impl Frontend {
             done_at: now + DROP_LATENCY,
             service_ns: 0,
             outcome: ReqOutcome::ShardOutOfSpace,
+            class: req.class,
+            tenant: req.tenant,
+            seq: 0,
         };
+
+        // Tenant quota: the token bucket sits in front of *everything*
+        // — admission control, the shard queue, even the dead-shard
+        // drop path. An over-quota request is turned away at the front
+        // door without consuming queue residence or device time, which
+        // is the point: one tenant's excess must not take capacity
+        // another tenant's SLO depends on. The strict bucket never
+        // overdrafts, so over any window `W` the tenant passes at most
+        // `rate·W + burst` requests (property-tested in
+        // `tests/proptest_tenant.rs`).
+        if let Some(Some(bucket)) = self.buckets.get_mut(req.tenant as usize) {
+            if !bucket.try_charge(now, 1) {
+                shard.slo.throttled += 1;
+                shard.mt.class_mut(req.class).slo.throttled += 1;
+                shard.mt.tenant_mut(req.tenant).throttled += 1;
+                completion.done_at = now + REJECT_LATENCY;
+                completion.outcome = ReqOutcome::Throttled;
+                self.resolve(completion);
+                return Ok(token);
+            }
+        }
+        if track_tenants {
+            shard.mt.tenant_mut(req.tenant).admitted += 1;
+        }
+
         if shard.dead {
             shard.load.dropped += 1;
-            self.pending.insert(token.0, completion);
+            self.resolve(completion);
             return Ok(token);
         }
+        if !self.cfg.discipline.is_fifo() {
+            return self.submit_lazy(shard_idx, req, completion, policy);
+        }
+        let shard = &mut self.shards[shard_idx];
         shard.slots.retain(|&done| done > now);
 
         // Admission into the bounded shard queue: slots whose
@@ -400,7 +551,7 @@ impl Frontend {
         // `issue` time the request would get below, and admission is
         // deterministic, so its deadline is a guarantee on admitted
         // queue delay, not a heuristic.
-        let rejected = match slo {
+        let rejected = match policy {
             SloPolicy::QueueBound { max_pending } => shard.slots.len() >= max_pending,
             SloPolicy::PredictedSojourn { deadline_ns } => {
                 let predicted_start = issue.max(shard.busy_until);
@@ -410,28 +561,30 @@ impl Frontend {
         };
         if rejected {
             shard.slo.rejected += 1;
+            shard.mt.class_mut(req.class).slo.rejected += 1;
             // Unclamped-estimator recovery (maintenance mode only; see
             // the clamp at the `Served::Done` arm): each rejection
             // decays the service EWMA one step so the estimator can
             // re-probe once pressure subsides instead of wedging.
             if self.cfg.base.maint.enabled {
-                if let SloPolicy::PredictedSojourn { .. } = slo {
+                if let SloPolicy::PredictedSojourn { .. } = policy {
                     shard.decay_service_estimate();
                 }
             }
             completion.done_at = now + REJECT_LATENCY;
             completion.outcome = ReqOutcome::Rejected;
-            self.pending.insert(token.0, completion);
+            self.resolve(completion);
             return Ok(token);
         }
         shard.slo.admitted += 1;
+        shard.mt.class_mut(req.class).slo.admitted += 1;
         completion.issued_at = issue;
         completion.done_at = issue + DROP_LATENCY;
 
         // Service: the engine is a single server, so the request starts
         // when both it is admitted and the engine is free.
         let start_lb = issue.max(shard.busy_until);
-        if let SloPolicy::Deadline { budget_ns } = slo {
+        if let SloPolicy::Deadline { budget_ns } = policy {
             // Shed at dispatch: the request aged past its budget while
             // queueing, so starting it now would only waste device time
             // on an answer nobody is waiting for. It held a queue slot
@@ -440,9 +593,10 @@ impl Frontend {
                 slots.push(start_lb);
                 shard.slots = slots;
                 shard.slo.shed += 1;
+                shard.mt.class_mut(req.class).slo.shed += 1;
                 completion.done_at = start_lb;
                 completion.outcome = ReqOutcome::Shed;
-                self.pending.insert(token.0, completion);
+                self.resolve(completion);
                 return Ok(token);
             }
         }
@@ -492,6 +646,10 @@ impl Frontend {
                 completion.service_ns = done - start;
                 completion.outcome = ReqOutcome::Served;
                 shard.slo.served += 1;
+                let lane = shard.mt.class_mut(req.class);
+                lane.slo.served += 1;
+                lane.queue_delay.record(start - now);
+                lane.starve_max_ns = lane.starve_max_ns.max(start - now);
                 // Inline maintenance clamps the estimator's observation
                 // to the deadline: an op that absorbs an inline
                 // compaction/GC stall can run 30x the typical service
@@ -511,7 +669,7 @@ impl Frontend {
                 let estimator_cap = if self.cfg.base.maint.enabled {
                     Ns::MAX
                 } else {
-                    slo.deadline_ns().unwrap_or(Ns::MAX)
+                    policy.deadline_ns().unwrap_or(Ns::MAX)
                 };
                 shard.observe_service(completion.service_ns.min(estimator_cap));
             }
@@ -520,8 +678,288 @@ impl Frontend {
                 shard.load.dropped += 1;
             }
         }
-        self.pending.insert(token.0, completion);
+        self.resolve(completion);
         Ok(token)
+    }
+
+    /// Stamps a decided completion with its resolution sequence number
+    /// (see [`ReqCompletion::seq`]) and parks it for collection. Every
+    /// outcome — served, dropped, rejected, shed, throttled — resolves
+    /// through here, so `seq` is a total order over decisions.
+    fn resolve(&mut self, mut completion: ReqCompletion) {
+        completion.seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(completion.token.0, completion);
+    }
+
+    /// Admission under a reordering [`DispatchDiscipline`]: the request
+    /// enters the shard's waiting room *immediately* and [`pump`]
+    /// decides its fate when virtual time reaches the dispatch
+    /// decision.
+    ///
+    /// Two deliberate deviations from the eager FIFO model:
+    ///
+    /// * the waiting room is unbounded — `queue_depth` does not stall
+    ///   the submission, because a stalled submission would need to
+    ///   know *which* queued request frees a slot first, and that is
+    ///   exactly what the discipline only decides later. `QueueBound`
+    ///   admission control still applies, over queue slots *plus*
+    ///   waiting room;
+    /// * [`SloPolicy::PredictedSojourn`] degrades from an exact
+    ///   guarantee to a backlog heuristic: it assumes the new request
+    ///   starts after the whole current backlog, which reorderings can
+    ///   only improve for favored classes (and worsen for disfavored
+    ///   ones).
+    ///
+    /// [`pump`]: Frontend::settle_to
+    fn submit_lazy(
+        &mut self,
+        shard_idx: usize,
+        req: Request,
+        mut completion: ReqCompletion,
+        policy: SloPolicy,
+    ) -> Result<ReqToken, PtsError> {
+        let now = self.now;
+        let token = completion.token;
+        let shard = &mut self.shards[shard_idx];
+        let backlog = shard.waiting.len() + shard.slots.iter().filter(|&&done| done > now).count();
+        let rejected = match policy {
+            SloPolicy::QueueBound { max_pending } => backlog >= max_pending,
+            SloPolicy::PredictedSojourn { deadline_ns } => {
+                let est = shard.predicted_service();
+                let queue_ahead = est.saturating_mul(backlog as u64);
+                let idle_gap = shard.busy_until.saturating_sub(now);
+                idle_gap.saturating_add(queue_ahead).saturating_add(est) > deadline_ns
+            }
+            SloPolicy::None | SloPolicy::Deadline { .. } => false,
+        };
+        if rejected {
+            shard.slo.rejected += 1;
+            shard.mt.class_mut(req.class).slo.rejected += 1;
+            if self.cfg.base.maint.enabled {
+                if let SloPolicy::PredictedSojourn { .. } = policy {
+                    shard.decay_service_estimate();
+                }
+            }
+            completion.done_at = now + REJECT_LATENCY;
+            completion.outcome = ReqOutcome::Rejected;
+            self.resolve(completion);
+            return Ok(token);
+        }
+        shard.slo.admitted += 1;
+        shard.mt.class_mut(req.class).slo.admitted += 1;
+        let finish_tag = if let DispatchDiscipline::WeightedFair { weights } = self.cfg.discipline {
+            // Self-clocked fair queueing: the virtual start is the
+            // later of the dispatcher's virtual time and this class's
+            // own last finish tag (a backlogged class queues behind its
+            // previous work; an idle class starts at the frontier). The
+            // virtual finish adds the estimated service scaled down by
+            // the class weight — heavier classes accrue virtual time
+            // slower, so they win more dispatch decisions.
+            let est = u128::from(shard.predicted_service().max(1));
+            let start = shard.vtime.max(shard.last_finish[req.class.index()]);
+            let tag = start + est * WFQ_SCALE / u128::from(weights[req.class.index()]);
+            shard.last_finish[req.class.index()] = tag;
+            tag
+        } else {
+            0
+        };
+        shard.waiting.push(WaitingReq {
+            token,
+            kind: req.kind,
+            key_index: req.key_index,
+            value: req.value,
+            class: req.class,
+            tenant: req.tenant,
+            submitted_at: now,
+            issued_at: now,
+            finish_tag,
+        });
+        Ok(token)
+    }
+
+    /// Decides waiting requests on one shard whose service start falls
+    /// at or before `horizon`: repeatedly finds the next dispatch
+    /// instant (engine free and at least one request present), lets the
+    /// discipline pick among the requests present at that instant, and
+    /// serves or sheds the pick. A no-op for empty waiting rooms, hence
+    /// for FIFO dispatch entirely.
+    fn pump(&mut self, shard_idx: usize, horizon: Ns) -> Result<(), PtsError> {
+        loop {
+            let shard = &mut self.shards[shard_idx];
+            if shard.waiting.is_empty() {
+                return Ok(());
+            }
+            let earliest = shard
+                .waiting
+                .iter()
+                .map(|w| w.issued_at)
+                .min()
+                .expect("non-empty waiting room");
+            // The next dispatch decision: the engine is free and at
+            // least one request has arrived. Nondecreasing across
+            // iterations (serving raises `busy_until` past it; shedding
+            // keeps it and removes a request), so per-shard service
+            // order is decided in time order.
+            let t0 = shard.busy_until.max(earliest);
+            if t0 > horizon {
+                return Ok(());
+            }
+            if shard.dead {
+                // The shard died with requests still waiting: they all
+                // drop, in submission order, with the same turnaround a
+                // direct submission to a dead shard gets.
+                let mut rest = std::mem::take(&mut shard.waiting);
+                rest.sort_by_key(|w| w.token);
+                for w in rest {
+                    let shard = &mut self.shards[shard_idx];
+                    shard.load.dropped += 1;
+                    self.resolve(ReqCompletion {
+                        token: w.token,
+                        shard: shard_idx,
+                        kind: w.kind,
+                        key_index: w.key_index,
+                        submitted_at: w.submitted_at,
+                        issued_at: w.issued_at,
+                        done_at: t0 + DROP_LATENCY,
+                        service_ns: 0,
+                        outcome: ReqOutcome::ShardOutOfSpace,
+                        class: w.class,
+                        tenant: w.tenant,
+                        seq: 0,
+                    });
+                }
+                return Ok(());
+            }
+            let pos = select_next(shard, t0, self.cfg.discipline);
+            let w = shard.waiting.remove(pos);
+            if let DispatchDiscipline::WeightedFair { .. } = self.cfg.discipline {
+                // Self-clocking: virtual time jumps to the dispatched
+                // tag, so classes going idle don't bank credit.
+                shard.vtime = shard.vtime.max(w.finish_tag);
+            }
+            let policy = self.cfg.slo.get(w.class);
+            let mut completion = ReqCompletion {
+                token: w.token,
+                shard: shard_idx,
+                kind: w.kind,
+                key_index: w.key_index,
+                submitted_at: w.submitted_at,
+                issued_at: w.issued_at,
+                done_at: t0 + DROP_LATENCY,
+                service_ns: 0,
+                outcome: ReqOutcome::ShardOutOfSpace,
+                class: w.class,
+                tenant: w.tenant,
+                seq: 0,
+            };
+            if let SloPolicy::Deadline { budget_ns } = policy {
+                if t0 - w.submitted_at > budget_ns {
+                    shard.slo.shed += 1;
+                    shard.mt.class_mut(w.class).slo.shed += 1;
+                    completion.done_at = t0;
+                    completion.outcome = ReqOutcome::Shed;
+                    self.resolve(completion);
+                    continue;
+                }
+            }
+            encode_key(w.key_index, self.key_size, &mut self.key_buf);
+            let trace = shard.experiment.trace_handle().clone();
+            let phase0 = shard.experiment.phase_start();
+            let req_span = if trace.is_on() {
+                let cause = match w.kind {
+                    OpKind::Update => Cause::Put,
+                    OpKind::Read => Cause::Get,
+                };
+                let name = match w.kind {
+                    OpKind::Update => "req.put",
+                    OpKind::Read => "req.get",
+                };
+                let id = trace.tracer().begin(name, cause, phase0 + w.submitted_at);
+                trace
+                    .tracer()
+                    .leaf("req.queue", cause, phase0 + w.submitted_at, phase0 + t0);
+                Some(id)
+            } else {
+                None
+            };
+            let served = shard.experiment.serve(t0, w.kind, &self.key_buf, &w.value);
+            if let Some(id) = req_span {
+                trace.end(id);
+            }
+            match served? {
+                Served::Done { start, done } => {
+                    shard.busy_until = done;
+                    shard.slots.push(done);
+                    shard.load.served += 1;
+                    shard.load.busy_ns += done - start;
+                    let wait = start - w.submitted_at;
+                    shard.queue_delay.record(wait);
+                    shard.slo.served += 1;
+                    let lane = shard.mt.class_mut(w.class);
+                    lane.slo.served += 1;
+                    lane.queue_delay.record(wait);
+                    lane.starve_max_ns = lane.starve_max_ns.max(wait);
+                    completion.done_at = done;
+                    completion.service_ns = done - start;
+                    completion.outcome = ReqOutcome::Served;
+                    let estimator_cap = if self.cfg.base.maint.enabled {
+                        Ns::MAX
+                    } else {
+                        policy.deadline_ns().unwrap_or(Ns::MAX)
+                    };
+                    shard.observe_service(completion.service_ns.min(estimator_cap));
+                    self.resolve(completion);
+                }
+                Served::OutOfSpace => {
+                    shard.dead = true;
+                    shard.load.dropped += 1;
+                    self.resolve(completion);
+                    // The next iteration drains the rest as drops.
+                }
+            }
+        }
+    }
+
+    /// Decides every waiting dispatch whose service start falls at or
+    /// before `horizon` (a no-op under FIFO dispatch, which decides at
+    /// submission). Drivers call this as virtual time advances, so
+    /// discipline decisions are made in event order — each one sees
+    /// exactly the requests that had arrived by its instant.
+    pub fn settle_to(&mut self, horizon: Ns) -> Result<(), PtsError> {
+        for shard_idx in 0..self.shards.len() {
+            self.pump(shard_idx, horizon)?;
+        }
+        Ok(())
+    }
+
+    /// Decides every waiting dispatch on every shard, unboundedly.
+    pub fn settle(&mut self) -> Result<(), PtsError> {
+        self.settle_to(Ns::MAX)
+    }
+
+    /// Forces the single next dispatch decision fleet-wide: the shard
+    /// whose next service start is earliest (ties by shard index)
+    /// decides at least one waiting request. Returns `false` when no
+    /// shard has anything waiting. This is how the driver makes
+    /// progress when every client is blocked on an undecided request —
+    /// deciding only the earliest instant keeps later decisions open to
+    /// arrivals those completions trigger.
+    pub fn settle_one(&mut self) -> Result<bool, PtsError> {
+        let next = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, s)| {
+                let earliest = s.waiting.iter().map(|w| w.issued_at).min()?;
+                Some((idx, s.busy_until.max(earliest)))
+            })
+            .min_by_key(|&(idx, t0)| (t0, idx));
+        let Some((shard_idx, t0)) = next else {
+            return Ok(false);
+        };
+        self.pump(shard_idx, t0)?;
+        Ok(true)
     }
 
     /// Collects a completion record without touching the front-end
@@ -537,11 +975,18 @@ impl Frontend {
     }
 
     /// Blocks (advances the front-end clock) until `token`'s request
-    /// completes and returns its record.
+    /// completes and returns its record. Under a reordering discipline
+    /// the token may still sit undecided in a waiting room; waiting on
+    /// it settles every outstanding dispatch decision first.
     ///
     /// # Panics
-    /// Panics if the token was never issued or was already collected.
+    /// Panics if the token was never issued or was already collected,
+    /// or if settling hits a hard engine failure.
     pub fn wait(&mut self, token: ReqToken) -> ReqCompletion {
+        if !self.pending.contains_key(&token.0) {
+            self.settle()
+                .expect("engine failure while settling the dispatch backlog");
+        }
         let completion = self
             .pending
             .remove(&token.0)
@@ -551,9 +996,12 @@ impl Frontend {
     }
 
     /// Collects one already-completed request (earliest in the
-    /// completion order — `done_at`, then token) without advancing
-    /// the clock. Rejected and shed completions surface through the
-    /// same order as served ones, not after them.
+    /// completion order — `done_at`, then resolution order) without
+    /// advancing the clock. Rejected and shed completions surface
+    /// through the same order as served ones, not after them. Purely a
+    /// view over resolved completions: requests still undecided in a
+    /// reordering discipline's waiting room do not surface until a
+    /// settle ([`Frontend::settle_to`] or any blocking collector).
     pub fn poll(&mut self) -> Option<ReqCompletion> {
         let key = self
             .pending
@@ -567,8 +1015,11 @@ impl Frontend {
     /// Advances the clock to the earliest outstanding completion — of
     /// *any* outcome; a rejection turned around at `REJECT_LATENCY` can
     /// precede a served request submitted before it — and returns it
-    /// (`None` if nothing is pending).
+    /// (`None` if nothing is pending). Settles every outstanding
+    /// dispatch decision first (panicking on hard engine failures).
     pub fn wait_any(&mut self) -> Option<ReqCompletion> {
+        self.settle()
+            .expect("engine failure while settling the dispatch backlog");
         let key = self
             .pending
             .iter()
@@ -581,9 +1032,13 @@ impl Frontend {
 
     /// Drains every pending completion, advancing the clock to the
     /// latest; returns them in completion order (`done_at`, then
-    /// token), interleaving served, rejected and shed records by when
-    /// each actually resolved.
+    /// resolution order), interleaving served, rejected and shed
+    /// records by when each actually resolved. Settles every
+    /// outstanding dispatch decision first (panicking on hard engine
+    /// failures).
     pub fn wait_all(&mut self) -> Vec<ReqCompletion> {
+        self.settle()
+            .expect("engine failure while settling the dispatch backlog");
         let mut all: Vec<ReqCompletion> = std::mem::take(&mut self.pending).into_values().collect();
         all.sort_by_key(completion_order);
         if let Some(last) = all.last() {
@@ -594,10 +1049,14 @@ impl Frontend {
 
     /// Finishes every shard experiment (emitting trailing samples and
     /// draining engine-level asynchronous I/O) and returns the
-    /// per-shard results in shard order. Uncollected completions are
-    /// discarded — their work was executed and is accounted in the
-    /// shard results either way.
-    pub fn finish(self) -> Vec<FrontendShardResult> {
+    /// per-shard results in shard order. Settles any waiting dispatch
+    /// decisions first (panicking on hard engine failures — drivers
+    /// that must propagate them call [`Frontend::settle`] themselves
+    /// beforehand). Uncollected completions are discarded — their work
+    /// was executed and is accounted in the shard results either way.
+    pub fn finish(mut self) -> Vec<FrontendShardResult> {
+        self.settle()
+            .expect("engine failure while settling the dispatch backlog");
         self.shards
             .into_iter()
             .map(|shard| FrontendShardResult {
@@ -605,8 +1064,56 @@ impl Frontend {
                 load: shard.load,
                 queue_delay: shard.queue_delay,
                 slo: shard.slo,
+                mt: shard.mt,
             })
             .collect()
+    }
+}
+
+/// Fixed-point scale of the WFQ virtual clock, so integer division by
+/// a class weight keeps enough resolution to order sub-microsecond
+/// service estimates.
+const WFQ_SCALE: u128 = 1 << 10;
+
+/// The waiting-room index the discipline serves next at instant `t0`,
+/// among requests already present (`issued_at <= t0` — guaranteed
+/// non-empty, since `t0` is never earlier than the earliest waiting
+/// request). Ties always fall back to token (submission) order, so
+/// dispatch is deterministic.
+fn select_next(shard: &ShardState, t0: Ns, discipline: DispatchDiscipline) -> usize {
+    let candidates = || {
+        shard
+            .waiting
+            .iter()
+            .enumerate()
+            .filter(move |(_, w)| w.issued_at <= t0)
+    };
+    match discipline {
+        DispatchDiscipline::Fifo => unreachable!("FIFO dispatch decides eagerly at submission"),
+        DispatchDiscipline::StrictPriority { promote_after_ns } => {
+            // Highest class first — unless the oldest candidate has
+            // aged past the promotion bound, in which case it jumps the
+            // class order. This is the starvation bound the property
+            // suite pins: no request waits beyond `promote_after_ns`
+            // plus the residual service ahead of it.
+            let (oldest_idx, oldest) = candidates()
+                .min_by_key(|(_, w)| (w.issued_at, w.token))
+                .expect("select_next requires a candidate");
+            if t0 - oldest.issued_at > promote_after_ns {
+                oldest_idx
+            } else {
+                candidates()
+                    .min_by_key(|(_, w)| (w.class.priority(), w.issued_at, w.token))
+                    .expect("select_next requires a candidate")
+                    .0
+            }
+        }
+        DispatchDiscipline::WeightedFair { .. } => {
+            candidates()
+                .min_by_key(|(_, w)| (w.finish_tag, w.token))
+                .expect("select_next requires a candidate")
+                .0
+        }
     }
 }
 
@@ -632,20 +1139,36 @@ fn admission_time(slots: &mut Vec<Ns>, depth: usize, now: Ns) -> Ns {
 
 /// The total order completions are surfaced in by [`Frontend::poll`],
 /// [`Frontend::wait_any`] and [`Frontend::wait_all`]: completion time
-/// first, submission (token) order on ties — across *all* outcomes.
-/// Rejections resolve after [`REJECT_LATENCY`], so a request rejected
-/// at `t` must surface *before* an earlier-submitted request still
-/// queueing at `t + REJECT_LATENCY`; collectors that assumed served
-/// order == submission order would reorder exactly there (pinned by
-/// `collectors_interleave_diverging_outcomes_in_timestamp_order`).
-fn completion_order(c: &ReqCompletion) -> (Ns, ReqToken) {
-    (c.done_at, c.token)
+/// first, *resolution* order ([`ReqCompletion::seq`]) on ties — across
+/// all outcomes. Rejections resolve after [`REJECT_LATENCY`], so a
+/// request rejected at `t` must surface *before* an earlier-submitted
+/// request still queueing at `t + REJECT_LATENCY` (pinned by
+/// `collectors_interleave_diverging_outcomes_in_timestamp_order`). The
+/// tiebreak is deliberately NOT the token: under a reordering
+/// [`DispatchDiscipline`] two requests can complete at the same
+/// instant with the later-submitted one decided first, and token order
+/// would silently re-impose FIFO exactly where the discipline broke it
+/// (pinned by `collectors_surface_reordered_completions_in_decision_order`).
+/// Under FIFO, decisions happen in submission order, so `seq` order and
+/// token order coincide.
+fn completion_order(c: &ReqCompletion) -> (Ns, u64) {
+    (c.done_at, c.seq)
 }
 
 /// Per-client driver state for [`run_frontend`].
 struct ClientState {
     generator: OpGenerator,
     arrivals: ArrivalClock,
+    /// The client's own arrival process (its tenant's override when the
+    /// tenant declares one, the run's shared spec otherwise).
+    spec: ArrivalSpec,
+    class: ReqClass,
+    tenant: TenantId,
+    /// The closed-loop request in flight whose completion has not been
+    /// collected yet. Resolved immediately under FIFO dispatch; under a
+    /// reordering discipline it stays `Some` until the dispatcher
+    /// decides the request.
+    inflight: Option<ReqToken>,
 }
 
 /// Runs a full serving experiment and returns the merged report.
@@ -676,57 +1199,109 @@ pub fn run_frontend_with_results(cfg: &FrontendRun) -> Result<HarnessOutcome, Pt
     let mut clients: Vec<ClientState> = (0..cfg.clients)
         .map(|c| ClientState {
             generator: OpGenerator::new(cfg.client_workload(c)),
-            arrivals: ArrivalClock::new(cfg.arrival, cfg.client_arrival_seed(c)),
+            arrivals: ArrivalClock::new(cfg.client_arrival(c), cfg.client_arrival_seed(c)),
+            spec: cfg.client_arrival(c),
+            class: cfg.client_class(c),
+            tenant: cfg.tenant_of_client(c),
+            inflight: None,
         })
         .collect();
 
-    // Event loop: always submit the earliest pending arrival (ties by
-    // client index), so the front-end clock — and with it per-shard
-    // admission order — advances monotonically and deterministically.
-    // (ends when every client retired or the earliest arrival falls
-    // past the submission window)
-    while let Some((client_idx, at)) = clients
-        .iter()
-        .enumerate()
-        .filter_map(|(i, c)| c.arrivals.next_submit().map(|t| (i, t)))
-        .min_by_key(|&(i, t)| (t, i))
-    {
-        if at >= cfg.base.duration {
-            break; // the submission window is over
-        }
-        frontend.advance_to(at);
-        let client = &mut clients[client_idx];
-        let request = {
-            let op = client.generator.next_op();
-            Request {
-                kind: op.kind,
-                key_index: op.key_index,
-                value: op.value.to_vec(),
+    // Event loop, three moves per iteration:
+    //
+    // 1. collect resolved completions for blocked closed-loop clients
+    //    (so they can schedule their next arrival),
+    // 2. submit the earliest pending arrival (ties by client index),
+    //    settling dispatch decisions strictly before it so the
+    //    discipline decides in event order,
+    // 3. when neither is possible, force the dispatcher's single next
+    //    decision to unblock somebody.
+    //
+    // Under FIFO dispatch every submission resolves at submit, step 3
+    // never fires, and the loop degenerates to the pre-multi-tenant
+    // submit/collect cycle in the identical order.
+    loop {
+        // 1. Blocked clients whose requests have resolved.
+        let mut resolved_any = false;
+        for client in clients.iter_mut() {
+            let Some(token) = client.inflight else {
+                continue;
+            };
+            let Some(completion) = frontend.take(token) else {
+                continue;
+            };
+            client.inflight = None;
+            resolved_any = true;
+            // A closed-loop client retires when its traffic can never
+            // be served again: a bound client's shard died (mirroring
+            // how a sharded-harness shard stops), or the whole fleet is
+            // dead. A *routed* client with healthy shards left keeps
+            // going — its next keys may well route elsewhere, and its
+            // drops complete after `DROP_LATENCY` so retries advance
+            // virtual time.
+            if completion.outcome == ReqOutcome::ShardOutOfSpace
+                && (cfg.binding == ClientBinding::Bound || frontend.all_shards_dead())
+            {
+                client.arrivals.retire();
+            } else {
+                client.arrivals.note_completed(completion.done_at);
             }
-        };
-        client.arrivals.note_submitted();
-        let token = frontend.submit(request)?;
-        let completion = frontend
-            .take(token)
-            .expect("completion of the request just submitted");
-        // A closed-loop client retires when its traffic can never be
-        // served again: a bound client's shard died (mirroring how a
-        // sharded-harness shard stops), or the whole fleet is dead. A
-        // *routed* client with healthy shards left keeps going — its
-        // next keys may well route elsewhere, and its drops complete
-        // after `DROP_LATENCY` so retries advance virtual time.
-        if completion.outcome == ReqOutcome::ShardOutOfSpace
-            && cfg.arrival.is_closed()
-            && (cfg.binding == ClientBinding::Bound || frontend.all_shards_dead())
+        }
+
+        // 2. The earliest pending arrival within the submission window.
+        if let Some((client_idx, at)) = clients
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.arrivals.next_submit().map(|t| (i, t)))
+            .min_by_key(|&(i, t)| (t, i))
         {
-            client.arrivals.retire();
-        } else {
-            client.arrivals.note_completed(completion.done_at);
+            if at < cfg.base.duration {
+                frontend.advance_to(at);
+                // Settle strictly *before* the arrival instant: a
+                // decision at exactly `at` must still see this (and any
+                // simultaneous) submission as a candidate.
+                frontend.settle_to(at.saturating_sub(1))?;
+                let client = &mut clients[client_idx];
+                let request = {
+                    let op = client.generator.next_op();
+                    Request {
+                        kind: op.kind,
+                        key_index: op.key_index,
+                        value: op.value.to_vec(),
+                        class: client.class,
+                        tenant: client.tenant,
+                    }
+                };
+                client.arrivals.note_submitted();
+                let token = frontend.submit(request)?;
+                if client.spec.is_closed() {
+                    // Step 1 collects the completion once it resolves
+                    // (immediately under FIFO, at the dispatch decision
+                    // otherwise). Open-loop completions are never
+                    // collected — `note_completed` is a no-op for them
+                    // — and are discarded at finish.
+                    client.inflight = Some(token);
+                }
+                continue;
+            }
+        }
+
+        // 3. Nothing submitted: if a completion just resolved, loop so
+        //    its client can schedule; otherwise the dispatcher itself
+        //    must decide its next waiting request — and when even it
+        //    has nothing left, the run is over.
+        if resolved_any {
+            continue;
+        }
+        if !frontend.settle_one()? {
+            break;
         }
     }
+    frontend.settle()?;
 
     let attach_serving_metrics = !cfg.is_conformant();
     let attach_slo = cfg.slo.is_active();
+    let attach_mt = cfg.mt_active();
     let shards = frontend.finish();
     let reports = shards
         .iter()
@@ -739,6 +1314,9 @@ pub fn run_frontend_with_results(cfg: &FrontendRun) -> Result<HarnessOutcome, Pt
             }
             if attach_slo {
                 report.slo = Some(shard.slo);
+            }
+            if attach_mt {
+                report.mt = Some(shard.mt.clone());
             }
             report
         })
@@ -753,7 +1331,7 @@ pub fn run_frontend_with_results(cfg: &FrontendRun) -> Result<HarnessOutcome, Pt
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ptsbench_core::frontend::ClientBinding;
+    use ptsbench_core::frontend::{ClientBinding, TenantQuota, TenantSpec};
     use ptsbench_core::registry::EngineKind;
     use ptsbench_core::runner::RunConfig;
     use ptsbench_ssd::MINUTE;
@@ -778,6 +1356,7 @@ mod tests {
                 kind: OpKind::Update,
                 key_index: 0,
                 value: vec![7; 64],
+                ..Default::default()
             })
             .expect("submit");
         assert_eq!(fe.pending(), 1);
@@ -799,6 +1378,7 @@ mod tests {
                 kind: OpKind::Update,
                 key_index: 1,
                 value: vec![1; 64],
+                ..Default::default()
             })
             .expect("submit");
         let t1 = fe
@@ -806,6 +1386,7 @@ mod tests {
                 kind: OpKind::Update,
                 key_index: 2,
                 value: vec![2; 64],
+                ..Default::default()
             })
             .expect("submit");
         let c0 = fe.wait(t0);
@@ -827,6 +1408,7 @@ mod tests {
                 kind: OpKind::Read,
                 key_index: 3,
                 value: Vec::new(),
+                ..Default::default()
             })
             .expect("submit");
         assert!(fe.poll().is_none(), "not complete at time 0");
@@ -983,6 +1565,7 @@ mod tests {
                 kind: OpKind::Read,
                 key_index: 0, // shard 0's slice
                 value: Vec::new(),
+                ..Default::default()
             })
             .expect("submit");
         let dropped = fe.take(t0).expect("completion");
@@ -999,6 +1582,7 @@ mod tests {
                 kind: OpKind::Update,
                 key_index: shard1_key,
                 value: vec![9; 64],
+                ..Default::default()
             })
             .expect("submit");
         let served = fe.take(t1).expect("completion");
@@ -1008,12 +1592,13 @@ mod tests {
     #[test]
     fn queue_bound_rejects_at_the_bound_without_device_time() {
         let mut cfg = FrontendRun::new(base(16 << 20), 1);
-        cfg.slo = SloPolicy::QueueBound { max_pending: 2 };
+        cfg.slo = SloPolicy::QueueBound { max_pending: 2 }.into();
         let mut fe = Frontend::new(&cfg).expect("frontend");
         let update = |key| Request {
             kind: OpKind::Update,
             key_index: key,
             value: vec![5; 64],
+            ..Default::default()
         };
         let t0 = fe.submit(update(1)).expect("submit");
         let t1 = fe.submit(update(2)).expect("submit");
@@ -1059,7 +1644,8 @@ mod tests {
         let mut cfg = FrontendRun::new(base(16 << 20), 1);
         cfg.slo = SloPolicy::PredictedSojourn {
             deadline_ns: 2 * SECOND,
-        };
+        }
+        .into();
         let mut fe = Frontend::new(&cfg).expect("frontend");
         let mut served = 0u64;
         let mut rejected = 0u64;
@@ -1069,6 +1655,7 @@ mod tests {
                     kind: OpKind::Update,
                     key_index: key,
                     value: vec![9; 64],
+                    ..Default::default()
                 })
                 .expect("submit");
             let c = fe.take(token).expect("completion");
@@ -1110,7 +1697,8 @@ mod tests {
         cfg.base.maint = ptsbench_core::MaintConfig::enabled();
         cfg.slo = SloPolicy::PredictedSojourn {
             deadline_ns: 2 * SECOND,
-        };
+        }
+        .into();
         let mut fe = Frontend::new(&cfg).expect("frontend");
         let mut served = 0u64;
         let total = 400u64;
@@ -1120,6 +1708,7 @@ mod tests {
                     kind: OpKind::Update,
                     key_index: i % 64,
                     value: vec![0xAB; 2048],
+                    ..Default::default()
                 })
                 .expect("submit");
             if fe.wait(token).outcome == ReqOutcome::Served {
@@ -1143,6 +1732,7 @@ mod tests {
                     kind: OpKind::Update,
                     key_index: 1,
                     value: vec![1; 64],
+                    ..Default::default()
                 })
                 .expect("submit");
             let c = fe.wait(probe);
@@ -1174,7 +1764,7 @@ mod tests {
     fn deadline_policy_sheds_stale_requests_at_dispatch() {
         use ptsbench_ssd::SECOND;
         let mut cfg = FrontendRun::new(base(16 << 20), 1);
-        cfg.slo = SloPolicy::Deadline { budget_ns: SECOND };
+        cfg.slo = SloPolicy::Deadline { budget_ns: SECOND }.into();
         let mut fe = Frontend::new(&cfg).expect("frontend");
         let mut outcomes = Vec::new();
         for key in 0..10 {
@@ -1183,6 +1773,7 @@ mod tests {
                     kind: OpKind::Update,
                     key_index: key,
                     value: vec![3; 64],
+                    ..Default::default()
                 })
                 .expect("submit");
             outcomes.push(fe.take(token).expect("completion"));
@@ -1213,6 +1804,7 @@ mod tests {
                 kind: OpKind::Update,
                 key_index: 11,
                 value: vec![4; 64],
+                ..Default::default()
             })
             .expect("submit");
         assert_eq!(
@@ -1231,12 +1823,13 @@ mod tests {
     #[test]
     fn collectors_interleave_diverging_outcomes_in_timestamp_order() {
         let mut cfg = FrontendRun::new(base(16 << 20), 1);
-        cfg.slo = SloPolicy::QueueBound { max_pending: 1 };
+        cfg.slo = SloPolicy::QueueBound { max_pending: 1 }.into();
         let mut fe = Frontend::new(&cfg).expect("frontend");
         let update = |key| Request {
             kind: OpKind::Update,
             key_index: key,
             value: vec![7; 64],
+            ..Default::default()
         };
         // A is admitted and served (sub-second service, well past the
         // 1 ms rejection turnaround); B and C find the queue at its
@@ -1289,7 +1882,7 @@ mod tests {
             cfg.arrival = ArrivalSpec::OpenPoisson {
                 mean_interarrival_ns: MINUTE / 100,
             };
-            cfg.slo = slo;
+            cfg.slo = slo.into();
             run_frontend(&cfg).expect("run")
         };
         let plain = serve(SloPolicy::None);
@@ -1308,6 +1901,235 @@ mod tests {
         // Queue-delay samples exist only for served requests.
         let qd = bounded.queue_delay.as_ref().expect("queue delay");
         assert_eq!(qd.count(), totals.served);
+    }
+
+    #[test]
+    fn collectors_surface_reordered_completions_in_decision_order() {
+        // Satellite of the multi-tenant PR: the collector tiebreak used
+        // to be the token, which silently encoded "completions happen
+        // in submission order" — true under FIFO only. Under WFQ a
+        // later-submitted interactive request is decided (and done)
+        // before an earlier batch one; collectors must surface it
+        // first.
+        let mut cfg = FrontendRun::new(base(16 << 20), 1);
+        cfg.discipline = DispatchDiscipline::WeightedFair { weights: [8, 1, 1] };
+        let mut fe = Frontend::new(&cfg).expect("frontend");
+        let batch = |key| Request {
+            kind: OpKind::Update,
+            key_index: key,
+            value: vec![7; 64],
+            class: ReqClass::Batch,
+            ..Default::default()
+        };
+        let b0 = fe.submit(batch(1)).expect("submit");
+        let b1 = fe.submit(batch(2)).expect("submit");
+        let i0 = fe
+            .submit(Request {
+                kind: OpKind::Read,
+                key_index: 3,
+                ..Default::default()
+            })
+            .expect("submit");
+        let all = fe.wait_all();
+        let tokens: Vec<_> = all.iter().map(|c| c.token).collect();
+        assert_eq!(
+            tokens,
+            vec![i0, b0, b1],
+            "the last-submitted interactive request is decided first \
+             (weight 8 vs 1), so it must surface first"
+        );
+        assert!(
+            all.windows(2)
+                .all(|w| (w[0].done_at, w[0].seq) <= (w[1].done_at, w[1].seq)),
+            "collection order is (done_at, seq)"
+        );
+        assert!(
+            tokens != {
+                let mut sorted = tokens.clone();
+                sorted.sort();
+                sorted
+            },
+            "the scenario genuinely inverts submission order"
+        );
+        let served: Vec<_> = all
+            .iter()
+            .filter(|c| c.outcome == ReqOutcome::Served)
+            .collect();
+        assert_eq!(served.len(), 3);
+        assert!(
+            served[0].done_at <= served[1].done_at,
+            "completion timestamps stay monotone in collection order"
+        );
+    }
+
+    #[test]
+    fn wfq_dispatches_by_weighted_virtual_finish_time() {
+        let mut cfg = FrontendRun::new(base(16 << 20), 1);
+        cfg.discipline = DispatchDiscipline::WeightedFair { weights: [6, 2, 1] };
+        let mut fe = Frontend::new(&cfg).expect("frontend");
+        // Build a same-instant backlog: 4 batch, then 4 interactive.
+        let mut batch_tokens = Vec::new();
+        let mut int_tokens = Vec::new();
+        for k in 0..4u64 {
+            batch_tokens.push(
+                fe.submit(Request {
+                    kind: OpKind::Update,
+                    key_index: k,
+                    value: vec![1; 64],
+                    class: ReqClass::Batch,
+                    ..Default::default()
+                })
+                .expect("submit"),
+            );
+        }
+        for k in 4..8u64 {
+            int_tokens.push(
+                fe.submit(Request {
+                    kind: OpKind::Update,
+                    key_index: k,
+                    value: vec![2; 64],
+                    ..Default::default()
+                })
+                .expect("submit"),
+            );
+        }
+        let all = fe.wait_all();
+        assert_eq!(all.len(), 8);
+        let int_mean: u64 = all
+            .iter()
+            .filter(|c| c.class == ReqClass::Interactive)
+            .map(|c| c.queue_delay())
+            .sum::<u64>()
+            / 4;
+        let bat_mean: u64 = all
+            .iter()
+            .filter(|c| c.class == ReqClass::Batch)
+            .map(|c| c.queue_delay())
+            .sum::<u64>()
+            / 4;
+        assert!(
+            int_mean < bat_mean,
+            "weight 6 vs 2 must favor interactive queue delay: {int_mean} vs {bat_mean}"
+        );
+        // Class lanes partition the shard's SLO accounting.
+        let shard = fe.finish().pop().expect("one shard");
+        let lane_sums = shard.mt.classes.iter().fold((0u64, 0u64, 0u64), |acc, l| {
+            (
+                acc.0 + l.slo.offered,
+                acc.1 + l.slo.admitted,
+                acc.2 + l.slo.served,
+            )
+        });
+        assert_eq!(
+            lane_sums,
+            (shard.slo.offered, shard.slo.admitted, shard.slo.served)
+        );
+        assert_eq!(shard.slo.served, 8);
+    }
+
+    #[test]
+    fn strict_priority_serves_classes_in_order_but_promotes_aged_work() {
+        let mut cfg = FrontendRun::new(base(16 << 20), 1);
+        cfg.discipline = DispatchDiscipline::StrictPriority {
+            promote_after_ns: 1,
+        };
+        let mut fe = Frontend::new(&cfg).expect("frontend");
+        let req = |key, class| Request {
+            kind: OpKind::Update,
+            key_index: key,
+            value: vec![3; 64],
+            class,
+            ..Default::default()
+        };
+        // One background request, then three interactive, all at t=0.
+        let bg = fe.submit(req(0, ReqClass::Background)).expect("submit");
+        let i0 = fe.submit(req(1, ReqClass::Interactive)).expect("submit");
+        let i1 = fe.submit(req(2, ReqClass::Interactive)).expect("submit");
+        let i2 = fe.submit(req(3, ReqClass::Interactive)).expect("submit");
+        let order: Vec<_> = fe.wait_all().iter().map(|c| c.token).collect();
+        // First decision at t=0: nothing has aged, interactive wins.
+        // Second decision: the background request has aged past the
+        // 1 ns promotion bound and jumps the remaining interactives.
+        assert_eq!(
+            order,
+            vec![i0, bg, i1, i2],
+            "age promotion must bound background starvation"
+        );
+        let shard = fe.finish().pop().expect("one shard");
+        let bg_lane = shard.mt.class(ReqClass::Background);
+        assert!(
+            bg_lane.starve_max_ns > 0,
+            "the promoted request still waited one service time"
+        );
+        assert!(
+            bg_lane.starve_max_ns <= shard.mt.class(ReqClass::Interactive).slo.span_ns,
+            "sanity: starvation is bounded by the run span"
+        );
+    }
+
+    #[test]
+    fn tenant_token_buckets_throttle_over_quota_submissions() {
+        let mut cfg = FrontendRun::new(base(32 << 20), 2);
+        cfg.shards = 1;
+        cfg.tenants = vec![
+            TenantSpec::new(ReqClass::Interactive, 1),
+            TenantSpec {
+                quota: Some(TenantQuota {
+                    rate_ops_per_sec: 0,
+                    burst_ops: 2,
+                }),
+                ..TenantSpec::new(ReqClass::Batch, 1)
+            },
+        ];
+        let mut fe = Frontend::new(&cfg).expect("frontend");
+        let from_tenant = |key, tenant| Request {
+            kind: OpKind::Update,
+            key_index: key,
+            value: vec![9; 64],
+            class: if tenant == 1 {
+                ReqClass::Batch
+            } else {
+                ReqClass::Interactive
+            },
+            tenant,
+        };
+        // Zero refill rate, burst 2: exactly two batch submissions pass,
+        // every later one is throttled — forever.
+        let mut outcomes = Vec::new();
+        for key in 0..4 {
+            let t = fe.submit(from_tenant(key, 1)).expect("submit");
+            outcomes.push(fe.wait(t));
+        }
+        assert_eq!(outcomes[0].outcome, ReqOutcome::Served);
+        assert_eq!(outcomes[1].outcome, ReqOutcome::Served);
+        for c in &outcomes[2..] {
+            assert_eq!(c.outcome, ReqOutcome::Throttled);
+            assert_eq!(c.service_ns, 0, "throttled requests never touch the device");
+            assert_eq!(
+                c.issued_at, c.submitted_at,
+                "throttled requests never queue"
+            );
+            assert_eq!(c.done_at, c.submitted_at + REJECT_LATENCY);
+        }
+        // The unthrottled tenant is untouched by its neighbor's quota.
+        let t = fe.submit(from_tenant(5, 0)).expect("submit");
+        assert_eq!(fe.wait(t).outcome, ReqOutcome::Served);
+
+        let shard = fe.finish().pop().expect("one shard");
+        assert_eq!(shard.slo.throttled, 2);
+        let aggressor = &shard.mt.tenants[1];
+        assert_eq!(
+            (aggressor.offered, aggressor.admitted, aggressor.throttled),
+            (4, 2, 2),
+            "the ledger splits offered into bucket passes and throttles"
+        );
+        let quiet = &shard.mt.tenants[0];
+        assert_eq!((quiet.offered, quiet.admitted, quiet.throttled), (1, 1, 0));
+        assert_eq!(
+            shard.mt.class(ReqClass::Batch).slo.throttled,
+            2,
+            "throttles land in the submitting class's lane too"
+        );
     }
 
     #[test]

@@ -94,7 +94,8 @@ fn predicted_sojourn_concentrates_rejections_on_the_hot_shard() {
     };
     cfg.slo = SloPolicy::PredictedSojourn {
         deadline_ns: DEADLINE,
-    };
+    }
+    .into();
     let report = run_frontend(&cfg).expect("frontend run");
 
     // Rejections concentrate on the hot prefix shard.

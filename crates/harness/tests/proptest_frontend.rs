@@ -114,6 +114,7 @@ proptest! {
                     kind,
                     key_index: next(num_keys),
                     value: if kind == OpKind::Update { vec![0xAB; 32] } else { Vec::new() },
+                    ..Default::default()
                 })
                 .expect("submit");
             submitted += 1;

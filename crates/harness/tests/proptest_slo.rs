@@ -55,7 +55,7 @@ fn config(shards: usize, depth: usize, hashed: bool, slo: SloPolicy) -> Frontend
     } else {
         Sharding::Contiguous
     };
-    cfg.slo = slo;
+    cfg.slo = slo.into();
     cfg.validate();
     cfg
 }
@@ -145,6 +145,7 @@ proptest! {
                     kind,
                     key_index: next(num_keys),
                     value: if kind == OpKind::Update { vec![0xAB; 32] } else { Vec::new() },
+                    ..Default::default()
                 })
                 .expect("submit");
             submitted += 1;
@@ -184,6 +185,10 @@ proptest! {
                     matches!(slo, SloPolicy::Deadline { .. }),
                     "only the Deadline policy sheds: {c:?}"
                 ),
+                ReqOutcome::Throttled => prop_assert!(
+                    false,
+                    "no tenant declares a quota here, so nothing throttles: {c:?}"
+                ),
                 ReqOutcome::Served | ReqOutcome::ShardOutOfSpace => {}
             }
         }
@@ -221,7 +226,9 @@ proptest! {
                         _ => {}
                     }
                 }
-                ReqOutcome::ShardOutOfSpace => prop_assert_eq!(c.service_ns, 0),
+                ReqOutcome::ShardOutOfSpace | ReqOutcome::Throttled => {
+                    prop_assert_eq!(c.service_ns, 0)
+                }
             }
         }
 

@@ -20,11 +20,13 @@
 
 use std::collections::VecDeque;
 
+pub mod rate;
+
+pub use rate::RateBudget;
+
 /// Virtual nanoseconds (mirrors `ptsbench_ssd::Ns`; redeclared so this
 /// crate stays dependency-free and usable from every layer).
 pub type Ns = u64;
-
-const NS_PER_SEC: u128 = 1_000_000_000;
 
 /// Pacing and scheduling knobs for background maintenance.
 ///
@@ -90,82 +92,6 @@ impl MaintConfig {
     pub fn with_rate(mut self, bytes_per_sec: u64) -> Self {
         self.rate_bytes_per_sec = bytes_per_sec;
         self
-    }
-}
-
-/// Debt/credit token bucket over virtual time.
-///
-/// The balance refills at `rate_bytes_per_sec`, capped at `burst_bytes`.
-/// A slice may run whenever the balance is non-negative; charging a
-/// slice can overdraw the balance (debt), which then delays the next
-/// slice until the refill clears it. Over any virtual-time window `W`,
-/// charged bytes therefore never exceed
-/// `rate * W + burst + max_single_charge`.
-#[derive(Debug, Clone)]
-pub struct RateBudget {
-    rate_bytes_per_sec: u64,
-    burst_bytes: u64,
-    /// Current balance in bytes; negative = debt.
-    balance: i64,
-    /// Virtual time of the last refill.
-    last_refill: Ns,
-    /// Sub-byte refill remainder (byte-nanoseconds), so slow clocks and
-    /// frequent refills never lose credit to integer division.
-    carry: u64,
-}
-
-impl RateBudget {
-    /// A full bucket as of virtual time `now`.
-    pub fn new(rate_bytes_per_sec: u64, burst_bytes: u64, now: Ns) -> Self {
-        Self {
-            rate_bytes_per_sec: rate_bytes_per_sec.max(1),
-            burst_bytes,
-            balance: burst_bytes.min(i64::MAX as u64) as i64,
-            last_refill: now,
-            carry: 0,
-        }
-    }
-
-    /// Accrues credit for virtual time elapsed since the last refill.
-    pub fn refill(&mut self, now: Ns) {
-        let dt = now.saturating_sub(self.last_refill);
-        if dt == 0 {
-            return;
-        }
-        let num = dt as u128 * self.rate_bytes_per_sec as u128 + self.carry as u128;
-        let earned = (num / NS_PER_SEC) as u64;
-        self.carry = (num % NS_PER_SEC) as u64;
-        self.last_refill = now;
-        let cap = self.burst_bytes.min(i64::MAX as u64) as i64;
-        self.balance = self.balance.saturating_add_unsigned(earned).min(cap);
-    }
-
-    /// Current balance (refill first for an up-to-date answer).
-    pub fn balance(&self) -> i64 {
-        self.balance
-    }
-
-    /// Whether a slice may run at `now` (non-negative balance).
-    pub fn ready(&mut self, now: Ns) -> bool {
-        self.refill(now);
-        self.balance >= 0
-    }
-
-    /// Debits `bytes`; may overdraw into debt.
-    pub fn charge(&mut self, now: Ns, bytes: u64) {
-        self.refill(now);
-        self.balance = self.balance.saturating_sub_unsigned(bytes);
-    }
-
-    /// Earliest virtual time at which the balance returns to zero.
-    pub fn ready_at(&mut self, now: Ns) -> Ns {
-        self.refill(now);
-        if self.balance >= 0 {
-            return now;
-        }
-        let debt = self.balance.unsigned_abs() as u128;
-        let wait = (debt * NS_PER_SEC).div_ceil(self.rate_bytes_per_sec as u128);
-        now.saturating_add(wait as Ns)
     }
 }
 
@@ -386,76 +312,6 @@ mod tests {
         assert!(!cfg.enabled);
         assert!(MaintConfig::enabled().enabled);
         assert_eq!(MaintConfig::enabled().with_rate(7).rate_bytes_per_sec, 7);
-    }
-
-    #[test]
-    fn budget_starts_full_and_overdraws_into_debt() {
-        let mut b = RateBudget::new(1_000_000, 4096, 0);
-        assert_eq!(b.balance(), 4096);
-        assert!(b.ready(0));
-        b.charge(0, 10_000);
-        assert_eq!(b.balance(), 4096 - 10_000);
-        assert!(!b.ready(0));
-    }
-
-    #[test]
-    fn refill_accrues_at_rate_and_caps_at_burst() {
-        // 1 MB/s = ~1.048576 bytes/us.
-        let mut b = RateBudget::new(1 << 20, 1 << 20, 0);
-        b.charge(0, 1 << 20); // empty the bucket
-        assert_eq!(b.balance(), 0);
-        b.refill(1_000_000_000); // one full second
-        assert_eq!(b.balance(), 1 << 20, "refill caps at burst");
-        b.charge(1_000_000_000, 2 << 20);
-        let at = b.ready_at(1_000_000_000);
-        // 1 MiB of debt at 1 MiB/s clears in exactly one second.
-        assert_eq!(at, 2_000_000_000);
-        assert!(b.ready(at));
-    }
-
-    #[test]
-    fn refill_never_loses_credit_to_rounding() {
-        // 3 bytes/s refilled one virtual microsecond at a time: each
-        // step earns 3e-6 bytes, far below one byte. The carry must
-        // preserve it all.
-        let mut b = RateBudget::new(3, 1 << 20, 0);
-        b.charge(0, 1 << 20);
-        for step in 1..=1_000_000u64 {
-            b.refill(step * 1000);
-        }
-        assert_eq!(b.balance(), 3, "1s at 3 B/s = 3 bytes, no loss");
-    }
-
-    #[test]
-    fn window_invariant_holds_under_greedy_slicing() {
-        // Greedily run slices whenever the bucket allows; total charged
-        // bytes over the window must stay within rate*W + burst + slice.
-        let rate = 10 << 20;
-        let burst = 256 << 10;
-        let slice = 64 << 10;
-        let mut b = RateBudget::new(rate, burst, 0);
-        let mut charged = 0u64;
-        let window = 50_000_000u64; // 50 ms
-        let mut now = 0u64;
-        while now <= window {
-            if b.ready(now) {
-                b.charge(now, slice);
-                charged += slice;
-            } else {
-                now = b.ready_at(now);
-                continue;
-            }
-            now += 1000;
-        }
-        let allowed = (window as u128 * rate as u128 / NS_PER_SEC) as u64 + burst + slice;
-        assert!(
-            charged <= allowed,
-            "charged {charged} exceeds window allowance {allowed}"
-        );
-        // And pacing actually throttles: an unpaced loop would charge a
-        // slice every microsecond (~3.2 GB over the window).
-        let unpaced = (window / 1000) * slice;
-        assert!(charged < unpaced / 10, "pacing must bite: {charged}");
     }
 
     #[test]

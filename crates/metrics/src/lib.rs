@@ -27,7 +27,13 @@
 //!   the goodput-vs-offered-load curves `fig_slo` plots;
 //! * [`cache`] — read-path cache accounting ([`CacheStats`]): hits,
 //!   misses, admission-gate decisions and device bytes saved, shared by
-//!   the block cache and the B-tree pager.
+//!   the block cache and the B-tree pager;
+//! * [`mt`] — multi-tenant serving accounting ([`MtStats`]): per-class
+//!   ([`ReqClass`]) SLO counters, queue-delay distributions and
+//!   starvation maxima, plus per-tenant token-bucket ledgers. The
+//!   shared pacing primitive itself ([`RateBudget`], re-exported from
+//!   `ptsbench-maint`) throttles tenants and background maintenance
+//!   with one implementation.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,6 +45,7 @@ pub mod cusum;
 pub mod histogram;
 pub mod lifetime;
 pub mod load;
+pub mod mt;
 pub mod report;
 pub mod runreport;
 pub mod slo;
@@ -52,6 +59,8 @@ pub use cusum::CusumDetector;
 pub use histogram::LatencyHistogram;
 pub use lifetime::EnduranceModel;
 pub use load::{LoadImbalance, ShardLoad};
+pub use mt::{ClassStats, MtStats, ReqClass, TenantId, TenantStats};
+pub use ptsbench_maint::RateBudget;
 pub use runreport::{RunReport, ShardReport};
 pub use slo::SloStats;
 pub use timeseries::TimeSeries;

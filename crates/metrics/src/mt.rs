@@ -1,0 +1,316 @@
+//! Multi-tenant serving accounting: request classes, per-class SLO
+//! counters, and per-tenant quota ledgers.
+//!
+//! A serving fleet with one queue per shard treats a batch scan and a
+//! latency-critical point read identically; the multi-tenant front-end
+//! distinguishes them by [`ReqClass`] and accounts them separately.
+//! Each shard tracks, per class, the same counters [`SloStats`] tracks
+//! for the whole shard (offered/admitted/rejected/shed/throttled/
+//! served), the served queue-delay distribution, and the worst
+//! submission-to-service-start wait (`starve_max_ns` — the starvation
+//! metric a reordering dispatcher must bound). Per [`TenantId`], it
+//! tracks the token-bucket ledger: offered vs admitted vs throttled.
+//!
+//! Like every other accounting layer in this repo, [`MtStats`] attaches
+//! to reports as an `Option` and renders nothing when absent, so runs
+//! without classes stay byte-identical to the PR 5 golden snapshot
+//! (pinned in `tests/tenant_conformance.rs`).
+
+use crate::histogram::LatencyHistogram;
+use crate::slo::SloStats;
+
+/// The scheduling class of a request — which queue-discipline lane it
+/// rides at the dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ReqClass {
+    /// Latency-critical foreground traffic (point reads, small puts).
+    /// The default: class-less configurations put everything here.
+    #[default]
+    Interactive,
+    /// Throughput-oriented bulk traffic (scans, batch loads).
+    Batch,
+    /// Maintenance-adjacent traffic (backfills, verifier sweeps) that
+    /// should only consume capacity nobody else wants.
+    Background,
+}
+
+impl ReqClass {
+    /// Every class, in lane order (also the rendering order).
+    pub const ALL: [ReqClass; 3] = [ReqClass::Interactive, ReqClass::Batch, ReqClass::Background];
+
+    /// The class's lane index (`0..3`), used to key per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            ReqClass::Interactive => 0,
+            ReqClass::Batch => 1,
+            ReqClass::Background => 2,
+        }
+    }
+
+    /// Short deterministic tag for labels and report lines.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ReqClass::Interactive => "int",
+            ReqClass::Batch => "bat",
+            ReqClass::Background => "bg",
+        }
+    }
+
+    /// Strict-priority rank: lower is more urgent.
+    pub fn priority(self) -> usize {
+        self.index()
+    }
+}
+
+/// Identifies one tenant (an index into the run's tenant table).
+pub type TenantId = u32;
+
+/// One class's accounting on one shard.
+#[derive(Debug, Clone, Default)]
+pub struct ClassStats {
+    /// The class-conditional admission counters. Per shard,
+    /// Σ over classes of each counter equals the shard-level
+    /// [`SloStats`] counter (property-tested in
+    /// `tests/proptest_tenant.rs`).
+    pub slo: SloStats,
+    /// Queue-delay distribution of this class's *served* requests.
+    pub queue_delay: LatencyHistogram,
+    /// Worst submission-to-service-start wait of any served request in
+    /// this class — the starvation metric an age-promoting or
+    /// weighted-fair discipline is judged by.
+    pub starve_max_ns: u64,
+}
+
+impl ClassStats {
+    /// Folds another shard's class lane into this one.
+    pub fn merge(&mut self, other: &ClassStats) {
+        self.slo.merge(&other.slo);
+        self.queue_delay.merge(&other.queue_delay);
+        self.starve_max_ns = self.starve_max_ns.max(other.starve_max_ns);
+    }
+}
+
+/// One tenant's quota ledger on one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Requests this tenant offered (routed to this shard).
+    pub offered: u64,
+    /// Requests that passed the tenant's token bucket (whatever the
+    /// admission policy did with them afterwards).
+    pub admitted: u64,
+    /// Requests the token bucket turned away before admission.
+    pub throttled: u64,
+}
+
+impl TenantStats {
+    /// Folds another shard's ledger for the same tenant into this one.
+    pub fn merge(&mut self, other: &TenantStats) {
+        self.offered = self.offered.saturating_add(other.offered);
+        self.admitted = self.admitted.saturating_add(other.admitted);
+        self.throttled = self.throttled.saturating_add(other.throttled);
+    }
+}
+
+/// One shard's multi-tenant accounting: a lane per [`ReqClass`] and a
+/// ledger per tenant. Attached to reports only when the run actually
+/// configured classes, disciplines or quotas.
+#[derive(Debug, Clone, Default)]
+pub struct MtStats {
+    /// Per-class lanes, indexed by [`ReqClass::index`].
+    pub classes: [ClassStats; 3],
+    /// Per-tenant ledgers, indexed by [`TenantId`].
+    pub tenants: Vec<TenantStats>,
+}
+
+impl MtStats {
+    /// An empty accounting block with `tenants` ledger slots.
+    pub fn new(tenants: usize) -> Self {
+        Self {
+            classes: Default::default(),
+            tenants: vec![TenantStats::default(); tenants],
+        }
+    }
+
+    /// The lane of `class`.
+    pub fn class(&self, class: ReqClass) -> &ClassStats {
+        &self.classes[class.index()]
+    }
+
+    /// The mutable lane of `class`.
+    pub fn class_mut(&mut self, class: ReqClass) -> &mut ClassStats {
+        &mut self.classes[class.index()]
+    }
+
+    /// The ledger of `tenant`, growing the table if needed.
+    pub fn tenant_mut(&mut self, tenant: TenantId) -> &mut TenantStats {
+        let idx = tenant as usize;
+        if idx >= self.tenants.len() {
+            self.tenants.resize(idx + 1, TenantStats::default());
+        }
+        &mut self.tenants[idx]
+    }
+
+    /// Folds another shard's accounting into this one (fleet totals).
+    /// Classes merge lane-wise; tenant ledgers merge by id.
+    pub fn merge(&mut self, other: &MtStats) {
+        for (mine, theirs) in self.classes.iter_mut().zip(&other.classes) {
+            mine.merge(theirs);
+        }
+        if self.tenants.len() < other.tenants.len() {
+            self.tenants
+                .resize(other.tenants.len(), TenantStats::default());
+        }
+        for (mine, theirs) in self.tenants.iter_mut().zip(&other.tenants) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// Classes that saw traffic, in lane order.
+    fn active_classes(&self) -> impl Iterator<Item = ReqClass> + '_ {
+        ReqClass::ALL
+            .into_iter()
+            .filter(|c| self.class(*c).slo.offered > 0)
+    }
+
+    /// Fleet-footer rendering: one `mt:` line with a bracket per class
+    /// that saw traffic, plus a `tenants:` line when quota ledgers
+    /// exist. Fixed precision, deterministic for identical inputs.
+    pub fn render(&self) -> String {
+        let mut out = String::from("mt:");
+        for class in self.active_classes() {
+            let lane = self.class(class);
+            out.push_str(&format!(
+                " {}[off={} srv={} rej={} shed={} thr={} att={:.4} qd_p99={} starve={}]",
+                class.tag(),
+                lane.slo.offered,
+                lane.slo.served,
+                lane.slo.rejected,
+                lane.slo.shed,
+                lane.slo.throttled,
+                lane.slo.attainment(),
+                lane.queue_delay.quantile(0.99),
+                lane.starve_max_ns,
+            ));
+        }
+        if !self.tenants.is_empty() {
+            out.push_str("\ntenants:");
+            for (id, t) in self.tenants.iter().enumerate() {
+                out.push_str(&format!(
+                    " t{}[off={} adm={} thr={}]",
+                    id, t.offered, t.admitted, t.throttled
+                ));
+            }
+        }
+        out
+    }
+
+    /// Compact rendering for per-shard report lines: served/offered per
+    /// class that saw traffic.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::from("mt[");
+        let mut first = true;
+        for class in self.active_classes() {
+            let lane = self.class(class);
+            if !first {
+                out.push(' ');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{}={}/{}",
+                class.tag(),
+                lane.slo.served,
+                lane.slo.offered
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MtStats {
+        let mut mt = MtStats::new(2);
+        let int = mt.class_mut(ReqClass::Interactive);
+        int.slo.offered = 100;
+        int.slo.admitted = 95;
+        int.slo.rejected = 5;
+        int.slo.served = 95;
+        int.queue_delay.record(1_000);
+        int.queue_delay.record(9_000);
+        int.starve_max_ns = 9_000;
+        let bat = mt.class_mut(ReqClass::Batch);
+        bat.slo.offered = 40;
+        bat.slo.admitted = 30;
+        bat.slo.throttled = 10;
+        bat.slo.served = 30;
+        bat.starve_max_ns = 50_000;
+        mt.tenants[0] = TenantStats {
+            offered: 100,
+            admitted: 100,
+            throttled: 0,
+        };
+        mt.tenants[1] = TenantStats {
+            offered: 40,
+            admitted: 30,
+            throttled: 10,
+        };
+        mt
+    }
+
+    #[test]
+    fn classes_have_stable_lanes_and_tags() {
+        assert_eq!(ReqClass::default(), ReqClass::Interactive);
+        for (i, class) in ReqClass::ALL.into_iter().enumerate() {
+            assert_eq!(class.index(), i);
+            assert_eq!(class.priority(), i);
+        }
+        assert_eq!(ReqClass::Interactive.tag(), "int");
+        assert_eq!(ReqClass::Batch.tag(), "bat");
+        assert_eq!(ReqClass::Background.tag(), "bg");
+    }
+
+    #[test]
+    fn render_covers_active_classes_and_tenants() {
+        let text = sample().render();
+        assert_eq!(
+            text,
+            "mt: int[off=100 srv=95 rej=5 shed=0 thr=0 att=0.9500 qd_p99=9095 starve=9000] \
+             bat[off=40 srv=30 rej=0 shed=0 thr=10 att=0.7500 qd_p99=0 starve=50000]\n\
+             tenants: t0[off=100 adm=100 thr=0] t1[off=40 adm=30 thr=10]"
+        );
+        assert!(!text.contains("bg["), "idle classes are omitted");
+        assert_eq!(sample().render_compact(), "mt[int=95/100 bat=30/40]");
+        assert_eq!(sample().render(), sample().render(), "deterministic");
+    }
+
+    #[test]
+    fn merge_folds_lanes_ledgers_and_starvation_maxima() {
+        let mut a = sample();
+        let mut b = sample();
+        b.class_mut(ReqClass::Interactive).starve_max_ns = 1; // a's wins
+        b.class_mut(ReqClass::Batch).starve_max_ns = 99_000; // b's wins
+        b.tenant_mut(2).offered = 7; // widens the ledger table
+        a.merge(&b);
+        assert_eq!(a.class(ReqClass::Interactive).slo.offered, 200);
+        assert_eq!(a.class(ReqClass::Interactive).queue_delay.count(), 4);
+        assert_eq!(a.class(ReqClass::Interactive).starve_max_ns, 9_000);
+        assert_eq!(a.class(ReqClass::Batch).starve_max_ns, 99_000);
+        assert_eq!(a.class(ReqClass::Batch).slo.throttled, 20);
+        assert_eq!(a.tenants.len(), 3);
+        assert_eq!(a.tenants[1].admitted, 60);
+        assert_eq!(a.tenants[2].offered, 7);
+    }
+
+    #[test]
+    fn tenant_mut_grows_the_table_on_demand() {
+        let mut mt = MtStats::default();
+        assert!(mt.tenants.is_empty());
+        mt.tenant_mut(1).throttled = 3;
+        assert_eq!(mt.tenants.len(), 2);
+        assert_eq!(mt.tenants[0], TenantStats::default());
+        assert_eq!(mt.tenants[1].throttled, 3);
+    }
+}

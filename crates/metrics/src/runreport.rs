@@ -18,6 +18,7 @@ use ptsbench_trace::CauseStats;
 use crate::cache::CacheStats;
 use crate::histogram::LatencyHistogram;
 use crate::load::{LoadImbalance, ShardLoad};
+use crate::mt::MtStats;
 use crate::report::render_series_table;
 use crate::slo::SloStats;
 use crate::timeseries::TimeSeries;
@@ -71,6 +72,13 @@ pub struct ShardReport {
     /// byte-identical to pre-SLO output (pinned in
     /// `tests/slo_conformance.rs`).
     pub slo: Option<SloStats>,
+    /// Multi-tenant accounting (per-class SLO lanes, starvation maxima,
+    /// per-tenant quota ledgers) when the front-end ran with classes,
+    /// a reordering discipline or tenant quotas active. `None` — and
+    /// unrendered — otherwise, so class-less reports stay
+    /// byte-identical to pre-multi-tenant output (pinned in
+    /// `tests/tenant_conformance.rs`).
+    pub mt: Option<MtStats>,
     /// Read-path cache accounting (block cache and/or pager) when the
     /// run was configured with a cache budget. `None` — and unrendered
     /// — otherwise, so cache-off reports stay byte-identical to
@@ -227,6 +235,22 @@ impl RunReport {
             })
     }
 
+    /// Fleet-level multi-tenant accounting, folded over every shard
+    /// that reported it (`None` when none did — i.e. classes, tenant
+    /// quotas and reordering disciplines were all inactive). Class
+    /// lanes merge lane-wise; tenant ledgers merge by id; starvation
+    /// maxima take the fleet-wide max.
+    pub fn mt_totals(&self) -> Option<MtStats> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.mt.as_ref())
+            .fold(None, |acc, s| {
+                let mut total: MtStats = acc.unwrap_or_default();
+                total.merge(s);
+                Some(total)
+            })
+    }
+
     /// Run-level cache accounting, folded over every shard that
     /// reported it (`None` when none did — i.e. no cache budget was
     /// configured). Counters sum across shards; the hit rate is the
@@ -317,6 +341,10 @@ impl RunReport {
             out.push_str(&slo.render());
             out.push('\n');
         }
+        if let Some(mt) = self.mt_totals() {
+            out.push_str(&mt.render());
+            out.push('\n');
+        }
         if let Some(cache) = self.cache_totals() {
             out.push_str(&cache.render());
             out.push('\n');
@@ -331,7 +359,7 @@ impl RunReport {
         }
         for shard in &self.shards {
             out.push_str(&format!(
-                "{}: ops={} app_bytes={} host_bytes={}{}{}{}{}{}{}{}{}\n",
+                "{}: ops={} app_bytes={} host_bytes={}{}{}{}{}{}{}{}{}{}\n",
                 shard.name,
                 shard.ops,
                 shard.app_bytes,
@@ -353,6 +381,10 @@ impl RunReport {
                 },
                 match &shard.slo {
                     Some(slo) => format!(" {}", slo.render_compact()),
+                    None => String::new(),
+                },
+                match &shard.mt {
+                    Some(mt) => format!(" {}", mt.render_compact()),
                     None => String::new(),
                 },
                 match &shard.cache {
@@ -411,6 +443,7 @@ mod tests {
             queue_delay: None,
             load: None,
             slo: None,
+            mt: None,
             cache: None,
             cause: None,
             maint: None,
@@ -557,6 +590,7 @@ mod tests {
             admitted: 90,
             rejected: 10,
             shed: 2,
+            throttled: 0,
             served: 88,
             span_ns: 1_000_000_000,
         });
@@ -566,6 +600,7 @@ mod tests {
             admitted: 50,
             rejected: 0,
             shed: 0,
+            throttled: 0,
             served: 50,
             span_ns: 1_000_000_000,
         });
@@ -576,10 +611,65 @@ mod tests {
         assert_eq!(totals.served, 138);
         assert_eq!(totals.span_ns, 1_000_000_000);
         let text = report.render();
-        assert!(text.contains("slo: offered=150 admitted=140 rejected=10 shed=2 served=138"));
+        assert!(text
+            .contains("slo: offered=150 admitted=140 rejected=10 shed=2 throttled=0 served=138"));
         assert!(text.contains("goodput=138.0/s"));
-        assert!(text.contains("slo[adm=90 rej=10 shed=2 att=0.8800]"));
-        assert!(text.contains("slo[adm=50 rej=0 shed=0 att=1.0000]"));
+        assert!(text.contains("slo[adm=90 rej=10 shed=2 thr=0 att=0.8800]"));
+        assert!(text.contains("slo[adm=50 rej=0 shed=0 thr=0 att=1.0000]"));
+    }
+
+    #[test]
+    fn mt_stats_render_only_when_present() {
+        // Absent: the report must render exactly as before multi-tenant
+        // serving existed (the tenant_conformance-suite contract).
+        let plain = RunReport::merge("x", 1, vec![shard("shard0", 5, &[1_000], &[1.0])]);
+        let plain_text = plain.render();
+        assert!(plain.mt_totals().is_none());
+        assert!(!plain_text.contains("mt"));
+        assert!(!plain_text.contains("tenants"));
+
+        // Present: the fleet footer folds class lanes and tenant
+        // ledgers, and each shard line carries its compact accounting.
+        let mut a = shard("shard0", 5, &[1_000], &[1.0]);
+        let mut ma = MtStats::new(1);
+        {
+            let lane = ma.class_mut(crate::mt::ReqClass::Interactive);
+            lane.slo.offered = 20;
+            lane.slo.admitted = 20;
+            lane.slo.served = 20;
+            lane.starve_max_ns = 4_000;
+        }
+        ma.tenants[0].offered = 20;
+        ma.tenants[0].admitted = 20;
+        a.mt = Some(ma);
+        let mut b = shard("shard1", 5, &[1_000], &[1.0]);
+        let mut mb = MtStats::new(1);
+        {
+            let lane = mb.class_mut(crate::mt::ReqClass::Batch);
+            lane.slo.offered = 10;
+            lane.slo.admitted = 6;
+            lane.slo.throttled = 4;
+            lane.slo.served = 6;
+            lane.starve_max_ns = 9_000;
+        }
+        mb.tenants[0].offered = 10;
+        mb.tenants[0].admitted = 6;
+        mb.tenants[0].throttled = 4;
+        b.mt = Some(mb);
+        let report = RunReport::merge("x", 2, vec![a, b]);
+        let totals = report.mt_totals().expect("mt totals");
+        assert_eq!(
+            totals.class(crate::mt::ReqClass::Interactive).slo.served,
+            20
+        );
+        assert_eq!(totals.class(crate::mt::ReqClass::Batch).slo.throttled, 4);
+        assert_eq!(totals.tenants[0].throttled, 4);
+        let text = report.render();
+        assert!(text.contains("mt: int[off=20 srv=20"));
+        assert!(text.contains("bat[off=10 srv=6"));
+        assert!(text.contains("tenants: t0[off=30 adm=26 thr=4]"));
+        assert!(text.contains("mt[int=20/20]"));
+        assert!(text.contains("mt[bat=6/10]"));
     }
 
     #[test]

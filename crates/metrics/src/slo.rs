@@ -34,6 +34,10 @@ pub struct SloStats {
     /// budget before the engine could start them (queued, but never
     /// touched the device).
     pub shed: u64,
+    /// Requests turned away by their tenant's token-bucket quota before
+    /// admission control even saw them (never queued, never touched the
+    /// device). Zero unless tenant throttling is configured.
+    pub throttled: u64,
     /// Requests the engine actually executed — each within its
     /// admission-time guarantee.
     pub served: u64,
@@ -82,6 +86,7 @@ impl SloStats {
         self.admitted = self.admitted.saturating_add(other.admitted);
         self.rejected = self.rejected.saturating_add(other.rejected);
         self.shed = self.shed.saturating_add(other.shed);
+        self.throttled = self.throttled.saturating_add(other.throttled);
         self.served = self.served.saturating_add(other.served);
         self.span_ns = self.span_ns.max(other.span_ns);
     }
@@ -89,10 +94,11 @@ impl SloStats {
     /// Deterministic compact rendering for per-shard report lines.
     pub fn render_compact(&self) -> String {
         format!(
-            "slo[adm={} rej={} shed={} att={:.4}]",
+            "slo[adm={} rej={} shed={} thr={} att={:.4}]",
             self.admitted,
             self.rejected,
             self.shed,
+            self.throttled,
             self.attainment()
         )
     }
@@ -100,12 +106,13 @@ impl SloStats {
     /// Deterministic one-line rendering for run-level report footers.
     pub fn render(&self) -> String {
         format!(
-            "slo: offered={} admitted={} rejected={} shed={} served={} \
+            "slo: offered={} admitted={} rejected={} shed={} throttled={} served={} \
              goodput={:.1}/s attainment={:.4}",
             self.offered,
             self.admitted,
             self.rejected,
             self.shed,
+            self.throttled,
             self.served,
             self.goodput_per_sec(),
             self.attainment()
@@ -123,6 +130,7 @@ mod tests {
             admitted: 80,
             rejected: 20,
             shed: 10,
+            throttled: 5,
             served: 70,
             span_ns: 2_000_000_000, // 2 virtual seconds
         }
@@ -154,6 +162,7 @@ mod tests {
         assert_eq!(a.admitted, 160);
         assert_eq!(a.rejected, 40);
         assert_eq!(a.shed, 20);
+        assert_eq!(a.throttled, 10);
         assert_eq!(a.served, 140);
         assert_eq!(a.span_ns, 3_000_000_000, "spans overlap, they do not add");
     }
@@ -164,12 +173,12 @@ mod tests {
         assert_eq!(a, stats().render());
         assert_eq!(
             a,
-            "slo: offered=100 admitted=80 rejected=20 shed=10 served=70 \
+            "slo: offered=100 admitted=80 rejected=20 shed=10 throttled=5 served=70 \
              goodput=35.0/s attainment=0.7000"
         );
         assert_eq!(
             stats().render_compact(),
-            "slo[adm=80 rej=20 shed=10 att=0.7000]"
+            "slo[adm=80 rej=20 shed=10 thr=5 att=0.7000]"
         );
     }
 }

@@ -77,7 +77,7 @@ fn calibrate_mean_service(engine: EngineKind) -> Ns {
 fn serve(engine: EngineKind, arrival: ArrivalSpec, slo: SloPolicy) -> RunReport {
     let mut cfg = config(engine);
     cfg.arrival = arrival;
-    cfg.slo = slo;
+    cfg.slo = slo.into();
     run_frontend(&cfg).expect("frontend run")
 }
 

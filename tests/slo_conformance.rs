@@ -61,7 +61,8 @@ fn unbounded_queue_bound_diffs_empty_against_no_policy_for_every_engine() {
         let mut unbounded_cfg = serving_shape(engine);
         unbounded_cfg.slo = SloPolicy::QueueBound {
             max_pending: SloPolicy::UNBOUNDED,
-        };
+        }
+        .into();
         let unbounded = run_frontend(&unbounded_cfg).expect("run");
         assert_eq!(
             plain.render(),
@@ -92,7 +93,8 @@ fn inactive_policies_survive_hashed_sharding_and_engine_queue_depth() {
         let mut unbounded_cfg = plain_cfg.clone();
         unbounded_cfg.slo = SloPolicy::QueueBound {
             max_pending: SloPolicy::UNBOUNDED,
-        };
+        }
+        .into();
         let plain = run_frontend(&plain_cfg).expect("run");
         let unbounded = run_frontend(&unbounded_cfg).expect("run");
         assert_eq!(
@@ -119,7 +121,8 @@ fn conformant_shape_with_inactive_policy_still_matches_run_sharded() {
         let mut served_cfg = FrontendRun::conformant(base(engine, 32 << 20), 2);
         served_cfg.slo = SloPolicy::QueueBound {
             max_pending: SloPolicy::UNBOUNDED,
-        };
+        }
+        .into();
         assert!(served_cfg.is_conformant());
         let served = run_frontend(&served_cfg).expect("frontend run");
         assert_eq!(
@@ -139,7 +142,8 @@ fn active_policies_do_perturb_the_report() {
     let mut cfg = serving_shape(EngineKind::lsm());
     cfg.slo = SloPolicy::PredictedSojourn {
         deadline_ns: 2 * SECOND,
-    };
+    }
+    .into();
     let report = run_frontend(&cfg).expect("run");
     assert!(report.label.ends_with("/slo-ps2000ms"), "{}", report.label);
     let totals = report.slo_totals().expect("slo accounting");
@@ -168,7 +172,8 @@ fn open_loop_runs_agree_too() {
     let mut unbounded_cfg = shape();
     unbounded_cfg.slo = SloPolicy::QueueBound {
         max_pending: SloPolicy::UNBOUNDED,
-    };
+    }
+    .into();
     let unbounded = run_frontend(&unbounded_cfg).expect("run");
     assert_eq!(plain.render(), unbounded.render());
 }

@@ -1,0 +1,159 @@
+//! Multi-tenant conformance: a class-less configuration must be
+//! invisible.
+//!
+//! The multi-tenant front-end follows the repo's layering contract:
+//! every new knob has an explicit pass-through setting whose output is
+//! byte-identical to the code that predates it. The defaults — a
+//! uniform [`ClassPolicyMap`] (every lane the same policy, exactly the
+//! old single `slo` field), `DispatchDiscipline::Fifo`, and an empty
+//! tenant table — keep the dispatcher on the seed's eager
+//! decide-at-submit path, so runs configured that way must reproduce
+//! the pre-multi-tenant harness output **byte-identically at the
+//! rendered level** — same labels, same numbers, no `mt` accounting
+//! anywhere — for every registered engine.
+//!
+//! Like `tests/cache_conformance.rs`, the pin is against the **golden
+//! snapshot** (`tests/golden/pr5_cache_off.txt`) captured from the
+//! harness before either subsystem existed, so a regression in any
+//! layer the front-end rework touched — the dispatcher, the completion
+//! ordering, the report renderer — shows up as a byte diff against
+//! history, not just against a sibling code path.
+
+use ptsbench::core::frontend::{
+    ClassPolicyMap, DispatchDiscipline, FrontendRun, SloPolicy, TenantSpec,
+};
+use ptsbench::core::registry::{EngineKind, EngineRegistry};
+use ptsbench::core::runner::RunConfig;
+use ptsbench::core::ReqClass;
+use ptsbench::harness::run_frontend;
+use ptsbench::ssd::{MINUTE, SECOND};
+use ptsbench::workload::KeyDistribution;
+
+/// Rendered harness output captured before the multi-tenant front-end
+/// (and the read-path tier) existed.
+const GOLDEN: &str = include_str!("golden/pr5_cache_off.txt");
+
+fn engines() -> Vec<EngineKind> {
+    ptsbench::hashlog::register();
+    EngineRegistry::all()
+}
+
+/// One `@@@section@@@` block of the golden snapshot.
+fn golden_section(name: &str) -> String {
+    let header = format!("@@@{name}@@@\n");
+    let start = GOLDEN
+        .find(&header)
+        .unwrap_or_else(|| panic!("golden section {name} missing"))
+        + header.len();
+    let end = GOLDEN[start..]
+        .find("@@@")
+        .expect("golden sections are terminated");
+    GOLDEN[start..start + end].to_string()
+}
+
+/// The exact shape the snapshot was captured with.
+fn base(engine: EngineKind) -> RunConfig {
+    RunConfig {
+        engine,
+        device_bytes: 32 << 20,
+        duration: 10 * MINUTE,
+        sample_window: 5 * MINUTE,
+        ..RunConfig::default()
+    }
+}
+
+fn serving_shape(engine: EngineKind) -> FrontendRun {
+    let mut cfg = FrontendRun::new(base(engine), 6);
+    cfg.shards = 2;
+    cfg.base.read_fraction = 0.5;
+    cfg.base.distribution = KeyDistribution::Zipfian { theta: 0.9 };
+    cfg
+}
+
+/// The tentpole guarantee: a front-end run whose multi-tenant knobs are
+/// all at their explicit pass-through settings reproduces the
+/// pre-multi-tenant golden output byte-for-byte, for every engine that
+/// existed when the snapshot was taken.
+#[test]
+fn classless_frontend_runs_match_the_pre_mt_golden_output() {
+    for engine in engines() {
+        let mut cfg = serving_shape(engine);
+        // Spell out every multi-tenant default explicitly: the uniform
+        // policy map, FIFO dispatch, no tenants.
+        cfg.slo = ClassPolicyMap::uniform(SloPolicy::None);
+        cfg.discipline = DispatchDiscipline::Fifo;
+        cfg.tenants = Vec::new();
+        assert!(!cfg.mt_active(), "{engine}: these are the pass-throughs");
+        let report = run_frontend(&cfg).expect("run");
+        assert_eq!(
+            report.render(),
+            golden_section(&format!("frontend/{engine}")),
+            "{engine}: class-less front-end output must be byte-identical to seed"
+        );
+        let text = report.render();
+        assert!(
+            !text.contains("mt:") && !text.contains("mt[") && !text.contains("/mt"),
+            "{engine}: no multi-tenant accounting may appear when inactive: {text}"
+        );
+    }
+}
+
+/// A uniform *active* policy written through the `ClassPolicyMap` stays
+/// byte-identical to the same policy written through the old
+/// single-policy `From<SloPolicy>` conversion — the map is a
+/// generalization, not a new behavior, until the lanes actually differ.
+#[test]
+fn uniform_policy_maps_match_the_single_policy_conversion() {
+    let policy = SloPolicy::PredictedSojourn {
+        deadline_ns: 2 * SECOND,
+    };
+    let mut via_into = serving_shape(EngineKind::lsm());
+    via_into.slo = policy.into();
+    let mut via_uniform = serving_shape(EngineKind::lsm());
+    via_uniform.slo = ClassPolicyMap::uniform(policy);
+    let a = run_frontend(&via_into).expect("run");
+    let b = run_frontend(&via_uniform).expect("run");
+    assert_eq!(a.render(), b.render());
+    assert!(a.label.ends_with("/slo-ps2000ms"), "{}", a.label);
+}
+
+/// Sanity check of the other direction: each multi-tenant knob, alone,
+/// perturbs the report — the label gains the `/mt` tag and the `mt`
+/// accounting appears — so the byte-identity above is not a vacuous
+/// comparison.
+#[test]
+fn active_mt_knobs_do_perturb_the_report() {
+    let plain = run_frontend(&serving_shape(EngineKind::lsm())).expect("run");
+
+    // A non-FIFO discipline alone.
+    let mut wfq = serving_shape(EngineKind::lsm());
+    wfq.discipline = DispatchDiscipline::WeightedFair { weights: [8, 1, 1] };
+    let wfq_report = run_frontend(&wfq).expect("run");
+    assert_ne!(plain.render(), wfq_report.render());
+    assert!(wfq_report.label.contains("/mt"), "{}", wfq_report.label);
+    assert!(wfq_report.render().contains("mt:"), "mt accounting renders");
+
+    // A declared tenant table alone (even one uniform interactive
+    // tenant: declaring tenants opts into per-tenant ledgers).
+    let mut tenanted = serving_shape(EngineKind::lsm());
+    tenanted.tenants = vec![TenantSpec::new(ReqClass::Interactive, 6)];
+    let tenanted_report = run_frontend(&tenanted).expect("run");
+    assert!(
+        tenanted_report.label.contains("/mt"),
+        "{}",
+        tenanted_report.label
+    );
+    assert!(
+        tenanted_report.render().contains("tenants: t0["),
+        "tenant ledgers render: {}",
+        tenanted_report.render()
+    );
+
+    // A non-uniform policy map alone.
+    let mut split = serving_shape(EngineKind::lsm());
+    split.slo =
+        ClassPolicyMap::default().with(ReqClass::Batch, SloPolicy::QueueBound { max_pending: 2 });
+    let split_report = run_frontend(&split).expect("run");
+    assert!(split.mt_active());
+    assert!(split_report.label.contains("/mt"), "{}", split_report.label);
+}
